@@ -1,0 +1,72 @@
+// Ablation: the 250-connection concurrency cap (§6.1).
+//
+// The paper caps the scanner at 250 concurrent outgoing SMTP connections and
+// waits 90 s between connections to the same host/domain. This bench replays
+// the initial measurement's time accounting under several caps and reports
+// the simulated wall-clock duration of one full round — the trade the
+// authors made between scan duration and per-target network load.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace spfail;
+
+util::SimTime round_duration(double scale, int cap) {
+  population::FleetConfig config;
+  config.scale = scale;
+  population::Fleet fleet(config);
+
+  scan::CampaignConfig campaign_config;
+  campaign_config.prober.responder = fleet.responder();
+  campaign_config.max_concurrent_connections = cap;
+  scan::Campaign campaign(campaign_config, fleet.dns(), fleet.clock(), fleet);
+
+  const util::SimTime start = fleet.clock().now();
+  campaign.run(fleet.targets());
+  return fleet.clock().now() - start;
+}
+
+void BM_CampaignRound(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(round_duration(0.003, 250));
+  }
+}
+BENCHMARK(BM_CampaignRound)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spfail::report::ReproSession session(0.02);
+  spfail::bench::print_header(
+      "Ablation: scanner concurrency cap vs simulated scan duration",
+      "SPFail, section 6.1 — 250 concurrent connections, 90 s gaps", session);
+
+  util::TextTable table({"Concurrency cap", "Simulated round duration",
+                         "Relative"},
+                        {util::Align::Right, util::Align::Right,
+                         util::Align::Right});
+  const double scale = session.scale();
+  const std::vector<int> caps = {1, 25, 250, 1000};
+  std::vector<util::SimTime> durations;
+  util::SimTime base = 1;
+  for (const int cap : caps) {
+    durations.push_back(round_duration(scale, cap));
+    if (cap == 250) base = std::max<util::SimTime>(1, durations.back());
+  }
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    const double days = static_cast<double>(durations[i]) / util::kDay;
+    char day_buf[64], rel_buf[64];
+    std::snprintf(day_buf, sizeof(day_buf), "%.2f days", days);
+    std::snprintf(rel_buf, sizeof(rel_buf), "%.1fx",
+                  static_cast<double>(durations[i]) /
+                      static_cast<double>(base));
+    table.add_row({std::to_string(caps[i]), day_buf, rel_buf});
+  }
+  std::cout << table << "\n"
+            << "Reading: a serial scanner (cap 1) would need months per "
+               "round — incompatible with the 2-day longitudinal cadence — "
+               "while caps beyond 250 stop paying because per-host gaps and "
+               "greylist backoffs dominate. 250 keeps a full round well "
+               "under the cadence with bounded per-target load.\n\n";
+  return spfail::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,55 @@
+// Shared scaffolding for the reproduction bench binaries.
+//
+// Every binary does two things:
+//   1. print the reproduced table/figure (the experiment's deliverable),
+//   2. run a few google-benchmark microbenchmarks over the code paths the
+//      experiment exercises.
+// `SPFAIL_SCALE` (0 < s <= 1, default 0.1) scales the simulated population;
+// counts scale with it, percentages and trends do not.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "report/session.hpp"
+#include "report/tables.hpp"
+
+namespace spfail::bench {
+
+// When SPFAIL_CSV_DIR is set, also write the reproduced table as CSV there
+// (named <slug>.csv) for external plotting.
+inline void maybe_export_csv(const char* slug, const util::TextTable& table) {
+  const char* dir = std::getenv("SPFAIL_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + slug + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  table.to_csv(out);
+  std::cout << "(csv written to " << path << ")\n";
+}
+
+inline void print_header(const char* title, const char* paper_reference,
+                         report::ReproSession& session) {
+  std::cout << "==============================================================="
+               "=\n"
+            << title << "\n(" << paper_reference << ")\n"
+            << session.banner() << "\n"
+            << "==============================================================="
+               "=\n";
+}
+
+inline int run_benchmarks(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace spfail::bench

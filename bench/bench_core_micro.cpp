@@ -1,0 +1,85 @@
+// Core microbenchmarks: the primitive operations everything else composes.
+#include "bench_common.hpp"
+
+#include "dns/message.hpp"
+#include "spf/record.hpp"
+#include "spfvuln/libspf2_expander.hpp"
+
+namespace {
+
+using namespace spfail;
+
+spf::MacroContext bench_context() {
+  spf::MacroContext ctx;
+  ctx.sender_local = "user";
+  ctx.sender_domain = dns::Name::from_string("mail.example.com");
+  ctx.current_domain = ctx.sender_domain;
+  ctx.client_ip = util::IpAddress::v4(203, 0, 113, 7);
+  return ctx;
+}
+
+void BM_MacroExpandRfc(benchmark::State& state) {
+  const spf::Rfc7208Expander expander;
+  const auto ctx = bench_context();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expander.expand("%{d1r}.foo.com", ctx));
+  }
+}
+BENCHMARK(BM_MacroExpandRfc);
+
+void BM_MacroExpandVulnerable(benchmark::State& state) {
+  const spfvuln::Libspf2Expander expander;
+  const auto ctx = bench_context();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expander.expand("%{d1r}.foo.com", ctx));
+  }
+}
+BENCHMARK(BM_MacroExpandVulnerable);
+
+void BM_RecordParse(benchmark::State& state) {
+  constexpr std::string_view kRecord =
+      "v=spf1 a:foo.example.com mx/24 ip4:192.0.2.0/24 ip6:2001:db8::/32 "
+      "include:bar.org exists:%{i}._spf.%{d2} redirect=_spf.example.com";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spf::parse_record(kRecord));
+  }
+}
+BENCHMARK(BM_RecordParse);
+
+void BM_WireEncodeDecode(benchmark::State& state) {
+  dns::Message query = dns::Message::make_query(
+      1, dns::Name::from_string("ab1cd.t0.spf-test.dns-lab.org"),
+      dns::RRType::TXT);
+  dns::Message response = dns::Message::make_response(query, dns::Rcode::NoError);
+  response.answers.push_back(dns::ResourceRecord::txt(
+      query.questions[0].qname,
+      "v=spf1 a:%{d1r}.ab1cd.t0.spf-test.dns-lab.org "
+      "a:b.ab1cd.t0.spf-test.dns-lab.org -all"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::decode(dns::encode(response)));
+  }
+}
+BENCHMARK(BM_WireEncodeDecode);
+
+void BM_ExpandItemOverflowAccounting(benchmark::State& state) {
+  spf::MacroItem item;
+  item.letter = 'd';
+  item.keep = 1;
+  item.reverse = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spfvuln::libspf2_expand_item(item, "a.b.c.d.e.example.com"));
+  }
+}
+BENCHMARK(BM_ExpandItemOverflowAccounting);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spfail::report::ReproSession session(0.001);
+  spfail::bench::print_header(
+      "Core microbenchmarks: macro expansion, record parsing, wire codec",
+      "supporting primitives for every experiment", session);
+  std::cout << "\n";
+  return spfail::bench::run_benchmarks(argc, argv);
+}

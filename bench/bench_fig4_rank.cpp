@@ -1,0 +1,38 @@
+// Figure 4 — vulnerable/patched domains across 20 rank buckets.
+#include "bench_common.hpp"
+
+namespace {
+
+void BM_DomainCountsAt(benchmark::State& state) {
+  static spfail::report::ReproSession session(0.02);
+  const auto& study = session.study();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spfail::longitudinal::Study::domain_counts_at(
+        study, session.fleet(), study.round_times.size() - 1,
+        spfail::longitudinal::Cohort::All));
+  }
+}
+BENCHMARK(BM_DomainCountsAt)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spfail::report::ReproSession session;
+  spfail::bench::print_header(
+      "Figure 4: Vulnerable and patched domains by site ranking (20 buckets)",
+      "SPFail, section 7.4", session);
+  std::cout << "--- (a) Alexa Top List, by Alexa rank ---\n"
+            << spfail::report::fig4_rank_buckets(
+                   session.fleet(), session.study(),
+                   spfail::longitudinal::Cohort::AlexaTopList)
+            << "\n--- (b) 2-Week MX, by MX-query count ---\n"
+            << spfail::report::fig4_rank_buckets(
+                   session.fleet(), session.study(),
+                   spfail::longitudinal::Cohort::TwoWeekMx)
+            << "\n"
+            << "Paper: the bottom 20K Alexa domains held nearly twice as many "
+               "vulnerable servers as the top 20K; higher-ranked domains "
+               "patched slightly more, but no rank group exceeded a 40% patch "
+               "rate.\n\n";
+  return spfail::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,38 @@
+// Figure 8 — conclusive results over time for the Alexa Top 1000 cohort.
+#include "bench_common.hpp"
+
+namespace {
+
+void BM_StudySeriesExtraction(benchmark::State& state) {
+  static spfail::report::ReproSession session(0.02);
+  const auto& study = session.study();
+  for (auto _ : state) {
+    for (std::size_t round = 0; round < study.round_times.size(); ++round) {
+      benchmark::DoNotOptimize(spfail::longitudinal::Study::domain_counts_at(
+          study, session.fleet(), round,
+          spfail::longitudinal::Cohort::Alexa1000));
+    }
+  }
+}
+BENCHMARK(BM_StudySeriesExtraction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spfail::report::ReproSession session;
+  spfail::bench::print_header(
+      "Figure 8: Conclusive vulnerability results over time, Alexa Top 1000",
+      "SPFail, sections 7.5-7.6", session);
+  const auto table = spfail::report::fig5_conclusive_series(
+      session.fleet(), session.study(),
+      spfail::longitudinal::Cohort::Alexa1000);
+  spfail::bench::maybe_export_csv("fig8_alexa1000", table);
+  std::cout << table
+            << "\n"
+            << "Paper: 28 Top-1000 domains (87 servers) initially vulnerable; "
+               "conclusive measurements collapsed around mid-November "
+               "(scanner blacklisting by high-profile infrastructure); no "
+               "longitudinal patching was observed, and only the final "
+               "re-resolved snapshot recovered most of the cohort.\n\n";
+  return spfail::bench::run_benchmarks(argc, argv);
+}

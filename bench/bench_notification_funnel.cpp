@@ -1,0 +1,36 @@
+// §7.7 — the private-notification funnel.
+#include "bench_common.hpp"
+
+#include "longitudinal/notification.hpp"
+
+namespace {
+
+void BM_GroupingByInfrastructure(benchmark::State& state) {
+  using namespace spfail;
+  for (auto _ : state) {
+    longitudinal::NotificationCampaign campaign;
+    // Many domains over few shared addresses — the dedup path.
+    for (int i = 0; i < 2000; ++i) {
+      campaign.add_domain(
+          "d" + std::to_string(i),
+          {util::IpAddress::v4(10, 2, 0, static_cast<std::uint8_t>(i % 100))});
+    }
+    benchmark::DoNotOptimize(campaign.groups().size());
+  }
+}
+BENCHMARK(BM_GroupingByInfrastructure)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spfail::report::ReproSession session;
+  spfail::bench::print_header(
+      "Section 7.7: Response to private notification (funnel)",
+      "SPFail, section 7.7", session);
+  std::cout << spfail::report::notification_funnel(session.study()) << "\n"
+            << "Paper: 6,488 sent; 2,054 (31.6%) undelivered; 512 (12%) of "
+               "delivered were opened; 177 openers eventually patched; only "
+               "9 patched between private and public disclosure; 37 "
+               "unnotified domains patched in that span (package updates).\n\n";
+  return spfail::bench::run_benchmarks(argc, argv);
+}

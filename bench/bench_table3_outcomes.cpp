@@ -1,0 +1,72 @@
+// Table 3 — NoMsg/BlankMsg test outcomes by domain set.
+#include "bench_common.hpp"
+
+#include "mta/host.hpp"
+#include "scan/prober.hpp"
+
+namespace {
+
+// Time one full NoMsg probe against an in-memory vulnerable MTA.
+void BM_NoMsgProbe(benchmark::State& state) {
+  using namespace spfail;
+  dns::AuthoritativeServer server;
+  util::SimClock clock;
+  const auto responder = scan::install_test_responder(server);
+  mta::HostProfile profile;
+  profile.address = util::IpAddress::v4(203, 0, 113, 1);
+  profile.behaviors = {spfvuln::SpfBehavior::VulnerableLibspf2};
+  mta::MailHost host(profile, server, clock);
+  scan::ProberConfig config;
+  config.responder = responder;
+  scan::Prober prober(config, server, clock);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto mail_from = dns::Name::lenient(
+        "x" + std::to_string(i++) + ".t0.spf-test.dns-lab.org");
+    benchmark::DoNotOptimize(
+        prober.probe(host, "target.example", mail_from, scan::TestKind::NoMsg));
+  }
+}
+BENCHMARK(BM_NoMsgProbe)->Unit(benchmark::kMicrosecond);
+
+void BM_BlankMsgProbe(benchmark::State& state) {
+  using namespace spfail;
+  dns::AuthoritativeServer server;
+  util::SimClock clock;
+  const auto responder = scan::install_test_responder(server);
+  mta::HostProfile profile;
+  profile.address = util::IpAddress::v4(203, 0, 113, 2);
+  profile.spf_timing = mta::SpfTiming::AfterData;
+  profile.behaviors = {spfvuln::SpfBehavior::RfcCompliant};
+  mta::MailHost host(profile, server, clock);
+  scan::ProberConfig config;
+  config.responder = responder;
+  scan::Prober prober(config, server, clock);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto mail_from = dns::Name::lenient(
+        "y" + std::to_string(i++) + ".t0.spf-test.dns-lab.org");
+    benchmark::DoNotOptimize(prober.probe(host, "target.example", mail_from,
+                                          scan::TestKind::BlankMsg));
+  }
+}
+BENCHMARK(BM_BlankMsgProbe)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spfail::report::ReproSession session;
+  spfail::bench::print_header(
+      "Table 3: NoMsg/BlankMsg test outcomes by domain set",
+      "SPFail, section 7.1", session);
+  std::cout << spfail::report::table3_outcomes(session.fleet(),
+                                               session.initial())
+            << "\n"
+            << "Paper (addresses): Alexa — 47% refused; of NoMsg-tested 37% "
+               "SMTP failure, 13% measured; of BlankMsg-tested 58% measured; "
+               "23% measured in total.\n"
+               "2-Week MX — 25% refused; 23% measured in NoMsg; 38% total.\n"
+               "Top providers: 0 refused, 2 SMTP-broken, 5 NoMsg-measured, "
+               "8 BlankMsg-measured, 13 measured of 20.\n\n";
+  return spfail::bench::run_benchmarks(argc, argv);
+}

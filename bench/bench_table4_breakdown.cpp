@@ -1,0 +1,51 @@
+// Table 4 — initial SPF results breakdown.
+#include "bench_common.hpp"
+
+#include "scan/test_responder.hpp"
+#include "spf/eval.hpp"
+#include "spfvuln/behavior.hpp"
+
+namespace {
+
+// The cost of one check_host() evaluation per engine type — the work every
+// measured MTA performs per probe.
+void BM_CheckHost(benchmark::State& state) {
+  using namespace spfail;
+  const auto behavior = static_cast<spfvuln::SpfBehavior>(state.range(0));
+  dns::AuthoritativeServer server;
+  util::SimClock clock;
+  scan::install_test_responder(server);
+  dns::StubResolver resolver(server, clock, util::IpAddress::v4(10, 0, 0, 1),
+                             /*enable_cache=*/false);
+  const auto expander = spfvuln::make_expander(behavior);
+  spf::Evaluator evaluator(resolver, *expander);
+  spf::CheckRequest request;
+  request.client_ip = util::IpAddress::v4(198, 51, 100, 9);
+  request.sender_local = "probe";
+  request.sender_domain =
+      dns::Name::from_string("ab1cd.t0.spf-test.dns-lab.org");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.check_host(request));
+  }
+}
+BENCHMARK(BM_CheckHost)
+    ->Arg(static_cast<int>(spfail::spfvuln::SpfBehavior::RfcCompliant))
+    ->Arg(static_cast<int>(spfail::spfvuln::SpfBehavior::VulnerableLibspf2))
+    ->Arg(static_cast<int>(spfail::spfvuln::SpfBehavior::NoExpansion))
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spfail::report::ReproSession session;
+  spfail::bench::print_header("Table 4: SPF initial results breakdown",
+                              "SPFail, section 7.1", session);
+  std::cout << spfail::report::table4_breakdown(session.fleet(),
+                                                session.initial())
+            << "\n"
+            << "Paper: ~1 in 6 measured addresses vulnerable on the Alexa "
+               "list (1 in 10 for 2-Week MX); close to a quarter expanded "
+               "macros incorrectly overall (1 in 6 for 2-Week MX); 7,212 "
+               "vulnerable addresses across both sets.\n\n";
+  return spfail::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,32 @@
+// Table 6 — package-manager patch timeline for both libSPF2 CVEs.
+#include "bench_common.hpp"
+
+#include "longitudinal/pkgmgr.hpp"
+
+namespace {
+
+void BM_LatencyCellRendering(benchmark::State& state) {
+  const auto table = spfail::longitudinal::package_manager_table();
+  for (auto _ : state) {
+    for (const auto& record : table) {
+      benchmark::DoNotOptimize(
+          spfail::longitudinal::patch_latency_cell(record, true));
+    }
+  }
+}
+BENCHMARK(BM_LatencyCellRendering);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spfail::report::ReproSession session;
+  spfail::bench::print_header(
+      "Table 6: Package-manager patch timeline (days from disclosure)",
+      "SPFail, section 7.8", session);
+  std::cout << spfail::report::table6_pkgmgr() << "\n"
+            << "Paper: Debian/Alpine patched CVE-2021-20314 on disclosure "
+               "day; RedHat/Gentoo/Arch bundled the 33912/13 fixes with that "
+               "update (0*); Ubuntu, FreeBSD Ports, NetBSD and SUSE Hub "
+               "remained unpatched through the study.\n\n";
+  return spfail::bench::run_benchmarks(argc, argv);
+}

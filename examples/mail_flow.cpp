@@ -1,0 +1,111 @@
+// End-to-end authenticated mail flow: one message travels from a sending
+// organisation to a receiving MTA with every mechanism this library models —
+// SPF (RFC 7208), DKIM (RFC 6376 protocol flow), and DMARC (RFC 7489) —
+// and a spoofer tries the same and is rejected.
+//
+//   $ ./mail_flow
+#include <iostream>
+
+#include "dkim/dkim.hpp"
+#include "dmarc/discovery.hpp"
+#include "dns/server.hpp"
+#include "dns/zonefile.hpp"
+#include "mta/host.hpp"
+#include "smtp/client.hpp"
+#include "spf/received_spf.hpp"
+
+using namespace spfail;
+
+int main() {
+  // --- The sending organisation's DNS ---------------------------------
+  dns::AuthoritativeServer dns_server;
+  dns::Zone corp(dns::Name::from_string("corp.example"));
+  corp.add(dns::ResourceRecord::txt(dns::Name::from_string("corp.example"),
+                                    "v=spf1 ip4:198.51.100.25 -all"));
+  corp.add(dns::ResourceRecord::txt(
+      dns::Name::from_string("_dmarc.corp.example"), "v=DMARC1; p=reject"));
+  corp.add(dns::ResourceRecord::txt(
+      dns::Name::from_string("sel1._domainkey.corp.example"),
+      dkim::key_record_text("corp-signing-secret")));
+  dns_server.add_zone(std::move(corp));
+
+  util::SimClock clock;
+  dns::StubResolver resolver(dns_server, clock,
+                             util::IpAddress::v4(192, 0, 2, 53));
+
+  // --- The receiving MTA ------------------------------------------------
+  mta::HostProfile receiver_profile;
+  receiver_profile.address = util::IpAddress::v4(192, 0, 2, 25);
+  receiver_profile.behaviors = {spfvuln::SpfBehavior::RfcCompliant};
+  receiver_profile.spf_timing = mta::SpfTiming::AfterData;
+  receiver_profile.checks_dmarc = true;
+  mta::MailHost receiver(receiver_profile, dns_server, clock);
+
+  const auto attempt = [&](const char* who,
+                           const util::IpAddress& sender_ip,
+                           bool sign) {
+    std::cout << "=== " << who << " (from " << sender_ip.to_string()
+              << (sign ? ", DKIM-signed" : ", unsigned") << ") ===\n";
+
+    mail::Message message;
+    message.add_header("From", "ceo@corp.example");
+    message.add_header("To", "partner@rx.example");
+    message.add_header("Subject", "Quarterly numbers");
+    message.set_body("Please find the numbers attached.\r\n");
+    if (sign) {
+      dkim::Signer signer(dns::Name::from_string("corp.example"), "sel1",
+                          "corp-signing-secret");
+      signer.sign(message);
+    }
+
+    // Receiver-side authentication, exactly as an inbound filter would run:
+    spf::Rfc7208Expander expander;
+    spf::Evaluator evaluator(resolver, expander);
+    spf::CheckRequest spf_request;
+    spf_request.client_ip = sender_ip;
+    spf_request.sender_local = "ceo";
+    spf_request.sender_domain = dns::Name::from_string("corp.example");
+    spf_request.helo_domain = dns::Name::from_string("mail.corp.example");
+    const spf::CheckOutcome spf_outcome = evaluator.check_host(spf_request);
+    std::cout << spf::received_spf_header(spf_outcome, spf_request,
+                                          "mx.rx.example")
+              << "\n";
+
+    const dkim::Verification dkim_outcome = dkim::verify(message, resolver);
+    std::cout << "DKIM: " << to_string(dkim_outcome.result)
+              << (dkim_outcome.domain.empty()
+                      ? std::string{}
+                      : " (d=" + dkim_outcome.domain.to_string() + ")")
+              << "\n";
+
+    const auto from_domain = *message.from_domain();
+    const auto discovery = dmarc::discover(resolver, from_domain);
+    const auto disposition = dmarc::disposition_for(
+        discovery, spf_outcome.result, spf_request.sender_domain,
+        dkim_outcome.result == dkim::VerifyResult::Pass, dkim_outcome.domain,
+        from_domain);
+    std::cout << "DMARC (" << (discovery.record.has_value()
+                                   ? dmarc::to_text(*discovery.record)
+                                   : std::string("no record"))
+              << ") -> " << to_string(disposition) << "\n";
+
+    // And over actual SMTP against the receiving host:
+    auto session = receiver.connect(sender_ip);
+    smtp::Client client("mail.corp.example");
+    const auto delivery = client.deliver(
+        *session, "ceo@corp.example", {"partner@rx.example"}, message);
+    std::cout << "SMTP outcome: " << delivery.final_code << " "
+              << delivery.final_text << "\n\n";
+  };
+
+  attempt("Legitimate mail server", util::IpAddress::v4(198, 51, 100, 25),
+          /*sign=*/true);
+  attempt("Spoofer (wrong network, no key)",
+          util::IpAddress::v4(203, 0, 113, 66), /*sign=*/false);
+
+  std::cout << "The spoofer fails SPF, carries no valid DKIM signature, and\n"
+               "corp.example's DMARC p=reject turns that into an SMTP-level\n"
+               "rejection — the ecosystem the SPFail vulnerabilities\n"
+               "undermine from inside the validator itself.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// A miniature end-to-end measurement study: synthesise a small Internet,
+// run the initial scan, the four-month longitudinal simulation, and print
+// the headline numbers the paper reports.
+//
+//   $ ./mini_campaign [scale]      (default scale 0.02)
+#include <cstdlib>
+#include <iostream>
+
+#include "longitudinal/study.hpp"
+#include "report/tables.hpp"
+#include "util/strings.hpp"
+
+using namespace spfail;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+
+  population::FleetConfig config;
+  config.scale = scale;
+  std::cout << "Synthesising a fleet at scale " << scale << "...\n";
+  population::Fleet fleet(config);
+  std::cout << "  " << util::with_commas(static_cast<long long>(
+                           fleet.domains().size()))
+            << " domains across "
+            << util::with_commas(static_cast<long long>(fleet.address_count()))
+            << " MTA addresses\n\n";
+
+  std::cout << "Running the initial measurement (2021-10-11), private\n"
+               "notification (2021-11-15), public disclosure (2022-01-19),\n"
+               "and 34 re-measurement rounds...\n\n";
+  longitudinal::Study study(fleet);
+  const longitudinal::StudyReport report = study.run();
+
+  std::cout << "Initially vulnerable: "
+            << util::with_commas(static_cast<long long>(
+                   report.initially_vulnerable_addresses))
+            << " addresses hosting "
+            << util::with_commas(static_cast<long long>(
+                   report.initially_vulnerable_domains))
+            << " domains\n\n";
+
+  std::cout << "Final distribution (paper Figure 2):\n"
+            << report::fig2_final_distribution(fleet, report) << "\n";
+  std::cout << "Notification funnel (paper section 7.7):\n"
+            << report::notification_funnel(report) << "\n";
+
+  const auto last = report.round_times.size() - 1;
+  const auto counts = longitudinal::Study::domain_counts_at(
+      report, fleet, last, longitudinal::Cohort::All);
+  std::cout << "End of study: " << counts.vulnerable << " of "
+            << counts.inferable << " inferable domains ("
+            << util::percent(static_cast<long long>(counts.vulnerable),
+                             static_cast<long long>(counts.inferable))
+            << ") remain vulnerable — the paper's \"roughly 80%\".\n";
+  return 0;
+}

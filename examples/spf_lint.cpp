@@ -1,0 +1,144 @@
+// spf_lint: a command-line SPF record linter built on the library.
+//
+//   $ ./spf_lint 'v=spf1 a mx include:x.org a:%{d1r}.relay.net ~all'
+//
+// Reports: syntax validity, the DNS-mechanism budget the record consumes
+// (RFC 7208 caps evaluation at 10), macro usage, and — the SPFail angle —
+// whether the record's macros would trigger the libSPF2 CVEs on a vulnerable
+// validator, with the exact erroneous expansion such a validator would emit.
+#include <iostream>
+
+#include "spf/record.hpp"
+#include "spfvuln/libspf2_expander.hpp"
+
+using namespace spfail;
+
+namespace {
+
+int count_dns_mechanisms(const spf::Record& record) {
+  int n = 0;
+  for (const auto& mech : record.mechanisms) {
+    switch (mech.kind) {
+      case spf::MechanismKind::A:
+      case spf::MechanismKind::Mx:
+      case spf::MechanismKind::Ptr:
+      case spf::MechanismKind::Include:
+      case spf::MechanismKind::Exists:
+        ++n;
+        break;
+      default:
+        break;
+    }
+  }
+  if (record.redirect().has_value()) ++n;
+  return n;
+}
+
+// Inspect every macro item in a domain-spec for CVE-triggering shapes.
+void lint_macros(const std::string& where, const std::string& spec,
+                 bool& any_finding) {
+  std::vector<spf::MacroToken> tokens;
+  try {
+    tokens = spf::parse_macro_string(spec);
+  } catch (const spf::MacroSyntaxError& e) {
+    std::cout << "  ERROR   " << where << ": macro syntax — " << e.what()
+              << "\n";
+    any_finding = true;
+    return;
+  }
+  for (const auto& token : tokens) {
+    const auto* item = std::get_if<spf::MacroItem>(&token);
+    if (item == nullptr) continue;
+    if (item->reverse && item->keep > 0) {
+      any_finding = true;
+      const auto report = spfvuln::libspf2_expand_item(*item, "example.com");
+      std::cout << "  WARN    " << where << ": %{" << item->letter
+                << item->keep << "r} triggers CVE-2021-33913 on vulnerable "
+                   "libSPF2 (expands \"example.com\" to \""
+                << report.output << "\", " << report.overflow_bytes
+                << " heap bytes overflowed)\n";
+    }
+    if (item->url_escape) {
+      any_finding = true;
+      std::cout << "  WARN    " << where << ": uppercase %{"
+                << static_cast<char>(std::toupper(item->letter))
+                << "} URL-encoding triggers CVE-2021-33912 on vulnerable "
+                   "libSPF2 when the value contains non-ASCII bytes\n";
+    }
+    if (item->letter == 'p') {
+      std::cout << "  NOTE    " << where
+                << ": %{p} forces costly PTR validation on every receiver "
+                   "(RFC 7208 discourages it)\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: spf_lint '<spf record text>'\n";
+    return 2;
+  }
+  const std::string text = argv[1];
+  std::cout << "Record: " << text << "\n\n";
+
+  spf::Record record;
+  try {
+    record = spf::parse_record(text);
+  } catch (const spf::RecordSyntaxError& e) {
+    std::cout << "  ERROR   syntax: " << e.what()
+              << "\n\nVerdict: PERMERROR — receivers reject this record.\n";
+    return 1;
+  }
+
+  bool any_finding = false;
+  const int lookups = count_dns_mechanisms(record);
+  std::cout << "  OK      syntax valid: " << record.mechanisms.size()
+            << " mechanisms, " << record.modifiers.size() << " modifiers\n";
+  if (lookups > 10) {
+    any_finding = true;
+    std::cout << "  ERROR   " << lookups
+              << " DNS-querying terms — evaluation PermErrors at 10 "
+                 "(RFC 7208 section 4.6.4)\n";
+  } else if (lookups >= 8) {
+    any_finding = true;
+    std::cout << "  WARN    " << lookups
+              << " of 10 permitted DNS-querying terms used — includes may "
+                 "push this over\n";
+  } else {
+    std::cout << "  OK      " << lookups
+              << " of 10 permitted DNS-querying terms used\n";
+  }
+
+  bool ends_with_all = false;
+  for (const auto& mech : record.mechanisms) {
+    if (mech.kind == spf::MechanismKind::All) ends_with_all = true;
+  }
+  if (!ends_with_all && !record.redirect().has_value()) {
+    any_finding = true;
+    std::cout << "  WARN    no 'all' mechanism or redirect — unmatched "
+                 "senders evaluate Neutral\n";
+  }
+
+  for (const auto& mech : record.mechanisms) {
+    if (!mech.domain_spec.empty()) {
+      lint_macros(to_string(mech.kind) + ":" + mech.domain_spec,
+                  mech.domain_spec, any_finding);
+    }
+    if (mech.kind == spf::MechanismKind::Ptr) {
+      any_finding = true;
+      std::cout << "  WARN    ptr mechanism is SHOULD NOT per RFC 7208 "
+                   "section 5.5\n";
+    }
+  }
+  for (const auto& mod : record.modifiers) {
+    lint_macros(mod.name + "=" + mod.value, mod.value, any_finding);
+  }
+
+  std::cout << "\nVerdict: "
+            << (any_finding ? "findings above — review before publishing."
+                            : "clean.")
+            << "\n";
+  return 0;
+}

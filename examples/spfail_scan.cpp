@@ -1,0 +1,136 @@
+// spfail_scan: drive the whole measurement study from the command line —
+// the operator tool the paper's authors effectively ran, against the
+// simulated Internet.
+//
+//   usage: spfail_scan [--scale S] [--seed N] [--initial-only] [--csv DIR]
+//
+//   --scale S        population scale, 0 < S <= 1 (default 0.05)
+//   --seed N         fleet seed (default 2021)
+//   --initial-only   run only the 2021-10-11 measurement, skip the
+//                    longitudinal study
+//   --csv DIR        also write figure series as CSV into DIR
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "longitudinal/study.hpp"
+#include "report/tables.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+using namespace spfail;
+
+namespace {
+
+void write_csv(const std::string& dir, const char* slug,
+               const util::TextTable& table) {
+  const std::string path = dir + "/" + slug + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  table.to_csv(out);
+  std::cout << "  wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.05;
+  std::uint64_t seed = 2021;
+  bool initial_only = false;
+  std::string csv_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      scale = std::atof(next());
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--initial-only") {
+      initial_only = true;
+    } else if (arg == "--csv") {
+      csv_dir = next();
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+  if (scale <= 0.0 || scale > 1.0) {
+    std::cerr << "--scale must be in (0, 1]\n";
+    return 2;
+  }
+
+  std::cout << "[1/3] Synthesising the Internet (scale " << scale << ", seed "
+            << seed << ")...\n";
+  population::FleetConfig fleet_config;
+  fleet_config.scale = scale;
+  fleet_config.seed = seed;
+  population::Fleet fleet(fleet_config);
+  std::cout << "      "
+            << util::with_commas(static_cast<long long>(fleet.domains().size()))
+            << " domains, "
+            << util::with_commas(static_cast<long long>(fleet.address_count()))
+            << " MTA addresses\n";
+
+  if (initial_only) {
+    std::cout << "[2/3] Initial measurement (2021-10-11)...\n";
+    scan::CampaignConfig campaign_config;
+    campaign_config.prober.responder = fleet.responder();
+    scan::Campaign campaign(campaign_config, fleet.dns(), fleet.clock(),
+                            fleet);
+    const scan::CampaignReport report = campaign.run(fleet.targets());
+    std::cout << "[3/3] Results\n\n"
+              << report::table3_outcomes(fleet, report) << "\n"
+              << report::table4_breakdown(fleet, report) << "\n"
+              << report::table7_behaviors(fleet, report) << "\n";
+    return 0;
+  }
+
+  std::cout << "[2/3] Four-month longitudinal study (initial scan, private\n"
+               "      notification, public disclosure, 34 rounds, snapshot)"
+               "...\n";
+  longitudinal::Study study(fleet);
+  const longitudinal::StudyReport report = study.run();
+
+  std::cout << "[3/3] Results\n\n"
+            << "Initial: "
+            << util::with_commas(static_cast<long long>(
+                   report.initially_vulnerable_addresses))
+            << " vulnerable addresses hosting "
+            << util::with_commas(static_cast<long long>(
+                   report.initially_vulnerable_domains))
+            << " domains\n\n"
+            << report::fig2_final_distribution(fleet, report) << "\n"
+            << report::table5_tld_patch(fleet, report) << "\n"
+            << report::notification_funnel(report) << "\n";
+
+  for (const auto cohort :
+       {longitudinal::Cohort::All, longitudinal::Cohort::AlexaTopList,
+        longitudinal::Cohort::TwoWeekMx}) {
+    const auto series = report::vulnerability_series(fleet, report, cohort);
+    std::cout << "  " << util::sparkline(series) << "  " << to_string(cohort)
+              << " (% vulnerable over time)\n";
+  }
+
+  if (!csv_dir.empty()) {
+    std::cout << "\nCSV export:\n";
+    write_csv(csv_dir, "fig5_conclusive",
+              report::fig5_conclusive_series(fleet, report,
+                                             longitudinal::Cohort::All));
+    write_csv(csv_dir, "fig7_full",
+              report::fig67_vulnerability_series(fleet, report, false));
+    write_csv(csv_dir, "fig2_final",
+              report::fig2_final_distribution(fleet, report));
+  }
+  return 0;
+}

@@ -1,0 +1,219 @@
+#include "dkim/dkim.hpp"
+
+#include <cctype>
+
+#include "util/encoding.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace spfail::dkim {
+
+namespace {
+
+// The simulation's keyed digest: iterated FNV-1a rendered as hex. Stands in
+// for RSA-SHA256 (see the header's SUBSTITUTION note).
+std::string sim_digest(std::string_view data) {
+  std::uint64_t h1 = util::fnv1a(data);
+  std::uint64_t h2 = util::fnv1a(std::string(data) + "#2");
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(h1),
+                static_cast<unsigned long long>(h2));
+  return buf;
+}
+
+// The "public key" is the digest of the secret; the signature binds the
+// public key to the signed content.
+std::string derive_public(std::string_view secret) {
+  return sim_digest(std::string("dkim-public:") + std::string(secret));
+}
+
+std::string compute_signature(std::string_view public_key,
+                              std::string_view signing_input) {
+  return sim_digest(std::string(public_key) + "|" +
+                    std::string(signing_input));
+}
+
+std::string build_signing_input(const Signature& signature,
+                                const mail::Message& message) {
+  std::string input;
+  for (const auto& name : signature.signed_headers) {
+    const auto value = message.first_header(name);
+    if (value.has_value()) {
+      input += canonicalize_header(name, *value);
+      input.push_back('\n');
+    }
+  }
+  input += "d=" + signature.domain.to_string() +
+           ";s=" + signature.selector + ";bh=" + signature.body_hash;
+  return input;
+}
+
+}  // namespace
+
+std::string Signature::to_header_value() const {
+  std::string out = "v=" + version + "; a=" + algorithm +
+                    "; d=" + domain.to_string() + "; s=" + selector + "; h=";
+  out += util::join(signed_headers, ":");
+  out += "; bh=" + body_hash + "; b=" + signature;
+  return out;
+}
+
+Signature parse_signature(std::string_view header_value) {
+  Signature signature;
+  bool saw_d = false, saw_s = false, saw_b = false, saw_bh = false;
+  for (const auto& raw_tag : util::split(header_value, ';')) {
+    const std::string_view tag = util::trim(raw_tag);
+    if (tag.empty()) continue;
+    const std::size_t eq = tag.find('=');
+    if (eq == std::string_view::npos) {
+      throw SignatureSyntaxError("malformed tag '" + std::string(tag) + "'");
+    }
+    const std::string name = util::to_lower(util::trim(tag.substr(0, eq)));
+    const std::string value{util::trim(tag.substr(eq + 1))};
+    if (name == "v") {
+      signature.version = value;
+    } else if (name == "a") {
+      signature.algorithm = value;
+    } else if (name == "d") {
+      signature.domain = dns::Name::lenient(value);
+      saw_d = true;
+    } else if (name == "s") {
+      signature.selector = value;
+      saw_s = true;
+    } else if (name == "h") {
+      signature.signed_headers.clear();
+      for (const auto& h : util::split(value, ':')) {
+        signature.signed_headers.push_back(
+            util::to_lower(util::trim(h)));
+      }
+    } else if (name == "bh") {
+      signature.body_hash = value;
+      saw_bh = true;
+    } else if (name == "b") {
+      signature.signature = value;
+      saw_b = true;
+    }
+    // Unknown tags ignored, per RFC 6376 section 3.2.
+  }
+  if (!saw_d || !saw_s || !saw_b || !saw_bh) {
+    throw SignatureSyntaxError("missing required DKIM tag (d/s/b/bh)");
+  }
+  return signature;
+}
+
+std::string canonicalize_header(std::string_view name, std::string_view value) {
+  // Relaxed: lowercase name, unfold (callers already unfolded), collapse
+  // internal whitespace runs, trim.
+  std::string out = util::to_lower(name) + ":";
+  bool in_space = false;
+  bool seen_content = false;
+  std::string collapsed;
+  for (char c : value) {
+    if (c == ' ' || c == '\t') {
+      in_space = seen_content;
+      continue;
+    }
+    if (in_space) collapsed.push_back(' ');
+    in_space = false;
+    seen_content = true;
+    collapsed.push_back(c);
+  }
+  out += collapsed;
+  return out;
+}
+
+std::string canonicalize_body(std::string_view body) {
+  // Relaxed-lite: normalise line endings to LF, strip trailing blank lines.
+  std::string out;
+  out.reserve(body.size());
+  for (char c : body) {
+    if (c != '\r') out.push_back(c);
+  }
+  while (!out.empty() && (out.back() == '\n')) out.pop_back();
+  out.push_back('\n');
+  return out;
+}
+
+std::string key_record_text(std::string_view secret) {
+  return "v=DKIM1; k=sim; p=" + derive_public(secret);
+}
+
+dns::Name key_record_name(const dns::Name& domain, std::string_view selector) {
+  return domain.child("_domainkey").child(selector);
+}
+
+void Signer::sign(mail::Message& message,
+                  std::vector<std::string> headers_to_sign) const {
+  Signature signature;
+  signature.domain = domain_;
+  signature.selector = selector_;
+  for (auto& name : headers_to_sign) {
+    if (message.first_header(name).has_value()) {
+      signature.signed_headers.push_back(util::to_lower(name));
+    }
+  }
+  signature.body_hash = sim_digest(canonicalize_body(message.body()));
+  const std::string public_key = derive_public(secret_);
+  signature.signature =
+      compute_signature(public_key, build_signing_input(signature, message));
+  message.prepend_header("DKIM-Signature", signature.to_header_value());
+}
+
+std::string to_string(VerifyResult result) {
+  switch (result) {
+    case VerifyResult::None:
+      return "none";
+    case VerifyResult::Pass:
+      return "pass";
+    case VerifyResult::Fail:
+      return "fail";
+    case VerifyResult::PermError:
+      return "permerror";
+  }
+  return "?";
+}
+
+Verification verify(const mail::Message& message,
+                    dns::StubResolver& resolver) {
+  Verification verification;
+  const auto header = message.first_header("DKIM-Signature");
+  if (!header.has_value()) return verification;  // None
+
+  Signature signature;
+  try {
+    signature = parse_signature(*header);
+  } catch (const SignatureSyntaxError&) {
+    verification.result = VerifyResult::PermError;
+    return verification;
+  }
+  verification.domain = signature.domain;
+
+  // Fetch the public key.
+  std::optional<std::string> public_key;
+  for (const auto& txt : resolver.txt(
+           key_record_name(signature.domain, signature.selector))) {
+    if (!txt.starts_with("v=DKIM1")) continue;
+    const std::size_t p = txt.find("p=");
+    if (p != std::string::npos) {
+      public_key = std::string(util::trim(std::string_view(txt).substr(p + 2)));
+    }
+  }
+  if (!public_key.has_value() || public_key->empty()) {
+    verification.result = VerifyResult::PermError;
+    return verification;
+  }
+
+  // Recompute body hash and signature.
+  if (sim_digest(canonicalize_body(message.body())) != signature.body_hash) {
+    verification.result = VerifyResult::Fail;
+    return verification;
+  }
+  const std::string expected =
+      compute_signature(*public_key, build_signing_input(signature, message));
+  verification.result = expected == signature.signature ? VerifyResult::Pass
+                                                        : VerifyResult::Fail;
+  return verification;
+}
+
+}  // namespace spfail::dkim

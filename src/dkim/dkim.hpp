@@ -1,0 +1,92 @@
+// DKIM (RFC 6376) for the simulation: signature header parsing, signing,
+// DNS key records, and verification — completing the SPF/DKIM/DMARC triad
+// the paper's ecosystem discussion (§2, §6.2, related work [3][6]) rests on.
+//
+// SUBSTITUTION (DESIGN.md): real DKIM uses RSA/Ed25519. This module uses a
+// deterministic keyed-digest scheme ("a=sim-sha") so the *protocol flow* —
+// canonicalisation, header selection, bh/b tags, the
+// <selector>._domainkey.<domain> TXT lookup, alignment domains — is
+// faithfully exercised without a cryptography dependency. It is explicitly
+// NOT a security mechanism: anyone holding the public record could forge.
+// Every consumer in this repository treats it as a protocol model only.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/resolver.hpp"
+#include "mail/message.hpp"
+
+namespace spfail::dkim {
+
+// Parsed DKIM-Signature header (the tags the simulation models).
+struct Signature {
+  std::string version = "1";       // v=
+  std::string algorithm = "sim-sha";  // a=
+  dns::Name domain;                // d=
+  std::string selector;            // s=
+  std::vector<std::string> signed_headers;  // h= (colon-separated)
+  std::string body_hash;           // bh=
+  std::string signature;           // b=
+
+  std::string to_header_value() const;
+};
+
+class SignatureSyntaxError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Parse a DKIM-Signature header value ("v=1; a=sim-sha; d=...; ...").
+Signature parse_signature(std::string_view header_value);
+
+// "Relaxed"-style canonicalisation used by sign and verify.
+std::string canonicalize_header(std::string_view name, std::string_view value);
+std::string canonicalize_body(std::string_view body);
+
+// The DNS TXT record a signing domain publishes at
+// <selector>._domainkey.<domain>.
+std::string key_record_text(std::string_view secret);
+dns::Name key_record_name(const dns::Name& domain, std::string_view selector);
+
+class Signer {
+ public:
+  Signer(dns::Name domain, std::string selector, std::string secret)
+      : domain_(std::move(domain)),
+        selector_(std::move(selector)),
+        secret_(std::move(secret)) {}
+
+  // Compute and prepend a DKIM-Signature header covering `headers_to_sign`
+  // (default: From, Subject, Date when present) and the body.
+  void sign(mail::Message& message,
+            std::vector<std::string> headers_to_sign = {"from", "subject",
+                                                        "date"}) const;
+
+  const dns::Name& domain() const noexcept { return domain_; }
+
+ private:
+  dns::Name domain_;
+  std::string selector_;
+  std::string secret_;
+};
+
+enum class VerifyResult {
+  None,       // no DKIM-Signature header
+  Pass,       // signature verifies against the published key
+  Fail,       // signature present but does not verify (or body mutated)
+  PermError,  // unparseable signature / missing or malformed key record
+};
+
+std::string to_string(VerifyResult result);
+
+struct Verification {
+  VerifyResult result = VerifyResult::None;
+  dns::Name domain;  // d= of the (first) signature, for DMARC alignment
+};
+
+// Verify the first DKIM-Signature on `message`, fetching the key via
+// `resolver`.
+Verification verify(const mail::Message& message, dns::StubResolver& resolver);
+
+}  // namespace spfail::dkim

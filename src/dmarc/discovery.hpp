@@ -1,0 +1,58 @@
+// DMARC policy discovery (RFC 7489 section 6.6.3) and the disposition an
+// evaluating MTA applies to a message given its SPF result.
+//
+// Discovery queries _dmarc.<from-domain>/TXT; if no record exists, it falls
+// back to _dmarc.<organizational-domain>. The organizational domain is
+// derived with a small embedded public-suffix list covering the TLD shapes
+// the simulation generates (a stand-in for the full PSL).
+#pragma once
+
+#include "dmarc/record.hpp"
+#include "dns/resolver.hpp"
+#include "spf/result.hpp"
+
+namespace spfail::dmarc {
+
+// The organizational domain of `domain`: the registrable domain one label
+// below the public suffix ("a.b.example.co.uk" -> "example.co.uk").
+dns::Name organizational_domain(const dns::Name& domain);
+
+struct DiscoveryResult {
+  // Where the record was found (empty when none was).
+  dns::Name source;
+  std::optional<Record> record;
+  bool from_organizational_fallback = false;
+};
+
+// Look up the applicable DMARC record for mail whose RFC5322.From domain is
+// `from_domain`.
+DiscoveryResult discover(dns::StubResolver& resolver,
+                         const dns::Name& from_domain);
+
+// What a receiver should do with the message.
+enum class Disposition { Deliver, Quarantine, Reject };
+std::string to_string(Disposition disposition);
+
+// Apply RFC 7489 semantics: an SPF Pass with an aligned domain passes DMARC
+// (this simulation carries no DKIM signatures); anything else triggers the
+// discovered policy. `spf_domain` is the MAIL FROM domain SPF evaluated.
+Disposition disposition_for(const DiscoveryResult& discovery,
+                            spf::Result spf_result,
+                            const dns::Name& spf_domain,
+                            const dns::Name& from_domain);
+
+// True when `authenticated` is aligned with `from_domain` under `alignment`
+// (strict: equal; relaxed: same organizational domain).
+bool aligned(const dns::Name& authenticated, const dns::Name& from_domain,
+             Alignment alignment);
+
+// Full RFC 7489 disposition with both authentication methods: DMARC passes
+// when EITHER an aligned SPF Pass or an aligned DKIM Pass exists.
+// `dkim_pass` / `dkim_domain` come from dkim::verify's Verification.
+Disposition disposition_for(const DiscoveryResult& discovery,
+                            spf::Result spf_result,
+                            const dns::Name& spf_domain, bool dkim_pass,
+                            const dns::Name& dkim_domain,
+                            const dns::Name& from_domain);
+
+}  // namespace spfail::dmarc

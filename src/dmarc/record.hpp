@@ -1,0 +1,54 @@
+// DMARC (RFC 7489) record model and parser.
+//
+// The paper's scanner publishes DMARC p=reject for its probe source domains
+// (§6.2) so that any probe mail surviving SPF evaluation is rejected outright
+// rather than delivered. This module provides the record machinery for that,
+// plus general policy discovery used by the mta policy layer.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace spfail::dmarc {
+
+enum class Policy { None, Quarantine, Reject };
+enum class Alignment { Relaxed, Strict };
+
+std::string to_string(Policy policy);
+std::string to_string(Alignment alignment);
+
+struct Record {
+  Policy policy = Policy::None;            // p=
+  std::optional<Policy> subdomain_policy;  // sp=
+  Alignment spf_alignment = Alignment::Relaxed;   // aspf=
+  Alignment dkim_alignment = Alignment::Relaxed;  // adkim=
+  int percent = 100;                       // pct=
+  std::string rua;                         // aggregate report URI
+  std::string ruf;                         // failure report URI
+
+  // The policy that applies to a subdomain of the publishing domain.
+  Policy effective_subdomain_policy() const {
+    return subdomain_policy.value_or(policy);
+  }
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+class RecordSyntaxError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// True if `txt` is a DMARC record ("v=DMARC1" version tag).
+bool looks_like_dmarc(std::string_view txt);
+
+// Parse "v=DMARC1; p=reject; ..." — tag-value list per RFC 7489 section 6.3.
+// Throws RecordSyntaxError for a missing/invalid p tag or malformed tags.
+Record parse_record(std::string_view txt);
+
+// Render back to canonical text.
+std::string to_text(const Record& record);
+
+}  // namespace spfail::dmarc

@@ -1,0 +1,35 @@
+#include "dns/forwarder.hpp"
+
+#include <algorithm>
+
+namespace spfail::dns {
+
+Message CachingForwarder::handle(const Message& query,
+                                 const util::IpAddress& client,
+                                 util::SimTime now) {
+  if (query.questions.size() != 1) {
+    return Message::make_response(query, Rcode::FormErr);
+  }
+  const Question& q = query.questions.front();
+  const auto key = std::make_pair(q.qname, q.qtype);
+
+  const auto it = cache_.find(key);
+  if (it != cache_.end() && it->second.expires > clock_.now()) {
+    ++cache_hits_;
+    Message response = it->second.response;
+    response.header.id = query.header.id;  // match the client's transaction
+    return response;
+  }
+
+  ++upstream_queries_;
+  const Message response = upstream_.handle(query, client, now);
+
+  util::SimTime ttl = 300;
+  for (const auto& rr : response.answers) {
+    ttl = std::min<util::SimTime>(ttl, rr.ttl);
+  }
+  cache_[key] = Entry{clock_.now() + ttl, response};
+  return response;
+}
+
+}  // namespace spfail::dns

@@ -1,0 +1,43 @@
+// A caching DNS forwarder: the "site recursive resolver" many MTAs share.
+//
+// It implements DnsService, so a simulated MailHost can be pointed at it
+// instead of directly at the authoritative server — queries it has seen
+// recently are answered from cache and never reach the authority. This is
+// precisely the measurement hazard §5.1's unique per-test labels neutralise,
+// and bench_ablation_labels quantifies it.
+#pragma once
+
+#include <map>
+
+#include "dns/server.hpp"
+#include "util/clock.hpp"
+
+namespace spfail::dns {
+
+class CachingForwarder : public DnsService {
+ public:
+  // `upstream` and `clock` must outlive the forwarder.
+  CachingForwarder(DnsService& upstream, const util::SimClock& clock)
+      : upstream_(upstream), clock_(clock) {}
+
+  Message handle(const Message& query, const util::IpAddress& client,
+                 util::SimTime now) override;
+
+  std::size_t cache_hits() const noexcept { return cache_hits_; }
+  std::size_t upstream_queries() const noexcept { return upstream_queries_; }
+  void flush() { cache_.clear(); }
+
+ private:
+  struct Entry {
+    util::SimTime expires = 0;
+    Message response;  // id is rewritten per client query
+  };
+
+  DnsService& upstream_;
+  const util::SimClock& clock_;
+  std::map<std::pair<Name, RRType>, Entry> cache_;
+  std::size_t cache_hits_ = 0;
+  std::size_t upstream_queries_ = 0;
+};
+
+}  // namespace spfail::dns

@@ -1,0 +1,81 @@
+// DNS message structure and RFC 1035 wire-format codec, including name
+// compression on encode and pointer-chase protection on decode.
+//
+// The simulation could pass Message objects around in memory, but encoding to
+// the real wire format (and decoding back) keeps the substrate honest: the
+// query log records exactly what would have crossed the network, byte for
+// byte, including erroneous names produced by vulnerable SPF expansions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dns/record.hpp"
+
+namespace spfail::dns {
+
+enum class Opcode : std::uint8_t { Query = 0, Status = 2 };
+
+enum class Rcode : std::uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NxDomain = 3,
+  NotImp = 4,
+  Refused = 5,
+};
+
+std::string to_string(Rcode rcode);
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  Opcode opcode = Opcode::Query;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = true;   // recursion desired
+  bool ra = false;  // recursion available
+  Rcode rcode = Rcode::NoError;
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+struct Question {
+  Name qname;
+  RRType qtype = RRType::A;
+  RRClass qclass = RRClass::IN;
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  friend bool operator==(const Message&, const Message&) = default;
+
+  static Message make_query(std::uint16_t id, const Name& qname, RRType qtype);
+  // A response skeleton echoing `query`'s id and question.
+  static Message make_response(const Message& query, Rcode rcode);
+};
+
+// Thrown for malformed wire data (truncation, bad pointers, length overruns).
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Encode to wire format. Applies name compression to owner names and to names
+// embedded in MX/CNAME/NS/SOA/PTR rdata (as RFC 1035 permits).
+std::vector<std::uint8_t> encode(const Message& message);
+
+// Decode from wire format; throws WireError on malformed input.
+Message decode(const std::vector<std::uint8_t>& wire);
+
+}  // namespace spfail::dns

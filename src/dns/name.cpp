@@ -1,0 +1,104 @@
+#include "dns/name.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace spfail::dns {
+
+namespace {
+
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxName = 253;  // presentation form, no trailing dot
+
+}  // namespace
+
+Name Name::from_string(std::string_view text) {
+  if (text == "." || text.empty()) return Name{};
+  if (text.back() == '.') text.remove_suffix(1);
+  if (text.size() > kMaxName) {
+    throw std::invalid_argument("Name: exceeds 253 octets: " +
+                                std::string(text.substr(0, 64)) + "...");
+  }
+  Name name;
+  for (auto& label : util::split(text, '.')) {
+    if (label.empty()) {
+      throw std::invalid_argument("Name: empty label in '" + std::string(text) +
+                                  "'");
+    }
+    if (label.size() > kMaxLabel) {
+      throw std::invalid_argument("Name: label exceeds 63 octets in '" +
+                                  std::string(text) + "'");
+    }
+    name.labels_.push_back(util::to_lower(label));
+  }
+  return name;
+}
+
+Name Name::lenient(std::string_view text) {
+  if (text == "." || text.empty()) return Name{};
+  if (text.back() == '.') text.remove_suffix(1);
+  Name name;
+  for (auto& label : util::split(text, '.')) {
+    // Keep empty or oversized labels verbatim; these names exist only to be
+    // observed and compared, never encoded to the wire.
+    name.labels_.push_back(util::to_lower(label));
+  }
+  return name;
+}
+
+std::string Name::to_string() const {
+  if (labels_.empty()) return ".";
+  return util::join(labels_, ".");
+}
+
+std::size_t Name::wire_length() const noexcept {
+  std::size_t len = 1;  // terminating root label
+  for (const auto& label : labels_) len += 1 + label.size();
+  return len;
+}
+
+Name Name::parent() const {
+  Name p;
+  if (labels_.size() > 1) {
+    p.labels_.assign(labels_.begin() + 1, labels_.end());
+  }
+  return p;
+}
+
+Name Name::child(std::string_view label) const {
+  Name c;
+  c.labels_.reserve(labels_.size() + 1);
+  c.labels_.push_back(util::to_lower(label));
+  c.labels_.insert(c.labels_.end(), labels_.begin(), labels_.end());
+  return c;
+}
+
+bool Name::is_subdomain_of(const Name& suffix) const noexcept {
+  if (suffix.labels_.size() > labels_.size()) return false;
+  const std::size_t offset = labels_.size() - suffix.labels_.size();
+  for (std::size_t i = 0; i < suffix.labels_.size(); ++i) {
+    if (labels_[offset + i] != suffix.labels_[i]) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> Name::labels_relative_to(const Name& suffix) const {
+  if (!is_subdomain_of(suffix)) {
+    throw std::invalid_argument("labels_relative_to: " + to_string() +
+                                " is not under " + suffix.to_string());
+  }
+  return {labels_.begin(),
+          labels_.end() - static_cast<std::ptrdiff_t>(suffix.labels_.size())};
+}
+
+std::string Name::tld() const {
+  return labels_.empty() ? std::string{} : labels_.back();
+}
+
+std::ostream& operator<<(std::ostream& os, const Name& name) {
+  return os << name.to_string();
+}
+
+}  // namespace spfail::dns

@@ -1,0 +1,67 @@
+// DNS domain names (RFC 1035 section 3.1).
+//
+// A Name is an ordered list of labels, most-specific first, always handled
+// case-insensitively (we canonicalise to lowercase at construction). The SPF
+// detection technique is entirely about *which names* arrive at the
+// authoritative server, so Name is the central currency of the measurement.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spfail::dns {
+
+class Name {
+ public:
+  Name() = default;
+
+  // Parse presentation format ("mail.example.com", trailing dot optional).
+  // Throws std::invalid_argument for names violating RFC 1035 length limits
+  // (label > 63 octets, total > 253 octets) or empty labels.
+  static Name from_string(std::string_view text);
+
+  // Like from_string but never throws: malformed names are preserved as an
+  // opaque single label so that *observed* erroneous queries (the whole point
+  // of the vulnerability fingerprint) can still be represented and compared.
+  static Name lenient(std::string_view text);
+
+  static Name root() { return Name{}; }
+
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+  bool empty() const noexcept { return labels_.empty(); }
+  std::size_t label_count() const noexcept { return labels_.size(); }
+
+  // Presentation form without trailing dot; "." for the root.
+  std::string to_string() const;
+
+  // Total wire length in octets (sum of 1+len per label, +1 for root).
+  std::size_t wire_length() const noexcept;
+
+  // The name with its first (leftmost) label removed; root stays root.
+  Name parent() const;
+
+  // child("mx1") of "example.com" is "mx1.example.com".
+  Name child(std::string_view label) const;
+
+  // True if this name equals `suffix` or ends with it ("a.b.com" under "b.com").
+  bool is_subdomain_of(const Name& suffix) const noexcept;
+
+  // Labels of *this* minus the trailing labels of `suffix`; only valid when
+  // is_subdomain_of(suffix).
+  std::vector<std::string> labels_relative_to(const Name& suffix) const;
+
+  // The rightmost label ("com" for "mail.example.com"), empty for root.
+  std::string tld() const;
+
+  friend auto operator<=>(const Name&, const Name&) = default;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Name& name);
+
+}  // namespace spfail::dns

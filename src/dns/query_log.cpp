@@ -1,0 +1,22 @@
+#include "dns/query_log.hpp"
+
+namespace spfail::dns {
+
+std::vector<QueryLogEntry> QueryLog::under(const Name& suffix) const {
+  std::vector<QueryLogEntry> out;
+  for (const auto& e : entries_) {
+    if (e.qname.is_subdomain_of(suffix)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<QueryLogEntry> QueryLog::matching(
+    const std::function<bool(const QueryLogEntry&)>& pred) const {
+  std::vector<QueryLogEntry> out;
+  for (const auto& e : entries_) {
+    if (pred(e)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace spfail::dns

@@ -1,0 +1,46 @@
+// The measurement instrument: a log of every query that reached the
+// authoritative server, annotated with arrival time and querying endpoint.
+//
+// The SPFail detection technique classifies an MTA purely from the names it
+// queries under the test domain, so everything downstream (scan::Classifier,
+// the behaviour census in Table 7) reads this log.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "util/clock.hpp"
+#include "util/ip.hpp"
+
+namespace spfail::dns {
+
+struct QueryLogEntry {
+  util::SimTime time = 0;
+  util::IpAddress client;
+  Name qname;
+  RRType qtype = RRType::A;
+};
+
+class QueryLog {
+ public:
+  void record(QueryLogEntry entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<QueryLogEntry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  // All entries whose qname falls under `suffix` (the scan module filters by
+  // its per-test unique label this way).
+  std::vector<QueryLogEntry> under(const Name& suffix) const;
+
+  // Entries matching an arbitrary predicate.
+  std::vector<QueryLogEntry> matching(
+      const std::function<bool(const QueryLogEntry&)>& pred) const;
+
+ private:
+  std::vector<QueryLogEntry> entries_;
+};
+
+}  // namespace spfail::dns

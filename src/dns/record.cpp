@@ -1,0 +1,74 @@
+#include "dns/record.hpp"
+
+#include <stdexcept>
+
+namespace spfail::dns {
+
+std::string to_string(RRType type) {
+  switch (type) {
+    case RRType::A:
+      return "A";
+    case RRType::NS:
+      return "NS";
+    case RRType::CNAME:
+      return "CNAME";
+    case RRType::SOA:
+      return "SOA";
+    case RRType::PTR:
+      return "PTR";
+    case RRType::MX:
+      return "MX";
+    case RRType::TXT:
+      return "TXT";
+    case RRType::AAAA:
+      return "AAAA";
+    case RRType::ANY:
+      return "ANY";
+  }
+  return "TYPE" + std::to_string(static_cast<int>(type));
+}
+
+std::string TxtRdata::joined() const {
+  std::string out;
+  for (const auto& s : strings) out += s;
+  return out;
+}
+
+TxtRdata TxtRdata::from_text(std::string_view text) {
+  TxtRdata rdata;
+  while (text.size() > 255) {
+    rdata.strings.emplace_back(text.substr(0, 255));
+    text.remove_prefix(255);
+  }
+  rdata.strings.emplace_back(text);
+  return rdata;
+}
+
+ResourceRecord ResourceRecord::a(const Name& name, util::IpAddress ip,
+                                 std::uint32_t ttl) {
+  if (!ip.is_v4()) throw std::invalid_argument("A record needs a v4 address");
+  return {name, RRType::A, RRClass::IN, ttl, ARdata{ip}};
+}
+
+ResourceRecord ResourceRecord::aaaa(const Name& name, util::IpAddress ip,
+                                    std::uint32_t ttl) {
+  if (!ip.is_v6()) throw std::invalid_argument("AAAA record needs a v6 address");
+  return {name, RRType::AAAA, RRClass::IN, ttl, AaaaRdata{ip}};
+}
+
+ResourceRecord ResourceRecord::mx(const Name& name, std::uint16_t pref,
+                                  const Name& exchange, std::uint32_t ttl) {
+  return {name, RRType::MX, RRClass::IN, ttl, MxRdata{pref, exchange}};
+}
+
+ResourceRecord ResourceRecord::txt(const Name& name, std::string_view text,
+                                   std::uint32_t ttl) {
+  return {name, RRType::TXT, RRClass::IN, ttl, TxtRdata::from_text(text)};
+}
+
+ResourceRecord ResourceRecord::cname(const Name& name, const Name& target,
+                                     std::uint32_t ttl) {
+  return {name, RRType::CNAME, RRClass::IN, ttl, CnameRdata{target}};
+}
+
+}  // namespace spfail::dns

@@ -1,0 +1,94 @@
+#include "dns/recursive.hpp"
+
+#include <algorithm>
+
+namespace spfail::dns {
+
+void NameServerRegistry::add(const Name& nameserver,
+                             AuthoritativeServer& server) {
+  servers_[nameserver] = &server;
+}
+
+AuthoritativeServer* NameServerRegistry::find(const Name& nameserver) const {
+  const auto it = servers_.find(nameserver);
+  return it == servers_.end() ? nullptr : it->second;
+}
+
+RecursiveResolver::RecursiveResolver(const NameServerRegistry& registry,
+                                     const Name& root_nameserver,
+                                     const util::SimClock& clock,
+                                     util::IpAddress client_address)
+    : registry_(registry),
+      root_(root_nameserver),
+      clock_(clock),
+      client_(std::move(client_address)) {}
+
+ResolveResult RecursiveResolver::resolve(const Name& qname, RRType qtype) {
+  const auto cache_key = std::make_pair(qname, qtype);
+  const auto cached = answer_cache_.find(cache_key);
+  if (cached != answer_cache_.end() && cached->second.expires > clock_.now()) {
+    ++stats_.cache_hits;
+    ++stats_.answers_from_cache;
+    return cached->second.result;
+  }
+
+  // Start at the deepest delegation we already know about.
+  Name current_server = root_;
+  {
+    Name probe = qname;
+    while (!probe.empty()) {
+      const auto known = delegation_cache_.find(probe);
+      if (known != delegation_cache_.end()) {
+        current_server = known->second;
+        ++stats_.cache_hits;
+        break;
+      }
+      probe = probe.parent();
+    }
+  }
+
+  ResolveResult result;
+  result.rcode = Rcode::ServFail;
+  constexpr int kMaxHops = 16;
+  for (int hop = 0; hop < kMaxHops; ++hop) {
+    AuthoritativeServer* server = registry_.find(current_server);
+    if (server == nullptr) return result;  // unreachable nameserver
+
+    ++stats_.queries_sent;
+    const Message query = Message::make_query(next_id_++, qname, qtype);
+    const Message response =
+        server->handle(decode(encode(query)), client_, clock_.now());
+
+    if (response.header.aa ||
+        response.header.rcode != Rcode::NoError ||
+        !response.answers.empty()) {
+      // Authoritative data (or a terminal error): done.
+      result.rcode = response.header.rcode;
+      result.answers = response.answers;
+      util::SimTime ttl = 300;
+      for (const auto& rr : result.answers) {
+        ttl = std::min<util::SimTime>(ttl, rr.ttl);
+      }
+      answer_cache_[cache_key] = CachedAnswer{clock_.now() + ttl, result};
+      return result;
+    }
+
+    // Referral: follow the first NS whose server we can reach.
+    ++stats_.referrals;
+    bool followed = false;
+    for (const auto& ns : response.authorities) {
+      const auto* rdata = std::get_if<NsRdata>(&ns.rdata);
+      if (rdata == nullptr) continue;
+      if (registry_.find(rdata->nameserver) == nullptr) continue;
+      if (rdata->nameserver == current_server) continue;  // lame loop guard
+      delegation_cache_[ns.name] = rdata->nameserver;
+      current_server = rdata->nameserver;
+      followed = true;
+      break;
+    }
+    if (!followed) return result;  // dead-end referral
+  }
+  return result;  // too many hops
+}
+
+}  // namespace spfail::dns

@@ -1,0 +1,74 @@
+// Iterative (recursive-resolver) DNS resolution over a simulated namespace
+// of delegating authoritative servers.
+//
+// The StubResolver talks to a single all-knowing authority — fine for the
+// measurement study, whose instrument *is* that authority's log. This module
+// models the fuller picture the paper's methodology reasons about (§5.1's
+// cache-busting labels exist because of resolvers like this one): a root
+// server delegates to TLD servers, which delegate to leaf zones; the
+// RecursiveResolver chases referrals and caches what it learns.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "dns/resolver.hpp"
+#include "dns/server.hpp"
+#include "util/clock.hpp"
+
+namespace spfail::dns {
+
+// The simulated server-side namespace: authoritative servers addressable by
+// nameserver hostname (glue resolution is by name, not IP, for simplicity —
+// the referral-chasing logic is identical).
+class NameServerRegistry {
+ public:
+  // Register `server` as authoritative, reachable as `nameserver`.
+  void add(const Name& nameserver, AuthoritativeServer& server);
+
+  AuthoritativeServer* find(const Name& nameserver) const;
+
+ private:
+  std::map<Name, AuthoritativeServer*> servers_;
+};
+
+struct RecursiveStats {
+  std::size_t queries_sent = 0;    // messages to authoritative servers
+  std::size_t referrals = 0;       // delegation hops followed
+  std::size_t cache_hits = 0;
+  std::size_t answers_from_cache = 0;
+};
+
+class RecursiveResolver {
+ public:
+  // `root_nameserver` must be registered in `registry`; both must outlive
+  // the resolver.
+  RecursiveResolver(const NameServerRegistry& registry,
+                    const Name& root_nameserver, const util::SimClock& clock,
+                    util::IpAddress client_address);
+
+  // Resolve iteratively from the root, following referrals. Rcode::ServFail
+  // on a broken delegation (lame, looping, or unreachable nameserver).
+  ResolveResult resolve(const Name& qname, RRType qtype);
+
+  const RecursiveStats& stats() const noexcept { return stats_; }
+  void flush_cache() { answer_cache_.clear(); delegation_cache_.clear(); }
+
+ private:
+  struct CachedAnswer {
+    util::SimTime expires = 0;
+    ResolveResult result;
+  };
+
+  const NameServerRegistry& registry_;
+  Name root_;
+  const util::SimClock& clock_;
+  util::IpAddress client_;
+  std::uint16_t next_id_ = 1;
+  RecursiveStats stats_;
+  std::map<std::pair<Name, RRType>, CachedAnswer> answer_cache_;
+  // Learned delegations: zone apex -> nameserver host.
+  std::map<Name, Name> delegation_cache_;
+};
+
+}  // namespace spfail::dns

@@ -1,0 +1,83 @@
+#include "dns/resolver.hpp"
+
+#include <algorithm>
+
+namespace spfail::dns {
+
+namespace {
+
+constexpr util::SimTime kNegativeTtl = 300;
+
+}  // namespace
+
+ResolveResult StubResolver::query(const Name& qname, RRType qtype) {
+  const auto key = std::make_pair(qname, qtype);
+  if (cache_enabled_) {
+    const auto it = cache_.find(key);
+    if (it != cache_.end() && it->second.expires > clock_.now()) {
+      ++cache_hits_;
+      return it->second.result;
+    }
+  }
+  ++cache_misses_;
+
+  // Round-trip through the wire codec so the substrate sees real messages.
+  const Message query_msg = Message::make_query(next_id_++, qname, qtype);
+  const std::vector<std::uint8_t> wire = encode(query_msg);
+  const Message parsed_query = decode(wire);
+  const Message response =
+      service_.handle(parsed_query, client_, clock_.now());
+
+  ResolveResult result;
+  result.rcode = response.header.rcode;
+  result.answers = response.answers;
+
+  if (cache_enabled_) {
+    util::SimTime ttl = kNegativeTtl;
+    for (const auto& rr : result.answers) {
+      ttl = std::min<util::SimTime>(ttl, rr.ttl);
+    }
+    cache_[key] = CacheEntry{clock_.now() + ttl, result};
+  }
+  return result;
+}
+
+std::vector<util::IpAddress> StubResolver::addresses(const Name& qname) {
+  std::vector<util::IpAddress> out;
+  for (const RRType type : {RRType::A, RRType::AAAA}) {
+    const ResolveResult result = query(qname, type);
+    for (const auto& rr : result.answers) {
+      if (const auto* a = std::get_if<ARdata>(&rr.rdata)) {
+        out.push_back(a->address);
+      } else if (const auto* aaaa = std::get_if<AaaaRdata>(&rr.rdata)) {
+        out.push_back(aaaa->address);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<MxRdata> StubResolver::mx(const Name& qname) {
+  std::vector<MxRdata> out;
+  const ResolveResult result = query(qname, RRType::MX);
+  for (const auto& rr : result.answers) {
+    if (const auto* mx = std::get_if<MxRdata>(&rr.rdata)) out.push_back(*mx);
+  }
+  std::sort(out.begin(), out.end(), [](const MxRdata& a, const MxRdata& b) {
+    return a.preference < b.preference;
+  });
+  return out;
+}
+
+std::vector<std::string> StubResolver::txt(const Name& qname) {
+  std::vector<std::string> out;
+  const ResolveResult result = query(qname, RRType::TXT);
+  for (const auto& rr : result.answers) {
+    if (const auto* txt = std::get_if<TxtRdata>(&rr.rdata)) {
+      out.push_back(txt->joined());
+    }
+  }
+  return out;
+}
+
+}  // namespace spfail::dns

@@ -1,0 +1,92 @@
+#include "dns/zone.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spfail::dns {
+
+void Zone::add(ResourceRecord record) {
+  if (!record.name.is_subdomain_of(origin_)) {
+    throw std::invalid_argument("Zone::add: " + record.name.to_string() +
+                                " is outside zone " + origin_.to_string());
+  }
+  records_[record.name].push_back(std::move(record));
+}
+
+void Zone::remove_all(const Name& name) { records_.erase(name); }
+
+void Zone::remove(const Name& name, RRType type) {
+  const auto it = records_.find(name);
+  if (it == records_.end()) return;
+  auto& rrs = it->second;
+  rrs.erase(std::remove_if(rrs.begin(), rrs.end(),
+                           [&](const ResourceRecord& rr) {
+                             return rr.type == type;
+                           }),
+            rrs.end());
+  if (rrs.empty()) records_.erase(it);
+}
+
+std::size_t Zone::record_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [name, rrs] : records_) n += rrs.size();
+  return n;
+}
+
+std::optional<std::vector<ResourceRecord>> Zone::delegation_for(
+    const Name& qname) const {
+  // Walk the suffixes of qname from most- to least-specific, stopping at the
+  // origin (NS at the origin are the zone's own servers, not a delegation).
+  Name candidate = qname;
+  while (candidate.label_count() > origin_.label_count()) {
+    const auto it = records_.find(candidate);
+    if (it != records_.end()) {
+      std::vector<ResourceRecord> ns_records;
+      for (const auto& rr : it->second) {
+        if (rr.type == RRType::NS) ns_records.push_back(rr);
+      }
+      if (!ns_records.empty()) return ns_records;
+    }
+    candidate = candidate.parent();
+  }
+  return std::nullopt;
+}
+
+LookupResult Zone::lookup(const Name& qname, RRType qtype) const {
+  LookupResult result;
+  const auto it = records_.find(qname);
+  if (it == records_.end()) {
+    result.status = LookupResult::Status::NxDomain;
+    return result;
+  }
+
+  // Collect matches; ANY returns everything at the node.
+  const ResourceRecord* cname = nullptr;
+  for (const auto& rr : it->second) {
+    if (qtype == RRType::ANY || rr.type == qtype) {
+      result.records.push_back(rr);
+    } else if (rr.type == RRType::CNAME) {
+      cname = &rr;
+    }
+  }
+  if (!result.records.empty()) {
+    result.status = LookupResult::Status::Success;
+    return result;
+  }
+  if (cname != nullptr) {
+    // Chase one level inside the zone; external targets are left for the
+    // resolver to follow.
+    result.records.push_back(*cname);
+    const Name& target = std::get<CnameRdata>(cname->rdata).target;
+    if (target.is_subdomain_of(origin_) && target != qname) {
+      LookupResult chased = lookup(target, qtype);
+      for (auto& rr : chased.records) result.records.push_back(std::move(rr));
+    }
+    result.status = LookupResult::Status::Success;
+    return result;
+  }
+  result.status = LookupResult::Status::NoData;
+  return result;
+}
+
+}  // namespace spfail::dns

@@ -1,0 +1,50 @@
+// In-memory zone storage with exact-match lookup and CNAME awareness.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/record.hpp"
+
+namespace spfail::dns {
+
+struct LookupResult {
+  enum class Status {
+    Success,   // one or more records of the requested type
+    NoData,    // name exists, but not with that type
+    NxDomain,  // name does not exist in the zone
+  };
+  Status status = Status::NxDomain;
+  std::vector<ResourceRecord> records;  // answers, including CNAME chain
+};
+
+class Zone {
+ public:
+  explicit Zone(Name origin) : origin_(std::move(origin)) {}
+
+  const Name& origin() const noexcept { return origin_; }
+
+  // Throws std::invalid_argument if the record's owner is outside the zone.
+  void add(ResourceRecord record);
+  void remove_all(const Name& name);
+  void remove(const Name& name, RRType type);
+
+  bool contains(const Name& name) const noexcept { return records_.count(name) > 0; }
+  std::size_t record_count() const noexcept;
+
+  // Exact-name lookup with single-level CNAME chasing inside the zone.
+  LookupResult lookup(const Name& qname, RRType qtype) const;
+
+  // If `qname` sits at or below a delegation point inside this zone (a name
+  // other than the origin holding NS records), return those NS records —
+  // the referral an authoritative server answers with.
+  std::optional<std::vector<ResourceRecord>> delegation_for(
+      const Name& qname) const;
+
+ private:
+  Name origin_;
+  std::map<Name, std::vector<ResourceRecord>> records_;
+};
+
+}  // namespace spfail::dns

@@ -1,0 +1,35 @@
+// RFC 1035 master-file parser (a practical subset).
+//
+// Supports: $ORIGIN and $TTL directives; '@' for the origin; relative and
+// absolute owner names; blank-owner continuation (reuse the previous owner);
+// ';' comments; quoted (and multi-) character-strings for TXT; the record
+// types the library models (A, AAAA, MX, TXT, CNAME, NS, PTR, SOA).
+// Not supported: parentheses line continuation, $INCLUDE, \-escapes.
+//
+// This is how examples and tests express zones without building records by
+// hand, e.g.:
+//
+//   $ORIGIN example.com.
+//   $TTL 300
+//   @        IN TXT   "v=spf1 mx -all"
+//   @        IN MX 10 mx1
+//   mx1      IN A     192.0.2.25
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+
+#include "dns/zone.hpp"
+
+namespace spfail::dns {
+
+class ZoneFileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Parse the zone text. `default_origin` applies until a $ORIGIN directive.
+// Throws ZoneFileError with a line number on malformed input.
+Zone parse_zone_text(std::string_view text, const Name& default_origin);
+
+}  // namespace spfail::dns

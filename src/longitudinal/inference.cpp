@@ -1,0 +1,101 @@
+#include "longitudinal/inference.hpp"
+
+#include <stdexcept>
+
+namespace spfail::longitudinal {
+
+bool is_vulnerable(InferredState state) {
+  return state == InferredState::MeasuredVulnerable ||
+         state == InferredState::InferredVulnerable;
+}
+
+bool is_patched(InferredState state) {
+  return state == InferredState::MeasuredPatched ||
+         state == InferredState::InferredPatched;
+}
+
+bool is_conclusive_or_inferred(InferredState state) {
+  return state != InferredState::Unknown;
+}
+
+std::vector<InferredState> infer(const Series& series) {
+  std::vector<InferredState> out(series.size(), InferredState::Unknown);
+
+  // Direct measurements first.
+  std::optional<std::size_t> last_vulnerable;
+  std::optional<std::size_t> first_patched;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    switch (series[i]) {
+      case Observation::Vulnerable:
+        out[i] = InferredState::MeasuredVulnerable;
+        last_vulnerable = i;
+        break;
+      case Observation::Compliant:
+        out[i] = InferredState::MeasuredPatched;
+        if (!first_patched.has_value()) first_patched = i;
+        break;
+      case Observation::Inconclusive:
+        break;
+    }
+  }
+
+  // Rule 1: vulnerable back-fills from the beginning to the last vulnerable
+  // measurement.
+  if (last_vulnerable.has_value()) {
+    for (std::size_t i = 0; i < *last_vulnerable; ++i) {
+      if (out[i] == InferredState::Unknown) {
+        out[i] = InferredState::InferredVulnerable;
+      }
+    }
+  }
+  // Rule 2: patched forward-fills from the first patched measurement to the
+  // end.
+  if (first_patched.has_value()) {
+    for (std::size_t i = *first_patched + 1; i < series.size(); ++i) {
+      if (out[i] == InferredState::Unknown) {
+        out[i] = InferredState::InferredPatched;
+      }
+    }
+  }
+  return out;
+}
+
+void InferenceTable::set_series(const util::IpAddress& address, Series series) {
+  if (rounds_ == 0) {
+    rounds_ = series.size();
+  } else if (series.size() != rounds_) {
+    throw std::invalid_argument("InferenceTable: inconsistent round count");
+  }
+  inferred_[address] = infer(series);
+}
+
+const std::vector<InferredState>& InferenceTable::states(
+    const util::IpAddress& address) const {
+  return inferred_.at(address);
+}
+
+InferenceTable::RoundCounts InferenceTable::counts_at(std::size_t round) const {
+  RoundCounts counts;
+  for (const auto& [address, states] : inferred_) {
+    switch (states.at(round)) {
+      case InferredState::MeasuredVulnerable:
+        ++counts.measured_vulnerable;
+        break;
+      case InferredState::MeasuredPatched:
+        ++counts.measured_patched;
+        break;
+      case InferredState::InferredVulnerable:
+        ++counts.inferred_vulnerable;
+        break;
+      case InferredState::InferredPatched:
+        ++counts.inferred_patched;
+        break;
+      case InferredState::Unknown:
+        ++counts.unknown;
+        break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace spfail::longitudinal

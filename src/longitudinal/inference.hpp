@@ -1,0 +1,83 @@
+// The §7.6 inference rules over longitudinal observations.
+//
+// Not every address yields a conclusive result in every round. The paper
+// fills gaps with two monotonicity rules grounded in the assumption that MTAs
+// do not regress after patching:
+//   1. an address measured VULNERABLE at time T is inferred vulnerable for
+//      every round from the beginning of measurements through T;
+//   2. an address measured PATCHED (compliant) at time T is inferred patched
+//      for every round from T through the end of measurements.
+// Rounds outside both spans stay INCONCLUSIVE.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/ip.hpp"
+
+namespace spfail::longitudinal {
+
+enum class Observation {
+  Vulnerable,    // conclusive: fingerprint seen
+  Compliant,     // conclusive: RFC-compliant expansion seen (i.e. patched)
+  Inconclusive,  // no conclusive result this round
+};
+
+enum class InferredState {
+  MeasuredVulnerable,
+  MeasuredPatched,
+  InferredVulnerable,  // gap filled by rule 1
+  InferredPatched,     // gap filled by rule 2
+  Unknown,             // outside both inference spans
+};
+
+bool is_vulnerable(InferredState state);
+bool is_patched(InferredState state);
+bool is_conclusive_or_inferred(InferredState state);
+
+// One address's observation series, indexed by round.
+using Series = std::vector<Observation>;
+
+// Apply the two rules to one series. The output has the same length.
+std::vector<InferredState> infer(const Series& series);
+
+// A convenience aggregate over many addresses.
+class InferenceTable {
+ public:
+  void set_series(const util::IpAddress& address, Series series);
+  const std::vector<InferredState>& states(const util::IpAddress& address) const;
+
+  std::size_t rounds() const noexcept { return rounds_; }
+  std::size_t addresses() const noexcept { return inferred_.size(); }
+
+  // Counts at one round index across all addresses.
+  struct RoundCounts {
+    std::size_t measured_vulnerable = 0;
+    std::size_t measured_patched = 0;
+    std::size_t inferred_vulnerable = 0;
+    std::size_t inferred_patched = 0;
+    std::size_t unknown = 0;
+
+    std::size_t measured() const {
+      return measured_vulnerable + measured_patched;
+    }
+    std::size_t inferable() const {
+      return measured() + inferred_vulnerable + inferred_patched;
+    }
+    std::size_t vulnerable() const {
+      return measured_vulnerable + inferred_vulnerable;
+    }
+    std::size_t patched() const {
+      return measured_patched + inferred_patched;
+    }
+  };
+  RoundCounts counts_at(std::size_t round) const;
+
+ private:
+  std::size_t rounds_ = 0;
+  std::map<util::IpAddress, std::vector<InferredState>> inferred_;
+};
+
+}  // namespace spfail::longitudinal

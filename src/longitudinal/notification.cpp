@@ -1,0 +1,112 @@
+#include "longitudinal/notification.hpp"
+
+#include <stdexcept>
+
+namespace spfail::longitudinal {
+
+void NotificationCampaign::add_domain(
+    const std::string& domain,
+    const std::vector<util::IpAddress>& vulnerable_addresses) {
+  if (sent_) throw std::logic_error("NotificationCampaign: already sent");
+  if (vulnerable_addresses.empty()) return;
+
+  const util::IpAddress& key = vulnerable_addresses.front();
+  const auto it = group_by_first_address_.find(key);
+  if (it != group_by_first_address_.end()) {
+    NotificationGroup& group = groups_[it->second];
+    group.covered_domains.push_back(domain);
+    for (const auto& address : vulnerable_addresses) {
+      group.addresses.push_back(address);
+    }
+    return;
+  }
+
+  NotificationGroup group;
+  group.recipient_domain = domain;
+  group.covered_domains = {domain};
+  group.addresses = vulnerable_addresses;
+  group.tracking_token = rng_.token(16);
+  group_by_first_address_.emplace(key, groups_.size());
+  groups_.push_back(std::move(group));
+}
+
+void NotificationCampaign::send() {
+  if (sent_) throw std::logic_error("NotificationCampaign: already sent");
+  sent_ = true;
+  for (auto& group : groups_) {
+    group.delivered = !rng_.bernoulli(config_.bounce_rate);
+    if (group.delivered && rng_.bernoulli(config_.open_rate)) {
+      group.opened = true;
+      group.opened_at =
+          config_.send_time +
+          static_cast<util::SimTime>(
+              rng_.exponential(1.0 / static_cast<double>(config_.mean_open_delay)));
+      for (const auto& address : group.addresses) {
+        opened_by_address_[address] = true;
+      }
+    }
+  }
+}
+
+NotificationStats NotificationCampaign::stats() const {
+  NotificationStats stats;
+  stats.sent = groups_.size();
+  for (const auto& group : groups_) {
+    if (!group.delivered) {
+      ++stats.bounced;
+    } else {
+      ++stats.delivered;
+      if (group.opened) ++stats.opened;
+    }
+  }
+  return stats;
+}
+
+bool NotificationCampaign::address_operator_opened(
+    const util::IpAddress& address) const {
+  const auto it = opened_by_address_.find(address);
+  return it != opened_by_address_.end() && it->second;
+}
+
+mail::Message NotificationCampaign::render_email(
+    const NotificationGroup& group, const NotificationConfig& config) {
+  mail::Message message;
+  message.add_header("From",
+                     "SPF Security Research <research@notify.dns-lab.org>");
+  message.add_header("To", "postmaster@" + group.recipient_domain);
+  message.add_header(
+      "Subject",
+      "Security notice: vulnerable libSPF2 on your mail infrastructure");
+  message.add_header("Date", util::format_datetime(config.send_time) + " UTC");
+  message.add_header("MIME-Version", "1.0");
+
+  std::string body;
+  body += "Dear postmaster,\n\n";
+  body +=
+      "During a research measurement we remotely detected that the mail\n"
+      "server(s) handling the following domain(s) validate SPF with a\n"
+      "version of libSPF2 vulnerable to two critical heap overflows\n"
+      "(CVSS 9.8), to be published as CVE-2021-33912 and CVE-2021-33913:\n\n";
+  for (const auto& domain : group.covered_domains) {
+    body += "    " + domain + "\n";
+  }
+  body += "\nAffected server address(es):\n\n";
+  for (const auto& address : group.addresses) {
+    body += "    " + address.to_string() + "\n";
+  }
+  body +=
+      "\nRemediation: upgrade libSPF2 to a build including the upstream\n"
+      "fixes, or switch to another SPF validation library. Public\n"
+      "disclosure is scheduled for 2022-01-19.\n\n"
+      "The detection is based solely on the DNS queries your server issued\n"
+      "while validating a probe message; no exploit was attempted.\n\n"
+      "-- SPFail research team\n\n"
+      "[html-part]\n"
+      "<p>Plain-text content as above.</p>\n"
+      "<img src=\"https://notify.dns-lab.org/pixel/" + group.tracking_token +
+      ".png\" width=\"1\" height=\"1\" alt=\"\"/>\n";
+  message.set_body(std::move(body));
+  return message;
+}
+
+}  // namespace spfail::longitudinal

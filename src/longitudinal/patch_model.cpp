@@ -1,0 +1,107 @@
+#include "longitudinal/patch_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "population/paper_constants.hpp"
+#include "population/tld.hpp"
+
+namespace spfail::longitudinal {
+
+namespace {
+
+namespace paper = population::paper;
+
+// Domain-level Table 5 rates convert to a *dedicated-address* rate; together
+// with the hosted-count damping below, the mix solves to the paper's joint
+// 24%-of-addresses / 13%-of-domains patch rates (derivation in DESIGN.md).
+double address_rate_from_domain_rate(double domain_rate) {
+  if (domain_rate <= 0.0) return 0.0;
+  return std::min(0.97, std::pow(domain_rate, 1.0 / 1.8));
+}
+
+}  // namespace
+
+PatchDecision PatchModel::decide(const PatchContext& context) {
+  PatchDecision decision;
+  if (context.named_top_provider) return decision;  // §7.5: none patched
+
+  const auto tld_profile = population::find_tld(context.tld);
+
+  double probability = config_.default_address_patch_rate;
+  double domain_rate_target = 0.15;  // the global ~15% domain patch rate
+  double window1_share = context.in_mx_set ? config_.mx_window1_share
+                                           : config_.alexa_window1_share;
+  if (tld_profile.has_value()) {
+    probability = address_rate_from_domain_rate(tld_profile->patch_rate);
+    domain_rate_target = tld_profile->patch_rate;
+    window1_share = tld_profile->window1_share;
+  }
+  // Fig 6: the 2-Week MX cohort front-loaded its patching (operationally
+  // attentive university-adjacent domains), whatever the TLD.
+  if (context.in_mx_set) {
+    window1_share = std::max(window1_share, config_.mx_window1_share);
+  }
+  if (context.provider_pool) probability *= config_.provider_pool_multiplier;
+  if (context.domains_hosted > 1) {
+    // Shared-hosting inattention damps patching — except where the TLD's
+    // operator community patched aggressively (.za's hosting providers
+    // patched country-wide in October), so the damping fades as the TLD's
+    // domain-level patch target rises.
+    const double exponent =
+        config_.hosted_damping_exponent * (1.0 - domain_rate_target);
+    probability *= std::pow(static_cast<double>(context.domains_hosted),
+                            -exponent);
+  }
+  // The 2-Week MX capture is the university's live correspondents —
+  // operationally attentive organisations whose patch rate floors above the
+  // shared-hosting damping (Fig 6's 10% window-1 decline needs this).
+  if (context.in_mx_set) {
+    probability = std::max(probability, config_.mx_patch_floor);
+  }
+  if (context.notification_opened) {
+    probability = std::max(probability, config_.opened_floor);
+  }
+
+  if (!rng_.bernoulli(probability)) return decision;
+  decision.will_patch = true;
+
+  const double between_share = context.notification_opened
+                                   ? config_.opened_between_share
+                                   : config_.between_share;
+  const double draw = rng_.uniform01();
+  if (draw < window1_share) {
+    // Pre-disclosure patching: proactive package monitoring; spread across
+    // the first measurement window.
+    decision.patch_time = paper::kInitialMeasurement + util::kDay +
+                          static_cast<util::SimTime>(
+                              rng_.uniform01() *
+                              static_cast<double>(paper::kMeasurementsPaused -
+                                                  5 * util::kDay -
+                                                  paper::kInitialMeasurement));
+  } else if (draw < window1_share + between_share) {
+    // Between private notification and public disclosure — rare (§7.7).
+    const util::SimTime lo = paper::kPrivateNotification + util::kDay;
+    const util::SimTime hi = paper::kPublicDisclosure - util::kDay;
+    decision.patch_time =
+        lo + static_cast<util::SimTime>(rng_.uniform01() *
+                                        static_cast<double>(hi - lo));
+  } else {
+    // Post-disclosure: CVE publication + distribution (Debian) uptake.
+    const util::SimTime raw =
+        paper::kPublicDisclosure + util::kDay +
+        static_cast<util::SimTime>(rng_.exponential(
+            1.0 / static_cast<double>(config_.post_disclosure_mean)));
+    decision.patch_time =
+        std::min(raw, paper::kFinalMeasurement - util::kDay);
+  }
+  // An operator cannot react to a notification before opening it.
+  if (context.notification_opened &&
+      decision.patch_time > paper::kPrivateNotification &&
+      decision.patch_time < context.opened_at) {
+    decision.patch_time = context.opened_at + util::kDay;
+  }
+  return decision;
+}
+
+}  // namespace spfail::longitudinal

@@ -1,0 +1,57 @@
+#include "longitudinal/pkgmgr.hpp"
+
+#include <array>
+
+namespace spfail::longitudinal {
+
+namespace {
+
+constexpr std::optional<util::SimTime> none = std::nullopt;
+
+// Table 6 verbatim. (The paper prints the Debian 33912 date as
+// "2021-01-20" — an obvious typo for 2022-01-20, one day after disclosure.)
+const std::array<PackageManagerRecord, 9> kTable = {{
+    {"Debian", util::at_midnight(2021, 8, 11), util::at_midnight(2022, 1, 20),
+     false, true},
+    {"Alpine", util::at_midnight(2021, 8, 11), util::at_midnight(2022, 3, 11),
+     false, true},
+    {"RedHat", util::at_midnight(2021, 9, 22), util::at_midnight(2021, 9, 22),
+     true, true},
+    {"Gentoo", util::at_midnight(2021, 10, 25), util::at_midnight(2021, 10, 25),
+     true, true},
+    {"Arch Linux", util::at_midnight(2021, 11, 22),
+     util::at_midnight(2021, 11, 22), true, true},
+    {"Ubuntu", none, none, false, true},
+    {"FreeBSD Ports", none, none, false, true},
+    {"NetBSD", none, none, false, true},
+    {"SUSE Hub", none, none, false, true},
+}};
+
+}  // namespace
+
+std::span<const PackageManagerRecord> package_manager_table() { return kTable; }
+
+std::string patch_latency_cell(const PackageManagerRecord& record,
+                               bool for_33912) {
+  const util::SimTime disclosure =
+      for_33912 ? kCve33912Disclosure : kCve20314Disclosure;
+  const auto& patched = for_33912 ? record.patched_33912 : record.patched_20314;
+  if (!patched.has_value()) {
+    const auto days = (kTableCutoff - disclosure) / util::kDay / 10 * 10;
+    return std::to_string(days) + "+ (Unpatched)";
+  }
+  // A fix bundled with the earlier CVE's update counts as zero days —
+  // it shipped *before* this CVE's disclosure.
+  const util::SimTime effective = *patched;
+  long long days = (effective - disclosure) / util::kDay;
+  std::string suffix;
+  if (for_33912 && record.fix_bundled_with_earlier) {
+    days = 0;
+    suffix = "*";
+  }
+  if (days < 0) days = 0;
+  return std::to_string(days) + suffix + " (" + util::format_date(effective) +
+         ")";
+}
+
+}  // namespace spfail::longitudinal

@@ -1,0 +1,45 @@
+// Package-manager response timeline (paper §7.8, Table 6).
+//
+// Two reference CVEs: CVE-2021-20314 (Jeitner et al.'s stack overflow,
+// disclosed 2021-08-11) and CVE-2021-33912/33913 (this paper's heap
+// overflows, disclosed 2022-01-19). Several package managers picked up the
+// authors' fixes while packaging the *earlier* CVE's patch, which Table 6
+// marks with an asterisk ("0*").
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/clock.hpp"
+
+namespace spfail::longitudinal {
+
+inline constexpr util::SimTime kCve20314Disclosure =
+    util::at_midnight(2021, 8, 11);
+inline constexpr util::SimTime kCve33912Disclosure =
+    util::at_midnight(2022, 1, 19);
+// The study window ends 2022-02-14; Table 6 renders still-unpatched entries
+// as "N+ (Unpatched)" relative to each disclosure.
+inline constexpr util::SimTime kTableCutoff = util::at_midnight(2022, 3, 30);
+
+struct PackageManagerRecord {
+  std::string_view name;
+  std::optional<util::SimTime> patched_20314;
+  std::optional<util::SimTime> patched_33912;
+  // The 33912/13 fix shipped inside the 20314 package update (the "0*" rows).
+  bool fix_bundled_with_earlier = false;
+  // Whether the libSPF2 package had an assigned maintainer (§7.8: mostly
+  // orphaned, a likely factor in never-patched rows).
+  bool package_orphaned = true;
+};
+
+std::span<const PackageManagerRecord> package_manager_table();
+
+// Render one Table 6 cell: "0 (2021-08-11)", "42 (2021-09-22)",
+// "0* (2021-09-22)", or "230+ (Unpatched)".
+std::string patch_latency_cell(const PackageManagerRecord& record,
+                               bool for_33912);
+
+}  // namespace spfail::longitudinal

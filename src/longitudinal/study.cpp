@@ -1,0 +1,380 @@
+#include "longitudinal/study.hpp"
+
+#include <algorithm>
+
+#include "population/paper_constants.hpp"
+#include "scan/prober.hpp"
+
+namespace spfail::longitudinal {
+
+namespace {
+
+namespace paper = population::paper;
+
+std::vector<util::SimTime> measurement_round_times() {
+  std::vector<util::SimTime> times;
+  for (util::SimTime t = paper::kLongitudinalStart;
+       t <= paper::kMeasurementsPaused; t += paper::kMeasurementCadence) {
+    times.push_back(t);
+  }
+  for (util::SimTime t = paper::kMeasurementsResumed;
+       t <= paper::kFinalMeasurement; t += paper::kMeasurementCadence) {
+    times.push_back(t);
+  }
+  return times;
+}
+
+}  // namespace
+
+std::string to_string(Cohort cohort) {
+  switch (cohort) {
+    case Cohort::All:
+      return "All domains";
+    case Cohort::AlexaTopList:
+      return "Alexa Top List";
+    case Cohort::Alexa1000:
+      return "Alexa Top 1000";
+    case Cohort::TwoWeekMx:
+      return "2-Week MX";
+  }
+  return "?";
+}
+
+Study::Study(population::Fleet& fleet, StudyConfig config)
+    : fleet_(fleet), config_(config) {}
+
+bool Study::in_cohort(const population::DomainRecord& domain, Cohort cohort) {
+  switch (cohort) {
+    case Cohort::All:
+      return true;
+    case Cohort::AlexaTopList:
+      return domain.in_alexa;
+    case Cohort::Alexa1000:
+      return domain.in_alexa1000;
+    case Cohort::TwoWeekMx:
+      return domain.in_mx;
+  }
+  return false;
+}
+
+Observation Study::observe_address(const util::IpAddress& address,
+                                   scan::TestKind kind,
+                                   scan::LabelAllocator& labels,
+                                   const std::string& suite) {
+  mta::MailHost* host = fleet_.find_host(address);
+  if (host == nullptr) return Observation::Inconclusive;
+
+  scan::ProberConfig prober_config;
+  prober_config.responder = fleet_.responder();
+  scan::Prober prober(prober_config, fleet_.dns(), fleet_.clock());
+
+  const dns::Name mail_from = labels.mail_from_domain(labels.new_id(), suite);
+  scan::ProbeResult result = prober.probe(
+      *host, "host-" + address.to_string(), mail_from, kind);
+  if (result.status == scan::ProbeStatus::Greylisted) {
+    fleet_.clock().advance_by(paper::kGreylistBackoff);
+    result = prober.probe(*host, "host-" + address.to_string(),
+                          labels.mail_from_domain(labels.new_id(), suite),
+                          kind);
+  }
+  if (result.status != scan::ProbeStatus::SpfMeasured) {
+    return Observation::Inconclusive;
+  }
+  return result.vulnerable() ? Observation::Vulnerable
+                             : Observation::Compliant;
+}
+
+StudyReport Study::run() {
+  StudyReport report;
+  util::Rng rng(config_.seed);
+  util::Rng loss_rng = rng.fork("loss");
+
+  // ---- 1. Initial measurement (2021-10-11) ------------------------------
+  scan::CampaignConfig campaign_config;
+  campaign_config.prober.responder = fleet_.responder();
+  campaign_config.label_seed = config_.seed ^ 0xC0FFEE;
+  scan::Campaign campaign(campaign_config, fleet_.dns(), fleet_.clock(),
+                          fleet_);
+  report.initial = campaign.run(fleet_.targets());
+
+  // Collect vulnerable addresses and the test kind that measured them.
+  std::map<util::IpAddress, scan::TestKind> working_test;
+  std::vector<util::IpAddress> vulnerable_addresses;
+  for (const auto& [address, outcome] : report.initial.addresses) {
+    if (!outcome.vulnerable()) continue;
+    vulnerable_addresses.push_back(address);
+    const bool via_nomsg =
+        outcome.nomsg.has_value() &&
+        outcome.nomsg->status == scan::ProbeStatus::SpfMeasured;
+    working_test.emplace(address, via_nomsg ? scan::TestKind::NoMsg
+                                            : scan::TestKind::BlankMsg);
+  }
+  report.initially_vulnerable_addresses = vulnerable_addresses.size();
+
+  // §6.1's re-measurable inconclusives: SPF evaluation visibly started (the
+  // policy fetch was logged) but no macro-expansion probe query concluded.
+  std::vector<util::IpAddress> remeasurable;
+  for (const auto& [address, outcome] : report.initial.addresses) {
+    if (outcome.vulnerable() || outcome.conclusive()) continue;
+    const bool fetch_seen =
+        (outcome.nomsg.has_value() && outcome.nomsg->saw_policy_fetch) ||
+        (outcome.blankmsg.has_value() && outcome.blankmsg->saw_policy_fetch);
+    if (fetch_seen) remeasurable.push_back(address);
+  }
+  report.remeasurable_addresses = remeasurable.size();
+
+  // Vulnerable domains and their vulnerable addresses.
+  const auto& domains = fleet_.domains();
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    const auto& outcome = report.initial.domains[i];
+    if (!outcome.vulnerable) continue;
+    DomainTrack track;
+    track.domain_index = i;
+    for (const auto& address : domains[i].addresses) {
+      const auto it = report.initial.addresses.find(address);
+      if (it != report.initial.addresses.end() && it->second.vulnerable()) {
+        track.vulnerable_addresses.push_back(address);
+      }
+    }
+    report.tracks.push_back(std::move(track));
+  }
+  report.initially_vulnerable_domains = report.tracks.size();
+
+  // ---- 2. Private-notification campaign (sent 2021-11-15) ---------------
+  NotificationConfig notification_config = config_.notification;
+  notification_config.seed = config_.seed ^ 0xA07E5;
+  NotificationCampaign notifications(notification_config);
+  for (const auto& track : report.tracks) {
+    notifications.add_domain(domains[track.domain_index].name,
+                             track.vulnerable_addresses);
+  }
+  notifications.send();
+  report.notification = notifications.stats();
+
+  // ---- 3. Patch decisions per vulnerable address -------------------------
+  PatchModelConfig patch_config = config_.patch_model;
+  patch_config.seed = config_.seed ^ 0x9A7C4;
+  PatchModel patch_model(patch_config);
+  std::map<util::IpAddress, PatchDecision> patch_plan;
+  for (const auto& address : vulnerable_addresses) {
+    const auto& info = fleet_.info(address);
+    const mta::MailHost* host = fleet_.find_host(address);
+    PatchContext context;
+    context.tld = info.tld;
+    context.in_mx_set = info.in_mx_set;
+    context.provider_pool = info.provider_pool;
+    context.domains_hosted = std::max<std::size_t>(1, info.domains_hosted);
+    context.named_top_provider =
+        info.provider_pool && info.best_rank != 0 && info.best_rank <= 1000 &&
+        host != nullptr && !host->profile().rejects_spf_fail &&
+        info.domains_hosted <= 3;  // the hand-built §7.5 provider farms
+    context.notification_opened =
+        notifications.address_operator_opened(address);
+    patch_plan.emplace(address, patch_model.decide(context));
+  }
+
+  // ---- 4. Longitudinal rounds --------------------------------------------
+  report.round_times = measurement_round_times();
+  scan::LabelAllocator labels(util::Rng(config_.seed ^ 0x1ABE15),
+                              fleet_.responder().base);
+
+  std::map<util::IpAddress, Series> series;
+  for (const auto& address : vulnerable_addresses) {
+    series[address] = Series(report.round_times.size(),
+                             Observation::Inconclusive);
+  }
+  std::set<util::IpAddress> blacklisted;
+
+  for (std::size_t round = 0; round < report.round_times.size(); ++round) {
+    const util::SimTime round_time = report.round_times[round];
+    fleet_.clock().advance_to(round_time);
+    const std::string suite = labels.new_suite();
+
+    const bool in_window1 = round_time <= paper::kMeasurementsPaused;
+
+    for (const auto& address : vulnerable_addresses) {
+      mta::MailHost* host = fleet_.find_host(address);
+      if (host == nullptr) continue;
+
+      // Patch events due by this round.
+      const PatchDecision& decision = patch_plan.at(address);
+      if (decision.will_patch && !host->is_patched() &&
+          decision.patch_time <= round_time) {
+        host->apply_patch();
+      }
+
+      // Loss process: permanent blacklisting plus transient failures. New
+      // blacklisting only hits still-vulnerable hosts — patched operators
+      // are the attentive ones, and the paper's patched curves stay smooth.
+      if (blacklisted.count(address) == 0 && !host->is_patched()) {
+        const auto& info = fleet_.info(address);
+        const bool high_profile =
+            info.best_rank != 0 && info.best_rank <= 1000;
+        const double rate = high_profile && in_window1
+                                ? config_.top1000_blacklist_rate
+                                : config_.blacklist_rate;
+        if (loss_rng.bernoulli(rate)) {
+          blacklisted.insert(address);
+          host->set_blacklisted(true);
+        }
+      }
+      if (blacklisted.count(address) > 0) continue;  // stays Inconclusive
+      if (loss_rng.bernoulli(config_.transient_failure_rate)) continue;
+
+      series[address][round] = observe_address(
+          address, working_test.at(address), labels, suite);
+    }
+
+    // Re-measure the §6.1 inconclusive cohort until each address resolves.
+    for (auto it = remeasurable.begin(); it != remeasurable.end();) {
+      const Observation observation =
+          observe_address(*it, scan::TestKind::BlankMsg, labels, suite);
+      if (observation == Observation::Vulnerable) {
+        ++report.remeasurable_resolved_vulnerable;
+        it = remeasurable.erase(it);
+      } else if (observation == Observation::Compliant) {
+        ++report.remeasurable_resolved_compliant;
+        it = remeasurable.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  for (auto& [address, observation_series] : series) {
+    report.inference.set_series(address, std::move(observation_series));
+  }
+
+  // ---- 5. Final snapshot with re-resolved addresses (§7.2) --------------
+  fleet_.clock().advance_by(util::kHour);
+  const std::string snapshot_suite = labels.new_suite();
+  std::map<util::IpAddress, Observation> snapshot;
+  for (const auto& address : vulnerable_addresses) {
+    mta::MailHost* host = fleet_.find_host(address);
+    if (host == nullptr) {
+      snapshot[address] = Observation::Inconclusive;
+      continue;
+    }
+    if (host->blacklisted() &&
+        loss_rng.bernoulli(config_.snapshot_recovery_rate)) {
+      // The domain's MX re-resolved to a fresh front that has never seen the
+      // scanner: measurement works again.
+      host->set_blacklisted(false);
+    }
+    snapshot[address] = observe_address(address, working_test.at(address),
+                                        labels, snapshot_suite);
+  }
+
+  // Final per-domain classification (Fig 2).
+  for (auto& track : report.tracks) {
+    bool any_vulnerable = false;
+    bool all_known_patched = true;
+    bool any_known = false;
+    for (const auto& address : track.vulnerable_addresses) {
+      // Prefer the snapshot; fall back to the last inferred state.
+      Observation observation = snapshot.at(address);
+      if (observation == Observation::Inconclusive) {
+        const auto& states = report.inference.states(address);
+        const InferredState last = states.back();
+        if (is_vulnerable(last)) {
+          observation = Observation::Vulnerable;
+        } else if (is_patched(last)) {
+          observation = Observation::Compliant;
+        }
+      }
+      switch (observation) {
+        case Observation::Vulnerable:
+          any_vulnerable = true;
+          any_known = true;
+          break;
+        case Observation::Compliant:
+          any_known = true;
+          break;
+        case Observation::Inconclusive:
+          all_known_patched = false;
+          break;
+      }
+    }
+    if (any_vulnerable) {
+      track.final_status = FinalStatus::Vulnerable;
+    } else if (any_known && all_known_patched) {
+      track.final_status = FinalStatus::Patched;
+    } else {
+      track.final_status = FinalStatus::Unknown;
+    }
+  }
+
+  // ---- 6. Notification funnel outcomes (§7.7) ---------------------------
+  for (const auto& group : notifications.groups()) {
+    const auto patched_by = [&](util::SimTime deadline) {
+      for (const auto& address : group.addresses) {
+        const auto& decision = patch_plan.at(address);
+        if (!decision.will_patch || decision.patch_time > deadline) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (group.opened) {
+      ++report.opened_groups;
+      if (patched_by(paper::kFinalMeasurement)) {
+        ++report.opened_eventually_patched;
+      }
+      if (patched_by(paper::kPublicDisclosure) &&
+          !patched_by(paper::kPrivateNotification)) {
+        ++report.opened_patched_between_disclosures;
+      }
+    } else if (!group.delivered) {
+      if (patched_by(paper::kPublicDisclosure) &&
+          !patched_by(paper::kPrivateNotification)) {
+        ++report.bounced_patched_between_disclosures;
+      }
+    }
+  }
+
+  return report;
+}
+
+StudyReport::DomainRoundCounts Study::domain_counts_at(
+    const StudyReport& report, const population::Fleet& fleet,
+    std::size_t round, Cohort cohort) {
+  StudyReport::DomainRoundCounts counts;
+  const auto& domains = fleet.domains();
+  for (const auto& track : report.tracks) {
+    if (!in_cohort(domains[track.domain_index], cohort)) continue;
+    ++counts.total;
+
+    bool all_conclusive = true;
+    bool any_vulnerable = false;
+    bool all_patched = true;
+    bool any_known = false;
+    for (const auto& address : track.vulnerable_addresses) {
+      const InferredState state = report.inference.states(address).at(round);
+      if (state == InferredState::Unknown) {
+        all_conclusive = false;
+        all_patched = false;
+        continue;
+      }
+      any_known = true;
+      if (state == InferredState::InferredVulnerable ||
+          state == InferredState::InferredPatched) {
+        all_conclusive = false;
+      }
+      if (is_vulnerable(state)) {
+        any_vulnerable = true;
+        all_patched = false;
+      }
+    }
+    if (all_conclusive && any_known) ++counts.measured;
+    if (any_vulnerable) {
+      ++counts.inferable;
+      ++counts.vulnerable;
+    } else if (any_known && all_patched) {
+      ++counts.inferable;
+      ++counts.patched;
+    }
+  }
+  return counts;
+}
+
+}  // namespace spfail::longitudinal

@@ -1,0 +1,115 @@
+// The full four-month longitudinal study (paper §5.3, §7).
+//
+// Orchestrates: the October 11 initial measurement; the private-notification
+// campaign; per-address patch decisions; the measurement-loss (blacklisting)
+// process; two windows of every-2-days re-measurement; the §7.6 inference
+// pass; and the February 2022 snapshot with re-resolved addresses (§7.2).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "longitudinal/inference.hpp"
+#include "longitudinal/notification.hpp"
+#include "longitudinal/patch_model.hpp"
+#include "population/fleet.hpp"
+#include "scan/campaign.hpp"
+
+namespace spfail::longitudinal {
+
+struct StudyConfig {
+  std::uint64_t seed = 20211011;
+  NotificationConfig notification;
+  PatchModelConfig patch_model;
+
+  // Loss process (per round, per still-measurable vulnerable address).
+  double transient_failure_rate = 0.05;
+  double blacklist_rate = 0.004;
+  // Top-1000 / provider infrastructure blacklists scanners faster (Fig 8's
+  // mid-November losses).
+  double top1000_blacklist_rate = 0.05;
+
+  // §7.2: fraction of measurement-lost hosts the snapshot's re-resolved
+  // addresses recover (changed IPs shed the scanner blacklist).
+  double snapshot_recovery_rate = 0.75;
+};
+
+// Which domain set a series or total refers to.
+enum class Cohort { All, AlexaTopList, Alexa1000, TwoWeekMx };
+std::string to_string(Cohort cohort);
+
+// Final Fig-2 style classification of an initially vulnerable domain.
+enum class FinalStatus { Patched, Vulnerable, Unknown };
+
+struct DomainTrack {
+  std::size_t domain_index = 0;  // into Fleet::domains()
+  std::vector<util::IpAddress> vulnerable_addresses;
+  FinalStatus final_status = FinalStatus::Unknown;  // after the snapshot
+};
+
+struct StudyReport {
+  // Initial measurement.
+  scan::CampaignReport initial;
+  std::size_t initially_vulnerable_addresses = 0;
+  std::size_t initially_vulnerable_domains = 0;
+  // §6.1: addresses whose initial result was inconclusive but potentially
+  // re-measurable (SPF activity started — the policy TXT was fetched — but
+  // no conclusive probe query arrived). These join every longitudinal
+  // round alongside the vulnerable set (the paper's 721 addresses).
+  std::size_t remeasurable_addresses = 0;
+  std::size_t remeasurable_resolved_vulnerable = 0;
+  std::size_t remeasurable_resolved_compliant = 0;
+
+  // Longitudinal rounds.
+  std::vector<util::SimTime> round_times;
+  InferenceTable inference;  // per-address, per-round
+
+  // Vulnerable-domain tracking.
+  std::vector<DomainTrack> tracks;
+
+  // Notification funnel (§7.7).
+  NotificationStats notification;
+  std::size_t opened_groups = 0;
+  std::size_t opened_eventually_patched = 0;
+  std::size_t opened_patched_between_disclosures = 0;
+  std::size_t bounced_patched_between_disclosures = 0;
+
+  // --- derived series ---
+
+  // Domain-level state at one round (Fig 5/6/7/8 inputs).
+  struct DomainRoundCounts {
+    std::size_t measured = 0;    // all vulnerable addresses conclusive
+    std::size_t inferable = 0;   // status known incl. inference
+    std::size_t vulnerable = 0;  // of the inferable
+    std::size_t patched = 0;     // of the inferable
+    std::size_t total = 0;       // cohort size
+  };
+};
+
+class Study {
+ public:
+  Study(population::Fleet& fleet, StudyConfig config = {});
+
+  // Run everything; expensive. Idempotence is not supported — construct a
+  // fresh Fleet and Study per run.
+  StudyReport run();
+
+  // --- post-run series helpers (valid on the returned report) ---
+  static StudyReport::DomainRoundCounts domain_counts_at(
+      const StudyReport& report, const population::Fleet& fleet,
+      std::size_t round, Cohort cohort);
+
+  static bool in_cohort(const population::DomainRecord& domain, Cohort cohort);
+
+ private:
+  Observation observe_address(const util::IpAddress& address,
+                              scan::TestKind kind, scan::LabelAllocator& labels,
+                              const std::string& suite);
+
+  population::Fleet& fleet_;
+  StudyConfig config_;
+};
+
+}  // namespace spfail::longitudinal

@@ -1,0 +1,113 @@
+#include "mail/message.hpp"
+
+#include "smtp/command.hpp"
+#include "util/strings.hpp"
+
+namespace spfail::mail {
+
+Message Message::parse(std::string_view text) {
+  Message message;
+  std::size_t pos = 0;
+  bool in_headers = true;
+  std::string pending_name, pending_value;
+
+  const auto flush_pending = [&] {
+    if (!pending_name.empty()) {
+      message.headers_.push_back(
+          Header{pending_name, std::string(util::trim(pending_value))});
+      pending_name.clear();
+      pending_value.clear();
+    }
+  };
+
+  while (in_headers && pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    if (line.empty()) {
+      flush_pending();
+      in_headers = false;
+      break;
+    }
+    if (line.front() == ' ' || line.front() == '\t') {
+      // Folded continuation.
+      if (!pending_name.empty()) {
+        pending_value.push_back(' ');
+        pending_value.append(util::trim(line));
+      }
+      continue;
+    }
+    flush_pending();
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;  // tolerate junk lines
+    pending_name = std::string(util::trim(line.substr(0, colon)));
+    pending_value = std::string(line.substr(colon + 1));
+  }
+  flush_pending();
+
+  if (pos <= text.size()) {
+    message.body_ = std::string(text.substr(pos));
+  }
+  return message;
+}
+
+std::string Message::to_string() const {
+  std::string out;
+  for (const auto& header : headers_) {
+    out += header.name + ": " + header.value + "\r\n";
+  }
+  out += "\r\n";
+  out += body_;
+  return out;
+}
+
+void Message::add_header(std::string_view name, std::string_view value) {
+  headers_.push_back(Header{std::string(name), std::string(value)});
+}
+
+void Message::prepend_header(std::string_view name, std::string_view value) {
+  headers_.insert(headers_.begin(),
+                  Header{std::string(name), std::string(value)});
+}
+
+std::optional<std::string> Message::first_header(std::string_view name) const {
+  for (const auto& header : headers_) {
+    if (util::iequals(header.name, name)) return header.value;
+  }
+  return std::nullopt;
+}
+
+std::size_t Message::count_header(std::string_view name) const {
+  std::size_t n = 0;
+  for (const auto& header : headers_) {
+    n += util::iequals(header.name, name);
+  }
+  return n;
+}
+
+std::optional<dns::Name> Message::from_domain() const {
+  const auto from = first_header("From");
+  if (!from.has_value()) return std::nullopt;
+  const auto addr = extract_addr_spec(*from);
+  if (!addr.has_value()) return std::nullopt;
+  const auto parts = smtp::split_mailbox(*addr);
+  if (!parts.has_value()) return std::nullopt;
+  return dns::Name::lenient(parts->domain);
+}
+
+std::optional<std::string> extract_addr_spec(std::string_view header_value) {
+  const std::size_t lt = header_value.find('<');
+  const std::size_t gt = header_value.rfind('>');
+  if (lt != std::string_view::npos && gt != std::string_view::npos && gt > lt) {
+    return std::string(header_value.substr(lt + 1, gt - lt - 1));
+  }
+  const std::string_view trimmed = util::trim(header_value);
+  if (trimmed.find('@') == std::string_view::npos) return std::nullopt;
+  return std::string(trimmed);
+}
+
+}  // namespace spfail::mail

@@ -1,0 +1,66 @@
+// RFC 5322-lite mail messages: ordered headers + body, with folding-aware
+// parsing and the From-domain extraction DMARC alignment needs.
+//
+// Scope: enough structure for the simulation's needs (DKIM signing input,
+// DMARC's RFC5322.From, notification emails with tracking images) — not a
+// full MIME implementation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/name.hpp"
+
+namespace spfail::mail {
+
+struct Header {
+  std::string name;   // original case preserved
+  std::string value;  // unfolded, surrounding whitespace trimmed
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+class Message {
+ public:
+  Message() = default;
+
+  // Parse "headers CRLF CRLF body" (bare LF accepted). Folded header lines
+  // (continuations starting with WSP) are unfolded with a single space.
+  // Lines before the first blank line without a ':' are ignored (tolerant,
+  // like real MTAs).
+  static Message parse(std::string_view text);
+
+  // Render with CRLF line endings and a blank line before the body.
+  std::string to_string() const;
+
+  const std::vector<Header>& headers() const noexcept { return headers_; }
+  const std::string& body() const noexcept { return body_; }
+  void set_body(std::string body) { body_ = std::move(body); }
+
+  // Append a header (keeps order; duplicates allowed, as in real mail).
+  void add_header(std::string_view name, std::string_view value);
+  // Prepend (trace headers like Received/DKIM-Signature go on top).
+  void prepend_header(std::string_view name, std::string_view value);
+
+  // First header with the given name, case-insensitively.
+  std::optional<std::string> first_header(std::string_view name) const;
+  std::size_t count_header(std::string_view name) const;
+
+  // The domain of the first From: header's addr-spec (angle brackets and
+  // display names tolerated). nullopt when absent/unparseable.
+  std::optional<dns::Name> from_domain() const;
+
+  friend bool operator==(const Message&, const Message&) = default;
+
+ private:
+  std::vector<Header> headers_;
+  std::string body_;
+};
+
+// Extract the addr-spec from a From/To style value: "Display <a@b>" -> a@b,
+// "a@b" -> a@b. nullopt if nothing address-shaped is present.
+std::optional<std::string> extract_addr_spec(std::string_view header_value);
+
+}  // namespace spfail::mail

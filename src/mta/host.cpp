@@ -1,0 +1,149 @@
+#include "mta/host.hpp"
+
+#include "dmarc/discovery.hpp"
+
+namespace spfail::mta {
+
+MailHost::MailHost(HostProfile profile, dns::DnsService& dns_service,
+                   const util::SimClock& clock)
+    : profile_(std::move(profile)),
+      clock_(clock),
+      resolver_(dns_service, clock, profile_.address),
+      behaviors_(profile_.behaviors),
+      flaky_rng_(profile_.address.is_v4() ? profile_.address.v4_value()
+                                          : 0x6D7461ULL) {
+  for (const auto behavior : behaviors_) {
+    engines_.push_back(spfvuln::make_expander(behavior));
+  }
+}
+
+void MailHost::apply_patch() {
+  patched_ = true;
+  for (std::size_t i = 0; i < behaviors_.size(); ++i) {
+    if (behaviors_[i] == spfvuln::SpfBehavior::VulnerableLibspf2) {
+      behaviors_[i] = spfvuln::SpfBehavior::PatchedLibspf2;
+      engines_[i] = spfvuln::make_expander(behaviors_[i]);
+    }
+  }
+}
+
+bool MailHost::runs_vulnerable_engine() const noexcept {
+  for (const auto behavior : behaviors_) {
+    if (spfvuln::is_vulnerable(behavior)) return true;
+  }
+  return false;
+}
+
+std::optional<smtp::ServerSession> MailHost::connect(
+    const util::IpAddress& client) {
+  if (!profile_.accepts_connections) return std::nullopt;
+  return smtp::ServerSession(*this, client);
+}
+
+smtp::Reply MailHost::on_hello(const std::string& client_identity,
+                               const util::IpAddress& client) {
+  (void)client_identity;
+  (void)client;
+  if (profile_.smtp_broken) return smtp::replies::service_unavailable();
+  if (blacklisted_) return smtp::replies::blacklisted();
+  return smtp::replies::ok();
+}
+
+spf::Result MailHost::run_spf(const std::string& sender_local,
+                              const std::string& sender_domain,
+                              const util::IpAddress& client) {
+  last_spf_results_.clear();
+  if (profile_.flaky_spf_rate > 0.0 &&
+      flaky_rng_.bernoulli(profile_.flaky_spf_rate)) {
+    // The evaluation stalls right after the policy fetch: the TXT query is
+    // visible at the authoritative server, nothing conclusive follows.
+    resolver_.query(dns::Name::lenient(sender_domain), dns::RRType::TXT);
+    last_spf_results_.push_back(spf::Result::TempError);
+    return spf::Result::TempError;
+  }
+  spf::Result primary = spf::Result::None;
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    spf::Evaluator evaluator(resolver_, *engines_[i]);
+    spf::CheckRequest request;
+    request.client_ip = client;
+    request.sender_local = sender_local;
+    request.sender_domain = dns::Name::lenient(sender_domain);
+    request.helo_domain = dns::Name::lenient("scanner.invalid");
+    request.timestamp = clock_.now();
+    const spf::CheckOutcome outcome = evaluator.check_host(request);
+    last_spf_results_.push_back(outcome.result);
+    if (i == 0) primary = outcome.result;
+  }
+  return primary;
+}
+
+smtp::Reply MailHost::on_mail_from(const std::string& sender_local,
+                                   const std::string& sender_domain,
+                                   const util::IpAddress& client) {
+  if (blacklisted_) return smtp::replies::blacklisted();
+
+  if (profile_.greylists) {
+    const std::string key = client.to_string();
+    const auto it = greylist_seen_.find(key);
+    if (it == greylist_seen_.end()) {
+      greylist_seen_.emplace(key, clock_.now());
+      return smtp::replies::greylisted();
+    }
+    if (clock_.now() - it->second < profile_.greylist_delay) {
+      return smtp::replies::greylisted();
+    }
+  }
+
+  if (profile_.validates_spf && profile_.spf_timing == SpfTiming::AtMailFrom &&
+      !sender_domain.empty()) {
+    const spf::Result result = run_spf(sender_local, sender_domain, client);
+    if (result == spf::Result::Fail && profile_.rejects_spf_fail) {
+      return smtp::replies::rejected_by_policy();
+    }
+  }
+  return smtp::replies::ok();
+}
+
+smtp::Reply MailHost::on_rcpt_to(const std::string& recipient,
+                                 const util::IpAddress& client) {
+  (void)client;
+  if (!profile_.known_recipients.empty()) {
+    const auto parts = smtp::split_mailbox(recipient);
+    const std::string local = parts.has_value() ? parts->local : recipient;
+    if (profile_.known_recipients.count(local) == 0) {
+      return smtp::replies::mailbox_unavailable();
+    }
+  }
+  return smtp::replies::ok();
+}
+
+smtp::Reply MailHost::on_message(const smtp::Envelope& envelope,
+                                 const util::IpAddress& client) {
+  if (profile_.rejects_messages) {
+    return smtp::Reply{554, "Transaction failed: message content rejected"};
+  }
+  spf::Result spf_result = spf::Result::None;
+  if (profile_.validates_spf && profile_.spf_timing == SpfTiming::AfterData &&
+      !envelope.sender_domain.empty()) {
+    spf_result = run_spf(envelope.sender_local, envelope.sender_domain, client);
+    if (spf_result == spf::Result::Fail && profile_.rejects_spf_fail) {
+      return smtp::replies::rejected_by_policy();
+    }
+  }
+  if (profile_.checks_dmarc && !envelope.sender_domain.empty()) {
+    // With no DKIM in the simulation and headerless probe messages, the
+    // envelope sender domain stands in for RFC5322.From — the common
+    // configuration for DMARC-at-the-edge filters.
+    const dns::Name from_domain = dns::Name::lenient(envelope.sender_domain);
+    const dmarc::DiscoveryResult discovery =
+        dmarc::discover(resolver_, from_domain);
+    const dmarc::Disposition disposition = dmarc::disposition_for(
+        discovery, spf_result, from_domain, from_domain);
+    if (disposition == dmarc::Disposition::Reject) {
+      return smtp::Reply{550, "Rejected by DMARC policy"};
+    }
+  }
+  return smtp::replies::ok();
+}
+
+}  // namespace spfail::mta

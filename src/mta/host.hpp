@@ -1,0 +1,141 @@
+// A simulated Internet mail host (MTA).
+//
+// Each host binds together: an SMTP server FSM, zero or more SPF validation
+// engines (one per software stack the host runs — 6% of hosts in the paper
+// showed two or more distinct expansion patterns), a stub resolver pointed at
+// the simulation's DNS service, and operational quirks (connection refusal,
+// broken SMTP, greylisting, blacklisting of scanners, recipient policy).
+//
+// The scanner never sees any of this state directly; it sees SMTP replies
+// and, through the authoritative DNS server's query log, the host's SPF
+// lookups — exactly the observables of the paper's methodology.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dns/resolver.hpp"
+#include "smtp/server.hpp"
+#include "spf/eval.hpp"
+#include "spfvuln/behavior.hpp"
+#include "util/rng.hpp"
+
+namespace spfail::mta {
+
+// When the host triggers SPF validation during a transaction.
+enum class SpfTiming {
+  AtMailFrom,  // validates as soon as MAIL FROM arrives (NoMsg-detectable)
+  AfterData,   // defers until the message is received (needs BlankMsg)
+};
+
+struct HostProfile {
+  util::IpAddress address;
+
+  // Reachability tiers (Table 3 funnel).
+  bool accepts_connections = true;  // false: TCP connect refused/timeout
+  bool smtp_broken = false;         // accepts TCP, then fails the SMTP dialog
+
+  bool greylists = false;  // first transaction per client deferred with 451
+  util::SimTime greylist_delay = 8 * util::kMinute;
+
+  bool validates_spf = true;
+  SpfTiming spf_timing = SpfTiming::AtMailFrom;
+  bool rejects_spf_fail = true;
+
+  // Additionally performs DMARC policy discovery on received messages and
+  // honours the published disposition (the paper's probe source domains
+  // publish p=reject precisely so such receivers drop the blank probes,
+  // section 6.2).
+  bool checks_dmarc = false;
+
+  // Probability that one SPF evaluation aborts after fetching the policy
+  // (resolver timeouts, overloaded filters). These hosts are the paper's
+  // "inconclusive but potentially re-measurable" cohort (§6.1): the
+  // authoritative log shows the TXT fetch but no conclusive probe query.
+  double flaky_spf_rate = 0.0;
+
+  // SPF engines the host runs (primary stack first). Hosts with multiple
+  // entries model chained SMTP hops / spam-filter stacks (section 7.9).
+  std::vector<spfvuln::SpfBehavior> behaviors = {
+      spfvuln::SpfBehavior::RfcCompliant};
+
+  // Recipients accepted for delivery; empty accepts anything.
+  std::set<std::string> known_recipients;
+
+  // Accepts the whole dialog but rejects message content at end-of-DATA
+  // (the Table 3 "BlankMsg SMTP failure" shape: fine under NoMsg, fails the
+  // moment a message is actually transmitted).
+  bool rejects_messages = false;
+};
+
+class MailHost : public smtp::SessionHandler {
+ public:
+  // `dns_service` and `clock` must outlive the host.
+  MailHost(HostProfile profile, dns::DnsService& dns_service,
+           const util::SimClock& clock);
+
+  const HostProfile& profile() const noexcept { return profile_; }
+  const util::IpAddress& address() const noexcept { return profile_.address; }
+
+  // --- lifecycle operations driven by the longitudinal simulation ---
+
+  // Replace every vulnerable engine with the patched library.
+  void apply_patch();
+  bool is_patched() const noexcept { return patched_; }
+
+  // Once blacklisted, the host accepts TCP but aborts SMTP with 5XX/421
+  // (the paper's dominant cause of lost longitudinal measurements).
+  void set_blacklisted(bool value) noexcept { blacklisted_ = value; }
+  bool blacklisted() const noexcept { return blacklisted_; }
+
+  // True if any engine is the vulnerable libSPF2.
+  bool runs_vulnerable_engine() const noexcept;
+  const std::vector<spfvuln::SpfBehavior>& behaviors() const noexcept {
+    return behaviors_;
+  }
+
+  // --- the network-facing surface ---
+
+  // Open an SMTP session. nullopt models a refused/timed-out TCP connect.
+  std::optional<smtp::ServerSession> connect(const util::IpAddress& client);
+
+  // smtp::SessionHandler:
+  smtp::Reply on_hello(const std::string& client_identity,
+                       const util::IpAddress& client) override;
+  smtp::Reply on_mail_from(const std::string& sender_local,
+                           const std::string& sender_domain,
+                           const util::IpAddress& client) override;
+  smtp::Reply on_rcpt_to(const std::string& recipient,
+                         const util::IpAddress& client) override;
+  smtp::Reply on_message(const smtp::Envelope& envelope,
+                         const util::IpAddress& client) override;
+
+  // Most recent SPF results, one per engine (diagnostics and tests).
+  const std::vector<spf::Result>& last_spf_results() const noexcept {
+    return last_spf_results_;
+  }
+
+ private:
+  // Run every SPF engine against the sender; returns the policy decision of
+  // the primary (first) engine.
+  spf::Result run_spf(const std::string& sender_local,
+                      const std::string& sender_domain,
+                      const util::IpAddress& client);
+
+  HostProfile profile_;
+  const util::SimClock& clock_;
+  dns::StubResolver resolver_;
+  std::vector<spfvuln::SpfBehavior> behaviors_;
+  std::vector<std::unique_ptr<spf::MacroExpander>> engines_;
+  std::vector<spf::Result> last_spf_results_;
+  std::map<std::string, util::SimTime> greylist_seen_;  // client -> first try
+  util::Rng flaky_rng_;  // seeded from the address; deterministic per host
+  bool blacklisted_ = false;
+  bool patched_ = false;
+};
+
+}  // namespace spfail::mta

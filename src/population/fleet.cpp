@@ -1,0 +1,529 @@
+#include "population/fleet.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "population/paper_constants.hpp"
+
+namespace spfail::population {
+
+namespace {
+
+// Address-level funnel rates per domain set (Table 3; see paper_constants).
+struct FunnelRates {
+  double refused;
+  double smtp_failure;     // of NoMsg-tested
+  double nomsg_measured;   // of NoMsg-tested (validates at MAIL FROM)
+  double blank_failure;    // of BlankMsg-tested (breaks at/after DATA)
+  double blank_measured;   // of BlankMsg-tested (validates after DATA)
+  double vulnerable_of_measured;
+  double erroneous_of_measured;
+};
+
+constexpr FunnelRates kAlexaRates = {
+    paper::kAlexaAddrRefused,       paper::kAlexaAddrSmtpFailure,
+    paper::kAlexaAddrNoMsgMeasured, paper::kAlexaAddrBlankFailure,
+    paper::kAlexaAddrBlankMeasured, paper::kAlexaVulnerableOfMeasured,
+    paper::kAlexaErroneousNonVulnOfMeasured};
+
+constexpr FunnelRates kMxRates = {
+    paper::kMxAddrRefused,       paper::kMxAddrSmtpFailure,
+    paper::kMxAddrNoMsgMeasured, paper::kMxAddrBlankFailure,
+    paper::kMxAddrBlankMeasured, paper::kMxVulnerableOfMeasured,
+    paper::kMxErroneousNonVulnOfMeasured};
+
+// Figure 4: the bottom rank bucket holds roughly twice the vulnerable
+// servers of the top bucket; interpolate the multiplier across percentiles.
+// The very top of the list (the Alexa Top 1000, percentile <= 0.25%) is
+// suppressed harder still — §7.5 found only 28 of those 1000 domains
+// vulnerable, well below the gradient's extrapolation.
+double rank_multiplier(double rank_percentile) {
+  if (rank_percentile <= 0.0025) return 0.30;
+  return 0.65 + 0.70 * rank_percentile;
+}
+
+spfvuln::SpfBehavior pick_erroneous(util::Rng& rng) {
+  const double weights[] = {
+      paper::kErrNoExpansionWeight, paper::kErrNoTruncationWeight,
+      paper::kErrNoReversalWeight, paper::kErrNoTransformersWeight,
+      paper::kErrOtherWeight};
+  switch (rng.weighted_index(weights)) {
+    case 0:
+      return spfvuln::SpfBehavior::NoExpansion;
+    case 1:
+      return spfvuln::SpfBehavior::NoTruncation;
+    case 2:
+      return spfvuln::SpfBehavior::NoReversal;
+    case 3:
+      return spfvuln::SpfBehavior::NoTransformers;
+    default:
+      return spfvuln::SpfBehavior::OtherErroneous;
+  }
+}
+
+}  // namespace
+
+Fleet::Fleet(FleetConfig config)
+    : config_(config), geo_(util::Rng(config.seed ^ 0x9E01ULL)) {
+  responder_ = scan::install_test_responder(dns_);
+  build();
+}
+
+const AddressInfo& Fleet::info(const util::IpAddress& address) const {
+  return info_.at(address);
+}
+
+mta::MailHost* Fleet::find_host(const util::IpAddress& address) {
+  const auto it = hosts_.find(address);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+const mta::MailHost* Fleet::find_host(const util::IpAddress& address) const {
+  const auto it = hosts_.find(address);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+std::vector<scan::TargetDomain> Fleet::targets(SetFilter filter) const {
+  std::vector<scan::TargetDomain> out;
+  for (const auto& d : domains_) {
+    const bool wanted = filter == SetFilter::All ||
+                        (filter == SetFilter::AlexaTopList && d.in_alexa) ||
+                        (filter == SetFilter::Alexa1000 && d.in_alexa1000) ||
+                        (filter == SetFilter::TwoWeekMx && d.in_mx);
+    if (wanted) out.push_back(scan::TargetDomain{d.name, d.addresses});
+  }
+  return out;
+}
+
+const std::vector<util::IpAddress>& Fleet::current_addresses(
+    const DomainRecord& domain) const {
+  return domain.addresses;
+}
+
+util::IpAddress Fleet::next_address() {
+  // The paper's scan covered "unique IPv4/IPv6 addresses"; a slice of the
+  // fleet lives on v6 (sequential 2001:db8::/32 addresses).
+  if (++v6_interleave_ % 12 == 0) {
+    std::array<std::uint8_t, 16> bytes{};
+    bytes[0] = 0x20;
+    bytes[1] = 0x01;
+    bytes[2] = 0x0d;
+    bytes[3] = 0xb8;
+    const std::uint32_t value = next_v6_value_++;
+    bytes[12] = static_cast<std::uint8_t>(value >> 24);
+    bytes[13] = static_cast<std::uint8_t>(value >> 16);
+    bytes[14] = static_cast<std::uint8_t>(value >> 8);
+    bytes[15] = static_cast<std::uint8_t>(value);
+    return util::IpAddress::v6(bytes);
+  }
+  return util::IpAddress::v4(next_address_value_++);
+}
+
+// Create one host; the profile is drawn from the funnel/behaviour rates of
+// the set the creating domain belongs to.
+util::IpAddress Fleet::new_host(const std::string& tld, bool provider_pool,
+                                bool in_alexa, bool in_mx, double rank_pct,
+                                util::Rng& rng) {
+  const FunnelRates& rates = in_alexa || !in_mx ? kAlexaRates : kMxRates;
+
+  mta::HostProfile profile;
+  profile.address = next_address();
+
+  profile.accepts_connections = !rng.bernoulli(rates.refused);
+  profile.validates_spf = false;  // set below for reachable validators
+  if (profile.accepts_connections) {
+    const double draw = rng.uniform01();
+    const double p_fail = rates.smtp_failure;
+    const double p_mailfrom = rates.nomsg_measured;
+    const double p_unmeasured = 1.0 - p_fail - p_mailfrom;
+    const double p_afterdata = p_unmeasured * rates.blank_measured;
+    const double p_databroken = p_unmeasured * rates.blank_failure;
+
+    if (draw < p_fail) {
+      profile.smtp_broken = true;
+      profile.validates_spf = false;
+    } else if (draw < p_fail + p_mailfrom) {
+      profile.validates_spf = true;
+      profile.spf_timing = mta::SpfTiming::AtMailFrom;
+    } else if (draw < p_fail + p_mailfrom + p_afterdata) {
+      profile.validates_spf = true;
+      profile.spf_timing = mta::SpfTiming::AfterData;
+    } else if (draw < p_fail + p_mailfrom + p_afterdata + p_databroken) {
+      // Accepts the dialog but rejects every recipient: the BlankMsg wave
+      // walks the whole ladder and fails, matching Table 3's BlankMsg
+      // "SMTP failure" row.
+      profile.validates_spf = false;
+      profile.known_recipients = {"nobody-real"};
+    } else {
+      profile.validates_spf = false;
+    }
+  }
+
+  if (profile.validates_spf) {
+    const auto tld_profile = find_tld(tld);
+    const double tld_mult =
+        tld_profile.has_value() ? tld_profile->vulnerability_multiplier : 1.0;
+
+    const double p_vulnerable = std::min(
+        0.90, rates.vulnerable_of_measured * tld_mult * rank_multiplier(rank_pct));
+    const double p_erroneous = rates.erroneous_of_measured;
+
+    const double draw = rng.uniform01();
+    spfvuln::SpfBehavior primary = spfvuln::SpfBehavior::RfcCompliant;
+    if (draw < p_vulnerable) {
+      primary = spfvuln::SpfBehavior::VulnerableLibspf2;
+    } else if (draw < p_vulnerable + p_erroneous) {
+      primary = pick_erroneous(rng);
+    }
+    profile.behaviors = {primary};
+
+    // §7.9: 6% of measurable hosts show >=2 *distinct* expansion patterns
+    // (multiple SMTP hops, spam filters like SpamAssassin/Rspamd). Hosts
+    // with a non-compliant primary stack run an additional compliant one
+    // with the rate that makes the observed multi-pattern share ~6%:
+    // P(multi | erroneous-or-vulnerable) * P(erroneous-or-vulnerable) =
+    // 0.26 * ~0.23 = ~0.06.
+    if (primary != spfvuln::SpfBehavior::RfcCompliant &&
+        rng.bernoulli(0.26)) {
+      profile.behaviors.push_back(spfvuln::SpfBehavior::RfcCompliant);
+    }
+
+    // A sliver of hosts greylist; the scanner's 8-minute backoff absorbs it.
+    profile.greylists = rng.bernoulli(0.02);
+    // A sizeable share of validators also enforce DMARC (Deccio et al. [3]
+    // measured just over half of SPF validators running all three of
+    // SPF/DKIM/DMARC) — these reject the blank probe per §6.2's p=reject.
+    profile.checks_dmarc = rng.bernoulli(0.4);
+    // ~2% of validators are flaky enough that the initial NoMsg+BlankMsg
+    // pair usually stays inconclusive — the §6.1 re-measurable cohort.
+    if (rng.bernoulli(0.02)) profile.flaky_spf_rate = 0.9;
+    // Some hosts only accept administrative mailboxes — the username ladder
+    // walks to one of them.
+    if (rng.bernoulli(0.20)) {
+      profile.known_recipients = {"postmaster", "abuse", "admin", "info"};
+    }
+    profile.rejects_spf_fail = rng.bernoulli(0.6);
+  }
+
+  AddressInfo address_info;
+  address_info.tld = tld;
+  address_info.provider_pool = provider_pool;
+  address_info.in_alexa_set = in_alexa;
+  address_info.in_mx_set = in_mx;
+  info_.emplace(profile.address, address_info);
+  geo_.assign(profile.address, tld);
+
+  const util::IpAddress address = profile.address;
+  hosts_.emplace(address,
+                 std::make_unique<mta::MailHost>(std::move(profile), dns_,
+                                                 clock_));
+  return address;
+}
+
+void Fleet::build_top_providers(util::Rng& rng) {
+  // Table 3's "Top Email Providers" column (20 domains; Foster et al. [6])
+  // with §7.5's vulnerable internationals. Outcomes are pinned, not drawn:
+  //   MF  = validates at MAIL FROM (NoMsg-measured; 5 of 20)
+  //   AD  = validates after DATA  (BlankMsg-measured; 8 of 20)
+  //   SF  = SMTP broken           (NoMsg SMTP failure; 2 of 20)
+  //   DB  = data broken           (BlankMsg SMTP failure; 4 of 20)
+  //   NS  = no SPF validation     (never measured; 1 of 20)
+  struct Provider {
+    const char* name;
+    const char* kind;        // MF/AD/SF/DB/NS
+    bool vulnerable;
+    const char* share_pool;  // providers sharing MX infrastructure
+    std::size_t rank;
+  };
+  static constexpr Provider kProviders[] = {
+      {"gmail.com", "MF", false, "", 3},
+      {"yahoo.com", "MF", false, "", 11},
+      {"icloud.com", "MF", false, "", 40},
+      {"aol.com", "MF", false, "", 150},
+      {"wp.pl", "MF", true, "", 320},
+      {"outlook.com", "AD", false, "", 21},
+      {"mail.ru", "AD", true, "", 35},
+      {"vk.com", "AD", true, "mail.ru", 16},
+      {"naver.com", "AD", true, "", 55},
+      {"seznam.cz", "AD", true, "", 410},
+      {"email.cz", "AD", true, "seznam.cz", 650},
+      {"web.de", "AD", false, "", 470},
+      {"mac.com", "AD", false, "", 800},
+      {"comcast.net", "SF", false, "", 370},
+      {"verizon.net", "SF", false, "", 520},
+      {"163.com", "DB", false, "", 95},
+      {"sina.com.cn", "DB", false, "", 130},
+      {"rediffmail.com", "DB", false, "", 710},
+      {"gmx.de", "DB", false, "", 560},
+      {"qq.com", "NS", false, "", 28},
+  };
+
+  std::map<std::string, std::vector<util::IpAddress>> pools;
+  for (const Provider& provider : kProviders) {
+    DomainRecord record;
+    record.name = provider.name;
+    record.tld = dns::Name::from_string(provider.name).tld();
+    record.in_alexa = true;
+    record.in_alexa1000 = true;
+    record.alexa_rank = provider.rank;
+    record.is_top_provider = true;
+    record.provider_name = provider.name;
+
+    if (provider.share_pool[0] != '\0') {
+      record.addresses = pools.at(provider.share_pool);
+      for (const auto& address : record.addresses) {
+        auto& address_info = info_.at(address);
+        ++address_info.domains_hosted;
+        address_info.best_rank =
+            address_info.best_rank == 0
+                ? provider.rank
+                : std::min(address_info.best_rank, provider.rank);
+      }
+      domains_.push_back(std::move(record));
+      continue;
+    }
+
+    // Big providers run 3–4 MX hosts with one software stack across the farm.
+    const std::size_t farm = 3 + rng.uniform(0, 1);
+    for (std::size_t i = 0; i < farm; ++i) {
+      mta::HostProfile profile;
+      profile.address = next_address();
+      const std::string_view kind = provider.kind;
+      if (kind == "SF") {
+        profile.smtp_broken = true;
+        profile.validates_spf = false;
+      } else if (kind == "DB") {
+        profile.validates_spf = false;
+        profile.rejects_messages = true;
+      } else if (kind == "NS") {
+        profile.validates_spf = false;
+      } else {
+        profile.validates_spf = true;
+        profile.spf_timing = kind == "MF" ? mta::SpfTiming::AtMailFrom
+                                          : mta::SpfTiming::AfterData;
+        profile.behaviors = {provider.vulnerable
+                                 ? spfvuln::SpfBehavior::VulnerableLibspf2
+                                 : spfvuln::SpfBehavior::RfcCompliant};
+        profile.rejects_spf_fail = false;  // providers tag, not reject
+      }
+
+      AddressInfo address_info;
+      address_info.tld = record.tld;
+      address_info.provider_pool = true;
+      address_info.in_alexa_set = true;
+      address_info.domains_hosted = 1;
+      address_info.best_rank = provider.rank;
+      info_.emplace(profile.address, address_info);
+      geo_.assign(profile.address, record.tld);
+
+      record.addresses.push_back(profile.address);
+      hosts_.emplace(profile.address,
+                     std::make_unique<mta::MailHost>(std::move(profile), dns_,
+                                                     clock_));
+    }
+    pools.emplace(provider.name, record.addresses);
+    domains_.push_back(std::move(record));
+  }
+}
+
+void Fleet::build() {
+  util::Rng root(config_.seed);
+  util::Rng rng_tld = root.fork("tld");
+  util::Rng rng_topology = root.fork("topology");
+  util::Rng rng_profiles = root.fork("profiles");
+
+  const auto scaled = [&](std::size_t n) {
+    return static_cast<std::size_t>(std::max<long long>(
+        1, std::llround(static_cast<double>(n) * config_.scale)));
+  };
+
+  const std::size_t n_alexa = scaled(paper::kAlexaTopListDomains);
+  const std::size_t n_alexa1000 = scaled(paper::kAlexaTop1000);
+  const std::size_t n_mx = scaled(paper::kTwoWeekMxDomains);
+  const std::size_t n_overlap = scaled(paper::kMxInAlexaTopList);
+  const std::size_t n_mx_in_1000 = scaled(paper::kMxInAlexa1000);
+
+  // TLD samplers: weight vectors over the profile table.
+  const auto profiles = tld_profiles();
+  std::vector<double> alexa_weights, mx_weights;
+  alexa_weights.reserve(profiles.size());
+  mx_weights.reserve(profiles.size());
+  for (const auto& p : profiles) {
+    alexa_weights.push_back(static_cast<double>(p.alexa_count));
+    mx_weights.push_back(static_cast<double>(p.mx_count));
+  }
+  const auto sample_tld = [&](std::vector<double>& weights) -> std::string {
+    return std::string(profiles[rng_tld.weighted_index(weights)].tld);
+  };
+
+  // --- 1. The 20 top providers occupy part of the Alexa Top 1000 ---
+  build_top_providers(rng_topology);
+  const std::size_t n_providers = domains_.size();
+
+  // --- 2. Shared hosting pools (created lazily, Zipf-ish popularity) ---
+  struct Pool {
+    std::vector<util::IpAddress> addresses;
+    std::string tld;
+  };
+  // Many small hosting pools (~10 domains each) rather than a few mega-pools:
+  // the paper's vulnerable-domain/vulnerable-address ratio of 2.6 comes from
+  // broad small-scale sharing, and small pools keep domain-level statistics
+  // stable across simulation scales. Pools are TLD-homogeneous — a .za
+  // domain is hosted on .za infrastructure — which is what lets Table 5's
+  // per-TLD patch rates and Figure 3's geography come out of address-level
+  // behaviour. The 2-Week MX cohort gets its own pool population.
+  std::map<std::string, std::vector<Pool>> alexa_pools, mx_pools;
+  auto* active_pools = &alexa_pools;
+  // Per-TLD caps proportional to the TLD's weight in the active set.
+  std::map<std::string, std::size_t> alexa_caps, mx_caps;
+  {
+    double alexa_total = 0, mx_total = 0;
+    for (const auto& p : profiles) {
+      alexa_total += static_cast<double>(p.alexa_count);
+      mx_total += static_cast<double>(p.mx_count);
+    }
+    for (const auto& p : profiles) {
+      // Country-code TLDs are served by many small national operators, so
+      // they get twice the pool density (fewer domains per pool) — this is
+      // what keeps Table 5's per-TLD patch rates statistically stable.
+      const double density = p.lat < 900.0 ? 2.0 : 1.0;
+      alexa_caps[std::string(p.tld)] = std::max<std::size_t>(
+          1, static_cast<std::size_t>(density * scaled(23000) *
+                                      static_cast<double>(p.alexa_count) /
+                                      alexa_total));
+      mx_caps[std::string(p.tld)] = std::max<std::size_t>(
+          1, static_cast<std::size_t>(density * scaled(1600) *
+                                      static_cast<double>(p.mx_count) /
+                                      std::max(1.0, mx_total)));
+    }
+  }
+  auto* active_caps = &alexa_caps;
+  // Pool creation probability per shared use, tuned so creation spreads
+  // across the whole (rank-ordered) domain walk instead of exhausting the
+  // cap at the top of the list: cap / (shared-fraction * set size).
+  double create_prob = static_cast<double>(scaled(23000)) /
+                       (0.78 * static_cast<double>(n_alexa));
+  const auto pick_pool = [&](const std::string& tld, bool in_alexa,
+                             bool in_mx, double rank_pct) -> Pool& {
+    std::vector<Pool>& pools = (*active_pools)[tld];
+    const std::size_t cap = std::max<std::size_t>(1, (*active_caps)[tld]);
+    if (pools.empty() ||
+        (pools.size() < cap && rng_topology.bernoulli(create_prob))) {
+      Pool pool;
+      pool.tld = tld;
+      const std::size_t size = 1 + rng_topology.uniform(0, 2);
+      for (std::size_t i = 0; i < size; ++i) {
+        pool.addresses.push_back(
+            new_host(tld, true, in_alexa, in_mx, rank_pct, rng_profiles));
+      }
+      pools.push_back(std::move(pool));
+      return pools.back();
+    }
+    // Prefer recently created pools: hosting choices are contemporaneous
+    // with a domain's rank neighbourhood, which preserves Figure 4's
+    // rank-vulnerability gradient through the shared-hosting layer.
+    const std::size_t window =
+        std::max<std::size_t>(4, pools.size() / 8);
+    const std::size_t lo = pools.size() > window ? pools.size() - window : 0;
+    return pools[rng_topology.uniform(lo, pools.size() - 1)];
+  };
+
+  const double n_alexa_d = static_cast<double>(n_alexa);
+  const auto assign_addresses = [&](DomainRecord& record) {
+    // Rank percentile: Alexa rank for ranked domains; the 2-Week MX tail
+    // sits mid-distribution.
+    const double rank_pct =
+        record.alexa_rank != 0
+            ? static_cast<double>(record.alexa_rank) / n_alexa_d
+            : 0.5;
+    const std::size_t want =
+        record.in_alexa1000
+            ? 2 + rng_topology.uniform(0, 2)
+            : (rng_topology.bernoulli(0.15) ? 2 : 1);
+    // ccTLD mail skews to dedicated national operators; generic TLDs skew
+    // to large shared hosting.
+    const auto tld_profile = find_tld(record.tld);
+    const bool country_tld = tld_profile.has_value() && tld_profile->lat < 900.0;
+    const bool shared = rng_topology.bernoulli(country_tld ? 0.62 : 0.82);
+    if (shared) {
+      Pool& pool =
+          pick_pool(record.tld, record.in_alexa, record.in_mx, rank_pct);
+      for (std::size_t i = 0; i < want && i < pool.addresses.size(); ++i) {
+        record.addresses.push_back(pool.addresses[i]);
+      }
+    }
+    while (record.addresses.size() < want) {
+      record.addresses.push_back(new_host(record.tld, false, record.in_alexa,
+                                          record.in_mx, rank_pct,
+                                          rng_profiles));
+    }
+    for (const auto& address : record.addresses) {
+      auto& address_info = info_.at(address);
+      ++address_info.domains_hosted;
+      address_info.in_alexa_set |= record.in_alexa;
+      address_info.in_mx_set |= record.in_mx;
+      if (record.alexa_rank != 0) {
+        address_info.best_rank = address_info.best_rank == 0
+                                     ? record.alexa_rank
+                                     : std::min(address_info.best_rank,
+                                                record.alexa_rank);
+      }
+    }
+  };
+
+  // --- 3. Alexa Top List domains, rank order ---
+  std::set<std::size_t> provider_ranks;
+  for (std::size_t i = 0; i < n_providers; ++i) {
+    provider_ranks.insert(domains_[i].alexa_rank);
+  }
+  domains_.reserve(n_alexa + n_mx);
+  for (std::size_t rank = 1; rank <= n_alexa; ++rank) {
+    if (provider_ranks.count(rank) > 0 && config_.scale >= 0.99) continue;
+    DomainRecord record;
+    record.tld = sample_tld(alexa_weights);
+    record.name = "a" + std::to_string(rank) + "." + record.tld;
+    record.in_alexa = true;
+    record.in_alexa1000 = rank <= n_alexa1000;
+    record.alexa_rank = rank;
+    assign_addresses(record);
+    domains_.push_back(std::move(record));
+  }
+
+  // --- 4. 2-Week MX: overlap domains first, then MX-only ---
+  // Overlap: existing Alexa domains also observed in the university's email
+  // traffic; n_mx_in_1000 of them land inside the Top 1000.
+  std::size_t marked = 0, marked_top = 0;
+  for (auto& record : domains_) {
+    if (marked >= n_overlap) break;
+    const bool want_top = marked_top < n_mx_in_1000;
+    if (record.in_alexa1000 != want_top) continue;
+    if (!record.in_alexa || record.in_mx) continue;
+    record.in_mx = true;
+    record.mx_query_count = 1 + rng_topology.uniform(0, 5000);
+    // Note: the overlap domains' *addresses* stay tagged as Alexa hosting;
+    // the MX-cohort patching dynamics belong to the dedicated/MX pools.
+    ++marked;
+    if (record.in_alexa1000) ++marked_top;
+  }
+
+  const std::size_t n_mx_only = n_mx > marked ? n_mx - marked : 0;
+  active_pools = &mx_pools;
+  active_caps = &mx_caps;
+  create_prob = static_cast<double>(scaled(1600)) /
+                (0.78 * static_cast<double>(std::max<std::size_t>(1, n_mx)));
+  for (std::size_t i = 0; i < n_mx_only; ++i) {
+    DomainRecord record;
+    record.tld = sample_tld(mx_weights);
+    record.name = "m" + std::to_string(i + 1) + "." + record.tld;
+    record.in_mx = true;
+    // The 2-week metric: mostly small counts, a heavy head (Zipf-like).
+    record.mx_query_count =
+        1 + static_cast<std::size_t>(
+                5000.0 / (1.0 + rng_topology.uniform(0, 500)));
+    assign_addresses(record);
+    domains_.push_back(std::move(record));
+  }
+}
+
+}  // namespace spfail::population

@@ -1,0 +1,124 @@
+// Synthetic Internet mail fleet, calibrated to the paper's published
+// distributions (DESIGN.md section 2 documents the substitution).
+//
+// The generator produces, deterministically per seed:
+//   * the three domain sets with Table 1's sizes and overlaps,
+//   * Table 2's TLD mix,
+//   * an MX topology (domain -> addresses) with shared hosting pools so the
+//     address/domain ratio matches Table 3 (~175K addresses for ~419K
+//     domains; big providers concentrate many domains on few addresses),
+//   * per-address MTA profiles hitting Table 3's reachability funnel and
+//     Table 4's behaviour rates (including Table 7's erroneous-variant split
+//     and the 6% multi-stack hosts of §7.9),
+//   * rank-dependent vulnerability (Figure 4's gradient),
+//   * the 20 top email providers of Table 3's last column, with §7.5's
+//     vulnerable internationals (naver, mail.ru/vk, wp.pl, seznam/email.cz)
+//     and the non-vulnerable majors (gmail, outlook, icloud, yahoo),
+//   * DbIP-style geolocation for every address (Figure 3).
+//
+// `scale` shrinks every set proportionally so tests and benches run at
+// laptop scale; rates are scale-invariant.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/server.hpp"
+#include "mta/host.hpp"
+#include "population/geo.hpp"
+#include "population/tld.hpp"
+#include "scan/campaign.hpp"
+#include "scan/test_responder.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace spfail::population {
+
+struct DomainRecord {
+  std::string name;
+  std::string tld;
+  bool in_alexa = false;
+  bool in_alexa1000 = false;
+  bool in_mx = false;
+  std::size_t alexa_rank = 0;     // 1-based; 0 if not in the Alexa set
+  std::size_t mx_query_count = 0; // the 2-Week MX usage metric; 0 if not in it
+  bool is_top_provider = false;
+  std::string provider_name;
+  std::vector<util::IpAddress> addresses;
+};
+
+struct AddressInfo {
+  std::string tld;              // TLD of the first domain that used it
+  std::size_t domains_hosted = 0;
+  std::size_t best_rank = 0;    // lowest Alexa rank hosted (0 = none)
+  bool provider_pool = false;
+  bool in_alexa_set = false;
+  bool in_mx_set = false;
+};
+
+struct FleetConfig {
+  double scale = 0.1;        // 1.0 = the paper's full population
+  std::uint64_t seed = 2021; // the year of the measurement, why not
+};
+
+class Fleet : public scan::HostRegistry {
+ public:
+  explicit Fleet(FleetConfig config = {});
+
+  // --- infrastructure shared with the scanner & longitudinal sim ---
+  util::SimClock& clock() noexcept { return clock_; }
+  dns::AuthoritativeServer& dns() noexcept { return dns_; }
+  const scan::TestResponderConfig& responder() const noexcept {
+    return responder_;
+  }
+  GeoDb& geo() noexcept { return geo_; }
+  const GeoDb& geo() const noexcept { return geo_; }
+  const FleetConfig& config() const noexcept { return config_; }
+
+  // --- population access ---
+  const std::vector<DomainRecord>& domains() const noexcept { return domains_; }
+  const AddressInfo& info(const util::IpAddress& address) const;
+  std::size_t address_count() const noexcept { return hosts_.size(); }
+
+  mta::MailHost* find_host(const util::IpAddress& address) override;
+  const mta::MailHost* find_host(const util::IpAddress& address) const;
+
+  // All domains as campaign targets (optionally one set only).
+  enum class SetFilter { All, AlexaTopList, Alexa1000, TwoWeekMx };
+  std::vector<scan::TargetDomain> targets(SetFilter filter = SetFilter::All) const;
+
+  // Re-resolve a domain's addresses as the end-of-study snapshot does
+  // (§7.2). In this model the mapping is stable — MX churn is represented
+  // by the snapshot's blacklist-recovery draw in longitudinal::Study (a
+  // changed front shedding the scanner block) rather than by address
+  // renumbering, so this returns the build-time mapping.
+  const std::vector<util::IpAddress>& current_addresses(
+      const DomainRecord& domain) const;
+
+ private:
+  void build();
+  util::IpAddress next_address();
+  // `rank_pct`: the creating domain's rank percentile (0 = most popular,
+  // 1 = tail) — drives Figure 4's vulnerability gradient.
+  util::IpAddress new_host(const std::string& tld, bool provider_pool,
+                           bool in_alexa, bool in_mx, double rank_pct,
+                           util::Rng& rng);
+  void build_top_providers(util::Rng& rng);
+
+  FleetConfig config_;
+  util::SimClock clock_{util::at_midnight(2021, 10, 11)};
+  dns::AuthoritativeServer dns_;
+  scan::TestResponderConfig responder_;
+  GeoDb geo_;
+
+  std::vector<DomainRecord> domains_;
+  std::map<util::IpAddress, std::unique_ptr<mta::MailHost>> hosts_;
+  std::map<util::IpAddress, AddressInfo> info_;
+  std::uint32_t next_address_value_ = 0x0B000001;  // 11.0.0.1 onwards
+  std::uint32_t next_v6_value_ = 1;  // 2001:db8::/32, sequential
+  std::uint32_t v6_interleave_ = 0;  // every 12th host gets a v6 address
+};
+
+}  // namespace spfail::population

@@ -1,0 +1,84 @@
+#include "population/geo.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "population/tld.hpp"
+
+namespace spfail::population {
+
+namespace {
+
+struct Region {
+  const char* name;
+  double lat;
+  double lon;
+  double weight;  // share of global-mix (com/net/org) hosting
+};
+
+// Where generic-TLD mail servers actually live: heavy US + EU hosting with a
+// meaningful Asian slice (matches Figure 3a's "most populous regions, with a
+// slightly higher concentration in Europe" once ccTLDs are added on top).
+constexpr std::array kGlobalMix = {
+    Region{"us-east", 39.0, -77.0, 0.22}, Region{"us-west", 37.4, -122.1, 0.12},
+    Region{"eu-west", 50.1, 8.7, 0.22},   Region{"eu-east", 52.2, 21.0, 0.12},
+    Region{"asia-east", 35.7, 139.7, 0.10}, Region{"asia-south", 19.1, 72.9, 0.08},
+    Region{"sa", -23.6, -46.6, 0.07},     Region{"oceania", -33.9, 151.2, 0.04},
+    Region{"africa", -29.1, 26.2, 0.03},
+};
+
+std::string region_label(double lat, double lon) {
+  // Coarse, human-readable label for table output.
+  if (lat > 24 && lon < -30) return "north-america";
+  if (lat < 24 && lat > -60 && lon < -30) return "latin-america";
+  if (lat > 35 && lon >= -30 && lon < 45) return "europe";
+  if (lat <= 35 && lat > 5 && lon >= -30 && lon < 60) return "mideast-n-africa";
+  if (lat <= 5 && lon >= -30 && lon < 60) return "africa";
+  if (lon >= 60 && lat > 45) return "russia-cis";
+  if (lon >= 60 && lat >= -10) return "asia";
+  return "oceania";
+}
+
+}  // namespace
+
+GeoPoint GeoDb::assign(const util::IpAddress& address, std::string_view tld) {
+  const auto it = points_.find(address);
+  if (it != points_.end()) return it->second;
+
+  GeoPoint point;
+  const auto profile = find_tld(tld);
+  if (profile.has_value() && profile->lat < 900.0) {
+    point.lat = profile->lat;
+    point.lon = profile->lon;
+  } else {
+    // Generic TLD: draw a region from the global hosting mix.
+    std::array<double, kGlobalMix.size()> weights{};
+    for (std::size_t i = 0; i < kGlobalMix.size(); ++i) {
+      weights[i] = kGlobalMix[i].weight;
+    }
+    const Region& region = kGlobalMix[rng_.weighted_index(weights)];
+    point.lat = region.lat;
+    point.lon = region.lon;
+  }
+  // Jitter within ~±4 degrees so buckets fill out like real geolocation data.
+  point.lat += rng_.uniform01() * 8.0 - 4.0;
+  point.lon += rng_.uniform01() * 8.0 - 4.0;
+  point.lat = std::clamp(point.lat, -85.0, 85.0);
+  point.lon = std::clamp(point.lon, -179.9, 179.9);
+  point.region = region_label(point.lat, point.lon);
+
+  return points_.emplace(address, point).first->second;
+}
+
+const GeoPoint* GeoDb::lookup(const util::IpAddress& address) const {
+  const auto it = points_.find(address);
+  return it == points_.end() ? nullptr : &it->second;
+}
+
+GeoBucket bucket_of(const GeoPoint& point, double cell_degrees) {
+  return GeoBucket{static_cast<int>(std::floor(point.lat / cell_degrees)),
+                   static_cast<int>(std::floor(point.lon / cell_degrees))};
+}
+
+}  // namespace spfail::population

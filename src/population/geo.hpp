@@ -1,0 +1,59 @@
+// Geolocation substrate standing in for the DbIP database (paper §7.3).
+//
+// The paper geolocates each vulnerable address and aggregates coordinates
+// into geographically distinct buckets for the Figure 3 choropleths. Here,
+// every address is assigned coordinates from its TLD's anchor (country-code
+// TLDs) or from a weighted global mix (com/net/org/...), with jitter; the
+// same bucketing then reproduces the figure's relative concentrations.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/ip.hpp"
+#include "util/rng.hpp"
+
+namespace spfail::population {
+
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+  std::string region;  // human-readable region label for reports
+};
+
+class GeoDb {
+ public:
+  explicit GeoDb(util::Rng rng) : rng_(std::move(rng)) {}
+
+  // Assign (and remember) coordinates for an address under the given TLD.
+  GeoPoint assign(const util::IpAddress& address, std::string_view tld);
+
+  // DbIP-style lookup of a previously assigned address.
+  const GeoPoint* lookup(const util::IpAddress& address) const;
+
+  std::size_t size() const noexcept { return points_.size(); }
+
+ private:
+  util::Rng rng_;
+  std::map<util::IpAddress, GeoPoint> points_;
+};
+
+// A lat/lon cell for choropleth aggregation (`cell_degrees` controls
+// resolution; the paper aggregates to "geographically distinct buckets").
+struct GeoBucket {
+  int lat_cell = 0;
+  int lon_cell = 0;
+  friend auto operator<=>(const GeoBucket&, const GeoBucket&) = default;
+};
+
+GeoBucket bucket_of(const GeoPoint& point, double cell_degrees = 10.0);
+
+// Aggregate counts per bucket; value = (region label, count).
+struct BucketCount {
+  GeoBucket bucket;
+  std::string region;
+  std::size_t count = 0;
+};
+
+}  // namespace spfail::population

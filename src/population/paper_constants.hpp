@@ -1,0 +1,112 @@
+// Every calibration constant taken from the SPFail paper, with the table,
+// figure, or section it came from. The fleet generator and the longitudinal
+// patch model consume these; EXPERIMENTS.md records how closely the
+// simulation reproduces them.
+#pragma once
+
+#include <cstddef>
+
+#include "util/clock.hpp"
+
+namespace spfail::population::paper {
+
+// ------------------------------------------------------------ §5.2 / Table 1
+// Domain-set sizes and overlaps.
+inline constexpr std::size_t kAlexaTopListDomains = 418842;
+inline constexpr std::size_t kAlexaTop1000 = 1000;
+inline constexpr std::size_t kTwoWeekMxDomains = 22911;
+// Overlaps (Table 1): 2,922 of the 2-Week MX domains are also in the Alexa
+// Top List; 135 of them fall inside the Alexa Top 1000.
+inline constexpr std::size_t kMxInAlexaTopList = 2922;
+inline constexpr std::size_t kMxInAlexa1000 = 135;
+
+// ------------------------------------------------------------ §7.1 / Table 3
+// Address-level funnel, Alexa Top List column.
+inline constexpr std::size_t kAlexaAddresses = 174679;
+inline constexpr double kAlexaAddrRefused = 0.47;
+inline constexpr double kAlexaAddrSmtpFailure = 0.37;   // of NoMsg-tested
+inline constexpr double kAlexaAddrNoMsgMeasured = 0.13; // of NoMsg-tested
+inline constexpr double kAlexaAddrBlankFailure = 0.048; // of BlankMsg-tested
+inline constexpr double kAlexaAddrBlankMeasured = 0.58; // of BlankMsg-tested
+// 2-Week MX column.
+inline constexpr std::size_t kMxAddresses = 11203;
+inline constexpr double kMxAddrRefused = 0.25;
+inline constexpr double kMxAddrSmtpFailure = 0.24;
+inline constexpr double kMxAddrNoMsgMeasured = 0.23;
+inline constexpr double kMxAddrBlankFailure = 0.079;
+inline constexpr double kMxAddrBlankMeasured = 0.53;
+
+// ------------------------------------------------------------ §7.1 / Table 4
+// "Around 1 in every 6 IP addresses that performed SPF validation were found
+// to be using a vulnerable version of libSPF2, and close to a quarter ...
+// incorrectly expanded SPF macro strings"; 2-Week MX: 1 in 10 vulnerable,
+// 1 in 6 incorrect.
+inline constexpr double kAlexaVulnerableOfMeasured = 0.18;
+inline constexpr double kAlexaErroneousNonVulnOfMeasured = 0.06;
+inline constexpr double kMxVulnerableOfMeasured = 0.10;
+inline constexpr double kMxErroneousNonVulnOfMeasured = 0.067;
+// §7.9: 6% of measurable IPs showed >=2 distinct expansion patterns
+// (2,615 servers).
+inline constexpr double kMultiStackOfMeasured = 0.06;
+// §7.9 split of the non-vulnerable erroneous mass across Table 7 behaviours
+// (relative weights; the paper's Table 7 gives the census shape: failure to
+// expand at all is the most common error, partial transformer errors rarer).
+inline constexpr double kErrNoExpansionWeight = 0.45;
+inline constexpr double kErrNoTruncationWeight = 0.22;
+inline constexpr double kErrNoReversalWeight = 0.12;
+inline constexpr double kErrNoTransformersWeight = 0.14;
+inline constexpr double kErrOtherWeight = 0.07;
+
+// ------------------------------------------------------------ §7.6 / Fig 5
+inline constexpr std::size_t kVulnerableAddressesTotal = 7212;
+inline constexpr std::size_t kVulnerableDomainsTotal = 18660;
+inline constexpr std::size_t kInconclusiveRemeasurable = 721;
+// Fig 8: the Alexa Top 1000 cohort.
+inline constexpr std::size_t kAlexa1000VulnerableDomains = 28;
+inline constexpr std::size_t kAlexa1000VulnerableServers = 87;
+
+// ------------------------------------------------------------ §5.3 timeline
+inline constexpr util::SimTime kInitialMeasurement =
+    util::at_midnight(2021, 10, 11);
+inline constexpr util::SimTime kLongitudinalStart =
+    util::at_midnight(2021, 10, 26);
+inline constexpr util::SimTime kPrivateNotification =
+    util::at_midnight(2021, 11, 15);
+inline constexpr util::SimTime kMeasurementsPaused =
+    util::at_midnight(2021, 11, 30);
+inline constexpr util::SimTime kMeasurementsResumed =
+    util::at_midnight(2022, 1, 15);
+inline constexpr util::SimTime kPublicDisclosure =
+    util::at_midnight(2022, 1, 19);
+inline constexpr util::SimTime kFinalMeasurement =
+    util::at_midnight(2022, 2, 14);
+inline constexpr util::SimTime kMeasurementCadence = 2 * util::kDay;
+
+// ------------------------------------------------------------ §7.2 / Fig 2
+// End-of-study patch rates.
+inline constexpr double kOverallDomainPatchRate = 0.15;   // "about 15%"
+inline constexpr double kOverallAddressPatchRate = 0.24;  // conclusion: 24% MTAs
+inline constexpr double kAlexa1000PatchRate = 0.08;       // "<10%, least of all"
+inline constexpr double kStillVulnerableAtEnd = 0.80;     // ">80% remain"
+
+// ------------------------------------------------------------ §7.6 / Fig 6
+// Window-1 (pre-disclosure) patch fractions of initially vulnerable domains.
+inline constexpr double kWindow1MxPatched = 0.10;
+inline constexpr double kWindow1AlexaPatched = 0.04;
+
+// ------------------------------------------------------------ §7.7
+// Private-notification funnel.
+inline constexpr std::size_t kNotificationsSent = 6488;
+inline constexpr double kNotificationBounceRate = 0.316;
+inline constexpr double kNotificationOpenRate = 0.12;  // of delivered
+inline constexpr std::size_t kOpenedCount = 512;
+inline constexpr std::size_t kOpenedEventuallyPatched = 177;
+inline constexpr std::size_t kPatchedBetweenDisclosures = 9;
+inline constexpr std::size_t kUnnotifiedPatchedBetween = 37;
+
+// ------------------------------------------------------------ §6.1 scanner
+inline constexpr int kMaxConcurrentConnections = 250;
+inline constexpr util::SimTime kInterConnectionGap = 90;
+inline constexpr util::SimTime kGreylistBackoff = 8 * util::kMinute;
+
+}  // namespace spfail::population::paper

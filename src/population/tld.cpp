@@ -1,0 +1,77 @@
+#include "population/tld.hpp"
+
+#include <array>
+
+namespace spfail::population {
+
+namespace {
+
+// Columns: tld, alexa_count, mx_count, vuln_mult, patch_rate, w1_share,
+// lat, lon.
+//
+// * alexa/mx counts for the top-15 TLDs are Table 2 verbatim.
+// * vulnerability multipliers are fitted so per-TLD "initially vulnerable"
+//   counts land near Table 5 (com 8,412; ir 2,130; ru 2,030; tr 232; de 183;
+//   il 182; za 150; by 98; tw 96; eu 56; gr 53) given a global base rate.
+// * patch rates are Table 5 verbatim for its listed TLDs; com is 15% (§7.3);
+//   unlisted TLDs default to the global average inside the generator.
+constexpr std::array kProfiles = {
+    //             tld    alexa      mx   vuln  patch  w1    lat     lon
+    TldProfile{"com", 230801, 11182, 0.80, 0.15, 0.25, 999.0, 999.0},
+    TldProfile{"ru", 19844, 0, 2.30, 0.02, 0.10, 55.7, 37.6},
+    TldProfile{"ir", 17207, 0, 2.80, 0.03, 0.10, 35.7, 51.4},
+    TldProfile{"net", 16672, 1441, 0.80, 0.15, 0.25, 999.0, 999.0},
+    TldProfile{"org", 14427, 3946, 0.80, 0.16, 0.25, 999.0, 999.0},
+    TldProfile{"in", 7856, 0, 1.10, 0.12, 0.20, 19.1, 72.9},
+    TldProfile{"io", 5122, 0, 0.50, 0.25, 0.40, 999.0, 999.0},
+    TldProfile{"au", 4685, 92, 0.70, 0.25, 0.30, -33.9, 151.2},
+    TldProfile{"vn", 4326, 0, 1.60, 0.08, 0.15, 21.0, 105.8},
+    TldProfile{"co", 4250, 0, 0.80, 0.15, 0.25, 4.7, -74.1},
+    TldProfile{"ua", 4139, 0, 1.80, 0.10, 0.15, 50.5, 30.5},
+    TldProfile{"tr", 4117, 0, 1.30, 0.28, 0.30, 41.0, 28.9},
+    TldProfile{"uk", 3429, 241, 0.70, 0.30, 0.35, 51.5, -0.1},
+    TldProfile{"id", 2997, 0, 1.40, 0.10, 0.20, -6.2, 106.8},
+    TldProfile{"ca", 2835, 172, 0.70, 0.25, 0.30, 43.7, -79.4},
+    // 2-Week MX top-15 TLDs not already above.
+    TldProfile{"edu", 900, 2108, 0.50, 0.18, 0.40, 999.0, 999.0},
+    TldProfile{"us", 700, 828, 0.80, 0.20, 0.25, 39.0, -98.0},
+    TldProfile{"gov", 120, 255, 0.30, 0.22, 0.50, 38.9, -77.0},
+    TldProfile{"cam", 150, 232, 1.00, 0.10, 0.20, 999.0, 999.0},
+    TldProfile{"de", 2600, 149, 0.60, 0.46, 0.35, 52.5, 13.4},
+    TldProfile{"work", 300, 142, 1.20, 0.08, 0.15, 999.0, 999.0},
+    TldProfile{"cn", 1800, 99, 1.20, 0.02, 0.05, 39.9, 116.4},
+    TldProfile{"it", 1900, 90, 0.90, 0.22, 0.25, 41.9, 12.5},
+    TldProfile{"top", 600, 86, 1.50, 0.05, 0.10, 999.0, 999.0},
+    // Table 5 TLDs (best/worst patchers) not in the Table 2 top-15s. Counts
+    // here are fitted so each crosses Table 5's >=50-vulnerable threshold.
+    TldProfile{"za", 1900, 20, 1.40, 0.79, 0.98, -29.1, 26.2},
+    TldProfile{"gr", 1100, 10, 1.00, 0.75, 0.60, 38.0, 23.7},
+    TldProfile{"eu", 700, 25, 0.80, 0.29, 0.30, 50.8, 4.4},
+    TldProfile{"il", 1300, 30, 1.45, 0.03, 0.10, 32.1, 34.8},
+    TldProfile{"by", 700, 5, 1.45, 0.02, 0.10, 53.9, 27.6},
+    TldProfile{"tw", 1400, 15, 1.30, 0.00, 0.00, 25.0, 121.5},
+    // European TLDs with higher-than-average patching (§7.3), and filler.
+    TldProfile{"nl", 1500, 60, 0.70, 0.35, 0.40, 52.4, 4.9},
+    TldProfile{"fr", 1700, 70, 0.80, 0.30, 0.35, 48.9, 2.3},
+    TldProfile{"pl", 1400, 50, 1.20, 0.18, 0.25, 52.2, 21.0},
+    TldProfile{"cz", 800, 30, 1.10, 0.20, 0.25, 50.1, 14.4},
+    TldProfile{"kr", 900, 40, 1.20, 0.10, 0.15, 37.6, 127.0},
+    TldProfile{"jp", 1600, 80, 0.60, 0.20, 0.30, 35.7, 139.7},
+    TldProfile{"br", 1900, 60, 1.30, 0.08, 0.15, -23.6, -46.6},
+    TldProfile{"mx", 900, 30, 1.30, 0.06, 0.12, 19.4, -99.1},
+    TldProfile{"ar", 700, 20, 1.30, 0.05, 0.12, -34.6, -58.4},
+    TldProfile{"es", 1100, 40, 0.90, 0.25, 0.30, 40.4, -3.7},
+};
+
+}  // namespace
+
+std::span<const TldProfile> tld_profiles() { return kProfiles; }
+
+std::optional<TldProfile> find_tld(std::string_view tld) {
+  for (const auto& profile : kProfiles) {
+    if (profile.tld == tld) return profile;
+  }
+  return std::nullopt;
+}
+
+}  // namespace spfail::population

@@ -1,0 +1,43 @@
+// Per-TLD calibration: Table 2 set frequencies, Table 5 patch-rate targets,
+// per-TLD vulnerability multipliers implied by Table 5's "initially
+// vulnerable" column, and a geographic anchor for Figure 3.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace spfail::population {
+
+struct TldProfile {
+  std::string_view tld;
+  // Table 2 counts (0 where the paper doesn't list the TLD in a set; the
+  // generator spreads a residual tail over listed-but-small TLDs).
+  std::size_t alexa_count;
+  std::size_t mx_count;
+  // Multiplier on the base per-address vulnerability rate — derived from the
+  // ratio of Table 5 "initially vulnerable" counts to Table 2 set sizes
+  // (e.g. .ir and .ru are several times the global baseline).
+  double vulnerability_multiplier;
+  // Final patch probability for an initially vulnerable address under this
+  // TLD (Table 5 for the listed TLDs; the global ~24% address rate else).
+  double patch_rate;
+  // Fraction of that TLD's patching that lands in window 1 (pre-disclosure).
+  // §7.3: .za patched 98% before the private notification even went out.
+  double window1_share;
+  // Geographic anchor (degrees); lat=999 marks "global mix" TLDs whose
+  // addresses scatter across regions.
+  double lat;
+  double lon;
+};
+
+// The full calibration table (Table 2 top-15s, Table 5 best/worst, plus a
+// synthetic tail so every generated domain has a TLD profile).
+std::span<const TldProfile> tld_profiles();
+
+// Profile lookup; nullopt for unknown TLDs (callers fall back to defaults).
+std::optional<TldProfile> find_tld(std::string_view tld);
+
+}  // namespace spfail::population

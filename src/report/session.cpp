@@ -1,0 +1,57 @@
+#include "report/session.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace spfail::report {
+
+ReproSession::ReproSession(std::optional<double> scale) {
+  double resolved = 0.1;
+  if (scale.has_value()) {
+    resolved = *scale;
+  } else if (const char* env = std::getenv("SPFAIL_SCALE")) {
+    const double parsed = std::atof(env);
+    if (parsed > 0.0 && parsed <= 1.0) resolved = parsed;
+  }
+  config_.scale = resolved;
+}
+
+population::Fleet& ReproSession::fleet() {
+  if (!fleet_) fleet_ = std::make_unique<population::Fleet>(config_);
+  return *fleet_;
+}
+
+const scan::CampaignReport& ReproSession::initial() {
+  if (!initial_.has_value()) {
+    scan::CampaignConfig campaign_config;
+    campaign_config.prober.responder = fleet().responder();
+    scan::Campaign campaign(campaign_config, fleet().dns(), fleet().clock(),
+                            fleet());
+    initial_ = campaign.run(fleet().targets());
+  }
+  return *initial_;
+}
+
+const longitudinal::StudyReport& ReproSession::study() {
+  if (!study_.has_value()) {
+    longitudinal::Study study_runner(fleet());
+    study_ = study_runner.run();
+    // The study ran its own initial campaign; expose it through initial().
+    initial_ = study_->initial;
+  }
+  return *study_;
+}
+
+std::string ReproSession::banner() {
+  std::ostringstream os;
+  os << "SPFail reproduction | scale=" << config_.scale
+     << " (set SPFAIL_SCALE=1 for the paper's full population) | domains="
+     << util::with_commas(static_cast<long long>(fleet().domains().size()))
+     << " addresses="
+     << util::with_commas(static_cast<long long>(fleet().address_count()));
+  return os.str();
+}
+
+}  // namespace spfail::report

@@ -1,0 +1,46 @@
+// Shared fixture for the bench harness.
+//
+// Each bench binary needs some subset of {fleet, initial campaign report,
+// full longitudinal study}; ReproSession builds them lazily and honours the
+// SPFAIL_SCALE environment variable (0 < scale <= 1; default 0.1) so the
+// whole harness can be re-run at the paper's full scale with
+// `SPFAIL_SCALE=1`.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "longitudinal/study.hpp"
+#include "population/fleet.hpp"
+#include "scan/campaign.hpp"
+
+namespace spfail::report {
+
+class ReproSession {
+ public:
+  // Scale resolution order: explicit argument > SPFAIL_SCALE env > 0.1.
+  explicit ReproSession(std::optional<double> scale = std::nullopt);
+
+  double scale() const noexcept { return config_.scale; }
+
+  population::Fleet& fleet();
+
+  // The 2021-10-11 initial measurement over the full fleet (cached).
+  const scan::CampaignReport& initial();
+
+  // The full longitudinal study (runs the initial measurement internally;
+  // cached). Note: the study's campaign supersedes initial() — do not mix
+  // the two on one session, use either initial() or study().
+  const longitudinal::StudyReport& study();
+
+  // A short banner describing the session (scale, seed, population sizes).
+  std::string banner();
+
+ private:
+  population::FleetConfig config_;
+  std::unique_ptr<population::Fleet> fleet_;
+  std::optional<scan::CampaignReport> initial_;
+  std::optional<longitudinal::StudyReport> study_;
+};
+
+}  // namespace spfail::report

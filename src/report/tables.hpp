@@ -1,0 +1,80 @@
+// Renderers for every table and figure in the paper's evaluation.
+//
+// Each function takes the simulation artefacts (fleet, initial campaign
+// report, longitudinal study report) and returns the text table whose rows
+// mirror the paper's. The bench harness prints these; EXPERIMENTS.md records
+// paper-value vs measured-value per row.
+#pragma once
+
+#include <string>
+
+#include "longitudinal/study.hpp"
+#include "population/fleet.hpp"
+#include "util/table.hpp"
+
+namespace spfail::report {
+
+// Table 1: overlap in domain measurement sets (row set ∩ column set).
+util::TextTable table1_overlap(const population::Fleet& fleet);
+
+// Table 2: most common TLDs per domain set (top 15).
+util::TextTable table2_tlds(const population::Fleet& fleet);
+
+// Table 3: NoMsg/BlankMsg funnel by domain set (domains and addresses), plus
+// the Top-Email-Providers domain column.
+util::TextTable table3_outcomes(const population::Fleet& fleet,
+                                const scan::CampaignReport& initial);
+
+// Table 4: initial SPF results breakdown (vulnerable / erroneous / compliant
+// of conclusively measured, per set).
+util::TextTable table4_breakdown(const population::Fleet& fleet,
+                                 const scan::CampaignReport& initial);
+
+// Table 5: best/worst TLD patch rates among TLDs with >= threshold initially
+// vulnerable domains (threshold scales with the fleet).
+util::TextTable table5_tld_patch(const population::Fleet& fleet,
+                                 const longitudinal::StudyReport& study);
+
+// Table 6: package-manager patch latencies (static feed).
+util::TextTable table6_pkgmgr();
+
+// Table 7: SPF macro-expansion behaviour census by IP address.
+util::TextTable table7_behaviors(const population::Fleet& fleet,
+                                 const scan::CampaignReport& initial);
+
+// Figure 2: final patched/vulnerable/unknown distribution per cohort.
+util::TextTable fig2_final_distribution(const population::Fleet& fleet,
+                                        const longitudinal::StudyReport& study);
+
+// Figure 3: geographic buckets — vulnerable addresses and patch rates.
+util::TextTable fig3_geography(const population::Fleet& fleet,
+                               const longitudinal::StudyReport& study);
+
+// Figure 4: vulnerable/patched domains across 20 rank buckets, one table per
+// ranking metric (Alexa rank; 2-Week MX query count).
+util::TextTable fig4_rank_buckets(const population::Fleet& fleet,
+                                  const longitudinal::StudyReport& study,
+                                  longitudinal::Cohort cohort);
+
+// Figure 5 (and Fig 8 when cohort = Alexa1000): conclusive and inferred
+// domain counts per measurement round.
+util::TextTable fig5_conclusive_series(const population::Fleet& fleet,
+                                       const longitudinal::StudyReport& study,
+                                       longitudinal::Cohort cohort);
+
+// Figures 6/7: percent-vulnerable (of inferable) per cohort per round;
+// window1_only selects Figure 6's zoomed first window.
+util::TextTable fig67_vulnerability_series(
+    const population::Fleet& fleet, const longitudinal::StudyReport& study,
+    bool window1_only);
+
+// §7.7: the private-notification funnel.
+util::TextTable notification_funnel(const longitudinal::StudyReport& study);
+
+// The raw percent-vulnerable-of-inferable series for one cohort (the numbers
+// behind Figures 6/7) — used for sparklines and CSV export.
+std::vector<double> vulnerability_series(const population::Fleet& fleet,
+                                         const longitudinal::StudyReport& study,
+                                         longitudinal::Cohort cohort);
+
+}  // namespace spfail::report

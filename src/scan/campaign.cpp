@@ -1,0 +1,199 @@
+#include "scan/campaign.hpp"
+
+#include <algorithm>
+
+namespace spfail::scan {
+
+std::string to_string(AddressVerdict verdict) {
+  switch (verdict) {
+    case AddressVerdict::Refused:
+      return "refused";
+    case AddressVerdict::SmtpFailure:
+      return "smtp-failure";
+    case AddressVerdict::Measured:
+      return "measured";
+    case AddressVerdict::NotMeasured:
+      return "not-measured";
+  }
+  return "?";
+}
+
+bool AddressOutcome::erroneous_but_not_vulnerable() const {
+  if (vulnerable()) return false;
+  for (const auto behavior : behaviors) {
+    if (spfvuln::is_erroneous(behavior)) return true;
+  }
+  return false;
+}
+
+std::size_t CampaignReport::count_verdict(AddressVerdict verdict) const {
+  std::size_t n = 0;
+  for (const auto& [addr, outcome] : addresses) {
+    if (outcome.verdict == verdict) ++n;
+  }
+  return n;
+}
+
+std::size_t CampaignReport::vulnerable_addresses() const {
+  std::size_t n = 0;
+  for (const auto& [addr, outcome] : addresses) n += outcome.vulnerable();
+  return n;
+}
+
+std::size_t CampaignReport::vulnerable_domains() const {
+  std::size_t n = 0;
+  for (const auto& d : domains) n += d.vulnerable;
+  return n;
+}
+
+Campaign::Campaign(CampaignConfig config, dns::AuthoritativeServer& server,
+                   util::SimClock& clock, HostRegistry& registry)
+    : config_(std::move(config)),
+      server_(server),
+      clock_(clock),
+      registry_(registry),
+      labels_(util::Rng(config_.label_seed), config_.prober.responder.base) {}
+
+ProbeResult Campaign::probe_with_greylist_retry(
+    mta::MailHost& host, const std::string& recipient_domain,
+    const dns::Name& mail_from, TestKind kind) {
+  Prober prober(config_.prober, server_, clock_);
+  ProbeResult result = prober.probe(host, recipient_domain, mail_from, kind);
+  for (int attempt = 0;
+       result.status == ProbeStatus::Greylisted &&
+       attempt < config_.max_greylist_retries;
+       ++attempt) {
+    // The paper: wait eight minutes before re-attempting a greylisted host.
+    clock_.advance_by(config_.greylist_backoff);
+    result = prober.probe(host, recipient_domain, mail_from, kind);
+  }
+  return result;
+}
+
+CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
+  CampaignReport report;
+  report.suite_label = labels_.new_suite();
+
+  // 1. Deduplicate addresses, remembering a recipient domain for each (the
+  //    first domain that listed the address — used for RCPT TO).
+  std::map<util::IpAddress, std::string> recipient_for;
+  for (const auto& target : targets) {
+    for (const auto& address : target.addresses) {
+      recipient_for.emplace(address, target.domain);
+    }
+  }
+
+  // 2. Wave 1: NoMsg over every unique address. The concurrency cap means
+  //    wall-clock advances by (gap / cap) per test on average; the clock
+  //    model below approximates 250 parallel scanner lanes.
+  const util::SimTime per_test_advance =
+      std::max<util::SimTime>(1, config_.inter_connection_gap /
+                                     config_.max_concurrent_connections);
+
+  std::vector<util::IpAddress> want_blankmsg;
+  for (const auto& [address, recipient_domain] : recipient_for) {
+    clock_.advance_by(per_test_advance);
+    AddressOutcome outcome;
+    outcome.address = address;
+
+    mta::MailHost* host = registry_.find_host(address);
+    if (host == nullptr) {
+      outcome.verdict = AddressVerdict::Refused;
+      report.addresses.emplace(address, std::move(outcome));
+      continue;
+    }
+
+    const dns::Name mail_from =
+        labels_.mail_from_domain(labels_.new_id(), report.suite_label);
+    const ProbeResult nomsg = probe_with_greylist_retry(
+        *host, recipient_domain, mail_from, TestKind::NoMsg);
+    outcome.nomsg = nomsg;
+
+    switch (nomsg.status) {
+      case ProbeStatus::ConnectionRefused:
+        outcome.verdict = AddressVerdict::Refused;
+        break;
+      case ProbeStatus::SpfMeasured:
+        outcome.verdict = AddressVerdict::Measured;
+        outcome.behaviors = nomsg.behaviors;
+        // The paper retried almost all NoMsg successes with BlankMsg too —
+        // but only those that had NOT yet yielded a conclusive measurement
+        // feed wave 2 here.
+        break;
+      case ProbeStatus::SpfNotMeasured:
+        outcome.verdict = AddressVerdict::NotMeasured;
+        want_blankmsg.push_back(address);
+        break;
+      case ProbeStatus::Greylisted:  // retries exhausted
+      case ProbeStatus::SmtpFailure:
+        outcome.verdict = AddressVerdict::SmtpFailure;
+        // A mid-dialog failure can still be followed by a BlankMsg attempt
+        // when the failure left room for SPF-after-DATA (e.g. the RCPT
+        // ladder ran dry): the paper's wave 2 covered those too.
+        if (nomsg.failing_code == 550) want_blankmsg.push_back(address);
+        break;
+    }
+    report.addresses.emplace(address, std::move(outcome));
+  }
+
+  // 3. Wave 2: BlankMsg for addresses that accepted SMTP but showed no SPF.
+  for (const auto& address : want_blankmsg) {
+    clock_.advance_by(per_test_advance);
+    AddressOutcome& outcome = report.addresses.at(address);
+    mta::MailHost* host = registry_.find_host(address);
+    if (host == nullptr) continue;
+
+    const dns::Name mail_from =
+        labels_.mail_from_domain(labels_.new_id(), report.suite_label);
+    const ProbeResult blankmsg = probe_with_greylist_retry(
+        *host, recipient_for.at(address), mail_from, TestKind::BlankMsg);
+    outcome.blankmsg = blankmsg;
+
+    if (blankmsg.status == ProbeStatus::SpfMeasured) {
+      outcome.verdict = AddressVerdict::Measured;
+      outcome.behaviors.insert(blankmsg.behaviors.begin(),
+                               blankmsg.behaviors.end());
+    } else if (outcome.verdict == AddressVerdict::NotMeasured &&
+               blankmsg.status == ProbeStatus::SmtpFailure) {
+      outcome.verdict = AddressVerdict::SmtpFailure;
+    }
+  }
+
+  // 4. Domain roll-up.
+  report.domains.reserve(targets.size());
+  for (const auto& target : targets) {
+    DomainOutcome domain_outcome;
+    domain_outcome.domain = target.domain;
+    domain_outcome.addresses = target.addresses;
+    for (const auto& address : target.addresses) {
+      const auto it = report.addresses.find(address);
+      if (it == report.addresses.end()) continue;
+      const AddressOutcome& outcome = it->second;
+      if (outcome.verdict == AddressVerdict::Refused) {
+        domain_outcome.any_refused = true;
+      }
+      if (outcome.conclusive()) {
+        domain_outcome.any_measured = true;
+        domain_outcome.behaviors.insert(outcome.behaviors.begin(),
+                                        outcome.behaviors.end());
+      }
+      if (outcome.vulnerable()) domain_outcome.vulnerable = true;
+    }
+    report.domains.push_back(std::move(domain_outcome));
+  }
+  return report;
+}
+
+CampaignReport Campaign::run_addresses(
+    const std::vector<util::IpAddress>& addresses) {
+  std::vector<TargetDomain> targets;
+  targets.reserve(addresses.size());
+  for (const auto& address : addresses) {
+    // Recipient domain is synthesised from the address; longitudinal rounds
+    // only need per-address verdicts, not domain roll-ups.
+    targets.push_back(TargetDomain{"host-" + address.to_string(), {address}});
+  }
+  return run(targets);
+}
+
+}  // namespace spfail::scan

@@ -1,0 +1,122 @@
+// A measurement campaign: the full §5.1/§6.1 procedure over a set of mail
+// domains and their MX addresses.
+//
+// Per round:
+//   1. Deduplicate addresses (a host serving many domains is tested once).
+//   2. Wave 1: run the NoMsg test against every address, honouring the
+//      concurrency cap; greylisted targets are collected, the scanner backs
+//      off (8 simulated minutes), and they are retried — matching how a real
+//      concurrent scanner batches retries.
+//   3. Wave 2: addresses whose NoMsg dialog succeeded but elicited no SPF
+//      lookup are retried with BlankMsg.
+//   4. Verdicts are rolled up from addresses to domains: a domain is
+//      vulnerable if *any* of its addresses is; conclusively non-vulnerable
+//      only if all previously-vulnerable addresses now measure compliant.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scan/prober.hpp"
+
+namespace spfail::scan {
+
+// Where to find the simulated host behind an address. Implemented by
+// population::Fleet; kept abstract so the scanner has no population
+// dependency.
+class HostRegistry {
+ public:
+  virtual ~HostRegistry() = default;
+  // nullptr means "no host at this address" (connect times out).
+  virtual mta::MailHost* find_host(const util::IpAddress& address) = 0;
+};
+
+struct TargetDomain {
+  std::string domain;
+  std::vector<util::IpAddress> addresses;
+};
+
+// Final per-address verdict for one round.
+enum class AddressVerdict {
+  Refused,      // no TCP connection
+  SmtpFailure,  // dialog never reached a state where SPF could show
+  Measured,     // conclusive: behaviours observed
+  NotMeasured,  // SMTP fine but no SPF activity in either test
+};
+
+std::string to_string(AddressVerdict verdict);
+
+struct AddressOutcome {
+  util::IpAddress address;
+  std::optional<ProbeResult> nomsg;
+  std::optional<ProbeResult> blankmsg;
+  AddressVerdict verdict = AddressVerdict::Refused;
+  std::set<spfvuln::SpfBehavior> behaviors;
+
+  bool vulnerable() const {
+    return behaviors.count(spfvuln::SpfBehavior::VulnerableLibspf2) > 0;
+  }
+  bool conclusive() const { return verdict == AddressVerdict::Measured; }
+  bool erroneous_but_not_vulnerable() const;
+};
+
+struct DomainOutcome {
+  std::string domain;
+  std::vector<util::IpAddress> addresses;
+  bool any_refused = false;
+  bool any_measured = false;
+  bool vulnerable = false;
+
+  // Observed behaviours over all the domain's addresses.
+  std::set<spfvuln::SpfBehavior> behaviors;
+};
+
+struct CampaignConfig {
+  ProberConfig prober;
+  int max_concurrent_connections = 250;          // section 6.1
+  util::SimTime inter_connection_gap = 90;       // seconds, same host/domain
+  util::SimTime greylist_backoff = 8 * util::kMinute;
+  int max_greylist_retries = 1;
+  std::uint64_t label_seed = 1;
+};
+
+struct CampaignReport {
+  std::string suite_label;
+  std::map<util::IpAddress, AddressOutcome> addresses;
+  std::vector<DomainOutcome> domains;
+
+  // Aggregates.
+  std::size_t addresses_tested() const { return addresses.size(); }
+  std::size_t count_verdict(AddressVerdict verdict) const;
+  std::size_t vulnerable_addresses() const;
+  std::size_t vulnerable_domains() const;
+};
+
+class Campaign {
+ public:
+  Campaign(CampaignConfig config, dns::AuthoritativeServer& server,
+           util::SimClock& clock, HostRegistry& registry);
+
+  // Run one full measurement round over `targets`.
+  CampaignReport run(const std::vector<TargetDomain>& targets);
+
+  // Re-measure only the given addresses (the longitudinal rounds, which per
+  // section 6.1 are restricted to previously vulnerable/inconclusive hosts).
+  CampaignReport run_addresses(const std::vector<util::IpAddress>& addresses);
+
+ private:
+  ProbeResult probe_with_greylist_retry(mta::MailHost& host,
+                                        const std::string& recipient_domain,
+                                        const dns::Name& mail_from,
+                                        TestKind kind);
+
+  CampaignConfig config_;
+  dns::AuthoritativeServer& server_;
+  util::SimClock& clock_;
+  HostRegistry& registry_;
+  LabelAllocator labels_;
+};
+
+}  // namespace spfail::scan

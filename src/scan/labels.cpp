@@ -1,0 +1,25 @@
+#include "scan/labels.hpp"
+
+namespace spfail::scan {
+
+std::string LabelAllocator::new_suite() {
+  while (true) {
+    std::string suite = "t" + rng_.token(3);
+    if (issued_suites_.insert(suite).second) return suite;
+  }
+}
+
+std::string LabelAllocator::new_id() {
+  while (true) {
+    // 4- or 5-character alphanumeric, as in the paper.
+    std::string id = rng_.token(rng_.bernoulli(0.5) ? 4 : 5);
+    if (issued_ids_.insert(id).second) return id;
+  }
+}
+
+dns::Name LabelAllocator::mail_from_domain(const std::string& id,
+                                           const std::string& suite) const {
+  return base_.child(suite).child(id);
+}
+
+}  // namespace spfail::scan

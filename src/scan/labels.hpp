@@ -1,0 +1,42 @@
+// Unique measurement labels (paper section 5.1).
+//
+// Each tested server gets a 4–5 character alphanumeric <id>; each test suite
+// gets its own <suite> label. Together they (a) tie every DNS query back to
+// the exact server and test that caused it and (b) defeat resolver caches, so
+// every lookup reaches the authoritative server.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "dns/name.hpp"
+#include "util/rng.hpp"
+
+namespace spfail::scan {
+
+class LabelAllocator {
+ public:
+  LabelAllocator(util::Rng rng, dns::Name base)
+      : rng_(std::move(rng)), base_(std::move(base)) {}
+
+  // A fresh suite label (one per measurement round).
+  std::string new_suite();
+
+  // A fresh per-target id, unique within this allocator's lifetime.
+  std::string new_id();
+
+  // The MAIL FROM domain for a given id under the given suite:
+  // <id>.<suite>.<base>.
+  dns::Name mail_from_domain(const std::string& id,
+                             const std::string& suite) const;
+
+  const dns::Name& base() const noexcept { return base_; }
+
+ private:
+  util::Rng rng_;
+  dns::Name base_;
+  std::set<std::string> issued_ids_;
+  std::set<std::string> issued_suites_;
+};
+
+}  // namespace spfail::scan

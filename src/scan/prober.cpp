@@ -1,0 +1,159 @@
+#include "scan/prober.hpp"
+
+#include "scan/usernames.hpp"
+
+namespace spfail::scan {
+
+std::string to_string(TestKind kind) {
+  return kind == TestKind::NoMsg ? "NoMsg" : "BlankMsg";
+}
+
+std::string to_string(ProbeStatus status) {
+  switch (status) {
+    case ProbeStatus::ConnectionRefused:
+      return "connection-refused";
+    case ProbeStatus::SmtpFailure:
+      return "smtp-failure";
+    case ProbeStatus::Greylisted:
+      return "greylisted";
+    case ProbeStatus::SpfMeasured:
+      return "spf-measured";
+    case ProbeStatus::SpfNotMeasured:
+      return "spf-not-measured";
+  }
+  return "?";
+}
+
+ProbeResult Prober::probe(mta::MailHost& host,
+                          const std::string& recipient_domain,
+                          const dns::Name& mail_from_domain, TestKind kind) {
+  ProbeResult result;
+  result.kind = kind;
+  result.target = host.address();
+  result.mail_from_domain = mail_from_domain;
+
+  // Remember where the query log stood so we only read our own test's
+  // entries (the unique label makes collisions impossible anyway; the cursor
+  // keeps repeated tests of the same label honest).
+  const std::size_t log_cursor = server_.query_log().size();
+
+  auto session = host.connect(config_.scanner_address);
+  if (!session.has_value()) {
+    result.status = ProbeStatus::ConnectionRefused;
+    return result;
+  }
+
+  // Each SMTP exchange costs a little simulated time.
+  const auto step = [&] { clock_.advance_by(1); };
+
+  const auto finish_with_log_verdict = [&](bool dialog_ok, int code) {
+    // Read the authoritative log for this test's unique domain.
+    const spfvuln::FingerprintClassifier classifier(mail_from_domain,
+                                                    config_.responder.macro);
+    const auto& entries = server_.query_log().entries();
+    for (std::size_t i = log_cursor; i < entries.size(); ++i) {
+      const auto& entry = entries[i];
+      if (!entry.qname.is_subdomain_of(mail_from_domain)) continue;
+      if (entry.qname == mail_from_domain &&
+          entry.qtype == dns::RRType::TXT) {
+        result.saw_policy_fetch = true;
+        continue;
+      }
+      const auto behavior = classifier.classify(entry.qname);
+      if (behavior.has_value()) result.behaviors.insert(*behavior);
+    }
+    if (!result.behaviors.empty()) {
+      result.status = ProbeStatus::SpfMeasured;
+    } else if (dialog_ok) {
+      result.status = ProbeStatus::SpfNotMeasured;
+    } else {
+      result.failing_code = code;
+      result.status = ProbeStatus::SmtpFailure;
+    }
+  };
+
+  // --- HELO ---
+  step();
+  const smtp::Reply banner = session->greeting();
+  if (!banner.positive()) {
+    finish_with_log_verdict(false, banner.code);
+    return result;
+  }
+  step();
+  const smtp::Reply hello = session->respond("EHLO " + config_.helo_identity);
+  if (!hello.positive()) {
+    finish_with_log_verdict(false, hello.code);
+    return result;
+  }
+
+  // --- MAIL FROM (this is where the unique domain goes) ---
+  step();
+  const std::string mail_from = std::string(kUsernameLadder[0]) + "@" +
+                                mail_from_domain.to_string();
+  const smtp::Reply mail = session->respond("MAIL FROM:<" + mail_from + ">");
+  if (mail.code == 451) {
+    result.status = ProbeStatus::Greylisted;
+    return result;
+  }
+  if (!mail.positive()) {
+    // Rejection after MAIL FROM frequently *is* the SPF check firing
+    // (the served policy ends in -all on purpose); the log decides.
+    finish_with_log_verdict(false, mail.code);
+    return result;
+  }
+
+  // --- RCPT TO: walk the username ladder until one is accepted ---
+  bool rcpt_accepted = false;
+  int last_code = 0;
+  for (const std::string_view username : kUsernameLadder) {
+    step();
+    const smtp::Reply rcpt = session->respond(
+        "RCPT TO:<" + std::string(username) + "@" + recipient_domain + ">");
+    last_code = rcpt.code;
+    if (rcpt.positive()) {
+      rcpt_accepted = true;
+      result.accepted_username = std::string(username);
+      break;
+    }
+    if (rcpt.code == 451) {
+      result.status = ProbeStatus::Greylisted;
+      return result;
+    }
+    if (rcpt.code == 421 || session->closed()) {
+      finish_with_log_verdict(false, rcpt.code);
+      return result;
+    }
+  }
+  if (!rcpt_accepted) {
+    finish_with_log_verdict(false, last_code);
+    return result;
+  }
+
+  // --- DATA ---
+  step();
+  const smtp::Reply data = session->respond("DATA");
+  if (!data.intermediate()) {
+    finish_with_log_verdict(false, data.code);
+    return result;
+  }
+
+  if (kind == TestKind::NoMsg) {
+    // Terminate before transmitting any message content: drop the
+    // connection. Nothing can possibly be delivered.
+    finish_with_log_verdict(true, 0);
+    return result;
+  }
+
+  // BlankMsg: transmit the end-of-data marker immediately — an entirely
+  // empty message (no headers, no subject, no body). A rejection of the
+  // blank message is still an SMTP failure for funnel accounting (though
+  // any SPF queries already issued decide the verdict first).
+  step();
+  const smtp::Reply accepted = session->respond(".");
+  step();
+  session->respond("QUIT");
+  finish_with_log_verdict(accepted.positive(), accepted.code);
+  return result;
+}
+
+}  // namespace spfail::scan

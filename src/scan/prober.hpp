@@ -1,0 +1,91 @@
+// The SMTP prober: one NoMsg or BlankMsg test against one MTA address
+// (paper section 5.1).
+//
+//   NoMsg   — drive the transaction up to the DATA command, then terminate
+//             before transmitting any message. Guarantees nothing is
+//             delivered; detects SPF-at-MAIL-FROM validators.
+//   BlankMsg — send DATA then immediately the end-of-data marker: an entirely
+//             empty message. Detects validators that defer SPF until a
+//             message exists.
+//
+// The verdict is read from the authoritative DNS server's query log: a
+// conclusive measurement is an observed macro-expansion probe query under the
+// test's unique MAIL FROM domain.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dns/server.hpp"
+#include "mta/host.hpp"
+#include "scan/labels.hpp"
+#include "scan/test_responder.hpp"
+#include "spfvuln/fingerprint.hpp"
+
+namespace spfail::scan {
+
+enum class TestKind { NoMsg, BlankMsg };
+
+std::string to_string(TestKind kind);
+
+// How far the SMTP dialog got, and what the DNS log revealed.
+enum class ProbeStatus {
+  ConnectionRefused,  // TCP connect failed
+  SmtpFailure,        // dialog failed before the test could complete
+  Greylisted,         // 451 — retry after the host's greylist delay
+  SpfMeasured,        // >=1 macro-expansion probe query observed
+  SpfNotMeasured,     // dialog fine, but no SPF activity for our domain
+};
+
+std::string to_string(ProbeStatus status);
+
+struct ProbeResult {
+  TestKind kind = TestKind::NoMsg;
+  ProbeStatus status = ProbeStatus::SmtpFailure;
+  util::IpAddress target;
+  dns::Name mail_from_domain;
+
+  // Every distinct behaviour observed (multi-stack hosts show several).
+  std::set<spfvuln::SpfBehavior> behaviors;
+
+  // Whether the policy TXT fetch itself was seen (SPF started).
+  bool saw_policy_fetch = false;
+  // SMTP reply code that ended the dialog (0 if the dialog completed).
+  int failing_code = 0;
+  // The recipient username that was finally accepted (empty if none).
+  std::string accepted_username;
+
+  bool vulnerable() const {
+    return behaviors.count(spfvuln::SpfBehavior::VulnerableLibspf2) > 0;
+  }
+  bool conclusive() const { return status == ProbeStatus::SpfMeasured; }
+};
+
+struct ProberConfig {
+  TestResponderConfig responder;
+  util::IpAddress scanner_address = util::IpAddress::v4(198, 51, 100, 10);
+  std::string helo_identity = "scanner.spf-test.dns-lab.org";
+};
+
+class Prober {
+ public:
+  // `server` is the authoritative server whose query log we read;
+  // `clock` is the shared simulation clock (advanced slightly per probe).
+  Prober(ProberConfig config, dns::AuthoritativeServer& server,
+         util::SimClock& clock)
+      : config_(std::move(config)), server_(server), clock_(clock) {}
+
+  // Run one test. `target_recipient_domain` is the mail domain under test
+  // (the RCPT TO domain); `mail_from_domain` is the unique test domain.
+  ProbeResult probe(mta::MailHost& host, const std::string& recipient_domain,
+                    const dns::Name& mail_from_domain, TestKind kind);
+
+ private:
+  ProberConfig config_;
+  dns::AuthoritativeServer& server_;
+  util::SimClock& clock_;
+};
+
+}  // namespace spfail::scan

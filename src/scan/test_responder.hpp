@@ -1,0 +1,37 @@
+// The measurement domain's dynamic DNS responder (paper section 5.1).
+//
+// The authors' DNS servers accepted *arbitrary* labels under
+// spf-test.dns-lab.org and answered TXT queries with a templated SPF policy
+// echoing the unique <id> and <suite> labels back:
+//
+//   v=spf1 a:%{d1r}.<id>.<suite>.spf-test.dns-lab.org
+//          a:b.<id>.<suite>.spf-test.dns-lab.org -all
+//
+// The first mechanism carries the fingerprint macro; the second ("b.") is a
+// control that fires on any SPF evaluation regardless of macro handling.
+// Every A/AAAA under the base answers with an address that never matches a
+// scanner, so the final SPF result is Fail — by design, so probe mail is
+// rejected rather than delivered (section 6.2).
+#pragma once
+
+#include "dns/server.hpp"
+
+namespace spfail::scan {
+
+struct TestResponderConfig {
+  dns::Name base = dns::Name::from_string("spf-test.dns-lab.org");
+  // Address returned for A queries under the base; chosen to fail SPF checks.
+  util::IpAddress answer_v4 = util::IpAddress::v4(192, 0, 2, 53);
+  std::string macro = "%{d1r}";
+};
+
+// Build the SPF policy text served for one <id>.<suite> mail-from domain.
+std::string test_policy_text(const TestResponderConfig& config,
+                             const dns::Name& mail_from_domain);
+
+// Install the responder on `server`. The returned config echoes what was
+// installed (useful for building classifiers later).
+TestResponderConfig install_test_responder(dns::AuthoritativeServer& server,
+                                           TestResponderConfig config = {});
+
+}  // namespace spfail::scan

@@ -1,0 +1,18 @@
+// The curated recipient-username ladder (paper section 6.3).
+//
+// Tried in order; the random token first so that any probe message that does
+// land in a mailbox lands in a non-existent or unmonitored one.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace spfail::scan {
+
+inline constexpr std::array<std::string_view, 14> kUsernameLadder = {
+    "mmj7yzdm0tbk", "noreply",     "donotreply", "no-reply",  "postmaster",
+    "abuse",        "admin",       "administrator", "newsletters", "alerts",
+    "info",         "auto-confirm", "appointments", "service",
+};
+
+}  // namespace spfail::scan

@@ -1,0 +1,80 @@
+#include "smtp/client.hpp"
+
+#include "util/strings.hpp"
+
+namespace spfail::smtp {
+
+std::string DeliveryResult::transcript_text() const {
+  std::string out;
+  for (const auto& line : transcript) {
+    out += line.direction == TranscriptLine::Direction::ClientToServer ? "C: "
+                                                                       : "S: ";
+    out += line.text;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+DeliveryResult Client::deliver(ServerSession& session,
+                               const std::string& mail_from,
+                               const std::vector<std::string>& recipients,
+                               const mail::Message& message) {
+  DeliveryResult result;
+
+  const auto say = [&](const std::string& line) -> Reply {
+    result.transcript.push_back(
+        {TranscriptLine::Direction::ClientToServer, line});
+    const Reply reply = session.respond(line);
+    if (reply.code != kNoReplyCode) {
+      result.transcript.push_back(
+          {TranscriptLine::Direction::ServerToClient, reply.line()});
+    }
+    return reply;
+  };
+  const auto fail_with = [&](const Reply& reply) {
+    result.accepted = false;
+    result.final_code = reply.code;
+    result.final_text = reply.text;
+    return result;
+  };
+
+  const Reply banner = session.greeting();
+  result.transcript.push_back(
+      {TranscriptLine::Direction::ServerToClient, banner.line()});
+  if (!banner.positive()) return fail_with(banner);
+
+  const Reply hello = say("EHLO " + helo_identity_);
+  if (!hello.positive()) return fail_with(hello);
+
+  const Reply mail = say("MAIL FROM:<" + mail_from + ">");
+  if (!mail.positive()) return fail_with(mail);
+
+  bool any_recipient = false;
+  Reply last_rcpt = replies::ok();
+  for (const auto& recipient : recipients) {
+    last_rcpt = say("RCPT TO:<" + recipient + ">");
+    any_recipient |= last_rcpt.positive();
+    if (last_rcpt.code == 421 || session.closed()) return fail_with(last_rcpt);
+  }
+  if (!any_recipient) return fail_with(last_rcpt);
+
+  const Reply data = say("DATA");
+  if (!data.intermediate()) return fail_with(data);
+
+  // Transmit the message with dot-stuffing, line by line.
+  for (const auto& raw_line : util::split(message.to_string(), '\n')) {
+    std::string line = raw_line;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty() && line.front() == '.') line.insert(line.begin(), '.');
+    say(line);
+  }
+  const Reply accepted = say(".");
+  say("QUIT");
+
+  result.accepted = accepted.positive();
+  result.final_code = accepted.code;
+  result.final_text = accepted.text;
+  return result;
+}
+
+}  // namespace spfail::smtp

@@ -1,0 +1,51 @@
+// SMTP client session driver.
+//
+// Drives a ServerSession through a complete mail transaction, recording the
+// dialog as a transcript (every command and reply, in order). The scanner's
+// Prober drives sessions directly for fine-grained control; this client is
+// the general-purpose path used by examples, the notification sender, and
+// tests that want a whole message delivered in one call.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mail/message.hpp"
+#include "smtp/server.hpp"
+
+namespace spfail::smtp {
+
+struct TranscriptLine {
+  enum class Direction { ClientToServer, ServerToClient };
+  Direction direction;
+  std::string text;
+};
+
+struct DeliveryResult {
+  bool accepted = false;   // message accepted for delivery (250 after ".")
+  int final_code = 0;      // the reply code that decided the outcome
+  std::string final_text;
+  std::vector<TranscriptLine> transcript;
+
+  // Render as "C: ..."/"S: ..." lines for logs and examples.
+  std::string transcript_text() const;
+};
+
+class Client {
+ public:
+  explicit Client(std::string helo_identity)
+      : helo_identity_(std::move(helo_identity)) {}
+
+  // Run one full transaction: EHLO, MAIL FROM, RCPT TO (each recipient),
+  // DATA, message content with dot-stuffing, QUIT. Stops at the first
+  // non-recoverable rejection; `message` is rendered via mail::Message.
+  DeliveryResult deliver(ServerSession& session, const std::string& mail_from,
+                         const std::vector<std::string>& recipients,
+                         const mail::Message& message);
+
+ private:
+  std::string helo_identity_;
+};
+
+}  // namespace spfail::smtp

@@ -1,0 +1,79 @@
+#include "smtp/command.hpp"
+
+#include "util/strings.hpp"
+
+namespace spfail::smtp {
+
+namespace {
+
+// Extract the address between '<' and '>', tolerating the common sloppy form
+// without brackets ("MAIL FROM: user@example.com").
+std::string extract_path(std::string_view rest) {
+  const std::size_t lt = rest.find('<');
+  const std::size_t gt = rest.rfind('>');
+  if (lt != std::string_view::npos && gt != std::string_view::npos && gt > lt) {
+    return std::string(rest.substr(lt + 1, gt - lt - 1));
+  }
+  return std::string(util::trim(rest));
+}
+
+}  // namespace
+
+Command parse_command(std::string_view line) {
+  Command cmd;
+  const std::string_view trimmed = util::trim(line);
+
+  const auto starts_with_i = [&](std::string_view prefix) {
+    return trimmed.size() >= prefix.size() &&
+           util::iequals(trimmed.substr(0, prefix.size()), prefix);
+  };
+
+  if (starts_with_i("MAIL FROM:")) {
+    cmd.verb = Verb::MailFrom;
+    cmd.argument = extract_path(trimmed.substr(10));
+    return cmd;
+  }
+  if (starts_with_i("RCPT TO:")) {
+    cmd.verb = Verb::RcptTo;
+    cmd.argument = extract_path(trimmed.substr(8));
+    return cmd;
+  }
+  if (starts_with_i("EHLO")) {
+    cmd.verb = Verb::Ehlo;
+    cmd.argument = std::string(util::trim(trimmed.substr(4)));
+    return cmd;
+  }
+  if (starts_with_i("HELO")) {
+    cmd.verb = Verb::Helo;
+    cmd.argument = std::string(util::trim(trimmed.substr(4)));
+    return cmd;
+  }
+  if (starts_with_i("DATA") && trimmed.size() == 4) {
+    cmd.verb = Verb::Data;
+    return cmd;
+  }
+  if (starts_with_i("RSET") && trimmed.size() == 4) {
+    cmd.verb = Verb::Rset;
+    return cmd;
+  }
+  if (starts_with_i("NOOP")) {
+    cmd.verb = Verb::Noop;
+    return cmd;
+  }
+  if (starts_with_i("QUIT") && trimmed.size() == 4) {
+    cmd.verb = Verb::Quit;
+    return cmd;
+  }
+  return cmd;  // Unknown
+}
+
+std::optional<MailboxParts> split_mailbox(std::string_view address) {
+  const std::size_t at = address.rfind('@');
+  if (at == std::string_view::npos || at == 0 || at + 1 >= address.size()) {
+    return std::nullopt;
+  }
+  return MailboxParts{std::string(address.substr(0, at)),
+                      util::to_lower(address.substr(at + 1))};
+}
+
+}  // namespace spfail::smtp

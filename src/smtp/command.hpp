@@ -1,0 +1,41 @@
+// SMTP command parsing (RFC 5321 section 4.1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace spfail::smtp {
+
+enum class Verb {
+  Helo,
+  Ehlo,
+  MailFrom,
+  RcptTo,
+  Data,
+  Rset,
+  Noop,
+  Quit,
+  Unknown,
+};
+
+struct Command {
+  Verb verb = Verb::Unknown;
+  // HELO/EHLO: the client identity. MAIL/RCPT: the address inside <>.
+  std::string argument;
+};
+
+// Parse one command line (no trailing CRLF). Never throws; unparseable input
+// comes back as Verb::Unknown so the server can reply 500.
+Command parse_command(std::string_view line);
+
+// Split "user@example.com" into local part and domain. Returns nullopt when
+// there is no '@' or either side is empty — except the empty reverse-path
+// "<>" (bounce sender), which the caller handles separately.
+struct MailboxParts {
+  std::string local;
+  std::string domain;
+};
+std::optional<MailboxParts> split_mailbox(std::string_view address);
+
+}  // namespace spfail::smtp

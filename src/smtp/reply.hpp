@@ -1,0 +1,52 @@
+// SMTP reply codes (RFC 5321 section 4.2).
+#pragma once
+
+#include <string>
+
+namespace spfail::smtp {
+
+struct Reply {
+  int code = 0;
+  std::string text;
+
+  bool positive() const noexcept { return code >= 200 && code < 300; }
+  bool intermediate() const noexcept { return code >= 300 && code < 400; }
+  bool transient_failure() const noexcept { return code >= 400 && code < 500; }
+  bool permanent_failure() const noexcept { return code >= 500 && code < 600; }
+
+  std::string line() const { return std::to_string(code) + " " + text; }
+
+  friend bool operator==(const Reply&, const Reply&) = default;
+};
+
+namespace replies {
+
+inline Reply ready() { return {220, "mail.example ESMTP service ready"}; }
+inline Reply ok() { return {250, "OK"}; }
+inline Reply start_mail_input() {
+  return {354, "Start mail input; end with <CRLF>.<CRLF>"};
+}
+inline Reply closing() { return {221, "Service closing transmission channel"}; }
+inline Reply greylisted() {
+  return {451, "Greylisted, please try again later"};
+}
+inline Reply service_unavailable() {
+  return {421, "Service not available, closing transmission channel"};
+}
+inline Reply mailbox_unavailable() {
+  return {550, "Requested action not taken: mailbox unavailable"};
+}
+inline Reply rejected_by_policy() {
+  return {550, "Rejected by sender policy (SPF fail)"};
+}
+inline Reply bad_sequence() { return {503, "Bad sequence of commands"}; }
+inline Reply syntax_error() { return {500, "Syntax error, command unrecognized"}; }
+inline Reply parameter_error() {
+  return {501, "Syntax error in parameters or arguments"};
+}
+inline Reply blacklisted() {
+  return {554, "Transaction failed: sending host is blocked"};
+}
+
+}  // namespace replies
+}  // namespace spfail::smtp

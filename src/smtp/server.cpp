@@ -1,0 +1,101 @@
+#include "smtp/server.hpp"
+
+namespace spfail::smtp {
+
+Reply ServerSession::respond(const std::string& line) {
+  if (closed_) return replies::bad_sequence();
+
+  if (state_ == State::InData) {
+    if (line == ".") {
+      envelope_.data = std::move(data_buffer_);
+      data_buffer_.clear();
+      state_ = State::Idle;
+      const Reply reply = handler_.on_message(envelope_, client_);
+      envelope_ = Envelope{};
+      if (reply.code == 421) closed_ = true;
+      return reply;
+    }
+    // Dot-stuffing: a leading ".." unstuffs to ".".
+    if (line.size() >= 2 && line[0] == '.' && line[1] == '.') {
+      data_buffer_.append(line.substr(1));
+    } else {
+      data_buffer_.append(line);
+    }
+    data_buffer_.push_back('\n');
+    return Reply{kNoReplyCode, ""};
+  }
+
+  const Command cmd = parse_command(line);
+  switch (cmd.verb) {
+    case Verb::Helo:
+    case Verb::Ehlo: {
+      const Reply reply = handler_.on_hello(cmd.argument, client_);
+      if (reply.positive()) {
+        state_ = State::Idle;
+        envelope_ = Envelope{};
+      } else if (reply.code == 421) {
+        closed_ = true;
+      }
+      return reply;
+    }
+
+    case Verb::MailFrom: {
+      if (state_ == State::WaitHello) return replies::bad_sequence();
+      if (state_ != State::Idle) return replies::bad_sequence();
+      std::string local, domain;
+      if (!cmd.argument.empty()) {  // "<>" arrives as empty argument
+        const auto parts = split_mailbox(cmd.argument);
+        if (!parts.has_value()) return replies::parameter_error();
+        local = parts->local;
+        domain = parts->domain;
+      }
+      const Reply reply = handler_.on_mail_from(local, domain, client_);
+      if (reply.positive()) {
+        envelope_.sender_local = local;
+        envelope_.sender_domain = domain;
+        state_ = State::GotMail;
+      } else if (reply.code == 421) {
+        closed_ = true;
+      }
+      return reply;
+    }
+
+    case Verb::RcptTo: {
+      if (state_ != State::GotMail && state_ != State::GotRcpt) {
+        return replies::bad_sequence();
+      }
+      const Reply reply = handler_.on_rcpt_to(cmd.argument, client_);
+      if (reply.positive()) {
+        envelope_.recipients.push_back(cmd.argument);
+        state_ = State::GotRcpt;
+      } else if (reply.code == 421) {
+        closed_ = true;
+      }
+      return reply;
+    }
+
+    case Verb::Data: {
+      if (state_ != State::GotRcpt) return replies::bad_sequence();
+      state_ = State::InData;
+      return replies::start_mail_input();
+    }
+
+    case Verb::Rset:
+      if (state_ != State::WaitHello) state_ = State::Idle;
+      envelope_ = Envelope{};
+      return replies::ok();
+
+    case Verb::Noop:
+      return replies::ok();
+
+    case Verb::Quit:
+      closed_ = true;
+      return replies::closing();
+
+    case Verb::Unknown:
+      return replies::syntax_error();
+  }
+  return replies::syntax_error();
+}
+
+}  // namespace spfail::smtp

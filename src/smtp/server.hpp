@@ -1,0 +1,81 @@
+// SMTP server session finite-state machine (RFC 5321 section 4.1.4).
+//
+// The session owns protocol sequencing only; mail-acceptance decisions
+// (recipient validation, SPF policy, greylisting) are delegated to a
+// SessionHandler, which the mta module implements per simulated host.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "smtp/command.hpp"
+#include "smtp/reply.hpp"
+#include "util/ip.hpp"
+
+namespace spfail::smtp {
+
+struct Envelope {
+  std::string sender_local;   // empty for the null reverse-path "<>"
+  std::string sender_domain;  // empty for "<>"
+  std::vector<std::string> recipients;
+  std::string data;  // message content (may be empty — the BlankMsg probe)
+};
+
+// Decisions an MTA makes during a session. Handlers return the Reply to send.
+class SessionHandler {
+ public:
+  virtual ~SessionHandler() = default;
+
+  // After HELO/EHLO. Most servers accept unconditionally.
+  virtual Reply on_hello(const std::string& client_identity,
+                         const util::IpAddress& client) = 0;
+
+  // After MAIL FROM. SPF-at-MAIL-time servers trigger validation here.
+  virtual Reply on_mail_from(const std::string& sender_local,
+                             const std::string& sender_domain,
+                             const util::IpAddress& client) = 0;
+
+  // After each RCPT TO.
+  virtual Reply on_rcpt_to(const std::string& recipient,
+                           const util::IpAddress& client) = 0;
+
+  // After the end-of-data marker. SPF-after-DATA servers validate here.
+  virtual Reply on_message(const Envelope& envelope,
+                           const util::IpAddress& client) = 0;
+};
+
+class ServerSession {
+ public:
+  ServerSession(SessionHandler& handler, util::IpAddress client_address)
+      : handler_(handler), client_(std::move(client_address)) {}
+
+  // The 220 banner (or a rejection banner) the server opens with.
+  Reply greeting() const { return replies::ready(); }
+
+  // Feed one line from the client; returns the server's reply. In DATA mode,
+  // lines are accumulated and an empty optional-like sentinel is modelled by
+  // Reply{0,...} — callers should keep sending until the "." terminator.
+  Reply respond(const std::string& line);
+
+  // True once QUIT was processed (or the handler returned a 421).
+  bool closed() const noexcept { return closed_; }
+
+  // True while the session is collecting message content.
+  bool in_data() const noexcept { return state_ == State::InData; }
+
+ private:
+  enum class State { WaitHello, Idle, GotMail, GotRcpt, InData };
+
+  SessionHandler& handler_;
+  util::IpAddress client_;
+  State state_ = State::WaitHello;
+  Envelope envelope_;
+  std::string data_buffer_;
+  bool closed_ = false;
+};
+
+// A reply with code 0 means "no reply yet" (mid-DATA accumulation).
+constexpr int kNoReplyCode = 0;
+
+}  // namespace spfail::smtp

@@ -1,0 +1,175 @@
+#include "spf/macro.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/encoding.hpp"
+#include "util/strings.hpp"
+
+namespace spfail::spf {
+
+namespace {
+
+constexpr std::string_view kMacroLetters = "slodiphcrtv";
+constexpr std::string_view kDelimiterChars = ".-+,/_=";
+
+bool is_macro_letter(char c) {
+  return kMacroLetters.find(static_cast<char>(std::tolower(
+             static_cast<unsigned char>(c)))) != std::string_view::npos;
+}
+
+}  // namespace
+
+std::vector<MacroToken> parse_macro_string(std::string_view s) {
+  std::vector<MacroToken> tokens;
+  std::string literal;
+
+  const auto flush_literal = [&] {
+    if (!literal.empty()) {
+      tokens.push_back(MacroLiteral{std::move(literal)});
+      literal.clear();
+    }
+  };
+
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c != '%') {
+      literal.push_back(c);
+      ++i;
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      throw MacroSyntaxError("macro-string ends with a bare '%'");
+    }
+    const char next = s[i + 1];
+    if (next == '%') {
+      literal.push_back('%');
+      i += 2;
+      continue;
+    }
+    if (next == '_') {
+      literal.push_back(' ');
+      i += 2;
+      continue;
+    }
+    if (next == '-') {
+      literal.append("%20");
+      i += 2;
+      continue;
+    }
+    if (next != '{') {
+      throw MacroSyntaxError(std::string("invalid macro escape '%") + next +
+                             "'");
+    }
+
+    // %{ letter *DIGIT ["r"] *delimiter }
+    const std::size_t close = s.find('}', i + 2);
+    if (close == std::string_view::npos) {
+      throw MacroSyntaxError("unterminated '%{' in macro-string");
+    }
+    const std::string_view body = s.substr(i + 2, close - (i + 2));
+    if (body.empty() || !is_macro_letter(body[0])) {
+      throw MacroSyntaxError("unknown macro letter in '%{" + std::string(body) +
+                             "}'");
+    }
+    MacroItem item;
+    item.letter = static_cast<char>(std::tolower(static_cast<unsigned char>(body[0])));
+    item.url_escape = std::isupper(static_cast<unsigned char>(body[0])) != 0;
+
+    std::size_t j = 1;
+    int digits = 0;
+    bool has_digits = false;
+    while (j < body.size() && std::isdigit(static_cast<unsigned char>(body[j]))) {
+      has_digits = true;
+      digits = digits * 10 + (body[j] - '0');
+      if (digits > 128) throw MacroSyntaxError("digit transformer too large");
+      ++j;
+    }
+    if (has_digits && digits == 0) {
+      throw MacroSyntaxError("digit transformer must be positive");
+    }
+    item.keep = digits;
+    if (j < body.size() && (body[j] == 'r' || body[j] == 'R')) {
+      item.reverse = true;
+      ++j;
+    }
+    if (j < body.size()) {
+      const std::string_view delims = body.substr(j);
+      for (char d : delims) {
+        if (kDelimiterChars.find(d) == std::string_view::npos) {
+          throw MacroSyntaxError("invalid delimiter '" + std::string(1, d) +
+                                 "' in macro");
+        }
+      }
+      item.delimiters.assign(delims);
+    }
+    flush_literal();
+    tokens.push_back(item);
+    i = close + 1;
+  }
+  flush_literal();
+  return tokens;
+}
+
+std::string macro_letter_value(char letter, const MacroContext& ctx) {
+  switch (letter) {
+    case 's':
+      return ctx.sender_local + "@" + ctx.sender_domain.to_string();
+    case 'l':
+      return ctx.sender_local;
+    case 'o':
+      return ctx.sender_domain.to_string();
+    case 'd':
+      return ctx.current_domain.to_string();
+    case 'i':
+      return ctx.client_ip.spf_macro_form();
+    case 'p':
+      return ctx.validated_domain.empty() ? "unknown"
+                                          : ctx.validated_domain.to_string();
+    case 'v':
+      return ctx.client_ip.is_v4() ? "in-addr" : "ip6";
+    case 'h':
+      return ctx.helo_domain.to_string();
+    case 'c':
+      return ctx.client_ip.to_string();
+    case 'r':
+      return ctx.receiver_domain.empty() ? "unknown"
+                                         : ctx.receiver_domain.to_string();
+    case 't':
+      return std::to_string(ctx.timestamp);
+    default:
+      throw MacroSyntaxError(std::string("macro letter '") + letter +
+                             "' has no value");
+  }
+}
+
+std::string apply_transformers(std::string_view value, const MacroItem& item) {
+  std::vector<std::string> parts = util::split_any(value, item.delimiters);
+  if (item.reverse) std::reverse(parts.begin(), parts.end());
+  if (item.keep > 0 && static_cast<std::size_t>(item.keep) < parts.size()) {
+    parts.erase(parts.begin(),
+                parts.end() - static_cast<std::ptrdiff_t>(item.keep));
+  }
+  // Re-join with "." regardless of the split delimiters (RFC 7208 §7.3).
+  return util::join(parts, ".");
+}
+
+std::string Rfc7208Expander::expand(std::string_view macro_string,
+                                    const MacroContext& ctx) const {
+  std::string out;
+  for (const MacroToken& token : parse_macro_string(macro_string)) {
+    if (const auto* literal = std::get_if<MacroLiteral>(&token)) {
+      out += literal->text;
+      continue;
+    }
+    const auto& item = std::get<MacroItem>(token);
+    std::string value =
+        apply_transformers(macro_letter_value(item.letter, ctx), item);
+    if (item.url_escape) value = util::url_encode(value);
+    out += value;
+  }
+  return out;
+}
+
+}  // namespace spfail::spf

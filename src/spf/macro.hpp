@@ -1,0 +1,96 @@
+// SPF macro strings (RFC 7208 section 7).
+//
+// Parsing is shared by every expansion engine; *expansion* is behind the
+// MacroExpander interface so that the libSPF2 vulnerability emulation and the
+// non-RFC-compliant variants observed in the wild (Table 7 of the paper) can
+// each substitute their own — the evaluator is oblivious to which engine an
+// MTA runs, exactly as a real mail stack is.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "util/clock.hpp"
+#include "util/ip.hpp"
+
+namespace spfail::spf {
+
+// One %{...} macro item.
+struct MacroItem {
+  char letter = 'd';         // lowercase macro letter
+  bool url_escape = false;   // letter was uppercase in the source
+  int keep = 0;              // digit transformer; 0 = keep all parts
+  bool reverse = false;      // 'r' transformer
+  std::string delimiters = ".";
+
+  friend bool operator==(const MacroItem&, const MacroItem&) = default;
+};
+
+// Literal text between macros, or one of the %%/%_/%- escapes (already
+// translated to their literal values "%", " ", "%20").
+struct MacroLiteral {
+  std::string text;
+  friend bool operator==(const MacroLiteral&, const MacroLiteral&) = default;
+};
+
+using MacroToken = std::variant<MacroLiteral, MacroItem>;
+
+// Thrown on malformed macro syntax; the evaluator maps this to PermError.
+class MacroSyntaxError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Parse a macro-string into tokens. Throws MacroSyntaxError on a stray '%',
+// an unknown macro letter, or an unterminated "%{".
+std::vector<MacroToken> parse_macro_string(std::string_view macro_string);
+
+// Everything a macro can refer to at evaluation time.
+struct MacroContext {
+  std::string sender_local;   // "l" — local part of MAIL FROM
+  dns::Name sender_domain;    // "o" — domain part of MAIL FROM
+  dns::Name current_domain;   // "d" — <domain> of the current check_host()
+  util::IpAddress client_ip;  // "i"
+  dns::Name helo_domain;      // "h"
+  dns::Name validated_domain; // "p" (rarely used; "unknown" if empty)
+  dns::Name receiver_domain;  // "r" (exp-only)
+  util::SimTime timestamp = 0;  // "t" (exp-only)
+};
+
+// The raw (untransformed) value of one macro letter.
+// Throws MacroSyntaxError for letters invalid in this context.
+std::string macro_letter_value(char letter, const MacroContext& ctx);
+
+// The RFC-compliant transformer pipeline: split on the item's delimiters,
+// optionally reverse, keep the last `keep` parts, re-join with ".".
+std::string apply_transformers(std::string_view value, const MacroItem& item);
+
+// Expansion engine interface.
+class MacroExpander {
+ public:
+  virtual ~MacroExpander() = default;
+
+  // Expand a full macro-string in context. Implementations may be buggy on
+  // purpose — that is the point of this interface.
+  virtual std::string expand(std::string_view macro_string,
+                             const MacroContext& ctx) const = 0;
+
+  // A short stable identifier ("rfc7208", "libspf2-vuln", ...) used in logs
+  // and the behaviour census.
+  virtual std::string_view id() const noexcept = 0;
+};
+
+// The correct, RFC 7208 implementation.
+class Rfc7208Expander : public MacroExpander {
+ public:
+  std::string expand(std::string_view macro_string,
+                     const MacroContext& ctx) const override;
+  std::string_view id() const noexcept override { return "rfc7208"; }
+};
+
+}  // namespace spfail::spf

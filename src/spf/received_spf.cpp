@@ -1,0 +1,65 @@
+#include "spf/received_spf.hpp"
+
+namespace spfail::spf {
+
+namespace {
+
+std::string result_comment(const CheckOutcome& outcome,
+                           const CheckRequest& request,
+                           std::string_view receiver) {
+  const std::string sender = request.sender_local + "@" +
+                             request.sender_domain.to_string();
+  const std::string client = request.client_ip.to_string();
+  std::string comment = std::string(receiver) + ": ";
+  switch (outcome.result) {
+    case Result::Pass:
+      return comment + "domain of " + sender + " designates " + client +
+             " as permitted sender";
+    case Result::Fail:
+      return comment + "domain of " + sender + " does not designate " +
+             client + " as permitted sender";
+    case Result::SoftFail:
+      return comment + "domain of transitioning " + sender +
+             " discourages use of " + client + " as permitted sender";
+    case Result::Neutral:
+      return comment + client + " is neither permitted nor denied by domain "
+                                "of " +
+             sender;
+    case Result::None:
+      return comment + "domain of " + sender +
+             " does not provide an SPF record";
+    case Result::TempError:
+      return comment + "error in processing during lookup of " + sender;
+    case Result::PermError:
+      return comment + "permanent error in processing domain of " + sender;
+  }
+  return comment;
+}
+
+}  // namespace
+
+std::string received_spf_header(const CheckOutcome& outcome,
+                                const CheckRequest& request,
+                                std::string_view receiver) {
+  std::string header = "Received-SPF: " + to_string(outcome.result) + " (" +
+                       result_comment(outcome, request, receiver) + ")";
+  header += " client-ip=" + request.client_ip.to_string() + ";";
+  header += " envelope-from=\"" + request.sender_local + "@" +
+            request.sender_domain.to_string() + "\";";
+  if (!request.helo_domain.empty()) {
+    header += " helo=" + request.helo_domain.to_string() + ";";
+  }
+  return header;
+}
+
+CheckOutcome check_helo(Evaluator& evaluator, const util::IpAddress& client_ip,
+                        const dns::Name& helo_domain) {
+  CheckRequest request;
+  request.client_ip = client_ip;
+  request.sender_local = "postmaster";
+  request.sender_domain = helo_domain;
+  request.helo_domain = helo_domain;
+  return evaluator.check_host(request);
+}
+
+}  // namespace spfail::spf

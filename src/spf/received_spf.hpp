@@ -1,0 +1,26 @@
+// The Received-SPF trace header (RFC 7208 section 9.1) and the HELO-identity
+// check (section 2.3) — the remaining surface a mail stack needs from an SPF
+// library beyond check_host() itself.
+#pragma once
+
+#include "spf/eval.hpp"
+
+namespace spfail::spf {
+
+// Format the Received-SPF header field for a completed check, e.g.:
+//
+//   Received-SPF: pass (mx.example.org: domain of user@example.com
+//     designates 203.0.113.7 as permitted sender) client-ip=203.0.113.7;
+//     envelope-from="user@example.com"; helo=client.example.net;
+//
+// `receiver` names the host performing the check (goes into the comment).
+std::string received_spf_header(const CheckOutcome& outcome,
+                                const CheckRequest& request,
+                                std::string_view receiver);
+
+// RFC 7208 section 2.3: check the HELO identity. Equivalent to check_host()
+// with the HELO domain as <domain> and "postmaster" as the local part.
+CheckOutcome check_helo(Evaluator& evaluator, const util::IpAddress& client_ip,
+                        const dns::Name& helo_domain);
+
+}  // namespace spfail::spf

@@ -1,0 +1,264 @@
+#include "spf/record.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/ip.hpp"
+#include "util/strings.hpp"
+
+namespace spfail::spf {
+
+std::string to_string(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::All:
+      return "all";
+    case MechanismKind::Include:
+      return "include";
+    case MechanismKind::A:
+      return "a";
+    case MechanismKind::Mx:
+      return "mx";
+    case MechanismKind::Ptr:
+      return "ptr";
+    case MechanismKind::Ip4:
+      return "ip4";
+    case MechanismKind::Ip6:
+      return "ip6";
+    case MechanismKind::Exists:
+      return "exists";
+  }
+  return "?";
+}
+
+std::optional<std::string> Record::modifier(std::string_view name) const {
+  for (const auto& m : modifiers) {
+    if (m.name == name) return m.value;
+  }
+  return std::nullopt;
+}
+
+std::string Record::to_string() const {
+  std::string out = "v=spf1";
+  for (const auto& m : mechanisms) {
+    out.push_back(' ');
+    if (m.qualifier != Qualifier::Pass) {
+      out.push_back(static_cast<char>(m.qualifier));
+    }
+    out += spf::to_string(m.kind);
+    if (m.kind == MechanismKind::Ip4 || m.kind == MechanismKind::Ip6) {
+      out.push_back(':');
+      out += m.network;
+    } else if (!m.domain_spec.empty()) {
+      out.push_back(':');
+      out += m.domain_spec;
+    }
+    if (m.cidr4 >= 0) out += "/" + std::to_string(m.cidr4);
+    if (m.cidr6 >= 0) out += "//" + std::to_string(m.cidr6);
+  }
+  for (const auto& mod : modifiers) {
+    out.push_back(' ');
+    out += mod.name + "=" + mod.value;
+  }
+  return out;
+}
+
+bool looks_like_spf(std::string_view txt) {
+  if (!txt.starts_with("v=spf1")) return false;
+  return txt.size() == 6 || txt[6] == ' ';
+}
+
+namespace {
+
+MechanismKind mechanism_kind_from(std::string_view name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "all") return MechanismKind::All;
+  if (lower == "include") return MechanismKind::Include;
+  if (lower == "a") return MechanismKind::A;
+  if (lower == "mx") return MechanismKind::Mx;
+  if (lower == "ptr") return MechanismKind::Ptr;
+  if (lower == "ip4") return MechanismKind::Ip4;
+  if (lower == "ip6") return MechanismKind::Ip6;
+  if (lower == "exists") return MechanismKind::Exists;
+  throw RecordSyntaxError("unknown mechanism '" + std::string(name) + "'");
+}
+
+// Parse "/24", "//64", or "/24//64" suffixes off the end of `spec`.
+void parse_dual_cidr(std::string& spec, Mechanism& mech) {
+  const auto parse_int = [](std::string_view digits, int max) {
+    if (digits.empty() || digits.size() > 3) {
+      throw RecordSyntaxError("malformed CIDR length");
+    }
+    int value = 0;
+    for (char c : digits) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        throw RecordSyntaxError("malformed CIDR length");
+      }
+      value = value * 10 + (c - '0');
+    }
+    if (value > max) throw RecordSyntaxError("CIDR length out of range");
+    return value;
+  };
+
+  const std::size_t dslash = spec.find("//");
+  if (dslash != std::string::npos) {
+    mech.cidr6 = parse_int(std::string_view(spec).substr(dslash + 2), 128);
+    spec.erase(dslash);
+  }
+  const std::size_t slash = spec.find('/');
+  if (slash != std::string::npos) {
+    // Parse permissively up to 128 here; the per-mechanism validation below
+    // re-checks (an ip6 single-slash CIDR legitimately reaches 128, while
+    // a/mx/ip4 must stay within 32).
+    mech.cidr4 = parse_int(std::string_view(spec).substr(slash + 1), 128);
+    spec.erase(slash);
+  }
+}
+
+bool is_modifier_term(std::string_view term) {
+  // name "=" value, where name starts with a letter and contains only
+  // alnum / '-' / '_' / '.'.
+  const std::size_t eq = term.find('=');
+  if (eq == std::string_view::npos || eq == 0) return false;
+  if (!std::isalpha(static_cast<unsigned char>(term[0]))) return false;
+  for (char c : term.substr(0, eq)) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_' &&
+        c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Record parse_record(std::string_view txt) {
+  if (!looks_like_spf(txt)) {
+    throw RecordSyntaxError("record does not start with 'v=spf1'");
+  }
+  Record record;
+  bool saw_redirect = false;
+
+  for (const auto& raw_term : util::split(txt.substr(6), ' ')) {
+    const std::string_view term = util::trim(raw_term);
+    if (term.empty()) continue;
+
+    if (is_modifier_term(term)) {
+      const std::size_t eq = term.find('=');
+      Modifier mod;
+      mod.name = util::to_lower(term.substr(0, eq));
+      mod.value = std::string(term.substr(eq + 1));
+      if (mod.name == "redirect") {
+        if (saw_redirect) {
+          throw RecordSyntaxError("duplicate redirect modifier");
+        }
+        saw_redirect = true;
+      }
+      record.modifiers.push_back(std::move(mod));
+      continue;
+    }
+
+    Mechanism mech;
+    std::string_view rest = term;
+    switch (rest.front()) {
+      case '+':
+        mech.qualifier = Qualifier::Pass;
+        rest.remove_prefix(1);
+        break;
+      case '-':
+        mech.qualifier = Qualifier::Fail;
+        rest.remove_prefix(1);
+        break;
+      case '~':
+        mech.qualifier = Qualifier::SoftFail;
+        rest.remove_prefix(1);
+        break;
+      case '?':
+        mech.qualifier = Qualifier::Neutral;
+        rest.remove_prefix(1);
+        break;
+      default:
+        break;
+    }
+    if (rest.empty()) throw RecordSyntaxError("empty mechanism");
+
+    std::string name, argument;
+    const std::size_t colon = rest.find(':');
+    std::size_t name_end = colon;
+    // A bare "a/24" has a CIDR but no colon argument.
+    const std::size_t slash = rest.find('/');
+    if (slash != std::string_view::npos &&
+        (colon == std::string_view::npos || slash < colon)) {
+      name_end = slash;
+      argument = std::string(rest.substr(slash));  // keep '/...' in argument
+    } else if (colon != std::string_view::npos) {
+      argument = std::string(rest.substr(colon + 1));
+    }
+    name = std::string(name_end == std::string_view::npos
+                           ? rest
+                           : rest.substr(0, name_end));
+    mech.kind = mechanism_kind_from(name);
+
+    switch (mech.kind) {
+      case MechanismKind::All:
+        if (!argument.empty()) {
+          throw RecordSyntaxError("'all' takes no argument");
+        }
+        break;
+      case MechanismKind::Include:
+      case MechanismKind::Exists:
+        if (argument.empty()) {
+          throw RecordSyntaxError("'" + name + "' requires a domain-spec");
+        }
+        mech.domain_spec = argument;
+        break;
+      case MechanismKind::A:
+      case MechanismKind::Mx:
+      case MechanismKind::Ptr: {
+        std::string spec = argument;
+        parse_dual_cidr(spec, mech);
+        if (mech.kind == MechanismKind::Ptr && (mech.cidr4 >= 0 || mech.cidr6 >= 0)) {
+          throw RecordSyntaxError("'ptr' takes no CIDR");
+        }
+        if (mech.cidr4 > 32) {
+          throw RecordSyntaxError("v4 CIDR length out of range");
+        }
+        mech.domain_spec = spec;
+        break;
+      }
+      case MechanismKind::Ip4:
+      case MechanismKind::Ip6: {
+        std::string spec = argument;
+        parse_dual_cidr(spec, mech);
+        if (mech.kind == MechanismKind::Ip4 && mech.cidr6 >= 0) {
+          throw RecordSyntaxError("'ip4' cannot carry a //v6 CIDR");
+        }
+        if (mech.kind == MechanismKind::Ip4 && mech.cidr4 > 32) {
+          throw RecordSyntaxError("ip4 CIDR length out of range");
+        }
+        if (mech.kind == MechanismKind::Ip6 && mech.cidr4 >= 0 && mech.cidr6 < 0) {
+          // "ip6:.../64" parses into cidr4 by position; reinterpret.
+          if (mech.cidr4 > 128) throw RecordSyntaxError("ip6 CIDR out of range");
+          mech.cidr6 = mech.cidr4;
+          mech.cidr4 = -1;
+        }
+        const auto ip = util::IpAddress::parse(spec);
+        if (!ip.has_value()) {
+          throw RecordSyntaxError("malformed address in '" + std::string(term) +
+                                  "'");
+        }
+        if (mech.kind == MechanismKind::Ip4 && !ip->is_v4()) {
+          throw RecordSyntaxError("ip4 mechanism with non-v4 address");
+        }
+        if (mech.kind == MechanismKind::Ip6 && !ip->is_v6()) {
+          throw RecordSyntaxError("ip6 mechanism with non-v6 address");
+        }
+        mech.network = spec;
+        break;
+      }
+    }
+    record.mechanisms.push_back(std::move(mech));
+  }
+  return record;
+}
+
+}  // namespace spfail::spf

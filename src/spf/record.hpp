@@ -1,0 +1,89 @@
+// SPF record model and parser (RFC 7208 sections 4.6.1, 5, 6).
+//
+// An SPF record is "v=spf1" followed by whitespace-separated terms:
+// mechanisms (with an optional qualifier prefix) and modifiers (name=value).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spfail::spf {
+
+enum class Qualifier : char {
+  Pass = '+',
+  Fail = '-',
+  SoftFail = '~',
+  Neutral = '?',
+};
+
+enum class MechanismKind {
+  All,
+  Include,
+  A,
+  Mx,
+  Ptr,
+  Ip4,
+  Ip6,
+  Exists,
+};
+
+std::string to_string(MechanismKind kind);
+
+struct Mechanism {
+  Qualifier qualifier = Qualifier::Pass;
+  MechanismKind kind = MechanismKind::All;
+
+  // Unexpanded domain-spec (may contain macros); empty means "use the
+  // current domain" where the mechanism allows that (a, mx, ptr).
+  std::string domain_spec;
+
+  // ip4/ip6 network for Ip4/Ip6 mechanisms (textual, validated at parse).
+  std::string network;
+
+  // CIDR lengths; -1 = unspecified (full-length match).
+  int cidr4 = -1;
+  int cidr6 = -1;
+
+  friend bool operator==(const Mechanism&, const Mechanism&) = default;
+};
+
+struct Modifier {
+  std::string name;   // lowercase
+  std::string value;  // unexpanded macro-string
+
+  friend bool operator==(const Modifier&, const Modifier&) = default;
+};
+
+class RecordSyntaxError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Record {
+  std::vector<Mechanism> mechanisms;
+  std::vector<Modifier> modifiers;
+
+  // First value of the named modifier, if present.
+  std::optional<std::string> modifier(std::string_view name) const;
+  std::optional<std::string> redirect() const { return modifier("redirect"); }
+  std::optional<std::string> exp() const { return modifier("exp"); }
+
+  // Render back to record text (normalised spacing/qualifiers).
+  std::string to_string() const;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+// True if `txt` begins with the version tag "v=spf1" followed by a space or
+// end-of-string (the RFC's record-selection test).
+bool looks_like_spf(std::string_view txt);
+
+// Parse a full record ("v=spf1 ..."). Throws RecordSyntaxError on violations
+// the RFC calls out as PermError: unknown mechanism names, malformed CIDR,
+// bad ip4/ip6 networks, duplicate redirect, junk qualifiers.
+Record parse_record(std::string_view txt);
+
+}  // namespace spfail::spf

@@ -1,0 +1,25 @@
+#include "spf/result.hpp"
+
+namespace spfail::spf {
+
+std::string to_string(Result r) {
+  switch (r) {
+    case Result::None:
+      return "none";
+    case Result::Neutral:
+      return "neutral";
+    case Result::Pass:
+      return "pass";
+    case Result::Fail:
+      return "fail";
+    case Result::SoftFail:
+      return "softfail";
+    case Result::TempError:
+      return "temperror";
+    case Result::PermError:
+      return "permerror";
+  }
+  return "?";
+}
+
+}  // namespace spfail::spf

@@ -1,0 +1,20 @@
+// SPF evaluation results (RFC 7208 section 2.6).
+#pragma once
+
+#include <string>
+
+namespace spfail::spf {
+
+enum class Result {
+  None,       // no SPF record published
+  Neutral,    // "?" — domain makes no assertion
+  Pass,       // client is authorized
+  Fail,       // client is NOT authorized
+  SoftFail,   // "~" — probably not authorized
+  TempError,  // transient DNS failure
+  PermError,  // unrecoverable policy error (syntax, too many lookups, ...)
+};
+
+std::string to_string(Result r);
+
+}  // namespace spfail::spf

@@ -1,0 +1,65 @@
+#include "spfvuln/fingerprint.hpp"
+
+#include <array>
+
+namespace spfail::spfvuln {
+
+namespace {
+
+// Behaviours with distinct fingerprints, in claim order: if two behaviours
+// ever produced the same name, the earlier one wins the classification.
+constexpr std::array kFingerprintable = {
+    SpfBehavior::RfcCompliant,   SpfBehavior::VulnerableLibspf2,
+    SpfBehavior::NoExpansion,    SpfBehavior::NoTruncation,
+    SpfBehavior::NoReversal,     SpfBehavior::NoTransformers,
+    SpfBehavior::OtherErroneous,
+};
+
+}  // namespace
+
+FingerprintClassifier::FingerprintClassifier(dns::Name mail_from_domain,
+                                             std::string macro)
+    : domain_(std::move(mail_from_domain)), macro_(std::move(macro)) {
+  spf::MacroContext ctx;
+  ctx.sender_local = "postmaster";
+  ctx.sender_domain = domain_;
+  ctx.current_domain = domain_;
+  ctx.client_ip = util::IpAddress::v4(192, 0, 2, 1);  // irrelevant to %{d...}
+
+  for (const SpfBehavior behavior : kFingerprintable) {
+    const auto expander = make_expander(behavior);
+    const std::string expansion = expander->expand(macro_, ctx);
+    const dns::Name query =
+        dns::Name::lenient(expansion + "." + domain_.to_string());
+    expected_.emplace(query.to_string(), behavior);
+  }
+}
+
+std::optional<SpfBehavior> FingerprintClassifier::classify(
+    const dns::Name& observed) const {
+  if (!observed.is_subdomain_of(domain_)) return std::nullopt;
+  if (observed == domain_) return std::nullopt;  // the TXT policy fetch
+  const auto relative = observed.labels_relative_to(domain_);
+  if (relative.size() == 1 && relative[0] == "b") {
+    return std::nullopt;  // the control mechanism a:b.<domain>
+  }
+  if (!relative.empty() && relative.front() == "_dmarc") {
+    return std::nullopt;  // a receiver's DMARC policy discovery, not a probe
+  }
+  const auto it = expected_.find(observed.to_string());
+  if (it != expected_.end()) return it->second;
+  return SpfBehavior::OtherErroneous;
+}
+
+dns::Name FingerprintClassifier::expected_query(SpfBehavior behavior) const {
+  spf::MacroContext ctx;
+  ctx.sender_local = "postmaster";
+  ctx.sender_domain = domain_;
+  ctx.current_domain = domain_;
+  ctx.client_ip = util::IpAddress::v4(192, 0, 2, 1);
+  const auto expander = make_expander(behavior);
+  return dns::Name::lenient(expander->expand(macro_, ctx) + "." +
+                            domain_.to_string());
+}
+
+}  // namespace spfail::spfvuln

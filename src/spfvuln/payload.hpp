@@ -1,0 +1,43 @@
+// Attacker-side payload construction (paper section 1: "messages that lead
+// the server to pull down an exploitative payload from the DNS").
+//
+// Given a desired heap-overflow size, these helpers construct the SPF record
+// an attacker would publish on a domain they control, and predict — via the
+// memory-safe emulation — exactly how many bytes land past the allocation
+// when a vulnerable libSPF2 expands it. Used by the exploit_anatomy example
+// and by tests that pin the CVEs' quantitative behaviour; nothing here (or
+// anywhere in this repository) performs an actual out-of-bounds write.
+#pragma once
+
+#include <string>
+
+#include "spfvuln/libspf2_expander.hpp"
+
+namespace spfail::spfvuln {
+
+struct CraftedPayload {
+  // The domain the attacker registers and the SPF TXT they publish on it.
+  std::string attacker_domain;
+  std::string spf_record;
+  // What the victim's expansion of the record's macro does.
+  ExpansionReport predicted;
+};
+
+// CVE-2021-33913: build a sender domain whose %{d1r}-style expansion
+// overflows by at least `min_overflow_bytes` (achievable range ~1..200+;
+// bounded by the 253-octet domain-name limit). The record published at
+// `attacker_domain` is what the *victim's* SPF policy need not even contain —
+// the attacker puts the macro in their own record and sends mail FROM their
+// domain to any server validating with vulnerable libSPF2.
+CraftedPayload craft_reversal_payload(std::size_t min_overflow_bytes);
+
+// CVE-2021-33912: build a sender local-part/domain whose URL-escaping
+// expansion (%{L}) overflows by exactly 6 bytes per high-bit character.
+CraftedPayload craft_urlencode_payload(std::size_t high_bit_characters);
+
+// The largest reversal overflow achievable within DNS name-length limits
+// (the paper: "up to 100 arbitrary characters"; the true bound is slightly
+// higher and this computes it).
+std::size_t max_reversal_overflow();
+
+}  // namespace spfail::spfvuln

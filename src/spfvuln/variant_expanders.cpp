@@ -1,0 +1,78 @@
+#include "spfvuln/variant_expanders.hpp"
+
+#include <algorithm>
+
+#include "util/encoding.hpp"
+#include "util/strings.hpp"
+
+namespace spfail::spfvuln {
+
+namespace {
+
+// Shared driver: parse, expand each item through `transform`, concatenate.
+template <typename TransformFn>
+std::string expand_with(std::string_view macro_string,
+                        const spf::MacroContext& ctx, TransformFn transform) {
+  std::string out;
+  for (const spf::MacroToken& token : spf::parse_macro_string(macro_string)) {
+    if (const auto* literal = std::get_if<spf::MacroLiteral>(&token)) {
+      out += literal->text;
+      continue;
+    }
+    const auto& item = std::get<spf::MacroItem>(token);
+    std::string value = transform(item, spf::macro_letter_value(item.letter, ctx));
+    if (item.url_escape) value = util::url_encode(value);
+    out += value;
+  }
+  return out;
+}
+
+std::string transform_skipping(std::string_view value,
+                               const spf::MacroItem& item, bool do_reverse,
+                               bool do_truncate) {
+  std::vector<std::string> parts = util::split_any(value, item.delimiters);
+  if (do_reverse && item.reverse) std::reverse(parts.begin(), parts.end());
+  if (do_truncate && item.keep > 0 &&
+      static_cast<std::size_t>(item.keep) < parts.size()) {
+    parts.erase(parts.begin(),
+                parts.end() - static_cast<std::ptrdiff_t>(item.keep));
+  }
+  return util::join(parts, ".");
+}
+
+}  // namespace
+
+std::string NoExpansionExpander::expand(std::string_view macro_string,
+                                        const spf::MacroContext& ctx) const {
+  (void)ctx;
+  // Still *parses* (a real implementation that chokes on syntax would
+  // temperror out) but substitutes nothing.
+  spf::parse_macro_string(macro_string);
+  return std::string(macro_string);
+}
+
+std::string NoTruncationExpander::expand(std::string_view macro_string,
+                                         const spf::MacroContext& ctx) const {
+  return expand_with(macro_string, ctx,
+                     [](const spf::MacroItem& item, std::string_view value) {
+                       return transform_skipping(value, item, true, false);
+                     });
+}
+
+std::string NoReversalExpander::expand(std::string_view macro_string,
+                                       const spf::MacroContext& ctx) const {
+  return expand_with(macro_string, ctx,
+                     [](const spf::MacroItem& item, std::string_view value) {
+                       return transform_skipping(value, item, false, true);
+                     });
+}
+
+std::string NoTransformersExpander::expand(std::string_view macro_string,
+                                           const spf::MacroContext& ctx) const {
+  return expand_with(macro_string, ctx,
+                     [](const spf::MacroItem& item, std::string_view value) {
+                       return transform_skipping(value, item, false, false);
+                     });
+}
+
+}  // namespace spfail::spfvuln

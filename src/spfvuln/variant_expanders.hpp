@@ -1,0 +1,48 @@
+// Non-RFC-compliant macro expansion engines observed in the wild.
+//
+// Section 7.9 / Table 7 of the paper classifies the erroneous (but not
+// vulnerable) SPF implementations by how they mis-expand %{d1r}:
+// failing to expand at all, failing to truncate, failing to reverse, or both.
+// Each variant here implements MacroExpander so a simulated MTA can run it,
+// and the FingerprintClassifier uses the same engines to predict each
+// behaviour's observable DNS query.
+#pragma once
+
+#include "spf/macro.hpp"
+
+namespace spfail::spfvuln {
+
+// Leaves the macro text literally in place: queries arrive for
+// "%{d1r}.<id>.<suite>.spf-test.dns-lab.org".
+class NoExpansionExpander : public spf::MacroExpander {
+ public:
+  std::string expand(std::string_view macro_string,
+                     const spf::MacroContext& ctx) const override;
+  std::string_view id() const noexcept override { return "no-expansion"; }
+};
+
+// Honours 'r' but ignores digit transformers ("com.example" fingerprint).
+class NoTruncationExpander : public spf::MacroExpander {
+ public:
+  std::string expand(std::string_view macro_string,
+                     const spf::MacroContext& ctx) const override;
+  std::string_view id() const noexcept override { return "no-truncation"; }
+};
+
+// Honours digits but ignores 'r' (truncates the *unreversed* label list).
+class NoReversalExpander : public spf::MacroExpander {
+ public:
+  std::string expand(std::string_view macro_string,
+                     const spf::MacroContext& ctx) const override;
+  std::string_view id() const noexcept override { return "no-reversal"; }
+};
+
+// Ignores both transformers: the raw macro value is substituted.
+class NoTransformersExpander : public spf::MacroExpander {
+ public:
+  std::string expand(std::string_view macro_string,
+                     const spf::MacroContext& ctx) const override;
+  std::string_view id() const noexcept override { return "no-transformers"; }
+};
+
+}  // namespace spfail::spfvuln

@@ -1,0 +1,36 @@
+#include "util/clock.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace spfail::util {
+
+std::string format_date(SimTime t) {
+  const CivilDate d = to_civil(t);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+std::string format_datetime(SimTime t) {
+  const CivilDate d = to_civil(t);
+  std::int64_t secs = t % kDay;
+  if (secs < 0) secs += kDay;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02lld:%02lld:%02lld", d.year,
+                d.month, d.day, static_cast<long long>(secs / kHour),
+                static_cast<long long>((secs / kMinute) % 60),
+                static_cast<long long>(secs % 60));
+  return buf;
+}
+
+void SimClock::advance_to(SimTime t) {
+  if (t < now_) {
+    throw std::logic_error("SimClock::advance_to: time moved backwards (" +
+                           format_datetime(t) + " < " + format_datetime(now_) +
+                           ")");
+  }
+  now_ = t;
+}
+
+}  // namespace spfail::util

@@ -1,0 +1,52 @@
+#include "util/encoding.hpp"
+
+#include <cstdio>
+
+namespace spfail::util {
+
+std::string url_encode_byte(unsigned char c) {
+  char buf[4];
+  std::snprintf(buf, sizeof(buf), "%%%02X", c);
+  return buf;
+}
+
+std::string url_encode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (is_url_unreserved(c)) {
+      out.push_back(ch);
+    } else {
+      out.append(url_encode_byte(c));
+    }
+  }
+  return out;
+}
+
+std::string libspf2_sprintf_encode_byte(unsigned char c) {
+  // Reproduce the exact integer conversion chain from the vulnerable code:
+  //   char value -> (default promotion) int -> (as %x operand) unsigned int.
+  // A byte >= 0x80 stored in a signed char becomes a negative int, whose
+  // unsigned representation is 0xFFFFFFxx — printed as 8 hex digits instead
+  // of the 2 the author assumed.
+  const char as_signed = static_cast<char>(c);
+  const unsigned int promoted = static_cast<unsigned int>(static_cast<int>(as_signed));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%%%02x", promoted);
+  return buf;
+}
+
+std::string to_hex(std::string_view bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (char ch : bytes) {
+    const auto c = static_cast<unsigned char>(ch);
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace spfail::util

@@ -1,0 +1,34 @@
+// Encoding helpers: RFC 3986 URL (percent) encoding as SPF macro expansion
+// requires it, plus hexadecimal rendering used by the vulnerability emulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace spfail::util {
+
+// True for RFC 3986 "unreserved" characters, which SPF's URL-encoding macros
+// pass through unescaped.
+constexpr bool is_url_unreserved(unsigned char c) noexcept {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' || c == '~';
+}
+
+// Correct percent-encoding of one byte: always "%XX" (uppercase hex).
+std::string url_encode_byte(unsigned char c);
+
+// Percent-encode a whole string, leaving unreserved characters intact.
+std::string url_encode(std::string_view s);
+
+// What libSPF2's vulnerable code *actually* produces for one byte: the result
+// of `sprintf(buf, "%%%02x", (char)c)` under the ISO C integer promotions.
+// For c < 0x80 this is the expected 3 characters ("%0f"); for c >= 0x80 the
+// signed char sign-extends to 32 bits and yields 9 characters ("%fffffffe").
+// This models CVE-2021-33912.
+std::string libspf2_sprintf_encode_byte(unsigned char c);
+
+// Lowercase hex rendering of a byte string (diagnostics / test assertions).
+std::string to_hex(std::string_view bytes);
+
+}  // namespace spfail::util

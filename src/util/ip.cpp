@@ -1,0 +1,203 @@
+#include "util/ip.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace spfail::util {
+
+IpAddress IpAddress::v4(std::uint32_t addr) noexcept {
+  return v4(static_cast<std::uint8_t>(addr >> 24),
+            static_cast<std::uint8_t>(addr >> 16),
+            static_cast<std::uint8_t>(addr >> 8),
+            static_cast<std::uint8_t>(addr));
+}
+
+IpAddress IpAddress::v4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept {
+  IpAddress ip;
+  ip.family_ = Family::V4;
+  ip.bytes_ = {};
+  ip.bytes_[0] = a;
+  ip.bytes_[1] = b;
+  ip.bytes_[2] = c;
+  ip.bytes_[3] = d;
+  return ip;
+}
+
+IpAddress IpAddress::v6(const std::array<std::uint8_t, 16>& bytes) noexcept {
+  IpAddress ip;
+  ip.family_ = Family::V6;
+  ip.bytes_ = bytes;
+  return ip;
+}
+
+namespace {
+
+std::optional<IpAddress> parse_v4(std::string_view text) {
+  const auto parts = split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::array<std::uint8_t, 4> octets{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (parts[i].empty() || parts[i].size() > 3) return std::nullopt;
+    int value = 0;
+    for (char c : parts[i]) {
+      if (c < '0' || c > '9') return std::nullopt;
+      value = value * 10 + (c - '0');
+    }
+    if (value > 255) return std::nullopt;
+    octets[i] = static_cast<std::uint8_t>(value);
+  }
+  return IpAddress::v4(octets[0], octets[1], octets[2], octets[3]);
+}
+
+std::optional<int> parse_hex_group(std::string_view g) {
+  if (g.empty() || g.size() > 4) return std::nullopt;
+  int value = 0;
+  for (char c : g) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return std::nullopt;
+    }
+    value = value * 16 + digit;
+  }
+  return value;
+}
+
+std::optional<IpAddress> parse_v6(std::string_view text) {
+  // Handle "::" zero-compression by splitting into head/tail group lists.
+  std::vector<int> head, tail;
+  bool saw_compression = false;
+
+  const std::size_t comp = text.find("::");
+  std::string_view head_text = text, tail_text;
+  if (comp != std::string_view::npos) {
+    saw_compression = true;
+    head_text = text.substr(0, comp);
+    tail_text = text.substr(comp + 2);
+    if (tail_text.find("::") != std::string_view::npos) return std::nullopt;
+  }
+
+  const auto parse_groups = [](std::string_view part,
+                               std::vector<int>& out) -> bool {
+    if (part.empty()) return true;
+    for (const auto& g : split(part, ':')) {
+      const auto value = parse_hex_group(g);
+      if (!value) return false;
+      out.push_back(*value);
+    }
+    return true;
+  };
+  if (!parse_groups(head_text, head) || !parse_groups(tail_text, tail)) {
+    return std::nullopt;
+  }
+
+  const std::size_t total = head.size() + tail.size();
+  if (saw_compression ? total > 7 : total != 8) return std::nullopt;
+
+  std::array<std::uint8_t, 16> bytes{};
+  std::size_t idx = 0;
+  for (int g : head) {
+    bytes[idx++] = static_cast<std::uint8_t>(g >> 8);
+    bytes[idx++] = static_cast<std::uint8_t>(g & 0xFF);
+  }
+  idx = 16 - tail.size() * 2;
+  for (int g : tail) {
+    bytes[idx++] = static_cast<std::uint8_t>(g >> 8);
+    bytes[idx++] = static_cast<std::uint8_t>(g & 0xFF);
+  }
+  return IpAddress::v6(bytes);
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  return parse_v4(text);
+}
+
+std::uint32_t IpAddress::v4_value() const {
+  if (!is_v4()) throw std::logic_error("IpAddress::v4_value on an IPv6 address");
+  return (static_cast<std::uint32_t>(bytes_[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes_[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[2]) << 8) |
+         static_cast<std::uint32_t>(bytes_[3]);
+}
+
+bool IpAddress::in_prefix(const IpAddress& network, int prefix_len) const noexcept {
+  if (family_ != network.family_) return false;
+  const int max_bits = is_v4() ? 32 : 128;
+  if (prefix_len < 0 || prefix_len > max_bits) return false;
+  int remaining = prefix_len;
+  for (std::size_t i = 0; i < 16 && remaining > 0; ++i) {
+    const int bits = remaining >= 8 ? 8 : remaining;
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(0xFF << (8 - bits));
+    if ((bytes_[i] & mask) != (network.bytes_[i] & mask)) return false;
+    remaining -= bits;
+  }
+  return true;
+}
+
+std::string IpAddress::to_string() const {
+  char buf[64];
+  if (is_v4()) {
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bytes_[0], bytes_[1],
+                  bytes_[2], bytes_[3]);
+    return buf;
+  }
+  // Canonical-ish v6 text: full groups, no zero compression. Round-trips
+  // through parse(); compression is cosmetic only.
+  std::string out;
+  for (int g = 0; g < 8; ++g) {
+    const int value = (bytes_[g * 2] << 8) | bytes_[g * 2 + 1];
+    std::snprintf(buf, sizeof(buf), "%x", value);
+    if (g > 0) out.push_back(':');
+    out.append(buf);
+  }
+  return out;
+}
+
+std::string IpAddress::spf_macro_form() const {
+  if (is_v4()) return to_string();
+  // RFC 7208 section 7.3: v6 addresses expand to dot-separated nibbles.
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(63);
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (i > 0) out.push_back('.');
+    out.push_back(kDigits[bytes_[i] >> 4]);
+    out.push_back('.');
+    out.push_back(kDigits[bytes_[i] & 0xF]);
+  }
+  return out;
+}
+
+std::string IpAddress::reverse_pointer() const {
+  if (is_v4()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u.in-addr.arpa", bytes_[3],
+                  bytes_[2], bytes_[1], bytes_[0]);
+    return buf;
+  }
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (int i = 15; i >= 0; --i) {
+    out.push_back(kDigits[bytes_[static_cast<std::size_t>(i)] & 0xF]);
+    out.push_back('.');
+    out.push_back(kDigits[bytes_[static_cast<std::size_t>(i)] >> 4]);
+    out.push_back('.');
+  }
+  out.append("ip6.arpa");
+  return out;
+}
+
+}  // namespace spfail::util

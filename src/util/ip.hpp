@@ -1,0 +1,59 @@
+// IPv4/IPv6 address value type.
+//
+// The simulation addresses MTAs by IpAddress; SPF `ip4`/`ip6` mechanisms and
+// the `i` macro both need parsing, formatting, and prefix matching.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace spfail::util {
+
+class IpAddress {
+ public:
+  enum class Family : std::uint8_t { V4, V6 };
+
+  IpAddress() noexcept = default;
+
+  static IpAddress v4(std::uint32_t addr) noexcept;
+  static IpAddress v4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d) noexcept;
+  static IpAddress v6(const std::array<std::uint8_t, 16>& bytes) noexcept;
+
+  // Parses dotted-quad or RFC 4291 text (including "::" compression).
+  // Returns nullopt on malformed input.
+  static std::optional<IpAddress> parse(std::string_view text);
+
+  Family family() const noexcept { return family_; }
+  bool is_v4() const noexcept { return family_ == Family::V4; }
+  bool is_v6() const noexcept { return family_ == Family::V6; }
+
+  // V4: bytes 0..3 are significant. V6: all 16.
+  const std::array<std::uint8_t, 16>& bytes() const noexcept { return bytes_; }
+  std::uint32_t v4_value() const;  // throws std::logic_error on a V6 address
+
+  // True if this address falls inside `network`/`prefix_len`. Families must
+  // match, otherwise false.
+  bool in_prefix(const IpAddress& network, int prefix_len) const noexcept;
+
+  std::string to_string() const;
+
+  // The SPF "i" macro form: dotted-quad for v4; for v6, dot-separated
+  // nibbles per RFC 7208 section 7.3 ("1.0.B.C...." style).
+  std::string spf_macro_form() const;
+
+  // The reverse-DNS label form used by validated-domain lookups.
+  std::string reverse_pointer() const;
+
+  friend auto operator<=>(const IpAddress&, const IpAddress&) = default;
+
+ private:
+  Family family_ = Family::V4;
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+}  // namespace spfail::util

@@ -1,0 +1,65 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace spfail::util {
+
+Rng Rng::fork(std::string_view label) noexcept {
+  // Mix the parent's next output with the label hash so that forks with
+  // distinct labels are independent and insensitive to sibling fork order.
+  const std::uint64_t base = (*this)();
+  return Rng{base ^ fnv1a(label)};
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+  const std::uint64_t range = hi - lo;  // inclusive span minus one
+  if (range == ~0ULL) return (*this)();
+  // Debiased modulo (Lemire-style rejection would be faster; clarity wins here
+  // since simulation setup is not hot).
+  const std::uint64_t span = range + 1;
+  const std::uint64_t limit = (~0ULL) - ((~0ULL) % span + 1) % span;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw > limit && limit != 0);
+  return lo + draw % span;
+}
+
+std::int64_t Rng::uniform_signed(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto ulo = static_cast<std::uint64_t>(lo);
+  const auto uhi = static_cast<std::uint64_t>(hi);
+  return static_cast<std::int64_t>(ulo + uniform(0, uhi - ulo));
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Inverse-CDF; guard against log(0).
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (weights.empty() || total <= 0.0) {
+    throw std::invalid_argument("Rng::weighted_index: no positive weights");
+  }
+  double target = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point slop lands on the last bucket
+}
+
+std::string Rng::token(std::size_t length) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz234567";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[uniform(0, sizeof(kAlphabet) - 2)]);
+  }
+  return out;
+}
+
+}  // namespace spfail::util

@@ -1,0 +1,64 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace spfail::util {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sum = 0.0;
+  for (const double v : values) sum += (v - m) * (v - m);
+  return std::sqrt(sum / static_cast<double>(values.size()));
+}
+
+double percentile(std::span<const double> values, double q) {
+  if (values.empty()) {
+    throw std::invalid_argument("percentile: empty input");
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(position);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = position - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> values) {
+  return percentile(values, 0.5);
+}
+
+std::string sparkline(std::span<const double> values) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  double lo = values[0], hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (const double v : values) {
+    int idx = 0;
+    if (hi > lo) {
+      idx = static_cast<int>(std::lround((v - lo) / (hi - lo) * 7.0));
+      idx = std::clamp(idx, 0, 7);
+    }
+    out += kBlocks[idx];
+  }
+  return out;
+}
+
+}  // namespace spfail::util

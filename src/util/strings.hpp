@@ -1,0 +1,39 @@
+// Small string utilities shared across the library.
+//
+// Domain names in this codebase are handled as lowercase ASCII, dot-separated
+// label strings ("example.com"); dns::Name provides the wire-format view.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spfail::util {
+
+// Split `s` on the single character `sep`. Adjacent separators yield empty
+// fields; an empty input yields a single empty field (like most CSV codecs).
+std::vector<std::string> split(std::string_view s, char sep);
+
+// Split on any character present in `seps` (used by SPF macro delimiters,
+// which may name several delimiter characters at once).
+std::vector<std::string> split_any(std::string_view s, std::string_view seps);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string to_lower(std::string_view s);
+
+bool iequals(std::string_view a, std::string_view b);
+
+std::string_view trim(std::string_view s);
+
+// True if every character is an ASCII letter or digit.
+bool is_alnum(std::string_view s);
+
+// Comma-grouped integer rendering for table output: 1234567 -> "1,234,567".
+std::string with_commas(long long value);
+
+// Fixed-point percentage: percent(3, 7) == "42.9%". Returns "0%" for a zero
+// denominator (matches how the paper renders empty cells).
+std::string percent(long long numerator, long long denominator, int decimals = 0);
+
+}  // namespace spfail::util

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "dns/forwarder.hpp"
+#include "dns/zonefile.hpp"
+
+namespace spfail::dns {
+namespace {
+
+class ForwarderFixture : public ::testing::Test {
+ protected:
+  ForwarderFixture() : forwarder_(authority_, clock_) {
+    authority_.add_zone(parse_zone_text(R"(
+$ORIGIN example.com.
+@ 60 IN A 192.0.2.1
+@    IN TXT "v=spf1 -all"
+)",
+                                        Name::from_string("example.com")));
+  }
+
+  Message ask(std::uint16_t id, const char* name, RRType type) {
+    return forwarder_.handle(
+        Message::make_query(id, Name::from_string(name), type),
+        util::IpAddress::v4(10, 0, 0, 2), clock_.now());
+  }
+
+  AuthoritativeServer authority_;
+  util::SimClock clock_;
+  CachingForwarder forwarder_;
+};
+
+TEST_F(ForwarderFixture, ForwardsAndCaches) {
+  const Message first = ask(1, "example.com", RRType::A);
+  ASSERT_EQ(first.answers.size(), 1u);
+  EXPECT_EQ(forwarder_.upstream_queries(), 1u);
+
+  const Message second = ask(2, "example.com", RRType::A);
+  EXPECT_EQ(second.answers, first.answers);
+  EXPECT_EQ(forwarder_.upstream_queries(), 1u);
+  EXPECT_EQ(forwarder_.cache_hits(), 1u);
+  // Only the first query reached the authority's log.
+  EXPECT_EQ(authority_.query_log().size(), 1u);
+}
+
+TEST_F(ForwarderFixture, CachedResponseCarriesClientsTransactionId) {
+  ask(7, "example.com", RRType::A);
+  const Message cached = ask(99, "example.com", RRType::A);
+  EXPECT_EQ(cached.header.id, 99);
+}
+
+TEST_F(ForwarderFixture, TtlExpiryRefetches) {
+  ask(1, "example.com", RRType::A);  // 60 s TTL
+  clock_.advance_by(61);
+  ask(2, "example.com", RRType::A);
+  EXPECT_EQ(forwarder_.upstream_queries(), 2u);
+}
+
+TEST_F(ForwarderFixture, DistinctTypesCachedSeparately) {
+  ask(1, "example.com", RRType::A);
+  ask(2, "example.com", RRType::TXT);
+  EXPECT_EQ(forwarder_.upstream_queries(), 2u);
+}
+
+TEST_F(ForwarderFixture, NegativeAnswersCachedToo) {
+  ask(1, "missing.example.com", RRType::A);
+  ask(2, "missing.example.com", RRType::A);
+  EXPECT_EQ(forwarder_.upstream_queries(), 1u);
+}
+
+TEST_F(ForwarderFixture, FlushClearsEverything) {
+  ask(1, "example.com", RRType::A);
+  forwarder_.flush();
+  ask(2, "example.com", RRType::A);
+  EXPECT_EQ(forwarder_.upstream_queries(), 2u);
+}
+
+}  // namespace
+}  // namespace spfail::dns

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "dkim/dkim.hpp"
+#include "dmarc/discovery.hpp"
+#include "dns/server.hpp"
+#include "dns/zonefile.hpp"
+
+namespace spfail {
+namespace {
+
+// ---------------------------------------------------------------- message
+
+TEST(MailMessage, ParseBasic) {
+  const auto msg = mail::Message::parse(
+      "From: Alice <alice@example.com>\r\n"
+      "To: bob@example.org\r\n"
+      "Subject: hello\r\n"
+      "\r\n"
+      "body line 1\nbody line 2\n");
+  ASSERT_EQ(msg.headers().size(), 3u);
+  EXPECT_EQ(msg.headers()[0].name, "From");
+  EXPECT_EQ(*msg.first_header("subject"), "hello");
+  EXPECT_EQ(msg.body(), "body line 1\nbody line 2\n");
+}
+
+TEST(MailMessage, FoldedHeadersUnfold) {
+  const auto msg = mail::Message::parse(
+      "Subject: a very\r\n long subject\r\n\twith tabs\r\n\r\n");
+  EXPECT_EQ(*msg.first_header("Subject"), "a very long subject with tabs");
+}
+
+TEST(MailMessage, BareLfAccepted) {
+  const auto msg = mail::Message::parse("From: a@b.c\n\nbody");
+  EXPECT_EQ(*msg.first_header("From"), "a@b.c");
+  EXPECT_EQ(msg.body(), "body");
+}
+
+TEST(MailMessage, NoBody) {
+  const auto msg = mail::Message::parse("From: a@b.c\r\n\r\n");
+  EXPECT_TRUE(msg.body().empty());
+}
+
+TEST(MailMessage, JunkLinesIgnored) {
+  const auto msg = mail::Message::parse(
+      "this is not a header\nFrom: a@b.c\n\n");
+  EXPECT_EQ(msg.headers().size(), 1u);
+}
+
+TEST(MailMessage, RoundTrip) {
+  mail::Message msg;
+  msg.add_header("From", "a@b.c");
+  msg.add_header("Subject", "x");
+  msg.set_body("hello\r\n");
+  const auto reparsed = mail::Message::parse(msg.to_string());
+  EXPECT_EQ(reparsed, msg);
+}
+
+TEST(MailMessage, PrependPutsTraceHeadersFirst) {
+  mail::Message msg;
+  msg.add_header("From", "a@b.c");
+  msg.prepend_header("Received", "from x by y");
+  EXPECT_EQ(msg.headers()[0].name, "Received");
+}
+
+TEST(MailMessage, FromDomainExtraction) {
+  const auto with_display = mail::Message::parse(
+      "From: \"Alice A.\" <alice@Mail.Example.COM>\n\n");
+  ASSERT_TRUE(with_display.from_domain().has_value());
+  EXPECT_EQ(with_display.from_domain()->to_string(), "mail.example.com");
+
+  const auto bare = mail::Message::parse("From: bob@example.org\n\n");
+  EXPECT_EQ(bare.from_domain()->to_string(), "example.org");
+
+  const auto none = mail::Message::parse("Subject: x\n\n");
+  EXPECT_FALSE(none.from_domain().has_value());
+}
+
+TEST(MailMessage, ExtractAddrSpec) {
+  EXPECT_EQ(*mail::extract_addr_spec("X <a@b>"), "a@b");
+  EXPECT_EQ(*mail::extract_addr_spec("  a@b  "), "a@b");
+  EXPECT_FALSE(mail::extract_addr_spec("no address here").has_value());
+}
+
+// ---------------------------------------------------------------- DKIM
+
+class DkimFixture : public ::testing::Test {
+ protected:
+  DkimFixture()
+      : resolver_(server_, clock_, util::IpAddress::v4(10, 0, 0, 1)),
+        signer_(dns::Name::from_string("example.com"), "s1", "sekrit") {
+    dns::Zone zone(dns::Name::from_string("example.com"));
+    zone.add(dns::ResourceRecord::txt(
+        dns::Name::from_string("s1._domainkey.example.com"),
+        dkim::key_record_text("sekrit")));
+    server_.add_zone(std::move(zone));
+  }
+
+  mail::Message signed_message() {
+    mail::Message msg;
+    msg.add_header("From", "alice@example.com");
+    msg.add_header("Subject", "greetings");
+    msg.set_body("Hello, world.\r\n");
+    signer_.sign(msg);
+    return msg;
+  }
+
+  dns::AuthoritativeServer server_;
+  util::SimClock clock_;
+  dns::StubResolver resolver_;
+  dkim::Signer signer_;
+};
+
+TEST_F(DkimFixture, SignAddsHeaderWithRequiredTags) {
+  const auto msg = signed_message();
+  const auto header = msg.first_header("DKIM-Signature");
+  ASSERT_TRUE(header.has_value());
+  const auto signature = dkim::parse_signature(*header);
+  EXPECT_EQ(signature.domain.to_string(), "example.com");
+  EXPECT_EQ(signature.selector, "s1");
+  ASSERT_EQ(signature.signed_headers.size(), 2u);  // from, subject (no date)
+  EXPECT_EQ(signature.signed_headers[0], "from");
+}
+
+TEST_F(DkimFixture, ValidSignatureVerifies) {
+  const auto msg = signed_message();
+  const auto verification = dkim::verify(msg, resolver_);
+  EXPECT_EQ(verification.result, dkim::VerifyResult::Pass);
+  EXPECT_EQ(verification.domain.to_string(), "example.com");
+}
+
+TEST_F(DkimFixture, BodyTamperingFails) {
+  auto msg = signed_message();
+  msg.set_body("Hello, world!!! (tampered)\r\n");
+  EXPECT_EQ(dkim::verify(msg, resolver_).result, dkim::VerifyResult::Fail);
+}
+
+TEST_F(DkimFixture, SignedHeaderTamperingFails) {
+  auto msg = signed_message();
+  // Mutate the From header after signing.
+  mail::Message tampered;
+  for (const auto& h : msg.headers()) {
+    if (h.name == "From") {
+      tampered.add_header("From", "mallory@evil.example");
+    } else {
+      tampered.add_header(h.name, h.value);
+    }
+  }
+  tampered.set_body(msg.body());
+  EXPECT_EQ(dkim::verify(tampered, resolver_).result,
+            dkim::VerifyResult::Fail);
+}
+
+TEST_F(DkimFixture, UnsignedMessageIsNone) {
+  mail::Message msg;
+  msg.add_header("From", "a@b.c");
+  EXPECT_EQ(dkim::verify(msg, resolver_).result, dkim::VerifyResult::None);
+}
+
+TEST_F(DkimFixture, MissingKeyRecordIsPermError) {
+  dkim::Signer other(dns::Name::from_string("nokey.example"), "s1", "x");
+  mail::Message msg;
+  msg.add_header("From", "a@nokey.example");
+  msg.set_body("hi\n");
+  other.sign(msg);
+  EXPECT_EQ(dkim::verify(msg, resolver_).result,
+            dkim::VerifyResult::PermError);
+}
+
+TEST_F(DkimFixture, WrongSecretFails) {
+  // A forger who doesn't hold the real secret publishes nothing; signing
+  // with a different secret against the real key record must fail.
+  dkim::Signer forger(dns::Name::from_string("example.com"), "s1", "wrong");
+  mail::Message msg;
+  msg.add_header("From", "alice@example.com");
+  msg.set_body("pay me\n");
+  forger.sign(msg);
+  EXPECT_EQ(dkim::verify(msg, resolver_).result, dkim::VerifyResult::Fail);
+}
+
+TEST_F(DkimFixture, BodyCanonicalizationIgnoresTrailingBlankLines) {
+  auto msg = signed_message();
+  msg.set_body(msg.body() + "\n\n\n");
+  EXPECT_EQ(dkim::verify(msg, resolver_).result, dkim::VerifyResult::Pass);
+}
+
+TEST_F(DkimFixture, HeaderCanonicalizationCollapsesWhitespace) {
+  EXPECT_EQ(dkim::canonicalize_header("Subject", "  a   b\t c "),
+            "subject:a b c");
+  EXPECT_EQ(dkim::canonicalize_header("FROM", "x@y"), "from:x@y");
+}
+
+TEST(DkimParse, Errors) {
+  EXPECT_THROW(dkim::parse_signature("v=1; a=sim-sha"),
+               dkim::SignatureSyntaxError);
+  EXPECT_THROW(dkim::parse_signature("d=x.com; s=s1; junk"),
+               dkim::SignatureSyntaxError);
+}
+
+TEST(DkimParse, RoundTrip) {
+  dkim::Signature signature;
+  signature.domain = dns::Name::from_string("example.com");
+  signature.selector = "sel";
+  signature.signed_headers = {"from", "subject"};
+  signature.body_hash = "abc";
+  signature.signature = "def";
+  const auto reparsed = dkim::parse_signature(signature.to_header_value());
+  EXPECT_EQ(reparsed.domain, signature.domain);
+  EXPECT_EQ(reparsed.selector, signature.selector);
+  EXPECT_EQ(reparsed.signed_headers, signature.signed_headers);
+  EXPECT_EQ(reparsed.body_hash, "abc");
+  EXPECT_EQ(reparsed.signature, "def");
+}
+
+// --------------------------------------------------- DKIM + DMARC alignment
+
+TEST_F(DkimFixture, DkimDomainFeedsDmarcAlignment) {
+  const auto msg = signed_message();
+  const auto verification = dkim::verify(msg, resolver_);
+  ASSERT_EQ(verification.result, dkim::VerifyResult::Pass);
+  // The d= domain aligns (relaxed) with the From domain.
+  EXPECT_TRUE(dmarc::aligned(verification.domain, *msg.from_domain(),
+                             dmarc::Alignment::Relaxed));
+  EXPECT_TRUE(dmarc::aligned(verification.domain, *msg.from_domain(),
+                             dmarc::Alignment::Strict));
+}
+
+}  // namespace
+}  // namespace spfail

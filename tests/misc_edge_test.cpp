@@ -1,0 +1,192 @@
+// Assorted edge-case coverage: resolver caching subtleties, MTA lifecycle,
+// vulnerable-expansion arithmetic properties.
+#include <gtest/gtest.h>
+
+#include "dns/resolver.hpp"
+#include "dns/server.hpp"
+#include "dns/zonefile.hpp"
+#include "mta/host.hpp"
+#include "scan/test_responder.hpp"
+#include "spfvuln/libspf2_expander.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace spfail {
+namespace {
+
+// -------------------------------------------------------------- resolver
+
+TEST(ResolverEdge, NegativeAnswersAreCachedToo) {
+  dns::AuthoritativeServer server;
+  server.add_zone(dns::Zone(dns::Name::from_string("empty.example")));
+  util::SimClock clock;
+  dns::StubResolver resolver(server, clock, util::IpAddress::v4(10, 0, 0, 1));
+
+  resolver.query(dns::Name::from_string("missing.empty.example"),
+                 dns::RRType::A);
+  resolver.query(dns::Name::from_string("missing.empty.example"),
+                 dns::RRType::A);
+  EXPECT_EQ(server.query_log().size(), 1u);  // NXDOMAIN served from cache
+}
+
+TEST(ResolverEdge, DifferentTypesAreDistinctCacheKeys) {
+  dns::AuthoritativeServer server;
+  server.add_zone(dns::parse_zone_text("@ IN A 192.0.2.1",
+                                       dns::Name::from_string("x.example")));
+  util::SimClock clock;
+  dns::StubResolver resolver(server, clock, util::IpAddress::v4(10, 0, 0, 1));
+  resolver.query(dns::Name::from_string("x.example"), dns::RRType::A);
+  resolver.query(dns::Name::from_string("x.example"), dns::RRType::TXT);
+  EXPECT_EQ(server.query_log().size(), 2u);
+}
+
+TEST(ResolverEdge, AddressesFollowsMixedFamilies) {
+  dns::AuthoritativeServer server;
+  server.add_zone(dns::parse_zone_text(R"(
+$ORIGIN dual.example.
+@ IN A    192.0.2.1
+@ IN AAAA 2001:db8::1
+)",
+                                       dns::Name::from_string("dual.example")));
+  util::SimClock clock;
+  dns::StubResolver resolver(server, clock, util::IpAddress::v4(10, 0, 0, 1));
+  const auto addrs = resolver.addresses(dns::Name::from_string("dual.example"));
+  ASSERT_EQ(addrs.size(), 2u);
+  EXPECT_TRUE(addrs[0].is_v4());
+  EXPECT_TRUE(addrs[1].is_v6());
+}
+
+// -------------------------------------------------------------- MTA
+
+class HostLifecycle : public ::testing::Test {
+ protected:
+  HostLifecycle() { scan::install_test_responder(server_); }
+  dns::AuthoritativeServer server_;
+  util::SimClock clock_;
+};
+
+TEST_F(HostLifecycle, ApplyPatchIsIdempotent) {
+  mta::HostProfile profile;
+  profile.address = util::IpAddress::v4(203, 0, 113, 99);
+  profile.behaviors = {spfvuln::SpfBehavior::VulnerableLibspf2};
+  mta::MailHost host(profile, server_, clock_);
+  EXPECT_TRUE(host.runs_vulnerable_engine());
+  host.apply_patch();
+  EXPECT_FALSE(host.runs_vulnerable_engine());
+  EXPECT_TRUE(host.is_patched());
+  host.apply_patch();
+  EXPECT_TRUE(host.is_patched());
+  ASSERT_EQ(host.behaviors().size(), 1u);
+  EXPECT_EQ(host.behaviors()[0], spfvuln::SpfBehavior::PatchedLibspf2);
+}
+
+TEST_F(HostLifecycle, PatchOnlyReplacesVulnerableEngines) {
+  mta::HostProfile profile;
+  profile.address = util::IpAddress::v4(203, 0, 113, 98);
+  profile.behaviors = {spfvuln::SpfBehavior::NoTruncation,
+                       spfvuln::SpfBehavior::VulnerableLibspf2};
+  mta::MailHost host(profile, server_, clock_);
+  host.apply_patch();
+  EXPECT_EQ(host.behaviors()[0], spfvuln::SpfBehavior::NoTruncation);
+  EXPECT_EQ(host.behaviors()[1], spfvuln::SpfBehavior::PatchedLibspf2);
+}
+
+TEST_F(HostLifecycle, BlacklistIsReversible) {
+  mta::HostProfile profile;
+  profile.address = util::IpAddress::v4(203, 0, 113, 97);
+  mta::MailHost host(profile, server_, clock_);
+  host.set_blacklisted(true);
+  auto session = host.connect(util::IpAddress::v4(9, 9, 9, 9));
+  ASSERT_TRUE(session.has_value());
+  EXPECT_EQ(session->respond("EHLO x").code, 554);
+  host.set_blacklisted(false);
+  auto session2 = host.connect(util::IpAddress::v4(9, 9, 9, 9));
+  EXPECT_EQ(session2->respond("EHLO x").code, 250);
+}
+
+TEST_F(HostLifecycle, GreylistRemembersClientAcrossSessions) {
+  mta::HostProfile profile;
+  profile.address = util::IpAddress::v4(203, 0, 113, 96);
+  profile.greylists = true;
+  mta::MailHost host(profile, server_, clock_);
+  const auto client = util::IpAddress::v4(9, 9, 9, 9);
+
+  auto first = host.connect(client);
+  first->respond("EHLO x");
+  EXPECT_EQ(first->respond("MAIL FROM:<a@b.com>").code, 451);
+
+  clock_.advance_by(9 * util::kMinute);
+  auto second = host.connect(client);
+  second->respond("EHLO x");
+  EXPECT_EQ(second->respond("MAIL FROM:<a@b.com>").code, 250);
+
+  // A different client starts its own greylist window.
+  auto third = host.connect(util::IpAddress::v4(8, 8, 8, 8));
+  third->respond("EHLO x");
+  EXPECT_EQ(third->respond("MAIL FROM:<a@b.com>").code, 451);
+}
+
+// ------------------------------------------- expansion arithmetic properties
+
+// Property: the emulation's byte accounting is internally consistent —
+// written == allocated + overflow whenever the length bug fires, and the
+// output string is exactly what was written.
+class ExpansionAccounting : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExpansionAccounting, WrittenEqualsAllocatedPlusOverflow) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 40; ++i) {
+    std::string domain;
+    const int labels = static_cast<int>(rng.uniform(2, 8));
+    for (int l = 0; l < labels; ++l) {
+      if (l > 0) domain.push_back('.');
+      domain += rng.token(rng.uniform(1, 12));
+    }
+    spf::MacroItem item;
+    item.letter = 'd';
+    item.reverse = rng.bernoulli(0.7);
+    item.keep = static_cast<int>(rng.uniform(0, 4));
+    const auto report = spfvuln::libspf2_expand_item(item, domain);
+    EXPECT_EQ(report.output.size(), report.buffer_written);
+    if (report.overflow_bytes > 0) {
+      EXPECT_EQ(report.buffer_written,
+                report.buffer_allocated + report.overflow_bytes);
+      EXPECT_TRUE(report.length_reassigned || report.sprintf_overflow);
+    } else {
+      EXPECT_LE(report.buffer_written, report.buffer_allocated);
+    }
+    // The length bug fires exactly when reversal meets real truncation.
+    const bool truncates =
+        item.keep > 0 &&
+        static_cast<std::size_t>(item.keep) <
+            util::split(domain, '.').size();
+    EXPECT_EQ(report.length_reassigned, item.reverse && truncates);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpansionAccounting, ::testing::Range(0, 8));
+
+// Property: without reversal-truncation and without URL escaping, the
+// vulnerable library's output equals the RFC output (the bug is contained).
+class VulnEqualsRfcWhenSafe : public ::testing::TestWithParam<int> {};
+
+TEST_P(VulnEqualsRfcWhenSafe, SafeShapesMatch) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const spfvuln::Libspf2Expander vulnerable;
+  const spf::Rfc7208Expander rfc;
+  spf::MacroContext ctx;
+  ctx.sender_local = rng.token(6);
+  ctx.sender_domain = dns::Name::from_string(rng.token(5) + "." + rng.token(3));
+  ctx.current_domain = ctx.sender_domain;
+  ctx.client_ip = util::IpAddress::v4(
+      static_cast<std::uint32_t>(rng.uniform(0x01000000, 0xDFFFFFFF)));
+  for (const char* macro : {"%{d}", "%{l}", "%{i}", "%{dr}", "%{d2}",
+                            "%{s}", "%{o}", "x.%{d}.y"}) {
+    EXPECT_EQ(vulnerable.expand(macro, ctx), rfc.expand(macro, ctx)) << macro;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VulnEqualsRfcWhenSafe, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace spfail

@@ -1,0 +1,96 @@
+// Tests for the rendered notification email and the full-auth DMARC
+// disposition overload.
+#include <gtest/gtest.h>
+
+#include "dmarc/discovery.hpp"
+#include "longitudinal/notification.hpp"
+
+namespace spfail {
+namespace {
+
+longitudinal::NotificationGroup make_group() {
+  longitudinal::NotificationGroup group;
+  group.recipient_domain = "victim.example";
+  group.covered_domains = {"victim.example", "also-hosted.example"};
+  group.addresses = {util::IpAddress::v4(203, 0, 113, 10),
+                     util::IpAddress::v4(203, 0, 113, 11)};
+  group.tracking_token = "tok1234567890abc";
+  return group;
+}
+
+TEST(NotificationEmail, HeadersAndRecipients) {
+  const auto message = longitudinal::NotificationCampaign::render_email(
+      make_group(), longitudinal::NotificationConfig{});
+  EXPECT_EQ(*message.first_header("To"), "postmaster@victim.example");
+  EXPECT_NE(message.first_header("Subject")->find("libSPF2"),
+            std::string::npos);
+  ASSERT_TRUE(message.from_domain().has_value());
+  EXPECT_EQ(message.from_domain()->to_string(), "notify.dns-lab.org");
+}
+
+TEST(NotificationEmail, BodyListsEveryDomainAndAddress) {
+  const auto message = longitudinal::NotificationCampaign::render_email(
+      make_group(), longitudinal::NotificationConfig{});
+  for (const char* expected :
+       {"victim.example", "also-hosted.example", "203.0.113.10",
+        "203.0.113.11", "CVE-2021-33912", "CVE-2021-33913", "2022-01-19"}) {
+    EXPECT_NE(message.body().find(expected), std::string::npos) << expected;
+  }
+}
+
+TEST(NotificationEmail, TrackingPixelEmbedsUniqueToken) {
+  const auto message = longitudinal::NotificationCampaign::render_email(
+      make_group(), longitudinal::NotificationConfig{});
+  EXPECT_NE(message.body().find("pixel/tok1234567890abc.png"),
+            std::string::npos);
+  // And a plain-text part exists (Stock et al. [30]: plain text included so
+  // non-HTML clients still see the notice).
+  EXPECT_NE(message.body().find("Dear postmaster"), std::string::npos);
+}
+
+// ----------------------------------------- DMARC with both auth methods
+
+TEST(DmarcFullAuth, AlignedDkimRescuesFailedSpf) {
+  dmarc::DiscoveryResult discovery;
+  discovery.record = dmarc::parse_record("v=DMARC1; p=reject");
+  const auto from = dns::Name::from_string("example.com");
+  EXPECT_EQ(dmarc::disposition_for(discovery, spf::Result::Fail,
+                                   /*spf_domain=*/from,
+                                   /*dkim_pass=*/true,
+                                   /*dkim_domain=*/from, from),
+            dmarc::Disposition::Deliver);
+}
+
+TEST(DmarcFullAuth, UnalignedDkimDoesNotRescue) {
+  dmarc::DiscoveryResult discovery;
+  discovery.record = dmarc::parse_record("v=DMARC1; p=reject");
+  EXPECT_EQ(dmarc::disposition_for(discovery, spf::Result::Fail,
+                                   dns::Name::from_string("example.com"),
+                                   true, dns::Name::from_string("evil.org"),
+                                   dns::Name::from_string("example.com")),
+            dmarc::Disposition::Reject);
+}
+
+TEST(DmarcFullAuth, StrictDkimAlignmentEnforced) {
+  dmarc::DiscoveryResult discovery;
+  discovery.record = dmarc::parse_record("v=DMARC1; p=reject; adkim=s");
+  EXPECT_EQ(dmarc::disposition_for(discovery, spf::Result::Fail,
+                                   dns::Name::from_string("example.com"),
+                                   true,
+                                   dns::Name::from_string("sub.example.com"),
+                                   dns::Name::from_string("example.com")),
+            dmarc::Disposition::Reject);
+}
+
+TEST(DmarcFullAuth, SpfOnlyOverloadUnchanged) {
+  dmarc::DiscoveryResult discovery;
+  discovery.record = dmarc::parse_record("v=DMARC1; p=quarantine");
+  const auto domain = dns::Name::from_string("example.com");
+  EXPECT_EQ(dmarc::disposition_for(discovery, spf::Result::Pass, domain, domain),
+            dmarc::Disposition::Deliver);
+  EXPECT_EQ(dmarc::disposition_for(discovery, spf::Result::Fail, domain, domain),
+            dmarc::Disposition::Quarantine);
+}
+
+}  // namespace
+}  // namespace spfail

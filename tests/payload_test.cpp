@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "spfvuln/payload.hpp"
+
+namespace spfail::spfvuln {
+namespace {
+
+TEST(Payload, ReversalMeetsRequestedOverflow) {
+  for (const std::size_t want : {1u, 8u, 32u, 64u, 100u}) {
+    const CraftedPayload payload = craft_reversal_payload(want);
+    EXPECT_GE(payload.predicted.overflow_bytes, want) << want;
+    EXPECT_TRUE(payload.predicted.length_reassigned);
+    EXPECT_LE(payload.attacker_domain.size(), 253u);
+  }
+}
+
+TEST(Payload, ReversalPrefersSmallDomains) {
+  // Asking for 1 byte must not return a monster domain.
+  const CraftedPayload small = craft_reversal_payload(1);
+  const CraftedPayload large = craft_reversal_payload(100);
+  EXPECT_LT(small.attacker_domain.size(), large.attacker_domain.size());
+}
+
+TEST(Payload, PaperHundredByteClaimIsAchievable) {
+  // §4.1.2: "up to 100 arbitrary characters ... past the end of the buffer".
+  EXPECT_GE(max_reversal_overflow(), 100u);
+  // And it is bounded: a 253-octet name cannot produce unbounded overflow.
+  EXPECT_LT(max_reversal_overflow(), 600u);
+}
+
+TEST(Payload, ImpossibleRequestThrows) {
+  EXPECT_THROW(craft_reversal_payload(10000), std::invalid_argument);
+}
+
+TEST(Payload, UrlEncodeOverflowIsSixPerCharacter) {
+  for (const std::size_t chars : {1u, 2u, 5u, 10u}) {
+    const CraftedPayload payload = craft_urlencode_payload(chars);
+    EXPECT_EQ(payload.predicted.overflow_bytes, 6 * chars) << chars;
+    EXPECT_TRUE(payload.predicted.sprintf_overflow);
+  }
+}
+
+TEST(Payload, RecordsLookLikeSpf) {
+  EXPECT_EQ(craft_reversal_payload(10).spf_record.substr(0, 7), "v=spf1 ");
+  EXPECT_EQ(craft_urlencode_payload(1).spf_record.substr(0, 7), "v=spf1 ");
+}
+
+TEST(Payload, SpilledBytesAreAttackerControlledLabelText) {
+  const CraftedPayload payload = craft_reversal_payload(50);
+  const ExpansionReport& report = payload.predicted;
+  // Reconstruct the spill from the emulated write.
+  const std::string spilled(report.output.substr(report.buffer_allocated));
+  EXPECT_EQ(spilled.size(), report.overflow_bytes);
+  // Every spilled byte is one of the attacker's label characters or a dot.
+  EXPECT_TRUE(std::all_of(spilled.begin(), spilled.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || c == '.' || (c >= '0' && c <= '9');
+  }));
+}
+
+}  // namespace
+}  // namespace spfail::spfvuln

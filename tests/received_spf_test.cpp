@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "dns/resolver.hpp"
+#include "dns/server.hpp"
+#include "dns/zonefile.hpp"
+#include "spf/received_spf.hpp"
+
+namespace spfail::spf {
+namespace {
+
+class ReceivedSpfFixture : public ::testing::Test {
+ protected:
+  ReceivedSpfFixture()
+      : resolver_(server_, clock_, util::IpAddress::v4(10, 0, 0, 53)) {
+    server_.add_zone(dns::parse_zone_text(R"(
+$ORIGIN example.com.
+@    IN TXT "v=spf1 ip4:203.0.113.7 -all"
+)",
+                                          dns::Name::from_string("example.com")));
+    server_.add_zone(dns::parse_zone_text(R"(
+$ORIGIN helo.example.
+@    IN TXT "v=spf1 ip4:198.51.100.25 -all"
+)",
+                                          dns::Name::from_string("helo.example")));
+  }
+
+  CheckRequest request(const char* ip) {
+    CheckRequest r;
+    r.sender_local = "user";
+    r.sender_domain = dns::Name::from_string("example.com");
+    r.client_ip = *util::IpAddress::parse(ip);
+    r.helo_domain = dns::Name::from_string("client.example.net");
+    return r;
+  }
+
+  dns::AuthoritativeServer server_;
+  util::SimClock clock_;
+  dns::StubResolver resolver_;
+  Rfc7208Expander expander_;
+};
+
+TEST_F(ReceivedSpfFixture, PassHeader) {
+  Evaluator evaluator(resolver_, expander_);
+  const CheckRequest req = request("203.0.113.7");
+  const CheckOutcome outcome = evaluator.check_host(req);
+  const std::string header = received_spf_header(outcome, req, "mx.rx.org");
+  EXPECT_EQ(header.substr(0, 18), "Received-SPF: pass");
+  EXPECT_NE(header.find("mx.rx.org: domain of user@example.com designates "
+                        "203.0.113.7 as permitted sender"),
+            std::string::npos);
+  EXPECT_NE(header.find("client-ip=203.0.113.7;"), std::string::npos);
+  EXPECT_NE(header.find("envelope-from=\"user@example.com\";"),
+            std::string::npos);
+  EXPECT_NE(header.find("helo=client.example.net;"), std::string::npos);
+}
+
+TEST_F(ReceivedSpfFixture, FailHeader) {
+  Evaluator evaluator(resolver_, expander_);
+  const CheckRequest req = request("9.9.9.9");
+  const CheckOutcome outcome = evaluator.check_host(req);
+  const std::string header = received_spf_header(outcome, req, "mx.rx.org");
+  EXPECT_EQ(header.substr(0, 18), "Received-SPF: fail");
+  EXPECT_NE(header.find("does not designate 9.9.9.9"), std::string::npos);
+}
+
+TEST_F(ReceivedSpfFixture, EveryResultFormats) {
+  for (const Result result :
+       {Result::None, Result::Neutral, Result::Pass, Result::Fail,
+        Result::SoftFail, Result::TempError, Result::PermError}) {
+    CheckOutcome outcome;
+    outcome.result = result;
+    const std::string header =
+        received_spf_header(outcome, request("1.2.3.4"), "rx");
+    EXPECT_EQ(header.substr(0, 14), "Received-SPF: ");
+    EXPECT_NE(header.find(to_string(result)), std::string::npos);
+  }
+}
+
+TEST_F(ReceivedSpfFixture, HeloCheckUsesPostmaster) {
+  Evaluator evaluator(resolver_, expander_);
+  const CheckOutcome pass = check_helo(
+      evaluator, *util::IpAddress::parse("198.51.100.25"),
+      dns::Name::from_string("helo.example"));
+  EXPECT_EQ(pass.result, Result::Pass);
+
+  Evaluator evaluator2(resolver_, expander_);
+  const CheckOutcome fail = check_helo(
+      evaluator2, *util::IpAddress::parse("198.51.100.26"),
+      dns::Name::from_string("helo.example"));
+  EXPECT_EQ(fail.result, Result::Fail);
+}
+
+}  // namespace
+}  // namespace spfail::spf

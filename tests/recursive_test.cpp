@@ -1,0 +1,162 @@
+// Tests for delegation-aware authoritative answers and the iterative
+// RecursiveResolver: root -> TLD -> leaf chains, caching, and failure modes.
+#include <gtest/gtest.h>
+
+#include "dns/recursive.hpp"
+#include "dns/zonefile.hpp"
+
+namespace spfail::dns {
+namespace {
+
+using util::IpAddress;
+
+// Namespace: root "." delegates com -> a.gtld.example; com delegates
+// example.com -> ns1.example.com; the leaf holds the data.
+class RecursiveFixture : public ::testing::Test {
+ protected:
+  RecursiveFixture() {
+    Zone root_zone(Name::root());
+    root_zone.add(ResourceRecord{Name::from_string("com"), RRType::NS,
+                                 RRClass::IN, 300,
+                                 NsRdata{Name::from_string("a.gtld.example")}});
+    root_server_.add_zone(std::move(root_zone));
+
+    Zone com_zone(Name::from_string("com"));
+    com_zone.add(ResourceRecord{Name::from_string("example.com"), RRType::NS,
+                                RRClass::IN, 300,
+                                NsRdata{Name::from_string("ns1.example.com")}});
+    tld_server_.add_zone(std::move(com_zone));
+
+    leaf_server_.add_zone(parse_zone_text(R"(
+$ORIGIN example.com.
+@    IN TXT "v=spf1 mx -all"
+@    IN A   192.0.2.80
+www  IN A   192.0.2.81
+ns1  IN A   192.0.2.53
+)",
+                                          Name::from_string("example.com")));
+
+    registry_.add(Name::from_string("root-ns.example"), root_server_);
+    registry_.add(Name::from_string("a.gtld.example"), tld_server_);
+    registry_.add(Name::from_string("ns1.example.com"), leaf_server_);
+  }
+
+  RecursiveResolver make_resolver() {
+    return RecursiveResolver(registry_, Name::from_string("root-ns.example"),
+                             clock_, IpAddress::v4(10, 9, 9, 9));
+  }
+
+  AuthoritativeServer root_server_, tld_server_, leaf_server_;
+  NameServerRegistry registry_;
+  util::SimClock clock_;
+};
+
+TEST_F(RecursiveFixture, AuthorityReturnsReferralBelowZoneCut) {
+  const Message response = root_server_.handle(
+      Message::make_query(1, Name::from_string("www.example.com"), RRType::A),
+      IpAddress::v4(1, 1, 1, 1), clock_.now());
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  EXPECT_FALSE(response.header.aa);
+  EXPECT_TRUE(response.answers.empty());
+  ASSERT_EQ(response.authorities.size(), 1u);
+  EXPECT_EQ(std::get<NsRdata>(response.authorities[0].rdata)
+                .nameserver.to_string(),
+            "a.gtld.example");
+}
+
+TEST_F(RecursiveFixture, GlueIncludedWhenInZone) {
+  // The com zone delegates example.com to an in-... actually the glue host
+  // ns1.example.com is below the cut, so com cannot serve it; the root's
+  // delegation target a.gtld.example is out-of-zone too. Verify a zone that
+  // CAN provide glue does: build one inline.
+  AuthoritativeServer server;
+  server.add_zone(parse_zone_text(R"(
+$ORIGIN tld.
+sub      IN NS  ns.sub.tld.
+ns.sub   IN A   192.0.2.99
+)",
+                                  Name::from_string("tld")));
+  const Message response = server.handle(
+      Message::make_query(2, Name::from_string("x.sub.tld"), RRType::A),
+      IpAddress::v4(1, 1, 1, 1), clock_.now());
+  ASSERT_EQ(response.authorities.size(), 1u);
+  ASSERT_EQ(response.additionals.size(), 1u);
+  EXPECT_EQ(std::get<ARdata>(response.additionals[0].rdata).address,
+            IpAddress::v4(192, 0, 2, 99));
+}
+
+TEST_F(RecursiveFixture, ResolvesThroughTwoReferrals) {
+  RecursiveResolver resolver = make_resolver();
+  const ResolveResult result =
+      resolver.resolve(Name::from_string("www.example.com"), RRType::A);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(std::get<ARdata>(result.answers[0].rdata).address,
+            IpAddress::v4(192, 0, 2, 81));
+  EXPECT_EQ(resolver.stats().referrals, 2u);  // root -> com -> leaf
+  EXPECT_EQ(resolver.stats().queries_sent, 3u);
+}
+
+TEST_F(RecursiveFixture, TxtThroughTheChain) {
+  RecursiveResolver resolver = make_resolver();
+  const ResolveResult result =
+      resolver.resolve(Name::from_string("example.com"), RRType::TXT);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(std::get<TxtRdata>(result.answers[0].rdata).joined(),
+            "v=spf1 mx -all");
+}
+
+TEST_F(RecursiveFixture, AnswerCacheShortCircuits) {
+  RecursiveResolver resolver = make_resolver();
+  resolver.resolve(Name::from_string("www.example.com"), RRType::A);
+  const std::size_t sent_before = resolver.stats().queries_sent;
+  resolver.resolve(Name::from_string("www.example.com"), RRType::A);
+  EXPECT_EQ(resolver.stats().queries_sent, sent_before);
+  EXPECT_GE(resolver.stats().answers_from_cache, 1u);
+}
+
+TEST_F(RecursiveFixture, DelegationCacheSkipsTheRoot) {
+  RecursiveResolver resolver = make_resolver();
+  resolver.resolve(Name::from_string("www.example.com"), RRType::A);
+  const std::size_t sent_before = resolver.stats().queries_sent;
+  // A sibling name under the same zone: the learned example.com delegation
+  // lets the resolver go straight to the leaf server.
+  resolver.resolve(Name::from_string("example.com"), RRType::A);
+  EXPECT_EQ(resolver.stats().queries_sent, sent_before + 1);
+}
+
+TEST_F(RecursiveFixture, NxDomainFromAuthoritative) {
+  RecursiveResolver resolver = make_resolver();
+  const ResolveResult result =
+      resolver.resolve(Name::from_string("missing.example.com"), RRType::A);
+  EXPECT_EQ(result.rcode, Rcode::NxDomain);
+}
+
+TEST_F(RecursiveFixture, UnreachableNameserverIsServFail) {
+  // Register a namespace whose delegation points at a non-registered host.
+  AuthoritativeServer broken_root;
+  Zone zone(Name::root());
+  zone.add(ResourceRecord{Name::from_string("lost"), RRType::NS, RRClass::IN,
+                          300, NsRdata{Name::from_string("ns.nowhere")}});
+  broken_root.add_zone(std::move(zone));
+  NameServerRegistry registry;
+  registry.add(Name::from_string("r.example"), broken_root);
+  RecursiveResolver resolver(registry, Name::from_string("r.example"), clock_,
+                             IpAddress::v4(1, 1, 1, 1));
+  const ResolveResult result =
+      resolver.resolve(Name::from_string("x.lost"), RRType::A);
+  EXPECT_EQ(result.rcode, Rcode::ServFail);
+}
+
+TEST_F(RecursiveFixture, FlushCacheForcesFullWalk) {
+  RecursiveResolver resolver = make_resolver();
+  resolver.resolve(Name::from_string("www.example.com"), RRType::A);
+  resolver.flush_cache();
+  const std::size_t sent_before = resolver.stats().queries_sent;
+  resolver.resolve(Name::from_string("www.example.com"), RRType::A);
+  EXPECT_EQ(resolver.stats().queries_sent, sent_before + 3);
+}
+
+}  // namespace
+}  // namespace spfail::dns

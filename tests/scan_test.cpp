@@ -1,0 +1,146 @@
+// Unit tests for the scan module's supporting pieces: label allocation,
+// the username ladder, the templated test responder, and funnel statistics
+// of a generated fleet against the paper's Table 3 calibration.
+#include <gtest/gtest.h>
+
+#include "population/fleet.hpp"
+#include "population/paper_constants.hpp"
+#include "scan/labels.hpp"
+#include "scan/test_responder.hpp"
+#include "scan/usernames.hpp"
+#include "util/strings.hpp"
+
+namespace spfail::scan {
+namespace {
+
+// ------------------------------------------------------------- labels
+
+TEST(Labels, IdsAreUniqueAndWellFormed) {
+  LabelAllocator labels(util::Rng(1),
+                        dns::Name::from_string("spf-test.dns-lab.org"));
+  std::set<std::string> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string id = labels.new_id();
+    EXPECT_GE(id.size(), 4u);
+    EXPECT_LE(id.size(), 5u);
+    EXPECT_TRUE(util::is_alnum(id));
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+  }
+}
+
+TEST(Labels, SuitesAreUnique) {
+  LabelAllocator labels(util::Rng(2),
+                        dns::Name::from_string("spf-test.dns-lab.org"));
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(seen.insert(labels.new_suite()).second);
+  }
+}
+
+TEST(Labels, MailFromDomainShape) {
+  LabelAllocator labels(util::Rng(3),
+                        dns::Name::from_string("spf-test.dns-lab.org"));
+  const dns::Name domain = labels.mail_from_domain("ab1cd", "t9xyz");
+  EXPECT_EQ(domain.to_string(), "ab1cd.t9xyz.spf-test.dns-lab.org");
+  EXPECT_TRUE(domain.is_subdomain_of(labels.base()));
+}
+
+TEST(Labels, DeterministicPerSeed) {
+  LabelAllocator a(util::Rng(7), dns::Name::from_string("x.example"));
+  LabelAllocator b(util::Rng(7), dns::Name::from_string("x.example"));
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.new_id(), b.new_id());
+}
+
+// ------------------------------------------------------------- usernames
+
+TEST(Usernames, LadderMatchesPaperSection63) {
+  ASSERT_EQ(kUsernameLadder.size(), 14u);
+  EXPECT_EQ(kUsernameLadder[0], "mmj7yzdm0tbk");  // random token first
+  EXPECT_EQ(kUsernameLadder[1], "noreply");
+  EXPECT_EQ(kUsernameLadder[4], "postmaster");
+  EXPECT_EQ(kUsernameLadder[13], "service");
+}
+
+// ------------------------------------------------------------- responder
+
+TEST(Responder, PolicyEchoesIdAndSuite) {
+  const TestResponderConfig config;
+  const std::string policy = test_policy_text(
+      config, dns::Name::from_string("myid.suite1.spf-test.dns-lab.org"));
+  EXPECT_NE(policy.find("a:%{d1r}.myid.suite1.spf-test.dns-lab.org"),
+            std::string::npos);
+  EXPECT_NE(policy.find("a:b.myid.suite1.spf-test.dns-lab.org"),
+            std::string::npos);
+  EXPECT_NE(policy.find("-all"), std::string::npos);
+}
+
+TEST(Responder, AnswersFailClosedForScanner) {
+  // The served A record must never match a probing scanner's address, so
+  // probe mail always fails SPF (section 6.2's anti-delivery design).
+  dns::AuthoritativeServer server;
+  const TestResponderConfig config = install_test_responder(server);
+  EXPECT_NE(config.answer_v4, util::IpAddress::v4(198, 51, 100, 10));
+}
+
+// --------------------------------------------------- fleet funnel statistics
+
+TEST(FleetFunnel, AddressRatesTrackTable3) {
+  population::FleetConfig config;
+  config.scale = 0.05;
+  population::Fleet fleet(config);
+
+  std::size_t alexa_total = 0, alexa_refused = 0;
+  std::size_t validates = 0, at_mailfrom = 0;
+  for (const auto& domain : fleet.domains()) {
+    for (const auto& address : domain.addresses) {
+      const auto* host = fleet.find_host(address);
+      ASSERT_NE(host, nullptr);
+    }
+  }
+  // Walk every unique host through its profile.
+  std::set<util::IpAddress> seen;
+  for (const auto& domain : fleet.domains()) {
+    for (const auto& address : domain.addresses) {
+      if (!seen.insert(address).second) continue;
+      const auto& info = fleet.info(address);
+      if (!info.in_alexa_set) continue;
+      const auto& profile = fleet.find_host(address)->profile();
+      ++alexa_total;
+      alexa_refused += !profile.accepts_connections;
+      validates += profile.validates_spf;
+      at_mailfrom += profile.validates_spf &&
+                     profile.spf_timing == mta::SpfTiming::AtMailFrom;
+    }
+  }
+  ASSERT_GT(alexa_total, 1000u);
+  // Table 3: 47% of Alexa addresses refused connections.
+  EXPECT_NEAR(static_cast<double>(alexa_refused) / alexa_total,
+              population::paper::kAlexaAddrRefused, 0.03);
+  // Conclusively measurable share (validators) ~ Total SPF Measured 23%.
+  EXPECT_NEAR(static_cast<double>(validates) / alexa_total, 0.23, 0.05);
+  // Both validation timings exist in quantity.
+  EXPECT_GT(at_mailfrom, alexa_total / 50);
+  EXPECT_GT(validates - at_mailfrom, at_mailfrom);  // after-DATA dominates
+}
+
+TEST(FleetFunnel, VulnerableShareOfValidators) {
+  population::FleetConfig config;
+  config.scale = 0.05;
+  population::Fleet fleet(config);
+  std::size_t validators = 0, vulnerable = 0;
+  std::set<util::IpAddress> seen;
+  for (const auto& domain : fleet.domains()) {
+    for (const auto& address : domain.addresses) {
+      if (!seen.insert(address).second) continue;
+      const auto* host = fleet.find_host(address);
+      if (!host->profile().validates_spf) continue;
+      ++validators;
+      vulnerable += host->runs_vulnerable_engine();
+    }
+  }
+  // Table 4: ~1 in 6 measured addresses run vulnerable libSPF2.
+  EXPECT_NEAR(static_cast<double>(vulnerable) / validators, 0.17, 0.04);
+}
+
+}  // namespace
+}  // namespace spfail::scan

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "smtp/client.hpp"
+
+namespace spfail::smtp {
+namespace {
+
+class AcceptingHandler : public SessionHandler {
+ public:
+  Reply on_hello(const std::string&, const util::IpAddress&) override {
+    return replies::ok();
+  }
+  Reply on_mail_from(const std::string&, const std::string&,
+                     const util::IpAddress&) override {
+    return replies::ok();
+  }
+  Reply on_rcpt_to(const std::string& recipient,
+                   const util::IpAddress&) override {
+    if (recipient.starts_with("reject")) return replies::mailbox_unavailable();
+    return replies::ok();
+  }
+  Reply on_message(const Envelope& envelope, const util::IpAddress&) override {
+    received.push_back(envelope);
+    return replies::ok();
+  }
+  std::vector<Envelope> received;
+};
+
+mail::Message small_message() {
+  mail::Message message;
+  message.add_header("From", "a@b.example");
+  message.add_header("Subject", "x");
+  message.set_body("line one\r\n.leading dot line\r\nline three\r\n");
+  return message;
+}
+
+TEST(SmtpClient, DeliversWholeMessage) {
+  AcceptingHandler handler;
+  ServerSession session(handler, util::IpAddress::v4(10, 0, 0, 1));
+  Client client("client.example");
+  const DeliveryResult result = client.deliver(
+      session, "a@b.example", {"rcpt@c.example"}, small_message());
+
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.final_code, 250);
+  ASSERT_EQ(handler.received.size(), 1u);
+  // Dot-stuffing round-trips: the leading-dot line arrives intact.
+  EXPECT_NE(handler.received[0].data.find("\n.leading dot line\n"),
+            std::string::npos);
+  EXPECT_NE(handler.received[0].data.find("Subject: x"), std::string::npos);
+}
+
+TEST(SmtpClient, TranscriptCoversDialog) {
+  AcceptingHandler handler;
+  ServerSession session(handler, util::IpAddress::v4(10, 0, 0, 1));
+  Client client("client.example");
+  const DeliveryResult result = client.deliver(
+      session, "a@b.example", {"rcpt@c.example"}, small_message());
+  const std::string transcript = result.transcript_text();
+  for (const char* expected :
+       {"S: 220", "C: EHLO client.example", "C: MAIL FROM:<a@b.example>",
+        "C: RCPT TO:<rcpt@c.example>", "C: DATA", "S: 354", "C: .",
+        "C: QUIT", "S: 221"}) {
+    EXPECT_NE(transcript.find(expected), std::string::npos) << expected;
+  }
+}
+
+TEST(SmtpClient, PartialRecipientRejectionStillDelivers) {
+  AcceptingHandler handler;
+  ServerSession session(handler, util::IpAddress::v4(10, 0, 0, 1));
+  Client client("c.example");
+  const DeliveryResult result = client.deliver(
+      session, "a@b.example", {"reject-me@c.example", "ok@c.example"},
+      small_message());
+  EXPECT_TRUE(result.accepted);
+  ASSERT_EQ(handler.received.size(), 1u);
+  EXPECT_EQ(handler.received[0].recipients.size(), 1u);
+}
+
+TEST(SmtpClient, AllRecipientsRejectedFails) {
+  AcceptingHandler handler;
+  ServerSession session(handler, util::IpAddress::v4(10, 0, 0, 1));
+  Client client("c.example");
+  const DeliveryResult result = client.deliver(
+      session, "a@b.example", {"reject-1@c.example", "reject-2@c.example"},
+      small_message());
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.final_code, 550);
+  EXPECT_TRUE(handler.received.empty());
+}
+
+class RejectAtDataHandler : public AcceptingHandler {
+ public:
+  Reply on_message(const Envelope&, const util::IpAddress&) override {
+    return Reply{554, "content rejected"};
+  }
+};
+
+TEST(SmtpClient, RejectionAtEndOfData) {
+  RejectAtDataHandler handler;
+  ServerSession session(handler, util::IpAddress::v4(10, 0, 0, 1));
+  Client client("c.example");
+  const DeliveryResult result =
+      client.deliver(session, "a@b.example", {"x@c.example"}, small_message());
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.final_code, 554);
+}
+
+}  // namespace
+}  // namespace spfail::smtp

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "smtp/command.hpp"
+#include "smtp/reply.hpp"
+#include "smtp/server.hpp"
+
+namespace spfail::smtp {
+namespace {
+
+// ------------------------------------------------------------- commands
+
+TEST(Command, ParseHelo) {
+  const Command c = parse_command("HELO mail.example.com");
+  EXPECT_EQ(c.verb, Verb::Helo);
+  EXPECT_EQ(c.argument, "mail.example.com");
+}
+
+TEST(Command, ParseEhloCaseInsensitive) {
+  EXPECT_EQ(parse_command("ehlo x").verb, Verb::Ehlo);
+  EXPECT_EQ(parse_command("EhLo x").verb, Verb::Ehlo);
+}
+
+TEST(Command, ParseMailFrom) {
+  const Command c = parse_command("MAIL FROM:<user@example.com>");
+  EXPECT_EQ(c.verb, Verb::MailFrom);
+  EXPECT_EQ(c.argument, "user@example.com");
+}
+
+TEST(Command, ParseMailFromNullPath) {
+  const Command c = parse_command("MAIL FROM:<>");
+  EXPECT_EQ(c.verb, Verb::MailFrom);
+  EXPECT_TRUE(c.argument.empty());
+}
+
+TEST(Command, ParseMailFromNoBrackets) {
+  const Command c = parse_command("MAIL FROM: user@example.com");
+  EXPECT_EQ(c.argument, "user@example.com");
+}
+
+TEST(Command, ParseRcptTo) {
+  const Command c = parse_command("RCPT TO:<postmaster@target.org>");
+  EXPECT_EQ(c.verb, Verb::RcptTo);
+  EXPECT_EQ(c.argument, "postmaster@target.org");
+}
+
+TEST(Command, ParseSimpleVerbs) {
+  EXPECT_EQ(parse_command("DATA").verb, Verb::Data);
+  EXPECT_EQ(parse_command("QUIT").verb, Verb::Quit);
+  EXPECT_EQ(parse_command("RSET").verb, Verb::Rset);
+  EXPECT_EQ(parse_command("NOOP").verb, Verb::Noop);
+}
+
+TEST(Command, UnknownVerb) {
+  EXPECT_EQ(parse_command("FROB x").verb, Verb::Unknown);
+  EXPECT_EQ(parse_command("").verb, Verb::Unknown);
+  EXPECT_EQ(parse_command("DATAX").verb, Verb::Unknown);
+}
+
+TEST(Command, SplitMailbox) {
+  const auto parts = split_mailbox("user@Example.COM");
+  ASSERT_TRUE(parts.has_value());
+  EXPECT_EQ(parts->local, "user");
+  EXPECT_EQ(parts->domain, "example.com");
+}
+
+TEST(Command, SplitMailboxInvalid) {
+  EXPECT_FALSE(split_mailbox("no-at-sign").has_value());
+  EXPECT_FALSE(split_mailbox("@domain").has_value());
+  EXPECT_FALSE(split_mailbox("user@").has_value());
+}
+
+TEST(Command, SplitMailboxLastAtWins) {
+  const auto parts = split_mailbox(R"("odd@local"@example.com)");
+  ASSERT_TRUE(parts.has_value());
+  EXPECT_EQ(parts->domain, "example.com");
+}
+
+// ------------------------------------------------------------- replies
+
+TEST(Reply, Categories) {
+  EXPECT_TRUE(replies::ok().positive());
+  EXPECT_TRUE(replies::start_mail_input().intermediate());
+  EXPECT_TRUE(replies::greylisted().transient_failure());
+  EXPECT_TRUE(replies::mailbox_unavailable().permanent_failure());
+}
+
+TEST(Reply, LineFormat) {
+  const Reply reply{250, "OK"};
+  EXPECT_EQ(reply.line(), "250 OK");
+}
+
+// ------------------------------------------------------------- server FSM
+
+// A handler that accepts everything and records what it saw.
+class RecordingHandler : public SessionHandler {
+ public:
+  Reply on_hello(const std::string& identity, const util::IpAddress&) override {
+    hello_identity = identity;
+    return replies::ok();
+  }
+  Reply on_mail_from(const std::string& local, const std::string& domain,
+                     const util::IpAddress&) override {
+    sender = local + "@" + domain;
+    return replies::ok();
+  }
+  Reply on_rcpt_to(const std::string& recipient,
+                   const util::IpAddress&) override {
+    recipients.push_back(recipient);
+    return replies::ok();
+  }
+  Reply on_message(const Envelope& envelope, const util::IpAddress&) override {
+    messages.push_back(envelope);
+    return replies::ok();
+  }
+
+  std::string hello_identity;
+  std::string sender;
+  std::vector<std::string> recipients;
+  std::vector<Envelope> messages;
+};
+
+class SessionFixture : public ::testing::Test {
+ protected:
+  SessionFixture() : session_(handler_, util::IpAddress::v4(10, 0, 0, 1)) {}
+  RecordingHandler handler_;
+  ServerSession session_;
+};
+
+TEST_F(SessionFixture, HappyPathTransaction) {
+  EXPECT_EQ(session_.greeting().code, 220);
+  EXPECT_EQ(session_.respond("EHLO client.example").code, 250);
+  EXPECT_EQ(session_.respond("MAIL FROM:<a@b.com>").code, 250);
+  EXPECT_EQ(session_.respond("RCPT TO:<c@d.com>").code, 250);
+  EXPECT_EQ(session_.respond("DATA").code, 354);
+  EXPECT_TRUE(session_.in_data());
+  EXPECT_EQ(session_.respond("Subject: hi").code, kNoReplyCode);
+  EXPECT_EQ(session_.respond("").code, kNoReplyCode);
+  EXPECT_EQ(session_.respond("body line").code, kNoReplyCode);
+  EXPECT_EQ(session_.respond(".").code, 250);
+  EXPECT_EQ(session_.respond("QUIT").code, 221);
+  EXPECT_TRUE(session_.closed());
+
+  ASSERT_EQ(handler_.messages.size(), 1u);
+  EXPECT_EQ(handler_.messages[0].sender_domain, "b.com");
+  EXPECT_EQ(handler_.messages[0].data, "Subject: hi\n\nbody line\n");
+  EXPECT_EQ(handler_.sender, "a@b.com");
+}
+
+TEST_F(SessionFixture, BlankMessage) {
+  session_.respond("EHLO x");
+  session_.respond("MAIL FROM:<a@b.com>");
+  session_.respond("RCPT TO:<c@d.com>");
+  session_.respond("DATA");
+  EXPECT_EQ(session_.respond(".").code, 250);
+  ASSERT_EQ(handler_.messages.size(), 1u);
+  EXPECT_TRUE(handler_.messages[0].data.empty());
+}
+
+TEST_F(SessionFixture, DotStuffing) {
+  session_.respond("EHLO x");
+  session_.respond("MAIL FROM:<a@b.com>");
+  session_.respond("RCPT TO:<c@d.com>");
+  session_.respond("DATA");
+  session_.respond("..leading dot");
+  session_.respond(".");
+  ASSERT_EQ(handler_.messages.size(), 1u);
+  EXPECT_EQ(handler_.messages[0].data, ".leading dot\n");
+}
+
+TEST_F(SessionFixture, CommandsOutOfOrderRejected) {
+  EXPECT_EQ(session_.respond("MAIL FROM:<a@b.com>").code, 503);
+  session_.respond("EHLO x");
+  EXPECT_EQ(session_.respond("RCPT TO:<c@d.com>").code, 503);
+  EXPECT_EQ(session_.respond("DATA").code, 503);
+  session_.respond("MAIL FROM:<a@b.com>");
+  EXPECT_EQ(session_.respond("DATA").code, 503);  // still no RCPT
+  EXPECT_EQ(session_.respond("MAIL FROM:<x@y.com>").code, 503);  // duplicate
+}
+
+TEST_F(SessionFixture, RsetClearsEnvelope) {
+  session_.respond("EHLO x");
+  session_.respond("MAIL FROM:<a@b.com>");
+  session_.respond("RSET");
+  EXPECT_EQ(session_.respond("MAIL FROM:<e@f.com>").code, 250);
+}
+
+TEST_F(SessionFixture, NullReversePathAccepted) {
+  session_.respond("EHLO x");
+  EXPECT_EQ(session_.respond("MAIL FROM:<>").code, 250);
+  EXPECT_EQ(handler_.sender, "@");  // empty local + domain recorded
+}
+
+TEST_F(SessionFixture, MalformedMailboxRejected) {
+  session_.respond("EHLO x");
+  EXPECT_EQ(session_.respond("MAIL FROM:<no-at>").code, 501);
+}
+
+TEST_F(SessionFixture, UnknownCommandGets500) {
+  EXPECT_EQ(session_.respond("FROBNICATE").code, 500);
+}
+
+TEST_F(SessionFixture, MultipleRecipients) {
+  session_.respond("EHLO x");
+  session_.respond("MAIL FROM:<a@b.com>");
+  EXPECT_EQ(session_.respond("RCPT TO:<r1@d.com>").code, 250);
+  EXPECT_EQ(session_.respond("RCPT TO:<r2@d.com>").code, 250);
+  session_.respond("DATA");
+  session_.respond(".");
+  ASSERT_EQ(handler_.messages.size(), 1u);
+  EXPECT_EQ(handler_.messages[0].recipients.size(), 2u);
+}
+
+// Handler rejection paths.
+class RejectingHandler : public RecordingHandler {
+ public:
+  Reply on_rcpt_to(const std::string& recipient,
+                   const util::IpAddress& client) override {
+    RecordingHandler::on_rcpt_to(recipient, client);
+    return replies::mailbox_unavailable();
+  }
+};
+
+TEST(Session, RecipientRejectionKeepsSessionOpen) {
+  RejectingHandler handler;
+  ServerSession session(handler, util::IpAddress::v4(10, 0, 0, 1));
+  session.respond("EHLO x");
+  session.respond("MAIL FROM:<a@b.com>");
+  EXPECT_EQ(session.respond("RCPT TO:<u1@d.com>").code, 550);
+  EXPECT_EQ(session.respond("RCPT TO:<u2@d.com>").code, 550);
+  EXPECT_FALSE(session.closed());
+  // The username ladder relies on DATA still being refused with no RCPT.
+  EXPECT_EQ(session.respond("DATA").code, 503);
+}
+
+class ShuttingDownHandler : public RecordingHandler {
+ public:
+  Reply on_hello(const std::string&, const util::IpAddress&) override {
+    return replies::service_unavailable();
+  }
+};
+
+TEST(Session, Handler421ClosesSession) {
+  ShuttingDownHandler handler;
+  ServerSession session(handler, util::IpAddress::v4(10, 0, 0, 1));
+  EXPECT_EQ(session.respond("EHLO x").code, 421);
+  EXPECT_TRUE(session.closed());
+  EXPECT_EQ(session.respond("MAIL FROM:<a@b.com>").code, 503);
+}
+
+}  // namespace
+}  // namespace spfail::smtp

@@ -1,0 +1,175 @@
+// Additional check_host() conformance cases in the style of the OpenSPF
+// community test suite: record selection, CNAME interactions, redirect
+// chains, unknown modifiers, and qualifier semantics.
+#include <gtest/gtest.h>
+
+#include "dns/resolver.hpp"
+#include "dns/server.hpp"
+#include "dns/zonefile.hpp"
+#include "spf/eval.hpp"
+
+namespace spfail::spf {
+namespace {
+
+class ConformanceFixture : public ::testing::Test {
+ protected:
+  ConformanceFixture()
+      : resolver_(server_, clock_, util::IpAddress::v4(10, 0, 0, 53)) {}
+
+  void add(const char* origin, const std::string& text) {
+    server_.add_zone(
+        dns::parse_zone_text(text, dns::Name::from_string(origin)));
+  }
+
+  Result check(const char* domain, const char* ip,
+               const char* local = "user") {
+    Rfc7208Expander expander;
+    Evaluator evaluator(resolver_, expander);
+    CheckRequest request;
+    request.sender_local = local;
+    request.sender_domain = dns::Name::from_string(domain);
+    request.client_ip = *util::IpAddress::parse(ip);
+    return evaluator.check_host(request).result;
+  }
+
+  dns::AuthoritativeServer server_;
+  util::SimClock clock_;
+  dns::StubResolver resolver_;
+};
+
+// --------------------------------------------------------- record selection
+
+TEST_F(ConformanceFixture, VersionTagMustBeExact) {
+  add("sel1.example", R"(@ IN TXT "v=spf10 ip4:1.2.3.4 -all")");
+  EXPECT_EQ(check("sel1.example", "1.2.3.4"), Result::None);
+}
+
+TEST_F(ConformanceFixture, VersionTagAloneIsValidRecord) {
+  add("sel2.example", R"(@ IN TXT "v=spf1")");
+  EXPECT_EQ(check("sel2.example", "1.2.3.4"), Result::Neutral);
+}
+
+TEST_F(ConformanceFixture, EmptyTxtIsNoRecord) {
+  add("sel3.example", R"(@ IN TXT "")");
+  EXPECT_EQ(check("sel3.example", "1.2.3.4"), Result::None);
+}
+
+TEST_F(ConformanceFixture, TwoSpfRecordsPermErrorEvenIfIdentical) {
+  add("sel4.example", R"(
+$ORIGIN sel4.example.
+@ IN TXT "v=spf1 -all"
+@ IN TXT "v=spf1 -all"
+)");
+  EXPECT_EQ(check("sel4.example", "1.2.3.4"), Result::PermError);
+}
+
+// --------------------------------------------------------- CNAME behaviour
+
+TEST_F(ConformanceFixture, AMechanismFollowsCname) {
+  add("cn.example", R"(
+$ORIGIN cn.example.
+@     IN TXT   "v=spf1 a:alias.cn.example -all"
+alias IN CNAME real
+real  IN A     192.0.2.77
+)");
+  EXPECT_EQ(check("cn.example", "192.0.2.77"), Result::Pass);
+}
+
+// --------------------------------------------------------- redirect chains
+
+TEST_F(ConformanceFixture, TwoStepRedirectChain) {
+  add("r1.example", R"(@ IN TXT "v=spf1 redirect=r2.example")");
+  add("r2.example", R"(@ IN TXT "v=spf1 redirect=r3.example")");
+  add("r3.example", R"(@ IN TXT "v=spf1 ip4:192.0.2.1 -all")");
+  EXPECT_EQ(check("r1.example", "192.0.2.1"), Result::Pass);
+  EXPECT_EQ(check("r1.example", "192.0.2.2"), Result::Fail);
+}
+
+TEST_F(ConformanceFixture, RedirectInheritsOriginalSenderForMacros) {
+  // %{o} inside the redirected record must still be the ORIGINAL sender
+  // domain, while %{d} becomes the redirect target.
+  add("rm.example", R"(@ IN TXT "v=spf1 redirect=target.example")");
+  add("target.example", R"(
+$ORIGIN target.example.
+@ IN TXT "v=spf1 exists:%{o}.allow.target.example -all"
+rm.example.allow IN A 127.0.0.2
+)");
+  EXPECT_EQ(check("rm.example", "9.9.9.9"), Result::Pass);
+}
+
+// --------------------------------------------------------- modifiers
+
+TEST_F(ConformanceFixture, UnknownModifierIgnoredEvenWithMacro) {
+  add("um.example",
+      R"(@ IN TXT "v=spf1 custom=%{d}.x ip4:192.0.2.1 -all")");
+  EXPECT_EQ(check("um.example", "192.0.2.1"), Result::Pass);
+}
+
+TEST_F(ConformanceFixture, ExpDoesNotAffectResult) {
+  add("exp.example",
+      R"(@ IN TXT "v=spf1 -all exp=missing.exp.example")");
+  EXPECT_EQ(check("exp.example", "1.2.3.4"), Result::Fail);
+}
+
+// --------------------------------------------------------- qualifiers
+
+TEST_F(ConformanceFixture, DefaultQualifierIsPass) {
+  add("q1.example", R"(@ IN TXT "v=spf1 ip4:192.0.2.1")");
+  EXPECT_EQ(check("q1.example", "192.0.2.1"), Result::Pass);
+}
+
+TEST_F(ConformanceFixture, FirstMatchWins) {
+  add("q2.example",
+      R"(@ IN TXT "v=spf1 ?ip4:192.0.2.1 -ip4:192.0.2.1 +all")");
+  EXPECT_EQ(check("q2.example", "192.0.2.1"), Result::Neutral);
+}
+
+// --------------------------------------------------------- sender identity
+
+TEST_F(ConformanceFixture, LocalPartCaseAndContentPreserved) {
+  add("lp.example", R"(
+$ORIGIN lp.example.
+@ IN TXT "v=spf1 exists:%{l}.who.lp.example -all"
+john.doe.who IN A 127.0.0.2
+)");
+  EXPECT_EQ(check("lp.example", "5.5.5.5", "john.doe"), Result::Pass);
+  EXPECT_EQ(check("lp.example", "5.5.5.5", "jane.doe"), Result::Fail);
+}
+
+// --------------------------------------------------------- include nuance
+
+TEST_F(ConformanceFixture, IncludeSoftFailIsNoMatch) {
+  add("is.example", R"(@ IN TXT "v=spf1 include:soft.example +all")");
+  add("soft.example", R"(@ IN TXT "v=spf1 ~all")");
+  EXPECT_EQ(check("is.example", "9.9.9.9"), Result::Pass);  // falls to +all
+}
+
+TEST_F(ConformanceFixture, NestedIncludesWithinBudget) {
+  add("n0.example", R"(@ IN TXT "v=spf1 include:n1.example -all")");
+  add("n1.example", R"(@ IN TXT "v=spf1 include:n2.example -all")");
+  add("n2.example", R"(@ IN TXT "v=spf1 ip4:203.0.113.5 -all")");
+  EXPECT_EQ(check("n0.example", "203.0.113.5"), Result::Pass);
+}
+
+TEST_F(ConformanceFixture, MinusIncludeQualifierOnMatch) {
+  // "-include" means: if the included policy PASSES, the result is Fail.
+  add("mi.example", R"(@ IN TXT "v=spf1 -include:bad.example +all")");
+  add("bad.example", R"(@ IN TXT "v=spf1 ip4:198.51.100.1 -all")");
+  EXPECT_EQ(check("mi.example", "198.51.100.1"), Result::Fail);
+  EXPECT_EQ(check("mi.example", "198.51.100.2"), Result::Pass);
+}
+
+// --------------------------------------------------------- ip edge cases
+
+TEST_F(ConformanceFixture, Ip4ZeroPrefixMatchesEverything) {
+  add("z.example", R"(@ IN TXT "v=spf1 ip4:0.0.0.0/0 -all")");
+  EXPECT_EQ(check("z.example", "8.8.8.8"), Result::Pass);
+}
+
+TEST_F(ConformanceFixture, Ip6MechanismIgnoredForV4Client) {
+  add("v6.example", R"(@ IN TXT "v=spf1 ip6:::1/128 -all")");
+  EXPECT_EQ(check("v6.example", "127.0.0.1"), Result::Fail);
+}
+
+}  // namespace
+}  // namespace spfail::spf

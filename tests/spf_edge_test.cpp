@@ -1,0 +1,185 @@
+// SPF evaluator edge cases beyond the happy paths in spf_eval_test.cpp.
+#include <gtest/gtest.h>
+
+#include "dns/resolver.hpp"
+#include "dns/server.hpp"
+#include "dns/zonefile.hpp"
+#include "spf/eval.hpp"
+
+namespace spfail::spf {
+namespace {
+
+class EdgeFixture : public ::testing::Test {
+ protected:
+  EdgeFixture()
+      : resolver_(server_, clock_, util::IpAddress::v4(10, 0, 0, 53)) {}
+
+  void add(const char* origin, const std::string& text) {
+    server_.add_zone(dns::parse_zone_text(text, dns::Name::from_string(origin)));
+  }
+
+  CheckOutcome check(const char* domain, const char* ip) {
+    Rfc7208Expander expander;
+    Evaluator evaluator(resolver_, expander);
+    CheckRequest request;
+    request.sender_local = "user";
+    request.sender_domain = dns::Name::from_string(domain);
+    request.client_ip = *util::IpAddress::parse(ip);
+    return evaluator.check_host(request);
+  }
+
+  dns::AuthoritativeServer server_;
+  util::SimClock clock_;
+  dns::StubResolver resolver_;
+};
+
+TEST_F(EdgeFixture, IncludeLoopHitsLookupLimit) {
+  add("a.example", R"(@ IN TXT "v=spf1 include:b.example -all")");
+  add("b.example", R"(@ IN TXT "v=spf1 include:a.example -all")");
+  EXPECT_EQ(check("a.example", "9.9.9.9").result, Result::PermError);
+}
+
+TEST_F(EdgeFixture, SelfRedirectLoopIsPermError) {
+  add("loop.example", R"(@ IN TXT "v=spf1 redirect=loop.example")");
+  EXPECT_EQ(check("loop.example", "9.9.9.9").result, Result::PermError);
+}
+
+TEST_F(EdgeFixture, LongSpfRecordSplitAcrossTxtStrings) {
+  // A policy longer than 255 octets must be reassembled from multiple
+  // character-strings (RFC 7208 section 3.3).
+  std::string policy = "v=spf1";
+  for (int i = 0; i < 20; ++i) {
+    policy += " ip4:192.0.2." + std::to_string(i);
+  }
+  policy += " ip4:198.51.100.7 -all";
+  ASSERT_GT(policy.size(), 255u);
+  dns::Zone zone(dns::Name::from_string("long.example"));
+  zone.add(dns::ResourceRecord::txt(dns::Name::from_string("long.example"),
+                                    policy));
+  server_.add_zone(std::move(zone));
+  EXPECT_EQ(check("long.example", "198.51.100.7").result, Result::Pass);
+  EXPECT_EQ(check("long.example", "198.51.100.8").result, Result::Fail);
+}
+
+TEST_F(EdgeFixture, NonSpfTxtRecordsCoexist) {
+  add("multi.example", R"(
+$ORIGIN multi.example.
+@ IN TXT "google-site-verification=abc123"
+@ IN TXT "v=spf1 ip4:192.0.2.1 -all"
+@ IN TXT "another unrelated record"
+)");
+  EXPECT_EQ(check("multi.example", "192.0.2.1").result, Result::Pass);
+}
+
+TEST_F(EdgeFixture, MechanismsAfterMatchAreNotEvaluated) {
+  // The second mechanism's domain does not exist; if evaluation were eager it
+  // would burn a void lookup. A match on the first mechanism short-circuits.
+  add("short.example",
+      R"(@ IN TXT "v=spf1 ip4:192.0.2.0/24 a:missing.nowhere.example -all")");
+  const CheckOutcome outcome = check("short.example", "192.0.2.9");
+  EXPECT_EQ(outcome.result, Result::Pass);
+  EXPECT_EQ(outcome.dns_mechanism_lookups, 0);
+}
+
+TEST_F(EdgeFixture, RedirectIgnoredWhenAllPresent) {
+  // "-all" matches first, so the redirect (which would PermError on the
+  // missing target) must never run.
+  add("allfirst.example",
+      R"(@ IN TXT "v=spf1 -all redirect=missing.example")");
+  EXPECT_EQ(check("allfirst.example", "9.9.9.9").result, Result::Fail);
+}
+
+TEST_F(EdgeFixture, NeutralQualifierOnMatchIsNeutral) {
+  add("neutral.example", R"(@ IN TXT "v=spf1 ?ip4:9.9.9.9 -all")");
+  EXPECT_EQ(check("neutral.example", "9.9.9.9").result, Result::Neutral);
+}
+
+TEST_F(EdgeFixture, Ipv6ClientAgainstV4OnlyPolicy) {
+  add("v4only.example", R"(@ IN TXT "v=spf1 ip4:192.0.2.0/24 -all")");
+  EXPECT_EQ(check("v4only.example", "2001:db8::1").result, Result::Fail);
+}
+
+TEST_F(EdgeFixture, DualCidrSelectsByFamily) {
+  add("dual.example", R"(
+$ORIGIN dual.example.
+@ IN TXT "v=spf1 a:host.dual.example/24//64 -all"
+host IN A    192.0.2.10
+host IN AAAA 2001:db8:0:1::10
+)");
+  // v4 client inside /24 of the A record.
+  EXPECT_EQ(check("dual.example", "192.0.2.200").result, Result::Pass);
+  // v6 client inside //64 of the AAAA record.
+  EXPECT_EQ(check("dual.example", "2001:db8:0:1::99").result, Result::Pass);
+  // v6 client outside the /64.
+  EXPECT_EQ(check("dual.example", "2001:db8:0:2::99").result, Result::Fail);
+}
+
+TEST_F(EdgeFixture, UppercaseRecordBodyParses) {
+  // Mechanism names are case-insensitive (only the version tag is strict).
+  add("upper.example", R"(@ IN TXT "v=spf1 IP4:192.0.2.1 -ALL")");
+  EXPECT_EQ(check("upper.example", "192.0.2.1").result, Result::Pass);
+  EXPECT_EQ(check("upper.example", "192.0.2.2").result, Result::Fail);
+}
+
+TEST_F(EdgeFixture, EmptyPolicyIsNeutral) {
+  add("empty.example", R"(@ IN TXT "v=spf1")");
+  EXPECT_EQ(check("empty.example", "9.9.9.9").result, Result::Neutral);
+}
+
+TEST_F(EdgeFixture, MxWithTooManyExchangesIsPermError) {
+  std::string zone_text = "$ORIGIN many.example.\n@ IN TXT \"v=spf1 mx -all\"\n";
+  for (int i = 0; i < 12; ++i) {
+    zone_text += "@ IN MX 10 mx" + std::to_string(i) + "\n";
+    zone_text += "mx" + std::to_string(i) + " IN A 192.0.2." +
+                 std::to_string(i + 1) + "\n";
+  }
+  add("many.example", zone_text);
+  EXPECT_EQ(check("many.example", "203.0.113.1").result, Result::PermError);
+}
+
+TEST_F(EdgeFixture, IncludeNeutralDoesNotMatch) {
+  add("outer.example", R"(@ IN TXT "v=spf1 include:inner.example ~all")");
+  add("inner.example", R"(@ IN TXT "v=spf1 ?all")");
+  // Inner Neutral -> include does not match -> outer continues to ~all.
+  EXPECT_EQ(check("outer.example", "9.9.9.9").result, Result::SoftFail);
+}
+
+TEST_F(EdgeFixture, TempErrorPropagatesFromInclude) {
+  // No zone for servfail.example is configured on this server and the server
+  // REFUSES off-zone queries, which the resolver reports as a non-NoError
+  // rcode -> the spec maps include lookup failures to TempError... our
+  // evaluator maps only ServFail; Refused yields no SPF record -> PermError
+  // per section 5.2 (include of a None result).
+  add("outer2.example", R"(@ IN TXT "v=spf1 include:servfail.example -all")");
+  EXPECT_EQ(check("outer2.example", "9.9.9.9").result, Result::PermError);
+}
+
+// Parameterised sweep: the lookup limit triggers at exactly 10 mechanisms.
+class LookupLimitSweep : public EdgeFixture,
+                         public ::testing::WithParamInterface<int> {};
+
+TEST_P(LookupLimitSweep, BoundaryExact) {
+  const int n = GetParam();
+  std::string zone_text = "$ORIGIN limit.example.\n@ IN TXT \"v=spf1";
+  for (int i = 0; i < n; ++i) {
+    zone_text += " a:h" + std::to_string(i) + ".limit.example";
+  }
+  zone_text += " +all\"\n";
+  for (int i = 0; i < n; ++i) {
+    zone_text += "h" + std::to_string(i) + " IN A 10.0.0." +
+                 std::to_string(i + 1) + "\n";
+  }
+  add("limit.example", zone_text);
+  const Result result = check("limit.example", "203.0.113.1").result;
+  if (n <= 10) {
+    EXPECT_EQ(result, Result::Pass) << n;  // +all after n lookups
+  } else {
+    EXPECT_EQ(result, Result::PermError) << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundary, LookupLimitSweep,
+                         ::testing::Values(1, 9, 10, 11, 12));
+
+}  // namespace
+}  // namespace spfail::spf

@@ -1,0 +1,82 @@
+// Tests for the "p" (validated domain) macro, which requires its own
+// PTR-plus-forward-confirmation resolution during evaluation.
+#include <gtest/gtest.h>
+
+#include "dns/resolver.hpp"
+#include "dns/server.hpp"
+#include "dns/zonefile.hpp"
+#include "spf/eval.hpp"
+
+namespace spfail::spf {
+namespace {
+
+class PMacroFixture : public ::testing::Test {
+ protected:
+  PMacroFixture()
+      : resolver_(server_, clock_, util::IpAddress::v4(10, 0, 0, 53)) {}
+
+  void add_zone_text(const char* origin, const char* text) {
+    server_.add_zone(
+        dns::parse_zone_text(text, dns::Name::from_string(origin)));
+  }
+
+  CheckOutcome check(const char* client_ip) {
+    Rfc7208Expander expander;
+    Evaluator evaluator(resolver_, expander);
+    CheckRequest request;
+    request.sender_local = "user";
+    request.sender_domain = dns::Name::from_string("example.com");
+    request.client_ip = *util::IpAddress::parse(client_ip);
+    return evaluator.check_host(request);
+  }
+
+  dns::AuthoritativeServer server_;
+  util::SimClock clock_;
+  dns::StubResolver resolver_;
+};
+
+TEST_F(PMacroFixture, ValidatedDomainUsedInExistsMechanism) {
+  add_zone_text("example.com", R"(
+$ORIGIN example.com.
+@ IN TXT "v=spf1 exists:%{p}.ok.example.com -all"
+; the exists target that should be hit when p validates to mail.example.com
+mail.example.com.ok IN A 127.0.0.2
+mail IN A 203.0.113.7
+)");
+  add_zone_text("113.0.203.in-addr.arpa", R"(
+$ORIGIN 113.0.203.in-addr.arpa.
+7 IN PTR mail.example.com.
+)");
+  EXPECT_EQ(check("203.0.113.7").result, Result::Pass);
+}
+
+TEST_F(PMacroFixture, UnvalidatablePBecomesUnknown) {
+  add_zone_text("example.com", R"(
+$ORIGIN example.com.
+@ IN TXT "v=spf1 exists:%{p}.ok.example.com -all"
+unknown.ok IN A 127.0.0.2
+)");
+  // No PTR zone at all: p expands to "unknown" and (here) still matches the
+  // deliberately published unknown.ok record.
+  EXPECT_EQ(check("203.0.113.9").result, Result::Pass);
+}
+
+TEST_F(PMacroFixture, ForwardConfirmationRequired) {
+  add_zone_text("example.com", R"(
+$ORIGIN example.com.
+@ IN TXT "v=spf1 exists:%{p}.ok.example.com -all"
+liar.ok IN A 127.0.0.2
+unknown.ok IN A 127.0.0.3
+)");
+  add_zone_text("113.0.203.in-addr.arpa", R"(
+$ORIGIN 113.0.203.in-addr.arpa.
+7 IN PTR liar.example.com.
+)");
+  // liar.example.com has no A record confirming 203.0.113.7, so the PTR name
+  // must NOT be used; p falls back to "unknown" — which is published, so the
+  // check still passes via unknown.ok (proving the fallback path ran).
+  EXPECT_EQ(check("203.0.113.7").result, Result::Pass);
+}
+
+}  // namespace
+}  // namespace spfail::spf

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "spf/record.hpp"
+
+namespace spfail::spf {
+namespace {
+
+TEST(RecordSelect, LooksLikeSpf) {
+  EXPECT_TRUE(looks_like_spf("v=spf1 -all"));
+  EXPECT_TRUE(looks_like_spf("v=spf1"));
+  EXPECT_FALSE(looks_like_spf("v=spf10 -all"));
+  EXPECT_FALSE(looks_like_spf("spf1 -all"));
+  EXPECT_FALSE(looks_like_spf("V=SPF1 -all"));  // version tag is case-sensitive here
+}
+
+TEST(RecordParse, PaperExamplePolicy) {
+  // The example policy from section 2.2 of the paper.
+  const Record r = parse_record(
+      "v=spf1 a:foo.example.com ip4:192.0.2.1 include:bar.org -all");
+  ASSERT_EQ(r.mechanisms.size(), 4u);
+  EXPECT_EQ(r.mechanisms[0].kind, MechanismKind::A);
+  EXPECT_EQ(r.mechanisms[0].domain_spec, "foo.example.com");
+  EXPECT_EQ(r.mechanisms[1].kind, MechanismKind::Ip4);
+  EXPECT_EQ(r.mechanisms[1].network, "192.0.2.1");
+  EXPECT_EQ(r.mechanisms[2].kind, MechanismKind::Include);
+  EXPECT_EQ(r.mechanisms[2].domain_spec, "bar.org");
+  EXPECT_EQ(r.mechanisms[3].kind, MechanismKind::All);
+  EXPECT_EQ(r.mechanisms[3].qualifier, Qualifier::Fail);
+}
+
+TEST(RecordParse, MacroPolicy) {
+  const Record r = parse_record("v=spf1 a:%{d1r}.foo.com -all");
+  ASSERT_EQ(r.mechanisms.size(), 2u);
+  EXPECT_EQ(r.mechanisms[0].domain_spec, "%{d1r}.foo.com");
+}
+
+TEST(RecordParse, Qualifiers) {
+  const Record r = parse_record("v=spf1 +a ?mx ~exists:x.%{d} -all");
+  EXPECT_EQ(r.mechanisms[0].qualifier, Qualifier::Pass);
+  EXPECT_EQ(r.mechanisms[1].qualifier, Qualifier::Neutral);
+  EXPECT_EQ(r.mechanisms[2].qualifier, Qualifier::SoftFail);
+  EXPECT_EQ(r.mechanisms[3].qualifier, Qualifier::Fail);
+}
+
+TEST(RecordParse, BareAAndMx) {
+  const Record r = parse_record("v=spf1 a mx -all");
+  EXPECT_EQ(r.mechanisms[0].kind, MechanismKind::A);
+  EXPECT_TRUE(r.mechanisms[0].domain_spec.empty());
+  EXPECT_EQ(r.mechanisms[1].kind, MechanismKind::Mx);
+}
+
+TEST(RecordParse, CidrOnBareA) {
+  const Record r = parse_record("v=spf1 a/24 -all");
+  EXPECT_EQ(r.mechanisms[0].cidr4, 24);
+  EXPECT_TRUE(r.mechanisms[0].domain_spec.empty());
+}
+
+TEST(RecordParse, DualCidr) {
+  const Record r = parse_record("v=spf1 a:foo.com/24//64 -all");
+  EXPECT_EQ(r.mechanisms[0].cidr4, 24);
+  EXPECT_EQ(r.mechanisms[0].cidr6, 64);
+  EXPECT_EQ(r.mechanisms[0].domain_spec, "foo.com");
+}
+
+TEST(RecordParse, Ip4WithPrefix) {
+  const Record r = parse_record("v=spf1 ip4:192.0.2.0/24 -all");
+  EXPECT_EQ(r.mechanisms[0].network, "192.0.2.0");
+  EXPECT_EQ(r.mechanisms[0].cidr4, 24);
+}
+
+TEST(RecordParse, Ip6WithPrefix) {
+  const Record r = parse_record("v=spf1 ip6:2001:db8::/32 -all");
+  EXPECT_EQ(r.mechanisms[0].network, "2001:db8::");
+  EXPECT_EQ(r.mechanisms[0].cidr6, 32);
+  EXPECT_EQ(r.mechanisms[0].cidr4, -1);
+}
+
+TEST(RecordParse, RedirectModifier) {
+  const Record r = parse_record("v=spf1 redirect=_spf.example.com");
+  ASSERT_TRUE(r.redirect().has_value());
+  EXPECT_EQ(*r.redirect(), "_spf.example.com");
+  EXPECT_TRUE(r.mechanisms.empty());
+}
+
+TEST(RecordParse, ExpModifier) {
+  const Record r = parse_record("v=spf1 -all exp=explain.%{d}");
+  ASSERT_TRUE(r.exp().has_value());
+  EXPECT_EQ(*r.exp(), "explain.%{d}");
+}
+
+TEST(RecordParse, UnknownModifierTolerated) {
+  // RFC 7208 section 6: unrecognised modifiers MUST be ignored.
+  const Record r = parse_record("v=spf1 custom=xyz -all");
+  EXPECT_EQ(r.mechanisms.size(), 1u);
+  EXPECT_TRUE(r.modifier("custom").has_value());
+}
+
+TEST(RecordParse, MultipleSpacesTolerated) {
+  const Record r = parse_record("v=spf1  a   -all");
+  EXPECT_EQ(r.mechanisms.size(), 2u);
+}
+
+TEST(RecordParse, Errors) {
+  EXPECT_THROW(parse_record("not spf"), RecordSyntaxError);
+  EXPECT_THROW(parse_record("v=spf1 bogus:foo"), RecordSyntaxError);
+  EXPECT_THROW(parse_record("v=spf1 all:arg"), RecordSyntaxError);
+  EXPECT_THROW(parse_record("v=spf1 include:"), RecordSyntaxError);
+  EXPECT_THROW(parse_record("v=spf1 ip4:999.1.1.1"), RecordSyntaxError);
+  EXPECT_THROW(parse_record("v=spf1 ip4:2001:db8::1"), RecordSyntaxError);
+  EXPECT_THROW(parse_record("v=spf1 ip4:192.0.2.0/33"), RecordSyntaxError);
+  EXPECT_THROW(parse_record("v=spf1 ptr:x.com/24"), RecordSyntaxError);
+  EXPECT_THROW(parse_record("v=spf1 redirect=a.com redirect=b.com"),
+               RecordSyntaxError);
+}
+
+TEST(RecordRender, RoundTripsThroughToString) {
+  const std::string text =
+      "v=spf1 a:foo.example.com ip4:192.0.2.1 include:bar.org "
+      "a:%{d1r}.foo.com -all";
+  const Record parsed = parse_record(text);
+  const Record reparsed = parse_record(parsed.to_string());
+  EXPECT_EQ(parsed, reparsed);
+}
+
+TEST(RecordRender, PreservesCidrAndQualifier) {
+  const std::string text = "v=spf1 ~a:x.com/8//96 ?mx redirect=r.%{d2}";
+  const Record parsed = parse_record(text);
+  EXPECT_EQ(parse_record(parsed.to_string()), parsed);
+}
+
+}  // namespace
+}  // namespace spfail::spf

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace spfail::util {
+namespace {
+
+TEST(Stats, Mean) {
+  const std::array<double, 4> values = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(values), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Stddev) {
+  const std::array<double, 4> values = {2, 4, 4, 6};
+  EXPECT_NEAR(stddev(values), std::sqrt(2.0), 1e-12);
+  const std::array<double, 1> single = {5};
+  EXPECT_DOUBLE_EQ(stddev(single), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  const std::array<double, 5> values = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 10);
+  EXPECT_DOUBLE_EQ(percentile(values, 1.0), 50);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 30);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.25), 20);
+  EXPECT_DOUBLE_EQ(median(values), 30);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::array<double, 2> values = {0, 10};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.75), 7.5);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::array<double, 4> values = {40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(median(values), 25.0);
+}
+
+TEST(Stats, PercentileEmptyThrows) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, SparklineShape) {
+  const std::array<double, 4> rising = {0, 1, 2, 3};
+  const std::string line = sparkline(rising);
+  EXPECT_EQ(line.substr(0, 3), "▁");  // UTF-8: 3 bytes per block char
+  EXPECT_EQ(line.substr(line.size() - 3), "█");
+}
+
+TEST(Stats, SparklineConstantSeries) {
+  const std::array<double, 3> flat = {5, 5, 5};
+  EXPECT_EQ(sparkline(flat), "▁▁▁");
+}
+
+TEST(Stats, SparklineEmpty) { EXPECT_EQ(sparkline({}), ""); }
+
+}  // namespace
+}  // namespace spfail::util
