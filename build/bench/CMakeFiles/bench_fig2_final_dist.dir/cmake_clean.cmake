@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_final_dist.dir/bench_fig2_final_dist.cpp.o"
+  "CMakeFiles/bench_fig2_final_dist.dir/bench_fig2_final_dist.cpp.o.d"
+  "bench_fig2_final_dist"
+  "bench_fig2_final_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_final_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

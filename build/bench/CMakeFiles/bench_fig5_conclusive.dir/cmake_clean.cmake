@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_conclusive.dir/bench_fig5_conclusive.cpp.o"
+  "CMakeFiles/bench_fig5_conclusive.dir/bench_fig5_conclusive.cpp.o.d"
+  "bench_fig5_conclusive"
+  "bench_fig5_conclusive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_conclusive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_full.dir/bench_fig7_full.cpp.o"
+  "CMakeFiles/bench_fig7_full.dir/bench_fig7_full.cpp.o.d"
+  "bench_fig7_full"
+  "bench_fig7_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

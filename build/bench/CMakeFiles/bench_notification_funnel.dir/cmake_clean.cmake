@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_notification_funnel.dir/bench_notification_funnel.cpp.o"
+  "CMakeFiles/bench_notification_funnel.dir/bench_notification_funnel.cpp.o.d"
+  "bench_notification_funnel"
+  "bench_notification_funnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_notification_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

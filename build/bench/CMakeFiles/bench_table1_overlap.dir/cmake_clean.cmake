@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_overlap.dir/bench_table1_overlap.cpp.o"
+  "CMakeFiles/bench_table1_overlap.dir/bench_table1_overlap.cpp.o.d"
+  "bench_table1_overlap"
+  "bench_table1_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_outcomes.dir/bench_table3_outcomes.cpp.o"
+  "CMakeFiles/bench_table3_outcomes.dir/bench_table3_outcomes.cpp.o.d"
+  "bench_table3_outcomes"
+  "bench_table3_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

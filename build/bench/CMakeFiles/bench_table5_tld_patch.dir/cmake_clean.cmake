@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_tld_patch.dir/bench_table5_tld_patch.cpp.o"
+  "CMakeFiles/bench_table5_tld_patch.dir/bench_table5_tld_patch.cpp.o.d"
+  "bench_table5_tld_patch"
+  "bench_table5_tld_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_tld_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

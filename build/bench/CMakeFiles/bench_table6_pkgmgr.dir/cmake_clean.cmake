@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_pkgmgr.dir/bench_table6_pkgmgr.cpp.o"
+  "CMakeFiles/bench_table6_pkgmgr.dir/bench_table6_pkgmgr.cpp.o.d"
+  "bench_table6_pkgmgr"
+  "bench_table6_pkgmgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_pkgmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_behaviors.dir/bench_table7_behaviors.cpp.o"
+  "CMakeFiles/bench_table7_behaviors.dir/bench_table7_behaviors.cpp.o.d"
+  "bench_table7_behaviors"
+  "bench_table7_behaviors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_behaviors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

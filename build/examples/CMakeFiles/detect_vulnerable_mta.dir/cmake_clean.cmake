@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_vulnerable_mta.dir/detect_vulnerable_mta.cpp.o"
+  "CMakeFiles/detect_vulnerable_mta.dir/detect_vulnerable_mta.cpp.o.d"
+  "detect_vulnerable_mta"
+  "detect_vulnerable_mta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_vulnerable_mta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

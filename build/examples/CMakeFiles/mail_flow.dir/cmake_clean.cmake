@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_flow.dir/mail_flow.cpp.o"
+  "CMakeFiles/mail_flow.dir/mail_flow.cpp.o.d"
+  "mail_flow"
+  "mail_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

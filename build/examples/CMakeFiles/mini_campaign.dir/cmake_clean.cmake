@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_campaign.dir/mini_campaign.cpp.o"
+  "CMakeFiles/mini_campaign.dir/mini_campaign.cpp.o.d"
+  "mini_campaign"
+  "mini_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spf_lint.dir/spf_lint.cpp.o"
+  "CMakeFiles/spf_lint.dir/spf_lint.cpp.o.d"
+  "spf_lint"
+  "spf_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spf_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

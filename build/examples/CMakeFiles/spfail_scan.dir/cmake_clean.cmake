@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfail_scan.dir/spfail_scan.cpp.o"
+  "CMakeFiles/spfail_scan.dir/spfail_scan.cpp.o.d"
+  "spfail_scan"
+  "spfail_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfail_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dkim/dkim.cpp" "src/CMakeFiles/spfail.dir/dkim/dkim.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/dkim/dkim.cpp.o.d"
+  "/root/repo/src/dmarc/discovery.cpp" "src/CMakeFiles/spfail.dir/dmarc/discovery.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/dmarc/discovery.cpp.o.d"
+  "/root/repo/src/dmarc/record.cpp" "src/CMakeFiles/spfail.dir/dmarc/record.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/dmarc/record.cpp.o.d"
+  "/root/repo/src/dns/forwarder.cpp" "src/CMakeFiles/spfail.dir/dns/forwarder.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/dns/forwarder.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/CMakeFiles/spfail.dir/dns/message.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/dns/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/CMakeFiles/spfail.dir/dns/name.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/dns/name.cpp.o.d"
+  "/root/repo/src/dns/query_log.cpp" "src/CMakeFiles/spfail.dir/dns/query_log.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/dns/query_log.cpp.o.d"
+  "/root/repo/src/dns/record.cpp" "src/CMakeFiles/spfail.dir/dns/record.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/dns/record.cpp.o.d"
+  "/root/repo/src/dns/recursive.cpp" "src/CMakeFiles/spfail.dir/dns/recursive.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/dns/recursive.cpp.o.d"
+  "/root/repo/src/dns/resolver.cpp" "src/CMakeFiles/spfail.dir/dns/resolver.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/dns/resolver.cpp.o.d"
+  "/root/repo/src/dns/server.cpp" "src/CMakeFiles/spfail.dir/dns/server.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/dns/server.cpp.o.d"
+  "/root/repo/src/dns/zone.cpp" "src/CMakeFiles/spfail.dir/dns/zone.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/dns/zone.cpp.o.d"
+  "/root/repo/src/dns/zonefile.cpp" "src/CMakeFiles/spfail.dir/dns/zonefile.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/dns/zonefile.cpp.o.d"
+  "/root/repo/src/longitudinal/inference.cpp" "src/CMakeFiles/spfail.dir/longitudinal/inference.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/longitudinal/inference.cpp.o.d"
+  "/root/repo/src/longitudinal/notification.cpp" "src/CMakeFiles/spfail.dir/longitudinal/notification.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/longitudinal/notification.cpp.o.d"
+  "/root/repo/src/longitudinal/patch_model.cpp" "src/CMakeFiles/spfail.dir/longitudinal/patch_model.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/longitudinal/patch_model.cpp.o.d"
+  "/root/repo/src/longitudinal/pkgmgr.cpp" "src/CMakeFiles/spfail.dir/longitudinal/pkgmgr.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/longitudinal/pkgmgr.cpp.o.d"
+  "/root/repo/src/longitudinal/study.cpp" "src/CMakeFiles/spfail.dir/longitudinal/study.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/longitudinal/study.cpp.o.d"
+  "/root/repo/src/mail/message.cpp" "src/CMakeFiles/spfail.dir/mail/message.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/mail/message.cpp.o.d"
+  "/root/repo/src/mta/host.cpp" "src/CMakeFiles/spfail.dir/mta/host.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/mta/host.cpp.o.d"
+  "/root/repo/src/population/fleet.cpp" "src/CMakeFiles/spfail.dir/population/fleet.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/population/fleet.cpp.o.d"
+  "/root/repo/src/population/geo.cpp" "src/CMakeFiles/spfail.dir/population/geo.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/population/geo.cpp.o.d"
+  "/root/repo/src/population/tld.cpp" "src/CMakeFiles/spfail.dir/population/tld.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/population/tld.cpp.o.d"
+  "/root/repo/src/report/session.cpp" "src/CMakeFiles/spfail.dir/report/session.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/report/session.cpp.o.d"
+  "/root/repo/src/report/tables.cpp" "src/CMakeFiles/spfail.dir/report/tables.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/report/tables.cpp.o.d"
+  "/root/repo/src/scan/campaign.cpp" "src/CMakeFiles/spfail.dir/scan/campaign.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/scan/campaign.cpp.o.d"
+  "/root/repo/src/scan/labels.cpp" "src/CMakeFiles/spfail.dir/scan/labels.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/scan/labels.cpp.o.d"
+  "/root/repo/src/scan/prober.cpp" "src/CMakeFiles/spfail.dir/scan/prober.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/scan/prober.cpp.o.d"
+  "/root/repo/src/scan/test_responder.cpp" "src/CMakeFiles/spfail.dir/scan/test_responder.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/scan/test_responder.cpp.o.d"
+  "/root/repo/src/smtp/client.cpp" "src/CMakeFiles/spfail.dir/smtp/client.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/smtp/client.cpp.o.d"
+  "/root/repo/src/smtp/command.cpp" "src/CMakeFiles/spfail.dir/smtp/command.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/smtp/command.cpp.o.d"
+  "/root/repo/src/smtp/server.cpp" "src/CMakeFiles/spfail.dir/smtp/server.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/smtp/server.cpp.o.d"
+  "/root/repo/src/spf/eval.cpp" "src/CMakeFiles/spfail.dir/spf/eval.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/spf/eval.cpp.o.d"
+  "/root/repo/src/spf/macro.cpp" "src/CMakeFiles/spfail.dir/spf/macro.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/spf/macro.cpp.o.d"
+  "/root/repo/src/spf/received_spf.cpp" "src/CMakeFiles/spfail.dir/spf/received_spf.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/spf/received_spf.cpp.o.d"
+  "/root/repo/src/spf/record.cpp" "src/CMakeFiles/spfail.dir/spf/record.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/spf/record.cpp.o.d"
+  "/root/repo/src/spf/result.cpp" "src/CMakeFiles/spfail.dir/spf/result.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/spf/result.cpp.o.d"
+  "/root/repo/src/spfvuln/behavior.cpp" "src/CMakeFiles/spfail.dir/spfvuln/behavior.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/spfvuln/behavior.cpp.o.d"
+  "/root/repo/src/spfvuln/fingerprint.cpp" "src/CMakeFiles/spfail.dir/spfvuln/fingerprint.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/spfvuln/fingerprint.cpp.o.d"
+  "/root/repo/src/spfvuln/libspf2_expander.cpp" "src/CMakeFiles/spfail.dir/spfvuln/libspf2_expander.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/spfvuln/libspf2_expander.cpp.o.d"
+  "/root/repo/src/spfvuln/payload.cpp" "src/CMakeFiles/spfail.dir/spfvuln/payload.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/spfvuln/payload.cpp.o.d"
+  "/root/repo/src/spfvuln/variant_expanders.cpp" "src/CMakeFiles/spfail.dir/spfvuln/variant_expanders.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/spfvuln/variant_expanders.cpp.o.d"
+  "/root/repo/src/util/clock.cpp" "src/CMakeFiles/spfail.dir/util/clock.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/util/clock.cpp.o.d"
+  "/root/repo/src/util/encoding.cpp" "src/CMakeFiles/spfail.dir/util/encoding.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/util/encoding.cpp.o.d"
+  "/root/repo/src/util/ip.cpp" "src/CMakeFiles/spfail.dir/util/ip.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/util/ip.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/spfail.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/spfail.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/spfail.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/spfail.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

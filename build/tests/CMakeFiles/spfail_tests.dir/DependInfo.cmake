@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/determinism_test.cpp" "tests/CMakeFiles/spfail_tests.dir/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/determinism_test.cpp.o.d"
+  "/root/repo/tests/dmarc_test.cpp" "tests/CMakeFiles/spfail_tests.dir/dmarc_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/dmarc_test.cpp.o.d"
+  "/root/repo/tests/dns_test.cpp" "tests/CMakeFiles/spfail_tests.dir/dns_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/dns_test.cpp.o.d"
+  "/root/repo/tests/forwarder_test.cpp" "tests/CMakeFiles/spfail_tests.dir/forwarder_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/forwarder_test.cpp.o.d"
+  "/root/repo/tests/inference_test.cpp" "tests/CMakeFiles/spfail_tests.dir/inference_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/inference_test.cpp.o.d"
+  "/root/repo/tests/longitudinal_test.cpp" "tests/CMakeFiles/spfail_tests.dir/longitudinal_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/longitudinal_test.cpp.o.d"
+  "/root/repo/tests/mail_dkim_test.cpp" "tests/CMakeFiles/spfail_tests.dir/mail_dkim_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/mail_dkim_test.cpp.o.d"
+  "/root/repo/tests/misc_edge_test.cpp" "tests/CMakeFiles/spfail_tests.dir/misc_edge_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/misc_edge_test.cpp.o.d"
+  "/root/repo/tests/mta_dmarc_test.cpp" "tests/CMakeFiles/spfail_tests.dir/mta_dmarc_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/mta_dmarc_test.cpp.o.d"
+  "/root/repo/tests/mta_scan_test.cpp" "tests/CMakeFiles/spfail_tests.dir/mta_scan_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/mta_scan_test.cpp.o.d"
+  "/root/repo/tests/notification_email_test.cpp" "tests/CMakeFiles/spfail_tests.dir/notification_email_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/notification_email_test.cpp.o.d"
+  "/root/repo/tests/payload_test.cpp" "tests/CMakeFiles/spfail_tests.dir/payload_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/payload_test.cpp.o.d"
+  "/root/repo/tests/population_test.cpp" "tests/CMakeFiles/spfail_tests.dir/population_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/population_test.cpp.o.d"
+  "/root/repo/tests/received_spf_test.cpp" "tests/CMakeFiles/spfail_tests.dir/received_spf_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/received_spf_test.cpp.o.d"
+  "/root/repo/tests/recursive_test.cpp" "tests/CMakeFiles/spfail_tests.dir/recursive_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/recursive_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/spfail_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/rfc7208_vectors_test.cpp" "tests/CMakeFiles/spfail_tests.dir/rfc7208_vectors_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/rfc7208_vectors_test.cpp.o.d"
+  "/root/repo/tests/scan_test.cpp" "tests/CMakeFiles/spfail_tests.dir/scan_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/scan_test.cpp.o.d"
+  "/root/repo/tests/smtp_client_test.cpp" "tests/CMakeFiles/spfail_tests.dir/smtp_client_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/smtp_client_test.cpp.o.d"
+  "/root/repo/tests/smtp_test.cpp" "tests/CMakeFiles/spfail_tests.dir/smtp_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/smtp_test.cpp.o.d"
+  "/root/repo/tests/spf_conformance_test.cpp" "tests/CMakeFiles/spfail_tests.dir/spf_conformance_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/spf_conformance_test.cpp.o.d"
+  "/root/repo/tests/spf_edge_test.cpp" "tests/CMakeFiles/spfail_tests.dir/spf_edge_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/spf_edge_test.cpp.o.d"
+  "/root/repo/tests/spf_eval_test.cpp" "tests/CMakeFiles/spfail_tests.dir/spf_eval_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/spf_eval_test.cpp.o.d"
+  "/root/repo/tests/spf_macro_test.cpp" "tests/CMakeFiles/spfail_tests.dir/spf_macro_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/spf_macro_test.cpp.o.d"
+  "/root/repo/tests/spf_p_macro_test.cpp" "tests/CMakeFiles/spfail_tests.dir/spf_p_macro_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/spf_p_macro_test.cpp.o.d"
+  "/root/repo/tests/spf_record_test.cpp" "tests/CMakeFiles/spfail_tests.dir/spf_record_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/spf_record_test.cpp.o.d"
+  "/root/repo/tests/spfvuln_test.cpp" "tests/CMakeFiles/spfail_tests.dir/spfvuln_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/spfvuln_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/spfail_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/spfail_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/wire_property_test.cpp" "tests/CMakeFiles/spfail_tests.dir/wire_property_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/wire_property_test.cpp.o.d"
+  "/root/repo/tests/zonefile_test.cpp" "tests/CMakeFiles/spfail_tests.dir/zonefile_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/zonefile_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spfail.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
