@@ -7,6 +7,8 @@
 // authors made between scan duration and per-target network load.
 #include "bench_common.hpp"
 
+#include <chrono>
+
 namespace {
 
 using namespace spfail;
@@ -24,6 +26,24 @@ util::SimTime round_duration(double scale, int cap) {
   const util::SimTime start = fleet.clock().now();
   campaign.run(fleet.targets());
   return fleet.clock().now() - start;
+}
+
+// Real wall-clock of one initial campaign round at a given worker-thread
+// count (the sharded scan engine; report bit-identical at every count).
+double round_wall_seconds(double scale, int threads) {
+  population::FleetConfig config;
+  config.scale = scale;
+  population::Fleet fleet(config);
+
+  scan::CampaignConfig campaign_config;
+  campaign_config.prober.responder = fleet.responder();
+  campaign_config.threads = threads;
+  scan::Campaign campaign(campaign_config, fleet.dns(), fleet.clock(), fleet);
+
+  const auto start = std::chrono::steady_clock::now();
+  campaign.run(fleet.targets());
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
 }
 
 void BM_CampaignRound(benchmark::State& state) {
@@ -68,5 +88,28 @@ int main(int argc, char** argv) {
                "while caps beyond 250 stop paying because per-host gaps and "
                "greylist backoffs dominate. 250 keeps a full round well "
                "under the cadence with bounded per-target load.\n\n";
+
+  // The second axis: real worker threads in the sharded scan engine. Unlike
+  // the simulated cap above (which changes the modelled timeline), threads
+  // change only how fast we compute it — the report stays bit-identical.
+  util::TextTable thread_table(
+      {"Worker threads", "Wall-clock (one round)", "Speedup"},
+      {util::Align::Right, util::Align::Right, util::Align::Right});
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  double serial_seconds = 0.0;
+  for (const int threads : thread_counts) {
+    const double seconds = round_wall_seconds(scale, threads);
+    if (threads == 1) serial_seconds = seconds;
+    char sec_buf[64], speedup_buf[64];
+    std::snprintf(sec_buf, sizeof(sec_buf), "%.3f s", seconds);
+    std::snprintf(speedup_buf, sizeof(speedup_buf), "%.2fx",
+                  seconds > 0.0 ? serial_seconds / seconds : 0.0);
+    thread_table.add_row({std::to_string(threads), sec_buf, speedup_buf});
+  }
+  std::cout << thread_table << "\n"
+            << "Reading: shards are contiguous slices of the address-sorted "
+               "work list, each with its own prober, RNG lane, clock lane "
+               "and query-log lane, merged deterministically afterwards — so "
+               "the speedup is pure implementation, not a model change.\n\n";
   return spfail::bench::run_benchmarks(argc, argv);
 }

@@ -1,6 +1,8 @@
 // Figure 7 — vulnerability rates per domain list, full four-month window.
 #include "bench_common.hpp"
 
+#include <memory>
+
 #include "util/stats.hpp"
 
 namespace {
@@ -17,6 +19,34 @@ void BM_FullStudyTinyScale(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullStudyTinyScale)->Unit(benchmark::kMillisecond);
+
+// The same workload at a scale where sharding pays, across thread counts.
+// Fleet synthesis (serial by design) is excluded from the timing so the
+// number measures the scan engine itself. The report is bit-identical at
+// every Arg — only the wall-clock should move.
+void BM_FullStudyThreads(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    spfail::population::FleetConfig config;
+    config.scale = 0.02;
+    auto fleet = std::make_unique<spfail::population::Fleet>(config);
+    spfail::longitudinal::StudyConfig study_config;
+    study_config.threads = static_cast<int>(state.range(0));
+    spfail::longitudinal::Study study(*fleet, study_config);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(study.run());
+    state.PauseTiming();
+    fleet.reset();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_FullStudyThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

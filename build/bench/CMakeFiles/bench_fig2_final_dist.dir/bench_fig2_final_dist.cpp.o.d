@@ -241,5 +241,17 @@ bench/CMakeFiles/bench_fig2_final_dist.dir/bench_fig2_final_dist.cpp.o: \
  /root/repo/src/population/geo.hpp /root/repo/src/population/tld.hpp \
  /root/repo/src/scan/campaign.hpp /root/repo/src/scan/prober.hpp \
  /root/repo/src/scan/labels.hpp /root/repo/src/scan/test_responder.hpp \
- /root/repo/src/spfvuln/fingerprint.hpp /root/repo/src/report/tables.hpp \
- /root/repo/src/util/table.hpp
+ /root/repo/src/spfvuln/fingerprint.hpp \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/report/tables.hpp /root/repo/src/util/table.hpp

@@ -154,21 +154,19 @@ examples/CMakeFiles/mini_campaign.dir/mini_campaign.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /root/repo/src/longitudinal/study.hpp /usr/include/c++/12/map \
+ /root/repo/src/longitudinal/study.hpp /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/longitudinal/inference.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/longitudinal/inference.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/util/clock.hpp /root/repo/src/util/ip.hpp \
  /usr/include/c++/12/array /root/repo/src/longitudinal/notification.hpp \
@@ -225,7 +223,9 @@ examples/CMakeFiles/mini_campaign.dir/mini_campaign.cpp.o: \
  /root/repo/src/dns/message.hpp /root/repo/src/dns/record.hpp \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/dns/query_log.hpp /root/repo/src/dns/zone.hpp \
- /root/repo/src/mta/host.hpp /root/repo/src/dns/resolver.hpp \
+ /root/repo/src/mta/host.hpp /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/dns/resolver.hpp \
  /root/repo/src/smtp/server.hpp /root/repo/src/smtp/command.hpp \
  /root/repo/src/smtp/reply.hpp /root/repo/src/spf/eval.hpp \
  /root/repo/src/spf/macro.hpp /root/repo/src/spf/record.hpp \
@@ -233,5 +233,19 @@ examples/CMakeFiles/mini_campaign.dir/mini_campaign.cpp.o: \
  /root/repo/src/population/geo.hpp /root/repo/src/population/tld.hpp \
  /root/repo/src/scan/campaign.hpp /root/repo/src/scan/prober.hpp \
  /root/repo/src/scan/labels.hpp /root/repo/src/scan/test_responder.hpp \
- /root/repo/src/spfvuln/fingerprint.hpp /root/repo/src/report/tables.hpp \
- /root/repo/src/util/table.hpp /root/repo/src/util/strings.hpp
+ /root/repo/src/spfvuln/fingerprint.hpp \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/report/tables.hpp /root/repo/src/util/table.hpp \
+ /root/repo/src/util/strings.hpp

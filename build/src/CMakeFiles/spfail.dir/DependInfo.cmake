@@ -57,6 +57,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/stats.cpp" "src/CMakeFiles/spfail.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/util/stats.cpp.o.d"
   "/root/repo/src/util/strings.cpp" "src/CMakeFiles/spfail.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/util/strings.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/CMakeFiles/spfail.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/spfail.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/spfail.dir/util/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

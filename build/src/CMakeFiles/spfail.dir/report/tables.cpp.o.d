@@ -119,21 +119,19 @@ src/CMakeFiles/spfail.dir/report/tables.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/longitudinal/study.hpp /usr/include/c++/12/map \
+ /root/repo/src/longitudinal/study.hpp /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/longitudinal/inference.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/longitudinal/inference.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
@@ -225,7 +223,9 @@ src/CMakeFiles/spfail.dir/report/tables.cpp.o: \
  /root/repo/src/dns/message.hpp /root/repo/src/dns/record.hpp \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/dns/query_log.hpp /root/repo/src/dns/zone.hpp \
- /root/repo/src/mta/host.hpp /root/repo/src/dns/resolver.hpp \
+ /root/repo/src/mta/host.hpp /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/dns/resolver.hpp \
  /root/repo/src/smtp/server.hpp /root/repo/src/smtp/command.hpp \
  /root/repo/src/smtp/reply.hpp /root/repo/src/spf/eval.hpp \
  /root/repo/src/spf/macro.hpp /root/repo/src/spf/record.hpp \
@@ -233,10 +233,24 @@ src/CMakeFiles/spfail.dir/report/tables.cpp.o: \
  /root/repo/src/population/geo.hpp /root/repo/src/population/tld.hpp \
  /root/repo/src/scan/campaign.hpp /root/repo/src/scan/prober.hpp \
  /root/repo/src/scan/labels.hpp /root/repo/src/scan/test_responder.hpp \
- /root/repo/src/spfvuln/fingerprint.hpp /root/repo/src/util/table.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/spfvuln/fingerprint.hpp \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/util/table.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/limits /root/repo/src/longitudinal/pkgmgr.hpp \
+ /root/repo/src/longitudinal/pkgmgr.hpp \
  /root/repo/src/population/paper_constants.hpp \
  /root/repo/src/util/strings.hpp

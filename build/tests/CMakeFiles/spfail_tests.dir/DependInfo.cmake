@@ -36,6 +36,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/spf_record_test.cpp" "tests/CMakeFiles/spfail_tests.dir/spf_record_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/spf_record_test.cpp.o.d"
   "/root/repo/tests/spfvuln_test.cpp" "tests/CMakeFiles/spfail_tests.dir/spfvuln_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/spfvuln_test.cpp.o.d"
   "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/spfail_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/thread_pool_test.cpp" "tests/CMakeFiles/spfail_tests.dir/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/thread_pool_test.cpp.o.d"
   "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/spfail_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/util_test.cpp.o.d"
   "/root/repo/tests/wire_property_test.cpp" "tests/CMakeFiles/spfail_tests.dir/wire_property_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/wire_property_test.cpp.o.d"
   "/root/repo/tests/zonefile_test.cpp" "tests/CMakeFiles/spfail_tests.dir/zonefile_test.cpp.o" "gcc" "tests/CMakeFiles/spfail_tests.dir/zonefile_test.cpp.o.d"

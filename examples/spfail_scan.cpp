@@ -2,10 +2,13 @@
 // the operator tool the paper's authors effectively ran, against the
 // simulated Internet.
 //
-//   usage: spfail_scan [--scale S] [--seed N] [--initial-only] [--csv DIR]
+//   usage: spfail_scan [--scale S] [--seed N] [--threads N] [--initial-only]
+//                      [--csv DIR]
 //
 //   --scale S        population scale, 0 < S <= 1 (default 0.05)
 //   --seed N         fleet seed (default 2021)
+//   --threads N      scan worker threads (default: SPFAIL_THREADS, else all
+//                    cores); results are bit-identical at any count
 //   --initial-only   run only the 2021-10-11 measurement, skip the
 //                    longitudinal study
 //   --csv DIR        also write figure series as CSV into DIR
@@ -40,6 +43,7 @@ void write_csv(const std::string& dir, const char* slug,
 int main(int argc, char** argv) {
   double scale = 0.05;
   std::uint64_t seed = 2021;
+  int threads = 0;
   bool initial_only = false;
   std::string csv_dir;
 
@@ -56,6 +60,8 @@ int main(int argc, char** argv) {
       scale = std::atof(next());
     } else if (arg == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
     } else if (arg == "--initial-only") {
       initial_only = true;
     } else if (arg == "--csv") {
@@ -86,6 +92,7 @@ int main(int argc, char** argv) {
     std::cout << "[2/3] Initial measurement (2021-10-11)...\n";
     scan::CampaignConfig campaign_config;
     campaign_config.prober.responder = fleet.responder();
+    campaign_config.threads = threads;
     scan::Campaign campaign(campaign_config, fleet.dns(), fleet.clock(),
                             fleet);
     const scan::CampaignReport report = campaign.run(fleet.targets());
@@ -99,7 +106,9 @@ int main(int argc, char** argv) {
   std::cout << "[2/3] Four-month longitudinal study (initial scan, private\n"
                "      notification, public disclosure, 34 rounds, snapshot)"
                "...\n";
-  longitudinal::Study study(fleet);
+  longitudinal::StudyConfig study_config;
+  study_config.threads = threads;
+  longitudinal::Study study(fleet, study_config);
   const longitudinal::StudyReport report = study.run();
 
   std::cout << "[3/3] Results\n\n"

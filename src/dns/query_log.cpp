@@ -4,10 +4,19 @@ namespace spfail::dns {
 
 std::vector<QueryLogEntry> QueryLog::under(const Name& suffix) const {
   std::vector<QueryLogEntry> out;
-  for (const auto& e : entries_) {
-    if (e.qname.is_subdomain_of(suffix)) out.push_back(e);
-  }
+  for_each_under(suffix, [&out](const QueryLogEntry& e) { out.push_back(e); });
   return out;
+}
+
+void QueryLog::splice(QueryLog&& other) {
+  if (entries_.empty()) {
+    entries_ = std::move(other.entries_);
+  } else {
+    entries_.insert(entries_.end(),
+                    std::make_move_iterator(other.entries_.begin()),
+                    std::make_move_iterator(other.entries_.end()));
+  }
+  other.entries_.clear();
 }
 
 std::vector<QueryLogEntry> QueryLog::matching(

@@ -39,6 +39,26 @@ class QueryLog {
   std::vector<QueryLogEntry> matching(
       const std::function<bool(const QueryLogEntry&)>& pred) const;
 
+  // Non-allocating visitor over entries under `suffix`, optionally starting
+  // at `first` (a cursor previously read from size()). The per-probe verdict
+  // path runs this once per test, so no copies.
+  template <typename Fn>
+  void for_each_under(const Name& suffix, Fn&& fn) const {
+    for_each_under_from(0, suffix, std::forward<Fn>(fn));
+  }
+
+  template <typename Fn>
+  void for_each_under_from(std::size_t first, const Name& suffix,
+                           Fn&& fn) const {
+    for (std::size_t i = first; i < entries_.size(); ++i) {
+      if (entries_[i].qname.is_subdomain_of(suffix)) fn(entries_[i]);
+    }
+  }
+
+  // Move every entry of `other` to the end of this log (the sharded scan
+  // drains worker-lane logs back into the authoritative one this way).
+  void splice(QueryLog&& other);
+
  private:
   std::vector<QueryLogEntry> entries_;
 };

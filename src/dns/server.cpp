@@ -1,8 +1,26 @@
 #include "dns/server.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace spfail::dns {
+
+thread_local AuthoritativeServer::LaneState AuthoritativeServer::lane_;
+
+AuthoritativeServer::LogLane::LogLane(const AuthoritativeServer& server,
+                                      QueryLog& lane) {
+  if (lane_.server != nullptr) {
+    throw std::logic_error(
+        "AuthoritativeServer::LogLane: a lane is already active on this thread");
+  }
+  lane_.server = &server;
+  lane_.log = &lane;
+}
+
+AuthoritativeServer::LogLane::~LogLane() {
+  lane_.server = nullptr;
+  lane_.log = nullptr;
+}
 
 void AuthoritativeServer::add_zone(Zone zone) {
   zones_.push_back(std::move(zone));
@@ -35,7 +53,7 @@ Message AuthoritativeServer::handle(const Message& query,
     return Message::make_response(query, Rcode::FormErr);
   }
   const Question& q = query.questions.front();
-  log_.record(QueryLogEntry{now, client, q.qname, q.qtype});
+  active_log().record(QueryLogEntry{now, client, q.qname, q.qtype});
 
   // Dynamic responders take precedence (the measurement domain is synthetic).
   for (const auto& [suffix, responder] : responders_) {

@@ -46,15 +46,45 @@ class AuthoritativeServer : public DnsService {
   Message handle(const Message& query, const util::IpAddress& client,
                  util::SimTime now) override;
 
-  QueryLog& query_log() noexcept { return log_; }
-  const QueryLog& query_log() const noexcept { return log_; }
+  // The log queries are recorded to *on the calling thread*: the
+  // authoritative log normally, or the thread's LogLane while one is active.
+  // Sharded scan workers each route their probes' queries into a private
+  // lane log and splice it into the authoritative log at merge time, so
+  // recording never contends across threads.
+  QueryLog& query_log() noexcept { return active_log(); }
+  const QueryLog& query_log() const noexcept { return active_log(); }
+
+  // The authoritative log regardless of any lane on this thread (merge and
+  // post-run forensics use this).
+  QueryLog& authoritative_log() noexcept { return log_; }
+  const QueryLog& authoritative_log() const noexcept { return log_; }
+
+  // RAII redirect of this thread's query recording to `lane`. At most one
+  // per thread; queries to *other* servers are unaffected.
+  class LogLane {
+   public:
+    LogLane(const AuthoritativeServer& server, QueryLog& lane);
+    ~LogLane();
+    LogLane(const LogLane&) = delete;
+    LogLane& operator=(const LogLane&) = delete;
+  };
 
  private:
+  QueryLog& active_log() const noexcept {
+    return lane_.server == this ? *lane_.log : log_;
+  }
+
+  struct LaneState {
+    const AuthoritativeServer* server = nullptr;
+    QueryLog* log = nullptr;
+  };
+  static thread_local LaneState lane_;
+
   // Keyed by reversed label count via std::map<Name, ...> won't give longest
   // match directly; store and scan (zone counts here are small).
   std::vector<Zone> zones_;
   std::vector<std::pair<Name, DynamicResponder>> responders_;
-  QueryLog log_;
+  mutable QueryLog log_;
 };
 
 }  // namespace spfail::dns

@@ -1,9 +1,14 @@
 #include "longitudinal/study.hpp"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "population/paper_constants.hpp"
 #include "scan/prober.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spfail::longitudinal {
 
@@ -23,6 +28,14 @@ std::vector<util::SimTime> measurement_round_times() {
   }
   return times;
 }
+
+// One scheduled observation; built serially (so the loss-process RNG draws
+// stay in sorted address order) and executed by whichever shard owns it.
+struct ObserveJob {
+  util::IpAddress address;
+  scan::TestKind kind = scan::TestKind::NoMsg;
+  std::uint64_t slot = 0;
+};
 
 }  // namespace
 
@@ -57,25 +70,23 @@ bool Study::in_cohort(const population::DomainRecord& domain, Cohort cohort) {
   return false;
 }
 
-Observation Study::observe_address(const util::IpAddress& address,
+Observation Study::observe_address(scan::Prober& prober,
+                                   const util::IpAddress& address,
                                    scan::TestKind kind,
-                                   scan::LabelAllocator& labels,
-                                   const std::string& suite) {
+                                   const scan::LabelAllocator& labels,
+                                   const std::string& suite,
+                                   std::uint64_t slot) {
   mta::MailHost* host = fleet_.find_host(address);
   if (host == nullptr) return Observation::Inconclusive;
 
-  scan::ProberConfig prober_config;
-  prober_config.responder = fleet_.responder();
-  scan::Prober prober(prober_config, fleet_.dns(), fleet_.clock());
-
-  const dns::Name mail_from = labels.mail_from_domain(labels.new_id(), suite);
-  scan::ProbeResult result = prober.probe(
-      *host, "host-" + address.to_string(), mail_from, kind);
+  const std::string recipient = "host-" + address.to_string();
+  scan::ProbeResult result =
+      prober.probe(*host, recipient, labels.indexed_mail_from(slot, suite),
+                   kind);
   if (result.status == scan::ProbeStatus::Greylisted) {
     fleet_.clock().advance_by(paper::kGreylistBackoff);
-    result = prober.probe(*host, "host-" + address.to_string(),
-                          labels.mail_from_domain(labels.new_id(), suite),
-                          kind);
+    result = prober.probe(*host, recipient,
+                          labels.indexed_mail_from(slot + 1, suite), kind);
   }
   if (result.status != scan::ProbeStatus::SpfMeasured) {
     return Observation::Inconclusive;
@@ -89,37 +100,57 @@ StudyReport Study::run() {
   util::Rng rng(config_.seed);
   util::Rng loss_rng = rng.fork("loss");
 
+  // One pool for the whole study: the initial campaign, every longitudinal
+  // round, and the snapshot all shard their work lists over it.
+  util::ThreadPool pool(config_.threads);
+
   // ---- 1. Initial measurement (2021-10-11) ------------------------------
   scan::CampaignConfig campaign_config;
   campaign_config.prober.responder = fleet_.responder();
   campaign_config.label_seed = config_.seed ^ 0xC0FFEE;
+  campaign_config.pool = &pool;
   scan::Campaign campaign(campaign_config, fleet_.dns(), fleet_.clock(),
                           fleet_);
   report.initial = campaign.run(fleet_.targets());
 
+  // Everything downstream walks outcomes in ascending address order: label
+  // slots, RNG draw order, and report assembly all key off these positions.
+  const std::vector<const scan::AddressOutcome*> initial_sorted =
+      report.initial.sorted_outcomes();
+
   // Collect vulnerable addresses and the test kind that measured them.
-  std::map<util::IpAddress, scan::TestKind> working_test;
+  std::unordered_map<util::IpAddress, scan::TestKind, util::IpAddressHash>
+      working_test;
+  working_test.reserve(initial_sorted.size());
   std::vector<util::IpAddress> vulnerable_addresses;
-  for (const auto& [address, outcome] : report.initial.addresses) {
-    if (!outcome.vulnerable()) continue;
-    vulnerable_addresses.push_back(address);
+  for (const scan::AddressOutcome* outcome : initial_sorted) {
+    if (!outcome->vulnerable()) continue;
+    vulnerable_addresses.push_back(outcome->address);
     const bool via_nomsg =
-        outcome.nomsg.has_value() &&
-        outcome.nomsg->status == scan::ProbeStatus::SpfMeasured;
-    working_test.emplace(address, via_nomsg ? scan::TestKind::NoMsg
-                                            : scan::TestKind::BlankMsg);
+        outcome->nomsg.has_value() &&
+        outcome->nomsg->status == scan::ProbeStatus::SpfMeasured;
+    working_test.emplace(outcome->address, via_nomsg
+                                               ? scan::TestKind::NoMsg
+                                               : scan::TestKind::BlankMsg);
   }
   report.initially_vulnerable_addresses = vulnerable_addresses.size();
 
   // §6.1's re-measurable inconclusives: SPF evaluation visibly started (the
   // policy fetch was logged) but no macro-expansion probe query concluded.
-  std::vector<util::IpAddress> remeasurable;
-  for (const auto& [address, outcome] : report.initial.addresses) {
-    if (outcome.vulnerable() || outcome.conclusive()) continue;
+  // Each carries its stable label slot — master indices continue past the
+  // vulnerable block so slots stay unique within a suite.
+  std::vector<std::pair<util::IpAddress, std::uint64_t>> remeasurable;
+  for (const scan::AddressOutcome* outcome : initial_sorted) {
+    if (outcome->vulnerable() || outcome->conclusive()) continue;
     const bool fetch_seen =
-        (outcome.nomsg.has_value() && outcome.nomsg->saw_policy_fetch) ||
-        (outcome.blankmsg.has_value() && outcome.blankmsg->saw_policy_fetch);
-    if (fetch_seen) remeasurable.push_back(address);
+        (outcome->nomsg.has_value() && outcome->nomsg->saw_policy_fetch) ||
+        (outcome->blankmsg.has_value() &&
+         outcome->blankmsg->saw_policy_fetch);
+    if (fetch_seen) {
+      const std::uint64_t master_index =
+          vulnerable_addresses.size() + remeasurable.size();
+      remeasurable.emplace_back(outcome->address, 2 * master_index);
+    }
   }
   report.remeasurable_addresses = remeasurable.size();
 
@@ -155,7 +186,9 @@ StudyReport Study::run() {
   PatchModelConfig patch_config = config_.patch_model;
   patch_config.seed = config_.seed ^ 0x9A7C4;
   PatchModel patch_model(patch_config);
-  std::map<util::IpAddress, PatchDecision> patch_plan;
+  std::unordered_map<util::IpAddress, PatchDecision, util::IpAddressHash>
+      patch_plan;
+  patch_plan.reserve(vulnerable_addresses.size());
   for (const auto& address : vulnerable_addresses) {
     const auto& info = fleet_.info(address);
     const mta::MailHost* host = fleet_.find_host(address);
@@ -178,13 +211,53 @@ StudyReport Study::run() {
   scan::LabelAllocator labels(util::Rng(config_.seed ^ 0x1ABE15),
                               fleet_.responder().base);
 
-  std::map<util::IpAddress, Series> series;
+  std::unordered_map<util::IpAddress, Series, util::IpAddressHash> series;
+  series.reserve(vulnerable_addresses.size());
   for (const auto& address : vulnerable_addresses) {
-    series[address] = Series(report.round_times.size(),
-                             Observation::Inconclusive);
+    series.emplace(address, Series(report.round_times.size(),
+                                   Observation::Inconclusive));
   }
-  std::set<util::IpAddress> blacklisted;
+  std::unordered_set<util::IpAddress, util::IpAddressHash> blacklisted;
+  blacklisted.reserve(vulnerable_addresses.size());
 
+  // Shard a job batch over the pool. Each worker runs a private clock lane
+  // and a private query-log lane, plus one prober reused across its slice;
+  // the merge folds clock offsets (their sum is exactly the serial advance)
+  // and splices lane logs back in shard — i.e. address — order.
+  const auto run_batch = [&](const std::vector<ObserveJob>& jobs,
+                             std::vector<Observation>& results,
+                             const std::string& suite) {
+    results.assign(jobs.size(), Observation::Inconclusive);
+    if (jobs.empty()) return;
+    const std::size_t shard_count = pool.shard_count(jobs.size());
+    std::vector<dns::QueryLog> logs(shard_count);
+    std::vector<util::SimTime> advances(shard_count, 0);
+    pool.parallel_for_shards(
+        jobs.size(),
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          util::SimClock::Lane clock_lane(fleet_.clock());
+          dns::AuthoritativeServer::LogLane log_lane(fleet_.dns(),
+                                                     logs[shard]);
+          scan::ProberConfig prober_config;
+          prober_config.responder = fleet_.responder();
+          scan::Prober prober(prober_config, fleet_.dns(), fleet_.clock());
+          for (std::size_t i = begin; i < end; ++i) {
+            results[i] = observe_address(prober, jobs[i].address,
+                                         jobs[i].kind, labels, suite,
+                                         jobs[i].slot);
+          }
+          advances[shard] = clock_lane.offset();
+        });
+    util::SimTime total_advance = 0;
+    for (const util::SimTime advance : advances) total_advance += advance;
+    fleet_.clock().advance_by(total_advance);
+    for (auto& log : logs) {
+      fleet_.dns().query_log().splice(std::move(log));
+    }
+  };
+
+  std::vector<ObserveJob> jobs;
+  std::vector<Observation> results;
   for (std::size_t round = 0; round < report.round_times.size(); ++round) {
     const util::SimTime round_time = report.round_times[round];
     fleet_.clock().advance_to(round_time);
@@ -192,7 +265,13 @@ StudyReport Study::run() {
 
     const bool in_window1 = round_time <= paper::kMeasurementsPaused;
 
-    for (const auto& address : vulnerable_addresses) {
+    // Serial pre-pass in address order: patch events and the loss process
+    // draw here, so the RNG sequence is independent of sharding; survivors
+    // become this round's job list.
+    jobs.clear();
+    jobs.reserve(vulnerable_addresses.size());
+    for (std::size_t i = 0; i < vulnerable_addresses.size(); ++i) {
+      const util::IpAddress& address = vulnerable_addresses[i];
       mta::MailHost* host = fleet_.find_host(address);
       if (host == nullptr) continue;
 
@@ -221,38 +300,50 @@ StudyReport Study::run() {
       if (blacklisted.count(address) > 0) continue;  // stays Inconclusive
       if (loss_rng.bernoulli(config_.transient_failure_rate)) continue;
 
-      series[address][round] = observe_address(
-          address, working_test.at(address), labels, suite);
+      jobs.push_back(ObserveJob{address, working_test.at(address), 2 * i});
+    }
+    run_batch(jobs, results, suite);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      series.at(jobs[j].address)[round] = results[j];
     }
 
     // Re-measure the §6.1 inconclusive cohort until each address resolves.
-    for (auto it = remeasurable.begin(); it != remeasurable.end();) {
-      const Observation observation =
-          observe_address(*it, scan::TestKind::BlankMsg, labels, suite);
-      if (observation == Observation::Vulnerable) {
+    jobs.clear();
+    jobs.reserve(remeasurable.size());
+    for (const auto& [address, slot] : remeasurable) {
+      jobs.push_back(ObserveJob{address, scan::TestKind::BlankMsg, slot});
+    }
+    run_batch(jobs, results, suite);
+    std::size_t kept = 0;
+    for (std::size_t j = 0; j < remeasurable.size(); ++j) {
+      if (results[j] == Observation::Vulnerable) {
         ++report.remeasurable_resolved_vulnerable;
-        it = remeasurable.erase(it);
-      } else if (observation == Observation::Compliant) {
+      } else if (results[j] == Observation::Compliant) {
         ++report.remeasurable_resolved_compliant;
-        it = remeasurable.erase(it);
       } else {
-        ++it;
+        remeasurable[kept++] = remeasurable[j];
       }
     }
+    remeasurable.resize(kept);
   }
 
-  for (auto& [address, observation_series] : series) {
-    report.inference.set_series(address, std::move(observation_series));
+  for (const auto& address : vulnerable_addresses) {
+    report.inference.set_series(address, std::move(series.at(address)));
   }
 
   // ---- 5. Final snapshot with re-resolved addresses (§7.2) --------------
   fleet_.clock().advance_by(util::kHour);
   const std::string snapshot_suite = labels.new_suite();
-  std::map<util::IpAddress, Observation> snapshot;
-  for (const auto& address : vulnerable_addresses) {
+  std::unordered_map<util::IpAddress, Observation, util::IpAddressHash>
+      snapshot;
+  snapshot.reserve(vulnerable_addresses.size());
+  jobs.clear();
+  jobs.reserve(vulnerable_addresses.size());
+  for (std::size_t i = 0; i < vulnerable_addresses.size(); ++i) {
+    const util::IpAddress& address = vulnerable_addresses[i];
     mta::MailHost* host = fleet_.find_host(address);
     if (host == nullptr) {
-      snapshot[address] = Observation::Inconclusive;
+      snapshot.emplace(address, Observation::Inconclusive);
       continue;
     }
     if (host->blacklisted() &&
@@ -261,8 +352,11 @@ StudyReport Study::run() {
       // scanner: measurement works again.
       host->set_blacklisted(false);
     }
-    snapshot[address] = observe_address(address, working_test.at(address),
-                                        labels, snapshot_suite);
+    jobs.push_back(ObserveJob{address, working_test.at(address), 2 * i});
+  }
+  run_batch(jobs, results, snapshot_suite);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    snapshot.emplace(jobs[j].address, results[j]);
   }
 
   // Final per-domain classification (Fig 2).

@@ -6,8 +6,6 @@
 // pass; and the February 2022 snapshot with re-resolved addresses (§7.2).
 #pragma once
 
-#include <map>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -23,6 +21,11 @@ struct StudyConfig {
   std::uint64_t seed = 20211011;
   NotificationConfig notification;
   PatchModelConfig patch_model;
+
+  // Worker threads for the sharded scan engine (initial campaign, the 34
+  // longitudinal rounds, final snapshot). 0 resolves SPFAIL_THREADS /
+  // hardware concurrency. The StudyReport is bit-identical at any count.
+  int threads = 0;
 
   // Loss process (per round, per still-measurable vulnerable address).
   double transient_failure_rate = 0.05;
@@ -104,9 +107,15 @@ class Study {
   static bool in_cohort(const population::DomainRecord& domain, Cohort cohort);
 
  private:
-  Observation observe_address(const util::IpAddress& address,
-                              scan::TestKind kind, scan::LabelAllocator& labels,
-                              const std::string& suite);
+  // One longitudinal observation of `address`, run on the calling worker's
+  // prober. `slot` is the address's stable master index doubled: the probe
+  // uses label slot `slot`, a greylist retry uses `slot + 1`, so labels never
+  // depend on execution order.
+  Observation observe_address(scan::Prober& prober,
+                              const util::IpAddress& address,
+                              scan::TestKind kind,
+                              const scan::LabelAllocator& labels,
+                              const std::string& suite, std::uint64_t slot);
 
   population::Fleet& fleet_;
   StudyConfig config_;

@@ -230,10 +230,10 @@ TextTable table3_outcomes(const Fleet& fleet, const CampaignReport& initial) {
     if (d.in_mx) accumulate_domain(mx_domains, initial, d.addresses);
     if (d.is_top_provider) accumulate_domain(providers, initial, d.addresses);
   }
-  for (const auto& [address, outcome] : initial.addresses) {
-    const auto& info = fleet.info(address);
-    if (info.in_alexa_set) accumulate_address(alexa_addresses, outcome);
-    if (info.in_mx_set) accumulate_address(mx_addresses, outcome);
+  for (const auto* outcome : initial.sorted_outcomes()) {
+    const auto& info = fleet.info(outcome->address);
+    if (info.in_alexa_set) accumulate_address(alexa_addresses, *outcome);
+    if (info.in_mx_set) accumulate_address(mx_addresses, *outcome);
   }
 
   TextTable table(
@@ -290,11 +290,11 @@ TextTable table4_breakdown(const Fleet& fleet, const CampaignReport& initial) {
       ++b.compliant;
     }
   };
-  for (const auto& [address, outcome] : initial.addresses) {
-    const auto& info = fleet.info(address);
-    if (info.in_alexa_set) tally(alexa, outcome);
-    if (info.in_mx_set) tally(mx, outcome);
-    tally(combined, outcome);
+  for (const auto* outcome : initial.sorted_outcomes()) {
+    const auto& info = fleet.info(outcome->address);
+    if (info.in_alexa_set) tally(alexa, *outcome);
+    if (info.in_mx_set) tally(mx, *outcome);
+    tally(combined, *outcome);
   }
 
   TextTable table({"IP Addresses", "Alexa Top List", "2-Week MX", "Combined"},
@@ -380,11 +380,11 @@ TextTable table7_behaviors(const Fleet& fleet, const CampaignReport& initial) {
   (void)fleet;
   std::map<spfvuln::SpfBehavior, std::size_t> counts;
   std::size_t measured = 0, multi = 0;
-  for (const auto& [address, outcome] : initial.addresses) {
-    if (!outcome.conclusive()) continue;
+  for (const auto* outcome : initial.sorted_outcomes()) {
+    if (!outcome->conclusive()) continue;
     ++measured;
-    for (const auto behavior : outcome.behaviors) ++counts[behavior];
-    if (outcome.behaviors.size() >= 2) ++multi;
+    for (const auto behavior : outcome->behaviors) ++counts[behavior];
+    if (outcome->behaviors.size() >= 2) ++multi;
   }
 
   TextTable table({"Behavior", "IP Addresses", "% of Measured"},

@@ -1,6 +1,8 @@
 #include "scan/campaign.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 namespace spfail::scan {
 
@@ -24,6 +26,17 @@ bool AddressOutcome::erroneous_but_not_vulnerable() const {
     if (spfvuln::is_erroneous(behavior)) return true;
   }
   return false;
+}
+
+std::vector<const AddressOutcome*> CampaignReport::sorted_outcomes() const {
+  std::vector<const AddressOutcome*> out;
+  out.reserve(addresses.size());
+  for (const auto& [address, outcome] : addresses) out.push_back(&outcome);
+  std::sort(out.begin(), out.end(),
+            [](const AddressOutcome* a, const AddressOutcome* b) {
+              return a->address < b->address;
+            });
+  return out;
 }
 
 std::size_t CampaignReport::count_verdict(AddressVerdict verdict) const {
@@ -55,9 +68,8 @@ Campaign::Campaign(CampaignConfig config, dns::AuthoritativeServer& server,
       labels_(util::Rng(config_.label_seed), config_.prober.responder.base) {}
 
 ProbeResult Campaign::probe_with_greylist_retry(
-    mta::MailHost& host, const std::string& recipient_domain,
+    Prober& prober, mta::MailHost& host, const std::string& recipient_domain,
     const dns::Name& mail_from, TestKind kind) {
-  Prober prober(config_.prober, server_, clock_);
   ProbeResult result = prober.probe(host, recipient_domain, mail_from, kind);
   for (int attempt = 0;
        result.status == ProbeStatus::Greylisted &&
@@ -76,88 +88,147 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
 
   // 1. Deduplicate addresses, remembering a recipient domain for each (the
   //    first domain that listed the address — used for RCPT TO).
-  std::map<util::IpAddress, std::string> recipient_for;
+  std::size_t address_upper_bound = 0;
+  for (const auto& target : targets) address_upper_bound += target.addresses.size();
+  std::unordered_map<util::IpAddress, std::string, util::IpAddressHash>
+      recipient_for;
+  recipient_for.reserve(address_upper_bound);
   for (const auto& target : targets) {
     for (const auto& address : target.addresses) {
       recipient_for.emplace(address, target.domain);
     }
   }
 
-  // 2. Wave 1: NoMsg over every unique address. The concurrency cap means
-  //    wall-clock advances by (gap / cap) per test on average; the clock
-  //    model below approximates 250 parallel scanner lanes.
+  // The sharded work list, in ascending address order. Shards are contiguous
+  // slices of this list, so every address (and with it every host: hosts are
+  // keyed by address) belongs to exactly one worker, and the merge below
+  // reassembles results in address order — bit-identical at any thread
+  // count. Probe labels derive from the position in this list, never from
+  // allocation order.
+  std::vector<const std::pair<const util::IpAddress, std::string>*> order;
+  order.reserve(recipient_for.size());
+  for (const auto& entry : recipient_for) order.push_back(&entry);
+  std::sort(order.begin(), order.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  // 2+3. The two probe waves, sharded. The concurrency cap means wall-clock
+  //    advances by (gap / cap) per test on average; each worker accumulates
+  //    that 250-lane model on a private clock lane, and the lane offsets sum
+  //    to exactly the serial advance.
   const util::SimTime per_test_advance =
       std::max<util::SimTime>(1, config_.inter_connection_gap /
                                      config_.max_concurrent_connections);
 
-  std::vector<util::IpAddress> want_blankmsg;
-  for (const auto& [address, recipient_domain] : recipient_for) {
-    clock_.advance_by(per_test_advance);
-    AddressOutcome outcome;
-    outcome.address = address;
+  std::optional<util::ThreadPool> owned_pool;
+  util::ThreadPool* pool = config_.pool;
+  if (pool == nullptr) {
+    owned_pool.emplace(config_.threads);
+    pool = &*owned_pool;
+  }
 
-    mta::MailHost* host = registry_.find_host(address);
-    if (host == nullptr) {
-      outcome.verdict = AddressVerdict::Refused;
-      report.addresses.emplace(address, std::move(outcome));
-      continue;
-    }
+  struct ShardResult {
+    std::vector<AddressOutcome> outcomes;  // in address order for the slice
+    dns::QueryLog log;
+    util::SimTime advance = 0;
+  };
+  std::vector<ShardResult> shards(pool->shard_count(order.size()));
 
-    const dns::Name mail_from =
-        labels_.mail_from_domain(labels_.new_id(), report.suite_label);
-    const ProbeResult nomsg = probe_with_greylist_retry(
-        *host, recipient_domain, mail_from, TestKind::NoMsg);
-    outcome.nomsg = nomsg;
+  pool->parallel_for_shards(order.size(), [&](std::size_t shard,
+                                              std::size_t begin,
+                                              std::size_t end) {
+    ShardResult& out = shards[shard];
+    out.outcomes.reserve(end - begin);
+    util::SimClock::Lane clock_lane(clock_);
+    dns::AuthoritativeServer::LogLane log_lane(server_, out.log);
+    Prober prober(config_.prober, server_, clock_);  // one per shard, reused
 
-    switch (nomsg.status) {
-      case ProbeStatus::ConnectionRefused:
+    // Wave 1: NoMsg over the slice.
+    std::vector<std::size_t> want_blankmsg;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& [address, recipient_domain] = *order[i];
+      clock_.advance_by(per_test_advance);
+      AddressOutcome outcome;
+      outcome.address = address;
+
+      mta::MailHost* host = registry_.find_host(address);
+      if (host == nullptr) {
         outcome.verdict = AddressVerdict::Refused;
-        break;
-      case ProbeStatus::SpfMeasured:
+        out.outcomes.push_back(std::move(outcome));
+        continue;
+      }
+
+      const dns::Name mail_from =
+          labels_.indexed_mail_from(2 * i, report.suite_label);
+      const ProbeResult nomsg = probe_with_greylist_retry(
+          prober, *host, recipient_domain, mail_from, TestKind::NoMsg);
+      outcome.nomsg = nomsg;
+
+      switch (nomsg.status) {
+        case ProbeStatus::ConnectionRefused:
+          outcome.verdict = AddressVerdict::Refused;
+          break;
+        case ProbeStatus::SpfMeasured:
+          outcome.verdict = AddressVerdict::Measured;
+          outcome.behaviors = nomsg.behaviors;
+          // The paper retried almost all NoMsg successes with BlankMsg too —
+          // but only those that had NOT yet yielded a conclusive measurement
+          // feed wave 2 here.
+          break;
+        case ProbeStatus::SpfNotMeasured:
+          outcome.verdict = AddressVerdict::NotMeasured;
+          want_blankmsg.push_back(i);
+          break;
+        case ProbeStatus::Greylisted:  // retries exhausted
+        case ProbeStatus::SmtpFailure:
+          outcome.verdict = AddressVerdict::SmtpFailure;
+          // A mid-dialog failure can still be followed by a BlankMsg attempt
+          // when the failure left room for SPF-after-DATA (e.g. the RCPT
+          // ladder ran dry): the paper's wave 2 covered those too.
+          if (nomsg.failing_code == 550) want_blankmsg.push_back(i);
+          break;
+      }
+      out.outcomes.push_back(std::move(outcome));
+    }
+
+    // Wave 2: BlankMsg for addresses that accepted SMTP but showed no SPF.
+    for (const std::size_t i : want_blankmsg) {
+      clock_.advance_by(per_test_advance);
+      AddressOutcome& outcome = out.outcomes[i - begin];
+      mta::MailHost* host = registry_.find_host(outcome.address);
+      if (host == nullptr) continue;
+
+      const dns::Name mail_from =
+          labels_.indexed_mail_from(2 * i + 1, report.suite_label);
+      const ProbeResult blankmsg = probe_with_greylist_retry(
+          prober, *host, order[i]->second, mail_from, TestKind::BlankMsg);
+      outcome.blankmsg = blankmsg;
+
+      if (blankmsg.status == ProbeStatus::SpfMeasured) {
         outcome.verdict = AddressVerdict::Measured;
-        outcome.behaviors = nomsg.behaviors;
-        // The paper retried almost all NoMsg successes with BlankMsg too —
-        // but only those that had NOT yet yielded a conclusive measurement
-        // feed wave 2 here.
-        break;
-      case ProbeStatus::SpfNotMeasured:
-        outcome.verdict = AddressVerdict::NotMeasured;
-        want_blankmsg.push_back(address);
-        break;
-      case ProbeStatus::Greylisted:  // retries exhausted
-      case ProbeStatus::SmtpFailure:
+        outcome.behaviors.insert(blankmsg.behaviors.begin(),
+                                 blankmsg.behaviors.end());
+      } else if (outcome.verdict == AddressVerdict::NotMeasured &&
+                 blankmsg.status == ProbeStatus::SmtpFailure) {
         outcome.verdict = AddressVerdict::SmtpFailure;
-        // A mid-dialog failure can still be followed by a BlankMsg attempt
-        // when the failure left room for SPF-after-DATA (e.g. the RCPT
-        // ladder ran dry): the paper's wave 2 covered those too.
-        if (nomsg.failing_code == 550) want_blankmsg.push_back(address);
-        break;
+      }
     }
-    report.addresses.emplace(address, std::move(outcome));
-  }
+    out.advance = clock_lane.offset();
+  });
 
-  // 3. Wave 2: BlankMsg for addresses that accepted SMTP but showed no SPF.
-  for (const auto& address : want_blankmsg) {
-    clock_.advance_by(per_test_advance);
-    AddressOutcome& outcome = report.addresses.at(address);
-    mta::MailHost* host = registry_.find_host(address);
-    if (host == nullptr) continue;
-
-    const dns::Name mail_from =
-        labels_.mail_from_domain(labels_.new_id(), report.suite_label);
-    const ProbeResult blankmsg = probe_with_greylist_retry(
-        *host, recipient_for.at(address), mail_from, TestKind::BlankMsg);
-    outcome.blankmsg = blankmsg;
-
-    if (blankmsg.status == ProbeStatus::SpfMeasured) {
-      outcome.verdict = AddressVerdict::Measured;
-      outcome.behaviors.insert(blankmsg.behaviors.begin(),
-                               blankmsg.behaviors.end());
-    } else if (outcome.verdict == AddressVerdict::NotMeasured &&
-               blankmsg.status == ProbeStatus::SmtpFailure) {
-      outcome.verdict = AddressVerdict::SmtpFailure;
+  // Merge: fold lane clocks back into the shared one (the sum reproduces the
+  // serial advance), drain lane query logs in shard — i.e. address — order,
+  // and reassemble the report.
+  util::SimTime total_advance = 0;
+  report.addresses.reserve(order.size());
+  for (auto& shard : shards) {
+    total_advance += shard.advance;
+    server_.query_log().splice(std::move(shard.log));
+    for (auto& outcome : shard.outcomes) {
+      const util::IpAddress address = outcome.address;
+      report.addresses.emplace(address, std::move(outcome));
     }
   }
+  clock_.advance_by(total_advance);
 
   // 4. Domain roll-up.
   report.domains.reserve(targets.size());

@@ -14,12 +14,13 @@
 //      only if all previously-vulnerable addresses now measure compliant.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "scan/prober.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spfail::scan {
 
@@ -80,12 +81,24 @@ struct CampaignConfig {
   util::SimTime greylist_backoff = 8 * util::kMinute;
   int max_greylist_retries = 1;
   std::uint64_t label_seed = 1;
+
+  // Real worker threads for the sharded scan. 0 resolves SPFAIL_THREADS /
+  // hardware concurrency; the report is bit-identical at any count.
+  int threads = 0;
+  // Optional externally owned pool (the longitudinal study shares one across
+  // all its rounds); when null the campaign creates its own per run.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct CampaignReport {
   std::string suite_label;
-  std::map<util::IpAddress, AddressOutcome> addresses;
+  std::unordered_map<util::IpAddress, AddressOutcome, util::IpAddressHash>
+      addresses;
   std::vector<DomainOutcome> domains;
+
+  // Outcomes in ascending address order — the stable iteration order for
+  // tables, figures, and the longitudinal pipeline (the map itself hashes).
+  std::vector<const AddressOutcome*> sorted_outcomes() const;
 
   // Aggregates.
   std::size_t addresses_tested() const { return addresses.size(); }
@@ -107,7 +120,7 @@ class Campaign {
   CampaignReport run_addresses(const std::vector<util::IpAddress>& addresses);
 
  private:
-  ProbeResult probe_with_greylist_retry(mta::MailHost& host,
+  ProbeResult probe_with_greylist_retry(Prober& prober, mta::MailHost& host,
                                         const std::string& recipient_domain,
                                         const dns::Name& mail_from,
                                         TestKind kind);

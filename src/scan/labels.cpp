@@ -1,6 +1,49 @@
 #include "scan/labels.hpp"
 
+#include <stdexcept>
+
 namespace spfail::scan {
+
+namespace {
+
+constexpr std::uint64_t kSlotBits = 25;
+constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
+
+// Invertible mixing of a 25-bit value, keyed: odd multiplication mod 2^25,
+// xor-shift, and keyed addition are each bijections on [0, 2^25).
+constexpr std::uint64_t permute_slot(std::uint64_t x,
+                                     std::uint64_t key) noexcept {
+  for (int round = 0; round < 3; ++round) {
+    x = (x * 0x9E3779B1ULL) & kSlotMask;  // odd => invertible mod 2^25
+    x ^= x >> 13;
+    x = (x + (key >> (round * 21))) & kSlotMask;
+  }
+  return x;
+}
+
+}  // namespace
+
+LabelAllocator::LabelAllocator(util::Rng rng, dns::Name base)
+    : rng_(std::move(rng)), base_(std::move(base)) {
+  // Key the indexed-id bijection off a labelled fork so the draw stays
+  // stable no matter how many suites/ids are allocated later.
+  index_key_ = rng_.fork("indexed-ids")();
+}
+
+std::string LabelAllocator::indexed_id(std::uint64_t slot) const {
+  if (slot > kSlotMask) {
+    throw std::out_of_range("LabelAllocator::indexed_id: slot exceeds 2^25");
+  }
+  std::uint64_t mixed = permute_slot(slot, index_key_);
+  // Same base-32 alphabet as util::Rng::token — 5 chars hold the 25 bits.
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz234567";
+  std::string id(5, 'a');
+  for (std::size_t i = 0; i < id.size(); ++i) {
+    id[i] = kAlphabet[mixed & 31];
+    mixed >>= 5;
+  }
+  return id;
+}
 
 std::string LabelAllocator::new_suite() {
   while (true) {

@@ -16,8 +16,7 @@ namespace spfail::scan {
 
 class LabelAllocator {
  public:
-  LabelAllocator(util::Rng rng, dns::Name base)
-      : rng_(std::move(rng)), base_(std::move(base)) {}
+  LabelAllocator(util::Rng rng, dns::Name base);
 
   // A fresh suite label (one per measurement round).
   std::string new_suite();
@@ -30,11 +29,28 @@ class LabelAllocator {
   dns::Name mail_from_domain(const std::string& id,
                              const std::string& suite) const;
 
+  // --- order-free labels for the sharded scan path ---
+  //
+  // The serial allocator hands out ids in call order, which would make
+  // labels depend on worker scheduling. Sharded scans instead derive the id
+  // for work slot `slot` (address index * lanes + attempt) through a keyed
+  // bijection of the slot index: any thread computes it without shared
+  // state, two slots never collide, and the id looks like the paper's
+  // random 5-character alphanumerics. Slots repeat per suite (the suite
+  // label disambiguates rounds), and must stay below 2^25 (~33.5M — an
+  // order of magnitude above the paper's full-scale address count).
+  std::string indexed_id(std::uint64_t slot) const;
+  dns::Name indexed_mail_from(std::uint64_t slot,
+                              const std::string& suite) const {
+    return mail_from_domain(indexed_id(slot), suite);
+  }
+
   const dns::Name& base() const noexcept { return base_; }
 
  private:
   util::Rng rng_;
   dns::Name base_;
+  std::uint64_t index_key_ = 0;  // keys the indexed_id bijection
   std::set<std::string> issued_ids_;
   std::set<std::string> issued_suites_;
 };

@@ -47,21 +47,20 @@ ProbeResult Prober::probe(mta::MailHost& host,
   const auto step = [&] { clock_.advance_by(1); };
 
   const auto finish_with_log_verdict = [&](bool dialog_ok, int code) {
-    // Read the authoritative log for this test's unique domain.
+    // Read the authoritative log for this test's unique domain (in sharded
+    // runs this is the worker's lane log; same cursor semantics).
     const spfvuln::FingerprintClassifier classifier(mail_from_domain,
                                                     config_.responder.macro);
-    const auto& entries = server_.query_log().entries();
-    for (std::size_t i = log_cursor; i < entries.size(); ++i) {
-      const auto& entry = entries[i];
-      if (!entry.qname.is_subdomain_of(mail_from_domain)) continue;
-      if (entry.qname == mail_from_domain &&
-          entry.qtype == dns::RRType::TXT) {
-        result.saw_policy_fetch = true;
-        continue;
-      }
-      const auto behavior = classifier.classify(entry.qname);
-      if (behavior.has_value()) result.behaviors.insert(*behavior);
-    }
+    server_.query_log().for_each_under_from(
+        log_cursor, mail_from_domain, [&](const dns::QueryLogEntry& entry) {
+          if (entry.qname == mail_from_domain &&
+              entry.qtype == dns::RRType::TXT) {
+            result.saw_policy_fetch = true;
+            return;
+          }
+          const auto behavior = classifier.classify(entry.qname);
+          if (behavior.has_value()) result.behaviors.insert(*behavior);
+        });
     if (!result.behaviors.empty()) {
       result.status = ProbeStatus::SpfMeasured;
     } else if (dialog_ok) {

@@ -24,13 +24,33 @@ std::string format_datetime(SimTime t) {
   return buf;
 }
 
+thread_local SimClock::LaneState SimClock::lane_;
+
 void SimClock::advance_to(SimTime t) {
-  if (t < now_) {
+  if (t < now()) {
     throw std::logic_error("SimClock::advance_to: time moved backwards (" +
-                           format_datetime(t) + " < " + format_datetime(now_) +
+                           format_datetime(t) + " < " + format_datetime(now()) +
                            ")");
   }
+  if (lane_.clock == this) {
+    lane_.offset = t - now_;
+    return;
+  }
   now_ = t;
+}
+
+SimClock::Lane::Lane(const SimClock& clock) : clock_(&clock) {
+  if (lane_.clock != nullptr) {
+    throw std::logic_error("SimClock::Lane: a lane is already active on this thread");
+  }
+  lane_.clock = &clock;
+  lane_.offset = 0;
+}
+
+SimClock::Lane::~Lane() {
+  (void)clock_;
+  lane_.clock = nullptr;
+  lane_.offset = 0;
 }
 
 }  // namespace spfail::util

@@ -70,16 +70,47 @@ std::string format_datetime(SimTime t);
 
 // A monotonically advancing simulation clock shared by a simulation's
 // components. Advancing backwards is a logic error and throws.
+//
+// Sharded scanning layers per-thread "lanes" on top: while a Lane is active
+// on a thread, now() reads the shared base plus a thread-private offset, and
+// advance_to/advance_by move only that offset. Workers therefore advance
+// time independently without touching shared state; after the join, the
+// owner folds the lane offsets back into the base (summing them reproduces
+// the serial clock exactly — see DESIGN.md, "Concurrency model"). The base
+// must not be advanced while worker lanes are live.
 class SimClock {
  public:
   explicit SimClock(SimTime start = 0) noexcept : now_(start) {}
 
-  SimTime now() const noexcept { return now_; }
+  SimTime now() const noexcept {
+    return lane_.clock == this ? now_ + lane_.offset : now_;
+  }
 
   void advance_to(SimTime t);
-  void advance_by(SimTime delta) { advance_to(now_ + delta); }
+  void advance_by(SimTime delta) { advance_to(now() + delta); }
+
+  // RAII thread-local lane over one clock. At most one lane per thread.
+  class Lane {
+   public:
+    explicit Lane(const SimClock& clock);
+    ~Lane();
+    Lane(const Lane&) = delete;
+    Lane& operator=(const Lane&) = delete;
+
+    // Total simulated time this lane has advanced so far.
+    SimTime offset() const noexcept { return lane_.offset; }
+
+   private:
+    const SimClock* clock_;
+  };
 
  private:
+  struct LaneState {
+    const SimClock* clock = nullptr;
+    SimTime offset = 0;
+  };
+  static thread_local LaneState lane_;
+
   SimTime now_;
 };
 

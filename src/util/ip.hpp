@@ -56,4 +56,19 @@ class IpAddress {
   std::array<std::uint8_t, 16> bytes_{};
 };
 
+// Hash functor for unordered containers keyed by address (the scan and
+// longitudinal hot paths). FNV-1a over family + all 16 bytes.
+struct IpAddressHash {
+  std::size_t operator()(const IpAddress& address) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint8_t byte) noexcept {
+      h ^= byte;
+      h *= 0x100000001b3ULL;
+    };
+    mix(static_cast<std::uint8_t>(address.family()));
+    for (const std::uint8_t byte : address.bytes()) mix(byte);
+    return static_cast<std::size_t>(h);
+  }
+};
+
 }  // namespace spfail::util

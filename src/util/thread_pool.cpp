@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace spfail::util {
+
+std::size_t resolve_thread_count(int requested) {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  if (const char* env = std::getenv("SPFAIL_THREADS");
+      env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const std::size_t count = resolve_thread_count(threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_shards(
+    std::size_t n, const std::function<void(std::size_t, std::size_t,
+                                            std::size_t)>& fn) {
+  const std::size_t shards = shard_count(n);
+  if (shards == 0) return;
+
+  // Per-shard completion + exception slots; a private latch so concurrent
+  // callers (nested pools) cannot interfere.
+  std::vector<std::exception_ptr> errors(shards);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;  // first `extra` shards get one more
+  std::size_t begin = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      const std::size_t end = begin + base + (shard < extra ? 1 : 0);
+      queue_.push_back([&, shard, begin, end] {
+        try {
+          fn(shard, begin, end);
+        } catch (...) {
+          errors[shard] = std::current_exception();
+        }
+        {
+          // Notify under the lock: once the caller observes done == shards it
+          // destroys the latch, so the worker must not touch it after
+          // releasing the mutex.
+          const std::lock_guard<std::mutex> done_lock(done_mutex);
+          ++done;
+          done_cv.notify_one();
+        }
+      });
+      begin = end;
+    }
+  }
+  work_available_.notify_all();
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done == shards; });
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace spfail::util

@@ -1,0 +1,64 @@
+// Fixed-size worker pool for the sharded scan engine.
+//
+// The paper's scanner only finishes a round inside the 2-day cadence because
+// it holds 250 concurrent SMTP connections; the reproduction gets the same
+// effect from real threads. Shards are contiguous slices of an address-sorted
+// work list, so results can be merged back in address order and the output is
+// bit-identical at any thread count (see DESIGN.md, "Concurrency model").
+//
+// Thread count resolution: an explicit request wins; otherwise the
+// SPFAIL_THREADS environment variable; otherwise the hardware concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spfail::util {
+
+// `requested` <= 0 means "resolve from the environment": SPFAIL_THREADS if
+// set and positive, else std::thread::hardware_concurrency(), else 1.
+std::size_t resolve_thread_count(int requested);
+
+class ThreadPool {
+ public:
+  // `threads` <= 0 resolves via resolve_thread_count.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  // Number of shards parallel_for_shards would use for `n` items: one per
+  // worker, never more than `n` (and 0 for an empty range). Callers size
+  // per-shard result storage with this before dispatching.
+  std::size_t shard_count(std::size_t n) const noexcept {
+    return n < workers_.size() ? n : workers_.size();
+  }
+
+  // Partition [0, n) into shard_count(n) contiguous, near-equal slices and
+  // run fn(shard_index, begin, end) for each on the pool. Blocks until every
+  // shard finished; if any shard threw, rethrows the first exception (in
+  // shard order). An empty range returns immediately.
+  void parallel_for_shards(
+      std::size_t n,
+      const std::function<void(std::size_t shard, std::size_t begin,
+                               std::size_t end)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_ = false;
+};
+
+}  // namespace spfail::util
