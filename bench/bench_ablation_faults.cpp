@@ -1,0 +1,96 @@
+// Ablation: graceful degradation under injected transient faults.
+//
+// The paper's scan ran against the real Internet, where tempfails, dropped
+// connections and flaky DNS are routine; §6.1 separates conclusive from
+// inconclusive results for exactly that reason. This bench sweeps the
+// deterministic fault-injection layer's per-attempt fault probability from
+// 0% to 20% over the same small fleet and reports how the retry/backoff
+// engine and the re-queue wave hold the conclusive rate up — the
+// conclusive-rate-vs-fault-rate curve bench_fig5_conclusive's degradation
+// table shows for one configured rate.
+#include "bench_common.hpp"
+
+#include "faults/fault.hpp"
+#include "population/fleet.hpp"
+#include "scan/campaign.hpp"
+
+namespace {
+
+using namespace spfail;
+
+scan::CampaignReport run_at_rate(double rate) {
+  population::FleetConfig fleet_config;
+  fleet_config.scale = 0.02;
+  population::Fleet fleet(fleet_config);
+
+  scan::CampaignConfig config;
+  config.prober.responder = fleet.responder();
+  config.faults.rate = rate;
+  scan::Campaign campaign(config, fleet.dns(), fleet.clock(), fleet);
+  return campaign.run(fleet.targets());
+}
+
+void BM_FaultPlanDecide(benchmark::State& state) {
+  faults::FaultConfig config;
+  config.rate = 0.1;
+  const faults::FaultPlan plan(config);
+  const util::IpAddress address = util::IpAddress::v4(198, 51, 100, 7);
+  std::uint64_t attempt = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.probe_decision(address, 0, attempt++));
+  }
+}
+BENCHMARK(BM_FaultPlanDecide);
+
+void BM_FaultedCampaign(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_at_rate(0.1));
+  }
+}
+BENCHMARK(BM_FaultedCampaign)->Unit(benchmark::kMillisecond);
+
+std::string percent(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f%%", fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report::ReproSession session(0.02);
+  bench::print_header(
+      "Ablation: conclusive rate vs injected transient-fault rate "
+      "(same fleet, SMTP tempfails / connection drops / latency spikes)",
+      "SPFail, section 6.1 — conclusive vs inconclusive tests", session);
+
+  util::TextTable table(
+      {"Fault rate", "Addresses", "Conclusive", "Conclusive rate", "Injected",
+       "Retries", "Recovered", "Exhausted", "Re-queued", "Breaker trips"},
+      {util::Align::Right, util::Align::Right, util::Align::Right,
+       util::Align::Right, util::Align::Right, util::Align::Right,
+       util::Align::Right, util::Align::Right, util::Align::Right,
+       util::Align::Right});
+  for (const double rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    const scan::CampaignReport report = run_at_rate(rate);
+    const faults::DegradationReport& deg = report.degradation;
+    table.add_row({percent(rate), std::to_string(deg.addresses_tested),
+                   std::to_string(deg.conclusive),
+                   percent(deg.conclusive_rate()),
+                   std::to_string(deg.injected_total()),
+                   std::to_string(deg.retries), std::to_string(deg.recovered),
+                   std::to_string(deg.exhausted),
+                   std::to_string(deg.requeued),
+                   std::to_string(deg.breaker_trips)});
+  }
+  bench::maybe_export_csv("ablation_faults", table);
+  std::cout << table << "\n"
+            << "Reading: every row is bit-identical across reruns and thread "
+               "counts (the plan is keyed by address/round/attempt, never by "
+               "schedule). The conclusive rate decays far slower than the "
+               "fault rate rises because the retry engine recovers most "
+               "transients and the re-queue wave catches stragglers; what "
+               "remains is surfaced as 'exhausted' rather than silently "
+               "misclassified.\n\n";
+  return bench::run_benchmarks(argc, argv);
+}

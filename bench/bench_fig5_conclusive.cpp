@@ -45,5 +45,10 @@ int main(int argc, char** argv) {
                "successful measurements fluctuated early and stabilised in "
                "late November; gaps between measured and inferable reflect "
                "hosts lost to scanner blacklisting.\n\n";
+  if (study.degradation.configured_rate > 0.0) {
+    // SPFAIL_FAULT_RATE was set: show how the apparatus degraded. The
+    // conclusive-rate row is this figure's fault-injected counterpart.
+    std::cout << spfail::report::degradation_table(study.degradation) << "\n";
+  }
   return spfail::bench::run_benchmarks(argc, argv);
 }

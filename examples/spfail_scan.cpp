@@ -3,7 +3,7 @@
 // simulated Internet.
 //
 //   usage: spfail_scan [--scale S] [--seed N] [--threads N] [--initial-only]
-//                      [--csv DIR]
+//                      [--fault-rate R] [--fault-seed N] [--csv DIR]
 //
 //   --scale S        population scale, 0 < S <= 1 (default 0.05)
 //   --seed N         fleet seed (default 2021)
@@ -11,6 +11,12 @@
 //                    cores); results are bit-identical at any count
 //   --initial-only   run only the 2021-10-11 measurement, skip the
 //                    longitudinal study
+//   --fault-rate R   inject transient faults (SMTP tempfails, connection
+//                    drops, latency spikes) into R of all probe attempts,
+//                    0 <= R <= 1 (default: SPFAIL_FAULT_RATE, else 0); a
+//                    degradation report is printed when R > 0
+//   --fault-seed N   fault-plan seed (default: SPFAIL_FAULT_SEED); same
+//                    seed + rate => bit-identical run at any thread count
 //   --csv DIR        also write figure series as CSV into DIR
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +52,7 @@ int main(int argc, char** argv) {
   int threads = 0;
   bool initial_only = false;
   std::string csv_dir;
+  faults::FaultConfig fault_config = faults::FaultConfig::from_env();
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -64,6 +71,10 @@ int main(int argc, char** argv) {
       threads = std::atoi(next());
     } else if (arg == "--initial-only") {
       initial_only = true;
+    } else if (arg == "--fault-rate") {
+      fault_config.rate = std::atof(next());
+    } else if (arg == "--fault-seed") {
+      fault_config.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--csv") {
       csv_dir = next();
     } else {
@@ -73,6 +84,10 @@ int main(int argc, char** argv) {
   }
   if (scale <= 0.0 || scale > 1.0) {
     std::cerr << "--scale must be in (0, 1]\n";
+    return 2;
+  }
+  if (fault_config.rate < 0.0 || fault_config.rate > 1.0) {
+    std::cerr << "--fault-rate must be in [0, 1]\n";
     return 2;
   }
 
@@ -93,6 +108,7 @@ int main(int argc, char** argv) {
     scan::CampaignConfig campaign_config;
     campaign_config.prober.responder = fleet.responder();
     campaign_config.threads = threads;
+    campaign_config.faults = fault_config;
     scan::Campaign campaign(campaign_config, fleet.dns(), fleet.clock(),
                             fleet);
     const scan::CampaignReport report = campaign.run(fleet.targets());
@@ -100,6 +116,9 @@ int main(int argc, char** argv) {
               << report::table3_outcomes(fleet, report) << "\n"
               << report::table4_breakdown(fleet, report) << "\n"
               << report::table7_behaviors(fleet, report) << "\n";
+    if (fault_config.rate > 0.0) {
+      std::cout << report::degradation_table(report.degradation) << "\n";
+    }
     return 0;
   }
 
@@ -108,6 +127,7 @@ int main(int argc, char** argv) {
                "...\n";
   longitudinal::StudyConfig study_config;
   study_config.threads = threads;
+  study_config.faults = fault_config;
   longitudinal::Study study(fleet, study_config);
   const longitudinal::StudyReport report = study.run();
 
@@ -129,6 +149,10 @@ int main(int argc, char** argv) {
     const auto series = report::vulnerability_series(fleet, report, cohort);
     std::cout << "  " << util::sparkline(series) << "  " << to_string(cohort)
               << " (% vulnerable over time)\n";
+  }
+
+  if (fault_config.rate > 0.0) {
+    std::cout << "\n" << report::degradation_table(report.degradation) << "\n";
   }
 
   if (!csv_dir.empty()) {

@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "util/rng.hpp"
+
 namespace spfail::dns {
+
+void CachingForwarder::inject_faults(const faults::FaultPlan* plan,
+                                     faults::RetryConfig retry) {
+  plan_ = plan;
+  if (retry.max_attempts == 0) retry.max_attempts = 3;
+  retry_ = faults::RetryPolicy(retry);
+}
 
 Message CachingForwarder::handle(const Message& query,
                                  const util::IpAddress& client,
@@ -19,6 +28,29 @@ Message CachingForwarder::handle(const Message& query,
     Message response = it->second.response;
     response.header.id = query.header.id;  // match the client's transaction
     return response;
+  }
+
+  if (plan_ != nullptr && plan_->enabled()) {
+    // Faults live on the upstream path, after the cache miss. A faulted
+    // attempt is retried per the policy; if every attempt faults, the
+    // client sees SERVFAIL and nothing is cached.
+    const std::uint64_t qname_hash = util::fnv1a(q.qname.to_string());
+    std::uint64_t& attempts = attempt_counters_[key];
+    for (int tried = 0;;) {
+      const faults::FaultDecision fault = plan_->dns_decision(
+          qname_hash, static_cast<std::uint16_t>(q.qtype), attempts++);
+      ++tried;
+      if (fault.kind != faults::FaultKind::DnsServfail &&
+          fault.kind != faults::FaultKind::DnsTimeout &&
+          fault.kind != faults::FaultKind::LameDelegation) {
+        break;  // this attempt goes through to the upstream
+      }
+      ++injected_faults_;
+      if (!retry_.allow_retry(tried, /*budget_left=*/1)) {
+        return Message::make_response(query, Rcode::ServFail);
+      }
+      ++fault_retries_;
+    }
   }
 
   ++upstream_queries_;

@@ -10,6 +10,8 @@
 #include <map>
 
 #include "dns/server.hpp"
+#include "faults/fault.hpp"
+#include "faults/retry.hpp"
 #include "util/clock.hpp"
 
 namespace spfail::dns {
@@ -23,8 +25,17 @@ class CachingForwarder : public DnsService {
   Message handle(const Message& query, const util::IpAddress& client,
                  util::SimTime now) override;
 
+  // Attach a fault plan: upstream queries (cache hits are local and never
+  // fault) face injected SERVFAILs/timeouts, retried per `retry`. Faulted
+  // answers are never cached, so a later query can still succeed. Pass
+  // nullptr to detach.
+  void inject_faults(const faults::FaultPlan* plan,
+                     faults::RetryConfig retry = {});
+
   std::size_t cache_hits() const noexcept { return cache_hits_; }
   std::size_t upstream_queries() const noexcept { return upstream_queries_; }
+  std::size_t injected_faults() const noexcept { return injected_faults_; }
+  std::size_t fault_retries() const noexcept { return fault_retries_; }
   void flush() { cache_.clear(); }
 
  private:
@@ -38,6 +49,11 @@ class CachingForwarder : public DnsService {
   std::map<std::pair<Name, RRType>, Entry> cache_;
   std::size_t cache_hits_ = 0;
   std::size_t upstream_queries_ = 0;
+  const faults::FaultPlan* plan_ = nullptr;  // not owned; may be null
+  faults::RetryPolicy retry_;
+  std::size_t injected_faults_ = 0;
+  std::size_t fault_retries_ = 0;
+  std::map<std::pair<Name, RRType>, std::uint64_t> attempt_counters_;
 };
 
 }  // namespace spfail::dns

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/rng.hpp"
+
 namespace spfail::dns {
 
 void NameServerRegistry::add(const Name& nameserver,
@@ -23,6 +25,15 @@ RecursiveResolver::RecursiveResolver(const NameServerRegistry& registry,
       clock_(clock),
       client_(std::move(client_address)) {}
 
+void RecursiveResolver::inject_faults(const faults::FaultPlan* plan,
+                                      faults::RetryConfig retry) {
+  plan_ = plan;
+  // The campaign's zero sentinel has no greylist knobs to inherit here; a
+  // plain resolver retries a couple of times before giving up.
+  if (retry.max_attempts == 0) retry.max_attempts = 3;
+  retry_ = faults::RetryPolicy(retry);
+}
+
 ResolveResult RecursiveResolver::resolve(const Name& qname, RRType qtype) {
   const auto cache_key = std::make_pair(qname, qtype);
   const auto cached = answer_cache_.find(cache_key);
@@ -30,6 +41,64 @@ ResolveResult RecursiveResolver::resolve(const Name& qname, RRType qtype) {
     ++stats_.cache_hits;
     ++stats_.answers_from_cache;
     return cached->second.result;
+  }
+
+  if (plan_ == nullptr || !plan_->enabled()) {
+    return resolve_once(qname, qtype, cache_key, /*lame=*/false);
+  }
+
+  // Fault-injected path: each resolution attempt draws its own decision
+  // (faults model the network; the cache lookup above never faults).
+  const std::uint64_t qname_hash = util::fnv1a(qname.to_string());
+  ResolveResult result;
+  result.rcode = Rcode::ServFail;
+  std::uint64_t& attempts = attempt_counters_[cache_key];
+  for (int tried = 0;;) {
+    const faults::FaultDecision fault =
+        plan_->dns_decision(qname_hash, static_cast<std::uint16_t>(qtype),
+                            attempts++);
+    ++tried;
+    bool faulted = true;
+    switch (fault.kind) {
+      case faults::FaultKind::DnsServfail:
+        ++stats_.injected_servfail;
+        break;
+      case faults::FaultKind::DnsTimeout:
+        // The resolver cannot advance the (const) clock; the timeout
+        // surfaces as a late SERVFAIL and is only counted here.
+        ++stats_.injected_timeouts;
+        break;
+      case faults::FaultKind::LameDelegation:
+        ++stats_.injected_lame;
+        break;
+      default:
+        faulted = false;
+        break;
+    }
+    if (!faulted) {
+      return resolve_once(qname, qtype, cache_key, /*lame=*/false);
+    }
+    if (fault.kind == faults::FaultKind::LameDelegation) {
+      // The chase runs, burns queries, and dead-ends at the lame server.
+      result = resolve_once(qname, qtype, cache_key, /*lame=*/true);
+    }
+    if (!retry_.allow_retry(tried, /*budget_left=*/1)) return result;
+    ++stats_.retries;
+  }
+}
+
+ResolveResult RecursiveResolver::resolve_once(
+    const Name& qname, RRType qtype, const std::pair<Name, RRType>& cache_key,
+    bool lame) {
+  // An injected lame delegation: the chase reaches a server that is not
+  // authoritative for the zone and offers no onward referral. One wasted
+  // round-trip, then a dead end — nothing is cached.
+  if (lame) {
+    ++stats_.queries_sent;
+    ++stats_.referrals;
+    ResolveResult dead;
+    dead.rcode = Rcode::ServFail;
+    return dead;
   }
 
   // Start at the deepest delegation we already know about.

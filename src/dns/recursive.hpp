@@ -14,6 +14,8 @@
 
 #include "dns/resolver.hpp"
 #include "dns/server.hpp"
+#include "faults/fault.hpp"
+#include "faults/retry.hpp"
 #include "util/clock.hpp"
 
 namespace spfail::dns {
@@ -37,6 +39,12 @@ struct RecursiveStats {
   std::size_t referrals = 0;       // delegation hops followed
   std::size_t cache_hits = 0;
   std::size_t answers_from_cache = 0;
+
+  // Fault-injection accounting (all zero when no plan is attached).
+  std::size_t injected_servfail = 0;
+  std::size_t injected_timeouts = 0;
+  std::size_t injected_lame = 0;
+  std::size_t retries = 0;  // re-resolutions after an injected fault
 };
 
 class RecursiveResolver {
@@ -51,6 +59,16 @@ class RecursiveResolver {
   // on a broken delegation (lame, looping, or unreachable nameserver).
   ResolveResult resolve(const Name& qname, RRType qtype);
 
+  // Attach a fault plan: resolutions then face injected SERVFAILs, timeouts
+  // and lame delegations (keyed by qname/qtype/attempt — pure, so identical
+  // on every thread), each retried up to `retry.max_attempts` resolutions.
+  // Injection models the network, so cached answers never fault, and faulted
+  // attempts are never cached. The resolver holds a const clock, so a
+  // timeout cannot advance time here — it is surfaced as a late SERVFAIL and
+  // counted in stats().injected_timeouts. Pass nullptr to detach.
+  void inject_faults(const faults::FaultPlan* plan,
+                     faults::RetryConfig retry = {});
+
   const RecursiveStats& stats() const noexcept { return stats_; }
   void flush_cache() { answer_cache_.clear(); delegation_cache_.clear(); }
 
@@ -59,6 +77,12 @@ class RecursiveResolver {
     util::SimTime expires = 0;
     ResolveResult result;
   };
+
+  // One referral chase from the best-known starting server. `lame` forces
+  // the delegation walk to dead-end (an injected lame delegation).
+  ResolveResult resolve_once(const Name& qname, RRType qtype,
+                             const std::pair<Name, RRType>& cache_key,
+                             bool lame);
 
   const NameServerRegistry& registry_;
   Name root_;
@@ -69,6 +93,11 @@ class RecursiveResolver {
   std::map<std::pair<Name, RRType>, CachedAnswer> answer_cache_;
   // Learned delegations: zone apex -> nameserver host.
   std::map<Name, Name> delegation_cache_;
+  const faults::FaultPlan* plan_ = nullptr;  // not owned; may be null
+  faults::RetryPolicy retry_;
+  // Per-(qname,qtype) resolution attempt counters keying the fault plan, so
+  // a retried query draws a fresh decision instead of replaying the fault.
+  std::map<std::pair<Name, RRType>, std::uint64_t> attempt_counters_;
 };
 
 }  // namespace spfail::dns

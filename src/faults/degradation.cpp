@@ -1,0 +1,62 @@
+#include "faults/degradation.hpp"
+
+#include <cstdio>
+
+namespace spfail::faults {
+
+void DegradationReport::merge(const DegradationReport& other) {
+  if (configured_rate == 0.0) configured_rate = other.configured_rate;
+  probe_attempts += other.probe_attempts;
+  retries += other.retries;
+  injected_tempfail += other.injected_tempfail;
+  injected_drop += other.injected_drop;
+  injected_latency += other.injected_latency;
+  injected_dns += other.injected_dns;
+  latency_injected += other.latency_injected;
+  transient_addresses += other.transient_addresses;
+  recovered += other.recovered;
+  exhausted += other.exhausted;
+  breaker_trips += other.breaker_trips;
+  breaker_skipped += other.breaker_skipped;
+  requeued += other.requeued;
+  requeue_recovered += other.requeue_recovered;
+  addresses_tested += other.addresses_tested;
+  conclusive += other.conclusive;
+}
+
+util::TextTable DegradationReport::to_table() const {
+  util::TextTable table({"Degradation metric", "Value"},
+                        {util::Align::Left, util::Align::Right});
+  const auto count = [&](const char* name, std::size_t value) {
+    table.add_row({name, std::to_string(value)});
+  };
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.2f%%", configured_rate * 100.0);
+  table.add_row({"Configured fault rate", rate});
+  count("Probe attempts (retries incl.)", probe_attempts);
+  count("Retries", retries);
+  table.add_rule();
+  count("Injected: SMTP tempfail", injected_tempfail);
+  count("Injected: connection drop", injected_drop);
+  count("Injected: latency spike", injected_latency);
+  count("Injected: DNS fault", injected_dns);
+  count("Latency injected (sim s)", static_cast<std::size_t>(latency_injected));
+  table.add_rule();
+  count("Addresses with transient failures", transient_addresses);
+  count("  recovered via retry/re-queue", recovered);
+  count("  exhausted (inconclusive)", exhausted);
+  count("Circuit-breaker trips", breaker_trips);
+  count("  addresses skipped by open breaker", breaker_skipped);
+  count("Re-queued addresses", requeued);
+  count("  recovered in the re-queue wave", requeue_recovered);
+  table.add_rule();
+  count("Addresses tested", addresses_tested);
+  count("Conclusive measurements", conclusive);
+  char conclusive_pct[32];
+  std::snprintf(conclusive_pct, sizeof(conclusive_pct), "%.2f%%",
+                conclusive_rate() * 100.0);
+  table.add_row({"Conclusive rate", conclusive_pct});
+  return table;
+}
+
+}  // namespace spfail::faults

@@ -1,0 +1,65 @@
+// Graceful-degradation accounting: how measurement quality decays as the
+// injected fault rate rises (the realism counterpart of the paper's
+// conclusive/inconclusive split in §6.1).
+//
+// Every shard of a fault-injected campaign accumulates one of these and the
+// merge step sums them, so the report is as deterministic as the scan itself.
+// The invariant the test suite enforces: every address that ever saw a
+// transient failure is either retried to a conclusion (recovered) or
+// surfaced here (exhausted; breaker-skipped addresses are a subset).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "faults/fault.hpp"
+#include "util/clock.hpp"
+#include "util/table.hpp"
+
+namespace spfail::faults {
+
+struct DegradationReport {
+  double configured_rate = 0.0;
+
+  // Probe-level traffic.
+  std::size_t probe_attempts = 0;  // SMTP dialogs driven, retries included
+  std::size_t retries = 0;         // of those, re-attempts after a transient
+
+  // Injected faults by kind.
+  std::size_t injected_tempfail = 0;
+  std::size_t injected_drop = 0;
+  std::size_t injected_latency = 0;
+  std::size_t injected_dns = 0;
+  util::SimTime latency_injected = 0;  // total simulated seconds added
+
+  // Per-address outcomes of the retry engine.
+  std::size_t transient_addresses = 0;  // ever saw a transient status
+  std::size_t recovered = 0;            // ended conclusive/terminal anyway
+  std::size_t exhausted = 0;            // still transient at the end
+
+  // Circuit breaker and the inconclusive re-queue wave.
+  std::size_t breaker_trips = 0;    // provider groups opened
+  std::size_t breaker_skipped = 0;  // addresses not re-queued (group open)
+  std::size_t requeued = 0;         // addresses given a re-queue pass
+  std::size_t requeue_recovered = 0;
+
+  // Campaign outcome context (conclusive-rate vs fault-rate curves).
+  std::size_t addresses_tested = 0;
+  std::size_t conclusive = 0;
+
+  std::size_t injected_total() const noexcept {
+    return injected_tempfail + injected_drop + injected_latency + injected_dns;
+  }
+  double conclusive_rate() const noexcept {
+    return addresses_tested == 0
+               ? 0.0
+               : static_cast<double>(conclusive) / addresses_tested;
+  }
+
+  // Shard / round merge: counters sum; the configured rate must agree.
+  void merge(const DegradationReport& other);
+
+  util::TextTable to_table() const;
+};
+
+}  // namespace spfail::faults

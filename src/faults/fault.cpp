@@ -1,0 +1,121 @@
+#include "faults/fault.hpp"
+
+#include <cstdlib>
+
+#include "util/rng.hpp"
+
+namespace spfail::faults {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::None:
+      return "none";
+    case FaultKind::SmtpTempfail:
+      return "smtp-tempfail";
+    case FaultKind::ConnectionDrop:
+      return "connection-drop";
+    case FaultKind::LatencySpike:
+      return "latency-spike";
+    case FaultKind::DnsServfail:
+      return "dns-servfail";
+    case FaultKind::DnsTimeout:
+      return "dns-timeout";
+    case FaultKind::LameDelegation:
+      return "lame-delegation";
+  }
+  return "?";
+}
+
+std::string to_string(SmtpStage stage) {
+  switch (stage) {
+    case SmtpStage::Helo:
+      return "helo";
+    case SmtpStage::MailFrom:
+      return "mail-from";
+    case SmtpStage::RcptTo:
+      return "rcpt-to";
+    case SmtpStage::Data:
+      return "data";
+  }
+  return "?";
+}
+
+FaultConfig FaultConfig::from_env() {
+  FaultConfig config;
+  if (const char* seed = std::getenv("SPFAIL_FAULT_SEED");
+      seed != nullptr && *seed != '\0') {
+    config.seed = static_cast<std::uint64_t>(std::strtoull(seed, nullptr, 10));
+  }
+  if (const char* rate = std::getenv("SPFAIL_FAULT_RATE");
+      rate != nullptr && *rate != '\0') {
+    const double parsed = std::strtod(rate, nullptr);
+    if (parsed > 0.0) config.rate = parsed > 1.0 ? 1.0 : parsed;
+  }
+  return config;
+}
+
+namespace {
+
+// One keyed stream per decision: fold the key fields through splitmix64 so
+// neighbouring keys (attempt n vs n+1) land in unrelated streams.
+util::Rng keyed_rng(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                    std::uint64_t c, std::uint64_t channel) {
+  std::uint64_t state = seed ^ channel;
+  state ^= util::splitmix64(state) ^ a;
+  state ^= util::splitmix64(state) ^ b;
+  state ^= util::splitmix64(state) ^ c;
+  return util::Rng(util::splitmix64(state));
+}
+
+}  // namespace
+
+FaultDecision FaultPlan::probe_decision(const util::IpAddress& address,
+                                        std::uint64_t round,
+                                        std::uint64_t attempt) const {
+  FaultDecision decision;
+  if (!enabled()) return decision;
+  util::Rng rng = keyed_rng(config_.seed, util::IpAddressHash{}(address), round,
+                            attempt, /*channel=*/0x534D5450ULL /* "SMTP" */);
+  if (!rng.bernoulli(config_.rate)) return decision;
+
+  // Mix calibrated loosely to what large-scale SMTP scans report: transient
+  // 4xx dominates, outright drops and slow paths split the rest.
+  const double shape = rng.uniform01();
+  if (shape < 0.50) {
+    decision.kind = FaultKind::SmtpTempfail;
+    static constexpr int kCodes[] = {421, 451, 452};
+    decision.smtp_code = kCodes[rng.uniform(0, 2)];
+  } else if (shape < 0.75) {
+    decision.kind = FaultKind::ConnectionDrop;
+  } else {
+    decision.kind = FaultKind::LatencySpike;
+    decision.latency = static_cast<util::SimTime>(rng.uniform(2, 120));
+    return decision;  // stage is meaningless for a latency spike
+  }
+  static constexpr SmtpStage kStages[] = {SmtpStage::Helo, SmtpStage::MailFrom,
+                                          SmtpStage::RcptTo, SmtpStage::Data};
+  decision.stage = kStages[rng.uniform(0, 3)];
+  return decision;
+}
+
+FaultDecision FaultPlan::dns_decision(std::uint64_t qname_hash,
+                                      std::uint16_t qtype,
+                                      std::uint64_t attempt) const {
+  FaultDecision decision;
+  if (!enabled()) return decision;
+  util::Rng rng = keyed_rng(config_.seed, qname_hash, qtype, attempt,
+                            /*channel=*/0x444E53ULL /* "DNS" */);
+  if (!rng.bernoulli(config_.rate)) return decision;
+  const double shape = rng.uniform01();
+  if (shape < 0.50) {
+    decision.kind = FaultKind::DnsServfail;
+  } else if (shape < 0.80) {
+    decision.kind = FaultKind::DnsTimeout;
+    decision.latency = static_cast<util::SimTime>(rng.uniform(3, 30));
+  } else {
+    decision.kind = FaultKind::LameDelegation;
+  }
+  return decision;
+}
+
+}  // namespace spfail::faults

@@ -1,0 +1,90 @@
+// Deterministic fault injection for the measurement apparatus.
+//
+// The paper's scan ran against the real Internet, where probes routinely hit
+// transient SMTP tempfails, dropped connections, and flaky DNS; the authors
+// explicitly separate conclusive from inconclusive tests and batch greylist
+// retries (§5.1/§6.1). This module injects those failures into the simulated
+// network so the conclusive-rate figures and the longitudinal inference face
+// realistic noise.
+//
+// Determinism contract: a FaultPlan is pure. Every decision is a function of
+// (seed, key) only — keyed by target address + round + attempt for probes and
+// by qname + qtype + attempt for DNS — so a fault-injected campaign is
+// bit-identical at any thread count and across reruns with the same
+// SPFAIL_FAULT_SEED, exactly like the sharded scan engine's own guarantee.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.hpp"
+#include "util/ip.hpp"
+
+namespace spfail::faults {
+
+// What the injected failure looks like from the scanner's side.
+enum class FaultKind {
+  None,            // no fault this attempt
+  SmtpTempfail,    // transient 4xx (421/451/452) at one SMTP stage
+  ConnectionDrop,  // mid-dialog TCP drop at one SMTP stage
+  LatencySpike,    // the dialog completes, but slowly
+  DnsServfail,     // resolver answers SERVFAIL
+  DnsTimeout,      // resolver query times out (surfaces as SERVFAIL late)
+  LameDelegation,  // referral chain dead-ends at a lame nameserver
+};
+
+std::string to_string(FaultKind kind);
+
+// The SMTP stage an injected tempfail or drop lands on.
+enum class SmtpStage { Helo, MailFrom, RcptTo, Data };
+
+std::string to_string(SmtpStage stage);
+
+// One resolved decision: what (if anything) to inject on one attempt.
+struct FaultDecision {
+  FaultKind kind = FaultKind::None;
+  SmtpStage stage = SmtpStage::Helo;  // for SmtpTempfail / ConnectionDrop
+  int smtp_code = 0;                  // 421, 451 or 452 for SmtpTempfail
+  util::SimTime latency = 0;          // extra seconds for LatencySpike
+
+  bool active() const noexcept { return kind != FaultKind::None; }
+  bool fails_probe() const noexcept {
+    return kind == FaultKind::SmtpTempfail || kind == FaultKind::ConnectionDrop;
+  }
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 0xFA171ULL;
+  // Per-attempt probability that any fault is injected. 0 disables the layer
+  // entirely (no RNG is consulted; the scan is byte-identical to a build
+  // without the fault layer).
+  double rate = 0.0;
+
+  // Defaults overridden by SPFAIL_FAULT_SEED / SPFAIL_FAULT_RATE when set.
+  static FaultConfig from_env();
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;  // disabled
+  explicit FaultPlan(FaultConfig config) : config_(config) {}
+
+  const FaultConfig& config() const noexcept { return config_; }
+  bool enabled() const noexcept { return config_.rate > 0.0; }
+
+  // Decision for SMTP probe attempt `attempt` of `address` in measurement
+  // round `round`. Pure: same key, same answer, on any thread.
+  FaultDecision probe_decision(const util::IpAddress& address,
+                               std::uint64_t round,
+                               std::uint64_t attempt) const;
+
+  // Decision for DNS resolution attempt `attempt` of (qname-hash, qtype).
+  // Callers pass util::fnv1a of the query name's text form.
+  FaultDecision dns_decision(std::uint64_t qname_hash, std::uint16_t qtype,
+                             std::uint64_t attempt) const;
+
+ private:
+  FaultConfig config_;
+};
+
+}  // namespace spfail::faults

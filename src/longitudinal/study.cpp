@@ -54,7 +54,18 @@ std::string to_string(Cohort cohort) {
 }
 
 Study::Study(population::Fleet& fleet, StudyConfig config)
-    : fleet_(fleet), config_(config) {}
+    : fleet_(fleet), config_(config), plan_(config_.faults) {
+  faults::RetryConfig retry = config_.retry;
+  if (retry.max_attempts == 0) {
+    // The legacy schedule: one greylist retry after the paper's backoff.
+    retry.max_attempts = 2;
+    retry.base_backoff = paper::kGreylistBackoff;
+    retry.multiplier = 1.0;
+    retry.max_backoff = paper::kGreylistBackoff;
+    retry.jitter = 0.0;
+  }
+  retry_ = faults::RetryPolicy(retry);
+}
 
 bool Study::in_cohort(const population::DomainRecord& domain, Cohort cohort) {
   switch (cohort) {
@@ -75,18 +86,53 @@ Observation Study::observe_address(scan::Prober& prober,
                                    scan::TestKind kind,
                                    const scan::LabelAllocator& labels,
                                    const std::string& suite,
-                                   std::uint64_t slot) {
+                                   std::uint64_t slot,
+                                   std::uint64_t fault_round,
+                                   faults::DegradationReport& deg) {
   mta::MailHost* host = fleet_.find_host(address);
   if (host == nullptr) return Observation::Inconclusive;
 
   const std::string recipient = "host-" + address.to_string();
-  scan::ProbeResult result =
-      prober.probe(*host, recipient, labels.indexed_mail_from(slot, suite),
-                   kind);
-  if (result.status == scan::ProbeStatus::Greylisted) {
-    fleet_.clock().advance_by(paper::kGreylistBackoff);
+  scan::ProbeResult result;
+  int attempts = 0;
+  bool saw_transient = false;
+  for (;;) {
+    const faults::FaultDecision fault = plan_.probe_decision(
+        address, fault_round, static_cast<std::uint64_t>(attempts));
+    switch (fault.kind) {
+      case faults::FaultKind::SmtpTempfail:
+        ++deg.injected_tempfail;
+        break;
+      case faults::FaultKind::ConnectionDrop:
+        ++deg.injected_drop;
+        break;
+      case faults::FaultKind::LatencySpike:
+        ++deg.injected_latency;
+        deg.latency_injected += fault.latency;
+        break;
+      default:
+        break;
+    }
+    const std::uint64_t label_slot = attempts == 0 ? slot : slot + 1;
+    ++attempts;
+    ++deg.probe_attempts;
     result = prober.probe(*host, recipient,
-                          labels.indexed_mail_from(slot + 1, suite), kind);
+                          labels.indexed_mail_from(label_slot, suite), kind,
+                          fault);
+    if (!scan::is_transient(result.status)) break;
+    saw_transient = true;
+    if (!retry_.allow_retry(attempts, /*budget_left=*/1)) break;
+    ++deg.retries;
+    fleet_.clock().advance_by(retry_.backoff(address, fault_round,
+                                             attempts - 1));
+  }
+  if (saw_transient) {
+    ++deg.transient_addresses;
+    if (scan::is_transient(result.status)) {
+      ++deg.exhausted;
+    } else {
+      ++deg.recovered;
+    }
   }
   if (result.status != scan::ProbeStatus::SpfMeasured) {
     return Observation::Inconclusive;
@@ -109,9 +155,12 @@ StudyReport Study::run() {
   campaign_config.prober.responder = fleet_.responder();
   campaign_config.label_seed = config_.seed ^ 0xC0FFEE;
   campaign_config.pool = &pool;
+  campaign_config.faults = config_.faults;
+  campaign_config.retry = config_.retry;
   scan::Campaign campaign(campaign_config, fleet_.dns(), fleet_.clock(),
                           fleet_);
   report.initial = campaign.run(fleet_.targets());
+  report.degradation.merge(report.initial.degradation);
 
   // Everything downstream walks outcomes in ascending address order: label
   // slots, RNG draw order, and report assembly all key off these positions.
@@ -226,12 +275,14 @@ StudyReport Study::run() {
   // and splices lane logs back in shard — i.e. address — order.
   const auto run_batch = [&](const std::vector<ObserveJob>& jobs,
                              std::vector<Observation>& results,
-                             const std::string& suite) {
+                             const std::string& suite,
+                             std::uint64_t fault_round) {
     results.assign(jobs.size(), Observation::Inconclusive);
     if (jobs.empty()) return;
     const std::size_t shard_count = pool.shard_count(jobs.size());
     std::vector<dns::QueryLog> logs(shard_count);
     std::vector<util::SimTime> advances(shard_count, 0);
+    std::vector<faults::DegradationReport> degs(shard_count);
     pool.parallel_for_shards(
         jobs.size(),
         [&](std::size_t shard, std::size_t begin, std::size_t end) {
@@ -244,7 +295,8 @@ StudyReport Study::run() {
           for (std::size_t i = begin; i < end; ++i) {
             results[i] = observe_address(prober, jobs[i].address,
                                          jobs[i].kind, labels, suite,
-                                         jobs[i].slot);
+                                         jobs[i].slot, fault_round,
+                                         degs[shard]);
           }
           advances[shard] = clock_lane.offset();
         });
@@ -254,6 +306,7 @@ StudyReport Study::run() {
     for (auto& log : logs) {
       fleet_.dns().query_log().splice(std::move(log));
     }
+    for (const auto& deg : degs) report.degradation.merge(deg);
   };
 
   std::vector<ObserveJob> jobs;
@@ -302,7 +355,10 @@ StudyReport Study::run() {
 
       jobs.push_back(ObserveJob{address, working_test.at(address), 2 * i});
     }
-    run_batch(jobs, results, suite);
+    // Fault rounds: the initial campaign owns round 0; each longitudinal
+    // round salts the plan with 1 + its index (the two batches below cover
+    // disjoint address sets, so they can share the round key).
+    run_batch(jobs, results, suite, 1 + round);
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       series.at(jobs[j].address)[round] = results[j];
     }
@@ -313,7 +369,7 @@ StudyReport Study::run() {
     for (const auto& [address, slot] : remeasurable) {
       jobs.push_back(ObserveJob{address, scan::TestKind::BlankMsg, slot});
     }
-    run_batch(jobs, results, suite);
+    run_batch(jobs, results, suite, 1 + round);
     std::size_t kept = 0;
     for (std::size_t j = 0; j < remeasurable.size(); ++j) {
       if (results[j] == Observation::Vulnerable) {
@@ -354,7 +410,7 @@ StudyReport Study::run() {
     }
     jobs.push_back(ObserveJob{address, working_test.at(address), 2 * i});
   }
-  run_batch(jobs, results, snapshot_suite);
+  run_batch(jobs, results, snapshot_suite, 1 + report.round_times.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     snapshot.emplace(jobs[j].address, results[j]);
   }

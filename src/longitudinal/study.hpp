@@ -37,6 +37,14 @@ struct StudyConfig {
   // §7.2: fraction of measurement-lost hosts the snapshot's re-resolved
   // addresses recover (changed IPs shed the scanner blacklist).
   double snapshot_recovery_rate = 0.75;
+
+  // Fault injection for the whole scan apparatus: the initial campaign, the
+  // 34 longitudinal rounds, and the snapshot. Rate 0 keeps the study
+  // byte-identical to a build without the fault layer. `retry`'s zero
+  // sentinel derives the legacy schedule (one greylist retry after the
+  // paper's 8-minute backoff).
+  faults::FaultConfig faults;
+  faults::RetryConfig retry;
 };
 
 // Which domain set a series or total refers to.
@@ -71,6 +79,10 @@ struct StudyReport {
 
   // Vulnerable-domain tracking.
   std::vector<DomainTrack> tracks;
+
+  // Study-wide degradation accounting: the initial campaign's report merged
+  // with every longitudinal batch and the snapshot.
+  faults::DegradationReport degradation;
 
   // Notification funnel (§7.7).
   NotificationStats notification;
@@ -108,17 +120,23 @@ class Study {
 
  private:
   // One longitudinal observation of `address`, run on the calling worker's
-  // prober. `slot` is the address's stable master index doubled: the probe
-  // uses label slot `slot`, a greylist retry uses `slot + 1`, so labels never
-  // depend on execution order.
+  // prober. `slot` is the address's stable master index doubled: the first
+  // attempt uses label slot `slot`, every retry (greylist or injected fault)
+  // uses `slot + 1`, so labels never depend on execution order. `fault_round`
+  // salts the fault-plan key (1 + round index; the initial campaign owns
+  // round 0) and `deg` is the owning shard's degradation accumulator.
   Observation observe_address(scan::Prober& prober,
                               const util::IpAddress& address,
                               scan::TestKind kind,
                               const scan::LabelAllocator& labels,
-                              const std::string& suite, std::uint64_t slot);
+                              const std::string& suite, std::uint64_t slot,
+                              std::uint64_t fault_round,
+                              faults::DegradationReport& deg);
 
   population::Fleet& fleet_;
   StudyConfig config_;
+  faults::FaultPlan plan_;
+  faults::RetryPolicy retry_;
 };
 
 }  // namespace spfail::longitudinal

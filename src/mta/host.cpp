@@ -94,6 +94,11 @@ smtp::Reply MailHost::on_mail_from(const std::string& sender_local,
     }
   }
 
+  if (profile_.dns_tempfail_rate > 0.0 &&
+      flaky_rng_.bernoulli(profile_.dns_tempfail_rate)) {
+    return smtp::replies::dns_tempfail();
+  }
+
   if (profile_.validates_spf && profile_.spf_timing == SpfTiming::AtMailFrom &&
       !sender_domain.empty()) {
     const spf::Result result = run_spf(sender_local, sender_domain, client);

@@ -58,6 +58,11 @@ struct HostProfile {
   // authoritative log shows the TXT fetch but no conclusive probe query.
   double flaky_spf_rate = 0.0;
 
+  // Probability that a MAIL FROM is answered 450 (4.4.3 temporary DNS
+  // failure) before any SPF runs — the host's own resolver path hiccuping.
+  // Transient: the scanner's retry engine re-attempts these dialogs.
+  double dns_tempfail_rate = 0.0;
+
   // SPF engines the host runs (primary stack first). Hosts with multiple
   // entries model chained SMTP hops / spam-filter stacks (section 7.9).
   std::vector<spfvuln::SpfBehavior> behaviors = {

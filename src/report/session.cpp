@@ -27,6 +27,9 @@ const scan::CampaignReport& ReproSession::initial() {
   if (!initial_.has_value()) {
     scan::CampaignConfig campaign_config;
     campaign_config.prober.responder = fleet().responder();
+    // SPFAIL_FAULT_SEED / SPFAIL_FAULT_RATE reach every bench through here;
+    // the default (rate 0) keeps all outputs byte-identical.
+    campaign_config.faults = faults::FaultConfig::from_env();
     scan::Campaign campaign(campaign_config, fleet().dns(), fleet().clock(),
                             fleet());
     initial_ = campaign.run(fleet().targets());
@@ -36,7 +39,9 @@ const scan::CampaignReport& ReproSession::initial() {
 
 const longitudinal::StudyReport& ReproSession::study() {
   if (!study_.has_value()) {
-    longitudinal::Study study_runner(fleet());
+    longitudinal::StudyConfig study_config;
+    study_config.faults = faults::FaultConfig::from_env();
+    longitudinal::Study study_runner(fleet(), study_config);
     study_ = study_runner.run();
     // The study ran its own initial campaign; expose it through initial().
     initial_ = study_->initial;

@@ -633,4 +633,8 @@ TextTable notification_funnel(const longitudinal::StudyReport& study) {
   return table;
 }
 
+util::TextTable degradation_table(const faults::DegradationReport& report) {
+  return report.to_table();
+}
+
 }  // namespace spfail::report

@@ -77,4 +77,8 @@ std::vector<double> vulnerability_series(const population::Fleet& fleet,
                                          const longitudinal::StudyReport& study,
                                          longitudinal::Cohort cohort);
 
+// Graceful-degradation summary for a fault-injected run (campaign- or
+// study-wide): injected fault mix, retry/re-queue recovery, conclusive rate.
+util::TextTable degradation_table(const faults::DegradationReport& report);
+
 }  // namespace spfail::report

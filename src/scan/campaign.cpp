@@ -2,9 +2,41 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_set>
 #include <utility>
 
+#include "util/rng.hpp"
+
 namespace spfail::scan {
+
+namespace {
+
+// Provider grouping for the circuit breaker: IPv4 /24, IPv6 by the hash of
+// the textual form (tagged into a disjoint key space). Computed from merged
+// whole-wave results only — never from per-shard streaks, which would vary
+// with the thread count.
+std::uint64_t provider_group(const util::IpAddress& address) {
+  if (address.is_v4()) return address.v4_value() >> 8;
+  return util::fnv1a(address.to_string()) | (1ULL << 63);
+}
+
+// Derive the effective retry policy. The zero sentinel maps the legacy
+// greylist knobs onto the engine: 1 + max_greylist_retries attempts at a
+// flat, unjittered greylist_backoff — the exact clock schedule of the old
+// probe_with_greylist_retry loop, so a rate-0 run stays byte-identical.
+faults::RetryConfig effective_retry(const CampaignConfig& config) {
+  faults::RetryConfig retry = config.retry;
+  if (retry.max_attempts == 0) {
+    retry.max_attempts = 1 + config.max_greylist_retries;
+    retry.base_backoff = config.greylist_backoff;
+    retry.multiplier = 1.0;
+    retry.max_backoff = config.greylist_backoff;
+    retry.jitter = 0.0;
+  }
+  return retry;
+}
+
+}  // namespace
 
 std::string to_string(AddressVerdict verdict) {
   switch (verdict) {
@@ -65,19 +97,50 @@ Campaign::Campaign(CampaignConfig config, dns::AuthoritativeServer& server,
       server_(server),
       clock_(clock),
       registry_(registry),
-      labels_(util::Rng(config_.label_seed), config_.prober.responder.base) {}
+      labels_(util::Rng(config_.label_seed), config_.prober.responder.base),
+      plan_(config_.faults),
+      retry_(effective_retry(config_)) {}
 
-ProbeResult Campaign::probe_with_greylist_retry(
-    Prober& prober, mta::MailHost& host, const std::string& recipient_domain,
-    const dns::Name& mail_from, TestKind kind) {
-  ProbeResult result = prober.probe(host, recipient_domain, mail_from, kind);
-  for (int attempt = 0;
-       result.status == ProbeStatus::Greylisted &&
-       attempt < config_.max_greylist_retries;
-       ++attempt) {
-    // The paper: wait eight minutes before re-attempting a greylisted host.
-    clock_.advance_by(config_.greylist_backoff);
-    result = prober.probe(host, recipient_domain, mail_from, kind);
+ProbeResult Campaign::probe_with_retry(Prober& prober, mta::MailHost& host,
+                                       const std::string& recipient_domain,
+                                       const dns::Name& mail_from,
+                                       TestKind kind, AddressOutcome& outcome,
+                                       faults::DegradationReport& deg) {
+  ProbeResult result;
+  int dialog_attempts = 0;
+  for (;;) {
+    const faults::FaultDecision fault = plan_.probe_decision(
+        outcome.address, current_round_,
+        static_cast<std::uint64_t>(outcome.probe_attempts));
+    switch (fault.kind) {
+      case faults::FaultKind::SmtpTempfail:
+        ++deg.injected_tempfail;
+        break;
+      case faults::FaultKind::ConnectionDrop:
+        ++deg.injected_drop;
+        break;
+      case faults::FaultKind::LatencySpike:
+        ++deg.injected_latency;
+        deg.latency_injected += fault.latency;
+        break;
+      default:
+        break;
+    }
+    ++dialog_attempts;
+    ++outcome.probe_attempts;
+    ++deg.probe_attempts;
+    result = prober.probe(host, recipient_domain, mail_from, kind, fault);
+    if (!is_transient(result.status)) break;
+    outcome.saw_transient = true;
+    const int budget_left =
+        retry_.config().per_address_budget - outcome.retries_used;
+    if (!retry_.allow_retry(dialog_attempts, budget_left)) break;
+    ++outcome.retries_used;
+    ++deg.retries;
+    // The paper: wait out a backoff (eight minutes for a plain greylist)
+    // before re-attempting. Charged to this worker's clock lane.
+    clock_.advance_by(
+        retry_.backoff(outcome.address, current_round_, dialog_attempts - 1));
   }
   return result;
 }
@@ -85,6 +148,8 @@ ProbeResult Campaign::probe_with_greylist_retry(
 CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
   CampaignReport report;
   report.suite_label = labels_.new_suite();
+  current_round_ = next_round_++;
+  report.degradation.configured_rate = plan_.config().rate;
 
   // 1. Deduplicate addresses, remembering a recipient domain for each (the
   //    first domain that listed the address — used for RCPT TO).
@@ -130,6 +195,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
     std::vector<AddressOutcome> outcomes;  // in address order for the slice
     dns::QueryLog log;
     util::SimTime advance = 0;
+    faults::DegradationReport deg;
   };
   std::vector<ShardResult> shards(pool->shard_count(order.size()));
 
@@ -159,8 +225,9 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
 
       const dns::Name mail_from =
           labels_.indexed_mail_from(2 * i, report.suite_label);
-      const ProbeResult nomsg = probe_with_greylist_retry(
-          prober, *host, recipient_domain, mail_from, TestKind::NoMsg);
+      const ProbeResult nomsg =
+          probe_with_retry(prober, *host, recipient_domain, mail_from,
+                           TestKind::NoMsg, outcome, out.deg);
       outcome.nomsg = nomsg;
 
       switch (nomsg.status) {
@@ -179,6 +246,8 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
           want_blankmsg.push_back(i);
           break;
         case ProbeStatus::Greylisted:  // retries exhausted
+        case ProbeStatus::TempFailed:
+        case ProbeStatus::Dropped:
         case ProbeStatus::SmtpFailure:
           outcome.verdict = AddressVerdict::SmtpFailure;
           // A mid-dialog failure can still be followed by a BlankMsg attempt
@@ -199,8 +268,9 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
 
       const dns::Name mail_from =
           labels_.indexed_mail_from(2 * i + 1, report.suite_label);
-      const ProbeResult blankmsg = probe_with_greylist_retry(
-          prober, *host, order[i]->second, mail_from, TestKind::BlankMsg);
+      const ProbeResult blankmsg =
+          probe_with_retry(prober, *host, order[i]->second, mail_from,
+                           TestKind::BlankMsg, outcome, out.deg);
       outcome.blankmsg = blankmsg;
 
       if (blankmsg.status == ProbeStatus::SpfMeasured) {
@@ -223,12 +293,166 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
   for (auto& shard : shards) {
     total_advance += shard.advance;
     server_.query_log().splice(std::move(shard.log));
+    report.degradation.merge(shard.deg);
     for (auto& outcome : shard.outcomes) {
       const util::IpAddress address = outcome.address;
       report.addresses.emplace(address, std::move(outcome));
     }
   }
   clock_.advance_by(total_advance);
+
+  // 3b. Circuit breaker + inconclusive re-queue wave (fault layer only).
+  //
+  // Addresses whose retries exhausted mid-wave get one more pass after a
+  // cool-down — unless their provider group (/24) looks systemically sick,
+  // in which case the breaker opens and the group is skipped. Group stats
+  // come from the complete merged wave results, so the decision (and with it
+  // the whole report) is independent of the thread count.
+  if (plan_.enabled()) {
+    std::unordered_map<std::uint64_t, std::pair<std::size_t, std::size_t>>
+        group_stats;  // group -> {tested, transient}
+    for (const auto* entry : order) {
+      const auto it = report.addresses.find(entry->first);
+      if (it == report.addresses.end()) continue;
+      auto& stats = group_stats[provider_group(entry->first)];
+      ++stats.first;
+      if (it->second.pending_transient()) ++stats.second;
+    }
+    std::unordered_set<std::uint64_t> open_groups;
+    for (const auto& [group, stats] : group_stats) {
+      const auto [tested, transient] = stats;
+      if (transient >= static_cast<std::size_t>(config_.breaker_min_transient) &&
+          static_cast<double>(transient) >=
+              config_.breaker_min_share * static_cast<double>(tested)) {
+        open_groups.insert(group);
+      }
+    }
+    report.degradation.breaker_trips += open_groups.size();
+
+    // Re-queue candidates, in master (address) order so labels and fault
+    // keys line up across thread counts.
+    std::vector<std::size_t> requeue;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const auto it = report.addresses.find(order[i]->first);
+      if (it == report.addresses.end()) continue;
+      if (!it->second.pending_transient()) continue;
+      if (open_groups.count(provider_group(order[i]->first)) > 0) {
+        ++report.degradation.breaker_skipped;
+        continue;
+      }
+      requeue.push_back(i);
+    }
+
+    if (!requeue.empty()) {
+      clock_.advance_by(config_.requeue_backoff);
+      struct RequeueShard {
+        dns::QueryLog log;
+        util::SimTime advance = 0;
+        faults::DegradationReport deg;
+        std::size_t recovered = 0;
+      };
+      std::vector<RequeueShard> rq_shards(pool->shard_count(requeue.size()));
+      pool->parallel_for_shards(requeue.size(), [&](std::size_t shard,
+                                                    std::size_t begin,
+                                                    std::size_t end) {
+        RequeueShard& out = rq_shards[shard];
+        util::SimClock::Lane clock_lane(clock_);
+        dns::AuthoritativeServer::LogLane log_lane(server_, out.log);
+        Prober prober(config_.prober, server_, clock_);
+        for (std::size_t j = begin; j < end; ++j) {
+          const std::size_t i = requeue[j];
+          const auto& [address, recipient_domain] = *order[i];
+          // Shards own disjoint addresses, so mutating the mapped outcome
+          // through the (structurally untouched) map is race-free.
+          AddressOutcome& outcome = report.addresses.find(address)->second;
+          mta::MailHost* host = registry_.find_host(address);
+          if (host == nullptr) continue;
+
+          const TestKind pending = *outcome.pending_transient();
+          if (pending == TestKind::NoMsg) {
+            clock_.advance_by(per_test_advance);
+            const dns::Name mail_from =
+                labels_.indexed_mail_from(2 * i, report.suite_label);
+            const ProbeResult nomsg =
+                probe_with_retry(prober, *host, recipient_domain, mail_from,
+                                 TestKind::NoMsg, outcome, out.deg);
+            outcome.nomsg = nomsg;
+            switch (nomsg.status) {
+              case ProbeStatus::ConnectionRefused:
+                outcome.verdict = AddressVerdict::Refused;
+                break;
+              case ProbeStatus::SpfMeasured:
+                outcome.verdict = AddressVerdict::Measured;
+                outcome.behaviors = nomsg.behaviors;
+                break;
+              case ProbeStatus::SpfNotMeasured:
+                outcome.verdict = AddressVerdict::NotMeasured;
+                break;
+              case ProbeStatus::Greylisted:
+              case ProbeStatus::TempFailed:
+              case ProbeStatus::Dropped:
+              case ProbeStatus::SmtpFailure:
+                outcome.verdict = AddressVerdict::SmtpFailure;
+                break;
+            }
+          }
+          // A settled NoMsg that wants the message-bearing test (either it
+          // just recovered to "no SPF seen", or BlankMsg itself was the
+          // stuck test) gets the wave-2 treatment inline.
+          const bool want_blank =
+              pending == TestKind::BlankMsg ||
+              (outcome.nomsg && !is_transient(outcome.nomsg->status) &&
+               (outcome.nomsg->status == ProbeStatus::SpfNotMeasured ||
+                outcome.nomsg->failing_code == 550));
+          if (want_blank) {
+            clock_.advance_by(per_test_advance);
+            const dns::Name mail_from =
+                labels_.indexed_mail_from(2 * i + 1, report.suite_label);
+            const ProbeResult blankmsg =
+                probe_with_retry(prober, *host, recipient_domain, mail_from,
+                                 TestKind::BlankMsg, outcome, out.deg);
+            outcome.blankmsg = blankmsg;
+            if (blankmsg.status == ProbeStatus::SpfMeasured) {
+              outcome.verdict = AddressVerdict::Measured;
+              outcome.behaviors.insert(blankmsg.behaviors.begin(),
+                                       blankmsg.behaviors.end());
+            } else if (outcome.verdict == AddressVerdict::NotMeasured &&
+                       blankmsg.status == ProbeStatus::SmtpFailure) {
+              outcome.verdict = AddressVerdict::SmtpFailure;
+            }
+          }
+          if (!outcome.pending_transient()) ++out.recovered;
+        }
+        out.advance = clock_lane.offset();
+      });
+
+      util::SimTime rq_advance = 0;
+      for (auto& shard : rq_shards) {
+        rq_advance += shard.advance;
+        server_.query_log().splice(std::move(shard.log));
+        report.degradation.merge(shard.deg);
+        report.degradation.requeue_recovered += shard.recovered;
+      }
+      clock_.advance_by(rq_advance);
+      report.degradation.requeued += requeue.size();
+    }
+  }
+
+  // Final degradation accounting: every address that ever went transient is
+  // either recovered (settled) or exhausted (still pending) — the invariant
+  // the test suite checks.
+  for (const auto& [address, outcome] : report.addresses) {
+    ++report.degradation.addresses_tested;
+    if (outcome.conclusive()) ++report.degradation.conclusive;
+    if (outcome.saw_transient) {
+      ++report.degradation.transient_addresses;
+      if (outcome.pending_transient()) {
+        ++report.degradation.exhausted;
+      } else {
+        ++report.degradation.recovered;
+      }
+    }
+  }
 
   // 4. Domain roll-up.
   report.domains.reserve(targets.size());

@@ -19,6 +19,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "faults/degradation.hpp"
+#include "faults/fault.hpp"
+#include "faults/retry.hpp"
 #include "scan/prober.hpp"
 #include "util/thread_pool.hpp"
 
@@ -56,11 +59,27 @@ struct AddressOutcome {
   AddressVerdict verdict = AddressVerdict::Refused;
   std::set<spfvuln::SpfBehavior> behaviors;
 
+  // Retry-engine bookkeeping. `probe_attempts` numbers every SMTP dialog
+  // driven at this address during the round (it keys the fault plan, so a
+  // re-queue pass continues the attempt sequence instead of replaying it).
+  int probe_attempts = 0;
+  int retries_used = 0;
+  bool saw_transient = false;
+
   bool vulnerable() const {
     return behaviors.count(spfvuln::SpfBehavior::VulnerableLibspf2) > 0;
   }
   bool conclusive() const { return verdict == AddressVerdict::Measured; }
   bool erroneous_but_not_vulnerable() const;
+
+  // Which test is still stuck on a transient failure, if any — the re-queue
+  // wave's candidate set. BlankMsg only runs after a settled NoMsg, so at
+  // most one test is pending.
+  std::optional<TestKind> pending_transient() const {
+    if (blankmsg && is_transient(blankmsg->status)) return TestKind::BlankMsg;
+    if (nomsg && is_transient(nomsg->status)) return TestKind::NoMsg;
+    return std::nullopt;
+  }
 };
 
 struct DomainOutcome {
@@ -88,6 +107,23 @@ struct CampaignConfig {
   // Optional externally owned pool (the longitudinal study shares one across
   // all its rounds); when null the campaign creates its own per run.
   util::ThreadPool* pool = nullptr;
+
+  // --- fault injection & resilience (inert at the default rate 0) ---
+  faults::FaultConfig faults;
+  // max_attempts == 0 derives the policy from the greylist knobs above
+  // (1 + max_greylist_retries attempts, flat greylist_backoff, no jitter),
+  // which keeps a rate-0 run byte-identical to the legacy retry loop.
+  faults::RetryConfig retry;
+
+  // Circuit breaker over provider groups (IPv4 /24): a group whose wave
+  // results left at least `breaker_min_transient` addresses transient, and
+  // where those make up at least `breaker_min_share` of the group's tested
+  // addresses, is skipped by the re-queue wave — fail fast instead of
+  // hammering a sick provider.
+  int breaker_min_transient = 4;
+  double breaker_min_share = 0.5;
+  // Cool-down the scanner waits out before the inconclusive re-queue wave.
+  util::SimTime requeue_backoff = 15 * util::kMinute;
 };
 
 struct CampaignReport {
@@ -95,6 +131,10 @@ struct CampaignReport {
   std::unordered_map<util::IpAddress, AddressOutcome, util::IpAddressHash>
       addresses;
   std::vector<DomainOutcome> domains;
+
+  // How the round degraded under injected faults (all counters zero when the
+  // fault layer is disabled, except the probe/attempt traffic counts).
+  faults::DegradationReport degradation;
 
   // Outcomes in ascending address order — the stable iteration order for
   // tables, figures, and the longitudinal pipeline (the map itself hashes).
@@ -120,16 +160,28 @@ class Campaign {
   CampaignReport run_addresses(const std::vector<util::IpAddress>& addresses);
 
  private:
-  ProbeResult probe_with_greylist_retry(Prober& prober, mta::MailHost& host,
-                                        const std::string& recipient_domain,
-                                        const dns::Name& mail_from,
-                                        TestKind kind);
+  // Drive one test dialog to a settled state: retries any transient outcome
+  // (greylist 451, injected tempfail/drop, host 450) under the retry policy,
+  // charging backoff waits to the worker's clock lane. Attempt numbers
+  // continue across calls via `outcome.probe_attempts`, keeping fault-plan
+  // keys fresh on every re-attempt.
+  ProbeResult probe_with_retry(Prober& prober, mta::MailHost& host,
+                               const std::string& recipient_domain,
+                               const dns::Name& mail_from, TestKind kind,
+                               AddressOutcome& outcome,
+                               faults::DegradationReport& deg);
 
   CampaignConfig config_;
   dns::AuthoritativeServer& server_;
   util::SimClock& clock_;
   HostRegistry& registry_;
   LabelAllocator labels_;
+  faults::FaultPlan plan_;
+  faults::RetryPolicy retry_;
+  // Measurement-round counter: run() bumps it, and it salts the fault-plan
+  // key so repeated rounds over the same fleet see fresh fault draws.
+  std::uint64_t next_round_ = 0;
+  std::uint64_t current_round_ = 0;
 };
 
 }  // namespace spfail::scan

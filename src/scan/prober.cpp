@@ -16,6 +16,10 @@ std::string to_string(ProbeStatus status) {
       return "smtp-failure";
     case ProbeStatus::Greylisted:
       return "greylisted";
+    case ProbeStatus::TempFailed:
+      return "temp-failed";
+    case ProbeStatus::Dropped:
+      return "dropped";
     case ProbeStatus::SpfMeasured:
       return "spf-measured";
     case ProbeStatus::SpfNotMeasured:
@@ -26,11 +30,13 @@ std::string to_string(ProbeStatus status) {
 
 ProbeResult Prober::probe(mta::MailHost& host,
                           const std::string& recipient_domain,
-                          const dns::Name& mail_from_domain, TestKind kind) {
+                          const dns::Name& mail_from_domain, TestKind kind,
+                          const faults::FaultDecision& fault) {
   ProbeResult result;
   result.kind = kind;
   result.target = host.address();
   result.mail_from_domain = mail_from_domain;
+  result.injected = fault.kind;
 
   // Remember where the query log stood so we only read our own test's
   // entries (the unique label makes collisions impossible anyway; the cursor
@@ -45,6 +51,26 @@ ProbeResult Prober::probe(mta::MailHost& host,
 
   // Each SMTP exchange costs a little simulated time.
   const auto step = [&] { clock_.advance_by(1); };
+
+  // A latency spike stretches the dialog but changes nothing else.
+  if (fault.kind == faults::FaultKind::LatencySpike) {
+    clock_.advance_by(fault.latency);
+  }
+
+  // Injected network failures preempt the host at the chosen stage: the
+  // command is charged (step) but never reaches the MTA.
+  const auto inject_here = [&](faults::SmtpStage stage) {
+    if (!fault.fails_probe() || fault.stage != stage) return false;
+    step();
+    if (fault.kind == faults::FaultKind::SmtpTempfail) {
+      result.failing_code = fault.smtp_code;
+      result.status = ProbeStatus::TempFailed;
+    } else {
+      session->force_close();
+      result.status = ProbeStatus::Dropped;
+    }
+    return true;
+  };
 
   const auto finish_with_log_verdict = [&](bool dialog_ok, int code) {
     // Read the authoritative log for this test's unique domain (in sharded
@@ -72,6 +98,7 @@ ProbeResult Prober::probe(mta::MailHost& host,
   };
 
   // --- HELO ---
+  if (inject_here(faults::SmtpStage::Helo)) return result;
   step();
   const smtp::Reply banner = session->greeting();
   if (!banner.positive()) {
@@ -86,12 +113,20 @@ ProbeResult Prober::probe(mta::MailHost& host,
   }
 
   // --- MAIL FROM (this is where the unique domain goes) ---
+  if (inject_here(faults::SmtpStage::MailFrom)) return result;
   step();
   const std::string mail_from = std::string(kUsernameLadder[0]) + "@" +
                                 mail_from_domain.to_string();
   const smtp::Reply mail = session->respond("MAIL FROM:<" + mail_from + ">");
   if (mail.code == 451) {
     result.status = ProbeStatus::Greylisted;
+    return result;
+  }
+  if (mail.code == 450) {
+    // 450 4.4.3-style temporary lookup failure (the host's resolver path
+    // hiccuped) — transient, worth a retry.
+    result.failing_code = mail.code;
+    result.status = ProbeStatus::TempFailed;
     return result;
   }
   if (!mail.positive()) {
@@ -102,6 +137,7 @@ ProbeResult Prober::probe(mta::MailHost& host,
   }
 
   // --- RCPT TO: walk the username ladder until one is accepted ---
+  if (inject_here(faults::SmtpStage::RcptTo)) return result;
   bool rcpt_accepted = false;
   int last_code = 0;
   for (const std::string_view username : kUsernameLadder) {
@@ -118,6 +154,11 @@ ProbeResult Prober::probe(mta::MailHost& host,
       result.status = ProbeStatus::Greylisted;
       return result;
     }
+    if (rcpt.code == 450) {
+      result.failing_code = rcpt.code;
+      result.status = ProbeStatus::TempFailed;
+      return result;
+    }
     if (rcpt.code == 421 || session->closed()) {
       finish_with_log_verdict(false, rcpt.code);
       return result;
@@ -129,6 +170,7 @@ ProbeResult Prober::probe(mta::MailHost& host,
   }
 
   // --- DATA ---
+  if (inject_here(faults::SmtpStage::Data)) return result;
   step();
   const smtp::Reply data = session->respond("DATA");
   if (!data.intermediate()) {

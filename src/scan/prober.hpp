@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "dns/server.hpp"
+#include "faults/fault.hpp"
 #include "mta/host.hpp"
 #include "scan/labels.hpp"
 #include "scan/test_responder.hpp"
@@ -35,11 +36,20 @@ enum class ProbeStatus {
   ConnectionRefused,  // TCP connect failed
   SmtpFailure,        // dialog failed before the test could complete
   Greylisted,         // 451 — retry after the host's greylist delay
+  TempFailed,         // transient 4xx (421/450/452 class) — retryable
+  Dropped,            // connection lost mid-dialog — retryable
   SpfMeasured,        // >=1 macro-expansion probe query observed
   SpfNotMeasured,     // dialog fine, but no SPF activity for our domain
 };
 
 std::string to_string(ProbeStatus status);
+
+// Transient statuses the retry engine re-attempts (greylisting, injected
+// tempfails, dropped connections). Everything else is terminal for a round.
+constexpr bool is_transient(ProbeStatus status) noexcept {
+  return status == ProbeStatus::Greylisted ||
+         status == ProbeStatus::TempFailed || status == ProbeStatus::Dropped;
+}
 
 struct ProbeResult {
   TestKind kind = TestKind::NoMsg;
@@ -56,6 +66,8 @@ struct ProbeResult {
   int failing_code = 0;
   // The recipient username that was finally accepted (empty if none).
   std::string accepted_username;
+  // The fault injected into this attempt (FaultKind::None when clean).
+  faults::FaultKind injected = faults::FaultKind::None;
 
   bool vulnerable() const {
     return behaviors.count(spfvuln::SpfBehavior::VulnerableLibspf2) > 0;
@@ -79,8 +91,12 @@ class Prober {
 
   // Run one test. `target_recipient_domain` is the mail domain under test
   // (the RCPT TO domain); `mail_from_domain` is the unique test domain.
+  // `fault` is a resolved fault-plan decision for this attempt: tempfails
+  // and drops preempt the host at the chosen stage (the failure is the
+  // network's, not the host's), latency spikes stretch the dialog.
   ProbeResult probe(mta::MailHost& host, const std::string& recipient_domain,
-                    const dns::Name& mail_from_domain, TestKind kind);
+                    const dns::Name& mail_from_domain, TestKind kind,
+                    const faults::FaultDecision& fault = {});
 
  private:
   ProberConfig config_;

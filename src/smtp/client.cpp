@@ -1,5 +1,6 @@
 #include "smtp/client.hpp"
 
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace spfail::smtp {
@@ -74,6 +75,30 @@ DeliveryResult Client::deliver(ServerSession& session,
   result.accepted = accepted.positive();
   result.final_code = accepted.code;
   result.final_text = accepted.text;
+  return result;
+}
+
+DeliveryResult Client::deliver_with_retry(
+    const SessionFactory& connect, const std::string& mail_from,
+    const std::vector<std::string>& recipients, const mail::Message& message,
+    const faults::RetryPolicy& policy, util::SimClock& clock) {
+  const std::uint64_t key = util::fnv1a(mail_from);
+  DeliveryResult result;
+  int attempts = 0;
+  for (;;) {
+    std::optional<ServerSession> session = connect();
+    if (session.has_value()) {
+      result = deliver(*session, mail_from, recipients, message);
+    } else {
+      result = DeliveryResult{};
+      result.final_text = "connection refused";
+    }
+    ++attempts;
+    if (result.accepted || !result.transient()) break;
+    if (!policy.allow_retry(attempts, /*budget_left=*/1)) break;
+    clock.advance_by(policy.backoff(key, /*round=*/0, attempts - 1));
+  }
+  result.attempts = attempts;
   return result;
 }
 

@@ -7,12 +7,15 @@
 // tests that want a whole message delivered in one call.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "faults/retry.hpp"
 #include "mail/message.hpp"
 #include "smtp/server.hpp"
+#include "util/clock.hpp"
 
 namespace spfail::smtp {
 
@@ -26,7 +29,13 @@ struct DeliveryResult {
   bool accepted = false;   // message accepted for delivery (250 after ".")
   int final_code = 0;      // the reply code that decided the outcome
   std::string final_text;
-  std::vector<TranscriptLine> transcript;
+  int attempts = 1;        // transactions driven (retries included)
+  std::vector<TranscriptLine> transcript;  // of the final attempt
+
+  // A 4xx outcome (or a failed connect, code 0): worth retrying.
+  bool transient() const noexcept {
+    return !accepted && final_code >= 0 && final_code < 500;
+  }
 
   // Render as "C: ..."/"S: ..." lines for logs and examples.
   std::string transcript_text() const;
@@ -43,6 +52,21 @@ class Client {
   DeliveryResult deliver(ServerSession& session, const std::string& mail_from,
                          const std::vector<std::string>& recipients,
                          const mail::Message& message);
+
+  // Opens a fresh session per attempt (nullopt models a refused connect).
+  using SessionFactory = std::function<std::optional<ServerSession>()>;
+
+  // Deliver with the retry engine: transient outcomes (greylist 451, 450
+  // tempfails, 421, refused connects) are re-attempted under `policy`, with
+  // the backoff waits — keyed by the mail_from text, so schedules are
+  // deterministic — charged to `clock`. Returns the last attempt's result
+  // with `attempts` filled in.
+  DeliveryResult deliver_with_retry(const SessionFactory& connect,
+                                    const std::string& mail_from,
+                                    const std::vector<std::string>& recipients,
+                                    const mail::Message& message,
+                                    const faults::RetryPolicy& policy,
+                                    util::SimClock& clock);
 
  private:
   std::string helo_identity_;

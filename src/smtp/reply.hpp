@@ -30,6 +30,9 @@ inline Reply closing() { return {221, "Service closing transmission channel"}; }
 inline Reply greylisted() {
   return {451, "Greylisted, please try again later"};
 }
+inline Reply dns_tempfail() {
+  return {450, "4.4.3 Temporary DNS lookup failure, try again later"};
+}
 inline Reply service_unavailable() {
   return {421, "Service not available, closing transmission channel"};
 }

@@ -61,6 +61,11 @@ class ServerSession {
   // True once QUIT was processed (or the handler returned a 421).
   bool closed() const noexcept { return closed_; }
 
+  // Model the peer (or the network) abruptly dropping the TCP connection:
+  // the session is dead, any further respond() is a bad sequence. Used by
+  // the fault-injection layer for mid-dialog connection drops.
+  void force_close() noexcept { closed_ = true; }
+
   // True while the session is collecting message content.
   bool in_data() const noexcept { return state_ == State::InData; }
 

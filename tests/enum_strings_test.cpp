@@ -1,0 +1,114 @@
+// Exhaustive to_string coverage for the scanner's and fault layer's enums:
+// every enumerator renders a distinct, stable, non-"?" label. These strings
+// are load-bearing — they appear in serialized determinism oracles, tables,
+// and CSV exports, so a silent rename would corrupt downstream diffs.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "faults/fault.hpp"
+#include "faults/retry.hpp"
+#include "scan/campaign.hpp"
+#include "scan/prober.hpp"
+
+namespace spfail {
+namespace {
+
+// All labels distinct, none the "?" fallback.
+void expect_distinct(const std::vector<std::string>& labels) {
+  std::set<std::string> seen;
+  for (const std::string& label : labels) {
+    EXPECT_NE(label, "?");
+    EXPECT_FALSE(label.empty());
+    EXPECT_TRUE(seen.insert(label).second) << "duplicate label " << label;
+  }
+}
+
+TEST(EnumStrings, ProbeStatusCoversEveryEnumerator) {
+  using scan::ProbeStatus;
+  EXPECT_EQ(to_string(ProbeStatus::ConnectionRefused), "connection-refused");
+  EXPECT_EQ(to_string(ProbeStatus::SmtpFailure), "smtp-failure");
+  EXPECT_EQ(to_string(ProbeStatus::Greylisted), "greylisted");
+  EXPECT_EQ(to_string(ProbeStatus::TempFailed), "temp-failed");
+  EXPECT_EQ(to_string(ProbeStatus::Dropped), "dropped");
+  EXPECT_EQ(to_string(ProbeStatus::SpfMeasured), "spf-measured");
+  EXPECT_EQ(to_string(ProbeStatus::SpfNotMeasured), "spf-not-measured");
+  expect_distinct({to_string(ProbeStatus::ConnectionRefused),
+                   to_string(ProbeStatus::SmtpFailure),
+                   to_string(ProbeStatus::Greylisted),
+                   to_string(ProbeStatus::TempFailed),
+                   to_string(ProbeStatus::Dropped),
+                   to_string(ProbeStatus::SpfMeasured),
+                   to_string(ProbeStatus::SpfNotMeasured)});
+  // The transiency predicate and the labels stay in sync: exactly the three
+  // retryable statuses.
+  EXPECT_TRUE(scan::is_transient(ProbeStatus::Greylisted));
+  EXPECT_TRUE(scan::is_transient(ProbeStatus::TempFailed));
+  EXPECT_TRUE(scan::is_transient(ProbeStatus::Dropped));
+  EXPECT_FALSE(scan::is_transient(ProbeStatus::ConnectionRefused));
+  EXPECT_FALSE(scan::is_transient(ProbeStatus::SmtpFailure));
+  EXPECT_FALSE(scan::is_transient(ProbeStatus::SpfMeasured));
+  EXPECT_FALSE(scan::is_transient(ProbeStatus::SpfNotMeasured));
+}
+
+TEST(EnumStrings, AddressVerdictCoversEveryEnumerator) {
+  using scan::AddressVerdict;
+  EXPECT_EQ(to_string(AddressVerdict::Refused), "refused");
+  EXPECT_EQ(to_string(AddressVerdict::SmtpFailure), "smtp-failure");
+  EXPECT_EQ(to_string(AddressVerdict::Measured), "measured");
+  EXPECT_EQ(to_string(AddressVerdict::NotMeasured), "not-measured");
+  expect_distinct({to_string(AddressVerdict::Refused),
+                   to_string(AddressVerdict::SmtpFailure),
+                   to_string(AddressVerdict::Measured),
+                   to_string(AddressVerdict::NotMeasured)});
+}
+
+TEST(EnumStrings, TestKindCoversEveryEnumerator) {
+  using scan::TestKind;
+  EXPECT_EQ(to_string(TestKind::NoMsg), "NoMsg");
+  EXPECT_EQ(to_string(TestKind::BlankMsg), "BlankMsg");
+  expect_distinct({to_string(TestKind::NoMsg), to_string(TestKind::BlankMsg)});
+}
+
+TEST(EnumStrings, FaultKindCoversEveryEnumerator) {
+  using faults::FaultKind;
+  EXPECT_EQ(to_string(FaultKind::None), "none");
+  EXPECT_EQ(to_string(FaultKind::SmtpTempfail), "smtp-tempfail");
+  EXPECT_EQ(to_string(FaultKind::ConnectionDrop), "connection-drop");
+  EXPECT_EQ(to_string(FaultKind::LatencySpike), "latency-spike");
+  EXPECT_EQ(to_string(FaultKind::DnsServfail), "dns-servfail");
+  EXPECT_EQ(to_string(FaultKind::DnsTimeout), "dns-timeout");
+  EXPECT_EQ(to_string(FaultKind::LameDelegation), "lame-delegation");
+  expect_distinct({to_string(FaultKind::None),
+                   to_string(FaultKind::SmtpTempfail),
+                   to_string(FaultKind::ConnectionDrop),
+                   to_string(FaultKind::LatencySpike),
+                   to_string(FaultKind::DnsServfail),
+                   to_string(FaultKind::DnsTimeout),
+                   to_string(FaultKind::LameDelegation)});
+}
+
+TEST(EnumStrings, SmtpStageCoversEveryEnumerator) {
+  using faults::SmtpStage;
+  EXPECT_EQ(to_string(SmtpStage::Helo), "helo");
+  EXPECT_EQ(to_string(SmtpStage::MailFrom), "mail-from");
+  EXPECT_EQ(to_string(SmtpStage::RcptTo), "rcpt-to");
+  EXPECT_EQ(to_string(SmtpStage::Data), "data");
+  expect_distinct({to_string(SmtpStage::Helo), to_string(SmtpStage::MailFrom),
+                   to_string(SmtpStage::RcptTo), to_string(SmtpStage::Data)});
+}
+
+TEST(EnumStrings, RetryOutcomeCoversEveryEnumerator) {
+  using faults::RetryOutcome;
+  EXPECT_EQ(to_string(RetryOutcome::FirstTry), "first-try");
+  EXPECT_EQ(to_string(RetryOutcome::Recovered), "recovered");
+  EXPECT_EQ(to_string(RetryOutcome::Exhausted), "exhausted");
+  expect_distinct({to_string(RetryOutcome::FirstTry),
+                   to_string(RetryOutcome::Recovered),
+                   to_string(RetryOutcome::Exhausted)});
+}
+
+}  // namespace
+}  // namespace spfail

@@ -1,0 +1,461 @@
+// Integration tests for the resilient probe engine: fault injection through
+// the prober, the campaign's retry/re-queue/circuit-breaker machinery, the
+// greylist retry schedule, and rate-0 byte-identity. Suite names match the
+// `asan_faults` ctest filter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mail/message.hpp"
+#include "mta/host.hpp"
+#include "population/fleet.hpp"
+#include "scan/campaign.hpp"
+#include "scan/prober.hpp"
+#include "scan/test_responder.hpp"
+#include "smtp/client.hpp"
+
+namespace spfail {
+namespace {
+
+using scan::AddressVerdict;
+using scan::ProbeStatus;
+using scan::TestKind;
+using spfvuln::SpfBehavior;
+using util::IpAddress;
+
+class FaultScanFixture : public ::testing::Test, public scan::HostRegistry {
+ protected:
+  FaultScanFixture() {
+    responder_config_ = scan::install_test_responder(server_);
+    prober_config_.responder = responder_config_;
+  }
+
+  mta::MailHost& add_host(mta::HostProfile profile) {
+    auto host =
+        std::make_unique<mta::MailHost>(std::move(profile), server_, clock_);
+    auto& ref = *host;
+    hosts_.emplace(ref.address(), std::move(host));
+    return ref;
+  }
+
+  mta::MailHost* find_host(const IpAddress& address) override {
+    const auto it = hosts_.find(address);
+    return it == hosts_.end() ? nullptr : it->second.get();
+  }
+
+  scan::ProbeResult probe(mta::MailHost& host, TestKind kind,
+                          const faults::FaultDecision& fault = {},
+                          const std::string& id = "abc4z") {
+    scan::Prober prober(prober_config_, server_, clock_);
+    const dns::Name mail_from =
+        dns::Name::from_string(id + ".t001.spf-test.dns-lab.org");
+    return prober.probe(host, "target.example", mail_from, kind, fault);
+  }
+
+  scan::CampaignReport run_campaign(scan::CampaignConfig config,
+                                    const std::vector<scan::TargetDomain>&
+                                        targets) {
+    config.prober.responder = responder_config_;
+    config.threads = 2;
+    scan::Campaign campaign(config, server_, clock_, *this);
+    return campaign.run(targets);
+  }
+
+  static mta::HostProfile base_profile(SpfBehavior behavior,
+                                       std::uint8_t last_octet = 10,
+                                       std::uint8_t third_octet = 113) {
+    mta::HostProfile profile;
+    profile.address = IpAddress::v4(203, 0, third_octet, last_octet);
+    profile.behaviors = {behavior};
+    return profile;
+  }
+
+  dns::AuthoritativeServer server_;
+  util::SimClock clock_;
+  scan::TestResponderConfig responder_config_;
+  scan::ProberConfig prober_config_;
+  std::map<IpAddress, std::unique_ptr<mta::MailHost>> hosts_;
+};
+
+// Stage-by-stage injection through the prober.
+class FaultProber : public FaultScanFixture {};
+// Greylist retry schedule regression (the old probe_with_greylist_retry bug:
+// only ever one retry regardless of max_greylist_retries).
+class RetryGreylist : public FaultScanFixture {};
+// Campaign-level resilience: accounting invariant, breaker, re-queue wave.
+class FaultCampaign : public FaultScanFixture {};
+
+// ------------------------------------------------------------ FaultProber
+
+TEST_F(FaultProber, TempfailInjectionPreemptsEveryStage) {
+  // A non-validating host lets the clean dialog run through RCPT and DATA,
+  // so the late injection points are actually reachable (an SPF-validating
+  // host would already have rejected MAIL FROM).
+  mta::HostProfile profile = base_profile(SpfBehavior::RfcCompliant);
+  profile.validates_spf = false;
+  auto& host = add_host(profile);
+  int stage_index = 0;
+  for (const auto stage :
+       {faults::SmtpStage::Helo, faults::SmtpStage::MailFrom,
+        faults::SmtpStage::RcptTo, faults::SmtpStage::Data}) {
+    faults::FaultDecision fault;
+    fault.kind = faults::FaultKind::SmtpTempfail;
+    fault.stage = stage;
+    fault.smtp_code = 452;
+    const scan::ProbeResult result = probe(
+        host, TestKind::NoMsg, fault, "tf" + std::to_string(stage_index++));
+    EXPECT_EQ(result.status, ProbeStatus::TempFailed) << to_string(stage);
+    EXPECT_EQ(result.failing_code, 452);
+    EXPECT_EQ(result.injected, faults::FaultKind::SmtpTempfail);
+    EXPECT_TRUE(is_transient(result.status));
+  }
+}
+
+TEST_F(FaultProber, DropInjectionPreemptsEveryStage) {
+  mta::HostProfile profile = base_profile(SpfBehavior::RfcCompliant);
+  profile.validates_spf = false;
+  auto& host = add_host(profile);
+  int stage_index = 0;
+  for (const auto stage :
+       {faults::SmtpStage::Helo, faults::SmtpStage::MailFrom,
+        faults::SmtpStage::RcptTo, faults::SmtpStage::Data}) {
+    faults::FaultDecision fault;
+    fault.kind = faults::FaultKind::ConnectionDrop;
+    fault.stage = stage;
+    const scan::ProbeResult result = probe(
+        host, TestKind::NoMsg, fault, "dr" + std::to_string(stage_index++));
+    EXPECT_EQ(result.status, ProbeStatus::Dropped) << to_string(stage);
+    EXPECT_EQ(result.injected, faults::FaultKind::ConnectionDrop);
+    EXPECT_TRUE(is_transient(result.status));
+  }
+}
+
+TEST_F(FaultProber, LatencySpikeOnlyStretchesTheDialog) {
+  auto& host = add_host(base_profile(SpfBehavior::VulnerableLibspf2));
+  faults::FaultDecision fault;
+  fault.kind = faults::FaultKind::LatencySpike;
+  fault.latency = 77;
+  const util::SimTime before = clock_.now();
+  const scan::ProbeResult result = probe(host, TestKind::NoMsg, fault);
+  EXPECT_EQ(result.status, ProbeStatus::SpfMeasured);
+  EXPECT_TRUE(result.vulnerable());
+  EXPECT_EQ(result.injected, faults::FaultKind::LatencySpike);
+  EXPECT_GE(clock_.now() - before, 77);
+}
+
+TEST_F(FaultProber, HostDnsTempfailSurfacesAsTransient450) {
+  mta::HostProfile profile = base_profile(SpfBehavior::VulnerableLibspf2);
+  profile.dns_tempfail_rate = 1.0;  // the host's own resolver path is down
+  auto& host = add_host(profile);
+  const scan::ProbeResult result = probe(host, TestKind::NoMsg);
+  EXPECT_EQ(result.status, ProbeStatus::TempFailed);
+  EXPECT_EQ(result.failing_code, 450);
+  EXPECT_EQ(result.injected, faults::FaultKind::None);  // host-side, not ours
+  EXPECT_TRUE(is_transient(result.status));
+}
+
+// ----------------------------------------------------------- RetryGreylist
+
+TEST_F(RetryGreylist, HonoursMoreThanOneGreylistRetry) {
+  // A host whose greylist window (20 min) outlasts two flat 8-minute
+  // backoffs: only the third retry can pass. The legacy loop retried once no
+  // matter what max_greylist_retries said.
+  mta::HostProfile profile = base_profile(SpfBehavior::VulnerableLibspf2);
+  profile.greylists = true;
+  profile.greylist_delay = 20 * util::kMinute;
+  add_host(profile);
+
+  scan::CampaignConfig config;
+  config.max_greylist_retries = 3;
+  const scan::CampaignReport report = run_campaign(
+      config, {scan::TargetDomain{"gl.example", {profile.address}}});
+
+  ASSERT_EQ(report.addresses.size(), 1u);
+  const scan::AddressOutcome& outcome =
+      report.addresses.find(profile.address)->second;
+  EXPECT_EQ(outcome.verdict, AddressVerdict::Measured);
+  ASSERT_TRUE(outcome.nomsg.has_value());
+  EXPECT_EQ(outcome.nomsg->status, ProbeStatus::SpfMeasured);
+  EXPECT_EQ(outcome.retries_used, 3);
+  EXPECT_EQ(outcome.probe_attempts, 4);
+  EXPECT_TRUE(outcome.saw_transient);
+  EXPECT_EQ(report.degradation.transient_addresses, 1u);
+  EXPECT_EQ(report.degradation.recovered, 1u);
+  EXPECT_EQ(report.degradation.exhausted, 0u);
+}
+
+TEST_F(RetryGreylist, SingleRetryCannotOutwaitALongGreylist) {
+  mta::HostProfile profile = base_profile(SpfBehavior::VulnerableLibspf2);
+  profile.greylists = true;
+  profile.greylist_delay = 20 * util::kMinute;
+  add_host(profile);
+
+  scan::CampaignConfig config;
+  config.max_greylist_retries = 1;  // the default
+  const scan::CampaignReport report = run_campaign(
+      config, {scan::TargetDomain{"gl.example", {profile.address}}});
+
+  const scan::AddressOutcome& outcome =
+      report.addresses.find(profile.address)->second;
+  EXPECT_EQ(outcome.verdict, AddressVerdict::SmtpFailure);
+  ASSERT_TRUE(outcome.nomsg.has_value());
+  EXPECT_EQ(outcome.nomsg->status, ProbeStatus::Greylisted);
+  EXPECT_EQ(outcome.retries_used, 1);
+  EXPECT_EQ(report.degradation.exhausted, 1u);
+  EXPECT_EQ(report.degradation.recovered, 0u);
+}
+
+TEST_F(RetryGreylist, OrdinaryGreylistStillPassesOnTheFirstRetry) {
+  // The seed behaviour: an 8-minute greylist clears after one 8-minute
+  // backoff. This must keep working identically with the retry engine.
+  mta::HostProfile profile = base_profile(SpfBehavior::VulnerableLibspf2);
+  profile.greylists = true;  // default delay: 8 minutes
+  add_host(profile);
+
+  scan::CampaignConfig config;
+  const scan::CampaignReport report = run_campaign(
+      config, {scan::TargetDomain{"gl.example", {profile.address}}});
+
+  const scan::AddressOutcome& outcome =
+      report.addresses.find(profile.address)->second;
+  EXPECT_EQ(outcome.verdict, AddressVerdict::Measured);
+  EXPECT_EQ(outcome.retries_used, 1);
+  EXPECT_EQ(outcome.probe_attempts, 2);
+}
+
+// ------------------------------------------------------------ RetryClient
+
+TEST(RetryClientDelivery, RecoversFromGreylisting) {
+  dns::AuthoritativeServer server;
+  util::SimClock clock;
+  mta::HostProfile profile;
+  profile.address = IpAddress::v4(203, 0, 113, 40);
+  profile.greylists = true;  // 8-minute window
+  profile.validates_spf = false;
+  mta::MailHost host(profile, server, clock);
+
+  mail::Message message;
+  message.add_header("From", "sender@research.example");
+  message.add_header("Subject", "notification");
+  message.set_body("hello\r\n");
+
+  faults::RetryConfig retry;
+  retry.max_attempts = 3;
+  retry.multiplier = 1.0;
+  retry.max_backoff = retry.base_backoff;
+
+  smtp::Client client("notifier.research.example");
+  const smtp::DeliveryResult result = client.deliver_with_retry(
+      [&] { return host.connect(IpAddress::v4(198, 51, 100, 10)); },
+      "sender@research.example", {"postmaster@target.example"}, message,
+      faults::RetryPolicy(retry), clock);
+
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.attempts, 2);
+}
+
+TEST(RetryClientDelivery, ExhaustsAgainstAPersistentTempfail) {
+  dns::AuthoritativeServer server;
+  util::SimClock clock;
+  mta::HostProfile profile;
+  profile.address = IpAddress::v4(203, 0, 113, 41);
+  profile.greylists = true;
+  profile.greylist_delay = 600 * util::kMinute;  // never clears in time
+  profile.validates_spf = false;
+  mta::MailHost host(profile, server, clock);
+
+  mail::Message message;
+  message.add_header("From", "sender@research.example");
+  message.set_body("hello\r\n");
+
+  faults::RetryConfig retry;
+  retry.max_attempts = 3;
+
+  smtp::Client client("notifier.research.example");
+  const smtp::DeliveryResult result = client.deliver_with_retry(
+      [&] { return host.connect(IpAddress::v4(198, 51, 100, 10)); },
+      "sender@research.example", {"postmaster@target.example"}, message,
+      faults::RetryPolicy(retry), clock);
+
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(result.final_code, 451);
+  EXPECT_TRUE(result.transient());
+}
+
+TEST(RetryClientDelivery, TransientClassifiesCodes) {
+  smtp::DeliveryResult result;
+  result.final_code = 0;  // refused connect
+  EXPECT_TRUE(result.transient());
+  result.final_code = 451;
+  EXPECT_TRUE(result.transient());
+  result.final_code = 550;
+  EXPECT_FALSE(result.transient());
+  result.final_code = 451;
+  result.accepted = true;
+  EXPECT_FALSE(result.transient());
+}
+
+// ----------------------------------------------------------- FaultCampaign
+
+std::string serialize(const scan::CampaignReport& report) {
+  std::ostringstream out;
+  out << "suite=" << report.suite_label << "\n";
+  for (const scan::AddressOutcome* outcome : report.sorted_outcomes()) {
+    out << outcome->address.to_string() << " v=" << to_string(outcome->verdict)
+        << " pa=" << outcome->probe_attempts << " ru=" << outcome->retries_used
+        << " b=";
+    for (const auto behavior : outcome->behaviors) {
+      out << spfvuln::to_string(behavior) << ",";
+    }
+    for (const auto& probe : {outcome->nomsg, outcome->blankmsg}) {
+      if (!probe.has_value()) {
+        out << " -";
+        continue;
+      }
+      out << " [" << to_string(probe->status) << " "
+          << probe->mail_from_domain.to_string() << " f=" << probe->failing_code
+          << " i=" << to_string(probe->injected) << "]";
+    }
+    out << "\n";
+  }
+  const faults::DegradationReport& deg = report.degradation;
+  out << "deg pa=" << deg.probe_attempts << " r=" << deg.retries
+      << " it=" << deg.injected_tempfail << " id=" << deg.injected_drop
+      << " il=" << deg.injected_latency << " tr=" << deg.transient_addresses
+      << " rec=" << deg.recovered << " ex=" << deg.exhausted
+      << " bt=" << deg.breaker_trips << " bs=" << deg.breaker_skipped
+      << " rq=" << deg.requeued << " rr=" << deg.requeue_recovered << "\n";
+  return out.str();
+}
+
+TEST_F(FaultCampaign, RateZeroIsByteIdenticalWhateverTheFaultSeed) {
+  const auto run = [](std::uint64_t fault_seed) {
+    population::FleetConfig fleet_config;
+    fleet_config.scale = 0.01;
+    fleet_config.seed = 20211011;
+    population::Fleet fleet(fleet_config);
+    scan::CampaignConfig config;
+    config.prober.responder = fleet.responder();
+    config.threads = 2;
+    config.faults.seed = fault_seed;  // must be inert while rate == 0
+    scan::Campaign campaign(config, fleet.dns(), fleet.clock(), fleet);
+    const scan::CampaignReport report = campaign.run(fleet.targets());
+    std::ostringstream out;
+    out << serialize(report) << "clock=" << fleet.clock().now()
+        << " queries=" << fleet.dns().query_log().size() << "\n";
+    return out.str();
+  };
+  const std::string baseline = run(0xFA171ULL);
+  EXPECT_EQ(baseline, run(999));
+  EXPECT_NE(baseline.find(" it=0 id=0 il=0 "), std::string::npos);
+}
+
+TEST_F(FaultCampaign, TenPercentRateConvergesAndAccountingHolds) {
+  const auto run = [] {
+    population::FleetConfig fleet_config;
+    fleet_config.scale = 0.02;
+    fleet_config.seed = 7;
+    population::Fleet fleet(fleet_config);
+    scan::CampaignConfig config;
+    config.prober.responder = fleet.responder();
+    config.threads = 2;
+    config.faults.rate = 0.10;
+    scan::Campaign campaign(config, fleet.dns(), fleet.clock(), fleet);
+    return campaign.run(fleet.targets());
+  };
+  const scan::CampaignReport report = run();
+  const faults::DegradationReport& deg = report.degradation;
+
+  // Faults were really injected and really retried.
+  EXPECT_GT(deg.injected_total(), 0u);
+  EXPECT_GT(deg.retries, 0u);
+  EXPECT_GE(deg.probe_attempts, deg.retries);
+
+  // The load-bearing invariant: every address that ever went transient is
+  // either retried to a conclusion or surfaced as exhausted — nothing is
+  // silently dropped.
+  EXPECT_EQ(deg.transient_addresses, deg.recovered + deg.exhausted);
+  EXPECT_EQ(deg.addresses_tested, report.addresses.size());
+  EXPECT_EQ(deg.conclusive, report.count_verdict(AddressVerdict::Measured));
+
+  std::size_t pending = 0, transient_seen = 0;
+  for (const auto& [address, outcome] : report.addresses) {
+    pending += outcome.pending_transient().has_value();
+    transient_seen += outcome.saw_transient;
+    EXPECT_LE(outcome.retries_used, 16);  // per-address budget
+  }
+  EXPECT_EQ(deg.exhausted, pending);
+  EXPECT_EQ(deg.transient_addresses, transient_seen);
+
+  // And the whole faulted run is reproducible from the seed alone.
+  EXPECT_EQ(serialize(report), serialize(run()));
+}
+
+TEST_F(FaultCampaign, BreakerSkipsASystemicallySickProvider) {
+  // Eight hosts in one /24, all stuck behind a greylist window nothing can
+  // outwait: the whole group stays transient, so the breaker opens and the
+  // re-queue wave must not hammer it. A lone host in another /24 with the
+  // same symptom is below the breaker threshold and is re-queued.
+  std::vector<IpAddress> sick, targets_addrs;
+  for (std::uint8_t i = 1; i <= 8; ++i) {
+    mta::HostProfile profile =
+        base_profile(SpfBehavior::VulnerableLibspf2, i, 113);
+    profile.greylists = true;
+    profile.greylist_delay = 600 * util::kMinute;
+    add_host(profile);
+    sick.push_back(profile.address);
+  }
+  mta::HostProfile lonely =
+      base_profile(SpfBehavior::VulnerableLibspf2, 1, 114);
+  lonely.greylists = true;
+  lonely.greylist_delay = 600 * util::kMinute;
+  add_host(lonely);
+
+  scan::CampaignConfig config;
+  // Enable the resilience layer without injecting measurable faults.
+  config.faults.rate = 1e-12;
+  const scan::CampaignReport report = run_campaign(
+      config, {scan::TargetDomain{"sick.example", sick},
+               scan::TargetDomain{"lonely.example", {lonely.address}}});
+
+  const faults::DegradationReport& deg = report.degradation;
+  EXPECT_EQ(deg.breaker_trips, 1u);
+  EXPECT_EQ(deg.breaker_skipped, 8u);
+  EXPECT_EQ(deg.requeued, 1u);  // only the lonely host
+  EXPECT_EQ(deg.requeue_recovered, 0u);
+  EXPECT_EQ(deg.transient_addresses, 9u);
+  EXPECT_EQ(deg.exhausted, 9u);
+  EXPECT_EQ(deg.recovered, 0u);
+  EXPECT_EQ(deg.conclusive, 0u);
+}
+
+TEST_F(FaultCampaign, RequeueWaveRecoversAStraggler) {
+  // Greylist window (30 min) longer than the in-wave schedule reaches
+  // (attempts at ~0 and ~8 min) but within reach of the re-queue pass
+  // (cool-down 15 min, then two more attempts 8 min apart).
+  mta::HostProfile profile = base_profile(SpfBehavior::VulnerableLibspf2);
+  profile.greylists = true;
+  profile.greylist_delay = 30 * util::kMinute;
+  add_host(profile);
+
+  scan::CampaignConfig config;
+  config.faults.rate = 1e-12;
+  const scan::CampaignReport report = run_campaign(
+      config, {scan::TargetDomain{"straggler.example", {profile.address}}});
+
+  const scan::AddressOutcome& outcome =
+      report.addresses.find(profile.address)->second;
+  EXPECT_EQ(outcome.verdict, AddressVerdict::Measured);
+  const faults::DegradationReport& deg = report.degradation;
+  EXPECT_EQ(deg.requeued, 1u);
+  EXPECT_EQ(deg.requeue_recovered, 1u);
+  EXPECT_EQ(deg.recovered, 1u);
+  EXPECT_EQ(deg.exhausted, 0u);
+  EXPECT_EQ(deg.breaker_trips, 0u);
+  // Attempt numbering continued across the waves: 2 in-wave + 2 re-queue.
+  EXPECT_EQ(outcome.probe_attempts, 4);
+}
+
+}  // namespace
+}  // namespace spfail

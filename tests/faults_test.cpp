@@ -1,0 +1,472 @@
+// Unit tests for the deterministic fault-injection layer: the pure FaultPlan,
+// the retry/backoff engine, degradation accounting, and the DNS-side
+// injection points (service decorator, caching forwarder, recursive
+// resolver). Suite names match the `asan_faults` ctest filter.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <set>
+
+#include "dns/forwarder.hpp"
+#include "dns/recursive.hpp"
+#include "dns/server.hpp"
+#include "dns/zonefile.hpp"
+#include "faults/degradation.hpp"
+#include "faults/fault.hpp"
+#include "faults/retry.hpp"
+#include "util/rng.hpp"
+
+namespace spfail::faults {
+namespace {
+
+using util::IpAddress;
+
+// ------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, DisabledPlanNeverFaults) {
+  const FaultPlan plan;  // default config: rate 0
+  EXPECT_FALSE(plan.enabled());
+  const IpAddress address = IpAddress::v4(198, 51, 100, 1);
+  for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+    EXPECT_EQ(plan.probe_decision(address, 0, attempt).kind, FaultKind::None);
+    EXPECT_EQ(plan.dns_decision(0xBEEF, 16, attempt).kind, FaultKind::None);
+  }
+}
+
+TEST(FaultPlan, RateOneAlwaysFaultsWithTheRightKinds) {
+  FaultConfig config;
+  config.rate = 1.0;
+  const FaultPlan plan(config);
+  ASSERT_TRUE(plan.enabled());
+  for (std::uint64_t attempt = 0; attempt < 256; ++attempt) {
+    const FaultDecision probe =
+        plan.probe_decision(IpAddress::v4(203, 0, 113, 5), 1, attempt);
+    ASSERT_TRUE(probe.active());
+    EXPECT_TRUE(probe.kind == FaultKind::SmtpTempfail ||
+                probe.kind == FaultKind::ConnectionDrop ||
+                probe.kind == FaultKind::LatencySpike)
+        << to_string(probe.kind);
+    const FaultDecision dns = plan.dns_decision(0xD15EA5E, 16, attempt);
+    ASSERT_TRUE(dns.active());
+    EXPECT_TRUE(dns.kind == FaultKind::DnsServfail ||
+                dns.kind == FaultKind::DnsTimeout ||
+                dns.kind == FaultKind::LameDelegation)
+        << to_string(dns.kind);
+  }
+}
+
+TEST(FaultPlan, DecisionsArePureFunctionsOfTheKey) {
+  FaultConfig config;
+  config.rate = 0.5;
+  const FaultPlan plan(config);
+  const FaultPlan twin(config);
+  const IpAddress address = IpAddress::v4(192, 0, 2, 77);
+  for (std::uint64_t attempt = 0; attempt < 128; ++attempt) {
+    const FaultDecision first = plan.probe_decision(address, 3, attempt);
+    // Re-asking the same plan, or an identically configured one, in any
+    // order, gives the identical decision: no hidden stream state.
+    const FaultDecision again = plan.probe_decision(address, 3, attempt);
+    const FaultDecision other = twin.probe_decision(address, 3, attempt);
+    EXPECT_EQ(first.kind, again.kind);
+    EXPECT_EQ(first.stage, other.stage);
+    EXPECT_EQ(first.smtp_code, again.smtp_code);
+    EXPECT_EQ(first.latency, other.latency);
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsGiveDifferentPlans) {
+  FaultConfig a, b;
+  a.rate = b.rate = 0.5;
+  a.seed = 1;
+  b.seed = 2;
+  const FaultPlan plan_a(a), plan_b(b);
+  int differing = 0;
+  for (std::uint64_t attempt = 0; attempt < 128; ++attempt) {
+    const IpAddress address = IpAddress::v4(10, 0, 0, 9);
+    if (plan_a.probe_decision(address, 0, attempt).kind !=
+        plan_b.probe_decision(address, 0, attempt).kind) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlan, EmpiricalRateTracksConfiguredRate) {
+  FaultConfig config;
+  config.rate = 0.3;
+  const FaultPlan plan(config);
+  int faulted = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const IpAddress address =
+        IpAddress::v4(10, 1, static_cast<std::uint8_t>(i >> 8),
+                      static_cast<std::uint8_t>(i));
+    faulted += plan.probe_decision(address, 0, 0).active();
+  }
+  const double observed = static_cast<double>(faulted) / n;
+  EXPECT_NEAR(observed, config.rate, 0.03);
+}
+
+TEST(FaultPlan, SmtpShapesAreWellFormed) {
+  FaultConfig config;
+  config.rate = 1.0;
+  const FaultPlan plan(config);
+  std::set<int> codes;
+  std::set<SmtpStage> stages;
+  bool saw_latency = false;
+  for (std::uint64_t attempt = 0; attempt < 512; ++attempt) {
+    const FaultDecision d =
+        plan.probe_decision(IpAddress::v4(198, 18, 0, 1), 0, attempt);
+    switch (d.kind) {
+      case FaultKind::SmtpTempfail:
+        EXPECT_TRUE(d.smtp_code == 421 || d.smtp_code == 451 ||
+                    d.smtp_code == 452)
+            << d.smtp_code;
+        codes.insert(d.smtp_code);
+        stages.insert(d.stage);
+        EXPECT_TRUE(d.fails_probe());
+        break;
+      case FaultKind::ConnectionDrop:
+        stages.insert(d.stage);
+        EXPECT_TRUE(d.fails_probe());
+        break;
+      case FaultKind::LatencySpike:
+        EXPECT_GE(d.latency, 2);
+        EXPECT_LE(d.latency, 120);
+        EXPECT_FALSE(d.fails_probe());
+        saw_latency = true;
+        break;
+      default:
+        FAIL() << "unexpected kind " << to_string(d.kind);
+    }
+  }
+  // Over 512 draws at rate 1, every code, every stage, and the slow path
+  // all show up.
+  EXPECT_EQ(codes.size(), 3u);
+  EXPECT_EQ(stages.size(), 4u);
+  EXPECT_TRUE(saw_latency);
+}
+
+TEST(FaultPlan, DnsShapesAreWellFormed) {
+  FaultConfig config;
+  config.rate = 1.0;
+  const FaultPlan plan(config);
+  std::set<FaultKind> kinds;
+  for (std::uint64_t attempt = 0; attempt < 256; ++attempt) {
+    const FaultDecision d = plan.dns_decision(0xFEED, 1, attempt);
+    kinds.insert(d.kind);
+    if (d.kind == FaultKind::DnsTimeout) {
+      EXPECT_GE(d.latency, 3);
+      EXPECT_LE(d.latency, 30);
+    }
+    EXPECT_FALSE(d.fails_probe());  // DNS faults never fail an SMTP dialog
+  }
+  EXPECT_EQ(kinds, (std::set<FaultKind>{FaultKind::DnsServfail,
+                                        FaultKind::DnsTimeout,
+                                        FaultKind::LameDelegation}));
+}
+
+// --------------------------------------------------------- FaultConfigEnv
+
+TEST(FaultConfigEnv, DefaultsWhenUnset) {
+  ::unsetenv("SPFAIL_FAULT_SEED");
+  ::unsetenv("SPFAIL_FAULT_RATE");
+  const FaultConfig config = FaultConfig::from_env();
+  EXPECT_EQ(config.seed, 0xFA171ULL);
+  EXPECT_EQ(config.rate, 0.0);
+}
+
+TEST(FaultConfigEnv, ReadsSeedAndRate) {
+  ::setenv("SPFAIL_FAULT_SEED", "12345", 1);
+  ::setenv("SPFAIL_FAULT_RATE", "0.25", 1);
+  const FaultConfig config = FaultConfig::from_env();
+  EXPECT_EQ(config.seed, 12345u);
+  EXPECT_DOUBLE_EQ(config.rate, 0.25);
+  ::unsetenv("SPFAIL_FAULT_SEED");
+  ::unsetenv("SPFAIL_FAULT_RATE");
+}
+
+TEST(FaultConfigEnv, ClampsRateIntoRange) {
+  ::setenv("SPFAIL_FAULT_RATE", "7.5", 1);
+  EXPECT_DOUBLE_EQ(FaultConfig::from_env().rate, 1.0);
+  ::setenv("SPFAIL_FAULT_RATE", "-0.5", 1);
+  EXPECT_DOUBLE_EQ(FaultConfig::from_env().rate, 0.0);
+  ::setenv("SPFAIL_FAULT_RATE", "", 1);
+  EXPECT_DOUBLE_EQ(FaultConfig::from_env().rate, 0.0);
+  ::unsetenv("SPFAIL_FAULT_RATE");
+}
+
+// ----------------------------------------------------------- RetryPolicy
+
+TEST(RetryPolicy, ZeroSentinelClampsToOneAttempt) {
+  const RetryPolicy policy;  // default config: max_attempts = 0
+  EXPECT_EQ(policy.max_attempts(), 1);
+  EXPECT_FALSE(policy.allow_retry(1, 100));
+}
+
+TEST(RetryPolicy, AllowRetryRespectsAttemptsAndBudget) {
+  RetryConfig config;
+  config.max_attempts = 3;
+  const RetryPolicy policy(config);
+  EXPECT_TRUE(policy.allow_retry(1, 5));
+  EXPECT_TRUE(policy.allow_retry(2, 5));
+  EXPECT_FALSE(policy.allow_retry(3, 5));  // attempts exhausted
+  EXPECT_FALSE(policy.allow_retry(1, 0));  // budget exhausted
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndClamps) {
+  RetryConfig config;
+  config.max_attempts = 8;
+  config.base_backoff = 8 * util::kMinute;
+  config.multiplier = 2.0;
+  config.max_backoff = 64 * util::kMinute;
+  config.jitter = 0.0;
+  const RetryPolicy policy(config);
+  EXPECT_EQ(policy.backoff(1u, 0, 0), 8 * util::kMinute);
+  EXPECT_EQ(policy.backoff(1u, 0, 1), 16 * util::kMinute);
+  EXPECT_EQ(policy.backoff(1u, 0, 2), 32 * util::kMinute);
+  EXPECT_EQ(policy.backoff(1u, 0, 3), 64 * util::kMinute);
+  EXPECT_EQ(policy.backoff(1u, 0, 4), 64 * util::kMinute);  // clamped
+}
+
+TEST(RetryPolicy, FlatPolicyMatchesTheLegacyGreylistSchedule) {
+  // The campaign's zero-sentinel derivation: flat greylist backoff at every
+  // retry index — the schedule probe_with_greylist_retry used to produce.
+  RetryConfig config;
+  config.max_attempts = 4;
+  config.base_backoff = 8 * util::kMinute;
+  config.multiplier = 1.0;
+  config.max_backoff = 8 * util::kMinute;
+  config.jitter = 0.0;
+  const RetryPolicy policy(config);
+  for (int index = 0; index < 6; ++index) {
+    EXPECT_EQ(policy.backoff(IpAddress::v4(10, 0, 0, 1), 0, index),
+              8 * util::kMinute);
+  }
+}
+
+TEST(RetryPolicy, JitterIsBoundedAndDeterministicPerKey) {
+  RetryConfig config;
+  config.max_attempts = 4;
+  config.base_backoff = 8 * util::kMinute;
+  config.multiplier = 1.0;
+  config.max_backoff = 8 * util::kMinute;
+  config.jitter = 0.25;
+  const RetryPolicy policy(config);
+  const double base = 8 * util::kMinute;
+  std::set<util::SimTime> seen;
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    const util::SimTime wait = policy.backoff(key, 2, 1);
+    EXPECT_GE(static_cast<double>(wait), base * 0.75 - 1);
+    EXPECT_LE(static_cast<double>(wait), base * 1.25 + 1);
+    EXPECT_EQ(wait, policy.backoff(key, 2, 1));  // same key, same wait
+    seen.insert(wait);
+  }
+  EXPECT_GT(seen.size(), 1u);  // jitter actually varies across keys
+}
+
+TEST(RetryPolicy, BackoffNeverBelowOneSecond) {
+  RetryConfig config;
+  config.base_backoff = 0;
+  config.max_backoff = 0;
+  const RetryPolicy policy(config);
+  EXPECT_EQ(policy.backoff(9u, 0, 0), 1);
+}
+
+TEST(RetryOutcomeStrings, RoundTrip) {
+  EXPECT_EQ(to_string(RetryOutcome::FirstTry), "first-try");
+  EXPECT_EQ(to_string(RetryOutcome::Recovered), "recovered");
+  EXPECT_EQ(to_string(RetryOutcome::Exhausted), "exhausted");
+}
+
+// ----------------------------------------------------------- Degradation
+
+TEST(Degradation, MergeSumsCountersAndAdoptsRate) {
+  DegradationReport a;
+  a.probe_attempts = 10;
+  a.retries = 3;
+  a.injected_tempfail = 2;
+  a.injected_drop = 1;
+  a.injected_latency = 1;
+  a.injected_dns = 4;
+  a.latency_injected = 55;
+  a.transient_addresses = 3;
+  a.recovered = 2;
+  a.exhausted = 1;
+  a.addresses_tested = 8;
+  a.conclusive = 6;
+
+  DegradationReport b;
+  b.configured_rate = 0.1;
+  b.probe_attempts = 5;
+  b.retries = 1;
+  b.injected_dns = 1;
+  b.breaker_trips = 1;
+  b.breaker_skipped = 2;
+  b.requeued = 3;
+  b.requeue_recovered = 2;
+  b.addresses_tested = 4;
+  b.conclusive = 2;
+
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.configured_rate, 0.1);  // adopted from b
+  EXPECT_EQ(a.probe_attempts, 15u);
+  EXPECT_EQ(a.retries, 4u);
+  EXPECT_EQ(a.injected_total(), 2u + 1u + 1u + 5u);
+  EXPECT_EQ(a.latency_injected, 55);
+  EXPECT_EQ(a.transient_addresses, 3u);
+  EXPECT_EQ(a.breaker_trips, 1u);
+  EXPECT_EQ(a.breaker_skipped, 2u);
+  EXPECT_EQ(a.requeued, 3u);
+  EXPECT_EQ(a.requeue_recovered, 2u);
+  EXPECT_EQ(a.addresses_tested, 12u);
+  EXPECT_EQ(a.conclusive, 8u);
+  EXPECT_DOUBLE_EQ(a.conclusive_rate(), 8.0 / 12.0);
+}
+
+TEST(Degradation, ConclusiveRateOfEmptyReportIsZero) {
+  const DegradationReport report;
+  EXPECT_DOUBLE_EQ(report.conclusive_rate(), 0.0);
+  EXPECT_EQ(report.injected_total(), 0u);
+}
+
+TEST(Degradation, TableRendersAllSections) {
+  DegradationReport report;
+  report.configured_rate = 0.1;
+  report.addresses_tested = 10;
+  report.conclusive = 9;
+  std::ostringstream out;
+  out << report.to_table();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Configured fault rate"), std::string::npos);
+  EXPECT_NE(text.find("10.00%"), std::string::npos);
+  EXPECT_NE(text.find("Conclusive rate"), std::string::npos);
+  EXPECT_NE(text.find("90.00%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spfail::faults
+
+// ----------------------------------------------- DNS-side injection points
+
+namespace spfail::dns {
+namespace {
+
+using util::IpAddress;
+
+AuthoritativeServer& example_zone(AuthoritativeServer& server) {
+  server.add_zone(parse_zone_text(R"(
+$ORIGIN example.com.
+@    IN TXT "v=spf1 mx -all"
+@    IN A   192.0.2.80
+)",
+                                  Name::from_string("example.com")));
+  return server;
+}
+
+TEST(FaultDnsDecorator, InjectsServfailAndCountsAttempts) {
+  AuthoritativeServer server;
+  example_zone(server);
+  faults::FaultConfig config;
+  config.rate = 1.0;
+  FaultInjectingService service(server, faults::FaultPlan(config));
+  util::SimClock clock;
+  const Message query =
+      Message::make_query(7, Name::from_string("example.com"), RRType::TXT);
+  const Message first = service.handle(query, IpAddress::v4(9, 9, 9, 9),
+                                       clock.now());
+  EXPECT_EQ(first.header.rcode, Rcode::ServFail);
+  EXPECT_TRUE(first.answers.empty());
+  EXPECT_EQ(service.injected(), 1u);
+  // The attempt counter advances per query, so retries draw fresh decisions
+  // (at rate 1 they all fault, but they are distinct draws).
+  service.handle(query, IpAddress::v4(9, 9, 9, 9), clock.now());
+  EXPECT_EQ(service.injected(), 2u);
+}
+
+TEST(FaultDnsDecorator, DisabledPlanPassesThrough) {
+  AuthoritativeServer server;
+  example_zone(server);
+  FaultInjectingService service(server, faults::FaultPlan());
+  util::SimClock clock;
+  const Message response = service.handle(
+      Message::make_query(8, Name::from_string("example.com"), RRType::A),
+      IpAddress::v4(9, 9, 9, 9), clock.now());
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(service.injected(), 0u);
+}
+
+TEST(FaultForwarder, FaultedAnswersAreNeverCached) {
+  AuthoritativeServer server;
+  example_zone(server);
+  util::SimClock clock;
+  CachingForwarder forwarder(server, clock);
+  faults::FaultConfig config;
+  config.rate = 1.0;
+  const faults::FaultPlan plan(config);
+  faults::RetryConfig retry;
+  retry.max_attempts = 3;
+  forwarder.inject_faults(&plan, retry);
+
+  const Message query =
+      Message::make_query(9, Name::from_string("example.com"), RRType::TXT);
+  const Message faulted =
+      forwarder.handle(query, IpAddress::v4(9, 9, 9, 9), clock.now());
+  EXPECT_EQ(faulted.header.rcode, Rcode::ServFail);
+  EXPECT_EQ(forwarder.injected_faults(), 3u);  // all attempts faulted
+  EXPECT_EQ(forwarder.fault_retries(), 2u);
+  EXPECT_EQ(forwarder.cache_hits(), 0u);
+
+  // Detach the plan: the very same query now reaches the authority — the
+  // SERVFAIL was never cached.
+  forwarder.inject_faults(nullptr);
+  const Message clean =
+      forwarder.handle(query, IpAddress::v4(9, 9, 9, 9), clock.now());
+  EXPECT_EQ(clean.header.rcode, Rcode::NoError);
+  ASSERT_EQ(clean.answers.size(), 1u);
+  // And a clean answer does cache.
+  forwarder.handle(query, IpAddress::v4(9, 9, 9, 9), clock.now());
+  EXPECT_EQ(forwarder.cache_hits(), 1u);
+}
+
+TEST(FaultRecursive, InjectedFaultsRetryAndSurfaceAsServfail) {
+  // Minimal one-zone namespace: the root is authoritative for everything.
+  AuthoritativeServer root;
+  example_zone(root);
+  NameServerRegistry registry;
+  registry.add(Name::from_string("root-ns.example"), root);
+  util::SimClock clock;
+  RecursiveResolver resolver(registry, Name::from_string("root-ns.example"),
+                             clock, IpAddress::v4(10, 9, 9, 9));
+
+  faults::FaultConfig config;
+  config.rate = 1.0;
+  const faults::FaultPlan plan(config);
+  faults::RetryConfig retry;
+  retry.max_attempts = 3;
+  resolver.inject_faults(&plan, retry);
+
+  const ResolveResult result =
+      resolver.resolve(Name::from_string("example.com"), RRType::TXT);
+  EXPECT_FALSE(result.ok());
+  const RecursiveStats& stats = resolver.stats();
+  EXPECT_EQ(stats.retries, 2u);  // three attempts, all faulted
+  EXPECT_EQ(stats.injected_servfail + stats.injected_timeouts +
+                stats.injected_lame,
+            3u);
+
+  // Detach: the same query resolves (nothing bogus was cached), and the
+  // fault counters stay put.
+  resolver.inject_faults(nullptr);
+  const ResolveResult clean =
+      resolver.resolve(Name::from_string("example.com"), RRType::TXT);
+  EXPECT_TRUE(clean.ok());
+  EXPECT_EQ(resolver.stats().injected_servfail + stats.injected_timeouts +
+                stats.injected_lame,
+            3u);
+}
+
+}  // namespace
+}  // namespace spfail::dns

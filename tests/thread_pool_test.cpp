@@ -110,9 +110,17 @@ TEST(ThreadPool, CleanShutdownAfterWork) {
 void serialize_campaign(std::ostringstream& out,
                         const scan::CampaignReport& report) {
   out << "suite=" << report.suite_label << "\n";
+  const faults::DegradationReport& deg = report.degradation;
+  out << "deg pa=" << deg.probe_attempts << " r=" << deg.retries
+      << " inj=" << deg.injected_total() << " lat=" << deg.latency_injected
+      << " tr=" << deg.transient_addresses << " rec=" << deg.recovered
+      << " ex=" << deg.exhausted << " bt=" << deg.breaker_trips
+      << " bs=" << deg.breaker_skipped << " rq=" << deg.requeued
+      << " rr=" << deg.requeue_recovered << " c=" << deg.conclusive << "\n";
   for (const scan::AddressOutcome* outcome : report.sorted_outcomes()) {
     out << outcome->address.to_string() << " v="
-        << to_string(outcome->verdict) << " b=";
+        << to_string(outcome->verdict) << " pa=" << outcome->probe_attempts
+        << " ru=" << outcome->retries_used << " b=";
     for (const auto behavior : outcome->behaviors) {
       out << spfvuln::to_string(behavior) << ",";
     }
@@ -210,6 +218,37 @@ TEST(ThreadDeterminism, CampaignBitIdenticalAcrossThreadCounts) {
   const std::string serial = run_campaign(1);
   EXPECT_EQ(serial, run_campaign(3));
   EXPECT_EQ(serial, run_campaign(8));
+}
+
+TEST(ThreadDeterminism, FaultInjectedCampaignBitIdenticalAcrossThreadCounts) {
+  // The tentpole guarantee: with the fault layer live (10% injection, the
+  // retry engine, the circuit breaker, and the re-queue wave all active) the
+  // report is still a pure function of the seeds — identical at any thread
+  // count and across reruns, and actually sensitive to the fault seed.
+  const auto run_campaign = [](int threads, std::uint64_t fault_seed) {
+    population::FleetConfig config;
+    config.scale = 0.02;
+    config.seed = 7;
+    population::Fleet fleet(config);
+    scan::CampaignConfig campaign_config;
+    campaign_config.prober.responder = fleet.responder();
+    campaign_config.threads = threads;
+    campaign_config.faults.rate = 0.10;
+    campaign_config.faults.seed = fault_seed;
+    scan::Campaign campaign(campaign_config, fleet.dns(), fleet.clock(),
+                            fleet);
+    const scan::CampaignReport report = campaign.run(fleet.targets());
+    std::ostringstream out;
+    serialize_campaign(out, report);
+    out << "clock=" << fleet.clock().now()
+        << " queries=" << fleet.dns().query_log().size() << "\n";
+    return out.str();
+  };
+  const std::string serial = run_campaign(1, 42);
+  EXPECT_EQ(serial, run_campaign(2, 42));
+  EXPECT_EQ(serial, run_campaign(8, 42));
+  EXPECT_EQ(serial, run_campaign(1, 42));  // rerun, same seed
+  EXPECT_NE(serial, run_campaign(1, 43));  // the plan really keys off it
 }
 
 TEST(ThreadDeterminism, StudyBitIdenticalAcrossThreadCounts) {
