@@ -11,14 +11,17 @@
 #include "bench_common.hpp"
 
 #include "faults/fault.hpp"
+#include "net/trace_stats.hpp"
 #include "population/fleet.hpp"
+#include "report/tables.hpp"
 #include "scan/campaign.hpp"
 
 namespace {
 
 using namespace spfail;
 
-scan::CampaignReport run_at_rate(double rate) {
+scan::CampaignReport run_at_rate(double rate,
+                                 net::WireTrace* trace = nullptr) {
   population::FleetConfig fleet_config;
   fleet_config.scale = 0.02;
   population::Fleet fleet(fleet_config);
@@ -26,6 +29,7 @@ scan::CampaignReport run_at_rate(double rate) {
   scan::CampaignConfig config;
   config.prober.responder = fleet.responder();
   config.faults.rate = rate;
+  config.trace = trace;
   scan::Campaign campaign(config, fleet.dns(), fleet.clock(), fleet);
   return campaign.run(fleet.targets());
 }
@@ -84,6 +88,14 @@ int main(int argc, char** argv) {
                    std::to_string(deg.breaker_trips)});
   }
   bench::maybe_export_csv("ablation_faults", table);
+
+  // What the injected faults look like on the wire: re-run the 10% row with
+  // the structured trace attached and summarise the frame mix (the injected
+  // row counts synthesised tempfail replies, drop markers and SERVFAILs).
+  net::WireTrace trace;
+  run_at_rate(0.10, &trace);
+  std::cout << report::trace_summary(net::TraceStats::from(trace)) << "\n";
+
   std::cout << table << "\n"
             << "Reading: every row is bit-identical across reruns and thread "
                "counts (the plan is keyed by address/round/attempt, never by "

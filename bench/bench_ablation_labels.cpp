@@ -36,7 +36,8 @@ std::size_t authoritative_queries(bool unique_labels, int hosts, int probes) {
 
   scan::ProberConfig config;
   config.responder = responder;
-  scan::Prober prober(config, authority, clock);
+  net::Transport transport(clock);
+  scan::Prober prober(config, authority, transport);
   scan::LabelAllocator labels(util::Rng(3), responder.base);
   const std::string suite = labels.new_suite();
   const dns::Name fixed = labels.mail_from_domain(labels.new_id(), suite);

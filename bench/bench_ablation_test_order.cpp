@@ -24,7 +24,8 @@ AblationResult run_order(population::Fleet& fleet, bool nomsg_first) {
   AblationResult result;
   scan::ProberConfig config;
   config.responder = fleet.responder();
-  scan::Prober prober(config, fleet.dns(), fleet.clock());
+  net::Transport transport(fleet.clock());
+  scan::Prober prober(config, fleet.dns(), transport);
   scan::LabelAllocator labels(util::Rng(99), fleet.responder().base);
   const std::string suite = labels.new_suite();
 

@@ -18,7 +18,8 @@ void BM_NoMsgProbe(benchmark::State& state) {
   mta::MailHost host(profile, server, clock);
   scan::ProberConfig config;
   config.responder = responder;
-  scan::Prober prober(config, server, clock);
+  net::Transport transport(clock);
+  scan::Prober prober(config, server, transport);
   std::uint64_t i = 0;
   for (auto _ : state) {
     const auto mail_from = dns::Name::lenient(
@@ -41,7 +42,8 @@ void BM_BlankMsgProbe(benchmark::State& state) {
   mta::MailHost host(profile, server, clock);
   scan::ProberConfig config;
   config.responder = responder;
-  scan::Prober prober(config, server, clock);
+  net::Transport transport(clock);
+  scan::Prober prober(config, server, transport);
   std::uint64_t i = 0;
   for (auto _ : state) {
     const auto mail_from = dns::Name::lenient(

@@ -24,7 +24,8 @@ int main() {
 
   scan::ProberConfig prober_config;
   prober_config.responder = responder;
-  scan::Prober prober(prober_config, server, clock);
+  net::Transport transport(clock);
+  scan::Prober prober(prober_config, server, transport);
 
   scan::LabelAllocator labels(util::Rng(7), responder.base);
   const std::string suite = labels.new_suite();

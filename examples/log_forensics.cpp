@@ -23,7 +23,8 @@ int main() {
   // --- Phase 1: the scan (we keep no results, only the DNS log) --------
   scan::ProberConfig prober_config;
   prober_config.responder = responder;
-  scan::Prober prober(prober_config, server, clock);
+  net::Transport transport(clock);
+  scan::Prober prober(prober_config, server, transport);
   scan::LabelAllocator labels(util::Rng(11), responder.base);
   const std::string suite = labels.new_suite();
 

@@ -4,6 +4,7 @@
 //
 //   usage: spfail_scan [--scale S] [--seed N] [--threads N] [--initial-only]
 //                      [--fault-rate R] [--fault-seed N] [--csv DIR]
+//                      [--trace FILE]
 //
 //   --scale S        population scale, 0 < S <= 1 (default 0.05)
 //   --seed N         fleet seed (default 2021)
@@ -18,12 +19,17 @@
 //   --fault-seed N   fault-plan seed (default: SPFAIL_FAULT_SEED); same
 //                    seed + rate => bit-identical run at any thread count
 //   --csv DIR        also write figure series as CSV into DIR
+//   --trace FILE     record every SMTP/DNS wire frame the scan exchanges as
+//                    JSONL into FILE (default: SPFAIL_TRACE when set) and
+//                    print a trace summary; the file is bit-identical at any
+//                    thread count for a fixed seed
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "longitudinal/study.hpp"
+#include "net/trace_stats.hpp"
 #include "report/tables.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -44,6 +50,18 @@ void write_csv(const std::string& dir, const char* slug,
   std::cout << "  wrote " << path << "\n";
 }
 
+// Write the trace as JSONL and print its summary table.
+void emit_trace(const std::string& path, const net::WireTrace& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  trace.write_jsonl(out);
+  std::cout << "\n" << report::trace_summary(net::TraceStats::from(trace))
+            << "\n  wrote " << path << " (" << trace.size() << " frames)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -53,6 +71,8 @@ int main(int argc, char** argv) {
   bool initial_only = false;
   std::string csv_dir;
   faults::FaultConfig fault_config = faults::FaultConfig::from_env();
+  std::string trace_path;
+  if (const char* env = std::getenv("SPFAIL_TRACE")) trace_path = env;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -77,6 +97,8 @@ int main(int argc, char** argv) {
       fault_config.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--csv") {
       csv_dir = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
     } else {
       std::cerr << "unknown option " << arg << "\n";
       return 2;
@@ -103,12 +125,15 @@ int main(int argc, char** argv) {
             << util::with_commas(static_cast<long long>(fleet.address_count()))
             << " MTA addresses\n";
 
+  net::WireTrace trace;
+
   if (initial_only) {
     std::cout << "[2/3] Initial measurement (2021-10-11)...\n";
     scan::CampaignConfig campaign_config;
     campaign_config.prober.responder = fleet.responder();
     campaign_config.threads = threads;
     campaign_config.faults = fault_config;
+    if (!trace_path.empty()) campaign_config.trace = &trace;
     scan::Campaign campaign(campaign_config, fleet.dns(), fleet.clock(),
                             fleet);
     const scan::CampaignReport report = campaign.run(fleet.targets());
@@ -119,6 +144,7 @@ int main(int argc, char** argv) {
     if (fault_config.rate > 0.0) {
       std::cout << report::degradation_table(report.degradation) << "\n";
     }
+    if (!trace_path.empty()) emit_trace(trace_path, trace);
     return 0;
   }
 
@@ -128,6 +154,7 @@ int main(int argc, char** argv) {
   longitudinal::StudyConfig study_config;
   study_config.threads = threads;
   study_config.faults = fault_config;
+  if (!trace_path.empty()) study_config.trace = &trace;
   longitudinal::Study study(fleet, study_config);
   const longitudinal::StudyReport report = study.run();
 
@@ -154,6 +181,7 @@ int main(int argc, char** argv) {
   if (fault_config.rate > 0.0) {
     std::cout << "\n" << report::degradation_table(report.degradation) << "\n";
   }
+  if (!trace_path.empty()) emit_trace(trace_path, trace);
 
   if (!csv_dir.empty()) {
     std::cout << "\nCSV export:\n";

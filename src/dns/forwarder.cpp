@@ -2,13 +2,11 @@
 
 #include <algorithm>
 
-#include "util/rng.hpp"
-
 namespace spfail::dns {
 
 void CachingForwarder::inject_faults(const faults::FaultPlan* plan,
                                      faults::RetryConfig retry) {
-  plan_ = plan;
+  transport_.set_fault_plan(plan);
   if (retry.max_attempts == 0) retry.max_attempts = 3;
   retry_ = faults::RetryPolicy(retry);
 }
@@ -30,31 +28,28 @@ Message CachingForwarder::handle(const Message& query,
     return response;
   }
 
-  if (plan_ != nullptr && plan_->enabled()) {
-    // Faults live on the upstream path, after the cache miss. A faulted
-    // attempt is retried per the policy; if every attempt faults, the
-    // client sees SERVFAIL and nothing is cached.
-    const std::uint64_t qname_hash = util::fnv1a(q.qname.to_string());
-    std::uint64_t& attempts = attempt_counters_[key];
-    for (int tried = 0;;) {
-      const faults::FaultDecision fault = plan_->dns_decision(
-          qname_hash, static_cast<std::uint16_t>(q.qtype), attempts++);
-      ++tried;
-      if (fault.kind != faults::FaultKind::DnsServfail &&
-          fault.kind != faults::FaultKind::DnsTimeout &&
-          fault.kind != faults::FaultKind::LameDelegation) {
-        break;  // this attempt goes through to the upstream
-      }
-      ++injected_faults_;
-      if (!retry_.allow_retry(tried, /*budget_left=*/1)) {
-        return Message::make_response(query, Rcode::ServFail);
-      }
-      ++fault_retries_;
+  // Faults live on the upstream path, after the cache miss. A faulted
+  // attempt is retried per the policy; if every attempt faults, the client
+  // sees SERVFAIL and nothing is cached. Each attempt — faulted or not —
+  // crosses the transport, so a wire trace shows the retries.
+  for (int tried = 0;;) {
+    const faults::FaultDecision fault =
+        transport_.next_dns_fault(q.qname, q.qtype);
+    if (!fault.is_dns_fault()) break;  // this attempt reaches the upstream
+    ++tried;
+    ++injected_faults_;
+    if (!retry_.allow_retry(tried, /*budget_left=*/1)) {
+      return transport_.exchange(upstream_, query, self_, upstream_endpoint_,
+                                 client, fault);
     }
+    transport_.exchange(upstream_, query, self_, upstream_endpoint_, client,
+                        fault);
+    ++fault_retries_;
   }
 
   ++upstream_queries_;
-  const Message response = upstream_.handle(query, client, now);
+  const Message response =
+      transport_.exchange(upstream_, query, self_, upstream_endpoint_, client);
 
   util::SimTime ttl = 300;
   for (const auto& rr : response.answers) {

@@ -12,6 +12,7 @@
 #include "dns/server.hpp"
 #include "faults/fault.hpp"
 #include "faults/retry.hpp"
+#include "net/transport.hpp"
 #include "util/clock.hpp"
 
 namespace spfail::dns {
@@ -20,7 +21,11 @@ class CachingForwarder : public DnsService {
  public:
   // `upstream` and `clock` must outlive the forwarder.
   CachingForwarder(DnsService& upstream, const util::SimClock& clock)
-      : upstream_(upstream), clock_(clock) {}
+      : upstream_(upstream),
+        clock_(clock),
+        transport_(clock),
+        self_(net::Endpoint::named("forwarder")),
+        upstream_endpoint_(net::Endpoint::named("upstream")) {}
 
   Message handle(const Message& query, const util::IpAddress& client,
                  util::SimTime now) override;
@@ -38,6 +43,10 @@ class CachingForwarder : public DnsService {
   std::size_t fault_retries() const noexcept { return fault_retries_; }
   void flush() { cache_.clear(); }
 
+  // The wire transport upstream queries (and faulted attempts) cross.
+  net::Transport& transport() noexcept { return transport_; }
+  const net::Transport& transport() const noexcept { return transport_; }
+
  private:
   struct Entry {
     util::SimTime expires = 0;
@@ -46,14 +55,15 @@ class CachingForwarder : public DnsService {
 
   DnsService& upstream_;
   const util::SimClock& clock_;
+  net::Transport transport_;
+  net::Endpoint self_;
+  net::Endpoint upstream_endpoint_;
   std::map<std::pair<Name, RRType>, Entry> cache_;
   std::size_t cache_hits_ = 0;
   std::size_t upstream_queries_ = 0;
-  const faults::FaultPlan* plan_ = nullptr;  // not owned; may be null
   faults::RetryPolicy retry_;
   std::size_t injected_faults_ = 0;
   std::size_t fault_retries_ = 0;
-  std::map<std::pair<Name, RRType>, std::uint64_t> attempt_counters_;
 };
 
 }  // namespace spfail::dns

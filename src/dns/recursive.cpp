@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "util/rng.hpp"
-
 namespace spfail::dns {
 
 void NameServerRegistry::add(const Name& nameserver,
@@ -23,11 +21,13 @@ RecursiveResolver::RecursiveResolver(const NameServerRegistry& registry,
     : registry_(registry),
       root_(root_nameserver),
       clock_(clock),
-      client_(std::move(client_address)) {}
+      transport_(clock),
+      client_(std::move(client_address)),
+      self_(net::Endpoint::ip(client_)) {}
 
 void RecursiveResolver::inject_faults(const faults::FaultPlan* plan,
                                       faults::RetryConfig retry) {
-  plan_ = plan;
+  transport_.set_fault_plan(plan);
   // The campaign's zero sentinel has no greylist knobs to inherit here; a
   // plain resolver retries a couple of times before giving up.
   if (retry.max_attempts == 0) retry.max_attempts = 3;
@@ -43,20 +43,18 @@ ResolveResult RecursiveResolver::resolve(const Name& qname, RRType qtype) {
     return cached->second.result;
   }
 
-  if (plan_ == nullptr || !plan_->enabled()) {
+  if (transport_.fault_plan() == nullptr ||
+      !transport_.fault_plan()->enabled()) {
     return resolve_once(qname, qtype, cache_key, /*lame=*/false);
   }
 
-  // Fault-injected path: each resolution attempt draws its own decision
-  // (faults model the network; the cache lookup above never faults).
-  const std::uint64_t qname_hash = util::fnv1a(qname.to_string());
+  // Fault-injected path: each resolution attempt draws its own decision from
+  // the transport (faults model the network; the cache lookup above never
+  // faults).
   ResolveResult result;
   result.rcode = Rcode::ServFail;
-  std::uint64_t& attempts = attempt_counters_[cache_key];
   for (int tried = 0;;) {
-    const faults::FaultDecision fault =
-        plan_->dns_decision(qname_hash, static_cast<std::uint16_t>(qtype),
-                            attempts++);
+    const faults::FaultDecision fault = transport_.next_dns_fault(qname, qtype);
     ++tried;
     bool faulted = true;
     switch (fault.kind) {
@@ -126,7 +124,9 @@ ResolveResult RecursiveResolver::resolve_once(
     ++stats_.queries_sent;
     const Message query = Message::make_query(next_id_++, qname, qtype);
     const Message response =
-        server->handle(decode(encode(query)), client_, clock_.now());
+        transport_.exchange(*server, query, self_,
+                            net::Endpoint::named(current_server.to_string()),
+                            client_);
 
     if (response.header.aa ||
         response.header.rcode != Rcode::NoError ||

@@ -16,6 +16,7 @@
 #include "dns/server.hpp"
 #include "faults/fault.hpp"
 #include "faults/retry.hpp"
+#include "net/transport.hpp"
 #include "util/clock.hpp"
 
 namespace spfail::dns {
@@ -72,6 +73,11 @@ class RecursiveResolver {
   const RecursiveStats& stats() const noexcept { return stats_; }
   void flush_cache() { answer_cache_.clear(); delegation_cache_.clear(); }
 
+  // The wire transport referral-chase hops cross (one exchange per
+  // authoritative server contacted).
+  net::Transport& transport() noexcept { return transport_; }
+  const net::Transport& transport() const noexcept { return transport_; }
+
  private:
   struct CachedAnswer {
     util::SimTime expires = 0;
@@ -87,17 +93,15 @@ class RecursiveResolver {
   const NameServerRegistry& registry_;
   Name root_;
   const util::SimClock& clock_;
+  net::Transport transport_;
   util::IpAddress client_;
+  net::Endpoint self_;
   std::uint16_t next_id_ = 1;
   RecursiveStats stats_;
   std::map<std::pair<Name, RRType>, CachedAnswer> answer_cache_;
   // Learned delegations: zone apex -> nameserver host.
   std::map<Name, Name> delegation_cache_;
-  const faults::FaultPlan* plan_ = nullptr;  // not owned; may be null
   faults::RetryPolicy retry_;
-  // Per-(qname,qtype) resolution attempt counters keying the fault plan, so
-  // a retried query draws a fresh decision instead of replaying the fault.
-  std::map<std::pair<Name, RRType>, std::uint64_t> attempt_counters_;
 };
 
 }  // namespace spfail::dns

@@ -21,12 +21,11 @@ ResolveResult StubResolver::query(const Name& qname, RRType qtype) {
   }
   ++cache_misses_;
 
-  // Round-trip through the wire codec so the substrate sees real messages.
+  // The transport round-trips the query through the wire codec, applies any
+  // attached fault plan, and traces both directions.
   const Message query_msg = Message::make_query(next_id_++, qname, qtype);
-  const std::vector<std::uint8_t> wire = encode(query_msg);
-  const Message parsed_query = decode(wire);
-  const Message response =
-      service_.handle(parsed_query, client_, clock_.now());
+  const Message response = transport_.exchange_with_faults(
+      service_, query_msg, self_, upstream_, client_);
 
   ResolveResult result;
   result.rcode = response.header.rcode;

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "dns/server.hpp"
+#include "net/transport.hpp"
 #include "util/clock.hpp"
 
 namespace spfail::dns {
@@ -28,10 +29,20 @@ class StubResolver {
                util::IpAddress client_address, bool enable_cache = true)
       : service_(service),
         clock_(clock),
+        transport_(clock),
         client_(client_address),
+        self_(net::Endpoint::ip(client_address)),
+        upstream_(net::Endpoint::named("authority")),
         cache_enabled_(enable_cache) {}
 
   ResolveResult query(const Name& qname, RRType qtype);
+
+  // The wire transport cache misses go out on. Attach a fault plan here
+  // (transport().set_fault_plan) to make this resolver's upstream queries
+  // face injected SERVFAILs — the stub has no retry loop, so a faulted
+  // query surfaces directly (the old FaultInjectingService topology).
+  net::Transport& transport() noexcept { return transport_; }
+  const net::Transport& transport() const noexcept { return transport_; }
 
   // Typed conveniences, each following CNAME records present in the answer.
   std::vector<util::IpAddress> addresses(const Name& qname);  // A + AAAA
@@ -53,7 +64,10 @@ class StubResolver {
 
   DnsService& service_;
   const util::SimClock& clock_;
+  net::Transport transport_;
   util::IpAddress client_;
+  net::Endpoint self_;
+  net::Endpoint upstream_;
   bool cache_enabled_;
   std::map<std::pair<Name, RRType>, CacheEntry> cache_;
   std::size_t cache_hits_ = 0;

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "util/rng.hpp"
-
 namespace spfail::dns {
 
 thread_local AuthoritativeServer::LaneState AuthoritativeServer::lane_;
@@ -101,26 +99,6 @@ Message AuthoritativeServer::handle(const Message& query,
     }
   }
   return Message::make_response(query, Rcode::Refused);
-}
-
-Message FaultInjectingService::handle(const Message& query,
-                                      const util::IpAddress& client,
-                                      util::SimTime now) {
-  if (plan_.enabled() && query.questions.size() == 1) {
-    const Question& q = query.questions.front();
-    std::uint64_t& attempts =
-        attempt_counters_[std::make_pair(q.qname, q.qtype)];
-    const faults::FaultDecision fault = plan_.dns_decision(
-        util::fnv1a(q.qname.to_string()), static_cast<std::uint16_t>(q.qtype),
-        attempts++);
-    if (fault.kind == faults::FaultKind::DnsServfail ||
-        fault.kind == faults::FaultKind::DnsTimeout ||
-        fault.kind == faults::FaultKind::LameDelegation) {
-      ++injected_;
-      return Message::make_response(query, Rcode::ServFail);
-    }
-  }
-  return upstream_.handle(query, client, now);
 }
 
 }  // namespace spfail::dns

@@ -17,7 +17,6 @@
 #include "dns/message.hpp"
 #include "dns/query_log.hpp"
 #include "dns/zone.hpp"
-#include "faults/fault.hpp"
 
 namespace spfail::dns {
 
@@ -86,31 +85,6 @@ class AuthoritativeServer : public DnsService {
   std::vector<Zone> zones_;
   std::vector<std::pair<Name, DynamicResponder>> responders_;
   mutable QueryLog log_;
-};
-
-// DnsService decorator that answers SERVFAIL for fault-plan-selected query
-// attempts before they reach the wrapped service. Keeps a per-(qname,qtype)
-// attempt counter, so a client that retries a faulted query draws a fresh
-// decision — the building block for fault-injected single-threaded test and
-// bench topologies (stub resolvers have no retry loop of their own; the
-// mutable counter map makes this decorator single-thread only, unlike the
-// pure FaultPlan it consults).
-class FaultInjectingService : public DnsService {
- public:
-  // `upstream` must outlive the decorator; `plan` is copied.
-  FaultInjectingService(DnsService& upstream, faults::FaultPlan plan)
-      : upstream_(upstream), plan_(std::move(plan)) {}
-
-  Message handle(const Message& query, const util::IpAddress& client,
-                 util::SimTime now) override;
-
-  std::size_t injected() const noexcept { return injected_; }
-
- private:
-  DnsService& upstream_;
-  faults::FaultPlan plan_;
-  std::size_t injected_ = 0;
-  std::map<std::pair<Name, RRType>, std::uint64_t> attempt_counters_;
 };
 
 }  // namespace spfail::dns

@@ -51,6 +51,11 @@ struct FaultDecision {
   bool fails_probe() const noexcept {
     return kind == FaultKind::SmtpTempfail || kind == FaultKind::ConnectionDrop;
   }
+  // A DNS-path fault: eats the query on the wire, surfaces as SERVFAIL.
+  bool is_dns_fault() const noexcept {
+    return kind == FaultKind::DnsServfail || kind == FaultKind::DnsTimeout ||
+           kind == FaultKind::LameDelegation;
+  }
 };
 
 struct FaultConfig {

@@ -1,6 +1,7 @@
 #include "longitudinal/study.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -157,6 +158,7 @@ StudyReport Study::run() {
   campaign_config.pool = &pool;
   campaign_config.faults = config_.faults;
   campaign_config.retry = config_.retry;
+  campaign_config.trace = config_.trace;
   scan::Campaign campaign(campaign_config, fleet_.dns(), fleet_.clock(),
                           fleet_);
   report.initial = campaign.run(fleet_.targets());
@@ -283,6 +285,7 @@ StudyReport Study::run() {
     std::vector<dns::QueryLog> logs(shard_count);
     std::vector<util::SimTime> advances(shard_count, 0);
     std::vector<faults::DegradationReport> degs(shard_count);
+    std::vector<net::WireTrace> traces(shard_count);
     pool.parallel_for_shards(
         jobs.size(),
         [&](std::size_t shard, std::size_t begin, std::size_t end) {
@@ -291,8 +294,13 @@ StudyReport Study::run() {
                                                      logs[shard]);
           scan::ProberConfig prober_config;
           prober_config.responder = fleet_.responder();
-          scan::Prober prober(prober_config, fleet_.dns(), fleet_.clock());
+          net::Transport transport(fleet_.clock());
+          scan::Prober prober(prober_config, fleet_.dns(), transport);
           for (std::size_t i = begin; i < end; ++i) {
+            std::optional<net::WireTrace::Lane> lane;
+            if (config_.trace != nullptr) {
+              lane.emplace(traces[shard], jobs[i].slot, fleet_.clock());
+            }
             results[i] = observe_address(prober, jobs[i].address,
                                          jobs[i].kind, labels, suite,
                                          jobs[i].slot, fault_round,
@@ -307,6 +315,10 @@ StudyReport Study::run() {
       fleet_.dns().query_log().splice(std::move(log));
     }
     for (const auto& deg : degs) report.degradation.merge(deg);
+    if (config_.trace != nullptr) {
+      // Shard order is job — i.e. master — order, the serial sequence.
+      for (auto& trace : traces) config_.trace->splice(std::move(trace));
+    }
   };
 
   std::vector<ObserveJob> jobs;

@@ -12,6 +12,7 @@
 #include "longitudinal/inference.hpp"
 #include "longitudinal/notification.hpp"
 #include "longitudinal/patch_model.hpp"
+#include "net/wire_trace.hpp"
 #include "population/fleet.hpp"
 #include "scan/campaign.hpp"
 
@@ -45,6 +46,12 @@ struct StudyConfig {
   // paper's 8-minute backoff).
   faults::FaultConfig faults;
   faults::RetryConfig retry;
+
+  // Structured wire capture for the whole study (initial campaign, every
+  // longitudinal batch, the snapshot), appended in execution order. Each
+  // observation records under its stable label-slot lane id, so the trace is
+  // bit-identical at any thread count. Not owned; null = off.
+  net::WireTrace* trace = nullptr;
 };
 
 // Which domain set a series or total refers to.

@@ -1,0 +1,92 @@
+#include "net/frame.hpp"
+
+#include <cstdio>
+
+namespace spfail::net {
+
+std::string to_string(Direction direction) {
+  return direction == Direction::ClientToServer ? "c2s" : "s2c";
+}
+
+std::string to_string(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::SmtpCommand:
+      return "smtp-cmd";
+    case FrameKind::SmtpReply:
+      return "smtp-reply";
+    case FrameKind::DnsQuery:
+      return "dns-query";
+    case FrameKind::DnsResponse:
+      return "dns-reply";
+  }
+  return "?";
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Frame& frame) {
+  std::string out = "{\"t\":" + std::to_string(frame.time) +
+                    ",\"lane\":" + std::to_string(frame.lane) + ",\"src\":\"" +
+                    json_escape(frame.src) + "\",\"dst\":\"" +
+                    json_escape(frame.dst) + "\",\"dir\":\"" +
+                    to_string(frame.direction) + "\",\"kind\":\"" +
+                    to_string(frame.kind) + "\"";
+  switch (frame.kind) {
+    case FrameKind::SmtpCommand:
+      if (!frame.verb.empty()) {
+        out += ",\"verb\":\"" + json_escape(frame.verb) + "\"";
+      }
+      out += ",\"text\":\"" + json_escape(frame.text) + "\"";
+      break;
+    case FrameKind::SmtpReply:
+      out += ",\"code\":" + std::to_string(frame.code);
+      out += ",\"text\":\"" + json_escape(frame.text) + "\"";
+      break;
+    case FrameKind::DnsQuery:
+      out += ",\"qname\":\"" + json_escape(frame.qname) + "\",\"qtype\":\"" +
+             json_escape(frame.qtype) + "\"";
+      break;
+    case FrameKind::DnsResponse:
+      out += ",\"qname\":\"" + json_escape(frame.qname) + "\",\"qtype\":\"" +
+             json_escape(frame.qtype) + "\",\"rcode\":\"" +
+             json_escape(frame.rcode) +
+             "\",\"answers\":" + std::to_string(frame.answers);
+      break;
+  }
+  if (frame.injected) out += ",\"injected\":true";
+  out += "}";
+  return out;
+}
+
+}  // namespace spfail::net

@@ -1,0 +1,87 @@
+// Typed wire frames for the simulated network (DESIGN.md §10).
+//
+// Every SMTP dialog line and every DNS request/response that crosses the
+// simulated wire is one Frame: who sent it, in which direction, at what
+// (lane-relative) simulated time, and the protocol payload in structured
+// form. Frames serialise to JSONL for `spfail_scan --trace` and feed
+// net::TraceStats; smtp::Client transcripts are the same frames, so the
+// dialog is recorded once, in one shape, for every consumer.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/clock.hpp"
+#include "util/ip.hpp"
+
+namespace spfail::net {
+
+// One side of a simulated connection. The label is what the trace prints:
+// an IP address for hosts, a role name ("authority", "upstream") for
+// services that have no address in the simulation.
+struct Endpoint {
+  std::string label;
+
+  static Endpoint ip(const util::IpAddress& address) {
+    return Endpoint{address.to_string()};
+  }
+  static Endpoint named(std::string name) { return Endpoint{std::move(name)}; }
+};
+
+enum class Direction {
+  ClientToServer,  // command / query
+  ServerToClient,  // reply / response
+};
+
+std::string to_string(Direction direction);
+
+enum class FrameKind {
+  SmtpCommand,
+  SmtpReply,
+  DnsQuery,
+  DnsResponse,
+};
+
+std::string to_string(FrameKind kind);
+
+struct Frame {
+  // Simulated time. Inside a WireTrace::Lane this is relative to the lane's
+  // anchor (so traces are bit-identical at any thread count: absolute lane
+  // clocks differ across shardings, per-test dialogs do not); transcript
+  // mirrors record absolute clock time.
+  util::SimTime time = 0;
+  // Deterministic work-lane id (the master-order label slot of the test that
+  // produced the frame) — NOT the worker shard index, which depends on the
+  // thread count. 0 outside any lane.
+  std::uint64_t lane = 0;
+  std::string src;
+  std::string dst;
+  Direction direction = Direction::ClientToServer;
+  FrameKind kind = FrameKind::SmtpCommand;
+
+  // SMTP payload (SmtpCommand / SmtpReply).
+  std::string verb;  // command verb ("MAIL", "RCPT", ...); empty for payload
+  int code = 0;      // reply code (SmtpReply)
+  std::string text;  // full command line or reply line
+
+  // DNS payload (DnsQuery / DnsResponse).
+  std::string qname;
+  std::string qtype;
+  std::string rcode;        // DnsResponse only
+  std::size_t answers = 0;  // DnsResponse only
+
+  // True when the fault layer synthesised this frame (injected tempfail,
+  // drop, or SERVFAIL) instead of the peer producing it.
+  bool injected = false;
+};
+
+// One JSON object (no trailing newline). Key order is fixed so traces are
+// byte-comparable: t, lane, src, dst, dir, kind, then the kind's payload,
+// then "injected" when set.
+std::string to_json(const Frame& frame);
+
+// Minimal JSON string escaping for frame fields.
+std::string json_escape(std::string_view text);
+
+}  // namespace spfail::net

@@ -1,0 +1,40 @@
+#include "net/trace_stats.hpp"
+
+#include <set>
+#include <unordered_set>
+
+namespace spfail::net {
+
+TraceStats TraceStats::from(const WireTrace& trace) {
+  TraceStats stats;
+  std::unordered_set<std::uint64_t> lanes;
+  std::set<std::string> endpoints;
+  for (const Frame& frame : trace.frames()) {
+    ++stats.frames;
+    lanes.insert(frame.lane);
+    endpoints.insert(frame.src);
+    endpoints.insert(frame.dst);
+    if (frame.injected) ++stats.injected;
+    switch (frame.kind) {
+      case FrameKind::SmtpCommand:
+        ++stats.smtp_commands;
+        if (!frame.verb.empty()) ++stats.smtp_verbs[frame.verb];
+        break;
+      case FrameKind::SmtpReply:
+        ++stats.smtp_replies;
+        break;
+      case FrameKind::DnsQuery:
+        ++stats.dns_queries;
+        break;
+      case FrameKind::DnsResponse:
+        ++stats.dns_responses;
+        ++stats.dns_rcodes[frame.rcode];
+        break;
+    }
+  }
+  stats.lanes = lanes.size();
+  stats.endpoints = endpoints.size();
+  return stats;
+}
+
+}  // namespace spfail::net

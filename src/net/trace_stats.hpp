@@ -1,0 +1,31 @@
+// Summary statistics over a WireTrace — the numbers behind the
+// `spfail_scan --trace` summary table (rendered by report::trace_summary).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "net/wire_trace.hpp"
+
+namespace spfail::net {
+
+struct TraceStats {
+  std::size_t frames = 0;
+  std::size_t smtp_commands = 0;
+  std::size_t smtp_replies = 0;
+  std::size_t dns_queries = 0;
+  std::size_t dns_responses = 0;
+  std::size_t injected = 0;  // fault-synthesised frames
+  std::size_t lanes = 0;     // distinct work-lane ids
+  std::size_t endpoints = 0; // distinct endpoint labels (src or dst)
+
+  // Per-verb SMTP command counts (payload lines, which carry no verb, are
+  // counted in smtp_commands only) and per-rcode DNS response counts.
+  std::map<std::string, std::size_t> smtp_verbs;
+  std::map<std::string, std::size_t> dns_rcodes;
+
+  static TraceStats from(const WireTrace& trace);
+};
+
+}  // namespace spfail::net

@@ -637,4 +637,32 @@ util::TextTable degradation_table(const faults::DegradationReport& report) {
   return report.to_table();
 }
 
+util::TextTable trace_summary(const net::TraceStats& stats) {
+  TextTable table({"Wire trace", "Count"}, {Align::Left, Align::Right});
+  const auto count = [](std::size_t n) {
+    return with_commas(static_cast<long long>(n));
+  };
+  table.add_row({"Frames", count(stats.frames)});
+  table.add_row({"SMTP commands", count(stats.smtp_commands)});
+  table.add_row({"SMTP replies", count(stats.smtp_replies)});
+  table.add_row({"DNS queries", count(stats.dns_queries)});
+  table.add_row({"DNS responses", count(stats.dns_responses)});
+  table.add_row({"Injected (faults)", count(stats.injected)});
+  table.add_row({"Work lanes", count(stats.lanes)});
+  table.add_row({"Endpoints", count(stats.endpoints)});
+  if (!stats.smtp_verbs.empty()) {
+    table.add_rule();
+    for (const auto& [verb, n] : stats.smtp_verbs) {
+      table.add_row({"SMTP " + verb, count(n)});
+    }
+  }
+  if (!stats.dns_rcodes.empty()) {
+    table.add_rule();
+    for (const auto& [rcode, n] : stats.dns_rcodes) {
+      table.add_row({"DNS " + rcode, count(n)});
+    }
+  }
+  return table;
+}
+
 }  // namespace spfail::report

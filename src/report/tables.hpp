@@ -9,6 +9,7 @@
 #include <string>
 
 #include "longitudinal/study.hpp"
+#include "net/trace_stats.hpp"
 #include "population/fleet.hpp"
 #include "util/table.hpp"
 
@@ -80,5 +81,9 @@ std::vector<double> vulnerability_series(const population::Fleet& fleet,
 // Graceful-degradation summary for a fault-injected run (campaign- or
 // study-wide): injected fault mix, retry/re-queue recovery, conclusive rate.
 util::TextTable degradation_table(const faults::DegradationReport& report);
+
+// `spfail_scan --trace` summary: frame counts by kind, the SMTP verb and DNS
+// rcode mixes, distinct lanes/endpoints, and the injected-frame share.
+util::TextTable trace_summary(const net::TraceStats& stats);
 
 }  // namespace spfail::report

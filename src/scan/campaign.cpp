@@ -191,11 +191,19 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
     pool = &*owned_pool;
   }
 
+  const bool tracing = config_.trace != nullptr;
+
   struct ShardResult {
     std::vector<AddressOutcome> outcomes;  // in address order for the slice
     dns::QueryLog log;
     util::SimTime advance = 0;
     faults::DegradationReport deg;
+    // Per-wave wire captures: frames for this slice's tests, each recorded
+    // under the test's master-order lane id (2i NoMsg / 2i+1 BlankMsg) with
+    // probe-relative timestamps, so the merged trace never depends on the
+    // shard layout.
+    net::WireTrace wave1;
+    net::WireTrace wave2;
   };
   std::vector<ShardResult> shards(pool->shard_count(order.size()));
 
@@ -206,7 +214,8 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
     out.outcomes.reserve(end - begin);
     util::SimClock::Lane clock_lane(clock_);
     dns::AuthoritativeServer::LogLane log_lane(server_, out.log);
-    Prober prober(config_.prober, server_, clock_);  // one per shard, reused
+    net::Transport transport(clock_);
+    Prober prober(config_.prober, server_, transport);  // one per shard, reused
 
     // Wave 1: NoMsg over the slice.
     std::vector<std::size_t> want_blankmsg;
@@ -223,11 +232,14 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
         continue;
       }
 
+      std::optional<net::WireTrace::Lane> lane;
+      if (tracing) lane.emplace(out.wave1, 2 * i, clock_);
       const dns::Name mail_from =
           labels_.indexed_mail_from(2 * i, report.suite_label);
       const ProbeResult nomsg =
           probe_with_retry(prober, *host, recipient_domain, mail_from,
                            TestKind::NoMsg, outcome, out.deg);
+      lane.reset();
       outcome.nomsg = nomsg;
 
       switch (nomsg.status) {
@@ -266,11 +278,14 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
       mta::MailHost* host = registry_.find_host(outcome.address);
       if (host == nullptr) continue;
 
+      std::optional<net::WireTrace::Lane> lane;
+      if (tracing) lane.emplace(out.wave2, 2 * i + 1, clock_);
       const dns::Name mail_from =
           labels_.indexed_mail_from(2 * i + 1, report.suite_label);
       const ProbeResult blankmsg =
           probe_with_retry(prober, *host, order[i]->second, mail_from,
                            TestKind::BlankMsg, outcome, out.deg);
+      lane.reset();
       outcome.blankmsg = blankmsg;
 
       if (blankmsg.status == ProbeStatus::SpfMeasured) {
@@ -300,6 +315,13 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
     }
   }
   clock_.advance_by(total_advance);
+
+  // Canonical trace order is wave-major, then master (address) order within
+  // the wave — exactly the sequence a single-threaded run records.
+  if (tracing) {
+    for (auto& shard : shards) config_.trace->splice(std::move(shard.wave1));
+    for (auto& shard : shards) config_.trace->splice(std::move(shard.wave2));
+  }
 
   // 3b. Circuit breaker + inconclusive re-queue wave (fault layer only).
   //
@@ -350,6 +372,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
         util::SimTime advance = 0;
         faults::DegradationReport deg;
         std::size_t recovered = 0;
+        net::WireTrace trace;
       };
       std::vector<RequeueShard> rq_shards(pool->shard_count(requeue.size()));
       pool->parallel_for_shards(requeue.size(), [&](std::size_t shard,
@@ -358,7 +381,8 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
         RequeueShard& out = rq_shards[shard];
         util::SimClock::Lane clock_lane(clock_);
         dns::AuthoritativeServer::LogLane log_lane(server_, out.log);
-        Prober prober(config_.prober, server_, clock_);
+        net::Transport transport(clock_);
+        Prober prober(config_.prober, server_, transport);
         for (std::size_t j = begin; j < end; ++j) {
           const std::size_t i = requeue[j];
           const auto& [address, recipient_domain] = *order[i];
@@ -371,11 +395,14 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
           const TestKind pending = *outcome.pending_transient();
           if (pending == TestKind::NoMsg) {
             clock_.advance_by(per_test_advance);
+            std::optional<net::WireTrace::Lane> lane;
+            if (tracing) lane.emplace(out.trace, 2 * i, clock_);
             const dns::Name mail_from =
                 labels_.indexed_mail_from(2 * i, report.suite_label);
             const ProbeResult nomsg =
                 probe_with_retry(prober, *host, recipient_domain, mail_from,
                                  TestKind::NoMsg, outcome, out.deg);
+            lane.reset();
             outcome.nomsg = nomsg;
             switch (nomsg.status) {
               case ProbeStatus::ConnectionRefused:
@@ -406,11 +433,14 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
                 outcome.nomsg->failing_code == 550));
           if (want_blank) {
             clock_.advance_by(per_test_advance);
+            std::optional<net::WireTrace::Lane> lane;
+            if (tracing) lane.emplace(out.trace, 2 * i + 1, clock_);
             const dns::Name mail_from =
                 labels_.indexed_mail_from(2 * i + 1, report.suite_label);
             const ProbeResult blankmsg =
                 probe_with_retry(prober, *host, recipient_domain, mail_from,
                                  TestKind::BlankMsg, outcome, out.deg);
+            lane.reset();
             outcome.blankmsg = blankmsg;
             if (blankmsg.status == ProbeStatus::SpfMeasured) {
               outcome.verdict = AddressVerdict::Measured;
@@ -432,6 +462,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
         server_.query_log().splice(std::move(shard.log));
         report.degradation.merge(shard.deg);
         report.degradation.requeue_recovered += shard.recovered;
+        if (tracing) config_.trace->splice(std::move(shard.trace));
       }
       clock_.advance_by(rq_advance);
       report.degradation.requeued += requeue.size();

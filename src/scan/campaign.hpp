@@ -22,6 +22,7 @@
 #include "faults/degradation.hpp"
 #include "faults/fault.hpp"
 #include "faults/retry.hpp"
+#include "net/wire_trace.hpp"
 #include "scan/prober.hpp"
 #include "util/thread_pool.hpp"
 
@@ -114,6 +115,12 @@ struct CampaignConfig {
   // (1 + max_greylist_retries attempts, flat greylist_backoff, no jitter),
   // which keeps a rate-0 run byte-identical to the legacy retry loop.
   faults::RetryConfig retry;
+
+  // Structured wire capture (DESIGN.md §10): when set, every SMTP and DNS
+  // frame the campaign's probes exchange is recorded here, spliced at merge
+  // time in wave-major master (address) order — the JSONL written from the
+  // trace is bit-identical at any thread count. Not owned; null = off.
+  net::WireTrace* trace = nullptr;
 
   // Circuit breaker over provider groups (IPv4 /24): a group whose wave
   // results left at least `breaker_min_transient` addresses transient, and

@@ -49,27 +49,26 @@ ProbeResult Prober::probe(mta::MailHost& host,
     return result;
   }
 
-  // Each SMTP exchange costs a little simulated time.
-  const auto step = [&] { clock_.advance_by(1); };
+  // The transport owns dialog timing (per-frame cost), fault application
+  // (tempfails/drops fire at their stage inside the channel; a latency
+  // spike is charged at connection setup) and wire-frame capture.
+  net::SmtpChannel channel =
+      transport_.open(*session, net::Endpoint::ip(config_.scanner_address),
+                      net::Endpoint::ip(host.address()), fault);
 
-  // A latency spike stretches the dialog but changes nothing else.
-  if (fault.kind == faults::FaultKind::LatencySpike) {
-    clock_.advance_by(fault.latency);
-  }
-
-  // Injected network failures preempt the host at the chosen stage: the
-  // command is charged (step) but never reaches the MTA.
-  const auto inject_here = [&](faults::SmtpStage stage) {
-    if (!fault.fails_probe() || fault.stage != stage) return false;
-    step();
-    if (fault.kind == faults::FaultKind::SmtpTempfail) {
-      result.failing_code = fault.smtp_code;
-      result.status = ProbeStatus::TempFailed;
-    } else {
-      session->force_close();
+  // An exchange the channel's fault preempted ends the dialog: the failure
+  // is the network's, not the host's.
+  const auto faulted = [&](const smtp::Reply& reply) {
+    if (channel.dropped()) {
       result.status = ProbeStatus::Dropped;
+      return true;
     }
-    return true;
+    if (channel.last_injected()) {
+      result.failing_code = reply.code;
+      result.status = ProbeStatus::TempFailed;
+      return true;
+    }
+    return false;
   };
 
   const auto finish_with_log_verdict = [&](bool dialog_ok, int code) {
@@ -98,26 +97,23 @@ ProbeResult Prober::probe(mta::MailHost& host,
   };
 
   // --- HELO ---
-  if (inject_here(faults::SmtpStage::Helo)) return result;
-  step();
-  const smtp::Reply banner = session->greeting();
+  const smtp::Reply banner = channel.greeting();
+  if (faulted(banner)) return result;
   if (!banner.positive()) {
     finish_with_log_verdict(false, banner.code);
     return result;
   }
-  step();
-  const smtp::Reply hello = session->respond("EHLO " + config_.helo_identity);
+  const smtp::Reply hello = channel.send("EHLO " + config_.helo_identity);
   if (!hello.positive()) {
     finish_with_log_verdict(false, hello.code);
     return result;
   }
 
   // --- MAIL FROM (this is where the unique domain goes) ---
-  if (inject_here(faults::SmtpStage::MailFrom)) return result;
-  step();
   const std::string mail_from = std::string(kUsernameLadder[0]) + "@" +
                                 mail_from_domain.to_string();
-  const smtp::Reply mail = session->respond("MAIL FROM:<" + mail_from + ">");
+  const smtp::Reply mail = channel.send("MAIL FROM:<" + mail_from + ">");
+  if (faulted(mail)) return result;
   if (mail.code == 451) {
     result.status = ProbeStatus::Greylisted;
     return result;
@@ -137,13 +133,12 @@ ProbeResult Prober::probe(mta::MailHost& host,
   }
 
   // --- RCPT TO: walk the username ladder until one is accepted ---
-  if (inject_here(faults::SmtpStage::RcptTo)) return result;
   bool rcpt_accepted = false;
   int last_code = 0;
   for (const std::string_view username : kUsernameLadder) {
-    step();
-    const smtp::Reply rcpt = session->respond(
+    const smtp::Reply rcpt = channel.send(
         "RCPT TO:<" + std::string(username) + "@" + recipient_domain + ">");
+    if (faulted(rcpt)) return result;
     last_code = rcpt.code;
     if (rcpt.positive()) {
       rcpt_accepted = true;
@@ -159,7 +154,7 @@ ProbeResult Prober::probe(mta::MailHost& host,
       result.status = ProbeStatus::TempFailed;
       return result;
     }
-    if (rcpt.code == 421 || session->closed()) {
+    if (rcpt.code == 421 || channel.closed()) {
       finish_with_log_verdict(false, rcpt.code);
       return result;
     }
@@ -170,9 +165,8 @@ ProbeResult Prober::probe(mta::MailHost& host,
   }
 
   // --- DATA ---
-  if (inject_here(faults::SmtpStage::Data)) return result;
-  step();
-  const smtp::Reply data = session->respond("DATA");
+  const smtp::Reply data = channel.send("DATA");
+  if (faulted(data)) return result;
   if (!data.intermediate()) {
     finish_with_log_verdict(false, data.code);
     return result;
@@ -189,10 +183,8 @@ ProbeResult Prober::probe(mta::MailHost& host,
   // empty message (no headers, no subject, no body). A rejection of the
   // blank message is still an SMTP failure for funnel accounting (though
   // any SPF queries already issued decide the verdict first).
-  step();
-  const smtp::Reply accepted = session->respond(".");
-  step();
-  session->respond("QUIT");
+  const smtp::Reply accepted = channel.send(".");
+  channel.send("QUIT");
   finish_with_log_verdict(accepted.positive(), accepted.code);
   return result;
 }

@@ -21,6 +21,7 @@
 #include "dns/server.hpp"
 #include "faults/fault.hpp"
 #include "mta/host.hpp"
+#include "net/transport.hpp"
 #include "scan/labels.hpp"
 #include "scan/test_responder.hpp"
 #include "spfvuln/fingerprint.hpp"
@@ -84,16 +85,18 @@ struct ProberConfig {
 class Prober {
  public:
   // `server` is the authoritative server whose query log we read;
-  // `clock` is the shared simulation clock (advanced slightly per probe).
+  // `transport` carries the SMTP dialog (charging the per-frame time cost,
+  // applying fault decisions, and recording wire frames).
   Prober(ProberConfig config, dns::AuthoritativeServer& server,
-         util::SimClock& clock)
-      : config_(std::move(config)), server_(server), clock_(clock) {}
+         net::Transport& transport)
+      : config_(std::move(config)), server_(server), transport_(transport) {}
 
   // Run one test. `target_recipient_domain` is the mail domain under test
   // (the RCPT TO domain); `mail_from_domain` is the unique test domain.
-  // `fault` is a resolved fault-plan decision for this attempt: tempfails
-  // and drops preempt the host at the chosen stage (the failure is the
-  // network's, not the host's), latency spikes stretch the dialog.
+  // `fault` is a resolved fault-plan decision for this attempt, handed to
+  // the transport: tempfails and drops preempt the host at the chosen stage
+  // (the failure is the network's, not the host's), latency spikes stretch
+  // the dialog.
   ProbeResult probe(mta::MailHost& host, const std::string& recipient_domain,
                     const dns::Name& mail_from_domain, TestKind kind,
                     const faults::FaultDecision& fault = {});
@@ -101,7 +104,7 @@ class Prober {
  private:
   ProberConfig config_;
   dns::AuthoritativeServer& server_;
-  util::SimClock& clock_;
+  net::Transport& transport_;
 };
 
 }  // namespace spfail::scan

@@ -7,31 +7,19 @@ namespace spfail::smtp {
 
 std::string DeliveryResult::transcript_text() const {
   std::string out;
-  for (const auto& line : transcript) {
-    out += line.direction == TranscriptLine::Direction::ClientToServer ? "C: "
-                                                                       : "S: ";
-    out += line.text;
+  for (const auto& frame : transcript) {
+    out += frame.direction == net::Direction::ClientToServer ? "C: " : "S: ";
+    out += frame.text;
     out.push_back('\n');
   }
   return out;
 }
 
-DeliveryResult Client::deliver(ServerSession& session,
-                               const std::string& mail_from,
-                               const std::vector<std::string>& recipients,
-                               const mail::Message& message) {
+DeliveryResult Client::run_dialog(net::SmtpChannel& channel,
+                                  const std::string& mail_from,
+                                  const std::vector<std::string>& recipients,
+                                  const mail::Message& message) {
   DeliveryResult result;
-
-  const auto say = [&](const std::string& line) -> Reply {
-    result.transcript.push_back(
-        {TranscriptLine::Direction::ClientToServer, line});
-    const Reply reply = session.respond(line);
-    if (reply.code != kNoReplyCode) {
-      result.transcript.push_back(
-          {TranscriptLine::Direction::ServerToClient, reply.line()});
-    }
-    return reply;
-  };
   const auto fail_with = [&](const Reply& reply) {
     result.accepted = false;
     result.final_code = reply.code;
@@ -39,27 +27,25 @@ DeliveryResult Client::deliver(ServerSession& session,
     return result;
   };
 
-  const Reply banner = session.greeting();
-  result.transcript.push_back(
-      {TranscriptLine::Direction::ServerToClient, banner.line()});
+  const Reply banner = channel.greeting();
   if (!banner.positive()) return fail_with(banner);
 
-  const Reply hello = say("EHLO " + helo_identity_);
+  const Reply hello = channel.send("EHLO " + helo_identity_);
   if (!hello.positive()) return fail_with(hello);
 
-  const Reply mail = say("MAIL FROM:<" + mail_from + ">");
+  const Reply mail = channel.send("MAIL FROM:<" + mail_from + ">");
   if (!mail.positive()) return fail_with(mail);
 
   bool any_recipient = false;
   Reply last_rcpt = replies::ok();
   for (const auto& recipient : recipients) {
-    last_rcpt = say("RCPT TO:<" + recipient + ">");
+    last_rcpt = channel.send("RCPT TO:<" + recipient + ">");
     any_recipient |= last_rcpt.positive();
-    if (last_rcpt.code == 421 || session.closed()) return fail_with(last_rcpt);
+    if (last_rcpt.code == 421 || channel.closed()) return fail_with(last_rcpt);
   }
   if (!any_recipient) return fail_with(last_rcpt);
 
-  const Reply data = say("DATA");
+  const Reply data = channel.send("DATA");
   if (!data.intermediate()) return fail_with(data);
 
   // Transmit the message with dot-stuffing, line by line.
@@ -67,15 +53,38 @@ DeliveryResult Client::deliver(ServerSession& session,
     std::string line = raw_line;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (!line.empty() && line.front() == '.') line.insert(line.begin(), '.');
-    say(line);
+    channel.send(line);
   }
-  const Reply accepted = say(".");
-  say("QUIT");
+  const Reply accepted = channel.send(".");
+  channel.send("QUIT");
 
   result.accepted = accepted.positive();
   result.final_code = accepted.code;
   result.final_text = accepted.text;
   return result;
+}
+
+DeliveryResult Client::deliver(net::SmtpChannel& channel,
+                               const std::string& mail_from,
+                               const std::vector<std::string>& recipients,
+                               const mail::Message& message) {
+  net::WireTrace transcript;
+  channel.set_mirror(&transcript);
+  DeliveryResult result = run_dialog(channel, mail_from, recipients, message);
+  channel.set_mirror(nullptr);
+  result.transcript = transcript.release();
+  return result;
+}
+
+DeliveryResult Client::deliver(ServerSession& session,
+                               const std::string& mail_from,
+                               const std::vector<std::string>& recipients,
+                               const mail::Message& message) {
+  net::Transport transport;  // clockless: the dialog advances no time
+  net::SmtpChannel channel =
+      transport.open(session, net::Endpoint::named(helo_identity_),
+                     net::Endpoint::named("server"));
+  return deliver(channel, mail_from, recipients, message);
 }
 
 DeliveryResult Client::deliver_with_retry(

@@ -1,10 +1,11 @@
 // SMTP client session driver.
 //
-// Drives a ServerSession through a complete mail transaction, recording the
-// dialog as a transcript (every command and reply, in order). The scanner's
-// Prober drives sessions directly for fine-grained control; this client is
-// the general-purpose path used by examples, the notification sender, and
-// tests that want a whole message delivered in one call.
+// Drives an SMTP dialog through a complete mail transaction over a
+// net::SmtpChannel, recording the dialog as net::Frames (every command and
+// reply, in order — the same frame type the scanner's wire traces use). The
+// scanner's Prober drives channels directly for fine-grained control; this
+// client is the general-purpose path used by examples, the notification
+// sender, and tests that want a whole message delivered in one call.
 #pragma once
 
 #include <functional>
@@ -14,23 +15,18 @@
 
 #include "faults/retry.hpp"
 #include "mail/message.hpp"
+#include "net/transport.hpp"
 #include "smtp/server.hpp"
 #include "util/clock.hpp"
 
 namespace spfail::smtp {
-
-struct TranscriptLine {
-  enum class Direction { ClientToServer, ServerToClient };
-  Direction direction;
-  std::string text;
-};
 
 struct DeliveryResult {
   bool accepted = false;   // message accepted for delivery (250 after ".")
   int final_code = 0;      // the reply code that decided the outcome
   std::string final_text;
   int attempts = 1;        // transactions driven (retries included)
-  std::vector<TranscriptLine> transcript;  // of the final attempt
+  std::vector<net::Frame> transcript;  // wire frames of the final attempt
 
   // A 4xx outcome (or a failed connect, code 0): worth retrying.
   bool transient() const noexcept {
@@ -46,9 +42,18 @@ class Client {
   explicit Client(std::string helo_identity)
       : helo_identity_(std::move(helo_identity)) {}
 
-  // Run one full transaction: EHLO, MAIL FROM, RCPT TO (each recipient),
-  // DATA, message content with dot-stuffing, QUIT. Stops at the first
-  // non-recoverable rejection; `message` is rendered via mail::Message.
+  // Run one full transaction over `channel`: EHLO, MAIL FROM, RCPT TO (each
+  // recipient), DATA, message content with dot-stuffing, QUIT. Stops at the
+  // first non-recoverable rejection; `message` is rendered via
+  // mail::Message. The transcript is captured through the channel's frame
+  // mirror.
+  DeliveryResult deliver(net::SmtpChannel& channel,
+                         const std::string& mail_from,
+                         const std::vector<std::string>& recipients,
+                         const mail::Message& message);
+
+  // Convenience overload: wrap `session` in a clockless transport (a plain
+  // in-memory dialog — no simulated time passes, as before).
   DeliveryResult deliver(ServerSession& session, const std::string& mail_from,
                          const std::vector<std::string>& recipients,
                          const mail::Message& message);
@@ -69,6 +74,12 @@ class Client {
                                     util::SimClock& clock);
 
  private:
+  // The dialog itself, transcript-free (deliver() wraps it with the mirror).
+  DeliveryResult run_dialog(net::SmtpChannel& channel,
+                            const std::string& mail_from,
+                            const std::vector<std::string>& recipients,
+                            const mail::Message& message);
+
   std::string helo_identity_;
 };
 

@@ -1,7 +1,8 @@
 // Unit tests for the deterministic fault-injection layer: the pure FaultPlan,
 // the retry/backoff engine, degradation accounting, and the DNS-side
-// injection points (service decorator, caching forwarder, recursive
-// resolver). Suite names match the `asan_faults` ctest filter.
+// injection points (the transport's exchange_with_faults, the caching
+// forwarder, the recursive resolver). Suite names match the `asan_faults`
+// ctest filter.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -12,6 +13,7 @@
 #include "dns/recursive.hpp"
 #include "dns/server.hpp"
 #include "dns/zonefile.hpp"
+#include "net/transport.hpp"
 #include "faults/degradation.hpp"
 #include "faults/fault.hpp"
 #include "faults/retry.hpp"
@@ -365,37 +367,46 @@ $ORIGIN example.com.
   return server;
 }
 
-TEST(FaultDnsDecorator, InjectsServfailAndCountsAttempts) {
+TEST(FaultDnsTransport, InjectsServfailAndCountsAttempts) {
   AuthoritativeServer server;
   example_zone(server);
+  util::SimClock clock;
   faults::FaultConfig config;
   config.rate = 1.0;
-  FaultInjectingService service(server, faults::FaultPlan(config));
-  util::SimClock clock;
+  const faults::FaultPlan plan(config);
+  net::Transport transport(clock);
+  transport.set_fault_plan(&plan);
+  const IpAddress client = IpAddress::v4(9, 9, 9, 9);
+  const net::Endpoint src = net::Endpoint::ip(client);
+  const net::Endpoint dst = net::Endpoint::named("authority");
   const Message query =
       Message::make_query(7, Name::from_string("example.com"), RRType::TXT);
-  const Message first = service.handle(query, IpAddress::v4(9, 9, 9, 9),
-                                       clock.now());
+  const Message first =
+      transport.exchange_with_faults(server, query, src, dst, client);
   EXPECT_EQ(first.header.rcode, Rcode::ServFail);
   EXPECT_TRUE(first.answers.empty());
-  EXPECT_EQ(service.injected(), 1u);
+  EXPECT_EQ(transport.injected(), 1u);
+  // The fault ate the query on the wire: the authority never saw it.
+  EXPECT_TRUE(server.query_log().entries().empty());
   // The attempt counter advances per query, so retries draw fresh decisions
   // (at rate 1 they all fault, but they are distinct draws).
-  service.handle(query, IpAddress::v4(9, 9, 9, 9), clock.now());
-  EXPECT_EQ(service.injected(), 2u);
+  transport.exchange_with_faults(server, query, src, dst, client);
+  EXPECT_EQ(transport.injected(), 2u);
 }
 
-TEST(FaultDnsDecorator, DisabledPlanPassesThrough) {
+TEST(FaultDnsTransport, NoPlanPassesThrough) {
   AuthoritativeServer server;
   example_zone(server);
-  FaultInjectingService service(server, faults::FaultPlan());
   util::SimClock clock;
-  const Message response = service.handle(
-      Message::make_query(8, Name::from_string("example.com"), RRType::A),
-      IpAddress::v4(9, 9, 9, 9), clock.now());
+  net::Transport transport(clock);
+  const IpAddress client = IpAddress::v4(9, 9, 9, 9);
+  const Message response = transport.exchange_with_faults(
+      server, Message::make_query(8, Name::from_string("example.com"),
+                                  RRType::A),
+      net::Endpoint::ip(client), net::Endpoint::named("authority"), client);
   EXPECT_EQ(response.header.rcode, Rcode::NoError);
   ASSERT_EQ(response.answers.size(), 1u);
-  EXPECT_EQ(service.injected(), 0u);
+  EXPECT_EQ(transport.injected(), 0u);
 }
 
 TEST(FaultForwarder, FaultedAnswersAreNeverCached) {

@@ -26,7 +26,8 @@ class MtaDmarcFixture : public ::testing::Test {
   scan::ProbeResult probe(mta::MailHost& host, const char* id) {
     scan::ProberConfig config;
     config.responder = responder_;
-    scan::Prober prober(config, server_, clock_);
+    net::Transport transport(clock_);
+    scan::Prober prober(config, server_, transport);
     return prober.probe(host,
                         "target.example",
                         dns::Name::from_string(std::string(id) +

@@ -38,7 +38,8 @@ class ScanFixture : public ::testing::Test, public scan::HostRegistry {
 
   scan::ProbeResult probe(mta::MailHost& host, TestKind kind,
                           const std::string& id = "abc4z") {
-    scan::Prober prober(prober_config_, server_, clock_);
+    net::Transport transport(clock_);
+    scan::Prober prober(prober_config_, server_, transport);
     const dns::Name mail_from =
         dns::Name::from_string(id + ".t001.spf-test.dns-lab.org");
     return prober.probe(host, "target.example", mail_from, kind);

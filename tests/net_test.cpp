@@ -1,0 +1,349 @@
+// Unit coverage for the simulated-network transport layer (DESIGN.md §10):
+// frame serialisation, the WireTrace lane discipline, trace statistics, and
+// SmtpChannel's time/fault/capture semantics. Together with the
+// FaultDnsTransport and TraceDeterminism suites these form the `ubsan_net`
+// ctest entry — the newest integer/cast-heavy code paths.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "net/frame.hpp"
+#include "net/trace_stats.hpp"
+#include "net/transport.hpp"
+#include "net/wire_trace.hpp"
+#include "smtp/reply.hpp"
+#include "smtp/server.hpp"
+#include "util/clock.hpp"
+#include "util/ip.hpp"
+
+namespace spfail::net {
+namespace {
+
+// ------------------------------------------------------------- frames
+
+TEST(NetFrame, SmtpCommandJsonKeyOrder) {
+  Frame frame;
+  frame.time = 7;
+  frame.lane = 3;
+  frame.src = "198.51.100.10";
+  frame.dst = "11.0.0.1";
+  frame.direction = Direction::ClientToServer;
+  frame.kind = FrameKind::SmtpCommand;
+  frame.verb = "MAIL";
+  frame.text = "MAIL FROM:<a@b.com>";
+  EXPECT_EQ(to_json(frame),
+            R"({"t":7,"lane":3,"src":"198.51.100.10","dst":"11.0.0.1",)"
+            R"("dir":"c2s","kind":"smtp-cmd","verb":"MAIL",)"
+            R"("text":"MAIL FROM:<a@b.com>"})");
+}
+
+TEST(NetFrame, DataPayloadLineCarriesNoVerbKey) {
+  Frame frame;
+  frame.kind = FrameKind::SmtpCommand;
+  frame.text = "Subject: hello";
+  const std::string json = to_json(frame);
+  EXPECT_EQ(json.find("\"verb\""), std::string::npos);
+  EXPECT_NE(json.find("\"text\":\"Subject: hello\""), std::string::npos);
+}
+
+TEST(NetFrame, InjectedReplyJsonEndsWithMarker) {
+  Frame frame;
+  frame.direction = Direction::ServerToClient;
+  frame.kind = FrameKind::SmtpReply;
+  frame.code = 451;
+  frame.text = "451 transient network failure (injected)";
+  frame.injected = true;
+  const std::string json = to_json(frame);
+  EXPECT_NE(json.find("\"code\":451"), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 17), ",\"injected\":true}");
+}
+
+TEST(NetFrame, DnsResponseJsonCarriesRcodeAndAnswers) {
+  Frame frame;
+  frame.time = 2;
+  frame.lane = 9;
+  frame.src = "authority";
+  frame.dst = "10.0.0.53";
+  frame.direction = Direction::ServerToClient;
+  frame.kind = FrameKind::DnsResponse;
+  frame.qname = "example.com.";
+  frame.qtype = "TXT";
+  frame.rcode = "NOERROR";
+  frame.answers = 2;
+  EXPECT_EQ(to_json(frame),
+            R"({"t":2,"lane":9,"src":"authority","dst":"10.0.0.53",)"
+            R"("dir":"s2c","kind":"dns-reply","qname":"example.com.",)"
+            R"("qtype":"TXT","rcode":"NOERROR","answers":2})");
+}
+
+TEST(NetFrame, JsonEscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\r\nnext\ttab"), "line\\r\\nnext\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape("plain text"), "plain text");
+}
+
+TEST(NetFrame, DirectionAndKindNames) {
+  EXPECT_EQ(to_string(Direction::ClientToServer), "c2s");
+  EXPECT_EQ(to_string(Direction::ServerToClient), "s2c");
+  EXPECT_EQ(to_string(FrameKind::SmtpCommand), "smtp-cmd");
+  EXPECT_EQ(to_string(FrameKind::SmtpReply), "smtp-reply");
+  EXPECT_EQ(to_string(FrameKind::DnsQuery), "dns-query");
+  EXPECT_EQ(to_string(FrameKind::DnsResponse), "dns-reply");
+}
+
+// ------------------------------------------------------------- wire trace
+
+Frame reply_frame(int code) {
+  Frame frame;
+  frame.direction = Direction::ServerToClient;
+  frame.kind = FrameKind::SmtpReply;
+  frame.code = code;
+  return frame;
+}
+
+TEST(WireTrace, SpliceAppendsInOrderAndEmptiesTheSource) {
+  WireTrace a;
+  WireTrace b;
+  a.record(reply_frame(220));
+  b.record(reply_frame(250));
+  b.record(reply_frame(354));
+  a.splice(std::move(b));
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.frames()[0].code, 220);
+  EXPECT_EQ(a.frames()[1].code, 250);
+  EXPECT_EQ(a.frames()[2].code, 354);
+  EXPECT_TRUE(b.empty());
+
+  // Splicing into an empty trace steals the whole vector.
+  WireTrace c;
+  c.splice(std::move(a));
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(WireTrace, LaneStampsIdAndAnchorRelativeTime) {
+  util::SimClock clock;
+  clock.advance_by(100);
+  WireTrace sink;
+  EXPECT_FALSE(WireTrace::Lane::active());
+  {
+    WireTrace::Lane lane(sink, 42, clock);  // anchor = 100
+    EXPECT_TRUE(WireTrace::Lane::active());
+    WireTrace::Lane::record(reply_frame(220), /*now=*/105);
+  }
+  EXPECT_FALSE(WireTrace::Lane::active());
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.frames()[0].time, 5);
+  EXPECT_EQ(sink.frames()[0].lane, 42u);
+}
+
+TEST(WireTrace, RecordWithoutALaneIsDropped) {
+  WireTrace::Lane::record(reply_frame(220), 0);  // must not crash
+  EXPECT_FALSE(WireTrace::Lane::active());
+}
+
+TEST(WireTrace, SecondLaneOnTheSameThreadThrows) {
+  util::SimClock clock;
+  WireTrace sink;
+  WireTrace::Lane lane(sink, 0, clock);
+  EXPECT_THROW(WireTrace::Lane(sink, 1, clock), std::logic_error);
+}
+
+TEST(WireTrace, ReleaseMovesFramesOut) {
+  WireTrace trace;
+  trace.record(reply_frame(220));
+  const auto frames = trace.release();
+  EXPECT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(trace.empty());
+}
+
+// ------------------------------------------------------------- stats
+
+TEST(TraceStats, CountsKindsVerbsRcodesLanesAndEndpoints) {
+  WireTrace trace;
+  Frame cmd;
+  cmd.lane = 0;
+  cmd.src = "a";
+  cmd.dst = "b";
+  cmd.kind = FrameKind::SmtpCommand;
+  cmd.verb = "MAIL";
+  trace.record(cmd);
+  cmd.verb = "";  // a DATA payload line: counted as a command, not a verb
+  trace.record(cmd);
+  Frame reply = reply_frame(451);
+  reply.lane = 1;
+  reply.src = "b";
+  reply.dst = "a";
+  reply.injected = true;
+  trace.record(reply);
+  Frame query;
+  query.lane = 1;
+  query.src = "a";
+  query.dst = "authority";
+  query.kind = FrameKind::DnsQuery;
+  trace.record(query);
+  Frame response;
+  response.lane = 1;
+  response.src = "authority";
+  response.dst = "a";
+  response.kind = FrameKind::DnsResponse;
+  response.rcode = "SERVFAIL";
+  trace.record(response);
+
+  const TraceStats stats = TraceStats::from(trace);
+  EXPECT_EQ(stats.frames, 5u);
+  EXPECT_EQ(stats.smtp_commands, 2u);
+  EXPECT_EQ(stats.smtp_replies, 1u);
+  EXPECT_EQ(stats.dns_queries, 1u);
+  EXPECT_EQ(stats.dns_responses, 1u);
+  EXPECT_EQ(stats.injected, 1u);
+  EXPECT_EQ(stats.lanes, 2u);      // lane ids 0 and 1
+  EXPECT_EQ(stats.endpoints, 3u);  // "a", "b", "authority"
+  EXPECT_EQ(stats.smtp_verbs.at("MAIL"), 1u);
+  EXPECT_EQ(stats.smtp_verbs.size(), 1u);
+  EXPECT_EQ(stats.dns_rcodes.at("SERVFAIL"), 1u);
+}
+
+// ------------------------------------------------------------- channel
+
+// An MTA that accepts everything and records what actually reached it.
+class AcceptAllHandler : public smtp::SessionHandler {
+ public:
+  smtp::Reply on_hello(const std::string&, const util::IpAddress&) override {
+    return smtp::replies::ok();
+  }
+  smtp::Reply on_mail_from(const std::string& local, const std::string& domain,
+                           const util::IpAddress&) override {
+    sender = local + "@" + domain;
+    return smtp::replies::ok();
+  }
+  smtp::Reply on_rcpt_to(const std::string& recipient,
+                         const util::IpAddress&) override {
+    recipients.push_back(recipient);
+    return smtp::replies::ok();
+  }
+  smtp::Reply on_message(const smtp::Envelope&,
+                         const util::IpAddress&) override {
+    return smtp::replies::ok();
+  }
+
+  std::string sender;
+  std::vector<std::string> recipients;
+};
+
+class SmtpChannelFixture : public ::testing::Test {
+ protected:
+  SmtpChannelFixture()
+      : session_(handler_, client_ip_),
+        client_(Endpoint::ip(client_ip_)),
+        server_(Endpoint::named("mta")) {}
+
+  AcceptAllHandler handler_;
+  util::IpAddress client_ip_ = util::IpAddress::v4(198, 51, 100, 10);
+  smtp::ServerSession session_;
+  Endpoint client_;
+  Endpoint server_;
+};
+
+TEST_F(SmtpChannelFixture, ChargesOneSimulatedSecondPerFrame) {
+  util::SimClock clock;
+  Transport transport(clock);
+  SmtpChannel channel = transport.open(session_, client_, server_);
+  EXPECT_EQ(channel.greeting().code, 220);
+  EXPECT_EQ(clock.now(), 1);
+  EXPECT_EQ(channel.send("EHLO scanner.example").code, 250);
+  EXPECT_EQ(clock.now(), 2);
+}
+
+TEST_F(SmtpChannelFixture, TempfailFiresOnceAtItsStageAndNeverReachesTheMta) {
+  util::SimClock clock;
+  Transport transport(clock);
+  faults::FaultDecision fault;
+  fault.kind = faults::FaultKind::SmtpTempfail;
+  fault.stage = faults::SmtpStage::MailFrom;
+  fault.smtp_code = 451;
+  SmtpChannel channel = transport.open(session_, client_, server_, fault);
+  EXPECT_EQ(channel.greeting().code, 220);
+  EXPECT_EQ(channel.send("EHLO scanner.example").code, 250);
+  const smtp::Reply reply = channel.send("MAIL FROM:<a@b.com>");
+  EXPECT_EQ(reply.code, 451);
+  EXPECT_TRUE(channel.last_injected());
+  EXPECT_FALSE(channel.dropped());
+  EXPECT_TRUE(handler_.sender.empty());  // the command died on the wire
+  EXPECT_FALSE(channel.closed());
+}
+
+TEST_F(SmtpChannelFixture, ConnectionDropKillsTheSessionSilently) {
+  util::SimClock clock;
+  Transport transport(clock);
+  faults::FaultDecision fault;
+  fault.kind = faults::FaultKind::ConnectionDrop;
+  fault.stage = faults::SmtpStage::RcptTo;
+  SmtpChannel channel = transport.open(session_, client_, server_, fault);
+  EXPECT_EQ(channel.greeting().code, 220);
+  EXPECT_EQ(channel.send("EHLO scanner.example").code, 250);
+  EXPECT_EQ(channel.send("MAIL FROM:<a@b.com>").code, 250);
+  const smtp::Reply silence = channel.send("RCPT TO:<c@d.com>");
+  EXPECT_EQ(silence.code, smtp::kNoReplyCode);
+  EXPECT_TRUE(channel.dropped());
+  EXPECT_TRUE(channel.closed());
+  EXPECT_TRUE(handler_.recipients.empty());
+}
+
+TEST_F(SmtpChannelFixture, LatencySpikeIsChargedAtConnectionSetup) {
+  util::SimClock clock;
+  Transport transport(clock);
+  faults::FaultDecision fault;
+  fault.kind = faults::FaultKind::LatencySpike;
+  fault.latency = 9;
+  SmtpChannel channel = transport.open(session_, client_, server_, fault);
+  EXPECT_EQ(clock.now(), 9);  // charged before the first frame
+  EXPECT_EQ(channel.greeting().code, 220);  // dialog otherwise unaffected
+  EXPECT_EQ(clock.now(), 10);
+  EXPECT_FALSE(channel.dropped());
+  EXPECT_FALSE(channel.last_injected());
+}
+
+TEST_F(SmtpChannelFixture, MirrorRecordsAbsoluteTimeTranscript) {
+  util::SimClock clock;
+  clock.advance_by(50);
+  Transport transport(clock);
+  SmtpChannel channel = transport.open(session_, client_, server_);
+  WireTrace mirror;
+  channel.set_mirror(&mirror);
+  channel.greeting();
+  channel.send("EHLO scanner.example");
+  ASSERT_EQ(mirror.size(), 3u);  // banner, command, reply
+  EXPECT_EQ(mirror.frames()[0].kind, FrameKind::SmtpReply);
+  EXPECT_EQ(mirror.frames()[0].code, 220);
+  EXPECT_EQ(mirror.frames()[0].time, 51);  // absolute, not lane-relative
+  EXPECT_EQ(mirror.frames()[1].kind, FrameKind::SmtpCommand);
+  EXPECT_EQ(mirror.frames()[1].verb, "EHLO");
+  EXPECT_EQ(mirror.frames()[1].time, 52);
+  EXPECT_EQ(mirror.frames()[2].code, 250);
+  EXPECT_EQ(mirror.frames()[2].src, "mta");
+  EXPECT_EQ(mirror.frames()[2].dst, "198.51.100.10");
+}
+
+TEST_F(SmtpChannelFixture, ClocklessTransportIsFreeAndUntimed) {
+  Transport transport;
+  EXPECT_EQ(transport.config().smtp_frame_cost, 0);
+  EXPECT_EQ(transport.now(), 0);
+  SmtpChannel channel = transport.open(session_, client_, server_);
+  EXPECT_EQ(channel.greeting().code, 220);  // no clock to charge — no throw
+  EXPECT_EQ(channel.send("EHLO scanner.example").code, 250);
+}
+
+TEST_F(SmtpChannelFixture, ReadOnlyClockRejectsPositiveCharges) {
+  const util::SimClock clock;
+  Transport transport(clock);  // default config still charges 1 per frame
+  EXPECT_NO_THROW(transport.charge(0));
+  EXPECT_THROW(transport.charge(1), std::logic_error);
+  SmtpChannel channel = transport.open(session_, client_, server_);
+  EXPECT_THROW(channel.greeting(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace spfail::net

@@ -1,0 +1,150 @@
+// The transport layer's determinism contract (DESIGN.md §10):
+//
+//   * golden trace — with `--trace` attached, the JSONL frame stream is
+//     bit-identical at any thread count for a fixed seed (lane ids are
+//     master-order label slots and frame times are lane-anchor-relative, so
+//     no schedule detail can leak into the file);
+//   * fault equivalence — attaching a trace changes nothing about a scan's
+//     outcomes, even with the fault layer live;
+//   * trace-off byte identity — a scan without a trace renders the exact
+//     same report bytes as before the transport refactor (golden digest
+//     captured from the pre-refactor tree).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "net/trace_stats.hpp"
+#include "population/fleet.hpp"
+#include "report/tables.hpp"
+#include "scan/campaign.hpp"
+#include "util/rng.hpp"
+
+namespace spfail {
+namespace {
+
+struct TracedRun {
+  std::string jsonl;     // the --trace file's bytes
+  std::string outcomes;  // per-address verdicts + degradation counters
+  util::SimTime clock = 0;
+
+  friend bool operator==(const TracedRun&, const TracedRun&) = default;
+};
+
+TracedRun run_campaign(int threads, double fault_rate, bool tracing) {
+  population::FleetConfig fleet_config;
+  fleet_config.scale = 0.02;
+  fleet_config.seed = 7;
+  population::Fleet fleet(fleet_config);
+
+  net::WireTrace trace;
+  scan::CampaignConfig config;
+  config.prober.responder = fleet.responder();
+  config.threads = threads;
+  config.faults.rate = fault_rate;
+  config.faults.seed = 99;
+  if (tracing) config.trace = &trace;
+  scan::Campaign campaign(config, fleet.dns(), fleet.clock(), fleet);
+  const scan::CampaignReport report = campaign.run(fleet.targets());
+
+  TracedRun run;
+  std::ostringstream jsonl;
+  trace.write_jsonl(jsonl);
+  run.jsonl = jsonl.str();
+  std::ostringstream outcomes;
+  const faults::DegradationReport& deg = report.degradation;
+  outcomes << "pa=" << deg.probe_attempts << " r=" << deg.retries
+           << " inj=" << deg.injected_total() << " c=" << deg.conclusive
+           << "\n";
+  for (const scan::AddressOutcome* outcome : report.sorted_outcomes()) {
+    outcomes << outcome->address.to_string() << " v="
+             << to_string(outcome->verdict)
+             << " pa=" << outcome->probe_attempts << "\n";
+  }
+  run.outcomes = outcomes.str();
+  run.clock = fleet.clock().now();
+  return run;
+}
+
+TEST(TraceDeterminism, JsonlBitIdenticalAcrossThreadCounts) {
+  const TracedRun serial = run_campaign(1, /*fault_rate=*/0.0, true);
+  EXPECT_FALSE(serial.jsonl.empty());
+  EXPECT_EQ(serial.jsonl.find("\"injected\":true"), std::string::npos);
+  EXPECT_EQ(serial, run_campaign(4, 0.0, true));
+  EXPECT_EQ(serial, run_campaign(8, 0.0, true));
+}
+
+TEST(TraceDeterminism, FaultedJsonlBitIdenticalAcrossThreadCounts) {
+  const TracedRun serial = run_campaign(2, /*fault_rate=*/0.10, true);
+  // The fault layer's synthesised frames are part of the golden stream.
+  EXPECT_NE(serial.jsonl.find("\"injected\":true"), std::string::npos);
+  EXPECT_EQ(serial, run_campaign(7, 0.10, true));
+}
+
+TEST(TraceDeterminism, TracingDoesNotChangeOutcomes) {
+  const TracedRun off = run_campaign(3, /*fault_rate=*/0.10, false);
+  const TracedRun on = run_campaign(3, 0.10, true);
+  EXPECT_TRUE(off.jsonl.empty());
+  EXPECT_EQ(off.outcomes, on.outcomes);
+  EXPECT_EQ(off.clock, on.clock);
+  // And the trace really carried the whole dialog.
+  EXPECT_FALSE(on.jsonl.empty());
+}
+
+TEST(TraceDeterminism, TraceOffReportMatchesPreRefactorGoldenDigest) {
+  // fnv1a of table3+table4+table7 rendered from a scale-0.01, seed-2021
+  // initial campaign, captured on the tree before the transport layer
+  // existed. If this digest moves, the refactor changed observable scan
+  // behaviour — exactly what the trace-off byte-identity guarantee forbids.
+  constexpr std::uint64_t kGoldenDigest = 17914362873369745797ULL;
+  constexpr std::size_t kGoldenLength = 3130;
+  for (const int threads : {1, 8}) {
+    population::FleetConfig fleet_config;
+    fleet_config.scale = 0.01;
+    fleet_config.seed = 2021;
+    population::Fleet fleet(fleet_config);
+
+    scan::CampaignConfig config;
+    config.prober.responder = fleet.responder();
+    config.threads = threads;
+    scan::Campaign campaign(config, fleet.dns(), fleet.clock(), fleet);
+    const scan::CampaignReport report = campaign.run(fleet.targets());
+
+    const std::string text = report::table3_outcomes(fleet, report).render() +
+                             report::table4_breakdown(fleet, report).render() +
+                             report::table7_behaviors(fleet, report).render();
+    EXPECT_EQ(text.size(), kGoldenLength) << "threads=" << threads;
+    EXPECT_EQ(util::fnv1a(text), kGoldenDigest) << "threads=" << threads;
+  }
+}
+
+TEST(TraceDeterminism, SummaryStatsCoverEveryFrame) {
+  population::FleetConfig fleet_config;
+  fleet_config.scale = 0.02;
+  fleet_config.seed = 7;
+  population::Fleet fleet(fleet_config);
+
+  net::WireTrace trace;
+  scan::CampaignConfig config;
+  config.prober.responder = fleet.responder();
+  config.threads = 3;
+  config.faults.rate = 0.10;
+  config.faults.seed = 99;
+  config.trace = &trace;
+  scan::Campaign campaign(config, fleet.dns(), fleet.clock(), fleet);
+  campaign.run(fleet.targets());
+
+  const net::TraceStats stats = net::TraceStats::from(trace);
+  EXPECT_EQ(stats.frames, trace.size());
+  EXPECT_EQ(stats.frames, stats.smtp_commands + stats.smtp_replies +
+                              stats.dns_queries + stats.dns_responses);
+  EXPECT_EQ(stats.dns_queries, stats.dns_responses);  // every query answered
+  EXPECT_GT(stats.injected, 0u);  // the 10% fault layer left wire marks
+  EXPECT_GT(stats.lanes, 1u);     // one lane per probe label slot
+  EXPECT_GT(stats.smtp_verbs.count("MAIL"), 0u);
+  // The summary table renders without touching the campaign again.
+  EXPECT_FALSE(report::trace_summary(stats).render().empty());
+}
+
+}  // namespace
+}  // namespace spfail
