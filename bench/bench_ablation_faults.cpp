@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
                    std::to_string(deg.requeued),
                    std::to_string(deg.breaker_trips)});
   }
-  bench::maybe_export_csv("ablation_faults", table);
+  bench::maybe_export_csv(session, "ablation_faults", table);
 
   // What the injected faults look like on the wire: re-run the 10% row with
   // the structured trace attached and summarise the frame mix (the injected

@@ -10,7 +10,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -19,12 +18,13 @@
 
 namespace spfail::bench {
 
-// When SPFAIL_CSV_DIR is set, also write the reproduced table as CSV there
-// (named <slug>.csv) for external plotting.
-inline void maybe_export_csv(const char* slug, const util::TextTable& table) {
-  const char* dir = std::getenv("SPFAIL_CSV_DIR");
-  if (dir == nullptr || *dir == '\0') return;
-  const std::string path = std::string(dir) + "/" + slug + ".csv";
+// When the session's csv_dir is set (SPFAIL_CSV_DIR), also write the
+// reproduced table as CSV there (named <slug>.csv) for external plotting.
+inline void maybe_export_csv(report::ReproSession& session, const char* slug,
+                             const util::TextTable& table) {
+  const std::string& dir = session.config().csv_dir;
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + slug + ".csv";
   std::ofstream out(path);
   if (!out) {
     std::cerr << "warning: cannot write " << path << "\n";

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
       "SPFail, section 7.6", session);
   const auto table = spfail::report::fig5_conclusive_series(
       session.fleet(), session.study(), spfail::longitudinal::Cohort::All);
-  spfail::bench::maybe_export_csv("fig5_conclusive", table);
+  spfail::bench::maybe_export_csv(session, "fig5_conclusive", table);
   const auto& study = session.study();
   std::cout << table << "\n"
             << "Re-measurable inconclusive cohort (section 6.1): "

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       "SPFail, section 7.6", session);
   const auto table = spfail::report::fig67_vulnerability_series(
       session.fleet(), session.study(), /*window1_only=*/true);
-  spfail::bench::maybe_export_csv("fig6_window1", table);
+  spfail::bench::maybe_export_csv(session, "fig6_window1", table);
   std::cout << table
             << "\n"
             << "Paper: during window 1 about 10% of the 2-Week MX domains and "

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
       "SPFail, section 7.6", session);
   const auto table = spfail::report::fig67_vulnerability_series(
       session.fleet(), session.study(), /*window1_only=*/false);
-  spfail::bench::maybe_export_csv("fig7_full", table);
+  spfail::bench::maybe_export_csv(session, "fig7_full", table);
   std::cout << table << "\n";
   for (const auto cohort :
        {spfail::longitudinal::Cohort::All,

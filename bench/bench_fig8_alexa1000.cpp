@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   const auto table = spfail::report::fig5_conclusive_series(
       session.fleet(), session.study(),
       spfail::longitudinal::Cohort::Alexa1000);
-  spfail::bench::maybe_export_csv("fig8_alexa1000", table);
+  spfail::bench::maybe_export_csv(session, "fig8_alexa1000", table);
   std::cout << table
             << "\n"
             << "Paper: 28 Top-1000 domains (87 servers) initially vulnerable; "

@@ -3,22 +3,32 @@
 // the headline numbers the paper reports.
 //
 //   $ ./mini_campaign [scale]      (default scale 0.02)
-#include <cstdlib>
 #include <iostream>
 
-#include "longitudinal/study.hpp"
 #include "report/tables.hpp"
+#include "session/scan_session.hpp"
 #include "util/strings.hpp"
 
 using namespace spfail;
 
 int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+  session::ScanConfig config;
+  config.scale = 0.02;
+  if (argc > 1) {
+    // Reuse the strict flag parser so `./mini_campaign 0.05` and
+    // `./mini_campaign bogus` behave like spfail_scan's --scale.
+    const char* args[] = {argv[0], "--scale", argv[1]};
+    try {
+      config = session::ScanConfig::from_args(3, args, config);
+    } catch (const session::ScanConfigError& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
+  session::ScanSession session(config);
 
-  population::FleetConfig config;
-  config.scale = scale;
-  std::cout << "Synthesising a fleet at scale " << scale << "...\n";
-  population::Fleet fleet(config);
+  std::cout << "Synthesising a fleet at scale " << config.scale << "...\n";
+  population::Fleet& fleet = session.fleet();
   std::cout << "  " << util::with_commas(static_cast<long long>(
                            fleet.domains().size()))
             << " domains across "
@@ -28,8 +38,7 @@ int main(int argc, char** argv) {
   std::cout << "Running the initial measurement (2021-10-11), private\n"
                "notification (2021-11-15), public disclosure (2022-01-19),\n"
                "and 34 re-measurement rounds...\n\n";
-  longitudinal::Study study(fleet);
-  const longitudinal::StudyReport report = study.run();
+  const longitudinal::StudyReport& report = *session.study();
 
   std::cout << "Initially vulnerable: "
             << util::with_commas(static_cast<long long>(

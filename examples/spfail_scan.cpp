@@ -4,7 +4,9 @@
 //
 //   usage: spfail_scan [--scale S] [--seed N] [--threads N] [--initial-only]
 //                      [--fault-rate R] [--fault-seed N] [--csv DIR]
-//                      [--trace FILE]
+//                      [--trace FILE] [--checkpoint FILE]
+//                      [--checkpoint-every N] [--resume FILE]
+//                      [--halt-after-rounds N]
 //
 //   --scale S        population scale, 0 < S <= 1 (default 0.05)
 //   --seed N         fleet seed (default 2021)
@@ -23,14 +25,27 @@
 //                    JSONL into FILE (default: SPFAIL_TRACE when set) and
 //                    print a trace summary; the file is bit-identical at any
 //                    thread count for a fixed seed
-#include <cstdlib>
-#include <cstring>
+//   --checkpoint FILE
+//                    write a resumable snapshot of the study state to FILE
+//                    (atomically, at round boundaries)
+//   --checkpoint-every N
+//                    checkpoint every N-th round boundary (default 1)
+//   --resume FILE    restore a snapshot written by --checkpoint and continue;
+//                    the finished run's stdout, CSVs, and trace are
+//                    byte-identical to an uninterrupted run (seed, scale,
+//                    fault plan, and tracing must match the snapshot)
+//   --halt-after-rounds N
+//                    stop after N longitudinal rounds, writing a final
+//                    checkpoint (requires --checkpoint); exit code 0
+//
+// All flags reject malformed values (e.g. `--threads x`, `--fault-rate 2`)
+// with exit code 2 instead of silently coercing them.
 #include <fstream>
 #include <iostream>
 
-#include "longitudinal/study.hpp"
 #include "net/trace_stats.hpp"
 #include "report/tables.hpp"
+#include "session/scan_session.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 
@@ -62,136 +77,90 @@ void emit_trace(const std::string& path, const net::WireTrace& trace) {
             << "\n  wrote " << path << " (" << trace.size() << " frames)\n";
 }
 
-}  // namespace
+int run(const session::ScanConfig& config) {
+  session::ScanSession session(config);
 
-int main(int argc, char** argv) {
-  double scale = 0.05;
-  std::uint64_t seed = 2021;
-  int threads = 0;
-  bool initial_only = false;
-  std::string csv_dir;
-  faults::FaultConfig fault_config = faults::FaultConfig::from_env();
-  std::string trace_path;
-  if (const char* env = std::getenv("SPFAIL_TRACE")) trace_path = env;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "missing value for " << arg << "\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--scale") {
-      scale = std::atof(next());
-    } else if (arg == "--seed") {
-      seed = static_cast<std::uint64_t>(std::atoll(next()));
-    } else if (arg == "--threads") {
-      threads = std::atoi(next());
-    } else if (arg == "--initial-only") {
-      initial_only = true;
-    } else if (arg == "--fault-rate") {
-      fault_config.rate = std::atof(next());
-    } else if (arg == "--fault-seed") {
-      fault_config.seed = static_cast<std::uint64_t>(std::atoll(next()));
-    } else if (arg == "--csv") {
-      csv_dir = next();
-    } else if (arg == "--trace") {
-      trace_path = next();
-    } else {
-      std::cerr << "unknown option " << arg << "\n";
-      return 2;
-    }
-  }
-  if (scale <= 0.0 || scale > 1.0) {
-    std::cerr << "--scale must be in (0, 1]\n";
-    return 2;
-  }
-  if (fault_config.rate < 0.0 || fault_config.rate > 1.0) {
-    std::cerr << "--fault-rate must be in [0, 1]\n";
-    return 2;
-  }
-
-  std::cout << "[1/3] Synthesising the Internet (scale " << scale << ", seed "
-            << seed << ")...\n";
-  population::FleetConfig fleet_config;
-  fleet_config.scale = scale;
-  fleet_config.seed = seed;
-  population::Fleet fleet(fleet_config);
+  std::cout << "[1/3] Synthesising the Internet (scale " << config.scale
+            << ", seed " << config.fleet_seed << ")...\n";
+  population::Fleet& fleet = session.fleet();
   std::cout << "      "
             << util::with_commas(static_cast<long long>(fleet.domains().size()))
             << " domains, "
             << util::with_commas(static_cast<long long>(fleet.address_count()))
             << " MTA addresses\n";
 
-  net::WireTrace trace;
-
-  if (initial_only) {
+  if (config.initial_only) {
     std::cout << "[2/3] Initial measurement (2021-10-11)...\n";
-    scan::CampaignConfig campaign_config;
-    campaign_config.prober.responder = fleet.responder();
-    campaign_config.threads = threads;
-    campaign_config.faults = fault_config;
-    if (!trace_path.empty()) campaign_config.trace = &trace;
-    scan::Campaign campaign(campaign_config, fleet.dns(), fleet.clock(),
-                            fleet);
-    const scan::CampaignReport report = campaign.run(fleet.targets());
+    const scan::CampaignReport& report = session.initial();
     std::cout << "[3/3] Results\n\n"
               << report::table3_outcomes(fleet, report) << "\n"
               << report::table4_breakdown(fleet, report) << "\n"
               << report::table7_behaviors(fleet, report) << "\n";
-    if (fault_config.rate > 0.0) {
+    if (config.faults.rate > 0.0) {
       std::cout << report::degradation_table(report.degradation) << "\n";
     }
-    if (!trace_path.empty()) emit_trace(trace_path, trace);
+    if (session.trace()) emit_trace(config.trace_path, *session.trace());
     return 0;
   }
 
   std::cout << "[2/3] Four-month longitudinal study (initial scan, private\n"
                "      notification, public disclosure, 34 rounds, snapshot)"
                "...\n";
-  longitudinal::StudyConfig study_config;
-  study_config.threads = threads;
-  study_config.faults = fault_config;
-  if (!trace_path.empty()) study_config.trace = &trace;
-  longitudinal::Study study(fleet, study_config);
-  const longitudinal::StudyReport report = study.run();
+  const longitudinal::StudyReport* report = session.study();
+  if (report == nullptr) {
+    // Halted at a checkpoint (--halt-after-rounds); the stderr status line
+    // already named the snapshot to resume from.
+    return 0;
+  }
 
   std::cout << "[3/3] Results\n\n"
             << "Initial: "
             << util::with_commas(static_cast<long long>(
-                   report.initially_vulnerable_addresses))
+                   report->initially_vulnerable_addresses))
             << " vulnerable addresses hosting "
             << util::with_commas(static_cast<long long>(
-                   report.initially_vulnerable_domains))
+                   report->initially_vulnerable_domains))
             << " domains\n\n"
-            << report::fig2_final_distribution(fleet, report) << "\n"
-            << report::table5_tld_patch(fleet, report) << "\n"
-            << report::notification_funnel(report) << "\n";
+            << report::fig2_final_distribution(fleet, *report) << "\n"
+            << report::table5_tld_patch(fleet, *report) << "\n"
+            << report::notification_funnel(*report) << "\n";
 
   for (const auto cohort :
        {longitudinal::Cohort::All, longitudinal::Cohort::AlexaTopList,
         longitudinal::Cohort::TwoWeekMx}) {
-    const auto series = report::vulnerability_series(fleet, report, cohort);
+    const auto series = report::vulnerability_series(fleet, *report, cohort);
     std::cout << "  " << util::sparkline(series) << "  " << to_string(cohort)
               << " (% vulnerable over time)\n";
   }
 
-  if (fault_config.rate > 0.0) {
-    std::cout << "\n" << report::degradation_table(report.degradation) << "\n";
+  if (config.faults.rate > 0.0) {
+    std::cout << "\n" << report::degradation_table(report->degradation) << "\n";
   }
-  if (!trace_path.empty()) emit_trace(trace_path, trace);
+  if (session.trace()) emit_trace(config.trace_path, *session.trace());
 
-  if (!csv_dir.empty()) {
+  if (!config.csv_dir.empty()) {
     std::cout << "\nCSV export:\n";
-    write_csv(csv_dir, "fig5_conclusive",
-              report::fig5_conclusive_series(fleet, report,
+    write_csv(config.csv_dir, "fig5_conclusive",
+              report::fig5_conclusive_series(fleet, *report,
                                              longitudinal::Cohort::All));
-    write_csv(csv_dir, "fig7_full",
-              report::fig67_vulnerability_series(fleet, report, false));
-    write_csv(csv_dir, "fig2_final",
-              report::fig2_final_distribution(fleet, report));
+    write_csv(config.csv_dir, "fig7_full",
+              report::fig67_vulnerability_series(fleet, *report, false));
+    write_csv(config.csv_dir, "fig2_final",
+              report::fig2_final_distribution(fleet, *report));
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(session::ScanConfig::from_args(argc, argv));
+  } catch (const session::ScanConfigError& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  } catch (const snapshot::SnapshotError& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
 }

@@ -4,6 +4,18 @@
 
 namespace spfail::longitudinal {
 
+std::string to_string(Observation observation) {
+  switch (observation) {
+    case Observation::Vulnerable:
+      return "vulnerable";
+    case Observation::Compliant:
+      return "compliant";
+    case Observation::Inconclusive:
+      return "inconclusive";
+  }
+  return "unknown";
+}
+
 bool is_vulnerable(InferredState state) {
   return state == InferredState::MeasuredVulnerable ||
          state == InferredState::InferredVulnerable;

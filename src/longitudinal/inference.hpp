@@ -12,6 +12,7 @@
 
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "util/clock.hpp"
@@ -24,6 +25,8 @@ enum class Observation {
   Compliant,     // conclusive: RFC-compliant expansion seen (i.e. patched)
   Inconclusive,  // no conclusive result this round
 };
+
+std::string to_string(Observation observation);
 
 enum class InferredState {
   MeasuredVulnerable,

@@ -1,15 +1,12 @@
 #include "longitudinal/study.hpp"
 
 #include <algorithm>
-#include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <limits>
 #include <utility>
 #include <vector>
 
 #include "population/paper_constants.hpp"
 #include "scan/prober.hpp"
-#include "util/thread_pool.hpp"
 
 namespace spfail::longitudinal {
 
@@ -30,14 +27,6 @@ std::vector<util::SimTime> measurement_round_times() {
   return times;
 }
 
-// One scheduled observation; built serially (so the loss-process RNG draws
-// stay in sorted address order) and executed by whichever shard owns it.
-struct ObserveJob {
-  util::IpAddress address;
-  scan::TestKind kind = scan::TestKind::NoMsg;
-  std::uint64_t slot = 0;
-};
-
 }  // namespace
 
 std::string to_string(Cohort cohort) {
@@ -55,7 +44,11 @@ std::string to_string(Cohort cohort) {
 }
 
 Study::Study(population::Fleet& fleet, StudyConfig config)
-    : fleet_(fleet), config_(config), plan_(config_.faults) {
+    : fleet_(fleet),
+      config_(config),
+      plan_(config_.faults),
+      engine_(plan_, retry_, fleet.clock()),
+      round_times_(measurement_round_times()) {
   faults::RetryConfig retry = config_.retry;
   if (retry.max_attempts == 0) {
     // The legacy schedule: one greylist retry after the paper's backoff.
@@ -93,76 +86,84 @@ Observation Study::observe_address(scan::Prober& prober,
   mta::MailHost* host = fleet_.find_host(address);
   if (host == nullptr) return Observation::Inconclusive;
 
-  const std::string recipient = "host-" + address.to_string();
-  scan::ProbeResult result;
-  int attempts = 0;
-  bool saw_transient = false;
-  for (;;) {
-    const faults::FaultDecision fault = plan_.probe_decision(
-        address, fault_round, static_cast<std::uint64_t>(attempts));
-    switch (fault.kind) {
-      case faults::FaultKind::SmtpTempfail:
-        ++deg.injected_tempfail;
-        break;
-      case faults::FaultKind::ConnectionDrop:
-        ++deg.injected_drop;
-        break;
-      case faults::FaultKind::LatencySpike:
-        ++deg.injected_latency;
-        deg.latency_injected += fault.latency;
-        break;
-      default:
-        break;
-    }
-    const std::uint64_t label_slot = attempts == 0 ? slot : slot + 1;
-    ++attempts;
-    ++deg.probe_attempts;
-    result = prober.probe(*host, recipient,
-                          labels.indexed_mail_from(label_slot, suite), kind,
-                          fault);
-    if (!scan::is_transient(result.status)) break;
-    saw_transient = true;
-    if (!retry_.allow_retry(attempts, /*budget_left=*/1)) break;
-    ++deg.retries;
-    fleet_.clock().advance_by(retry_.backoff(address, fault_round,
-                                             attempts - 1));
-  }
-  if (saw_transient) {
+  scan::ProbeRequest request;
+  request.address = address;
+  request.recipient_domain = "host-" + address.to_string();
+  request.mail_from = labels.indexed_mail_from(slot, suite);
+  request.retry_mail_from = labels.indexed_mail_from(slot + 1, suite);
+  request.kind = kind;
+  request.fault_round = fault_round;
+  // A longitudinal observation is a fresh single test: attempts start at 0
+  // and the round-level budget never binds (max_attempts is the cap).
+  request.retry_budget = std::numeric_limits<int>::max();
+  const scan::ProbeOutcome outcome = engine_.run(prober, *host, request, deg);
+
+  if (outcome.saw_transient) {
     ++deg.transient_addresses;
-    if (scan::is_transient(result.status)) {
-      ++deg.exhausted;
-    } else {
+    if (outcome.settled()) {
       ++deg.recovered;
+    } else {
+      ++deg.exhausted;
     }
   }
-  if (result.status != scan::ProbeStatus::SpfMeasured) {
+  if (outcome.result.status != scan::ProbeStatus::SpfMeasured) {
     return Observation::Inconclusive;
   }
-  return result.vulnerable() ? Observation::Vulnerable
-                             : Observation::Compliant;
+  return outcome.result.vulnerable() ? Observation::Vulnerable
+                                     : Observation::Compliant;
 }
 
-StudyReport Study::run() {
-  StudyReport report;
-  util::Rng rng(config_.seed);
-  util::Rng loss_rng = rng.fork("loss");
+void Study::run_batch(State& state, const std::vector<ObserveJob>& jobs,
+                      std::vector<Observation>& results,
+                      const std::string& suite, std::uint64_t fault_round) {
+  // Each worker runs a private clock lane and a private query-log lane, plus
+  // one prober reused across its slice; the merge folds clock offsets (their
+  // sum is exactly the serial advance) and splices lane logs back in shard —
+  // i.e. address — order.
+  results.assign(jobs.size(), Observation::Inconclusive);
+  if (jobs.empty()) return;
+  util::ThreadPool& pool = *state.pool;
+  const scan::LabelAllocator& labels = *state.labels;
+  const std::size_t shard_count = pool.shard_count(jobs.size());
+  std::vector<dns::QueryLog> logs(shard_count);
+  std::vector<util::SimTime> advances(shard_count, 0);
+  std::vector<faults::DegradationReport> degs(shard_count);
+  std::vector<net::WireTrace> traces(shard_count);
+  pool.parallel_for_shards(
+      jobs.size(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        util::SimClock::Lane clock_lane(fleet_.clock());
+        dns::AuthoritativeServer::LogLane log_lane(fleet_.dns(), logs[shard]);
+        scan::ProberConfig prober_config;
+        prober_config.responder = fleet_.responder();
+        net::Transport transport(fleet_.clock());
+        scan::Prober prober(prober_config, fleet_.dns(), transport);
+        for (std::size_t i = begin; i < end; ++i) {
+          std::optional<net::WireTrace::Lane> lane;
+          if (config_.trace != nullptr) {
+            lane.emplace(traces[shard], jobs[i].slot, fleet_.clock());
+          }
+          results[i] =
+              observe_address(prober, jobs[i].address, jobs[i].kind, labels,
+                              suite, jobs[i].slot, fault_round, degs[shard]);
+        }
+        advances[shard] = clock_lane.offset();
+      });
+  util::SimTime total_advance = 0;
+  for (const util::SimTime advance : advances) total_advance += advance;
+  fleet_.clock().advance_by(total_advance);
+  for (auto& log : logs) {
+    fleet_.dns().query_log().splice(std::move(log));
+  }
+  for (const auto& deg : degs) state.report.degradation.merge(deg);
+  if (config_.trace != nullptr) {
+    // Shard order is job — i.e. master — order, the serial sequence.
+    for (auto& trace : traces) config_.trace->splice(std::move(trace));
+  }
+}
 
-  // One pool for the whole study: the initial campaign, every longitudinal
-  // round, and the snapshot all shard their work lists over it.
-  util::ThreadPool pool(config_.threads);
-
-  // ---- 1. Initial measurement (2021-10-11) ------------------------------
-  scan::CampaignConfig campaign_config;
-  campaign_config.prober.responder = fleet_.responder();
-  campaign_config.label_seed = config_.seed ^ 0xC0FFEE;
-  campaign_config.pool = &pool;
-  campaign_config.faults = config_.faults;
-  campaign_config.retry = config_.retry;
-  campaign_config.trace = config_.trace;
-  scan::Campaign campaign(campaign_config, fleet_.dns(), fleet_.clock(),
-                          fleet_);
-  report.initial = campaign.run(fleet_.targets());
-  report.degradation.merge(report.initial.degradation);
+void Study::derive_from_initial(State& state) {
+  StudyReport& report = state.report;
+  state.pool = std::make_unique<util::ThreadPool>(config_.threads);
 
   // Everything downstream walks outcomes in ascending address order: label
   // slots, RNG draw order, and report assembly all key off these positions.
@@ -170,40 +171,35 @@ StudyReport Study::run() {
       report.initial.sorted_outcomes();
 
   // Collect vulnerable addresses and the test kind that measured them.
-  std::unordered_map<util::IpAddress, scan::TestKind, util::IpAddressHash>
-      working_test;
-  working_test.reserve(initial_sorted.size());
-  std::vector<util::IpAddress> vulnerable_addresses;
+  state.working_test.reserve(initial_sorted.size());
   for (const scan::AddressOutcome* outcome : initial_sorted) {
     if (!outcome->vulnerable()) continue;
-    vulnerable_addresses.push_back(outcome->address);
+    state.vulnerable_addresses.push_back(outcome->address);
     const bool via_nomsg =
         outcome->nomsg.has_value() &&
         outcome->nomsg->status == scan::ProbeStatus::SpfMeasured;
-    working_test.emplace(outcome->address, via_nomsg
-                                               ? scan::TestKind::NoMsg
-                                               : scan::TestKind::BlankMsg);
+    state.working_test.emplace(outcome->address,
+                               via_nomsg ? scan::TestKind::NoMsg
+                                         : scan::TestKind::BlankMsg);
   }
-  report.initially_vulnerable_addresses = vulnerable_addresses.size();
+  report.initially_vulnerable_addresses = state.vulnerable_addresses.size();
 
   // §6.1's re-measurable inconclusives: SPF evaluation visibly started (the
   // policy fetch was logged) but no macro-expansion probe query concluded.
   // Each carries its stable label slot — master indices continue past the
   // vulnerable block so slots stay unique within a suite.
-  std::vector<std::pair<util::IpAddress, std::uint64_t>> remeasurable;
   for (const scan::AddressOutcome* outcome : initial_sorted) {
     if (outcome->vulnerable() || outcome->conclusive()) continue;
     const bool fetch_seen =
         (outcome->nomsg.has_value() && outcome->nomsg->saw_policy_fetch) ||
-        (outcome->blankmsg.has_value() &&
-         outcome->blankmsg->saw_policy_fetch);
+        (outcome->blankmsg.has_value() && outcome->blankmsg->saw_policy_fetch);
     if (fetch_seen) {
       const std::uint64_t master_index =
-          vulnerable_addresses.size() + remeasurable.size();
-      remeasurable.emplace_back(outcome->address, 2 * master_index);
+          state.vulnerable_addresses.size() + state.remeasurable.size();
+      state.remeasurable.emplace_back(outcome->address, 2 * master_index);
     }
   }
-  report.remeasurable_addresses = remeasurable.size();
+  report.remeasurable_addresses = state.remeasurable.size();
 
   // Vulnerable domains and their vulnerable addresses.
   const auto& domains = fleet_.domains();
@@ -225,22 +221,20 @@ StudyReport Study::run() {
   // ---- 2. Private-notification campaign (sent 2021-11-15) ---------------
   NotificationConfig notification_config = config_.notification;
   notification_config.seed = config_.seed ^ 0xA07E5;
-  NotificationCampaign notifications(notification_config);
+  state.notifications.emplace(notification_config);
   for (const auto& track : report.tracks) {
-    notifications.add_domain(domains[track.domain_index].name,
-                             track.vulnerable_addresses);
+    state.notifications->add_domain(domains[track.domain_index].name,
+                                    track.vulnerable_addresses);
   }
-  notifications.send();
-  report.notification = notifications.stats();
+  state.notifications->send();
+  report.notification = state.notifications->stats();
 
   // ---- 3. Patch decisions per vulnerable address -------------------------
   PatchModelConfig patch_config = config_.patch_model;
   patch_config.seed = config_.seed ^ 0x9A7C4;
   PatchModel patch_model(patch_config);
-  std::unordered_map<util::IpAddress, PatchDecision, util::IpAddressHash>
-      patch_plan;
-  patch_plan.reserve(vulnerable_addresses.size());
-  for (const auto& address : vulnerable_addresses) {
+  state.patch_plan.reserve(state.vulnerable_addresses.size());
+  for (const auto& address : state.vulnerable_addresses) {
     const auto& info = fleet_.info(address);
     const mta::MailHost* host = fleet_.find_host(address);
     PatchContext context;
@@ -253,176 +247,159 @@ StudyReport Study::run() {
         host != nullptr && !host->profile().rejects_spf_fail &&
         info.domains_hosted <= 3;  // the hand-built §7.5 provider farms
     context.notification_opened =
-        notifications.address_operator_opened(address);
-    patch_plan.emplace(address, patch_model.decide(context));
+        state.notifications->address_operator_opened(address);
+    state.patch_plan.emplace(address, patch_model.decide(context));
   }
 
-  // ---- 4. Longitudinal rounds --------------------------------------------
-  report.round_times = measurement_round_times();
-  scan::LabelAllocator labels(util::Rng(config_.seed ^ 0x1ABE15),
-                              fleet_.responder().base);
-
-  std::unordered_map<util::IpAddress, Series, util::IpAddressHash> series;
-  series.reserve(vulnerable_addresses.size());
-  for (const auto& address : vulnerable_addresses) {
-    series.emplace(address, Series(report.round_times.size(),
-                                   Observation::Inconclusive));
+  // ---- 4. Longitudinal-round scaffolding ---------------------------------
+  report.round_times = round_times_;
+  state.labels.emplace(util::Rng(config_.seed ^ 0x1ABE15),
+                       fleet_.responder().base);
+  state.series.reserve(state.vulnerable_addresses.size());
+  for (const auto& address : state.vulnerable_addresses) {
+    state.series.emplace(
+        address, Series(report.round_times.size(), Observation::Inconclusive));
   }
-  std::unordered_set<util::IpAddress, util::IpAddressHash> blacklisted;
-  blacklisted.reserve(vulnerable_addresses.size());
+  state.blacklisted.reserve(state.vulnerable_addresses.size());
+}
 
-  // Shard a job batch over the pool. Each worker runs a private clock lane
-  // and a private query-log lane, plus one prober reused across its slice;
-  // the merge folds clock offsets (their sum is exactly the serial advance)
-  // and splices lane logs back in shard — i.e. address — order.
-  const auto run_batch = [&](const std::vector<ObserveJob>& jobs,
-                             std::vector<Observation>& results,
-                             const std::string& suite,
-                             std::uint64_t fault_round) {
-    results.assign(jobs.size(), Observation::Inconclusive);
-    if (jobs.empty()) return;
-    const std::size_t shard_count = pool.shard_count(jobs.size());
-    std::vector<dns::QueryLog> logs(shard_count);
-    std::vector<util::SimTime> advances(shard_count, 0);
-    std::vector<faults::DegradationReport> degs(shard_count);
-    std::vector<net::WireTrace> traces(shard_count);
-    pool.parallel_for_shards(
-        jobs.size(),
-        [&](std::size_t shard, std::size_t begin, std::size_t end) {
-          util::SimClock::Lane clock_lane(fleet_.clock());
-          dns::AuthoritativeServer::LogLane log_lane(fleet_.dns(),
-                                                     logs[shard]);
-          scan::ProberConfig prober_config;
-          prober_config.responder = fleet_.responder();
-          net::Transport transport(fleet_.clock());
-          scan::Prober prober(prober_config, fleet_.dns(), transport);
-          for (std::size_t i = begin; i < end; ++i) {
-            std::optional<net::WireTrace::Lane> lane;
-            if (config_.trace != nullptr) {
-              lane.emplace(traces[shard], jobs[i].slot, fleet_.clock());
-            }
-            results[i] = observe_address(prober, jobs[i].address,
-                                         jobs[i].kind, labels, suite,
-                                         jobs[i].slot, fault_round,
-                                         degs[shard]);
-          }
-          advances[shard] = clock_lane.offset();
-        });
-    util::SimTime total_advance = 0;
-    for (const util::SimTime advance : advances) total_advance += advance;
-    fleet_.clock().advance_by(total_advance);
-    for (auto& log : logs) {
-      fleet_.dns().query_log().splice(std::move(log));
-    }
-    for (const auto& deg : degs) report.degradation.merge(deg);
-    if (config_.trace != nullptr) {
-      // Shard order is job — i.e. master — order, the serial sequence.
-      for (auto& trace : traces) config_.trace->splice(std::move(trace));
-    }
-  };
+Study::State Study::begin() {
+  State state;
+  util::Rng rng(config_.seed);
+  state.loss_rng = rng.fork("loss");
 
+  // ---- 1. Initial measurement (2021-10-11) ------------------------------
+  // One pool for the whole study: the initial campaign, every longitudinal
+  // round, and the snapshot all shard their work lists over it. The pool is
+  // created by derive_from_initial, so the campaign builds its own here —
+  // sharding does not affect any output.
+  scan::CampaignConfig campaign_config;
+  campaign_config.prober.responder = fleet_.responder();
+  campaign_config.label_seed = config_.seed ^ 0xC0FFEE;
+  campaign_config.threads = config_.threads;
+  campaign_config.faults = config_.faults;
+  campaign_config.retry = config_.retry;
+  campaign_config.trace = config_.trace;
+  scan::Campaign campaign(campaign_config, fleet_.dns(), fleet_.clock(),
+                          fleet_);
+  state.report.initial = campaign.run(fleet_.targets());
+  state.report.degradation.merge(state.report.initial.degradation);
+
+  derive_from_initial(state);
+  return state;
+}
+
+void Study::run_round(State& state) {
+  StudyReport& report = state.report;
+  const std::size_t round = state.next_round;
+  const util::SimTime round_time = report.round_times.at(round);
+  fleet_.clock().advance_to(round_time);
+  const std::string suite = state.labels->new_suite();
+  ++state.suites_issued;
+
+  const bool in_window1 = round_time <= paper::kMeasurementsPaused;
+
+  // Serial pre-pass in address order: patch events and the loss process
+  // draw here, so the RNG sequence is independent of sharding; survivors
+  // become this round's job list.
   std::vector<ObserveJob> jobs;
   std::vector<Observation> results;
-  for (std::size_t round = 0; round < report.round_times.size(); ++round) {
-    const util::SimTime round_time = report.round_times[round];
-    fleet_.clock().advance_to(round_time);
-    const std::string suite = labels.new_suite();
+  jobs.reserve(state.vulnerable_addresses.size());
+  for (std::size_t i = 0; i < state.vulnerable_addresses.size(); ++i) {
+    const util::IpAddress& address = state.vulnerable_addresses[i];
+    mta::MailHost* host = fleet_.find_host(address);
+    if (host == nullptr) continue;
 
-    const bool in_window1 = round_time <= paper::kMeasurementsPaused;
-
-    // Serial pre-pass in address order: patch events and the loss process
-    // draw here, so the RNG sequence is independent of sharding; survivors
-    // become this round's job list.
-    jobs.clear();
-    jobs.reserve(vulnerable_addresses.size());
-    for (std::size_t i = 0; i < vulnerable_addresses.size(); ++i) {
-      const util::IpAddress& address = vulnerable_addresses[i];
-      mta::MailHost* host = fleet_.find_host(address);
-      if (host == nullptr) continue;
-
-      // Patch events due by this round.
-      const PatchDecision& decision = patch_plan.at(address);
-      if (decision.will_patch && !host->is_patched() &&
-          decision.patch_time <= round_time) {
-        host->apply_patch();
-      }
-
-      // Loss process: permanent blacklisting plus transient failures. New
-      // blacklisting only hits still-vulnerable hosts — patched operators
-      // are the attentive ones, and the paper's patched curves stay smooth.
-      if (blacklisted.count(address) == 0 && !host->is_patched()) {
-        const auto& info = fleet_.info(address);
-        const bool high_profile =
-            info.best_rank != 0 && info.best_rank <= 1000;
-        const double rate = high_profile && in_window1
-                                ? config_.top1000_blacklist_rate
-                                : config_.blacklist_rate;
-        if (loss_rng.bernoulli(rate)) {
-          blacklisted.insert(address);
-          host->set_blacklisted(true);
-        }
-      }
-      if (blacklisted.count(address) > 0) continue;  // stays Inconclusive
-      if (loss_rng.bernoulli(config_.transient_failure_rate)) continue;
-
-      jobs.push_back(ObserveJob{address, working_test.at(address), 2 * i});
-    }
-    // Fault rounds: the initial campaign owns round 0; each longitudinal
-    // round salts the plan with 1 + its index (the two batches below cover
-    // disjoint address sets, so they can share the round key).
-    run_batch(jobs, results, suite, 1 + round);
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      series.at(jobs[j].address)[round] = results[j];
+    // Patch events due by this round.
+    const PatchDecision& decision = state.patch_plan.at(address);
+    if (decision.will_patch && !host->is_patched() &&
+        decision.patch_time <= round_time) {
+      host->apply_patch();
     }
 
-    // Re-measure the §6.1 inconclusive cohort until each address resolves.
-    jobs.clear();
-    jobs.reserve(remeasurable.size());
-    for (const auto& [address, slot] : remeasurable) {
-      jobs.push_back(ObserveJob{address, scan::TestKind::BlankMsg, slot});
-    }
-    run_batch(jobs, results, suite, 1 + round);
-    std::size_t kept = 0;
-    for (std::size_t j = 0; j < remeasurable.size(); ++j) {
-      if (results[j] == Observation::Vulnerable) {
-        ++report.remeasurable_resolved_vulnerable;
-      } else if (results[j] == Observation::Compliant) {
-        ++report.remeasurable_resolved_compliant;
-      } else {
-        remeasurable[kept++] = remeasurable[j];
+    // Loss process: permanent blacklisting plus transient failures. New
+    // blacklisting only hits still-vulnerable hosts — patched operators
+    // are the attentive ones, and the paper's patched curves stay smooth.
+    if (state.blacklisted.count(address) == 0 && !host->is_patched()) {
+      const auto& info = fleet_.info(address);
+      const bool high_profile = info.best_rank != 0 && info.best_rank <= 1000;
+      const double rate = high_profile && in_window1
+                              ? config_.top1000_blacklist_rate
+                              : config_.blacklist_rate;
+      if (state.loss_rng.bernoulli(rate)) {
+        state.blacklisted.insert(address);
+        host->set_blacklisted(true);
       }
     }
-    remeasurable.resize(kept);
+    if (state.blacklisted.count(address) > 0) continue;  // stays Inconclusive
+    if (state.loss_rng.bernoulli(config_.transient_failure_rate)) continue;
+
+    jobs.push_back(ObserveJob{address, state.working_test.at(address), 2 * i});
+  }
+  // Fault rounds: the initial campaign owns round 0; each longitudinal
+  // round salts the plan with 1 + its index (the two batches below cover
+  // disjoint address sets, so they can share the round key).
+  run_batch(state, jobs, results, suite, 1 + round);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    state.series.at(jobs[j].address)[round] = results[j];
   }
 
-  for (const auto& address : vulnerable_addresses) {
-    report.inference.set_series(address, std::move(series.at(address)));
+  // Re-measure the §6.1 inconclusive cohort until each address resolves.
+  jobs.clear();
+  jobs.reserve(state.remeasurable.size());
+  for (const auto& [address, slot] : state.remeasurable) {
+    jobs.push_back(ObserveJob{address, scan::TestKind::BlankMsg, slot});
+  }
+  run_batch(state, jobs, results, suite, 1 + round);
+  std::size_t kept = 0;
+  for (std::size_t j = 0; j < state.remeasurable.size(); ++j) {
+    if (results[j] == Observation::Vulnerable) {
+      ++report.remeasurable_resolved_vulnerable;
+    } else if (results[j] == Observation::Compliant) {
+      ++report.remeasurable_resolved_compliant;
+    } else {
+      state.remeasurable[kept++] = state.remeasurable[j];
+    }
+  }
+  state.remeasurable.resize(kept);
+
+  state.next_round = round + 1;
+}
+
+StudyReport Study::finish(State&& state) {
+  StudyReport& report = state.report;
+
+  for (const auto& address : state.vulnerable_addresses) {
+    report.inference.set_series(address, std::move(state.series.at(address)));
   }
 
   // ---- 5. Final snapshot with re-resolved addresses (§7.2) --------------
   fleet_.clock().advance_by(util::kHour);
-  const std::string snapshot_suite = labels.new_suite();
+  const std::string snapshot_suite = state.labels->new_suite();
+  ++state.suites_issued;
   std::unordered_map<util::IpAddress, Observation, util::IpAddressHash>
       snapshot;
-  snapshot.reserve(vulnerable_addresses.size());
-  jobs.clear();
-  jobs.reserve(vulnerable_addresses.size());
-  for (std::size_t i = 0; i < vulnerable_addresses.size(); ++i) {
-    const util::IpAddress& address = vulnerable_addresses[i];
+  snapshot.reserve(state.vulnerable_addresses.size());
+  std::vector<ObserveJob> jobs;
+  std::vector<Observation> results;
+  jobs.reserve(state.vulnerable_addresses.size());
+  for (std::size_t i = 0; i < state.vulnerable_addresses.size(); ++i) {
+    const util::IpAddress& address = state.vulnerable_addresses[i];
     mta::MailHost* host = fleet_.find_host(address);
     if (host == nullptr) {
       snapshot.emplace(address, Observation::Inconclusive);
       continue;
     }
     if (host->blacklisted() &&
-        loss_rng.bernoulli(config_.snapshot_recovery_rate)) {
+        state.loss_rng.bernoulli(config_.snapshot_recovery_rate)) {
       // The domain's MX re-resolved to a fresh front that has never seen the
       // scanner: measurement works again.
       host->set_blacklisted(false);
     }
-    jobs.push_back(ObserveJob{address, working_test.at(address), 2 * i});
+    jobs.push_back(ObserveJob{address, state.working_test.at(address), 2 * i});
   }
-  run_batch(jobs, results, snapshot_suite, 1 + report.round_times.size());
+  run_batch(state, jobs, results, snapshot_suite,
+            1 + report.round_times.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     snapshot.emplace(jobs[j].address, results[j]);
   }
@@ -467,10 +444,10 @@ StudyReport Study::run() {
   }
 
   // ---- 6. Notification funnel outcomes (§7.7) ---------------------------
-  for (const auto& group : notifications.groups()) {
+  for (const auto& group : state.notifications->groups()) {
     const auto patched_by = [&](util::SimTime deadline) {
       for (const auto& address : group.addresses) {
-        const auto& decision = patch_plan.at(address);
+        const auto& decision = state.patch_plan.at(address);
         if (!decision.will_patch || decision.patch_time > deadline) {
           return false;
         }
@@ -494,7 +471,206 @@ StudyReport Study::run() {
     }
   }
 
-  return report;
+  return std::move(state.report);
+}
+
+StudyReport Study::run() {
+  State state = begin();
+  while (rounds_remaining(state)) run_round(state);
+  return finish(std::move(state));
+}
+
+snapshot::SnapshotMeta Study::meta() const {
+  snapshot::SnapshotMeta meta;
+  meta.kind = snapshot::SnapshotKind::Study;
+  meta.fleet_seed = fleet_.config().seed;
+  meta.scale = fleet_.config().scale;
+  meta.study_seed = config_.seed;
+  meta.fault_seed = config_.faults.seed;
+  meta.fault_rate = config_.faults.rate;
+  meta.tracing = config_.trace != nullptr;
+  return meta;
+}
+
+snapshot::StudySnapshot Study::capture(const State& state) const {
+  snapshot::StudySnapshot snap;
+  snap.meta = meta();
+  snap.rounds_done = state.next_round;
+  snap.clock_now = fleet_.clock().now();
+  snap.loss_rng = state.loss_rng.state();
+  snap.suites_issued = state.suites_issued;
+  snap.initial = state.report.initial;
+  snap.degradation = state.report.degradation;
+  snap.remeasurable_resolved_vulnerable =
+      state.report.remeasurable_resolved_vulnerable;
+  snap.remeasurable_resolved_compliant =
+      state.report.remeasurable_resolved_compliant;
+  snap.remeasurable = state.remeasurable;
+  for (const auto& address : state.vulnerable_addresses) {
+    const mta::MailHost* host = fleet_.find_host(address);
+    if (state.blacklisted.count(address) > 0) {
+      snap.blacklisted.push_back(address);
+    }
+    if (host != nullptr && host->is_patched()) {
+      snap.patched.push_back(address);
+    }
+    const Series& series = state.series.at(address);
+    snap.series.emplace_back(series.begin(),
+                             series.begin() + static_cast<std::ptrdiff_t>(
+                                                  state.next_round));
+  }
+  // Hosts the continued run can still probe carry scanner-visible state of
+  // their own (greylist first-contact map, flaky-path RNG cursor); capture
+  // it so restore() can put the rebuilt hosts mid-conversation.
+  const auto capture_host = [&](const util::IpAddress& address) {
+    const mta::MailHost* host = fleet_.find_host(address);
+    if (host == nullptr) return;
+    snapshot::StudySnapshot::HostState hs;
+    hs.address = address;
+    hs.greylist_seen.assign(host->greylist_seen().begin(),
+                            host->greylist_seen().end());
+    hs.flaky_rng = host->flaky_rng_state();
+    snap.hosts.push_back(std::move(hs));
+  };
+  for (const auto& address : state.vulnerable_addresses) {
+    capture_host(address);
+  }
+  for (const auto& [address, slot] : state.remeasurable) {
+    capture_host(address);
+  }
+  if (config_.trace != nullptr) snap.trace = config_.trace->frames();
+  return snap;
+}
+
+Study::State Study::restore(const snapshot::StudySnapshot& snap) {
+  const snapshot::SnapshotMeta expected = meta();
+  const auto mismatch = [](const std::string& what, const std::string& got,
+                           const std::string& want) -> snapshot::SnapshotError {
+    return snapshot::SnapshotError("meta mismatch: snapshot " + what + " is " +
+                                   got + ", this run expects " + want);
+  };
+  if (snap.meta.kind != expected.kind) {
+    throw mismatch("kind", to_string(snap.meta.kind), to_string(expected.kind));
+  }
+  if (snap.meta.fleet_seed != expected.fleet_seed) {
+    throw mismatch("fleet seed", std::to_string(snap.meta.fleet_seed),
+                   std::to_string(expected.fleet_seed));
+  }
+  if (snap.meta.scale != expected.scale) {
+    throw mismatch("scale", std::to_string(snap.meta.scale),
+                   std::to_string(expected.scale));
+  }
+  if (snap.meta.study_seed != expected.study_seed) {
+    throw mismatch("study seed", std::to_string(snap.meta.study_seed),
+                   std::to_string(expected.study_seed));
+  }
+  if (snap.meta.fault_seed != expected.fault_seed) {
+    throw mismatch("fault seed", std::to_string(snap.meta.fault_seed),
+                   std::to_string(expected.fault_seed));
+  }
+  if (snap.meta.fault_rate != expected.fault_rate) {
+    throw mismatch("fault rate", std::to_string(snap.meta.fault_rate),
+                   std::to_string(expected.fault_rate));
+  }
+  if (snap.meta.tracing != expected.tracing) {
+    throw mismatch("tracing", snap.meta.tracing ? "on" : "off",
+                   expected.tracing ? "on" : "off");
+  }
+  if (snap.rounds_done > round_times_.size()) {
+    throw snapshot::SnapshotError(
+        "snapshot has " + std::to_string(snap.rounds_done) +
+        " completed rounds, the study only has " +
+        std::to_string(round_times_.size()));
+  }
+
+  State state;
+  state.report.initial = snap.initial;
+  derive_from_initial(state);
+
+  if (snap.series.size() != state.vulnerable_addresses.size()) {
+    throw snapshot::SnapshotError(
+        "snapshot carries " + std::to_string(snap.series.size()) +
+        " observation series for " +
+        std::to_string(state.vulnerable_addresses.size()) +
+        " vulnerable addresses");
+  }
+
+  // Loop-carried core, overwriting what derive_from_initial seeded fresh.
+  state.loss_rng.set_state(snap.loss_rng);
+  state.next_round = snap.rounds_done;
+  state.report.degradation = snap.degradation;
+  state.report.remeasurable_resolved_vulnerable =
+      snap.remeasurable_resolved_vulnerable;
+  state.report.remeasurable_resolved_compliant =
+      snap.remeasurable_resolved_compliant;
+  state.remeasurable = snap.remeasurable;
+
+  // Replay the label allocator to its serialised cursor: suite labels draw
+  // from a dedup-checked RNG stream, so position is reproduced by issuing
+  // (and discarding) the same number of suites.
+  for (std::uint64_t i = 0; i < snap.suites_issued; ++i) {
+    state.labels->new_suite();
+  }
+  state.suites_issued = snap.suites_issued;
+
+  for (std::size_t i = 0; i < state.vulnerable_addresses.size(); ++i) {
+    const util::IpAddress& address = state.vulnerable_addresses[i];
+    const auto& done = snap.series[i];
+    if (done.size() != snap.rounds_done) {
+      throw snapshot::SnapshotError(
+          "observation series for " + address.to_string() + " has " +
+          std::to_string(done.size()) + " rounds, header says " +
+          std::to_string(snap.rounds_done));
+    }
+    Series& series = state.series.at(address);
+    std::copy(done.begin(), done.end(), series.begin());
+  }
+
+  // Re-apply the host-side flags the completed rounds produced on the
+  // (freshly rebuilt, hence pristine) fleet.
+  for (const auto& address : snap.patched) {
+    mta::MailHost* host = fleet_.find_host(address);
+    if (host == nullptr) {
+      throw snapshot::SnapshotError("patched address " + address.to_string() +
+                                    " has no host in this fleet");
+    }
+    if (!host->is_patched()) host->apply_patch();
+  }
+  for (const auto& address : snap.blacklisted) {
+    mta::MailHost* host = fleet_.find_host(address);
+    if (host == nullptr) {
+      throw snapshot::SnapshotError("blacklisted address " +
+                                    address.to_string() +
+                                    " has no host in this fleet");
+    }
+    state.blacklisted.insert(address);
+    host->set_blacklisted(true);
+  }
+  for (const auto& hs : snap.hosts) {
+    mta::MailHost* host = fleet_.find_host(hs.address);
+    if (host == nullptr) {
+      throw snapshot::SnapshotError("captured host " + hs.address.to_string() +
+                                    " does not exist in this fleet");
+    }
+    host->set_greylist_seen(std::map<std::string, util::SimTime>(
+        hs.greylist_seen.begin(), hs.greylist_seen.end()));
+    host->set_flaky_rng_state(hs.flaky_rng);
+  }
+
+  if (fleet_.clock().now() > snap.clock_now) {
+    throw snapshot::SnapshotError(
+        "fleet clock is already past the snapshot time (the fleet must be "
+        "freshly constructed before restore)");
+  }
+  fleet_.clock().advance_to(snap.clock_now);
+
+  // The wire trace is part of the byte-identical output contract: reload the
+  // frames recorded up to the boundary so the resumed run appends to them.
+  if (config_.trace != nullptr) {
+    config_.trace->clear();
+    for (const auto& frame : snap.trace) config_.trace->record(frame);
+  }
+  return state;
 }
 
 StudyReport::DomainRoundCounts Study::domain_counts_at(

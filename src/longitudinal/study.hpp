@@ -4,9 +4,21 @@
 // campaign; per-address patch decisions; the measurement-loss (blacklisting)
 // process; two windows of every-2-days re-measurement; the §7.6 inference
 // pass; and the February 2022 snapshot with re-resolved addresses (§7.2).
+//
+// The run is decomposed at round boundaries so it can be checkpointed
+// (DESIGN.md §11): begin() performs everything up to the first longitudinal
+// round and returns the loop-carried State, run_round() executes one round,
+// finish() runs the snapshot and final roll-ups. run() is the classic
+// one-shot composition. capture()/restore() serialise State to/from a
+// snapshot::StudySnapshot; a restored run continues byte-identically.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "longitudinal/inference.hpp"
@@ -15,6 +27,9 @@
 #include "net/wire_trace.hpp"
 #include "population/fleet.hpp"
 #include "scan/campaign.hpp"
+#include "scan/probe_engine.hpp"
+#include "snapshot/snapshot.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spfail::longitudinal {
 
@@ -114,9 +129,64 @@ class Study {
  public:
   Study(population::Fleet& fleet, StudyConfig config = {});
 
+  // Everything the study loop carries between round boundaries. Built by
+  // begin() or restore(); advanced by run_round(); consumed by finish().
+  // The derived members (vulnerable set, notifications, patch plan, tracks)
+  // are pure functions of report.initial, so capture() serialises only the
+  // loop-carried core and restore() recomputes the rest.
+  struct State {
+    StudyReport report;
+    util::Rng loss_rng{0};
+    std::size_t next_round = 0;  // == completed longitudinal rounds
+
+    std::vector<util::IpAddress> vulnerable_addresses;  // ascending order
+    std::unordered_map<util::IpAddress, scan::TestKind, util::IpAddressHash>
+        working_test;
+    std::vector<std::pair<util::IpAddress, std::uint64_t>> remeasurable;
+    std::unordered_map<util::IpAddress, PatchDecision, util::IpAddressHash>
+        patch_plan;
+    std::optional<NotificationCampaign> notifications;
+    std::optional<scan::LabelAllocator> labels;
+    std::uint64_t suites_issued = 0;
+    std::unordered_map<util::IpAddress, Series, util::IpAddressHash> series;
+    std::unordered_set<util::IpAddress, util::IpAddressHash> blacklisted;
+    std::unique_ptr<util::ThreadPool> pool;
+  };
+
+  // Initial measurement + notification campaign + patch planning; leaves the
+  // state poised before longitudinal round 0.
+  State begin();
+
+  // Execute longitudinal round state.next_round (a round-time advance, the
+  // serial loss/patch pre-pass, the sharded vulnerable batch, and the §6.1
+  // re-measurable batch), then step the round counter.
+  void run_round(State& state);
+
+  std::size_t total_rounds() const { return round_times_.size(); }
+  bool rounds_remaining(const State& state) const {
+    return state.next_round < round_times_.size();
+  }
+
+  // The §7.2 snapshot, final classification, and notification-funnel
+  // roll-up; consumes the state.
+  StudyReport finish(State&& state);
+
   // Run everything; expensive. Idempotence is not supported — construct a
   // fresh Fleet and Study per run.
   StudyReport run();
+
+  // Serialise the loop-carried state at a round boundary. Legal after
+  // begin() and between run_round() calls — never after finish().
+  snapshot::StudySnapshot capture(const State& state) const;
+
+  // Rebuild a State from a snapshot taken by an identically configured run
+  // (same fleet seed/scale, study seed, fault plan, tracing). The fleet must
+  // be freshly constructed. Throws snapshot::SnapshotError on any
+  // configuration mismatch or inconsistency.
+  State restore(const snapshot::StudySnapshot& snap);
+
+  // The meta block capture() stamps and restore() verifies.
+  snapshot::SnapshotMeta meta() const;
 
   // --- post-run series helpers (valid on the returned report) ---
   static StudyReport::DomainRoundCounts domain_counts_at(
@@ -126,12 +196,19 @@ class Study {
   static bool in_cohort(const population::DomainRecord& domain, Cohort cohort);
 
  private:
+  struct ObserveJob {
+    util::IpAddress address;
+    scan::TestKind kind = scan::TestKind::NoMsg;
+    std::uint64_t slot = 0;
+  };
+
   // One longitudinal observation of `address`, run on the calling worker's
-  // prober. `slot` is the address's stable master index doubled: the first
-  // attempt uses label slot `slot`, every retry (greylist or injected fault)
-  // uses `slot + 1`, so labels never depend on execution order. `fault_round`
-  // salts the fault-plan key (1 + round index; the initial campaign owns
-  // round 0) and `deg` is the owning shard's degradation accumulator.
+  // prober via the shared ProbeEngine. `slot` is the address's stable master
+  // index doubled: the first attempt uses label slot `slot`, every retry
+  // (greylist or injected fault) uses `slot + 1`, so labels never depend on
+  // execution order. `fault_round` salts the fault-plan key (1 + round
+  // index; the initial campaign owns round 0) and `deg` is the owning
+  // shard's degradation accumulator.
   Observation observe_address(scan::Prober& prober,
                               const util::IpAddress& address,
                               scan::TestKind kind,
@@ -140,10 +217,24 @@ class Study {
                               std::uint64_t fault_round,
                               faults::DegradationReport& deg);
 
+  // Shard one job batch over the state's pool (per-worker clock, query-log,
+  // degradation, and trace lanes; deterministic merge).
+  void run_batch(State& state, const std::vector<ObserveJob>& jobs,
+                 std::vector<Observation>& results, const std::string& suite,
+                 std::uint64_t fault_round);
+
+  // Recompute everything derivable from state.report.initial: the
+  // vulnerable/working-test/re-measurable sets, domain tracks, notification
+  // campaign, patch plan, label allocator, series map, and worker pool.
+  // Shared by begin() and restore().
+  void derive_from_initial(State& state);
+
   population::Fleet& fleet_;
   StudyConfig config_;
   faults::FaultPlan plan_;
   faults::RetryPolicy retry_;
+  scan::ProbeEngine engine_;
+  std::vector<util::SimTime> round_times_;
 };
 
 }  // namespace spfail::longitudinal

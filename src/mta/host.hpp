@@ -11,6 +11,7 @@
 // lookups — exactly the observables of the paper's methodology.
 #pragma once
 
+#include <array>
 #include <map>
 #include <memory>
 #include <optional>
@@ -96,6 +97,24 @@ class MailHost : public smtp::SessionHandler {
   // (the paper's dominant cause of lost longitudinal measurements).
   void set_blacklisted(bool value) noexcept { blacklisted_ = value; }
   bool blacklisted() const noexcept { return blacklisted_; }
+
+  // Scanner-visible state a measurement leaves behind, exposed so a
+  // checkpoint can rebuild the host exactly: the greylist first-contact map
+  // and the flaky-path RNG cursor. Resolver cache entries need no such
+  // treatment — record TTLs (300 s) expire long before the next round
+  // (2 days), so the cache never carries across a checkpoint boundary.
+  const std::map<std::string, util::SimTime>& greylist_seen() const noexcept {
+    return greylist_seen_;
+  }
+  void set_greylist_seen(std::map<std::string, util::SimTime> seen) {
+    greylist_seen_ = std::move(seen);
+  }
+  std::array<std::uint64_t, 4> flaky_rng_state() const noexcept {
+    return flaky_rng_.state();
+  }
+  void set_flaky_rng_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    flaky_rng_.set_state(state);
+  }
 
   // True if any engine is the vulnerable libSPF2.
   bool runs_vulnerable_engine() const noexcept;

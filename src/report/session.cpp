@@ -1,62 +1,19 @@
 #include "report/session.hpp"
 
-#include <cstdlib>
-#include <sstream>
-
-#include "util/strings.hpp"
-
 namespace spfail::report {
 
-ReproSession::ReproSession(std::optional<double> scale) {
-  double resolved = 0.1;
+session::ScanConfig ReproSession::resolve(std::optional<double> scale) {
+  session::ScanConfig defaults;
+  defaults.scale = 0.1;
+  session::ScanConfig config = session::ScanConfig::from_env(defaults);
   if (scale.has_value()) {
-    resolved = *scale;
-  } else if (const char* env = std::getenv("SPFAIL_SCALE")) {
-    const double parsed = std::atof(env);
-    if (parsed > 0.0 && parsed <= 1.0) resolved = parsed;
+    config.scale = *scale;
+    config.validate();
   }
-  config_.scale = resolved;
+  return config;
 }
 
-population::Fleet& ReproSession::fleet() {
-  if (!fleet_) fleet_ = std::make_unique<population::Fleet>(config_);
-  return *fleet_;
-}
-
-const scan::CampaignReport& ReproSession::initial() {
-  if (!initial_.has_value()) {
-    scan::CampaignConfig campaign_config;
-    campaign_config.prober.responder = fleet().responder();
-    // SPFAIL_FAULT_SEED / SPFAIL_FAULT_RATE reach every bench through here;
-    // the default (rate 0) keeps all outputs byte-identical.
-    campaign_config.faults = faults::FaultConfig::from_env();
-    scan::Campaign campaign(campaign_config, fleet().dns(), fleet().clock(),
-                            fleet());
-    initial_ = campaign.run(fleet().targets());
-  }
-  return *initial_;
-}
-
-const longitudinal::StudyReport& ReproSession::study() {
-  if (!study_.has_value()) {
-    longitudinal::StudyConfig study_config;
-    study_config.faults = faults::FaultConfig::from_env();
-    longitudinal::Study study_runner(fleet(), study_config);
-    study_ = study_runner.run();
-    // The study ran its own initial campaign; expose it through initial().
-    initial_ = study_->initial;
-  }
-  return *study_;
-}
-
-std::string ReproSession::banner() {
-  std::ostringstream os;
-  os << "SPFail reproduction | scale=" << config_.scale
-     << " (set SPFAIL_SCALE=1 for the paper's full population) | domains="
-     << util::with_commas(static_cast<long long>(fleet().domains().size()))
-     << " addresses="
-     << util::with_commas(static_cast<long long>(fleet().address_count()));
-  return os.str();
-}
+ReproSession::ReproSession(std::optional<double> scale)
+    : session_(resolve(scale)) {}
 
 }  // namespace spfail::report

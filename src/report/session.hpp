@@ -1,18 +1,17 @@
 // Shared fixture for the bench harness.
 //
 // Each bench binary needs some subset of {fleet, initial campaign report,
-// full longitudinal study}; ReproSession builds them lazily and honours the
-// SPFAIL_SCALE environment variable (0 < scale <= 1; default 0.1) so the
+// full longitudinal study}; ReproSession builds them lazily. It is a thin
+// veneer over session::ScanSession with the bench defaults (scale 0.1,
+// every SPFAIL_* knob honoured via session::ScanConfig::from_env), so the
 // whole harness can be re-run at the paper's full scale with
-// `SPFAIL_SCALE=1`.
+// `SPFAIL_SCALE=1`. Malformed SPFAIL_* values abort with a clear error
+// instead of being silently coerced.
 #pragma once
 
-#include <memory>
 #include <optional>
 
-#include "longitudinal/study.hpp"
-#include "population/fleet.hpp"
-#include "scan/campaign.hpp"
+#include "session/scan_session.hpp"
 
 namespace spfail::report {
 
@@ -21,26 +20,28 @@ class ReproSession {
   // Scale resolution order: explicit argument > SPFAIL_SCALE env > 0.1.
   explicit ReproSession(std::optional<double> scale = std::nullopt);
 
-  double scale() const noexcept { return config_.scale; }
+  double scale() const noexcept { return session_.config().scale; }
+  const session::ScanConfig& config() const noexcept {
+    return session_.config();
+  }
 
-  population::Fleet& fleet();
+  population::Fleet& fleet() { return session_.fleet(); }
 
   // The 2021-10-11 initial measurement over the full fleet (cached).
-  const scan::CampaignReport& initial();
+  const scan::CampaignReport& initial() { return session_.initial(); }
 
   // The full longitudinal study (runs the initial measurement internally;
   // cached). Note: the study's campaign supersedes initial() — do not mix
   // the two on one session, use either initial() or study().
-  const longitudinal::StudyReport& study();
+  const longitudinal::StudyReport& study() { return *session_.study(); }
 
   // A short banner describing the session (scale, seed, population sizes).
-  std::string banner();
+  std::string banner() { return session_.banner(); }
 
  private:
-  population::FleetConfig config_;
-  std::unique_ptr<population::Fleet> fleet_;
-  std::optional<scan::CampaignReport> initial_;
-  std::optional<longitudinal::StudyReport> study_;
+  static session::ScanConfig resolve(std::optional<double> scale);
+
+  session::ScanSession session_;
 };
 
 }  // namespace spfail::report

@@ -99,50 +99,31 @@ Campaign::Campaign(CampaignConfig config, dns::AuthoritativeServer& server,
       registry_(registry),
       labels_(util::Rng(config_.label_seed), config_.prober.responder.base),
       plan_(config_.faults),
-      retry_(effective_retry(config_)) {}
+      retry_(effective_retry(config_)),
+      engine_(plan_, retry_, clock_) {}
 
-ProbeResult Campaign::probe_with_retry(Prober& prober, mta::MailHost& host,
-                                       const std::string& recipient_domain,
-                                       const dns::Name& mail_from,
-                                       TestKind kind, AddressOutcome& outcome,
-                                       faults::DegradationReport& deg) {
-  ProbeResult result;
-  int dialog_attempts = 0;
-  for (;;) {
-    const faults::FaultDecision fault = plan_.probe_decision(
-        outcome.address, current_round_,
-        static_cast<std::uint64_t>(outcome.probe_attempts));
-    switch (fault.kind) {
-      case faults::FaultKind::SmtpTempfail:
-        ++deg.injected_tempfail;
-        break;
-      case faults::FaultKind::ConnectionDrop:
-        ++deg.injected_drop;
-        break;
-      case faults::FaultKind::LatencySpike:
-        ++deg.injected_latency;
-        deg.latency_injected += fault.latency;
-        break;
-      default:
-        break;
-    }
-    ++dialog_attempts;
-    ++outcome.probe_attempts;
-    ++deg.probe_attempts;
-    result = prober.probe(host, recipient_domain, mail_from, kind, fault);
-    if (!is_transient(result.status)) break;
-    outcome.saw_transient = true;
-    const int budget_left =
-        retry_.config().per_address_budget - outcome.retries_used;
-    if (!retry_.allow_retry(dialog_attempts, budget_left)) break;
-    ++outcome.retries_used;
-    ++deg.retries;
-    // The paper: wait out a backoff (eight minutes for a plain greylist)
-    // before re-attempting. Charged to this worker's clock lane.
-    clock_.advance_by(
-        retry_.backoff(outcome.address, current_round_, dialog_attempts - 1));
-  }
-  return result;
+ProbeResult Campaign::probe_settled(Prober& prober, mta::MailHost& host,
+                                    const std::string& recipient_domain,
+                                    const dns::Name& mail_from, TestKind kind,
+                                    AddressOutcome& outcome,
+                                    faults::DegradationReport& deg) {
+  ProbeRequest request;
+  request.address = outcome.address;
+  request.recipient_domain = recipient_domain;
+  // The campaign keeps one label per test across retries; labels only differ
+  // per attempt in the longitudinal per-observation path.
+  request.mail_from = mail_from;
+  request.retry_mail_from = mail_from;
+  request.kind = kind;
+  request.fault_round = current_round_;
+  request.first_attempt = static_cast<std::uint64_t>(outcome.probe_attempts);
+  request.retry_budget =
+      retry_.config().per_address_budget - outcome.retries_used;
+  const ProbeOutcome settled = engine_.run(prober, host, request, deg);
+  outcome.probe_attempts += settled.attempts;
+  outcome.retries_used += settled.retries;
+  outcome.saw_transient = outcome.saw_transient || settled.saw_transient;
+  return settled.result;
 }
 
 CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
@@ -237,7 +218,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
       const dns::Name mail_from =
           labels_.indexed_mail_from(2 * i, report.suite_label);
       const ProbeResult nomsg =
-          probe_with_retry(prober, *host, recipient_domain, mail_from,
+          probe_settled(prober, *host, recipient_domain, mail_from,
                            TestKind::NoMsg, outcome, out.deg);
       lane.reset();
       outcome.nomsg = nomsg;
@@ -283,7 +264,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
       const dns::Name mail_from =
           labels_.indexed_mail_from(2 * i + 1, report.suite_label);
       const ProbeResult blankmsg =
-          probe_with_retry(prober, *host, order[i]->second, mail_from,
+          probe_settled(prober, *host, order[i]->second, mail_from,
                            TestKind::BlankMsg, outcome, out.deg);
       lane.reset();
       outcome.blankmsg = blankmsg;
@@ -400,7 +381,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
             const dns::Name mail_from =
                 labels_.indexed_mail_from(2 * i, report.suite_label);
             const ProbeResult nomsg =
-                probe_with_retry(prober, *host, recipient_domain, mail_from,
+                probe_settled(prober, *host, recipient_domain, mail_from,
                                  TestKind::NoMsg, outcome, out.deg);
             lane.reset();
             outcome.nomsg = nomsg;
@@ -438,7 +419,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
             const dns::Name mail_from =
                 labels_.indexed_mail_from(2 * i + 1, report.suite_label);
             const ProbeResult blankmsg =
-                probe_with_retry(prober, *host, recipient_domain, mail_from,
+                probe_settled(prober, *host, recipient_domain, mail_from,
                                  TestKind::BlankMsg, outcome, out.deg);
             lane.reset();
             outcome.blankmsg = blankmsg;

@@ -23,6 +23,7 @@
 #include "faults/fault.hpp"
 #include "faults/retry.hpp"
 #include "net/wire_trace.hpp"
+#include "scan/probe_engine.hpp"
 #include "scan/prober.hpp"
 #include "util/thread_pool.hpp"
 
@@ -167,16 +168,16 @@ class Campaign {
   CampaignReport run_addresses(const std::vector<util::IpAddress>& addresses);
 
  private:
-  // Drive one test dialog to a settled state: retries any transient outcome
-  // (greylist 451, injected tempfail/drop, host 450) under the retry policy,
-  // charging backoff waits to the worker's clock lane. Attempt numbers
-  // continue across calls via `outcome.probe_attempts`, keeping fault-plan
-  // keys fresh on every re-attempt.
-  ProbeResult probe_with_retry(Prober& prober, mta::MailHost& host,
-                               const std::string& recipient_domain,
-                               const dns::Name& mail_from, TestKind kind,
-                               AddressOutcome& outcome,
-                               faults::DegradationReport& deg);
+  // Adapter over the shared ProbeEngine: builds the ProbeRequest for one
+  // test of `outcome`'s address and folds the engine's retry bookkeeping
+  // back into the AddressOutcome. Attempt numbers continue across calls via
+  // `outcome.probe_attempts`, keeping fault-plan keys fresh on every
+  // re-attempt; the round-level retry budget shrinks with `retries_used`.
+  ProbeResult probe_settled(Prober& prober, mta::MailHost& host,
+                            const std::string& recipient_domain,
+                            const dns::Name& mail_from, TestKind kind,
+                            AddressOutcome& outcome,
+                            faults::DegradationReport& deg);
 
   CampaignConfig config_;
   dns::AuthoritativeServer& server_;
@@ -185,6 +186,7 @@ class Campaign {
   LabelAllocator labels_;
   faults::FaultPlan plan_;
   faults::RetryPolicy retry_;
+  ProbeEngine engine_;
   // Measurement-round counter: run() bumps it, and it salts the fault-plan
   // key so repeated rounds over the same fleet see fresh fault draws.
   std::uint64_t next_round_ = 0;

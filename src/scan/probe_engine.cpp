@@ -1,0 +1,49 @@
+#include "scan/probe_engine.hpp"
+
+namespace spfail::scan {
+
+ProbeOutcome ProbeEngine::run(Prober& prober, mta::MailHost& host,
+                              const ProbeRequest& request,
+                              faults::DegradationReport& deg) const {
+  ProbeOutcome outcome;
+  for (;;) {
+    const faults::FaultDecision fault = plan_.probe_decision(
+        request.address, request.fault_round,
+        request.first_attempt + static_cast<std::uint64_t>(outcome.attempts));
+    switch (fault.kind) {
+      case faults::FaultKind::SmtpTempfail:
+        ++deg.injected_tempfail;
+        break;
+      case faults::FaultKind::ConnectionDrop:
+        ++deg.injected_drop;
+        break;
+      case faults::FaultKind::LatencySpike:
+        ++deg.injected_latency;
+        deg.latency_injected += fault.latency;
+        break;
+      default:
+        break;
+    }
+    const dns::Name& mail_from =
+        outcome.attempts == 0 ? request.mail_from : request.retry_mail_from;
+    ++outcome.attempts;
+    ++deg.probe_attempts;
+    outcome.result = prober.probe(host, request.recipient_domain, mail_from,
+                                  request.kind, fault);
+    if (!is_transient(outcome.result.status)) break;
+    outcome.saw_transient = true;
+    if (!retry_.allow_retry(outcome.attempts,
+                            request.retry_budget - outcome.retries)) {
+      break;
+    }
+    ++outcome.retries;
+    ++deg.retries;
+    // The paper: wait out a backoff (eight minutes for a plain greylist)
+    // before re-attempting. Charged to this worker's clock lane.
+    clock_.advance_by(retry_.backoff(request.address, request.fault_round,
+                                     outcome.attempts - 1));
+  }
+  return outcome;
+}
+
+}  // namespace spfail::scan

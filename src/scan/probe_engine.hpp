@@ -1,0 +1,78 @@
+// The single retry-aware probe entry point.
+//
+// Before this existed the retry/fault/backoff loop lived twice — once as
+// Campaign::probe_with_retry (itself the successor of the PR-2-era
+// probe_with_greylist_retry shim) and once inlined in
+// Study::observe_address — and the two copies had already drifted in how
+// they numbered attempts and labelled retries. ProbeEngine collapses both
+// into one ProbeRequest → ProbeOutcome call: the caller states *what* to
+// probe and under which fault-plan/label/budget coordinates, and the engine
+// drives the dialog to a settled state, charging backoff waits to the
+// calling worker's clock lane and booking every injection into the shard's
+// degradation accumulator.
+#pragma once
+
+#include <string>
+
+#include "faults/degradation.hpp"
+#include "faults/fault.hpp"
+#include "faults/retry.hpp"
+#include "scan/prober.hpp"
+#include "util/clock.hpp"
+
+namespace spfail::scan {
+
+// One fully specified probe of one address. Attempt numbering and labels are
+// explicit inputs so the outcome never depends on worker scheduling:
+//   * `first_attempt` continues the fault-plan attempt sequence across waves
+//     (a re-queue pass keys fresh fault draws instead of replaying old ones);
+//   * `mail_from` labels attempt 0 and `retry_mail_from` every re-attempt —
+//     callers that keep one label per test pass the same name twice.
+struct ProbeRequest {
+  util::IpAddress address;       // fault-plan and backoff key
+  std::string recipient_domain;  // RCPT TO domain
+  dns::Name mail_from;           // MAIL FROM label for attempt 0
+  dns::Name retry_mail_from;     // MAIL FROM label for attempts >= 1
+  TestKind kind = TestKind::NoMsg;
+  std::uint64_t fault_round = 0;    // salts the fault plan
+  std::uint64_t first_attempt = 0;  // fault-plan attempt number of attempt 0
+  int retry_budget = 0;             // retries this call may still consume
+};
+
+// What the engine did: the settled result plus the retry bookkeeping the
+// caller folds into its own accounting (AddressOutcome, DegradationReport).
+struct ProbeOutcome {
+  ProbeResult result;
+  int attempts = 0;  // SMTP dialogs driven by this call
+  int retries = 0;   // of those, re-attempts after a transient
+  bool saw_transient = false;
+
+  bool settled() const { return !is_transient(result.status); }
+};
+
+class ProbeEngine {
+ public:
+  // All references must outlive the engine. `clock` is the shared simulation
+  // clock; backoff waits go through it and are therefore charged to the
+  // calling thread's lane when one is active.
+  ProbeEngine(const faults::FaultPlan& plan, const faults::RetryPolicy& retry,
+              util::SimClock& clock)
+      : plan_(plan), retry_(retry), clock_(clock) {}
+
+  // Drive one test dialog to a settled state: retries any transient outcome
+  // (greylist 451, injected tempfail/drop, host 450) under the retry policy
+  // until it settles, attempts run out, or the request's retry budget is
+  // exhausted.
+  ProbeOutcome run(Prober& prober, mta::MailHost& host,
+                   const ProbeRequest& request,
+                   faults::DegradationReport& deg) const;
+
+  const faults::RetryPolicy& retry() const noexcept { return retry_; }
+
+ private:
+  const faults::FaultPlan& plan_;
+  const faults::RetryPolicy& retry_;
+  util::SimClock& clock_;
+};
+
+}  // namespace spfail::scan

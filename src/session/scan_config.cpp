@@ -1,0 +1,153 @@
+#include "session/scan_config.hpp"
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <string_view>
+
+namespace spfail::session {
+
+namespace {
+
+// Strict full-string numeric parsers: empty input, trailing garbage, and
+// range errors all throw — no silent atof/atoi coercion to 0.
+
+[[noreturn]] void reject(std::string_view what, std::string_view text,
+                         const char* wanted) {
+  throw ScanConfigError(std::string(what) + " expects " + wanted + ", got '" +
+                        std::string(text) + "'");
+}
+
+double parse_double(std::string_view what, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    reject(what, text, "a number");
+  }
+  return v;
+}
+
+int parse_int(std::string_view what, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE ||
+      v < static_cast<long>(INT_MIN) || v > static_cast<long>(INT_MAX)) {
+    reject(what, text, "an integer");
+  }
+  return static_cast<int>(v);
+}
+
+std::uint64_t parse_u64(std::string_view what, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  if (*text == '-') reject(what, text, "a non-negative integer");
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    reject(what, text, "a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+void ScanConfig::validate() const {
+  if (!(scale > 0.0 && scale <= 1.0)) {
+    throw ScanConfigError("--scale must be in (0, 1], got " +
+                          std::to_string(scale));
+  }
+  if (threads < 0) {
+    throw ScanConfigError("--threads must be >= 0, got " +
+                          std::to_string(threads));
+  }
+  if (!(faults.rate >= 0.0 && faults.rate <= 1.0)) {
+    throw ScanConfigError("--fault-rate must be in [0, 1], got " +
+                          std::to_string(faults.rate));
+  }
+  if (checkpoint_every < 1) {
+    throw ScanConfigError("--checkpoint-every must be >= 1, got " +
+                          std::to_string(checkpoint_every));
+  }
+  if (halt_after_rounds < -1) {
+    throw ScanConfigError("--halt-after-rounds must be >= 0, got " +
+                          std::to_string(halt_after_rounds));
+  }
+  if (halt_after_rounds >= 0 && checkpoint_path.empty()) {
+    throw ScanConfigError(
+        "--halt-after-rounds requires --checkpoint (halting without writing "
+        "a checkpoint would lose the run)");
+  }
+}
+
+ScanConfig ScanConfig::from_env() { return from_env(ScanConfig{}); }
+
+ScanConfig ScanConfig::from_args(int argc, const char* const* argv) {
+  return from_args(argc, argv, ScanConfig{});
+}
+
+ScanConfig ScanConfig::from_env(const ScanConfig& defaults) {
+  ScanConfig config = defaults;
+  if (const char* env = std::getenv("SPFAIL_SCALE")) {
+    config.scale = parse_double("SPFAIL_SCALE", env);
+  }
+  if (const char* env = std::getenv("SPFAIL_FAULT_SEED")) {
+    config.faults.seed = parse_u64("SPFAIL_FAULT_SEED", env);
+  }
+  if (const char* env = std::getenv("SPFAIL_FAULT_RATE")) {
+    config.faults.rate = parse_double("SPFAIL_FAULT_RATE", env);
+  }
+  if (const char* env = std::getenv("SPFAIL_TRACE")) {
+    config.trace_path = env;
+  }
+  if (const char* env = std::getenv("SPFAIL_CSV_DIR")) {
+    config.csv_dir = env;
+  }
+  config.validate();
+  return config;
+}
+
+ScanConfig ScanConfig::from_args(int argc, const char* const* argv,
+                                 const ScanConfig& defaults) {
+  ScanConfig config = from_env(defaults);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw ScanConfigError("missing value for " + std::string(arg));
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      config.scale = parse_double(arg, next());
+    } else if (arg == "--seed") {
+      config.fleet_seed = parse_u64(arg, next());
+    } else if (arg == "--threads") {
+      config.threads = parse_int(arg, next());
+    } else if (arg == "--initial-only") {
+      config.initial_only = true;
+    } else if (arg == "--fault-rate") {
+      config.faults.rate = parse_double(arg, next());
+    } else if (arg == "--fault-seed") {
+      config.faults.seed = parse_u64(arg, next());
+    } else if (arg == "--csv") {
+      config.csv_dir = next();
+    } else if (arg == "--trace") {
+      config.trace_path = next();
+    } else if (arg == "--checkpoint") {
+      config.checkpoint_path = next();
+    } else if (arg == "--checkpoint-every") {
+      config.checkpoint_every = parse_int(arg, next());
+    } else if (arg == "--resume") {
+      config.resume_path = next();
+    } else if (arg == "--halt-after-rounds") {
+      config.halt_after_rounds = parse_int(arg, next());
+    } else {
+      throw ScanConfigError("unknown option " + std::string(arg));
+    }
+  }
+  config.validate();
+  return config;
+}
+
+}  // namespace spfail::session

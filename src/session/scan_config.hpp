@@ -1,0 +1,74 @@
+// One configuration struct for every scan entry point (DESIGN.md §11).
+//
+// spfail_scan, the examples, and the bench harness used to each parse their
+// own flag/env subset with silent atof/atoi coercion (a typo like
+// `--threads x` quietly became 0). ScanConfig centralises the knobs:
+// from_env() resolves the SPFAIL_* environment over caller defaults,
+// from_args() layers command-line flags on top (CLI > env > defaults), and
+// both reject malformed or out-of-range values with a ScanConfigError naming
+// the offending input instead of coercing it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "faults/fault.hpp"
+
+namespace spfail::session {
+
+// Invalid flag/env input. The message names the flag and the rejected value.
+class ScanConfigError : public std::runtime_error {
+ public:
+  explicit ScanConfigError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct ScanConfig {
+  // Population.
+  double scale = 0.05;             // (0, 1]; SPFAIL_SCALE / --scale
+  std::uint64_t fleet_seed = 2021;  // --seed
+  std::uint64_t study_seed = 20211011;
+
+  // Scan engine.
+  int threads = 0;  // 0 = SPFAIL_THREADS / hardware; --threads
+  bool initial_only = false;
+
+  // Fault injection (SPFAIL_FAULT_SEED / SPFAIL_FAULT_RATE,
+  // --fault-seed / --fault-rate).
+  faults::FaultConfig faults;
+
+  // Outputs.
+  std::string trace_path;  // SPFAIL_TRACE / --trace; empty = off
+  std::string csv_dir;     // SPFAIL_CSV_DIR / --csv; empty = off
+
+  // Checkpoint/resume (DESIGN.md §11).
+  std::string checkpoint_path;  // --checkpoint; empty = no checkpoints
+  int checkpoint_every = 1;     // --checkpoint-every: round-boundary cadence
+  std::string resume_path;      // --resume; empty = fresh run
+  // --halt-after-rounds: stop after N longitudinal rounds, writing a final
+  // checkpoint (a deterministic stand-in for killing the process mid-study).
+  // -1 = run to completion.
+  int halt_after_rounds = -1;
+
+  bool tracing() const noexcept { return !trace_path.empty(); }
+
+  // Environment over `defaults`: SPFAIL_SCALE, SPFAIL_FAULT_SEED,
+  // SPFAIL_FAULT_RATE, SPFAIL_TRACE, SPFAIL_CSV_DIR. (SPFAIL_THREADS is
+  // resolved by the thread pool itself when threads == 0.) Throws
+  // ScanConfigError on malformed or out-of-range values.
+  static ScanConfig from_env(const ScanConfig& defaults);
+  static ScanConfig from_env();
+
+  // Command line over environment over `defaults`. Recognises the
+  // spfail_scan flag set; throws ScanConfigError for unknown flags, missing
+  // or malformed values, and out-of-range numerics.
+  static ScanConfig from_args(int argc, const char* const* argv,
+                              const ScanConfig& defaults);
+  static ScanConfig from_args(int argc, const char* const* argv);
+
+  // Range checks shared by both builders (callers constructing a ScanConfig
+  // by hand can run them too). Throws ScanConfigError.
+  void validate() const;
+};
+
+}  // namespace spfail::session

@@ -1,0 +1,176 @@
+#include "session/scan_session.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "snapshot/snapshot.hpp"
+#include "util/strings.hpp"
+
+namespace spfail::session {
+
+namespace {
+
+snapshot::StudySnapshot load_snapshot(const std::string& path) {
+  return snapshot::StudySnapshot::decode(snapshot::load_file(path));
+}
+
+}  // namespace
+
+ScanSession::ScanSession(ScanConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+population::Fleet& ScanSession::fleet() {
+  if (!fleet_) {
+    population::FleetConfig fleet_config;
+    fleet_config.scale = config_.scale;
+    fleet_config.seed = config_.fleet_seed;
+    fleet_ = std::make_unique<population::Fleet>(fleet_config);
+  }
+  return *fleet_;
+}
+
+longitudinal::StudyConfig ScanSession::study_config() {
+  longitudinal::StudyConfig study_config;
+  study_config.seed = config_.study_seed;
+  study_config.threads = config_.threads;
+  study_config.faults = config_.faults;
+  study_config.trace = trace();
+  return study_config;
+}
+
+void ScanSession::write_checkpoint(const longitudinal::Study& study,
+                                   const longitudinal::Study::State& state) {
+  const snapshot::StudySnapshot snap = study.capture(state);
+  snapshot::save_atomically(config_.checkpoint_path, snap.encode());
+  std::cerr << "checkpoint: wrote " << config_.checkpoint_path << " (round "
+            << snap.rounds_done << "/" << study.total_rounds() << ")\n";
+}
+
+const scan::CampaignReport& ScanSession::initial() {
+  if (initial_.has_value()) return *initial_;
+  if (study_report_.has_value()) {
+    // The study ran its own initial campaign; expose it.
+    initial_ = study_report_->initial;
+    return *initial_;
+  }
+
+  if (!config_.resume_path.empty()) {
+    const snapshot::StudySnapshot snap = load_snapshot(config_.resume_path);
+    if (snap.meta.kind != snapshot::SnapshotKind::Campaign) {
+      throw snapshot::SnapshotError(
+          "'" + config_.resume_path + "' is a " + to_string(snap.meta.kind) +
+          " snapshot; an initial-only run resumes campaign snapshots");
+    }
+    if (snap.meta.fleet_seed != config_.fleet_seed ||
+        snap.meta.scale != config_.scale ||
+        snap.meta.fault_seed != config_.faults.seed ||
+        snap.meta.fault_rate != config_.faults.rate ||
+        snap.meta.tracing != config_.tracing()) {
+      throw snapshot::SnapshotError(
+          "campaign snapshot '" + config_.resume_path +
+          "' was taken under a different configuration (seed/scale/faults/"
+          "tracing must match)");
+    }
+    fleet().clock().advance_to(snap.clock_now);
+    if (config_.tracing()) {
+      trace_.clear();
+      for (const auto& frame : snap.trace) trace_.record(frame);
+    }
+    initial_ = snap.initial;
+    std::cerr << "resume: restored completed campaign from "
+              << config_.resume_path << "\n";
+    return *initial_;
+  }
+
+  scan::CampaignConfig campaign_config;
+  campaign_config.prober.responder = fleet().responder();
+  campaign_config.threads = config_.threads;
+  campaign_config.faults = config_.faults;
+  campaign_config.trace = trace();
+  scan::Campaign campaign(campaign_config, fleet().dns(), fleet().clock(),
+                          fleet());
+  initial_ = campaign.run(fleet().targets());
+
+  if (!config_.checkpoint_path.empty()) {
+    snapshot::StudySnapshot snap;
+    snap.meta.kind = snapshot::SnapshotKind::Campaign;
+    snap.meta.fleet_seed = config_.fleet_seed;
+    snap.meta.scale = config_.scale;
+    snap.meta.fault_seed = config_.faults.seed;
+    snap.meta.fault_rate = config_.faults.rate;
+    snap.meta.tracing = config_.tracing();
+    snap.clock_now = fleet().clock().now();
+    snap.initial = *initial_;
+    snap.degradation = initial_->degradation;
+    if (config_.tracing()) snap.trace = trace_.frames();
+    snapshot::save_atomically(config_.checkpoint_path, snap.encode());
+    std::cerr << "checkpoint: wrote " << config_.checkpoint_path
+              << " (campaign)\n";
+  }
+  return *initial_;
+}
+
+const longitudinal::StudyReport* ScanSession::study() {
+  if (study_report_.has_value()) return &*study_report_;
+  if (study_ran_) return nullptr;  // halted earlier
+  study_ran_ = true;
+
+  longitudinal::Study study(fleet(), study_config());
+
+  longitudinal::Study::State state =
+      config_.resume_path.empty()
+          ? study.begin()
+          : study.restore(load_snapshot(config_.resume_path));
+  if (!config_.resume_path.empty()) {
+    std::cerr << "resume: restored " << config_.resume_path << " at round "
+              << state.next_round << "/" << study.total_rounds() << "\n";
+  }
+
+  const bool checkpointing = !config_.checkpoint_path.empty();
+  const auto at_halt = [&]() {
+    return config_.halt_after_rounds >= 0 &&
+           state.next_round >=
+               static_cast<std::size_t>(config_.halt_after_rounds);
+  };
+  const auto on_cadence = [&]() {
+    return state.next_round %
+               static_cast<std::size_t>(config_.checkpoint_every) ==
+           0;
+  };
+
+  // Boundary protocol, applied after begin()/restore() and after every
+  // round: checkpoint on cadence, then honour a halt request (which always
+  // re-checkpoints so the on-disk state matches the stop point exactly).
+  for (;;) {
+    if (checkpointing && (on_cadence() || at_halt())) {
+      write_checkpoint(study, state);
+    }
+    if (at_halt()) {
+      std::cerr << "halt: stopping after " << state.next_round
+                << " rounds as requested (resume with --resume "
+                << config_.checkpoint_path << ")\n";
+      halted_ = true;
+      return nullptr;
+    }
+    if (!study.rounds_remaining(state)) break;
+    study.run_round(state);
+  }
+
+  study_report_ = study.finish(std::move(state));
+  initial_ = study_report_->initial;
+  return &*study_report_;
+}
+
+std::string ScanSession::banner() {
+  std::ostringstream os;
+  os << "SPFail reproduction | scale=" << config_.scale
+     << " (set SPFAIL_SCALE=1 for the paper's full population) | domains="
+     << util::with_commas(static_cast<long long>(fleet().domains().size()))
+     << " addresses="
+     << util::with_commas(static_cast<long long>(fleet().address_count()));
+  return os.str();
+}
+
+}  // namespace spfail::session

@@ -1,0 +1,79 @@
+// The single owner of a scan run's lifetime (DESIGN.md §11).
+//
+// ScanSession fronts the whole apparatus behind one object: it builds the
+// Fleet, owns the WireTrace when tracing is on, runs the initial campaign or
+// the longitudinal study, and drives the checkpoint/resume/halt protocol
+// from one ScanConfig. Callers (spfail_scan, the examples, ReproSession and
+// with it every bench) no longer assemble CampaignConfig/StudyConfig by
+// hand, so every entry point agrees on seeds, fault plans, and trace wiring
+// — the precondition for a snapshot taken by one binary resuming in another.
+//
+// Checkpoint protocol: with `checkpoint_path` set, the study state is
+// serialised atomically at every `checkpoint_every`-th round boundary (and
+// at a --halt-after-rounds stop). With `resume_path` set, the session
+// restores that snapshot instead of re-running the completed prefix; the
+// resumed run's reports, traces, and degradation tables are byte-identical
+// to an uninterrupted run at any thread count. Status lines about
+// checkpointing go to stderr so stdout stays byte-comparable across
+// interrupted and uninterrupted runs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "longitudinal/study.hpp"
+#include "net/wire_trace.hpp"
+#include "population/fleet.hpp"
+#include "scan/campaign.hpp"
+#include "session/scan_config.hpp"
+
+namespace spfail::session {
+
+class ScanSession {
+ public:
+  explicit ScanSession(ScanConfig config);
+
+  const ScanConfig& config() const noexcept { return config_; }
+
+  // Lazily built fleet (scale/seed from the config).
+  population::Fleet& fleet();
+
+  // The session-owned wire trace; nullptr when tracing is off.
+  net::WireTrace* trace() noexcept {
+    return config_.tracing() ? &trace_ : nullptr;
+  }
+
+  // The 2021-10-11 initial measurement (cached). Honours resume: a
+  // Campaign-kind snapshot short-circuits the scan entirely. Writes a
+  // Campaign-kind checkpoint when configured and the campaign actually ran.
+  const scan::CampaignReport& initial();
+
+  // The full longitudinal study (cached; runs the initial campaign
+  // internally — do not mix with initial() on one session). Returns nullptr
+  // when the run halted at a checkpoint (--halt-after-rounds) instead of
+  // completing; halted() reports the same.
+  const longitudinal::StudyReport* study();
+
+  // True when study() stopped at --halt-after-rounds after writing the
+  // checkpoint instead of finishing.
+  bool halted() const noexcept { return halted_; }
+
+  // A short banner describing the session (scale, seed, population sizes).
+  std::string banner();
+
+ private:
+  longitudinal::StudyConfig study_config();
+  void write_checkpoint(const longitudinal::Study& study,
+                        const longitudinal::Study::State& state);
+
+  ScanConfig config_;
+  net::WireTrace trace_;
+  std::unique_ptr<population::Fleet> fleet_;
+  std::optional<scan::CampaignReport> initial_;
+  std::optional<longitudinal::StudyReport> study_report_;
+  bool study_ran_ = false;
+  bool halted_ = false;
+};
+
+}  // namespace spfail::session

@@ -1,0 +1,286 @@
+#include "snapshot/enums.hpp"
+
+#include <string>
+
+#include "snapshot/codec.hpp"
+
+namespace spfail::snapshot {
+
+namespace {
+
+[[noreturn]] void unmapped(const char* what, std::uint8_t v) {
+  throw SnapshotError(std::string("unmapped ") + what + " byte " +
+                      std::to_string(v));
+}
+
+}  // namespace
+
+// The wire bytes are the enumerators' declaration order frozen at snapshot
+// version 1. Appending new enumerators keeps old bytes stable; reordering an
+// enum must NOT reorder these switches.
+
+std::uint8_t encode_enum(scan::TestKind v) {
+  switch (v) {
+    case scan::TestKind::NoMsg:
+      return 0;
+    case scan::TestKind::BlankMsg:
+      return 1;
+  }
+  unmapped("TestKind", static_cast<std::uint8_t>(v));
+}
+
+scan::TestKind decode_test_kind(std::uint8_t v) {
+  switch (v) {
+    case 0:
+      return scan::TestKind::NoMsg;
+    case 1:
+      return scan::TestKind::BlankMsg;
+  }
+  unmapped("TestKind", v);
+}
+
+std::uint8_t encode_enum(scan::ProbeStatus v) {
+  switch (v) {
+    case scan::ProbeStatus::ConnectionRefused:
+      return 0;
+    case scan::ProbeStatus::SmtpFailure:
+      return 1;
+    case scan::ProbeStatus::Greylisted:
+      return 2;
+    case scan::ProbeStatus::TempFailed:
+      return 3;
+    case scan::ProbeStatus::Dropped:
+      return 4;
+    case scan::ProbeStatus::SpfMeasured:
+      return 5;
+    case scan::ProbeStatus::SpfNotMeasured:
+      return 6;
+  }
+  unmapped("ProbeStatus", static_cast<std::uint8_t>(v));
+}
+
+scan::ProbeStatus decode_probe_status(std::uint8_t v) {
+  switch (v) {
+    case 0:
+      return scan::ProbeStatus::ConnectionRefused;
+    case 1:
+      return scan::ProbeStatus::SmtpFailure;
+    case 2:
+      return scan::ProbeStatus::Greylisted;
+    case 3:
+      return scan::ProbeStatus::TempFailed;
+    case 4:
+      return scan::ProbeStatus::Dropped;
+    case 5:
+      return scan::ProbeStatus::SpfMeasured;
+    case 6:
+      return scan::ProbeStatus::SpfNotMeasured;
+  }
+  unmapped("ProbeStatus", v);
+}
+
+std::uint8_t encode_enum(scan::AddressVerdict v) {
+  switch (v) {
+    case scan::AddressVerdict::Refused:
+      return 0;
+    case scan::AddressVerdict::SmtpFailure:
+      return 1;
+    case scan::AddressVerdict::Measured:
+      return 2;
+    case scan::AddressVerdict::NotMeasured:
+      return 3;
+  }
+  unmapped("AddressVerdict", static_cast<std::uint8_t>(v));
+}
+
+scan::AddressVerdict decode_address_verdict(std::uint8_t v) {
+  switch (v) {
+    case 0:
+      return scan::AddressVerdict::Refused;
+    case 1:
+      return scan::AddressVerdict::SmtpFailure;
+    case 2:
+      return scan::AddressVerdict::Measured;
+    case 3:
+      return scan::AddressVerdict::NotMeasured;
+  }
+  unmapped("AddressVerdict", v);
+}
+
+std::uint8_t encode_enum(spfvuln::SpfBehavior v) {
+  switch (v) {
+    case spfvuln::SpfBehavior::RfcCompliant:
+      return 0;
+    case spfvuln::SpfBehavior::VulnerableLibspf2:
+      return 1;
+    case spfvuln::SpfBehavior::PatchedLibspf2:
+      return 2;
+    case spfvuln::SpfBehavior::NoExpansion:
+      return 3;
+    case spfvuln::SpfBehavior::NoTruncation:
+      return 4;
+    case spfvuln::SpfBehavior::NoReversal:
+      return 5;
+    case spfvuln::SpfBehavior::NoTransformers:
+      return 6;
+    case spfvuln::SpfBehavior::OtherErroneous:
+      return 7;
+  }
+  unmapped("SpfBehavior", static_cast<std::uint8_t>(v));
+}
+
+spfvuln::SpfBehavior decode_spf_behavior(std::uint8_t v) {
+  switch (v) {
+    case 0:
+      return spfvuln::SpfBehavior::RfcCompliant;
+    case 1:
+      return spfvuln::SpfBehavior::VulnerableLibspf2;
+    case 2:
+      return spfvuln::SpfBehavior::PatchedLibspf2;
+    case 3:
+      return spfvuln::SpfBehavior::NoExpansion;
+    case 4:
+      return spfvuln::SpfBehavior::NoTruncation;
+    case 5:
+      return spfvuln::SpfBehavior::NoReversal;
+    case 6:
+      return spfvuln::SpfBehavior::NoTransformers;
+    case 7:
+      return spfvuln::SpfBehavior::OtherErroneous;
+  }
+  unmapped("SpfBehavior", v);
+}
+
+std::uint8_t encode_enum(faults::FaultKind v) {
+  switch (v) {
+    case faults::FaultKind::None:
+      return 0;
+    case faults::FaultKind::SmtpTempfail:
+      return 1;
+    case faults::FaultKind::ConnectionDrop:
+      return 2;
+    case faults::FaultKind::LatencySpike:
+      return 3;
+    case faults::FaultKind::DnsServfail:
+      return 4;
+    case faults::FaultKind::DnsTimeout:
+      return 5;
+    case faults::FaultKind::LameDelegation:
+      return 6;
+  }
+  unmapped("FaultKind", static_cast<std::uint8_t>(v));
+}
+
+faults::FaultKind decode_fault_kind(std::uint8_t v) {
+  switch (v) {
+    case 0:
+      return faults::FaultKind::None;
+    case 1:
+      return faults::FaultKind::SmtpTempfail;
+    case 2:
+      return faults::FaultKind::ConnectionDrop;
+    case 3:
+      return faults::FaultKind::LatencySpike;
+    case 4:
+      return faults::FaultKind::DnsServfail;
+    case 5:
+      return faults::FaultKind::DnsTimeout;
+    case 6:
+      return faults::FaultKind::LameDelegation;
+  }
+  unmapped("FaultKind", v);
+}
+
+std::uint8_t encode_enum(longitudinal::Observation v) {
+  switch (v) {
+    case longitudinal::Observation::Vulnerable:
+      return 0;
+    case longitudinal::Observation::Compliant:
+      return 1;
+    case longitudinal::Observation::Inconclusive:
+      return 2;
+  }
+  unmapped("Observation", static_cast<std::uint8_t>(v));
+}
+
+longitudinal::Observation decode_observation(std::uint8_t v) {
+  switch (v) {
+    case 0:
+      return longitudinal::Observation::Vulnerable;
+    case 1:
+      return longitudinal::Observation::Compliant;
+    case 2:
+      return longitudinal::Observation::Inconclusive;
+  }
+  unmapped("Observation", v);
+}
+
+std::uint8_t encode_enum(net::Direction v) {
+  switch (v) {
+    case net::Direction::ClientToServer:
+      return 0;
+    case net::Direction::ServerToClient:
+      return 1;
+  }
+  unmapped("Direction", static_cast<std::uint8_t>(v));
+}
+
+net::Direction decode_direction(std::uint8_t v) {
+  switch (v) {
+    case 0:
+      return net::Direction::ClientToServer;
+    case 1:
+      return net::Direction::ServerToClient;
+  }
+  unmapped("Direction", v);
+}
+
+std::uint8_t encode_enum(net::FrameKind v) {
+  switch (v) {
+    case net::FrameKind::SmtpCommand:
+      return 0;
+    case net::FrameKind::SmtpReply:
+      return 1;
+    case net::FrameKind::DnsQuery:
+      return 2;
+    case net::FrameKind::DnsResponse:
+      return 3;
+  }
+  unmapped("FrameKind", static_cast<std::uint8_t>(v));
+}
+
+net::FrameKind decode_frame_kind(std::uint8_t v) {
+  switch (v) {
+    case 0:
+      return net::FrameKind::SmtpCommand;
+    case 1:
+      return net::FrameKind::SmtpReply;
+    case 2:
+      return net::FrameKind::DnsQuery;
+    case 3:
+      return net::FrameKind::DnsResponse;
+  }
+  unmapped("FrameKind", v);
+}
+
+std::uint8_t encode_enum(util::IpAddress::Family v) {
+  switch (v) {
+    case util::IpAddress::Family::V4:
+      return 0;
+    case util::IpAddress::Family::V6:
+      return 1;
+  }
+  unmapped("Family", static_cast<std::uint8_t>(v));
+}
+
+util::IpAddress::Family decode_family(std::uint8_t v) {
+  switch (v) {
+    case 0:
+      return util::IpAddress::Family::V4;
+    case 1:
+      return util::IpAddress::Family::V6;
+  }
+  unmapped("Family", v);
+}
+
+}  // namespace spfail::snapshot

@@ -1,0 +1,43 @@
+// Exhaustive enum <-> wire-byte mappings for snapshot encoding.
+//
+// Every enum that crosses the snapshot boundary goes through an encode_ /
+// decode_ pair here. Encoders are total switches (a new enumerator without a
+// mapping is a compile-time -Wswitch error); decoders validate and throw
+// SnapshotError on an unmapped byte, so a corrupted or future-format
+// snapshot can never smuggle an out-of-range value into an enum.
+// tests/enum_strings_test.cpp round-trips every enumerator of every mapping.
+#pragma once
+
+#include <cstdint>
+
+#include "faults/fault.hpp"
+#include "longitudinal/inference.hpp"
+#include "net/frame.hpp"
+#include "scan/campaign.hpp"
+#include "scan/prober.hpp"
+#include "spfvuln/behavior.hpp"
+#include "util/ip.hpp"
+
+namespace spfail::snapshot {
+
+std::uint8_t encode_enum(scan::TestKind v);
+std::uint8_t encode_enum(scan::ProbeStatus v);
+std::uint8_t encode_enum(scan::AddressVerdict v);
+std::uint8_t encode_enum(spfvuln::SpfBehavior v);
+std::uint8_t encode_enum(faults::FaultKind v);
+std::uint8_t encode_enum(longitudinal::Observation v);
+std::uint8_t encode_enum(net::Direction v);
+std::uint8_t encode_enum(net::FrameKind v);
+std::uint8_t encode_enum(util::IpAddress::Family v);
+
+scan::TestKind decode_test_kind(std::uint8_t v);
+scan::ProbeStatus decode_probe_status(std::uint8_t v);
+scan::AddressVerdict decode_address_verdict(std::uint8_t v);
+spfvuln::SpfBehavior decode_spf_behavior(std::uint8_t v);
+faults::FaultKind decode_fault_kind(std::uint8_t v);
+longitudinal::Observation decode_observation(std::uint8_t v);
+net::Direction decode_direction(std::uint8_t v);
+net::FrameKind decode_frame_kind(std::uint8_t v);
+util::IpAddress::Family decode_family(std::uint8_t v);
+
+}  // namespace spfail::snapshot

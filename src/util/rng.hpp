@@ -6,6 +6,7 @@
 // the same fleet and the same longitudinal trajectory.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -53,6 +54,15 @@ class Rng {
   // Derive an independent child stream; `label` keeps derivations stable even
   // if call order changes between versions.
   Rng fork(std::string_view label) noexcept;
+
+  // Generator position, for checkpointing mid-stream (src/snapshot/): a
+  // restored Rng continues the exact draw sequence of the captured one.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& words) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = words[i];
+  }
 
   // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;

@@ -1,0 +1,61 @@
+# End-to-end checkpoint/resume smoke test, run as a ctest entry:
+#   1. uninterrupted scan                      -> full.out + full trace
+#   2. scan halted at a mid-study checkpoint   -> snapshot on disk
+#   3. resumed scan from the snapshot          -> resumed.out + resumed trace
+# The resumed run's stdout and JSONL trace must be byte-identical to the
+# uninterrupted run's (checkpoint/resume status lines go to stderr only).
+#
+# Expects: -DSPFAIL_SCAN=<path to spfail_scan> -DWORK_DIR=<scratch dir>
+if(NOT SPFAIL_SCAN OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DSPFAIL_SCAN=... -DWORK_DIR=... -P checkpoint_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(FLAGS --scale 0.01 --fault-rate 0.02 --trace trace.jsonl)
+
+execute_process(
+  COMMAND "${SPFAIL_SCAN}" ${FLAGS}
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_FILE full.out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "uninterrupted scan failed (exit ${rc})")
+endif()
+file(RENAME "${WORK_DIR}/trace.jsonl" "${WORK_DIR}/trace_full.jsonl")
+
+execute_process(
+  COMMAND "${SPFAIL_SCAN}" ${FLAGS} --checkpoint snap.bin --halt-after-rounds 11
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_FILE halted.out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "halting scan failed (exit ${rc})")
+endif()
+if(NOT EXISTS "${WORK_DIR}/snap.bin")
+  message(FATAL_ERROR "halting scan wrote no checkpoint")
+endif()
+
+execute_process(
+  COMMAND "${SPFAIL_SCAN}" ${FLAGS} --resume snap.bin --threads 4
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_FILE resumed.out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed scan failed (exit ${rc})")
+endif()
+
+foreach(pair "full.out;resumed.out" "trace_full.jsonl;trace.jsonl")
+  list(GET pair 0 lhs)
+  list(GET pair 1 rhs)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files "${WORK_DIR}/${lhs}" "${WORK_DIR}/${rhs}"
+    RESULT_VARIABLE differs)
+  if(differs)
+    message(FATAL_ERROR "${lhs} and ${rhs} differ: the resumed run is not byte-identical")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+message(STATUS "checkpoint/resume smoke test passed (byte-identical outputs)")

@@ -12,6 +12,8 @@
 #include "faults/retry.hpp"
 #include "scan/campaign.hpp"
 #include "scan/prober.hpp"
+#include "snapshot/enums.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace spfail {
 namespace {
@@ -108,6 +110,113 @@ TEST(EnumStrings, RetryOutcomeCoversEveryEnumerator) {
   expect_distinct({to_string(RetryOutcome::FirstTry),
                    to_string(RetryOutcome::Recovered),
                    to_string(RetryOutcome::Exhausted)});
+}
+
+TEST(EnumStrings, ObservationCoversEveryEnumerator) {
+  using longitudinal::Observation;
+  EXPECT_EQ(to_string(Observation::Vulnerable), "vulnerable");
+  EXPECT_EQ(to_string(Observation::Compliant), "compliant");
+  EXPECT_EQ(to_string(Observation::Inconclusive), "inconclusive");
+  expect_distinct({to_string(Observation::Vulnerable),
+                   to_string(Observation::Compliant),
+                   to_string(Observation::Inconclusive)});
+}
+
+TEST(EnumStrings, SnapshotKindCoversEveryEnumerator) {
+  using snapshot::SnapshotKind;
+  EXPECT_EQ(to_string(SnapshotKind::Campaign), "campaign");
+  EXPECT_EQ(to_string(SnapshotKind::Study), "study");
+  expect_distinct(
+      {to_string(SnapshotKind::Campaign), to_string(SnapshotKind::Study)});
+}
+
+// --- snapshot wire bytes: every mapping round-trips exhaustively ------------
+
+// encode_enum -> decode_* is the identity on every enumerator, wire bytes are
+// dense and distinct, and the first unmapped byte is rejected. The wire byte
+// values themselves are frozen at snapshot version 1 — these tests pin them.
+template <typename Enum, typename Decode>
+void expect_wire_round_trip(const std::vector<Enum>& enumerators,
+                            Decode decode) {
+  std::set<std::uint8_t> seen;
+  for (const Enum v : enumerators) {
+    const std::uint8_t wire = snapshot::encode_enum(v);
+    EXPECT_TRUE(seen.insert(wire).second) << "duplicate wire byte";
+    EXPECT_LT(wire, enumerators.size()) << "wire bytes must stay dense";
+    EXPECT_EQ(decode(wire), v);
+  }
+  EXPECT_THROW(decode(static_cast<std::uint8_t>(enumerators.size())),
+               snapshot::SnapshotError);
+  EXPECT_THROW(decode(0xFF), snapshot::SnapshotError);
+}
+
+TEST(EnumStrings, SnapshotWireTestKind) {
+  expect_wire_round_trip<scan::TestKind>(
+      {scan::TestKind::NoMsg, scan::TestKind::BlankMsg},
+      snapshot::decode_test_kind);
+}
+
+TEST(EnumStrings, SnapshotWireProbeStatus) {
+  expect_wire_round_trip<scan::ProbeStatus>(
+      {scan::ProbeStatus::ConnectionRefused, scan::ProbeStatus::SmtpFailure,
+       scan::ProbeStatus::Greylisted, scan::ProbeStatus::TempFailed,
+       scan::ProbeStatus::Dropped, scan::ProbeStatus::SpfMeasured,
+       scan::ProbeStatus::SpfNotMeasured},
+      snapshot::decode_probe_status);
+}
+
+TEST(EnumStrings, SnapshotWireAddressVerdict) {
+  expect_wire_round_trip<scan::AddressVerdict>(
+      {scan::AddressVerdict::Refused, scan::AddressVerdict::SmtpFailure,
+       scan::AddressVerdict::Measured, scan::AddressVerdict::NotMeasured},
+      snapshot::decode_address_verdict);
+}
+
+TEST(EnumStrings, SnapshotWireSpfBehavior) {
+  expect_wire_round_trip<spfvuln::SpfBehavior>(
+      {spfvuln::SpfBehavior::RfcCompliant,
+       spfvuln::SpfBehavior::VulnerableLibspf2,
+       spfvuln::SpfBehavior::PatchedLibspf2, spfvuln::SpfBehavior::NoExpansion,
+       spfvuln::SpfBehavior::NoTruncation, spfvuln::SpfBehavior::NoReversal,
+       spfvuln::SpfBehavior::NoTransformers,
+       spfvuln::SpfBehavior::OtherErroneous},
+      snapshot::decode_spf_behavior);
+}
+
+TEST(EnumStrings, SnapshotWireFaultKind) {
+  expect_wire_round_trip<faults::FaultKind>(
+      {faults::FaultKind::None, faults::FaultKind::SmtpTempfail,
+       faults::FaultKind::ConnectionDrop, faults::FaultKind::LatencySpike,
+       faults::FaultKind::DnsServfail, faults::FaultKind::DnsTimeout,
+       faults::FaultKind::LameDelegation},
+      snapshot::decode_fault_kind);
+}
+
+TEST(EnumStrings, SnapshotWireObservation) {
+  expect_wire_round_trip<longitudinal::Observation>(
+      {longitudinal::Observation::Vulnerable,
+       longitudinal::Observation::Compliant,
+       longitudinal::Observation::Inconclusive},
+      snapshot::decode_observation);
+}
+
+TEST(EnumStrings, SnapshotWireDirection) {
+  expect_wire_round_trip<net::Direction>(
+      {net::Direction::ClientToServer, net::Direction::ServerToClient},
+      snapshot::decode_direction);
+}
+
+TEST(EnumStrings, SnapshotWireFrameKind) {
+  expect_wire_round_trip<net::FrameKind>(
+      {net::FrameKind::SmtpCommand, net::FrameKind::SmtpReply,
+       net::FrameKind::DnsQuery, net::FrameKind::DnsResponse},
+      snapshot::decode_frame_kind);
+}
+
+TEST(EnumStrings, SnapshotWireFamily) {
+  expect_wire_round_trip<util::IpAddress::Family>(
+      {util::IpAddress::Family::V4, util::IpAddress::Family::V6},
+      snapshot::decode_family);
 }
 
 }  // namespace

@@ -1,0 +1,272 @@
+// The checkpoint wire format: codec primitives, StudySnapshot round-trips,
+// and the decode-side rejections (magic, version, checksum, truncation,
+// trailing bytes) that keep a corrupt or future snapshot from loading.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "snapshot/snapshot.hpp"
+
+namespace spfail::snapshot {
+namespace {
+
+TEST(SnapshotCodec, ScalarsRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(0.17);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("hello");
+  w.str("");
+  w.str(std::string_view("nul\0inside", 10));
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 0.17);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), std::string("nul\0inside", 10));
+  EXPECT_TRUE(r.done());
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(SnapshotCodec, LittleEndianOnTheWire) {
+  Writer w;
+  w.u32(0x01020304u);
+  const std::string& bytes = w.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[3]), 0x01);
+}
+
+TEST(SnapshotCodec, TruncationThrows) {
+  Writer w;
+  w.u64(7);
+  const std::string bytes = w.take();
+  Reader r(std::string_view(bytes).substr(0, 5));
+  EXPECT_THROW(r.u64(), SnapshotError);
+}
+
+TEST(SnapshotCodec, TruncatedStringThrows) {
+  Writer w;
+  w.str("measurement");
+  std::string bytes = w.take();
+  bytes.resize(bytes.size() - 3);
+  Reader r(bytes);
+  EXPECT_THROW(r.str(), SnapshotError);
+}
+
+TEST(SnapshotCodec, TrailingBytesThrow) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.bytes());
+  r.u8();
+  EXPECT_FALSE(r.done());
+  EXPECT_THROW(r.expect_done(), SnapshotError);
+}
+
+TEST(SnapshotCodec, InvalidBooleanByteThrows) {
+  Writer w;
+  w.u8(2);
+  Reader r(w.bytes());
+  EXPECT_THROW(r.boolean(), SnapshotError);
+}
+
+TEST(SnapshotCodec, NegativeAndLargeF64RoundTrip) {
+  Writer w;
+  w.f64(-1234.5678);
+  w.f64(1e300);
+  w.f64(0.0);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.f64(), -1234.5678);
+  EXPECT_EQ(r.f64(), 1e300);
+  EXPECT_EQ(r.f64(), 0.0);
+}
+
+// A snapshot exercising every optional branch of the format: both probe
+// kinds, v4 and v6 addresses, greylist host state, trace frames.
+StudySnapshot sample_snapshot() {
+  StudySnapshot snap;
+  snap.meta.kind = SnapshotKind::Study;
+  snap.meta.fleet_seed = 2021;
+  snap.meta.scale = 0.01;
+  snap.meta.study_seed = 20211011;
+  snap.meta.fault_seed = 0xFA171;
+  snap.meta.fault_rate = 0.02;
+  snap.meta.tracing = true;
+
+  snap.rounds_done = 3;
+  snap.clock_now = 123456789;
+  snap.loss_rng = {1, 2, 3, 4};
+  snap.suites_issued = 4;
+
+  snap.initial.suite_label = "suite-1";
+  scan::AddressOutcome outcome;
+  outcome.address = util::IpAddress::v4(11, 0, 0, 1);
+  scan::ProbeResult nomsg;
+  nomsg.kind = scan::TestKind::NoMsg;
+  nomsg.status = scan::ProbeStatus::SpfMeasured;
+  nomsg.target = outcome.address;
+  nomsg.mail_from_domain = dns::Name::lenient("probe.example.org");
+  nomsg.behaviors = {spfvuln::SpfBehavior::VulnerableLibspf2};
+  nomsg.saw_policy_fetch = true;
+  nomsg.failing_code = 550;
+  nomsg.accepted_username = "u";
+  nomsg.injected = faults::FaultKind::SmtpTempfail;
+  outcome.nomsg = nomsg;
+  outcome.verdict = scan::AddressVerdict::Measured;
+  outcome.behaviors = nomsg.behaviors;
+  outcome.probe_attempts = 2;
+  outcome.retries_used = 1;
+  outcome.saw_transient = true;
+  snap.initial.addresses.emplace(outcome.address, outcome);
+
+  scan::DomainOutcome domain;
+  domain.domain = "example.org";
+  domain.addresses = {outcome.address};
+  domain.any_measured = true;
+  domain.vulnerable = true;
+  domain.behaviors = {spfvuln::SpfBehavior::VulnerableLibspf2};
+  snap.initial.domains.push_back(domain);
+  snap.initial.degradation.probe_attempts = 9;
+
+  snap.degradation.probe_attempts = 11;
+  snap.degradation.retries = 2;
+  snap.remeasurable_resolved_vulnerable = 1;
+  snap.remeasurable.emplace_back(util::IpAddress::v4(11, 0, 0, 2), 6);
+  snap.blacklisted.push_back(outcome.address);
+  snap.patched.push_back(util::IpAddress::v4(11, 0, 0, 3));
+  snap.series.push_back({longitudinal::Observation::Vulnerable,
+                         longitudinal::Observation::Inconclusive,
+                         longitudinal::Observation::Compliant});
+
+  StudySnapshot::HostState host;
+  host.address = outcome.address;
+  host.greylist_seen.emplace_back("198.51.100.10", 42);
+  host.flaky_rng = {5, 6, 7, 8};
+  snap.hosts.push_back(host);
+
+  net::Frame frame;
+  frame.time = 17;
+  frame.lane = 3;
+  frame.src = "198.51.100.10";
+  frame.dst = "11.0.0.1";
+  frame.direction = net::Direction::ClientToServer;
+  frame.kind = net::FrameKind::SmtpCommand;
+  frame.verb = "MAIL";
+  frame.text = "MAIL FROM:<x@y>";
+  snap.trace.push_back(frame);
+  return snap;
+}
+
+TEST(Snapshot, EncodeDecodeRoundTripsEveryField) {
+  const StudySnapshot snap = sample_snapshot();
+  const std::string bytes = snap.encode();
+  const StudySnapshot decoded = StudySnapshot::decode(bytes);
+
+  EXPECT_EQ(decoded.meta, snap.meta);
+  EXPECT_EQ(decoded.rounds_done, snap.rounds_done);
+  EXPECT_EQ(decoded.clock_now, snap.clock_now);
+  EXPECT_EQ(decoded.loss_rng, snap.loss_rng);
+  EXPECT_EQ(decoded.suites_issued, snap.suites_issued);
+  EXPECT_EQ(decoded.initial.suite_label, snap.initial.suite_label);
+  ASSERT_EQ(decoded.initial.addresses.size(), 1u);
+  const auto& outcome =
+      decoded.initial.addresses.at(util::IpAddress::v4(11, 0, 0, 1));
+  ASSERT_TRUE(outcome.nomsg.has_value());
+  EXPECT_FALSE(outcome.blankmsg.has_value());
+  EXPECT_EQ(outcome.nomsg->status, scan::ProbeStatus::SpfMeasured);
+  EXPECT_EQ(outcome.nomsg->mail_from_domain.to_string(),
+            snap.initial.addresses.begin()
+                ->second.nomsg->mail_from_domain.to_string());
+  EXPECT_EQ(outcome.nomsg->injected, faults::FaultKind::SmtpTempfail);
+  EXPECT_EQ(outcome.probe_attempts, 2);
+  ASSERT_EQ(decoded.initial.domains.size(), 1u);
+  EXPECT_EQ(decoded.initial.domains[0].domain, "example.org");
+  EXPECT_EQ(decoded.degradation.probe_attempts, 11u);
+  EXPECT_EQ(decoded.remeasurable, snap.remeasurable);
+  EXPECT_EQ(decoded.blacklisted, snap.blacklisted);
+  EXPECT_EQ(decoded.patched, snap.patched);
+  EXPECT_EQ(decoded.series, snap.series);
+  ASSERT_EQ(decoded.hosts.size(), 1u);
+  EXPECT_EQ(decoded.hosts[0].address, snap.hosts[0].address);
+  EXPECT_EQ(decoded.hosts[0].greylist_seen, snap.hosts[0].greylist_seen);
+  EXPECT_EQ(decoded.hosts[0].flaky_rng, snap.hosts[0].flaky_rng);
+  ASSERT_EQ(decoded.trace.size(), 1u);
+  EXPECT_EQ(decoded.trace[0].verb, "MAIL");
+
+  // Canonical encoding: decoding and re-encoding reproduces the bytes.
+  EXPECT_EQ(decoded.encode(), bytes);
+}
+
+TEST(Snapshot, RejectsBadMagic) {
+  std::string bytes = sample_snapshot().encode();
+  bytes[0] = 'X';
+  EXPECT_THROW(StudySnapshot::decode(bytes), SnapshotError);
+}
+
+TEST(Snapshot, RejectsFutureFormatVersion) {
+  std::string bytes = sample_snapshot().encode();
+  // The u32 version sits right after the 8-byte magic.
+  bytes[8] = static_cast<char>(kSnapshotVersion + 1);
+  try {
+    StudySnapshot::decode(bytes);
+    FAIL() << "future version must not decode";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, RejectsCorruptPayload) {
+  std::string bytes = sample_snapshot().encode();
+  // Flip a byte deep inside the length-prefixed payload: the checksum check
+  // must catch it before any field decoding is trusted.
+  bytes[bytes.size() / 2] ^= 0x40;
+  EXPECT_THROW(StudySnapshot::decode(bytes), SnapshotError);
+}
+
+TEST(Snapshot, RejectsTruncationAndTrailingBytes) {
+  const std::string bytes = sample_snapshot().encode();
+  EXPECT_THROW(
+      StudySnapshot::decode(std::string_view(bytes).substr(0, bytes.size() / 2)),
+      SnapshotError);
+  EXPECT_THROW(StudySnapshot::decode(bytes + "x"), SnapshotError);
+  EXPECT_THROW(StudySnapshot::decode(""), SnapshotError);
+}
+
+TEST(Snapshot, SaveAtomicallyAndLoadFileRoundTrip) {
+  const std::string path = testing::TempDir() + "spfail_snapshot_test.bin";
+  const std::string bytes = sample_snapshot().encode();
+  save_atomically(path, bytes);
+  EXPECT_EQ(load_file(path), bytes);
+
+  // Overwrite in place — the rename must replace the previous snapshot.
+  StudySnapshot second = sample_snapshot();
+  second.rounds_done = 9;
+  save_atomically(path, second.encode());
+  EXPECT_EQ(StudySnapshot::decode(load_file(path)).rounds_done, 9u);
+
+  // No temp file left behind.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, LoadFileReportsMissingFile) {
+  EXPECT_THROW(load_file("/nonexistent/spfail.snapshot"), SnapshotError);
+}
+
+}  // namespace
+}  // namespace spfail::snapshot
