@@ -4,9 +4,9 @@
 //
 //   usage: spfail_scan [--scale S] [--seed N] [--threads N] [--initial-only]
 //                      [--fault-rate R] [--fault-seed N] [--csv DIR]
-//                      [--trace FILE] [--checkpoint FILE]
-//                      [--checkpoint-every N] [--resume FILE]
-//                      [--halt-after-rounds N]
+//                      [--trace FILE] [--metrics FILE] [--metrics-wall]
+//                      [--checkpoint FILE] [--checkpoint-every N]
+//                      [--resume FILE] [--halt-after-rounds N]
 //
 //   --scale S        population scale, 0 < S <= 1 (default 0.05)
 //   --seed N         fleet seed (default 2021)
@@ -25,6 +25,16 @@
 //                    JSONL into FILE (default: SPFAIL_TRACE when set) and
 //                    print a trace summary; the file is bit-identical at any
 //                    thread count for a fixed seed
+//   --metrics FILE   record deterministic metrics (DESIGN.md §12): per-round
+//                    JSONL snapshots into FILE, the final Prometheus text
+//                    exposition into FILE.prom, and print a summary table
+//                    (default: SPFAIL_METRICS when set); both files are
+//                    bit-identical at any thread count for a fixed seed, and
+//                    across --halt-after-rounds / --resume
+//   --metrics-wall   additionally record real wall-clock stage timings
+//                    (<name>_wall_ns families; SPFAIL_METRICS_WALL=1). These
+//                    are profiling data, not deterministic — they appear in
+//                    the metric outputs only with this flag
 //   --checkpoint FILE
 //                    write a resumable snapshot of the study state to FILE
 //                    (atomically, at round boundaries)
@@ -42,8 +52,10 @@
 // with exit code 2 instead of silently coercing them.
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "net/trace_stats.hpp"
+#include "obs/lane.hpp"
 #include "report/tables.hpp"
 #include "session/scan_session.hpp"
 #include "util/stats.hpp"
@@ -77,7 +89,24 @@ void emit_trace(const std::string& path, const net::WireTrace& trace) {
             << "\n  wrote " << path << " (" << trace.size() << " frames)\n";
 }
 
+// Write the JSONL round snapshots + Prometheus exposition and print the
+// metric summary table.
+void emit_metrics(session::ScanSession& session) {
+  const session::ScanConfig& config = session.config();
+  session.write_metrics_files();
+  std::cout << "\n"
+            << report::metrics_summary(*session.metrics(), config.metrics_wall)
+            << "\n  wrote " << config.metrics_path << " ("
+            << session.metric_lines().size() << " snapshots)\n  wrote "
+            << config.metrics_path << ".prom\n";
+}
+
 int run(const session::ScanConfig& config) {
+  // Worker threads read this process-wide flag, so it is installed for the
+  // whole run, before the session spawns anything.
+  std::optional<obs::WallProfileScope> wall;
+  if (config.metrics_wall) wall.emplace();
+
   session::ScanSession session(config);
 
   std::cout << "[1/3] Synthesising the Internet (scale " << config.scale
@@ -100,6 +129,7 @@ int run(const session::ScanConfig& config) {
       std::cout << report::degradation_table(report.degradation) << "\n";
     }
     if (session.trace()) emit_trace(config.trace_path, *session.trace());
+    if (session.metrics() != nullptr) emit_metrics(session);
     return 0;
   }
 
@@ -109,7 +139,8 @@ int run(const session::ScanConfig& config) {
   const longitudinal::StudyReport* report = session.study();
   if (report == nullptr) {
     // Halted at a checkpoint (--halt-after-rounds); the stderr status line
-    // already named the snapshot to resume from.
+    // already named the snapshot to resume from. The metric stream so far
+    // rides in the checkpoint, so no partial files are written here.
     return 0;
   }
 
@@ -137,6 +168,7 @@ int run(const session::ScanConfig& config) {
     std::cout << "\n" << report::degradation_table(report->degradation) << "\n";
   }
   if (session.trace()) emit_trace(config.trace_path, *session.trace());
+  if (session.metrics() != nullptr) emit_metrics(session);
 
   if (!config.csv_dir.empty()) {
     std::cout << "\nCSV export:\n";

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/lane.hpp"
+
 namespace spfail::dns {
 
 void CachingForwarder::inject_faults(const faults::FaultPlan* plan,
@@ -23,6 +25,8 @@ Message CachingForwarder::handle(const Message& query,
   const auto it = cache_.find(key);
   if (it != cache_.end() && it->second.expires > clock_.now()) {
     ++cache_hits_;
+    obs::count("dns_cache_total",
+               {{"component", "forwarder"}, {"result", "hit"}});
     Message response = it->second.response;
     response.header.id = query.header.id;  // match the client's transaction
     return response;
@@ -45,9 +49,12 @@ Message CachingForwarder::handle(const Message& query,
     transport_.exchange(upstream_, query, self_, upstream_endpoint_, client,
                         fault);
     ++fault_retries_;
+    obs::count("dns_fault_retries_total", {{"component", "forwarder"}});
   }
 
   ++upstream_queries_;
+  obs::count("dns_cache_total",
+             {{"component", "forwarder"}, {"result", "miss"}});
   const Message response =
       transport_.exchange(upstream_, query, self_, upstream_endpoint_, client);
 

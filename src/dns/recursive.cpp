@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/lane.hpp"
+
 namespace spfail::dns {
 
 void NameServerRegistry::add(const Name& nameserver,
@@ -40,8 +42,12 @@ ResolveResult RecursiveResolver::resolve(const Name& qname, RRType qtype) {
   if (cached != answer_cache_.end() && cached->second.expires > clock_.now()) {
     ++stats_.cache_hits;
     ++stats_.answers_from_cache;
+    obs::count("dns_cache_total",
+               {{"component", "recursive"}, {"result", "hit"}});
     return cached->second.result;
   }
+  obs::count("dns_cache_total",
+             {{"component", "recursive"}, {"result", "miss"}});
 
   if (transport_.fault_plan() == nullptr ||
       !transport_.fault_plan()->enabled()) {
@@ -73,6 +79,12 @@ ResolveResult RecursiveResolver::resolve(const Name& qname, RRType qtype) {
         faulted = false;
         break;
     }
+    // None of the resolver's fault kinds reach a transport exchange (even
+    // the lame-delegation chase dead-ends before one), so the injection is
+    // booked here rather than in Transport.
+    if (faulted) {
+      obs::count("net_injected_total", {{"kind", to_string(fault.kind)}});
+    }
     if (!faulted) {
       return resolve_once(qname, qtype, cache_key, /*lame=*/false);
     }
@@ -82,6 +94,7 @@ ResolveResult RecursiveResolver::resolve(const Name& qname, RRType qtype) {
     }
     if (!retry_.allow_retry(tried, /*budget_left=*/1)) return result;
     ++stats_.retries;
+    obs::count("dns_fault_retries_total", {{"component", "recursive"}});
   }
 }
 

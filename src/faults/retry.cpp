@@ -1,5 +1,6 @@
 #include "faults/retry.hpp"
 
+#include "obs/lane.hpp"
 #include "util/rng.hpp"
 
 namespace spfail::faults {
@@ -30,7 +31,9 @@ util::SimTime RetryPolicy::backoff(std::uint64_t key, std::uint64_t round,
     wait *= 1.0 + config_.jitter * (2.0 * rng.uniform01() - 1.0);
   }
   const auto rounded = static_cast<util::SimTime>(wait);
-  return rounded < 1 ? 1 : rounded;
+  const auto clamped = rounded < 1 ? 1 : rounded;
+  obs::observe("retry_backoff_sim_seconds", clamped);
+  return clamped;
 }
 
 util::SimTime RetryPolicy::backoff(const util::IpAddress& address,

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/lane.hpp"
 #include "population/paper_constants.hpp"
 #include "scan/prober.hpp"
 
@@ -129,10 +130,15 @@ void Study::run_batch(State& state, const std::vector<ObserveJob>& jobs,
   std::vector<util::SimTime> advances(shard_count, 0);
   std::vector<faults::DegradationReport> degs(shard_count);
   std::vector<net::WireTrace> traces(shard_count);
+  std::vector<obs::Registry> metric_lanes(shard_count);
   pool.parallel_for_shards(
       jobs.size(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
         util::SimClock::Lane clock_lane(fleet_.clock());
         dns::AuthoritativeServer::LogLane log_lane(fleet_.dns(), logs[shard]);
+        std::optional<obs::MetricsLane> metrics_lane;
+        if (config_.metrics != nullptr) {
+          metrics_lane.emplace(metric_lanes[shard]);
+        }
         scan::ProberConfig prober_config;
         prober_config.responder = fleet_.responder();
         net::Transport transport(fleet_.clock());
@@ -158,6 +164,9 @@ void Study::run_batch(State& state, const std::vector<ObserveJob>& jobs,
   if (config_.trace != nullptr) {
     // Shard order is job — i.e. master — order, the serial sequence.
     for (auto& trace : traces) config_.trace->splice(std::move(trace));
+  }
+  if (config_.metrics != nullptr) {
+    for (const auto& lane : metric_lanes) config_.metrics->merge(lane);
   }
 }
 
@@ -280,6 +289,7 @@ Study::State Study::begin() {
   campaign_config.faults = config_.faults;
   campaign_config.retry = config_.retry;
   campaign_config.trace = config_.trace;
+  campaign_config.metrics = config_.metrics;
   scan::Campaign campaign(campaign_config, fleet_.dns(), fleet_.clock(),
                           fleet_);
   state.report.initial = campaign.run(fleet_.targets());
@@ -302,6 +312,9 @@ void Study::run_round(State& state) {
   // Serial pre-pass in address order: patch events and the loss process
   // draw here, so the RNG sequence is independent of sharding; survivors
   // become this round's job list.
+  std::size_t patch_events = 0;
+  std::size_t blacklist_events = 0;
+  std::size_t transient_skips = 0;
   std::vector<ObserveJob> jobs;
   std::vector<Observation> results;
   jobs.reserve(state.vulnerable_addresses.size());
@@ -315,6 +328,7 @@ void Study::run_round(State& state) {
     if (decision.will_patch && !host->is_patched() &&
         decision.patch_time <= round_time) {
       host->apply_patch();
+      ++patch_events;
     }
 
     // Loss process: permanent blacklisting plus transient failures. New
@@ -329,10 +343,14 @@ void Study::run_round(State& state) {
       if (state.loss_rng.bernoulli(rate)) {
         state.blacklisted.insert(address);
         host->set_blacklisted(true);
+        ++blacklist_events;
       }
     }
     if (state.blacklisted.count(address) > 0) continue;  // stays Inconclusive
-    if (state.loss_rng.bernoulli(config_.transient_failure_rate)) continue;
+    if (state.loss_rng.bernoulli(config_.transient_failure_rate)) {
+      ++transient_skips;
+      continue;
+    }
 
     jobs.push_back(ObserveJob{address, state.working_test.at(address), 2 * i});
   }
@@ -362,6 +380,23 @@ void Study::run_round(State& state) {
     }
   }
   state.remeasurable.resize(kept);
+
+  // Serial round roll-up: all gauges/counters below are written outside any
+  // shard lane, per the §12 merge rule (gauges are serial-section-only).
+  if (config_.metrics != nullptr) {
+    obs::Registry& m = *config_.metrics;
+    m.counter("study_rounds_total") += 1;
+    m.counter("study_patch_events_total") += patch_events;
+    m.counter("study_blacklist_events_total") += blacklist_events;
+    m.counter("study_transient_skips_total") += transient_skips;
+    m.gauge("study_round") = static_cast<std::int64_t>(round);
+    m.gauge("study_round_patch_events") =
+        static_cast<std::int64_t>(patch_events);
+    m.gauge("study_blacklisted_addresses") =
+        static_cast<std::int64_t>(state.blacklisted.size());
+    m.gauge("study_remeasurable_pending") =
+        static_cast<std::int64_t>(state.remeasurable.size());
+  }
 
   state.next_round = round + 1;
 }
@@ -539,6 +574,10 @@ snapshot::StudySnapshot Study::capture(const State& state) const {
     capture_host(address);
   }
   if (config_.trace != nullptr) snap.trace = config_.trace->frames();
+  if (config_.metrics != nullptr) {
+    snap.has_metrics = true;
+    snap.metrics = *config_.metrics;
+  }
   return snap;
 }
 
@@ -669,6 +708,18 @@ Study::State Study::restore(const snapshot::StudySnapshot& snap) {
   if (config_.trace != nullptr) {
     config_.trace->clear();
     for (const auto& frame : snap.trace) config_.trace->record(frame);
+  }
+
+  // Same contract for metrics: a resumed run must continue accumulating on
+  // top of exactly the state the halted run checkpointed.
+  if (snap.has_metrics != (config_.metrics != nullptr)) {
+    throw snapshot::SnapshotError(
+        snap.has_metrics
+            ? "snapshot carries metrics, this run has them disabled"
+            : "snapshot has no metrics, this run expects them");
+  }
+  if (config_.metrics != nullptr) {
+    *config_.metrics = snap.metrics;
   }
   return state;
 }

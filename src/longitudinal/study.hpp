@@ -67,6 +67,13 @@ struct StudyConfig {
   // observation records under its stable label-slot lane id, so the trace is
   // bit-identical at any thread count. Not owned; null = off.
   net::WireTrace* trace = nullptr;
+
+  // Metrics destination for the whole study (DESIGN.md §12): threaded into
+  // the initial campaign and installed as per-shard lanes around every
+  // longitudinal batch, merged in shard order; the serial round pre-pass
+  // books its own gauges/counters directly. Rides in capture()/restore() so
+  // a resumed run's metric output is byte-identical. Not owned; null = off.
+  obs::Registry* metrics = nullptr;
 };
 
 // Which domain set a series or total refers to.

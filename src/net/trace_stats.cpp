@@ -1,39 +1,100 @@
 #include "net/trace_stats.hpp"
 
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
+
+#include "obs/lane.hpp"
 
 namespace spfail::net {
 
+namespace {
+
+// Rendered cell keys look like verb="MAIL" — recover the value between the
+// quotes. The renderer writes exactly one label for these families.
+std::string label_value(const std::string& key) {
+  const auto open = key.find('"');
+  const auto close = key.rfind('"');
+  if (open == std::string::npos || close <= open) return key;
+  return key.substr(open + 1, close - open - 1);
+}
+
+std::size_t counter_total(const obs::Registry& registry,
+                          std::string_view name) {
+  const obs::Family* family = registry.find(name);
+  if (family == nullptr) return 0;
+  std::size_t total = 0;
+  for (const auto& [labels, cell] : family->cells) total += cell.counter;
+  return total;
+}
+
+void counter_by_label(const obs::Registry& registry, std::string_view name,
+                      std::map<std::string, std::size_t>& out) {
+  const obs::Family* family = registry.find(name);
+  if (family == nullptr) return;
+  for (const auto& [labels, cell] : family->cells) {
+    out[label_value(labels)] = cell.counter;
+  }
+}
+
+}  // namespace
+
 TraceStats TraceStats::from(const WireTrace& trace) {
-  TraceStats stats;
+  obs::Registry registry;
   std::unordered_set<std::uint64_t> lanes;
   std::set<std::string> endpoints;
-  for (const Frame& frame : trace.frames()) {
-    ++stats.frames;
-    lanes.insert(frame.lane);
-    endpoints.insert(frame.src);
-    endpoints.insert(frame.dst);
-    if (frame.injected) ++stats.injected;
-    switch (frame.kind) {
-      case FrameKind::SmtpCommand:
-        ++stats.smtp_commands;
-        if (!frame.verb.empty()) ++stats.smtp_verbs[frame.verb];
-        break;
-      case FrameKind::SmtpReply:
-        ++stats.smtp_replies;
-        break;
-      case FrameKind::DnsQuery:
-        ++stats.dns_queries;
-        break;
-      case FrameKind::DnsResponse:
-        ++stats.dns_responses;
-        ++stats.dns_rcodes[frame.rcode];
-        break;
+  // Per work lane: the time of the previous frame. Each subsequent frame
+  // observes its gap to the predecessor under its own protocol — the per-hop
+  // sim-latency (frame costs, DNS resolution stalls, injected latency
+  // spikes all widen it; lane-relative times keep it sharding-invariant).
+  std::unordered_map<std::uint64_t, util::SimTime> last_time;
+  {
+    const obs::MetricsLane tally(registry);
+    for (const Frame& frame : trace.frames()) {
+      lanes.insert(frame.lane);
+      endpoints.insert(frame.src);
+      endpoints.insert(frame.dst);
+      obs::count("trace_frames_total", {{"kind", to_string(frame.kind)}});
+      if (frame.injected) obs::count("trace_injected_total");
+      const bool smtp = frame.kind == FrameKind::SmtpCommand ||
+                        frame.kind == FrameKind::SmtpReply;
+      if (const auto it = last_time.find(frame.lane); it != last_time.end()) {
+        obs::observe("trace_hop_sim_latency", frame.time - it->second,
+                     {{"proto", smtp ? "smtp" : "dns"}});
+      }
+      last_time[frame.lane] = frame.time;
+      if (frame.kind == FrameKind::SmtpCommand && !frame.verb.empty()) {
+        obs::count("trace_smtp_verbs_total", {{"verb", frame.verb}});
+      }
+      if (frame.kind == FrameKind::DnsResponse) {
+        obs::count("trace_dns_rcodes_total", {{"rcode", frame.rcode}});
+      }
     }
   }
+
+  TraceStats stats;
+  const auto kind_count = [&](FrameKind kind) -> std::size_t {
+    const obs::Family* family = registry.find("trace_frames_total");
+    if (family == nullptr) return 0;
+    const auto it =
+        family->cells.find(obs::render_labels({{"kind", to_string(kind)}}));
+    return it == family->cells.end() ? 0 : it->second.counter;
+  };
+  stats.smtp_commands = kind_count(FrameKind::SmtpCommand);
+  stats.smtp_replies = kind_count(FrameKind::SmtpReply);
+  stats.dns_queries = kind_count(FrameKind::DnsQuery);
+  stats.dns_responses = kind_count(FrameKind::DnsResponse);
+  stats.frames = counter_total(registry, "trace_frames_total");
+  stats.injected = counter_total(registry, "trace_injected_total");
   stats.lanes = lanes.size();
   stats.endpoints = endpoints.size();
+  counter_by_label(registry, "trace_smtp_verbs_total", stats.smtp_verbs);
+  counter_by_label(registry, "trace_dns_rcodes_total", stats.dns_rcodes);
+  stats.smtp_hop_latency =
+      registry.histogram("trace_hop_sim_latency", {{"proto", "smtp"}});
+  stats.dns_hop_latency =
+      registry.histogram("trace_hop_sim_latency", {{"proto", "dns"}});
   return stats;
 }
 

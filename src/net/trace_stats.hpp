@@ -1,5 +1,13 @@
 // Summary statistics over a WireTrace — the numbers behind the
 // `spfail_scan --trace` summary table (rendered by report::trace_summary).
+//
+// Tallying runs through an obs::Registry behind an inner MetricsLane (the
+// nesting case that lane discipline exists for), so the trace summary and
+// the live metric stream share one counting implementation. On top of the
+// frame counts this derives per-protocol hop latency: within each work lane,
+// every frame observes the simulated-time gap to the lane's previous frame
+// into a fixed-bucket histogram under its protocol (so p50/p95/max are
+// thread-count-invariant).
 #pragma once
 
 #include <cstddef>
@@ -7,6 +15,7 @@
 #include <string>
 
 #include "net/wire_trace.hpp"
+#include "obs/metrics.hpp"
 
 namespace spfail::net {
 
@@ -24,6 +33,12 @@ struct TraceStats {
   // counted in smtp_commands only) and per-rcode DNS response counts.
   std::map<std::string, std::size_t> smtp_verbs;
   std::map<std::string, std::size_t> dns_rcodes;
+
+  // Simulated inter-frame (hop) latency per protocol, measured within each
+  // work lane. Lane-relative frame times make the distributions identical
+  // at any thread count.
+  obs::Histogram smtp_hop_latency;
+  obs::Histogram dns_hop_latency;
 
   static TraceStats from(const WireTrace& trace);
 };

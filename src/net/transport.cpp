@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/lane.hpp"
 #include "util/rng.hpp"
 
 namespace spfail::net {
@@ -74,6 +75,7 @@ void SmtpChannel::emit_reply(const smtp::Reply& reply, bool injected) {
 }
 
 smtp::Reply SmtpChannel::inject() {
+  obs::count("net_injected_total", {{"kind", to_string(fault_.kind)}});
   if (fault_.kind == faults::FaultKind::SmtpTempfail) {
     last_injected_ = true;
     const smtp::Reply reply{fault_.smtp_code,
@@ -92,6 +94,9 @@ smtp::Reply SmtpChannel::inject() {
 
 smtp::Reply SmtpChannel::greeting() {
   transport_.charge_smtp();
+  obs::count("net_frames_total", {{"proto", "smtp"}, {"dir", "s2c"}});
+  obs::observe("net_hop_sim_latency", transport_.config().smtp_frame_cost,
+               {{"proto", "smtp"}});
   if (armed_ && fault_.stage == faults::SmtpStage::Helo) {
     armed_ = false;
     return inject();
@@ -104,6 +109,9 @@ smtp::Reply SmtpChannel::greeting() {
 smtp::Reply SmtpChannel::send(const std::string& line) {
   const std::string verb = session_.in_data() ? std::string{} : verb_of(line);
   transport_.charge_smtp();
+  obs::count("net_frames_total", {{"proto", "smtp"}, {"dir", "c2s"}});
+  obs::observe("net_hop_sim_latency", transport_.config().smtp_frame_cost,
+               {{"proto", "smtp"}});
   emit_command(verb, line);
   const auto stage = stage_of(verb);
   if (armed_ && stage.has_value() && *stage == fault_.stage) {
@@ -122,7 +130,11 @@ SmtpChannel Transport::open(smtp::ServerSession& session, Endpoint client,
                             const faults::FaultDecision& fault) {
   // A latency spike stretches the dialog but changes nothing else; it is
   // charged up front, at connection setup.
-  if (fault.kind == faults::FaultKind::LatencySpike) charge(fault.latency);
+  if (fault.kind == faults::FaultKind::LatencySpike) {
+    charge(fault.latency);
+    obs::count("net_injected_total", {{"kind", to_string(fault.kind)}});
+    obs::observe("net_injected_latency_sim_seconds", fault.latency);
+  }
   return SmtpChannel(*this, session, std::move(client), std::move(server),
                      fault);
 }
@@ -133,6 +145,10 @@ dns::Message Transport::exchange(dns::DnsService& service,
                                  const util::IpAddress& client,
                                  const faults::FaultDecision& fault) {
   charge(config_.dns_frame_cost);
+  obs::count("net_frames_total", {{"proto", "dns"}, {"dir", "c2s"}});
+  obs::count("net_frames_total", {{"proto", "dns"}, {"dir", "s2c"}});
+  obs::observe("net_hop_sim_latency", config_.dns_frame_cost,
+               {{"proto", "dns"}});
   const bool tracing = WireTrace::Lane::active();
   const dns::Question* q =
       query.questions.empty() ? nullptr : &query.questions.front();
@@ -153,11 +169,13 @@ dns::Message Transport::exchange(dns::DnsService& service,
     // The network ate the query: the service is never reached.
     ++injected_;
     injected = true;
+    obs::count("net_injected_total", {{"kind", to_string(fault.kind)}});
     response = dns::Message::make_response(query, dns::Rcode::ServFail);
   } else {
     // Round-trip through the wire codec so the substrate sees real messages.
     response = service.handle(dns::decode(dns::encode(query)), client, now());
   }
+  obs::count("dns_rcode_total", {{"rcode", to_string(response.header.rcode)}});
 
   if (tracing && q != nullptr) {
     Frame frame;

@@ -1,0 +1,127 @@
+#include "obs/export.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace spfail::obs {
+
+namespace {
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// "name{labels}" or bare "name" — the exposition-style cell key reused as
+// the JSON object key so the two exports cross-reference trivially.
+std::string cell_key(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + '{' + labels + '}';
+}
+
+// Splice an `le` label into an existing (possibly empty) label string.
+std::string with_le(const std::string& labels, const std::string& bound) {
+  std::string out = labels;
+  if (!out.empty()) out += ',';
+  out += "le=\"" + bound + '"';
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(const Registry& registry, std::ostream& out,
+                      bool include_wall) {
+  for (const auto& [name, family] : registry.families()) {
+    if (family.wall && !include_wall) continue;
+    out << "# TYPE " << name << ' ' << to_string(family.kind) << '\n';
+    for (const auto& [labels, metric] : family.cells) {
+      switch (family.kind) {
+        case MetricKind::Counter:
+          out << cell_key(name, labels) << ' ' << metric.counter << '\n';
+          break;
+        case MetricKind::Gauge:
+          out << cell_key(name, labels) << ' ' << metric.gauge << '\n';
+          break;
+        case MetricKind::Histogram: {
+          const Histogram& h = metric.histogram;
+          std::uint64_t cumulative = 0;
+          for (int i = 0; i < Histogram::kBucketCount - 1; ++i) {
+            const auto in_bucket = h.buckets()[static_cast<std::size_t>(i)];
+            if (in_bucket == 0) continue;
+            cumulative += in_bucket;
+            out << name << "_bucket{"
+                << with_le(labels, std::to_string(Histogram::bucket_bound(i)))
+                << "} " << cumulative << '\n';
+          }
+          out << name << "_bucket{" << with_le(labels, "+Inf") << "} "
+              << h.count() << '\n';
+          out << cell_key(name + "_sum", labels) << ' ' << h.sum() << '\n';
+          out << cell_key(name + "_count", labels) << ' ' << h.count()
+              << '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::string round_snapshot_json(const Registry& registry,
+                                std::string_view phase, int round,
+                                bool include_wall) {
+  std::ostringstream out;
+  out << "{\"phase\":\"" << json_escape(phase) << '"';
+  if (round >= 0) out << ",\"round\":" << round;
+  for (const MetricKind kind :
+       {MetricKind::Counter, MetricKind::Gauge, MetricKind::Histogram}) {
+    const char* section = kind == MetricKind::Counter  ? "counters"
+                          : kind == MetricKind::Gauge ? "gauges"
+                                                      : "histograms";
+    out << ",\"" << section << "\":{";
+    bool first = true;
+    for (const auto& [name, family] : registry.families()) {
+      if (family.kind != kind) continue;
+      if (family.wall && !include_wall) continue;
+      for (const auto& [labels, metric] : family.cells) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << json_escape(cell_key(name, labels)) << "\":";
+        switch (kind) {
+          case MetricKind::Counter:
+            out << metric.counter;
+            break;
+          case MetricKind::Gauge:
+            out << metric.gauge;
+            break;
+          case MetricKind::Histogram: {
+            const Histogram& h = metric.histogram;
+            out << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+                << ",\"max\":" << h.max() << ",\"p50\":" << h.quantile(0.5)
+                << ",\"p95\":" << h.quantile(0.95) << '}';
+            break;
+          }
+        }
+      }
+    }
+    out << '}';
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace spfail::obs

@@ -1,0 +1,32 @@
+// Deterministic renderings of a Registry (DESIGN.md §12).
+//
+// Two formats, both byte-stable for a given registry because families and
+// cells iterate in map order and all numbers are integers:
+//   - Prometheus text exposition, for the final post-run scrape file;
+//   - a one-line JSON object per round, appended to a JSONL stream, so a
+//     longitudinal run leaves a per-round time series of every metric.
+// Wall-clock families are skipped unless `include_wall` — they are the one
+// intentionally non-deterministic lane and must not reach golden outputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace spfail::obs {
+
+// Full text exposition: "# TYPE" headers, histogram cells expanded into
+// cumulative _bucket{le="..."} series (zero-delta buckets elided, +Inf
+// always present) plus _sum and _count.
+void write_prometheus(const Registry& registry, std::ostream& out,
+                      bool include_wall = false);
+
+// One JSONL line (no trailing newline): {"phase":...,"round":...,
+// "counters":{...},"gauges":{...},"histograms":{name:{count,sum,max,p50,
+// p95}}}. `round` is emitted only when >= 0.
+std::string round_snapshot_json(const Registry& registry,
+                                std::string_view phase, int round = -1,
+                                bool include_wall = false);
+
+}  // namespace spfail::obs

@@ -1,0 +1,76 @@
+#include "obs/lane.hpp"
+
+#include <atomic>
+
+namespace spfail::obs {
+
+namespace {
+
+thread_local Registry* t_registry = nullptr;
+std::atomic<bool> g_wall_profile{false};
+
+}  // namespace
+
+MetricsLane::MetricsLane(Registry& registry) : previous_(t_registry) {
+  t_registry = &registry;
+}
+
+MetricsLane::~MetricsLane() { t_registry = previous_; }
+
+Registry* MetricsLane::current() noexcept { return t_registry; }
+
+WallProfileScope::WallProfileScope()
+    : previous_(g_wall_profile.exchange(true, std::memory_order_relaxed)) {}
+
+WallProfileScope::~WallProfileScope() {
+  g_wall_profile.store(previous_, std::memory_order_relaxed);
+}
+
+bool WallProfileScope::enabled() noexcept {
+  return g_wall_profile.load(std::memory_order_relaxed);
+}
+
+void count(std::string_view name, std::initializer_list<Label> labels,
+           std::uint64_t delta) {
+  if (t_registry == nullptr) return;
+  t_registry->counter_cell(name, render_labels(labels)) += delta;
+}
+
+void observe(std::string_view name, std::int64_t value,
+             std::initializer_list<Label> labels) {
+  if (t_registry == nullptr) return;
+  t_registry->histogram_cell(name, render_labels(labels)).observe(value);
+}
+
+void gauge_set(std::string_view name, std::int64_t value,
+               std::initializer_list<Label> labels) {
+  if (t_registry == nullptr) return;
+  t_registry->gauge_cell(name, render_labels(labels)) = value;
+}
+
+ScopedTimer::ScopedTimer(std::string_view name,
+                         std::function<util::SimTime()> now,
+                         std::initializer_list<Label> labels)
+    : registry_(t_registry) {
+  if (registry_ == nullptr) return;
+  name_ = name;
+  labels_ = render_labels(labels);
+  now_ = std::move(now);
+  start_ = now_();
+  wall_ = WallProfileScope::enabled();
+  if (wall_) wall_start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (registry_ == nullptr) return;
+  registry_->histogram_cell(name_, labels_).observe(now_() - start_);
+  if (wall_) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - wall_start_);
+    registry_
+        ->histogram_cell(name_ + "_wall_ns", labels_, /*wall=*/true)
+        .observe(elapsed.count());
+  }
+}
+
+}  // namespace spfail::obs

@@ -1,0 +1,99 @@
+// Thread-local metric lanes and the instrumentation hooks that feed them.
+//
+// Low-level components (Transport, Prober, resolvers, RetryPolicy) must not
+// carry a Registry pointer through every constructor, so instrumentation
+// goes through free hooks — obs::count / obs::observe / obs::gauge_set —
+// that write to whatever Registry the calling thread has installed via a
+// MetricsLane, and no-op (a branch on a thread_local pointer) when none is
+// active. This mirrors net::WireTrace::Lane, with one deliberate
+// difference: lanes nest. An inner scope may redirect to a scratch registry
+// (TraceStats does this to tally frames) and the outer lane is restored on
+// destruction, so orchestrator and component instrumentation compose.
+//
+// Concurrency contract, same as SimClock/WireTrace lanes: each worker
+// thread installs a lane over its own shard-local Registry, and the
+// orchestrator merges shard registries in shard-index order after the
+// barrier. Counters and histograms merge commutatively, so any thread count
+// yields the same master registry; gauges are serial-section-only.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+
+#include "obs/metrics.hpp"
+#include "util/clock.hpp"
+
+namespace spfail::obs {
+
+// RAII: route this thread's metric hooks into `registry` until destruction,
+// then restore whatever lane (or none) was active before.
+class MetricsLane {
+ public:
+  explicit MetricsLane(Registry& registry);
+  ~MetricsLane();
+
+  MetricsLane(const MetricsLane&) = delete;
+  MetricsLane& operator=(const MetricsLane&) = delete;
+
+  // The registry the current thread's hooks write to, or nullptr.
+  static Registry* current() noexcept;
+  static bool active() noexcept { return current() != nullptr; }
+
+ private:
+  Registry* previous_;
+};
+
+// Enable the opt-in wall-clock lane process-wide (spfail_scan sets it from
+// --metrics-wall before any workers spawn; worker threads must see it, so
+// the flag is global, not per-thread). Wall families are tagged so
+// exporters can keep them out of golden outputs.
+class WallProfileScope {
+ public:
+  WallProfileScope();
+  ~WallProfileScope();
+
+  WallProfileScope(const WallProfileScope&) = delete;
+  WallProfileScope& operator=(const WallProfileScope&) = delete;
+
+  static bool enabled() noexcept;
+
+ private:
+  bool previous_;
+};
+
+// Hooks: no-ops without an active lane, so instrumented components cost one
+// predicted branch when metrics are off.
+void count(std::string_view name, std::initializer_list<Label> labels = {},
+           std::uint64_t delta = 1);
+void observe(std::string_view name, std::int64_t value,
+             std::initializer_list<Label> labels = {});
+void gauge_set(std::string_view name, std::int64_t value,
+               std::initializer_list<Label> labels = {});
+
+// Times a scope against the simulated clock: reads `now` at construction
+// and again at destruction, observing the elapsed SimTime into `name`.
+// Constructed inert when no lane is active (the clock is never read).
+// When wall profiling is enabled it additionally records real elapsed
+// nanoseconds into "<name>_wall_ns", a wall-tagged family.
+class ScopedTimer {
+ public:
+  ScopedTimer(std::string_view name, std::function<util::SimTime()> now,
+              std::initializer_list<Label> labels = {});
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Registry* registry_;  // captured at construction; nullptr => inert
+  std::string name_;
+  std::string labels_;
+  std::function<util::SimTime()> now_;
+  util::SimTime start_ = 0;
+  bool wall_ = false;
+  std::chrono::steady_clock::time_point wall_start_{};
+};
+
+}  // namespace spfail::obs

@@ -650,6 +650,22 @@ util::TextTable trace_summary(const net::TraceStats& stats) {
   table.add_row({"Injected (faults)", count(stats.injected)});
   table.add_row({"Work lanes", count(stats.lanes)});
   table.add_row({"Endpoints", count(stats.endpoints)});
+  const auto hop_rows = [&](const char* proto, const obs::Histogram& h) {
+    if (h.count() == 0) return;
+    const std::string prefix = std::string(proto) + " hop sim-latency ";
+    table.add_row({prefix + "p50",
+                   with_commas(static_cast<long long>(h.quantile(0.5)))});
+    table.add_row({prefix + "p95",
+                   with_commas(static_cast<long long>(h.quantile(0.95)))});
+    table.add_row(
+        {prefix + "max", with_commas(static_cast<long long>(h.max()))});
+  };
+  if (stats.smtp_hop_latency.count() > 0 ||
+      stats.dns_hop_latency.count() > 0) {
+    table.add_rule();
+    hop_rows("SMTP", stats.smtp_hop_latency);
+    hop_rows("DNS", stats.dns_hop_latency);
+  }
   if (!stats.smtp_verbs.empty()) {
     table.add_rule();
     for (const auto& [verb, n] : stats.smtp_verbs) {
@@ -660,6 +676,40 @@ util::TextTable trace_summary(const net::TraceStats& stats) {
     table.add_rule();
     for (const auto& [rcode, n] : stats.dns_rcodes) {
       table.add_row({"DNS " + rcode, count(n)});
+    }
+  }
+  return table;
+}
+
+util::TextTable metrics_summary(const obs::Registry& registry,
+                                bool include_wall) {
+  TextTable table({"Metric", "Kind", "Value"},
+                  {Align::Left, Align::Left, Align::Right});
+  const auto num = [](std::int64_t v) {
+    return with_commas(static_cast<long long>(v));
+  };
+  for (const auto& [name, family] : registry.families()) {
+    if (family.wall && !include_wall) continue;
+    for (const auto& [labels, cell] : family.cells) {
+      const std::string key = labels.empty() ? name : name + "{" + labels + "}";
+      switch (family.kind) {
+        case obs::MetricKind::Counter:
+          table.add_row({key, "counter",
+                         num(static_cast<std::int64_t>(cell.counter))});
+          break;
+        case obs::MetricKind::Gauge:
+          table.add_row({key, "gauge", num(cell.gauge)});
+          break;
+        case obs::MetricKind::Histogram: {
+          const obs::Histogram& h = cell.histogram;
+          table.add_row(
+              {key, "histogram",
+               "n=" + num(static_cast<std::int64_t>(h.count())) +
+                   " p50=" + num(h.quantile(0.5)) +
+                   " p95=" + num(h.quantile(0.95)) + " max=" + num(h.max())});
+          break;
+        }
+      }
     }
   }
   return table;

@@ -10,6 +10,7 @@
 
 #include "longitudinal/study.hpp"
 #include "net/trace_stats.hpp"
+#include "obs/metrics.hpp"
 #include "population/fleet.hpp"
 #include "util/table.hpp"
 
@@ -82,8 +83,16 @@ std::vector<double> vulnerability_series(const population::Fleet& fleet,
 // study-wide): injected fault mix, retry/re-queue recovery, conclusive rate.
 util::TextTable degradation_table(const faults::DegradationReport& report);
 
-// `spfail_scan --trace` summary: frame counts by kind, the SMTP verb and DNS
-// rcode mixes, distinct lanes/endpoints, and the injected-frame share.
+// `spfail_scan --trace` summary: frame counts by kind, per-protocol hop
+// sim-latency quantiles, the SMTP verb and DNS rcode mixes, distinct
+// lanes/endpoints, and the injected-frame share.
 util::TextTable trace_summary(const net::TraceStats& stats);
+
+// `spfail_scan --metrics` summary: one row per metric cell — counters and
+// gauges with their value, histograms with count/p50/p95/max in simulated
+// units. Wall-clock families are skipped unless `include_wall`; rows follow
+// the registry's ordered-map iteration, so the table is deterministic.
+util::TextTable metrics_summary(const obs::Registry& registry,
+                                bool include_wall = false);
 
 }  // namespace spfail::report

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/lane.hpp"
 #include "util/rng.hpp"
 
 namespace spfail::scan {
@@ -185,6 +186,8 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
     // shard layout.
     net::WireTrace wave1;
     net::WireTrace wave2;
+    // Shard-local metric lane, merged into config_.metrics in shard order.
+    obs::Registry metrics;
   };
   std::vector<ShardResult> shards(pool->shard_count(order.size()));
 
@@ -195,6 +198,8 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
     out.outcomes.reserve(end - begin);
     util::SimClock::Lane clock_lane(clock_);
     dns::AuthoritativeServer::LogLane log_lane(server_, out.log);
+    std::optional<obs::MetricsLane> metrics_lane;
+    if (config_.metrics != nullptr) metrics_lane.emplace(out.metrics);
     net::Transport transport(clock_);
     Prober prober(config_.prober, server_, transport);  // one per shard, reused
 
@@ -290,6 +295,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
     total_advance += shard.advance;
     server_.query_log().splice(std::move(shard.log));
     report.degradation.merge(shard.deg);
+    if (config_.metrics != nullptr) config_.metrics->merge(shard.metrics);
     for (auto& outcome : shard.outcomes) {
       const util::IpAddress address = outcome.address;
       report.addresses.emplace(address, std::move(outcome));
@@ -354,6 +360,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
         faults::DegradationReport deg;
         std::size_t recovered = 0;
         net::WireTrace trace;
+        obs::Registry metrics;
       };
       std::vector<RequeueShard> rq_shards(pool->shard_count(requeue.size()));
       pool->parallel_for_shards(requeue.size(), [&](std::size_t shard,
@@ -362,6 +369,8 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
         RequeueShard& out = rq_shards[shard];
         util::SimClock::Lane clock_lane(clock_);
         dns::AuthoritativeServer::LogLane log_lane(server_, out.log);
+        std::optional<obs::MetricsLane> metrics_lane;
+        if (config_.metrics != nullptr) metrics_lane.emplace(out.metrics);
         net::Transport transport(clock_);
         Prober prober(config_.prober, server_, transport);
         for (std::size_t j = begin; j < end; ++j) {
@@ -444,6 +453,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
         report.degradation.merge(shard.deg);
         report.degradation.requeue_recovered += shard.recovered;
         if (tracing) config_.trace->splice(std::move(shard.trace));
+        if (config_.metrics != nullptr) config_.metrics->merge(shard.metrics);
       }
       clock_.advance_by(rq_advance);
       report.degradation.requeued += requeue.size();
@@ -464,6 +474,26 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
         ++report.degradation.recovered;
       }
     }
+  }
+
+  // Serial round roll-up into the master registry: counters accumulate
+  // across rounds, the gauges snapshot this round (the per-round JSONL
+  // stream is what gives them a time axis).
+  if (config_.metrics != nullptr) {
+    obs::Registry& m = *config_.metrics;
+    m.counter("campaign_rounds_total") += 1;
+    m.counter("campaign_addresses_tested_total") +=
+        report.degradation.addresses_tested;
+    m.counter("campaign_conclusive_total") += report.degradation.conclusive;
+    m.counter("campaign_breaker_trips_total") +=
+        report.degradation.breaker_trips;
+    m.counter("campaign_requeued_total") += report.degradation.requeued;
+    m.counter("campaign_requeue_recovered_total") +=
+        report.degradation.requeue_recovered;
+    m.gauge("campaign_round_addresses") =
+        static_cast<std::int64_t>(report.degradation.addresses_tested);
+    m.gauge("campaign_round_conclusive") =
+        static_cast<std::int64_t>(report.degradation.conclusive);
   }
 
   // 4. Domain roll-up.

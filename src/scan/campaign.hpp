@@ -23,6 +23,7 @@
 #include "faults/fault.hpp"
 #include "faults/retry.hpp"
 #include "net/wire_trace.hpp"
+#include "obs/metrics.hpp"
 #include "scan/probe_engine.hpp"
 #include "scan/prober.hpp"
 #include "util/thread_pool.hpp"
@@ -122,6 +123,12 @@ struct CampaignConfig {
   // time in wave-major master (address) order — the JSONL written from the
   // trace is bit-identical at any thread count. Not owned; null = off.
   net::WireTrace* trace = nullptr;
+
+  // Metrics destination (DESIGN.md §12): when set, each worker records into
+  // a shard-local obs::Registry behind an obs::MetricsLane, and the shard
+  // registries are merged here in shard-index order — totals are
+  // thread-count-invariant. Not owned; null = off.
+  obs::Registry* metrics = nullptr;
 
   // Circuit breaker over provider groups (IPv4 /24): a group whose wave
   // results left at least `breaker_min_transient` addresses transient, and

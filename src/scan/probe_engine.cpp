@@ -1,5 +1,7 @@
 #include "scan/probe_engine.hpp"
 
+#include "obs/lane.hpp"
+
 namespace spfail::scan {
 
 ProbeOutcome ProbeEngine::run(Prober& prober, mta::MailHost& host,
@@ -28,6 +30,7 @@ ProbeOutcome ProbeEngine::run(Prober& prober, mta::MailHost& host,
         outcome.attempts == 0 ? request.mail_from : request.retry_mail_from;
     ++outcome.attempts;
     ++deg.probe_attempts;
+    obs::count("probe_attempts_total", {{"test", to_string(request.kind)}});
     outcome.result = prober.probe(host, request.recipient_domain, mail_from,
                                   request.kind, fault);
     if (!is_transient(outcome.result.status)) break;
@@ -38,11 +41,14 @@ ProbeOutcome ProbeEngine::run(Prober& prober, mta::MailHost& host,
     }
     ++outcome.retries;
     ++deg.retries;
+    obs::count("probe_retries_total");
     // The paper: wait out a backoff (eight minutes for a plain greylist)
     // before re-attempting. Charged to this worker's clock lane.
     clock_.advance_by(retry_.backoff(request.address, request.fault_round,
                                      outcome.attempts - 1));
   }
+  obs::count("probe_outcomes_total",
+             {{"status", to_string(outcome.result.status)}});
   return outcome;
 }
 

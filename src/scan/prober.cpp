@@ -1,5 +1,8 @@
 #include "scan/prober.hpp"
 
+#include <optional>
+
+#include "obs/lane.hpp"
 #include "scan/usernames.hpp"
 
 namespace spfail::scan {
@@ -43,7 +46,16 @@ ProbeResult Prober::probe(mta::MailHost& host,
   // keeps repeated tests of the same label honest).
   const std::size_t log_cursor = server_.query_log().size();
 
-  auto session = host.connect(config_.scanner_address);
+  // Each dialog stage runs under a ScopedTimer charged to the simulated
+  // clock; a stage that returns early (fault, rejection) still closes its
+  // scope, so the stage histograms cover failed dialogs too.
+  const auto sim_now = [this] { return transport_.now(); };
+
+  auto session = [&]() -> std::optional<smtp::ServerSession> {
+    const obs::ScopedTimer timer("probe_stage_sim_seconds", sim_now,
+                                 {{"stage", "connect"}});
+    return host.connect(config_.scanner_address);
+  }();
   if (!session.has_value()) {
     result.status = ProbeStatus::ConnectionRefused;
     return result;
@@ -97,74 +109,88 @@ ProbeResult Prober::probe(mta::MailHost& host,
   };
 
   // --- HELO ---
-  const smtp::Reply banner = channel.greeting();
-  if (faulted(banner)) return result;
-  if (!banner.positive()) {
-    finish_with_log_verdict(false, banner.code);
-    return result;
-  }
-  const smtp::Reply hello = channel.send("EHLO " + config_.helo_identity);
-  if (!hello.positive()) {
-    finish_with_log_verdict(false, hello.code);
-    return result;
+  {
+    const obs::ScopedTimer timer("probe_stage_sim_seconds", sim_now,
+                                 {{"stage", "helo"}});
+    const smtp::Reply banner = channel.greeting();
+    if (faulted(banner)) return result;
+    if (!banner.positive()) {
+      finish_with_log_verdict(false, banner.code);
+      return result;
+    }
+    const smtp::Reply hello = channel.send("EHLO " + config_.helo_identity);
+    if (!hello.positive()) {
+      finish_with_log_verdict(false, hello.code);
+      return result;
+    }
   }
 
   // --- MAIL FROM (this is where the unique domain goes) ---
-  const std::string mail_from = std::string(kUsernameLadder[0]) + "@" +
-                                mail_from_domain.to_string();
-  const smtp::Reply mail = channel.send("MAIL FROM:<" + mail_from + ">");
-  if (faulted(mail)) return result;
-  if (mail.code == 451) {
-    result.status = ProbeStatus::Greylisted;
-    return result;
-  }
-  if (mail.code == 450) {
-    // 450 4.4.3-style temporary lookup failure (the host's resolver path
-    // hiccuped) — transient, worth a retry.
-    result.failing_code = mail.code;
-    result.status = ProbeStatus::TempFailed;
-    return result;
-  }
-  if (!mail.positive()) {
-    // Rejection after MAIL FROM frequently *is* the SPF check firing
-    // (the served policy ends in -all on purpose); the log decides.
-    finish_with_log_verdict(false, mail.code);
-    return result;
+  {
+    const obs::ScopedTimer timer("probe_stage_sim_seconds", sim_now,
+                                 {{"stage", "mail"}});
+    const std::string mail_from = std::string(kUsernameLadder[0]) + "@" +
+                                  mail_from_domain.to_string();
+    const smtp::Reply mail = channel.send("MAIL FROM:<" + mail_from + ">");
+    if (faulted(mail)) return result;
+    if (mail.code == 451) {
+      result.status = ProbeStatus::Greylisted;
+      return result;
+    }
+    if (mail.code == 450) {
+      // 450 4.4.3-style temporary lookup failure (the host's resolver path
+      // hiccuped) — transient, worth a retry.
+      result.failing_code = mail.code;
+      result.status = ProbeStatus::TempFailed;
+      return result;
+    }
+    if (!mail.positive()) {
+      // Rejection after MAIL FROM frequently *is* the SPF check firing
+      // (the served policy ends in -all on purpose); the log decides.
+      finish_with_log_verdict(false, mail.code);
+      return result;
+    }
   }
 
   // --- RCPT TO: walk the username ladder until one is accepted ---
   bool rcpt_accepted = false;
   int last_code = 0;
-  for (const std::string_view username : kUsernameLadder) {
-    const smtp::Reply rcpt = channel.send(
-        "RCPT TO:<" + std::string(username) + "@" + recipient_domain + ">");
-    if (faulted(rcpt)) return result;
-    last_code = rcpt.code;
-    if (rcpt.positive()) {
-      rcpt_accepted = true;
-      result.accepted_username = std::string(username);
-      break;
+  {
+    const obs::ScopedTimer timer("probe_stage_sim_seconds", sim_now,
+                                 {{"stage", "rcpt"}});
+    for (const std::string_view username : kUsernameLadder) {
+      const smtp::Reply rcpt = channel.send(
+          "RCPT TO:<" + std::string(username) + "@" + recipient_domain + ">");
+      if (faulted(rcpt)) return result;
+      last_code = rcpt.code;
+      if (rcpt.positive()) {
+        rcpt_accepted = true;
+        result.accepted_username = std::string(username);
+        break;
+      }
+      if (rcpt.code == 451) {
+        result.status = ProbeStatus::Greylisted;
+        return result;
+      }
+      if (rcpt.code == 450) {
+        result.failing_code = rcpt.code;
+        result.status = ProbeStatus::TempFailed;
+        return result;
+      }
+      if (rcpt.code == 421 || channel.closed()) {
+        finish_with_log_verdict(false, rcpt.code);
+        return result;
+      }
     }
-    if (rcpt.code == 451) {
-      result.status = ProbeStatus::Greylisted;
+    if (!rcpt_accepted) {
+      finish_with_log_verdict(false, last_code);
       return result;
     }
-    if (rcpt.code == 450) {
-      result.failing_code = rcpt.code;
-      result.status = ProbeStatus::TempFailed;
-      return result;
-    }
-    if (rcpt.code == 421 || channel.closed()) {
-      finish_with_log_verdict(false, rcpt.code);
-      return result;
-    }
-  }
-  if (!rcpt_accepted) {
-    finish_with_log_verdict(false, last_code);
-    return result;
   }
 
   // --- DATA ---
+  const obs::ScopedTimer timer("probe_stage_sim_seconds", sim_now,
+                               {{"stage", "data"}});
   const smtp::Reply data = channel.send("DATA");
   if (faulted(data)) return result;
   if (!data.intermediate()) {

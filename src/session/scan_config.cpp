@@ -78,6 +78,11 @@ void ScanConfig::validate() const {
         "--halt-after-rounds requires --checkpoint (halting without writing "
         "a checkpoint would lose the run)");
   }
+  if (metrics_wall && metrics_path.empty()) {
+    throw ScanConfigError(
+        "--metrics-wall requires --metrics (there is nowhere to write the "
+        "wall-clock lane)");
+  }
 }
 
 ScanConfig ScanConfig::from_env() { return from_env(ScanConfig{}); }
@@ -102,6 +107,19 @@ ScanConfig ScanConfig::from_env(const ScanConfig& defaults) {
   }
   if (const char* env = std::getenv("SPFAIL_CSV_DIR")) {
     config.csv_dir = env;
+  }
+  if (const char* env = std::getenv("SPFAIL_METRICS")) {
+    config.metrics_path = env;
+  }
+  if (const char* env = std::getenv("SPFAIL_METRICS_WALL")) {
+    const std::string_view v = env;
+    if (v == "1" || v == "true") {
+      config.metrics_wall = true;
+    } else if (v == "0" || v == "false" || v.empty()) {
+      config.metrics_wall = false;
+    } else {
+      reject("SPFAIL_METRICS_WALL", v, "0/1/true/false");
+    }
   }
   config.validate();
   return config;
@@ -134,6 +152,10 @@ ScanConfig ScanConfig::from_args(int argc, const char* const* argv,
       config.csv_dir = next();
     } else if (arg == "--trace") {
       config.trace_path = next();
+    } else if (arg == "--metrics") {
+      config.metrics_path = next();
+    } else if (arg == "--metrics-wall") {
+      config.metrics_wall = true;
     } else if (arg == "--checkpoint") {
       config.checkpoint_path = next();
     } else if (arg == "--checkpoint-every") {

@@ -41,6 +41,13 @@ struct ScanConfig {
   std::string trace_path;  // SPFAIL_TRACE / --trace; empty = off
   std::string csv_dir;     // SPFAIL_CSV_DIR / --csv; empty = off
 
+  // Metrics (DESIGN.md §12): per-round JSONL snapshots go to metrics_path
+  // and the final Prometheus text exposition to metrics_path + ".prom".
+  // metrics_wall additionally records the opt-in wall-clock lane, which is
+  // excluded from the deterministic files unless requested.
+  std::string metrics_path;   // SPFAIL_METRICS / --metrics; empty = off
+  bool metrics_wall = false;  // SPFAIL_METRICS_WALL / --metrics-wall
+
   // Checkpoint/resume (DESIGN.md §11).
   std::string checkpoint_path;  // --checkpoint; empty = no checkpoints
   int checkpoint_every = 1;     // --checkpoint-every: round-boundary cadence
@@ -51,9 +58,11 @@ struct ScanConfig {
   int halt_after_rounds = -1;
 
   bool tracing() const noexcept { return !trace_path.empty(); }
+  bool metrics() const noexcept { return !metrics_path.empty(); }
 
   // Environment over `defaults`: SPFAIL_SCALE, SPFAIL_FAULT_SEED,
-  // SPFAIL_FAULT_RATE, SPFAIL_TRACE, SPFAIL_CSV_DIR. (SPFAIL_THREADS is
+  // SPFAIL_FAULT_RATE, SPFAIL_TRACE, SPFAIL_CSV_DIR, SPFAIL_METRICS,
+  // SPFAIL_METRICS_WALL. (SPFAIL_THREADS is
   // resolved by the thread pool itself when threads == 0.) Throws
   // ScanConfigError on malformed or out-of-range values.
   static ScanConfig from_env(const ScanConfig& defaults);

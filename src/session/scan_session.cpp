@@ -1,9 +1,11 @@
 #include "session/scan_session.hpp"
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <utility>
 
+#include "obs/export.hpp"
 #include "snapshot/snapshot.hpp"
 #include "util/strings.hpp"
 
@@ -37,12 +39,31 @@ longitudinal::StudyConfig ScanSession::study_config() {
   study_config.threads = config_.threads;
   study_config.faults = config_.faults;
   study_config.trace = trace();
+  study_config.metrics = metrics();
   return study_config;
+}
+
+void ScanSession::record_metric_line(std::string_view phase, int round) {
+  metric_lines_.push_back(obs::round_snapshot_json(metrics_, phase, round,
+                                                   config_.metrics_wall));
+}
+
+void ScanSession::write_metrics_files() {
+  if (!config_.metrics()) return;
+  {
+    std::ofstream out(config_.metrics_path, std::ios::trunc);
+    for (const auto& line : metric_lines_) out << line << "\n";
+  }
+  {
+    std::ofstream out(config_.metrics_path + ".prom", std::ios::trunc);
+    obs::write_prometheus(metrics_, out, config_.metrics_wall);
+  }
 }
 
 void ScanSession::write_checkpoint(const longitudinal::Study& study,
                                    const longitudinal::Study::State& state) {
-  const snapshot::StudySnapshot snap = study.capture(state);
+  snapshot::StudySnapshot snap = study.capture(state);
+  snap.metric_lines = metric_lines_;
   snapshot::save_atomically(config_.checkpoint_path, snap.encode());
   std::cerr << "checkpoint: wrote " << config_.checkpoint_path << " (round "
             << snap.rounds_done << "/" << study.total_rounds() << ")\n";
@@ -78,6 +99,16 @@ const scan::CampaignReport& ScanSession::initial() {
       trace_.clear();
       for (const auto& frame : snap.trace) trace_.record(frame);
     }
+    if (snap.has_metrics != config_.metrics()) {
+      throw snapshot::SnapshotError(
+          snap.has_metrics
+              ? "campaign snapshot carries metrics, this run has them disabled"
+              : "campaign snapshot has no metrics, this run expects them");
+    }
+    if (config_.metrics()) {
+      metrics_ = snap.metrics;
+      metric_lines_ = snap.metric_lines;
+    }
     initial_ = snap.initial;
     std::cerr << "resume: restored completed campaign from "
               << config_.resume_path << "\n";
@@ -89,9 +120,11 @@ const scan::CampaignReport& ScanSession::initial() {
   campaign_config.threads = config_.threads;
   campaign_config.faults = config_.faults;
   campaign_config.trace = trace();
+  campaign_config.metrics = metrics();
   scan::Campaign campaign(campaign_config, fleet().dns(), fleet().clock(),
                           fleet());
   initial_ = campaign.run(fleet().targets());
+  if (config_.metrics()) record_metric_line("initial");
 
   if (!config_.checkpoint_path.empty()) {
     snapshot::StudySnapshot snap;
@@ -105,6 +138,11 @@ const scan::CampaignReport& ScanSession::initial() {
     snap.initial = *initial_;
     snap.degradation = initial_->degradation;
     if (config_.tracing()) snap.trace = trace_.frames();
+    if (config_.metrics()) {
+      snap.has_metrics = true;
+      snap.metrics = metrics_;
+      snap.metric_lines = metric_lines_;
+    }
     snapshot::save_atomically(config_.checkpoint_path, snap.encode());
     std::cerr << "checkpoint: wrote " << config_.checkpoint_path
               << " (campaign)\n";
@@ -119,11 +157,16 @@ const longitudinal::StudyReport* ScanSession::study() {
 
   longitudinal::Study study(fleet(), study_config());
 
-  longitudinal::Study::State state =
-      config_.resume_path.empty()
-          ? study.begin()
-          : study.restore(load_snapshot(config_.resume_path));
-  if (!config_.resume_path.empty()) {
+  longitudinal::Study::State state;
+  if (config_.resume_path.empty()) {
+    state = study.begin();
+    if (config_.metrics()) record_metric_line("initial");
+  } else {
+    const snapshot::StudySnapshot snap = load_snapshot(config_.resume_path);
+    state = study.restore(snap);
+    // restore() reloaded the registry; the rendered lines the halted run had
+    // already emitted come back verbatim so the stream continues seamlessly.
+    if (config_.metrics()) metric_lines_ = snap.metric_lines;
     std::cerr << "resume: restored " << config_.resume_path << " at round "
               << state.next_round << "/" << study.total_rounds() << "\n";
   }
@@ -156,9 +199,13 @@ const longitudinal::StudyReport* ScanSession::study() {
     }
     if (!study.rounds_remaining(state)) break;
     study.run_round(state);
+    if (config_.metrics()) {
+      record_metric_line("round", static_cast<int>(state.next_round) - 1);
+    }
   }
 
   study_report_ = study.finish(std::move(state));
+  if (config_.metrics()) record_metric_line("final");
   initial_ = study_report_->initial;
   return &*study_report_;
 }

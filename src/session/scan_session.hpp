@@ -21,9 +21,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "longitudinal/study.hpp"
 #include "net/wire_trace.hpp"
+#include "obs/metrics.hpp"
 #include "population/fleet.hpp"
 #include "scan/campaign.hpp"
 #include "session/scan_config.hpp"
@@ -43,6 +46,25 @@ class ScanSession {
   net::WireTrace* trace() noexcept {
     return config_.tracing() ? &trace_ : nullptr;
   }
+
+  // The session-owned master metrics registry (DESIGN.md §12); nullptr when
+  // metrics are off. Shard lanes merge into it in shard-index order, so its
+  // contents are bit-identical at any thread count.
+  obs::Registry* metrics() noexcept {
+    return config_.metrics() ? &metrics_ : nullptr;
+  }
+
+  // Rendered per-phase JSONL snapshot lines ("initial", one per longitudinal
+  // round, "final"), accumulated as the run progresses. Rides in checkpoints
+  // so a resumed run re-emits the same stream.
+  const std::vector<std::string>& metric_lines() const noexcept {
+    return metric_lines_;
+  }
+
+  // Write the metric outputs: the JSONL round snapshots to
+  // config().metrics_path and the Prometheus text exposition to
+  // metrics_path + ".prom". No-op when metrics are off.
+  void write_metrics_files();
 
   // The 2021-10-11 initial measurement (cached). Honours resume: a
   // Campaign-kind snapshot short-circuits the scan entirely. Writes a
@@ -66,9 +88,12 @@ class ScanSession {
   longitudinal::StudyConfig study_config();
   void write_checkpoint(const longitudinal::Study& study,
                         const longitudinal::Study::State& state);
+  void record_metric_line(std::string_view phase, int round = -1);
 
   ScanConfig config_;
   net::WireTrace trace_;
+  obs::Registry metrics_;
+  std::vector<std::string> metric_lines_;
   std::unique_ptr<population::Fleet> fleet_;
   std::optional<scan::CampaignReport> initial_;
   std::optional<longitudinal::StudyReport> study_report_;

@@ -283,4 +283,30 @@ util::IpAddress::Family decode_family(std::uint8_t v) {
   unmapped("Family", v);
 }
 
+// MetricKind's enumerator values double as its wire bytes (1/2/3, with 0
+// reserved) — the identity is asserted here rather than assumed.
+std::uint8_t encode_enum(obs::MetricKind v) {
+  switch (v) {
+    case obs::MetricKind::Counter:
+      return 1;
+    case obs::MetricKind::Gauge:
+      return 2;
+    case obs::MetricKind::Histogram:
+      return 3;
+  }
+  unmapped("MetricKind", static_cast<std::uint8_t>(v));
+}
+
+obs::MetricKind decode_metric_kind(std::uint8_t v) {
+  switch (v) {
+    case 1:
+      return obs::MetricKind::Counter;
+    case 2:
+      return obs::MetricKind::Gauge;
+    case 3:
+      return obs::MetricKind::Histogram;
+  }
+  unmapped("MetricKind", v);
+}
+
 }  // namespace spfail::snapshot

@@ -13,6 +13,7 @@
 #include "faults/fault.hpp"
 #include "longitudinal/inference.hpp"
 #include "net/frame.hpp"
+#include "obs/metrics.hpp"
 #include "scan/campaign.hpp"
 #include "scan/prober.hpp"
 #include "spfvuln/behavior.hpp"
@@ -29,6 +30,7 @@ std::uint8_t encode_enum(longitudinal::Observation v);
 std::uint8_t encode_enum(net::Direction v);
 std::uint8_t encode_enum(net::FrameKind v);
 std::uint8_t encode_enum(util::IpAddress::Family v);
+std::uint8_t encode_enum(obs::MetricKind v);
 
 scan::TestKind decode_test_kind(std::uint8_t v);
 scan::ProbeStatus decode_probe_status(std::uint8_t v);
@@ -39,5 +41,6 @@ longitudinal::Observation decode_observation(std::uint8_t v);
 net::Direction decode_direction(std::uint8_t v);
 net::FrameKind decode_frame_kind(std::uint8_t v);
 util::IpAddress::Family decode_family(std::uint8_t v);
+obs::MetricKind decode_metric_kind(std::uint8_t v);
 
 }  // namespace spfail::snapshot

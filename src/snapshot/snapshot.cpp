@@ -20,6 +20,10 @@ std::uint64_t fnv1a(std::string_view bytes) {
   return h;
 }
 
+// Guards the optional trailing metrics section: any other first byte after
+// the trace frames means a corrupt or foreign tail, not a missing feature.
+constexpr std::uint8_t kMetricsMarker = 0x4D;  // 'M'
+
 SnapshotKind decode_kind(std::uint8_t v) {
   switch (v) {
     case 1:
@@ -294,6 +298,12 @@ std::string StudySnapshot::encode() const {
   }
   payload.u64(trace.size());
   for (const auto& frame : trace) put_frame(payload, frame);
+  if (has_metrics) {
+    payload.u8(kMetricsMarker);
+    metrics.encode(payload);
+    payload.u64(metric_lines.size());
+    for (const auto& line : metric_lines) payload.str(line);
+  }
 
   Writer out;
   for (const char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
@@ -388,6 +398,17 @@ StudySnapshot StudySnapshot::decode(std::string_view bytes) {
   const std::uint64_t frames = payload.u64();
   for (std::uint64_t i = 0; i < frames; ++i) {
     snap.trace.push_back(get_frame(payload));
+  }
+  if (!payload.done()) {
+    if (payload.u8() != kMetricsMarker) {
+      throw SnapshotError("trailing bytes are not a metrics section");
+    }
+    snap.has_metrics = true;
+    snap.metrics = obs::Registry::decode(payload);
+    const std::uint64_t lines = payload.u64();
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      snap.metric_lines.push_back(payload.str());
+    }
   }
   payload.expect_done();
   return snap;

@@ -29,6 +29,7 @@
 #include "faults/degradation.hpp"
 #include "longitudinal/inference.hpp"
 #include "net/frame.hpp"
+#include "obs/metrics.hpp"
 #include "scan/campaign.hpp"
 #include "snapshot/codec.hpp"
 #include "util/clock.hpp"
@@ -106,6 +107,17 @@ struct StudySnapshot {
 
   // Wire frames recorded so far (present exactly when meta.tracing).
   std::vector<net::Frame> trace;
+
+  // Deterministic metrics state (DESIGN.md §12; present exactly when the
+  // run had metrics enabled): the merged master registry plus the per-round
+  // JSONL snapshot lines already emitted, so a resumed run re-emits a
+  // byte-identical metric stream. Encoded as an optional trailing payload
+  // section behind a marker byte — a metrics-off snapshot's bytes are
+  // unchanged from before the obs subsystem existed, keeping checkpoint
+  // digests stable.
+  bool has_metrics = false;
+  obs::Registry metrics;
+  std::vector<std::string> metric_lines;
 
   std::string encode() const;
   static StudySnapshot decode(std::string_view bytes);

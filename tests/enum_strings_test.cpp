@@ -10,6 +10,7 @@
 
 #include "faults/fault.hpp"
 #include "faults/retry.hpp"
+#include "obs/metrics.hpp"
 #include "scan/campaign.hpp"
 #include "scan/prober.hpp"
 #include "snapshot/enums.hpp"
@@ -122,6 +123,15 @@ TEST(EnumStrings, ObservationCoversEveryEnumerator) {
                    to_string(Observation::Inconclusive)});
 }
 
+TEST(EnumStrings, MetricKindCoversEveryEnumerator) {
+  using obs::MetricKind;
+  EXPECT_EQ(to_string(MetricKind::Counter), "counter");
+  EXPECT_EQ(to_string(MetricKind::Gauge), "gauge");
+  EXPECT_EQ(to_string(MetricKind::Histogram), "histogram");
+  expect_distinct({to_string(MetricKind::Counter), to_string(MetricKind::Gauge),
+                   to_string(MetricKind::Histogram)});
+}
+
 TEST(EnumStrings, SnapshotKindCoversEveryEnumerator) {
   using snapshot::SnapshotKind;
   EXPECT_EQ(to_string(SnapshotKind::Campaign), "campaign");
@@ -217,6 +227,26 @@ TEST(EnumStrings, SnapshotWireFamily) {
   expect_wire_round_trip<util::IpAddress::Family>(
       {util::IpAddress::Family::V4, util::IpAddress::Family::V6},
       snapshot::decode_family);
+}
+
+// MetricKind's wire bytes are the enumerator values (1..3; 0 reserved), so
+// they are not zero-based-dense like the enums above — pin them directly.
+TEST(EnumStrings, SnapshotWireMetricKind) {
+  using obs::MetricKind;
+  std::set<std::uint8_t> seen;
+  for (const MetricKind v :
+       {MetricKind::Counter, MetricKind::Gauge, MetricKind::Histogram}) {
+    const std::uint8_t wire = snapshot::encode_enum(v);
+    EXPECT_EQ(wire, static_cast<std::uint8_t>(v));
+    EXPECT_TRUE(seen.insert(wire).second) << "duplicate wire byte";
+    EXPECT_EQ(snapshot::decode_metric_kind(wire), v);
+  }
+  EXPECT_EQ(snapshot::encode_enum(MetricKind::Counter), 1);
+  EXPECT_EQ(snapshot::encode_enum(MetricKind::Gauge), 2);
+  EXPECT_EQ(snapshot::encode_enum(MetricKind::Histogram), 3);
+  EXPECT_THROW(snapshot::decode_metric_kind(0), snapshot::SnapshotError);
+  EXPECT_THROW(snapshot::decode_metric_kind(4), snapshot::SnapshotError);
+  EXPECT_THROW(snapshot::decode_metric_kind(0xFF), snapshot::SnapshotError);
 }
 
 }  // namespace

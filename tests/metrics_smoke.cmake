@@ -1,0 +1,80 @@
+# End-to-end metrics smoke test, run as a ctest entry:
+#   1. metered scan                            -> metrics.jsonl + .prom
+#   2. the same scan on a different thread count
+#   3. scan halted at a mid-study checkpoint, then resumed from the snapshot
+# The JSONL round snapshots and the Prometheus exposition must be
+# byte-identical across all three — thread counts and process restarts must
+# not be observable in the metric output (DESIGN.md §12).
+#
+# Expects: -DSPFAIL_SCAN=<path to spfail_scan> -DWORK_DIR=<scratch dir>
+if(NOT SPFAIL_SCAN OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DSPFAIL_SCAN=... -DWORK_DIR=... -P metrics_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(FLAGS --scale 0.01 --fault-rate 0.02 --metrics metrics.jsonl)
+
+execute_process(
+  COMMAND "${SPFAIL_SCAN}" ${FLAGS}
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_FILE full.out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "metered scan failed (exit ${rc})")
+endif()
+file(RENAME "${WORK_DIR}/metrics.jsonl" "${WORK_DIR}/metrics_full.jsonl")
+file(RENAME "${WORK_DIR}/metrics.jsonl.prom" "${WORK_DIR}/metrics_full.prom")
+
+execute_process(
+  COMMAND "${SPFAIL_SCAN}" ${FLAGS} --threads 8
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_FILE wide.out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wide metered scan failed (exit ${rc})")
+endif()
+file(RENAME "${WORK_DIR}/metrics.jsonl" "${WORK_DIR}/metrics_wide.jsonl")
+file(RENAME "${WORK_DIR}/metrics.jsonl.prom" "${WORK_DIR}/metrics_wide.prom")
+
+execute_process(
+  COMMAND "${SPFAIL_SCAN}" ${FLAGS} --checkpoint snap.bin --halt-after-rounds 11
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_FILE halted.out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "halting metered scan failed (exit ${rc})")
+endif()
+if(NOT EXISTS "${WORK_DIR}/snap.bin")
+  message(FATAL_ERROR "halting scan wrote no checkpoint")
+endif()
+
+execute_process(
+  COMMAND "${SPFAIL_SCAN}" ${FLAGS} --resume snap.bin --threads 4
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_FILE resumed.out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed metered scan failed (exit ${rc})")
+endif()
+
+foreach(pair
+    "metrics_full.jsonl;metrics_wide.jsonl"
+    "metrics_full.prom;metrics_wide.prom"
+    "metrics_full.jsonl;metrics.jsonl"
+    "metrics_full.prom;metrics.jsonl.prom"
+    "full.out;wide.out"
+    "full.out;resumed.out")
+  list(GET pair 0 lhs)
+  list(GET pair 1 rhs)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files "${WORK_DIR}/${lhs}" "${WORK_DIR}/${rhs}"
+    RESULT_VARIABLE differs)
+  if(differs)
+    message(FATAL_ERROR "${lhs} and ${rhs} differ: metric output is not byte-identical")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+message(STATUS "metrics smoke test passed (byte-identical across threads and resume)")

@@ -211,6 +211,58 @@ TEST(Snapshot, EncodeDecodeRoundTripsEveryField) {
   EXPECT_EQ(decoded.encode(), bytes);
 }
 
+// --- optional trailing metrics section (DESIGN.md §12) ----------------------
+
+TEST(Snapshot, MetricsSectionRoundTripsWhenPresent) {
+  StudySnapshot snap = sample_snapshot();
+  snap.has_metrics = true;
+  snap.metrics.counter("probe_attempts_total", {{"test", "NoMsg"}}) += 5;
+  snap.metrics.gauge("study_round") = 3;
+  snap.metrics.histogram("retry_backoff_sim_seconds").observe(480);
+  snap.metric_lines = {"{\"phase\":\"initial\"}",
+                       "{\"phase\":\"round\",\"round\":0}"};
+
+  const std::string bytes = snap.encode();
+  const StudySnapshot decoded = StudySnapshot::decode(bytes);
+  EXPECT_TRUE(decoded.has_metrics);
+  EXPECT_EQ(decoded.metrics, snap.metrics);
+  EXPECT_EQ(decoded.metric_lines, snap.metric_lines);
+  EXPECT_EQ(decoded.encode(), bytes);
+}
+
+TEST(Snapshot, DisabledMetricsLeaveTheWireFormatUntouched) {
+  // A metrics-off snapshot must encode byte-identically no matter what the
+  // (unused) metric fields hold — the trailing section is absent, not
+  // zero-filled, so pre-metrics checkpoints and digests stay stable.
+  const std::string baseline = sample_snapshot().encode();
+  StudySnapshot off = sample_snapshot();
+  off.metrics.counter("ghost") += 1;  // has_metrics stays false
+  off.metric_lines = {"ghost line"};
+  EXPECT_EQ(off.encode(), baseline);
+
+  const StudySnapshot decoded = StudySnapshot::decode(baseline);
+  EXPECT_FALSE(decoded.has_metrics);
+  EXPECT_TRUE(decoded.metrics.empty());
+  EXPECT_TRUE(decoded.metric_lines.empty());
+
+  // And the with-metrics form is strictly longer: the section really is an
+  // appended tail, not a rewrite of earlier fields.
+  StudySnapshot on = sample_snapshot();
+  on.has_metrics = true;
+  EXPECT_GT(on.encode().size(), baseline.size());
+}
+
+TEST(Snapshot, RejectsCorruptMetricsSection) {
+  StudySnapshot snap = sample_snapshot();
+  snap.has_metrics = true;
+  snap.metrics.counter("probe_attempts_total") += 1;
+  std::string bytes = snap.encode();
+  // Flip a byte inside the trailing section (near the end of the payload,
+  // before the 8-byte checksum): the checksum rejects it.
+  bytes[bytes.size() - 12] ^= 0x20;
+  EXPECT_THROW(StudySnapshot::decode(bytes), SnapshotError);
+}
+
 TEST(Snapshot, RejectsBadMagic) {
   std::string bytes = sample_snapshot().encode();
   bytes[0] = 'X';
