@@ -31,6 +31,7 @@ AblationResult run_order(population::Fleet& fleet, bool nomsg_first) {
 
   std::set<util::IpAddress> seen;
   for (const auto& domain : fleet.domains()) {
+    const std::string recipient(domain.name);
     for (const auto& address : domain.addresses) {
       if (!seen.insert(address).second) continue;
       mta::MailHost* host = fleet.find_host(address);
@@ -40,13 +41,13 @@ AblationResult run_order(population::Fleet& fleet, bool nomsg_first) {
       bool measured = false;
       if (nomsg_first) {
         const auto nomsg = prober.probe(
-            *host, domain.name, labels.mail_from_domain(labels.new_id(), suite),
+            *host, recipient, labels.mail_from_domain(labels.new_id(), suite),
             scan::TestKind::NoMsg);
         ++result.smtp_transactions;
         measured = nomsg.status == scan::ProbeStatus::SpfMeasured;
         if (!measured && nomsg.status == scan::ProbeStatus::SpfNotMeasured) {
           const auto blank = prober.probe(
-              *host, domain.name,
+              *host, recipient,
               labels.mail_from_domain(labels.new_id(), suite),
               scan::TestKind::BlankMsg);
           ++result.smtp_transactions;
@@ -57,7 +58,7 @@ AblationResult run_order(population::Fleet& fleet, bool nomsg_first) {
         }
       } else {
         const auto blank = prober.probe(
-            *host, domain.name, labels.mail_from_domain(labels.new_id(), suite),
+            *host, recipient, labels.mail_from_domain(labels.new_id(), suite),
             scan::TestKind::BlankMsg);
         ++result.smtp_transactions;
         measured = blank.status == scan::ProbeStatus::SpfMeasured;

@@ -60,8 +60,9 @@ int main() {
         prober.probe(host, "target.example", mail_from, scan::TestKind::NoMsg);
 
     std::cout << "  Queries observed at the authoritative server:\n";
-    for (std::size_t i = log_before; i < server.query_log().size(); ++i) {
-      const auto& entry = server.query_log().entries()[i];
+    const auto entries = server.query_log().entries();
+    for (std::size_t i = log_before; i < entries.size(); ++i) {
+      const auto& entry = entries[i];
       std::cout << "    " << to_string(entry.qtype) << "  "
                 << entry.qname.to_string() << "\n";
     }

@@ -232,8 +232,9 @@ void Study::derive_from_initial(State& state) {
   notification_config.seed = config_.seed ^ 0xA07E5;
   state.notifications.emplace(notification_config);
   for (const auto& track : report.tracks) {
-    state.notifications->add_domain(domains[track.domain_index].name,
-                                    track.vulnerable_addresses);
+    state.notifications->add_domain(
+        std::string(domains[track.domain_index].name),
+        track.vulnerable_addresses);
   }
   state.notifications->send();
   report.notification = state.notifications->stats();
@@ -247,7 +248,7 @@ void Study::derive_from_initial(State& state) {
     const auto& info = fleet_.info(address);
     const mta::MailHost* host = fleet_.find_host(address);
     PatchContext context;
-    context.tld = info.tld;
+    context.tld = std::string(info.tld);
     context.in_mx_set = info.in_mx_set;
     context.provider_pool = info.provider_pool;
     context.domains_hosted = std::max<std::size_t>(1, info.domains_hosted);
@@ -292,7 +293,10 @@ Study::State Study::begin() {
   campaign_config.metrics = config_.metrics;
   scan::Campaign campaign(campaign_config, fleet_.dns(), fleet_.clock(),
                           fleet_);
-  state.report.initial = campaign.run(fleet_.targets());
+  // Streaming target source: the round never materialises a TargetDomain
+  // vector, which is what lets a lazy fleet run at populations the eager
+  // copy could not hold (DESIGN.md §14).
+  state.report.initial = campaign.run(fleet_.target_source());
   state.report.degradation.merge(state.report.initial.degradation);
 
   derive_from_initial(state);
@@ -562,8 +566,15 @@ snapshot::StudySnapshot Study::capture(const State& state) const {
     if (host == nullptr) return;
     snapshot::StudySnapshot::HostState hs;
     hs.address = address;
-    hs.greylist_seen.assign(host->greylist_seen().begin(),
-                            host->greylist_seen().end());
+    // The in-memory map keys addresses by value (DESIGN.md §14) but the wire
+    // format keeps textual keys; re-sort after conversion, because numeric
+    // address order is not lexical order ("11.0.0.2" > "11.0.0.10" as text)
+    // and the snapshot bytes must match pre-§14 writers exactly.
+    hs.greylist_seen.reserve(host->greylist_seen().size());
+    for (const auto& [client, first_seen] : host->greylist_seen()) {
+      hs.greylist_seen.emplace_back(client.to_string(), first_seen);
+    }
+    std::sort(hs.greylist_seen.begin(), hs.greylist_seen.end());
     hs.flaky_rng = host->flaky_rng_state();
     snap.hosts.push_back(std::move(hs));
   };
@@ -691,8 +702,17 @@ Study::State Study::restore(const snapshot::StudySnapshot& snap) {
       throw snapshot::SnapshotError("captured host " + hs.address.to_string() +
                                     " does not exist in this fleet");
     }
-    host->set_greylist_seen(std::map<std::string, util::SimTime>(
-        hs.greylist_seen.begin(), hs.greylist_seen.end()));
+    std::map<util::IpAddress, util::SimTime> greylist;
+    for (const auto& [client_text, first_seen] : hs.greylist_seen) {
+      const auto client = util::IpAddress::parse(client_text);
+      if (!client.has_value()) {
+        throw snapshot::SnapshotError("captured greylist entry \"" +
+                                      client_text +
+                                      "\" is not a valid address");
+      }
+      greylist.emplace(*client, first_seen);
+    }
+    host->set_greylist_seen(std::move(greylist));
     host->set_flaky_rng_state(hs.flaky_rng);
   }
 

@@ -1,5 +1,7 @@
 #include "mta/host.hpp"
 
+#include <algorithm>
+
 #include "dmarc/discovery.hpp"
 
 namespace spfail::mta {
@@ -14,6 +16,8 @@ MailHost::MailHost(HostProfile profile, dns::DnsService& dns_service,
                                           : 0x6D7461ULL) {
   for (const auto behavior : behaviors_) {
     engines_.push_back(spfvuln::make_expander(behavior));
+    evaluators_.push_back(
+        std::make_unique<spf::Evaluator>(resolver_, *engines_.back()));
   }
 }
 
@@ -23,6 +27,8 @@ void MailHost::apply_patch() {
     if (behaviors_[i] == spfvuln::SpfBehavior::VulnerableLibspf2) {
       behaviors_[i] = spfvuln::SpfBehavior::PatchedLibspf2;
       engines_[i] = spfvuln::make_expander(behaviors_[i]);
+      evaluators_[i] =
+          std::make_unique<spf::Evaluator>(resolver_, *engines_[i]);
     }
   }
 }
@@ -63,7 +69,7 @@ spf::Result MailHost::run_spf(const std::string& sender_local,
   }
   spf::Result primary = spf::Result::None;
   for (std::size_t i = 0; i < engines_.size(); ++i) {
-    spf::Evaluator evaluator(resolver_, *engines_[i]);
+    spf::Evaluator& evaluator = *evaluators_[i];
     spf::CheckRequest request;
     request.client_ip = client;
     request.sender_local = sender_local;
@@ -83,10 +89,9 @@ smtp::Reply MailHost::on_mail_from(const std::string& sender_local,
   if (blacklisted_) return smtp::replies::blacklisted();
 
   if (profile_.greylists) {
-    const std::string key = client.to_string();
-    const auto it = greylist_seen_.find(key);
+    const auto it = greylist_seen_.find(client);
     if (it == greylist_seen_.end()) {
-      greylist_seen_.emplace(key, clock_.now());
+      greylist_seen_.emplace(client, clock_.now());
       return smtp::replies::greylisted();
     }
     if (clock_.now() - it->second < profile_.greylist_delay) {
@@ -115,7 +120,9 @@ smtp::Reply MailHost::on_rcpt_to(const std::string& recipient,
   if (!profile_.known_recipients.empty()) {
     const auto parts = smtp::split_mailbox(recipient);
     const std::string local = parts.has_value() ? parts->local : recipient;
-    if (profile_.known_recipients.count(local) == 0) {
+    if (std::find(profile_.known_recipients.begin(),
+                  profile_.known_recipients.end(),
+                  local) == profile_.known_recipients.end()) {
       return smtp::replies::mailbox_unavailable();
     }
   }

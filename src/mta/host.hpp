@@ -15,7 +15,6 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -69,8 +68,10 @@ struct HostProfile {
   std::vector<spfvuln::SpfBehavior> behaviors = {
       spfvuln::SpfBehavior::RfcCompliant};
 
-  // Recipients accepted for delivery; empty accepts anything.
-  std::set<std::string> known_recipients;
+  // Recipients accepted for delivery; empty accepts anything. A flat vector
+  // (not a set): the lists are tiny and fixed, and linear scans beat a
+  // node-per-name container both in lookups and in bytes per host.
+  std::vector<std::string> known_recipients;
 
   // Accepts the whole dialog but rejects message content at end-of-DATA
   // (the Table 3 "BlankMsg SMTP failure" shape: fine under NoMsg, fails the
@@ -103,10 +104,11 @@ class MailHost : public smtp::SessionHandler {
   // and the flaky-path RNG cursor. Resolver cache entries need no such
   // treatment — record TTLs (300 s) expire long before the next round
   // (2 days), so the cache never carries across a checkpoint boundary.
-  const std::map<std::string, util::SimTime>& greylist_seen() const noexcept {
+  const std::map<util::IpAddress, util::SimTime>& greylist_seen()
+      const noexcept {
     return greylist_seen_;
   }
-  void set_greylist_seen(std::map<std::string, util::SimTime> seen) {
+  void set_greylist_seen(std::map<util::IpAddress, util::SimTime> seen) {
     greylist_seen_ = std::move(seen);
   }
   std::array<std::uint64_t, 4> flaky_rng_state() const noexcept {
@@ -155,8 +157,14 @@ class MailHost : public smtp::SessionHandler {
   dns::StubResolver resolver_;
   std::vector<spfvuln::SpfBehavior> behaviors_;
   std::vector<std::unique_ptr<spf::MacroExpander>> engines_;
+  // One persistent evaluator per engine: its parsed-record memo then lives
+  // across messages, so repeated policy fetches parse once per host.
+  std::vector<std::unique_ptr<spf::Evaluator>> evaluators_;
   std::vector<spf::Result> last_spf_results_;
-  std::map<std::string, util::SimTime> greylist_seen_;  // client -> first try
+  // Client address -> first contact time. Keyed by the address value itself
+  // (DESIGN.md §14): the lookup on every MAIL FROM is a 17-byte compare
+  // instead of a to_string() allocation plus string compare.
+  std::map<util::IpAddress, util::SimTime> greylist_seen_;
   util::Rng flaky_rng_;  // seeded from the address; deterministic per host
   bool blacklisted_ = false;
   bool patched_ = false;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <set>
+#include <stdexcept>
 
 #include "population/paper_constants.hpp"
 
@@ -64,6 +66,72 @@ spfvuln::SpfBehavior pick_erroneous(util::Rng& rng) {
 
 }  // namespace
 
+// The mutable shape the generator works in; finalise() interns the strings
+// and flattens the address lists, then this is thrown away.
+struct Fleet::StagingDomain {
+  std::string name;
+  std::string tld;
+  std::string provider_name;
+  bool in_alexa = false;
+  bool in_alexa1000 = false;
+  bool in_mx = false;
+  bool is_top_provider = false;
+  std::size_t alexa_rank = 0;
+  std::size_t mx_query_count = 0;
+  std::vector<util::IpAddress> addresses;
+};
+
+mta::HostProfile Fleet::HostSpec::to_profile() const {
+  mta::HostProfile profile;
+  profile.address = address;
+  profile.accepts_connections = accepts_connections;
+  profile.smtp_broken = smtp_broken;
+  profile.greylists = greylists;
+  profile.validates_spf = validates_spf;
+  profile.spf_timing = spf_timing;
+  profile.rejects_spf_fail = rejects_spf_fail;
+  profile.checks_dmarc = checks_dmarc;
+  profile.flaky_spf_rate = flaky ? 0.9 : 0.0;
+  profile.behaviors = {primary};
+  if (multi_stack) {
+    profile.behaviors.push_back(spfvuln::SpfBehavior::RfcCompliant);
+  }
+  switch (recipients) {
+    case Recipients::Any:
+      break;
+    case Recipients::NobodyReal:
+      profile.known_recipients = {"nobody-real"};
+      break;
+    case Recipients::AdminSet:
+      profile.known_recipients = {"postmaster", "abuse", "admin", "info"};
+      break;
+  }
+  profile.rejects_messages = rejects_messages;
+  return profile;
+}
+
+void Fleet::stage_host(const mta::HostProfile& profile) {
+  HostSpec spec;
+  spec.address = profile.address;
+  spec.accepts_connections = profile.accepts_connections;
+  spec.smtp_broken = profile.smtp_broken;
+  spec.greylists = profile.greylists;
+  spec.validates_spf = profile.validates_spf;
+  spec.spf_timing = profile.spf_timing;
+  spec.rejects_spf_fail = profile.rejects_spf_fail;
+  spec.checks_dmarc = profile.checks_dmarc;
+  spec.flaky = profile.flaky_spf_rate > 0.0;
+  spec.primary = profile.behaviors.front();
+  spec.multi_stack = profile.behaviors.size() > 1;
+  if (!profile.known_recipients.empty()) {
+    spec.recipients = profile.known_recipients.front() == "nobody-real"
+                          ? HostSpec::Recipients::NobodyReal
+                          : HostSpec::Recipients::AdminSet;
+  }
+  spec.rejects_messages = profile.rejects_messages;
+  specs_.push_back(spec);
+}
+
 Fleet::Fleet(FleetConfig config)
     : config_(config), geo_(util::Rng(config.seed ^ 0x9E01ULL)) {
   responder_ = scan::install_test_responder(dns_);
@@ -71,34 +139,143 @@ Fleet::Fleet(FleetConfig config)
 }
 
 const AddressInfo& Fleet::info(const util::IpAddress& address) const {
-  return info_.at(address);
+  const auto it = std::lower_bound(
+      info_.begin(), info_.end(), address,
+      [](const auto& entry, const util::IpAddress& key) {
+        return entry.first < key;
+      });
+  if (it == info_.end() || !(it->first == address)) {
+    throw std::out_of_range("no AddressInfo for " + address.to_string());
+  }
+  return it->second;
+}
+
+std::size_t Fleet::spec_index(const util::IpAddress& address) const {
+  const auto it = std::lower_bound(
+      specs_.begin(), specs_.end(), address,
+      [](const HostSpec& spec, const util::IpAddress& key) {
+        return spec.address < key;
+      });
+  if (it == specs_.end() || !(it->address == address)) return specs_.size();
+  return static_cast<std::size_t>(it - specs_.begin());
+}
+
+mta::MailHost* Fleet::materialise(std::size_t index) const {
+  if (!config_.lazy_hosts) return hosts_[index].get();
+  const std::lock_guard<std::mutex> lock(lazy_mutex_);
+  std::unique_ptr<mta::MailHost>& slot = hosts_[index];
+  if (slot == nullptr) {
+    const HostSpec& spec = specs_[index];
+    // The cast mirrors MailHost's own non-const needs; materialisation is
+    // logically const (the host cache is a view of the immutable specs).
+    auto* self = const_cast<Fleet*>(this);
+    slot = std::make_unique<mta::MailHost>(spec.to_profile(), self->dns_,
+                                           clock_);
+    const auto residual = residuals_.find(spec.address);
+    if (residual != residuals_.end()) {
+      slot->set_greylist_seen(residual->second.greylist_seen);
+      if (residual->second.has_flaky_rng) {
+        slot->set_flaky_rng_state(residual->second.flaky_rng);
+      }
+      slot->set_blacklisted(residual->second.blacklisted);
+      if (residual->second.patched) slot->apply_patch();
+      residuals_.erase(residual);
+    }
+  }
+  return slot.get();
 }
 
 mta::MailHost* Fleet::find_host(const util::IpAddress& address) {
-  const auto it = hosts_.find(address);
-  return it == hosts_.end() ? nullptr : it->second.get();
+  const std::size_t index = spec_index(address);
+  if (index == specs_.size()) return nullptr;
+  return materialise(index);
 }
 
 const mta::MailHost* Fleet::find_host(const util::IpAddress& address) const {
-  const auto it = hosts_.find(address);
-  return it == hosts_.end() ? nullptr : it->second.get();
+  const std::size_t index = spec_index(address);
+  if (index == specs_.size()) return nullptr;
+  return materialise(index);
+}
+
+void Fleet::release_host(const util::IpAddress& address) {
+  if (!config_.lazy_hosts) return;
+  const std::size_t index = spec_index(address);
+  if (index == specs_.size()) return;
+  const std::lock_guard<std::mutex> lock(lazy_mutex_);
+  std::unique_ptr<mta::MailHost>& slot = hosts_[index];
+  if (slot == nullptr) return;
+  // Pristine hosts (the overwhelming majority) are dropped outright; the
+  // rest leave their scanner-visible residue for the next materialisation.
+  // A flaky host's RNG cursor advances on every probe, so those always
+  // carry residue even with an empty greylist map.
+  const bool dirty = !slot->greylist_seen().empty() || slot->blacklisted() ||
+                     slot->is_patched() || specs_[index].flaky;
+  if (dirty) {
+    Residual residual;
+    residual.greylist_seen = slot->greylist_seen();
+    residual.flaky_rng = slot->flaky_rng_state();
+    residual.has_flaky_rng = true;
+    residual.blacklisted = slot->blacklisted();
+    residual.patched = slot->is_patched();
+    residuals_[address] = std::move(residual);
+  }
+  slot.reset();
+}
+
+std::size_t Fleet::live_hosts() const {
+  const std::lock_guard<std::mutex> lock(lazy_mutex_);
+  std::size_t n = 0;
+  for (const auto& host : hosts_) n += host != nullptr;
+  return n;
 }
 
 std::vector<scan::TargetDomain> Fleet::targets(SetFilter filter) const {
   std::vector<scan::TargetDomain> out;
+  out.reserve(target_source(filter).domain_count());
   for (const auto& d : domains_) {
     const bool wanted = filter == SetFilter::All ||
                         (filter == SetFilter::AlexaTopList && d.in_alexa) ||
                         (filter == SetFilter::Alexa1000 && d.in_alexa1000) ||
                         (filter == SetFilter::TwoWeekMx && d.in_mx);
-    if (wanted) out.push_back(scan::TargetDomain{d.name, d.addresses});
+    if (wanted) {
+      out.push_back(scan::TargetDomain{
+          std::string(d.name),
+          std::vector<util::IpAddress>(d.addresses.begin(),
+                                       d.addresses.end())});
+    }
   }
   return out;
 }
 
-const std::vector<util::IpAddress>& Fleet::current_addresses(
-    const DomainRecord& domain) const {
-  return domain.addresses;
+namespace {
+bool filter_matches(const DomainRecord& d, Fleet::SetFilter filter) {
+  return filter == Fleet::SetFilter::All ||
+         (filter == Fleet::SetFilter::AlexaTopList && d.in_alexa) ||
+         (filter == Fleet::SetFilter::Alexa1000 && d.in_alexa1000) ||
+         (filter == Fleet::SetFilter::TwoWeekMx && d.in_mx);
+}
+}  // namespace
+
+std::size_t Fleet::TargetView::domain_count() const {
+  std::size_t n = 0;
+  for (const auto& d : fleet_.domains()) n += filter_matches(d, filter_);
+  return n;
+}
+
+std::size_t Fleet::TargetView::address_upper_bound() const {
+  std::size_t n = 0;
+  for (const auto& d : fleet_.domains()) {
+    if (filter_matches(d, filter_)) n += d.addresses.size();
+  }
+  return n;
+}
+
+void Fleet::TargetView::for_each(
+    const std::function<void(std::string_view,
+                             std::span<const util::IpAddress>)>& fn) const {
+  for (const auto& d : fleet_.domains()) {
+    if (filter_matches(d, filter_)) fn(d.name, d.addresses);
+  }
 }
 
 util::IpAddress Fleet::next_address() {
@@ -124,7 +301,8 @@ util::IpAddress Fleet::next_address() {
 // the set the creating domain belongs to.
 util::IpAddress Fleet::new_host(const std::string& tld, bool provider_pool,
                                 bool in_alexa, bool in_mx, double rank_pct,
-                                util::Rng& rng) {
+                                util::Rng& rng,
+                                std::map<util::IpAddress, AddressInfo>& info) {
   const FunnelRates& rates = in_alexa || !in_mx ? kAlexaRates : kMxRates;
 
   mta::HostProfile profile;
@@ -207,21 +385,21 @@ util::IpAddress Fleet::new_host(const std::string& tld, bool provider_pool,
   }
 
   AddressInfo address_info;
-  address_info.tld = tld;
+  address_info.tld = strings_.view(strings_.intern(tld));
   address_info.provider_pool = provider_pool;
   address_info.in_alexa_set = in_alexa;
   address_info.in_mx_set = in_mx;
-  info_.emplace(profile.address, address_info);
+  info.emplace(profile.address, address_info);
   geo_.assign(profile.address, tld);
 
   const util::IpAddress address = profile.address;
-  hosts_.emplace(address,
-                 std::make_unique<mta::MailHost>(std::move(profile), dns_,
-                                                 clock_));
+  stage_host(profile);
   return address;
 }
 
-void Fleet::build_top_providers(util::Rng& rng) {
+void Fleet::build_top_providers(util::Rng& rng,
+                                std::vector<StagingDomain>& staging,
+                                std::map<util::IpAddress, AddressInfo>& info) {
   // Table 3's "Top Email Providers" column (20 domains; Foster et al. [6])
   // with §7.5's vulnerable internationals. Outcomes are pinned, not drawn:
   //   MF  = validates at MAIL FROM (NoMsg-measured; 5 of 20)
@@ -261,7 +439,7 @@ void Fleet::build_top_providers(util::Rng& rng) {
 
   std::map<std::string, std::vector<util::IpAddress>> pools;
   for (const Provider& provider : kProviders) {
-    DomainRecord record;
+    StagingDomain record;
     record.name = provider.name;
     record.tld = dns::Name::from_string(provider.name).tld();
     record.in_alexa = true;
@@ -273,14 +451,14 @@ void Fleet::build_top_providers(util::Rng& rng) {
     if (provider.share_pool[0] != '\0') {
       record.addresses = pools.at(provider.share_pool);
       for (const auto& address : record.addresses) {
-        auto& address_info = info_.at(address);
+        auto& address_info = info.at(address);
         ++address_info.domains_hosted;
         address_info.best_rank =
             address_info.best_rank == 0
                 ? provider.rank
                 : std::min(address_info.best_rank, provider.rank);
       }
-      domains_.push_back(std::move(record));
+      staging.push_back(std::move(record));
       continue;
     }
 
@@ -309,21 +487,68 @@ void Fleet::build_top_providers(util::Rng& rng) {
       }
 
       AddressInfo address_info;
-      address_info.tld = record.tld;
+      address_info.tld = strings_.view(strings_.intern(record.tld));
       address_info.provider_pool = true;
       address_info.in_alexa_set = true;
       address_info.domains_hosted = 1;
       address_info.best_rank = provider.rank;
-      info_.emplace(profile.address, address_info);
+      info.emplace(profile.address, address_info);
       geo_.assign(profile.address, record.tld);
 
       record.addresses.push_back(profile.address);
-      hosts_.emplace(profile.address,
-                     std::make_unique<mta::MailHost>(std::move(profile), dns_,
-                                                     clock_));
+      stage_host(profile);
     }
     pools.emplace(provider.name, record.addresses);
-    domains_.push_back(std::move(record));
+    staging.push_back(std::move(record));
+  }
+}
+
+void Fleet::finalise(std::vector<StagingDomain>&& staging,
+                     std::map<util::IpAddress, AddressInfo>&& info) {
+  // Address metadata: the build map, flattened into a sorted flat array
+  // (binary-searched by info(); a node per address would dwarf the payload).
+  info_.assign(info.begin(), info.end());
+  info.clear();
+
+  // Host storage: specs in address order, hosts_ index-aligned. In eager
+  // mode every host is materialised now; lazy slots start empty.
+  std::sort(specs_.begin(), specs_.end(),
+            [](const HostSpec& a, const HostSpec& b) {
+              return a.address < b.address;
+            });
+  hosts_.resize(specs_.size());
+  if (!config_.lazy_hosts) {
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+      hosts_[i] = std::make_unique<mta::MailHost>(specs_[i].to_profile(),
+                                                  dns_, clock_);
+    }
+  }
+
+  // Domains: one interned copy of each name, one flat pool slice per
+  // address list. The pool is reserved exactly, so the spans stay valid.
+  std::size_t total_addresses = 0;
+  for (const auto& record : staging) total_addresses += record.addresses.size();
+  address_pool_.reserve(total_addresses);
+  domains_.reserve(staging.size());
+  for (const auto& record : staging) {
+    DomainRecord d;
+    d.name = strings_.view(strings_.intern(record.name));
+    d.tld = strings_.view(strings_.intern(record.tld));
+    if (!record.provider_name.empty()) {
+      d.provider_name = strings_.view(strings_.intern(record.provider_name));
+    }
+    const std::size_t offset = address_pool_.size();
+    address_pool_.insert(address_pool_.end(), record.addresses.begin(),
+                         record.addresses.end());
+    d.addresses = std::span<const util::IpAddress>(
+        address_pool_.data() + offset, record.addresses.size());
+    d.alexa_rank = static_cast<std::uint32_t>(record.alexa_rank);
+    d.mx_query_count = static_cast<std::uint32_t>(record.mx_query_count);
+    d.in_alexa = record.in_alexa;
+    d.in_alexa1000 = record.in_alexa1000;
+    d.in_mx = record.in_mx;
+    d.is_top_provider = record.is_top_provider;
+    domains_.push_back(d);
   }
 }
 
@@ -332,6 +557,9 @@ void Fleet::build() {
   util::Rng rng_tld = root.fork("tld");
   util::Rng rng_topology = root.fork("topology");
   util::Rng rng_profiles = root.fork("profiles");
+
+  std::vector<StagingDomain> staging;
+  std::map<util::IpAddress, AddressInfo> info;
 
   const auto scaled = [&](std::size_t n) {
     return static_cast<std::size_t>(std::max<long long>(
@@ -358,8 +586,8 @@ void Fleet::build() {
   };
 
   // --- 1. The 20 top providers occupy part of the Alexa Top 1000 ---
-  build_top_providers(rng_topology);
-  const std::size_t n_providers = domains_.size();
+  build_top_providers(rng_topology, staging, info);
+  const std::size_t n_providers = staging.size();
 
   // --- 2. Shared hosting pools (created lazily, Zipf-ish popularity) ---
   struct Pool {
@@ -414,8 +642,8 @@ void Fleet::build() {
       pool.tld = tld;
       const std::size_t size = 1 + rng_topology.uniform(0, 2);
       for (std::size_t i = 0; i < size; ++i) {
-        pool.addresses.push_back(
-            new_host(tld, true, in_alexa, in_mx, rank_pct, rng_profiles));
+        pool.addresses.push_back(new_host(tld, true, in_alexa, in_mx,
+                                          rank_pct, rng_profiles, info));
       }
       pools.push_back(std::move(pool));
       return pools.back();
@@ -430,7 +658,7 @@ void Fleet::build() {
   };
 
   const double n_alexa_d = static_cast<double>(n_alexa);
-  const auto assign_addresses = [&](DomainRecord& record) {
+  const auto assign_addresses = [&](StagingDomain& record) {
     // Rank percentile: Alexa rank for ranked domains; the 2-Week MX tail
     // sits mid-distribution.
     const double rank_pct =
@@ -456,10 +684,10 @@ void Fleet::build() {
     while (record.addresses.size() < want) {
       record.addresses.push_back(new_host(record.tld, false, record.in_alexa,
                                           record.in_mx, rank_pct,
-                                          rng_profiles));
+                                          rng_profiles, info));
     }
     for (const auto& address : record.addresses) {
-      auto& address_info = info_.at(address);
+      auto& address_info = info.at(address);
       ++address_info.domains_hosted;
       address_info.in_alexa_set |= record.in_alexa;
       address_info.in_mx_set |= record.in_mx;
@@ -475,26 +703,26 @@ void Fleet::build() {
   // --- 3. Alexa Top List domains, rank order ---
   std::set<std::size_t> provider_ranks;
   for (std::size_t i = 0; i < n_providers; ++i) {
-    provider_ranks.insert(domains_[i].alexa_rank);
+    provider_ranks.insert(staging[i].alexa_rank);
   }
-  domains_.reserve(n_alexa + n_mx);
+  staging.reserve(n_alexa + n_mx);
   for (std::size_t rank = 1; rank <= n_alexa; ++rank) {
     if (provider_ranks.count(rank) > 0 && config_.scale >= 0.99) continue;
-    DomainRecord record;
+    StagingDomain record;
     record.tld = sample_tld(alexa_weights);
     record.name = "a" + std::to_string(rank) + "." + record.tld;
     record.in_alexa = true;
     record.in_alexa1000 = rank <= n_alexa1000;
     record.alexa_rank = rank;
     assign_addresses(record);
-    domains_.push_back(std::move(record));
+    staging.push_back(std::move(record));
   }
 
   // --- 4. 2-Week MX: overlap domains first, then MX-only ---
   // Overlap: existing Alexa domains also observed in the university's email
   // traffic; n_mx_in_1000 of them land inside the Top 1000.
   std::size_t marked = 0, marked_top = 0;
-  for (auto& record : domains_) {
+  for (auto& record : staging) {
     if (marked >= n_overlap) break;
     const bool want_top = marked_top < n_mx_in_1000;
     if (record.in_alexa1000 != want_top) continue;
@@ -513,7 +741,7 @@ void Fleet::build() {
   create_prob = static_cast<double>(scaled(1600)) /
                 (0.78 * static_cast<double>(std::max<std::size_t>(1, n_mx)));
   for (std::size_t i = 0; i < n_mx_only; ++i) {
-    DomainRecord record;
+    StagingDomain record;
     record.tld = sample_tld(mx_weights);
     record.name = "m" + std::to_string(i + 1) + "." + record.tld;
     record.in_mx = true;
@@ -522,8 +750,10 @@ void Fleet::build() {
         1 + static_cast<std::size_t>(
                 5000.0 / (1.0 + rng_topology.uniform(0, 500)));
     assign_addresses(record);
-    domains_.push_back(std::move(record));
+    staging.push_back(std::move(record));
   }
+
+  finalise(std::move(staging), std::move(info));
 }
 
 }  // namespace spfail::population

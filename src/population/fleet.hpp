@@ -18,11 +18,23 @@
 //
 // `scale` shrinks every set proportionally so tests and benches run at
 // laptop scale; rates are scale-invariant.
+//
+// Storage model (DESIGN.md §14): every name (domain, TLD, provider) lives
+// once in an intern table, every MX address once in a flat pool; the public
+// DomainRecord is views+spans into those, and host behaviour is packed into
+// a ~48-byte HostSpec from which the full MailHost is materialised — eagerly
+// by default, or on demand when FleetConfig::lazy_hosts streams the fleet.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "dns/server.hpp"
@@ -32,25 +44,28 @@
 #include "scan/campaign.hpp"
 #include "scan/test_responder.hpp"
 #include "util/clock.hpp"
+#include "util/intern.hpp"
 #include "util/rng.hpp"
 
 namespace spfail::population {
 
 struct DomainRecord {
-  std::string name;
-  std::string tld;
+  // Views into the fleet's intern table; valid for the fleet's lifetime.
+  std::string_view name;
+  std::string_view tld;
+  std::string_view provider_name;  // empty unless is_top_provider
+  // Slice of the fleet's shared address pool.
+  std::span<const util::IpAddress> addresses;
+  std::uint32_t alexa_rank = 0;     // 1-based; 0 if not in the Alexa set
+  std::uint32_t mx_query_count = 0; // the 2-Week MX usage metric; 0 if not
   bool in_alexa = false;
   bool in_alexa1000 = false;
   bool in_mx = false;
-  std::size_t alexa_rank = 0;     // 1-based; 0 if not in the Alexa set
-  std::size_t mx_query_count = 0; // the 2-Week MX usage metric; 0 if not in it
   bool is_top_provider = false;
-  std::string provider_name;
-  std::vector<util::IpAddress> addresses;
 };
 
 struct AddressInfo {
-  std::string tld;              // TLD of the first domain that used it
+  std::string_view tld;         // TLD of the first domain that used it
   std::size_t domains_hosted = 0;
   std::size_t best_rank = 0;    // lowest Alexa rank hosted (0 = none)
   bool provider_pool = false;
@@ -61,6 +76,11 @@ struct AddressInfo {
 struct FleetConfig {
   double scale = 0.1;        // 1.0 = the paper's full population
   std::uint64_t seed = 2021; // the year of the measurement, why not
+  // Stream hosts instead of holding them: MailHosts are materialised on
+  // find_host and evicted again on release_host, with scanner-visible
+  // residue (greylist map, flaky-RNG cursor, patch/blacklist flags)
+  // preserved across the round trip. Reports are byte-identical either way.
+  bool lazy_hosts = false;
 };
 
 class Fleet : public scan::HostRegistry {
@@ -80,32 +100,117 @@ class Fleet : public scan::HostRegistry {
   // --- population access ---
   const std::vector<DomainRecord>& domains() const noexcept { return domains_; }
   const AddressInfo& info(const util::IpAddress& address) const;
-  std::size_t address_count() const noexcept { return hosts_.size(); }
+  std::size_t address_count() const noexcept { return specs_.size(); }
+
+  // The intern table behind every DomainRecord view — exposed for the
+  // snapshot layer's integrity section and the memory bench's stats.
+  const util::Interner& strings() const noexcept { return strings_; }
 
   mta::MailHost* find_host(const util::IpAddress& address) override;
   const mta::MailHost* find_host(const util::IpAddress& address) const;
 
+  // Lazy mode only: evict the materialised host, keeping its residue so the
+  // next find_host rebuilds it mid-conversation. No-op in eager mode.
+  void release_host(const util::IpAddress& address) override;
+  // How many MailHosts are currently materialised (bench/test observability).
+  std::size_t live_hosts() const;
+
   // All domains as campaign targets (optionally one set only).
   enum class SetFilter { All, AlexaTopList, Alexa1000, TwoWeekMx };
   std::vector<scan::TargetDomain> targets(SetFilter filter = SetFilter::All) const;
+
+  // Streaming view of the same targets: yields (name, addresses) pairs
+  // straight out of the intern table and address pool, so a campaign round
+  // never materialises a TargetDomain vector.
+  class TargetView final : public scan::TargetSource {
+   public:
+    TargetView(const Fleet& fleet, SetFilter filter)
+        : fleet_(fleet), filter_(filter) {}
+    std::size_t domain_count() const override;
+    std::size_t address_upper_bound() const override;
+    void for_each(
+        const std::function<void(std::string_view,
+                                 std::span<const util::IpAddress>)>& fn)
+        const override;
+
+   private:
+    const Fleet& fleet_;
+    SetFilter filter_;
+  };
+  TargetView target_source(SetFilter filter = SetFilter::All) const {
+    return TargetView(*this, filter);
+  }
 
   // Re-resolve a domain's addresses as the end-of-study snapshot does
   // (§7.2). In this model the mapping is stable — MX churn is represented
   // by the snapshot's blacklist-recovery draw in longitudinal::Study (a
   // changed front shedding the scanner block) rather than by address
   // renumbering, so this returns the build-time mapping.
-  const std::vector<util::IpAddress>& current_addresses(
-      const DomainRecord& domain) const;
+  std::span<const util::IpAddress> current_addresses(
+      const DomainRecord& domain) const {
+    return domain.addresses;
+  }
 
  private:
+  // Everything new_host draws, packed flat. to_profile() reconstructs the
+  // exact HostProfile the draw produced; fields the generator never sets
+  // (greylist_delay, dns_tempfail_rate) come back as profile defaults.
+  struct HostSpec {
+    util::IpAddress address;
+    spfvuln::SpfBehavior primary = spfvuln::SpfBehavior::RfcCompliant;
+    mta::SpfTiming spf_timing = mta::SpfTiming::AtMailFrom;
+    enum class Recipients : std::uint8_t { Any, NobodyReal, AdminSet };
+    Recipients recipients = Recipients::Any;
+    bool multi_stack = false;  // extra RfcCompliant engine (§7.9)
+    bool accepts_connections = true;
+    bool smtp_broken = false;
+    bool validates_spf = true;
+    bool greylists = false;
+    bool checks_dmarc = false;
+    bool flaky = false;  // flaky_spf_rate 0.9
+    bool rejects_spf_fail = true;
+    bool rejects_messages = false;
+
+    mta::HostProfile to_profile() const;
+  };
+
+  // Scanner-visible state a released host leaves behind; applied back when
+  // the address is rematerialised. Only saved when the host is non-pristine
+  // (a few percent of hosts per round), so the residue map stays small.
+  struct Residual {
+    std::map<util::IpAddress, util::SimTime> greylist_seen;
+    std::array<std::uint64_t, 4> flaky_rng{};
+    bool has_flaky_rng = false;
+    bool blacklisted = false;
+    bool patched = false;
+  };
+
+  // Mutable build-time shapes; finalise() compacts them away.
+  struct StagingDomain;
+
   void build();
+  void finalise(std::vector<StagingDomain>&& staging,
+                std::map<util::IpAddress, AddressInfo>&& info);
   util::IpAddress next_address();
   // `rank_pct`: the creating domain's rank percentile (0 = most popular,
   // 1 = tail) — drives Figure 4's vulnerability gradient.
   util::IpAddress new_host(const std::string& tld, bool provider_pool,
                            bool in_alexa, bool in_mx, double rank_pct,
-                           util::Rng& rng);
-  void build_top_providers(util::Rng& rng);
+                           util::Rng& rng,
+                           std::map<util::IpAddress, AddressInfo>& info);
+  void build_top_providers(util::Rng& rng,
+                           std::vector<StagingDomain>& staging,
+                           std::map<util::IpAddress, AddressInfo>& info);
+  // Pack the freshly drawn profile into a HostSpec (the draw itself is
+  // unchanged, so RNG sequences — and with them the whole population — stay
+  // identical to the pre-§14 generator).
+  void stage_host(const mta::HostProfile& profile);
+
+  // Index into specs_/hosts_ for `address`; npos when absent.
+  std::size_t spec_index(const util::IpAddress& address) const;
+  // Materialise (or fetch) the host at sorted index `index`. Logically
+  // const: the host cache and residue map are mutable state.
+  mta::MailHost* materialise(std::size_t index) const;
 
   FleetConfig config_;
   util::SimClock clock_{util::at_midnight(2021, 10, 11)};
@@ -113,9 +218,23 @@ class Fleet : public scan::HostRegistry {
   scan::TestResponderConfig responder_;
   GeoDb geo_;
 
+  // One copy of every name the population uses (domains, TLDs, providers).
+  util::Interner strings_;
+  // Every (domain -> address) edge, flattened; DomainRecord slices this.
+  std::vector<util::IpAddress> address_pool_;
   std::vector<DomainRecord> domains_;
-  std::map<util::IpAddress, std::unique_ptr<mta::MailHost>> hosts_;
-  std::map<util::IpAddress, AddressInfo> info_;
+  // Address metadata, sorted by address (binary-searched).
+  std::vector<std::pair<util::IpAddress, AddressInfo>> info_;
+
+  // Host storage: specs sorted by address, hosts_ index-aligned. In eager
+  // mode every slot is filled at construction; in lazy mode slots fill on
+  // find_host and empty on release_host under lazy_mutex_.
+  std::vector<HostSpec> specs_;
+  mutable std::vector<std::unique_ptr<mta::MailHost>> hosts_;
+  mutable std::unordered_map<util::IpAddress, Residual, util::IpAddressHash>
+      residuals_;
+  mutable std::mutex lazy_mutex_;
+
   std::uint32_t next_address_value_ = 0x0B000001;  // 11.0.0.1 onwards
   std::uint32_t next_v6_value_ = 1;  // 2001:db8::/32, sequential
   std::uint32_t v6_interleave_ = 0;  // every 12th host gets a v6 address

@@ -5,6 +5,8 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <span>
+#include <string_view>
 
 #include "longitudinal/pkgmgr.hpp"
 #include "population/paper_constants.hpp"
@@ -125,7 +127,7 @@ void accumulate_address(Funnel& f, const AddressOutcome& outcome) {
 // Domain-level funnel: a domain inherits the most advanced stage any of its
 // addresses reached.
 void accumulate_domain(Funnel& f, const CampaignReport& report,
-                       const std::vector<util::IpAddress>& addresses) {
+                       std::span<const util::IpAddress> addresses) {
   ++f.total;
   bool any_connected = false, nomsg_measured = false, nomsg_none = false,
        blank_tried = false, blank_measured = false, blank_none = false,
@@ -185,14 +187,16 @@ void accumulate_domain(Funnel& f, const CampaignReport& report,
 TextTable table1_overlap(const Fleet& fleet) { return table1_overlap_impl(fleet); }
 
 TextTable table2_tlds(const Fleet& fleet) {
-  std::map<std::string, std::size_t> alexa, mx;
+  // Keyed by the fleet's interned TLD views (stable for the fleet's
+  // lifetime); lexical map order is unchanged from the old string keys.
+  std::map<std::string_view, std::size_t> alexa, mx;
   for (const auto& d : fleet.domains()) {
     if (d.in_alexa) ++alexa[d.tld];
     if (d.in_mx) ++mx[d.tld];
   }
-  const auto top15 = [](const std::map<std::string, std::size_t>& counts) {
-    std::vector<std::pair<std::string, std::size_t>> sorted(counts.begin(),
-                                                            counts.end());
+  const auto top15 = [](const std::map<std::string_view, std::size_t>& counts) {
+    std::vector<std::pair<std::string_view, std::size_t>> sorted(
+        counts.begin(), counts.end());
     std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
       return a.second > b.second;
     });
@@ -207,11 +211,11 @@ TextTable table2_tlds(const Fleet& fleet) {
   for (std::size_t i = 0; i < 15; ++i) {
     std::vector<std::string> cells(4);
     if (i < alexa_top.size()) {
-      cells[0] = alexa_top[i].first;
+      cells[0] = std::string(alexa_top[i].first);
       cells[1] = with_commas(static_cast<long long>(alexa_top[i].second));
     }
     if (i < mx_top.size()) {
-      cells[2] = mx_top[i].first;
+      cells[2] = std::string(mx_top[i].first);
       cells[3] = with_commas(static_cast<long long>(mx_top[i].second));
     }
     table.add_row(std::move(cells));
@@ -322,7 +326,7 @@ TextTable table5_tld_patch(const Fleet& fleet,
     std::size_t vulnerable = 0;
     std::size_t patched = 0;
   };
-  std::map<std::string, TldPatch> by_tld;
+  std::map<std::string_view, TldPatch> by_tld;
   for (const auto& track : study.tracks) {
     const DomainRecord& d = fleet.domains()[track.domain_index];
     auto& entry = by_tld[d.tld];
@@ -334,7 +338,7 @@ TextTable table5_tld_patch(const Fleet& fleet,
   // (scaled down with the fleet).
   const std::size_t threshold = std::max<std::size_t>(
       3, static_cast<std::size_t>(50 * fleet.config().scale));
-  std::vector<std::pair<std::string, TldPatch>> eligible;
+  std::vector<std::pair<std::string_view, TldPatch>> eligible;
   for (const auto& [tld, entry] : by_tld) {
     if (entry.vulnerable >= threshold) eligible.emplace_back(tld, entry);
   }
@@ -349,8 +353,8 @@ TextTable table5_tld_patch(const Fleet& fleet,
 
   TextTable table({"TLD", "# Patched", "# Initially Vulnerable", "% Patched"},
                   {Align::Left, Align::Right, Align::Right, Align::Right});
-  const auto add = [&](const std::pair<std::string, TldPatch>& entry) {
-    table.add_row({"." + entry.first,
+  const auto add = [&](const std::pair<std::string_view, TldPatch>& entry) {
+    table.add_row({"." + std::string(entry.first),
                    with_commas(static_cast<long long>(entry.second.patched)),
                    with_commas(static_cast<long long>(entry.second.vulnerable)),
                    percent(static_cast<long long>(entry.second.patched),
@@ -493,6 +497,7 @@ TextTable fig4_rank_buckets(const Fleet& fleet,
   for (const auto& track : study.tracks) track_of[track.domain_index] = &track;
 
   std::vector<Entry> entries;
+  entries.reserve(fleet.domains().size());
   for (std::size_t i = 0; i < fleet.domains().size(); ++i) {
     const DomainRecord& d = fleet.domains()[i];
     if (!domain_in(d, cohort)) continue;

@@ -6,11 +6,38 @@
 #include <utility>
 
 #include "obs/lane.hpp"
+#include "util/intern.hpp"
 #include "util/rng.hpp"
 
 namespace spfail::scan {
 
 namespace {
+
+// Adapts the legacy vector-of-TargetDomain interface onto the streaming
+// TargetSource core; the vector overload of run() is now just this wrapper.
+class VectorTargetSource final : public TargetSource {
+ public:
+  explicit VectorTargetSource(const std::vector<TargetDomain>& targets)
+      : targets_(targets) {}
+
+  std::size_t domain_count() const override { return targets_.size(); }
+
+  std::size_t address_upper_bound() const override {
+    std::size_t n = 0;
+    for (const auto& target : targets_) n += target.addresses.size();
+    return n;
+  }
+
+  void for_each(
+      const std::function<void(std::string_view,
+                               std::span<const util::IpAddress>)>& fn)
+      const override {
+    for (const auto& target : targets_) fn(target.domain, target.addresses);
+  }
+
+ private:
+  const std::vector<TargetDomain>& targets_;
+};
 
 // Provider grouping for the circuit breaker: IPv4 /24, IPv6 by the hash of
 // the textual form (tagged into a disjoint key space). Computed from merged
@@ -104,7 +131,7 @@ Campaign::Campaign(CampaignConfig config, dns::AuthoritativeServer& server,
       engine_(plan_, retry_, clock_) {}
 
 ProbeResult Campaign::probe_settled(Prober& prober, mta::MailHost& host,
-                                    const std::string& recipient_domain,
+                                    std::string_view recipient_domain,
                                     const dns::Name& mail_from, TestKind kind,
                                     AddressOutcome& outcome,
                                     faults::DegradationReport& deg) {
@@ -128,23 +155,31 @@ ProbeResult Campaign::probe_settled(Prober& prober, mta::MailHost& host,
 }
 
 CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
+  return run(VectorTargetSource(targets));
+}
+
+CampaignReport Campaign::run(const TargetSource& targets) {
   CampaignReport report;
   report.suite_label = labels_.new_suite();
   current_round_ = next_round_++;
   report.degradation.configured_rate = plan_.config().rate;
 
   // 1. Deduplicate addresses, remembering a recipient domain for each (the
-  //    first domain that listed the address — used for RCPT TO).
-  std::size_t address_upper_bound = 0;
-  for (const auto& target : targets) address_upper_bound += target.addresses.size();
-  std::unordered_map<util::IpAddress, std::string, util::IpAddressHash>
+  //    first domain that listed the address — used for RCPT TO). Domain names
+  //    are interned once (DESIGN.md §14): the dedupe map carries a 4-byte
+  //    Symbol per address instead of a heap string copy.
+  util::Interner recipients;
+  std::unordered_map<util::IpAddress, util::Symbol, util::IpAddressHash>
       recipient_for;
-  recipient_for.reserve(address_upper_bound);
-  for (const auto& target : targets) {
-    for (const auto& address : target.addresses) {
-      recipient_for.emplace(address, target.domain);
+  recipient_for.reserve(targets.address_upper_bound());
+  targets.for_each([&](std::string_view domain,
+                       std::span<const util::IpAddress> addresses) {
+    if (addresses.empty()) return;
+    const util::Symbol name = recipients.intern(domain);
+    for (const auto& address : addresses) {
+      recipient_for.emplace(address, name);
     }
-  }
+  });
 
   // The sharded work list, in ascending address order. Shards are contiguous
   // slices of this list, so every address (and with it every host: hosts are
@@ -152,7 +187,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
   // reassembles results in address order — bit-identical at any thread
   // count. Probe labels derive from the position in this list, never from
   // allocation order.
-  std::vector<const std::pair<const util::IpAddress, std::string>*> order;
+  std::vector<const std::pair<const util::IpAddress, util::Symbol>*> order;
   order.reserve(recipient_for.size());
   for (const auto& entry : recipient_for) order.push_back(&entry);
   std::sort(order.begin(), order.end(),
@@ -206,7 +241,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
     // Wave 1: NoMsg over the slice.
     std::vector<std::size_t> want_blankmsg;
     for (std::size_t i = begin; i < end; ++i) {
-      const auto& [address, recipient_domain] = *order[i];
+      const auto& [address, recipient] = *order[i];
       clock_.advance_by(per_test_advance);
       AddressOutcome outcome;
       outcome.address = address;
@@ -223,9 +258,10 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
       const dns::Name mail_from =
           labels_.indexed_mail_from(2 * i, report.suite_label);
       const ProbeResult nomsg =
-          probe_settled(prober, *host, recipient_domain, mail_from,
+          probe_settled(prober, *host, recipients.view(recipient), mail_from,
                            TestKind::NoMsg, outcome, out.deg);
       lane.reset();
+      registry_.release_host(address);
       outcome.nomsg = nomsg;
 
       switch (nomsg.status) {
@@ -269,9 +305,10 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
       const dns::Name mail_from =
           labels_.indexed_mail_from(2 * i + 1, report.suite_label);
       const ProbeResult blankmsg =
-          probe_settled(prober, *host, order[i]->second, mail_from,
-                           TestKind::BlankMsg, outcome, out.deg);
+          probe_settled(prober, *host, recipients.view(order[i]->second),
+                           mail_from, TestKind::BlankMsg, outcome, out.deg);
       lane.reset();
+      registry_.release_host(outcome.address);
       outcome.blankmsg = blankmsg;
 
       if (blankmsg.status == ProbeStatus::SpfMeasured) {
@@ -375,7 +412,8 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
         Prober prober(config_.prober, server_, transport);
         for (std::size_t j = begin; j < end; ++j) {
           const std::size_t i = requeue[j];
-          const auto& [address, recipient_domain] = *order[i];
+          const auto& [address, recipient] = *order[i];
+          const std::string_view recipient_domain = recipients.view(recipient);
           // Shards own disjoint addresses, so mutating the mapped outcome
           // through the (structurally untouched) map is race-free.
           AddressOutcome& outcome = report.addresses.find(address)->second;
@@ -441,6 +479,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
               outcome.verdict = AddressVerdict::SmtpFailure;
             }
           }
+          registry_.release_host(address);
           if (!outcome.pending_transient()) ++out.recovered;
         }
         out.advance = clock_lane.offset();
@@ -496,13 +535,14 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
         static_cast<std::int64_t>(report.degradation.conclusive);
   }
 
-  // 4. Domain roll-up.
-  report.domains.reserve(targets.size());
-  for (const auto& target : targets) {
+  // 4. Domain roll-up: a second streaming walk over the same source.
+  report.domains.reserve(targets.domain_count());
+  targets.for_each([&](std::string_view domain,
+                       std::span<const util::IpAddress> addresses) {
     DomainOutcome domain_outcome;
-    domain_outcome.domain = target.domain;
-    domain_outcome.addresses = target.addresses;
-    for (const auto& address : target.addresses) {
+    domain_outcome.domain = std::string(domain);
+    domain_outcome.addresses.assign(addresses.begin(), addresses.end());
+    for (const auto& address : addresses) {
       const auto it = report.addresses.find(address);
       if (it == report.addresses.end()) continue;
       const AddressOutcome& outcome = it->second;
@@ -517,7 +557,7 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
       if (outcome.vulnerable()) domain_outcome.vulnerable = true;
     }
     report.domains.push_back(std::move(domain_outcome));
-  }
+  });
   return report;
 }
 

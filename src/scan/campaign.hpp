@@ -14,8 +14,11 @@
 //      only if all previously-vulnerable addresses now measure compliant.
 #pragma once
 
+#include <functional>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -38,11 +41,35 @@ class HostRegistry {
   virtual ~HostRegistry() = default;
   // nullptr means "no host at this address" (connect times out).
   virtual mta::MailHost* find_host(const util::IpAddress& address) = 0;
+
+  // Hint that the caller is done probing `address` for now. A lazy registry
+  // (population::Fleet in streaming mode, DESIGN.md §14) evicts the
+  // materialised host, keeping its scanner-visible residue (greylist map,
+  // flaky-RNG cursor, patch/blacklist flags) so a later find_host rebuilds
+  // it mid-conversation. The default keeps every host live.
+  virtual void release_host(const util::IpAddress& address) { (void)address; }
 };
 
 struct TargetDomain {
   std::string domain;
   std::vector<util::IpAddress> addresses;
+};
+
+// A streaming view over campaign targets (DESIGN.md §14): the campaign walks
+// (domain, addresses) pairs twice — once to dedupe addresses, once for the
+// domain roll-up — without ever materialising a vector of TargetDomain
+// copies. Implementations yield spans/views into their own storage; both
+// walks must yield the same sequence.
+class TargetSource {
+ public:
+  virtual ~TargetSource() = default;
+  virtual std::size_t domain_count() const = 0;
+  // Total addresses over all domains, duplicates included (reserve sizing).
+  virtual std::size_t address_upper_bound() const = 0;
+  virtual void for_each(
+      const std::function<void(std::string_view domain,
+                               std::span<const util::IpAddress> addresses)>& fn)
+      const = 0;
 };
 
 // Final per-address verdict for one round.
@@ -170,6 +197,10 @@ class Campaign {
   // Run one full measurement round over `targets`.
   CampaignReport run(const std::vector<TargetDomain>& targets);
 
+  // Streaming variant: identical output, but targets are walked on demand —
+  // a lazy population never holds the whole target vector in memory.
+  CampaignReport run(const TargetSource& targets);
+
   // Re-measure only the given addresses (the longitudinal rounds, which per
   // section 6.1 are restricted to previously vulnerable/inconclusive hosts).
   CampaignReport run_addresses(const std::vector<util::IpAddress>& addresses);
@@ -181,7 +212,7 @@ class Campaign {
   // `outcome.probe_attempts`, keeping fault-plan keys fresh on every
   // re-attempt; the round-level retry budget shrinks with `retries_used`.
   ProbeResult probe_settled(Prober& prober, mta::MailHost& host,
-                            const std::string& recipient_domain,
+                            std::string_view recipient_domain,
                             const dns::Name& mail_from, TestKind kind,
                             AddressOutcome& outcome,
                             faults::DegradationReport& deg);

@@ -50,6 +50,13 @@ std::uint64_t parse_u64(std::string_view what, const char* text) {
   return static_cast<std::uint64_t>(v);
 }
 
+bool parse_bool(std::string_view what, const char* text) {
+  const std::string_view v = text;
+  if (v == "1" || v == "true") return true;
+  if (v == "0" || v == "false" || v.empty()) return false;
+  reject(what, v, "0/1/true/false");
+}
+
 }  // namespace
 
 void ScanConfig::validate() const {
@@ -112,14 +119,13 @@ ScanConfig ScanConfig::from_env(const ScanConfig& defaults) {
     config.metrics_path = env;
   }
   if (const char* env = std::getenv("SPFAIL_METRICS_WALL")) {
-    const std::string_view v = env;
-    if (v == "1" || v == "true") {
-      config.metrics_wall = true;
-    } else if (v == "0" || v == "false" || v.empty()) {
-      config.metrics_wall = false;
-    } else {
-      reject("SPFAIL_METRICS_WALL", v, "0/1/true/false");
-    }
+    config.metrics_wall = parse_bool("SPFAIL_METRICS_WALL", env);
+  }
+  if (const char* env = std::getenv("SPFAIL_LAZY_HOSTS")) {
+    config.lazy_hosts = parse_bool("SPFAIL_LAZY_HOSTS", env);
+  }
+  if (const char* env = std::getenv("SPFAIL_CHECKPOINT_STRINGS")) {
+    config.checkpoint_strings = parse_bool("SPFAIL_CHECKPOINT_STRINGS", env);
   }
   config.validate();
   return config;
@@ -156,6 +162,10 @@ ScanConfig ScanConfig::from_args(int argc, const char* const* argv,
       config.metrics_path = next();
     } else if (arg == "--metrics-wall") {
       config.metrics_wall = true;
+    } else if (arg == "--lazy-hosts") {
+      config.lazy_hosts = true;
+    } else if (arg == "--checkpoint-strings") {
+      config.checkpoint_strings = true;
     } else if (arg == "--checkpoint") {
       config.checkpoint_path = next();
     } else if (arg == "--checkpoint-every") {

@@ -28,6 +28,11 @@ struct ScanConfig {
   double scale = 0.05;             // (0, 1]; SPFAIL_SCALE / --scale
   std::uint64_t fleet_seed = 2021;  // --seed
   std::uint64_t study_seed = 20211011;
+  // Stream hosts instead of holding the whole fleet resident (DESIGN.md
+  // §14): MailHosts materialise on probe and are evicted afterwards.
+  // Reports are byte-identical either way; this trades a little CPU for a
+  // much larger reachable population. SPFAIL_LAZY_HOSTS / --lazy-hosts.
+  bool lazy_hosts = false;
 
   // Scan engine.
   int threads = 0;  // 0 = SPFAIL_THREADS / hardware; --threads
@@ -51,6 +56,12 @@ struct ScanConfig {
   // Checkpoint/resume (DESIGN.md §11).
   std::string checkpoint_path;  // --checkpoint; empty = no checkpoints
   int checkpoint_every = 1;     // --checkpoint-every: round-boundary cadence
+  // Embed the fleet's intern table in each checkpoint (DESIGN.md §14): an
+  // optional integrity section the restoring side compares against its
+  // rebuilt fleet, catching seed/scale mismatches before replay diverges.
+  // Off by default — absent-section snapshots are byte-identical to older
+  // writers. SPFAIL_CHECKPOINT_STRINGS / --checkpoint-strings.
+  bool checkpoint_strings = false;
   std::string resume_path;      // --resume; empty = fresh run
   // --halt-after-rounds: stop after N longitudinal rounds, writing a final
   // checkpoint (a deterministic stand-in for killing the process mid-study).
@@ -62,7 +73,8 @@ struct ScanConfig {
 
   // Environment over `defaults`: SPFAIL_SCALE, SPFAIL_FAULT_SEED,
   // SPFAIL_FAULT_RATE, SPFAIL_TRACE, SPFAIL_CSV_DIR, SPFAIL_METRICS,
-  // SPFAIL_METRICS_WALL. (SPFAIL_THREADS is
+  // SPFAIL_METRICS_WALL, SPFAIL_LAZY_HOSTS, SPFAIL_CHECKPOINT_STRINGS.
+  // (SPFAIL_THREADS is
   // resolved by the thread pool itself when threads == 0.) Throws
   // ScanConfigError on malformed or out-of-range values.
   static ScanConfig from_env(const ScanConfig& defaults);

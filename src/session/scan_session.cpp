@@ -28,6 +28,7 @@ population::Fleet& ScanSession::fleet() {
     population::FleetConfig fleet_config;
     fleet_config.scale = config_.scale;
     fleet_config.seed = config_.fleet_seed;
+    fleet_config.lazy_hosts = config_.lazy_hosts;
     fleet_ = std::make_unique<population::Fleet>(fleet_config);
   }
   return *fleet_;
@@ -60,10 +61,24 @@ void ScanSession::write_metrics_files() {
   }
 }
 
+void ScanSession::check_snapshot_strings(const snapshot::StudySnapshot& snap) {
+  if (!snap.has_strings) return;
+  if (!(snap.strings == fleet().strings())) {
+    throw snapshot::SnapshotError(
+        "snapshot intern table does not match the rebuilt fleet's (the "
+        "population this process generated differs from the one the "
+        "checkpoint was taken over)");
+  }
+}
+
 void ScanSession::write_checkpoint(const longitudinal::Study& study,
                                    const longitudinal::Study::State& state) {
   snapshot::StudySnapshot snap = study.capture(state);
   snap.metric_lines = metric_lines_;
+  if (config_.checkpoint_strings) {
+    snap.has_strings = true;
+    snap.strings = fleet().strings();
+  }
   snapshot::save_atomically(config_.checkpoint_path, snap.encode());
   std::cerr << "checkpoint: wrote " << config_.checkpoint_path << " (round "
             << snap.rounds_done << "/" << study.total_rounds() << ")\n";
@@ -94,6 +109,7 @@ const scan::CampaignReport& ScanSession::initial() {
           "' was taken under a different configuration (seed/scale/faults/"
           "tracing must match)");
     }
+    check_snapshot_strings(snap);
     fleet().clock().advance_to(snap.clock_now);
     if (config_.tracing()) {
       trace_.clear();
@@ -123,7 +139,9 @@ const scan::CampaignReport& ScanSession::initial() {
   campaign_config.metrics = metrics();
   scan::Campaign campaign(campaign_config, fleet().dns(), fleet().clock(),
                           fleet());
-  initial_ = campaign.run(fleet().targets());
+  // Stream targets straight from the fleet's compact records — no
+  // std::string/vector copies of the whole population (DESIGN.md §14).
+  initial_ = campaign.run(fleet().target_source());
   if (config_.metrics()) record_metric_line("initial");
 
   if (!config_.checkpoint_path.empty()) {
@@ -142,6 +160,10 @@ const scan::CampaignReport& ScanSession::initial() {
       snap.has_metrics = true;
       snap.metrics = metrics_;
       snap.metric_lines = metric_lines_;
+    }
+    if (config_.checkpoint_strings) {
+      snap.has_strings = true;
+      snap.strings = fleet().strings();
     }
     snapshot::save_atomically(config_.checkpoint_path, snap.encode());
     std::cerr << "checkpoint: wrote " << config_.checkpoint_path
@@ -163,6 +185,7 @@ const longitudinal::StudyReport* ScanSession::study() {
     if (config_.metrics()) record_metric_line("initial");
   } else {
     const snapshot::StudySnapshot snap = load_snapshot(config_.resume_path);
+    check_snapshot_strings(snap);
     state = study.restore(snap);
     // restore() reloaded the registry; the rendered lines the halted run had
     // already emitted come back verbatim so the stream continues seamlessly.

@@ -86,6 +86,9 @@ class ScanSession {
 
  private:
   longitudinal::StudyConfig study_config();
+  // Refuses a resume whose embedded intern table (when present) differs from
+  // the rebuilt fleet's — a whole-population fingerprint check (§14).
+  void check_snapshot_strings(const snapshot::StudySnapshot& snap);
   void write_checkpoint(const longitudinal::Study& study,
                         const longitudinal::Study::State& state);
   void record_metric_line(std::string_view phase, int round = -1);

@@ -23,6 +23,10 @@ std::uint64_t fnv1a(std::string_view bytes) {
 // Guards the optional trailing metrics section: any other first byte after
 // the trace frames means a corrupt or foreign tail, not a missing feature.
 constexpr std::uint8_t kMetricsMarker = 0x4D;  // 'M'
+// Guards the optional fleet intern-table section. Ordering is fixed:
+// metrics (if any) first, strings (if any) last — each optional section
+// appends after every older one so absent-section snapshots keep their bytes.
+constexpr std::uint8_t kStringsMarker = 0x49;  // 'I'
 
 SnapshotKind decode_kind(std::uint8_t v) {
   switch (v) {
@@ -304,6 +308,10 @@ std::string StudySnapshot::encode() const {
     payload.u64(metric_lines.size());
     for (const auto& line : metric_lines) payload.str(line);
   }
+  if (has_strings) {
+    payload.u8(kStringsMarker);
+    strings.encode(payload);
+  }
 
   Writer out;
   for (const char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
@@ -400,15 +408,22 @@ StudySnapshot StudySnapshot::decode(std::string_view bytes) {
     snap.trace.push_back(get_frame(payload));
   }
   if (!payload.done()) {
-    if (payload.u8() != kMetricsMarker) {
-      throw SnapshotError("trailing bytes are not a metrics section");
+    std::uint8_t marker = payload.u8();
+    if (marker == kMetricsMarker) {
+      snap.has_metrics = true;
+      snap.metrics = obs::Registry::decode(payload);
+      const std::uint64_t lines = payload.u64();
+      for (std::uint64_t i = 0; i < lines; ++i) {
+        snap.metric_lines.push_back(payload.str());
+      }
+      if (payload.done()) return snap;
+      marker = payload.u8();
     }
-    snap.has_metrics = true;
-    snap.metrics = obs::Registry::decode(payload);
-    const std::uint64_t lines = payload.u64();
-    for (std::uint64_t i = 0; i < lines; ++i) {
-      snap.metric_lines.push_back(payload.str());
+    if (marker != kStringsMarker) {
+      throw SnapshotError("trailing bytes are not an optional section");
     }
+    snap.has_strings = true;
+    snap.strings = util::Interner::decode(payload);
   }
   payload.expect_done();
   return snap;

@@ -33,6 +33,7 @@
 #include "scan/campaign.hpp"
 #include "snapshot/codec.hpp"
 #include "util/clock.hpp"
+#include "util/intern.hpp"
 #include "util/ip.hpp"
 
 namespace spfail::snapshot {
@@ -118,6 +119,16 @@ struct StudySnapshot {
   bool has_metrics = false;
   obs::Registry metrics;
   std::vector<std::string> metric_lines;
+
+  // Fleet intern table (DESIGN.md §14; present exactly when the writer ran
+  // with --checkpoint-strings): the distinct domain/TLD/provider strings in
+  // Symbol order. Restore compares it against the rebuilt fleet's table and
+  // refuses a mismatch — a cheap whole-population fingerprint that catches a
+  // seed or generator drift before replay silently diverges. Encoded as a
+  // second optional marker section after the metrics section, so snapshots
+  // without it are byte-identical to older writers.
+  bool has_strings = false;
+  util::Interner strings;
 
   std::string encode() const;
   static StudySnapshot decode(std::string_view bytes);

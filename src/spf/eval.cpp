@@ -61,12 +61,9 @@ Result Evaluator::check_domain(State& state, const dns::Name& domain,
   if (spf_records.empty()) return Result::None;
   if (spf_records.size() > 1) return Result::PermError;
 
-  Record record;
-  try {
-    record = parse_record(spf_records.front());
-  } catch (const RecordSyntaxError&) {
-    return Result::PermError;
-  }
+  const Record* cached = cached_record(spf_records.front());
+  if (cached == nullptr) return Result::PermError;
+  const Record& record = *cached;
 
   // 2. Evaluate mechanisms left to right.
   for (const auto& mech : record.mechanisms) {
@@ -126,6 +123,24 @@ Result Evaluator::check_domain(State& state, const dns::Name& domain,
   }
 
   return Result::Neutral;  // default when no mechanism matched (section 4.7)
+}
+
+const Record* Evaluator::cached_record(const std::string& text) {
+  const util::Symbol id = record_texts_.intern(text);
+  if (id < records_.size()) {
+    const CachedRecord& hit = records_[id];
+    return hit.ok ? &hit.record : nullptr;
+  }
+  CachedRecord entry;
+  try {
+    entry.record = parse_record(text);
+    entry.ok = true;
+  } catch (const RecordSyntaxError&) {
+    entry.ok = false;
+  }
+  records_.push_back(std::move(entry));
+  const CachedRecord& stored = records_.back();
+  return stored.ok ? &stored.record : nullptr;
 }
 
 const dns::Name& Evaluator::validated_domain(State& state,

@@ -7,12 +7,14 @@
 // the authoritative server — the paper's remote-detection fingerprint.
 #pragma once
 
+#include <deque>
 #include <string>
 
 #include "dns/resolver.hpp"
 #include "spf/macro.hpp"
 #include "spf/record.hpp"
 #include "spf/result.hpp"
+#include "util/intern.hpp"
 
 namespace spfail::spf {
 
@@ -50,6 +52,12 @@ class Evaluator {
   // Entry point per RFC 7208 section 4.1.
   CheckOutcome check_host(const CheckRequest& request);
 
+  // Parsed-record memo statistics (DESIGN.md §14): every record text the
+  // evaluator has seen, interned once; hits are TXT fetches whose parse was
+  // answered from the cache (include chains and repeated checks re-fetch the
+  // same policy text, but never pay parse allocations twice).
+  const util::Interner& record_cache() const noexcept { return record_texts_; }
+
  private:
   struct State {
     CheckRequest request;
@@ -82,9 +90,24 @@ class Evaluator {
   // void-lookup limit is exceeded.
   bool note_void(State& state, const dns::ResolveResult& result);
 
+  // The parsed form of `text`, memoised across checks for the evaluator's
+  // lifetime; nullptr for records with syntax errors (also memoised — a
+  // PermError record stays a PermError record). DNS fetches are NOT cached
+  // here: the queries are the paper's observable, only parsing is elided.
+  const Record* cached_record(const std::string& text);
+
   dns::StubResolver& resolver_;
   const MacroExpander& expander_;
   EvaluatorLimits limits_;
+
+  // Record-text intern table plus the parse memo it indexes. A deque keeps
+  // Record references stable while include recursion appends new entries.
+  util::Interner record_texts_;
+  struct CachedRecord {
+    bool ok = false;
+    Record record;
+  };
+  std::deque<CachedRecord> records_;
 };
 
 }  // namespace spfail::spf

@@ -203,6 +203,40 @@ TEST(CheckpointResume, ScanSessionHaltWritesResumableCheckpoint) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointResume, LazyFleetHaltResumeMatchesUninterruptedEagerRun) {
+  // §14 end-to-end: a lazy-hosts study halted mid-run and resumed (with the
+  // intern-table integrity section enabled) must deliver the same bytes as
+  // an uninterrupted eager-fleet run.
+  const std::string path = testing::TempDir() + "spfail_ckpt_lazy.bin";
+
+  session::ScanConfig base;
+  base.scale = 0.004;
+  base.faults.rate = 0.02;
+
+  session::ScanConfig halting = base;
+  halting.lazy_hosts = true;
+  halting.checkpoint_path = path;
+  halting.checkpoint_strings = true;
+  halting.halt_after_rounds = 5;
+  session::ScanSession first(halting);
+  EXPECT_EQ(first.study(), nullptr);
+  EXPECT_TRUE(first.halted());
+
+  session::ScanConfig resuming = base;
+  resuming.lazy_hosts = true;
+  resuming.resume_path = path;
+  session::ScanSession second(resuming);
+  const longitudinal::StudyReport* resumed = second.study();
+  ASSERT_NE(resumed, nullptr);
+
+  session::ScanSession uninterrupted(base);  // eager fleet, no interruption
+  const longitudinal::StudyReport* full = uninterrupted.study();
+  ASSERT_NE(full, nullptr);
+  EXPECT_EQ(digest(second.fleet(), *resumed),
+            digest(uninterrupted.fleet(), *full));
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointResume, CampaignSnapshotShortCircuitsInitialOnly) {
   const std::string path = testing::TempDir() + "spfail_ckpt_campaign.bin";
 
@@ -251,9 +285,10 @@ TEST(ScanConfigArgs, ParsesTheFullFlagSet) {
   const session::ScanConfig config =
       parse({"--scale", "0.25", "--seed", "7", "--threads", "3",
              "--initial-only", "--fault-rate", "0.5", "--fault-seed", "99",
-             "--csv", "/tmp/csv", "--trace", "/tmp/t.jsonl", "--checkpoint",
-             "/tmp/c.bin", "--checkpoint-every", "4", "--halt-after-rounds",
-             "8", "--resume", "/tmp/r.bin"});
+             "--csv", "/tmp/csv", "--trace", "/tmp/t.jsonl", "--lazy-hosts",
+             "--checkpoint-strings", "--checkpoint", "/tmp/c.bin",
+             "--checkpoint-every", "4", "--halt-after-rounds", "8", "--resume",
+             "/tmp/r.bin"});
   EXPECT_EQ(config.scale, 0.25);
   EXPECT_EQ(config.fleet_seed, 7u);
   EXPECT_EQ(config.threads, 3);
@@ -263,6 +298,8 @@ TEST(ScanConfigArgs, ParsesTheFullFlagSet) {
   EXPECT_EQ(config.csv_dir, "/tmp/csv");
   EXPECT_EQ(config.trace_path, "/tmp/t.jsonl");
   EXPECT_TRUE(config.tracing());
+  EXPECT_TRUE(config.lazy_hosts);
+  EXPECT_TRUE(config.checkpoint_strings);
   EXPECT_EQ(config.checkpoint_path, "/tmp/c.bin");
   EXPECT_EQ(config.checkpoint_every, 4);
   EXPECT_EQ(config.halt_after_rounds, 8);

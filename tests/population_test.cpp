@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "population/fleet.hpp"
 #include "population/geo.hpp"
 #include "population/paper_constants.hpp"
@@ -115,7 +117,8 @@ TEST_F(FleetTest, SharedProvidersShareAddresses) {
   }
   ASSERT_NE(mailru, nullptr);
   ASSERT_NE(vk, nullptr);
-  EXPECT_EQ(mailru->addresses, vk->addresses);
+  EXPECT_TRUE(std::equal(mailru->addresses.begin(), mailru->addresses.end(),
+                         vk->addresses.begin(), vk->addresses.end()));
 }
 
 TEST_F(FleetTest, GeoAssignedForEveryAddress) {
@@ -150,7 +153,10 @@ TEST(FleetDeterminism, SameSeedSameFleet) {
   ASSERT_EQ(a.domains().size(), b.domains().size());
   for (std::size_t i = 0; i < a.domains().size(); ++i) {
     EXPECT_EQ(a.domains()[i].name, b.domains()[i].name);
-    EXPECT_EQ(a.domains()[i].addresses, b.domains()[i].addresses);
+    EXPECT_TRUE(std::equal(a.domains()[i].addresses.begin(),
+                           a.domains()[i].addresses.end(),
+                           b.domains()[i].addresses.begin(),
+                           b.domains()[i].addresses.end()));
   }
 }
 

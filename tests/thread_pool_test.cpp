@@ -257,5 +257,33 @@ TEST(ThreadDeterminism, StudyBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial, run_study(8));
 }
 
+TEST(ThreadDeterminism, LazyStreamingCampaignBitIdenticalAcrossThreadCounts) {
+  // §14: the lazy fleet materialises hosts on probe and evicts them after,
+  // and the campaign consumes the zero-copy TargetSource view. Neither may
+  // perturb a single output byte relative to the eager serial run.
+  const auto run_campaign = [](int threads, bool lazy) {
+    population::FleetConfig config;
+    config.scale = 0.02;
+    config.seed = 7;
+    config.lazy_hosts = lazy;
+    population::Fleet fleet(config);
+    scan::CampaignConfig campaign_config;
+    campaign_config.prober.responder = fleet.responder();
+    campaign_config.threads = threads;
+    scan::Campaign campaign(campaign_config, fleet.dns(), fleet.clock(),
+                            fleet);
+    const scan::CampaignReport report = campaign.run(fleet.target_source());
+    std::ostringstream out;
+    serialize_campaign(out, report);
+    out << "clock=" << fleet.clock().now()
+        << " queries=" << fleet.dns().query_log().size() << "\n";
+    return out.str();
+  };
+  const std::string eager_serial = run_campaign(1, false);
+  EXPECT_EQ(eager_serial, run_campaign(1, true));
+  EXPECT_EQ(eager_serial, run_campaign(2, true));
+  EXPECT_EQ(eager_serial, run_campaign(8, true));
+}
+
 }  // namespace
 }  // namespace spfail
