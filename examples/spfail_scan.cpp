@@ -7,6 +7,7 @@
 //                      [--trace FILE] [--metrics FILE] [--metrics-wall]
 //                      [--checkpoint FILE] [--checkpoint-every N]
 //                      [--resume FILE] [--halt-after-rounds N]
+//                      [--workers N] [--worker-restart-budget N]
 //
 //   --scale S        population scale, 0 < S <= 1 (default 0.05)
 //   --seed N         fleet seed (default 2021)
@@ -47,6 +48,22 @@
 //   --halt-after-rounds N
 //                    stop after N longitudinal rounds, writing a final
 //                    checkpoint (requires --checkpoint); exit code 0
+//   --workers N      distribute the scan over N crash-isolated worker
+//                    processes (DESIGN.md §15; requires --checkpoint). A
+//                    worker that dies — killed, crashed, or hung — is
+//                    respawned from its per-worker checkpoint; the finished
+//                    run's stdout, CSVs, trace, and metrics are
+//                    byte-identical to --workers 1 (default: SPFAIL_WORKERS,
+//                    else 1)
+//   --worker-restart-budget N
+//                    respawns allowed per worker before it is abandoned and
+//                    its remaining work marked inconclusive (default:
+//                    SPFAIL_WORKER_RESTART_BUDGET, else 3); a degradation
+//                    table is printed when a worker was abandoned
+//
+// SIGINT/SIGTERM are caught: the run stops at the next round boundary,
+// writes a final checkpoint when --checkpoint is set, and exits with code
+// 130 (resume with --resume).
 //
 // All flags reject malformed values (e.g. `--threads x`, `--fault-rate 2`)
 // with exit code 2 instead of silently coercing them.
@@ -58,6 +75,7 @@
 #include "obs/lane.hpp"
 #include "report/tables.hpp"
 #include "session/scan_session.hpp"
+#include "util/shutdown.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 
@@ -87,6 +105,16 @@ void emit_trace(const std::string& path, const net::WireTrace& trace) {
   trace.write_jsonl(out);
   std::cout << "\n" << report::trace_summary(net::TraceStats::from(trace))
             << "\n  wrote " << path << " (" << trace.size() << " frames)\n";
+}
+
+// Print the distributed-scan degradation table — only when a worker was
+// actually abandoned, so fully recovered runs keep byte-identical stdout.
+void emit_dist_report(session::ScanSession& session) {
+  dist::Coordinator* coordinator = session.coordinator();
+  if (coordinator == nullptr) return;
+  const dist::DistReport report = coordinator->report();
+  if (report.abandoned_count() == 0) return;
+  std::cout << "\n" << report.summary();
 }
 
 // Write the JSONL round snapshots + Prometheus exposition and print the
@@ -130,6 +158,7 @@ int run(const session::ScanConfig& config) {
     }
     if (session.trace()) emit_trace(config.trace_path, *session.trace());
     if (session.metrics() != nullptr) emit_metrics(session);
+    emit_dist_report(session);
     return 0;
   }
 
@@ -138,10 +167,11 @@ int run(const session::ScanConfig& config) {
                "...\n";
   const longitudinal::StudyReport* report = session.study();
   if (report == nullptr) {
-    // Halted at a checkpoint (--halt-after-rounds); the stderr status line
-    // already named the snapshot to resume from. The metric stream so far
-    // rides in the checkpoint, so no partial files are written here.
-    return 0;
+    // Halted at a checkpoint (--halt-after-rounds or a caught termination
+    // signal); the stderr status line already named the snapshot to resume
+    // from. The metric stream so far rides in the checkpoint, so no partial
+    // files are written here.
+    return session.interrupted() ? 130 : 0;
   }
 
   std::cout << "[3/3] Results\n\n"
@@ -169,6 +199,7 @@ int run(const session::ScanConfig& config) {
   }
   if (session.trace()) emit_trace(config.trace_path, *session.trace());
   if (session.metrics() != nullptr) emit_metrics(session);
+  emit_dist_report(session);
 
   if (!config.csv_dir.empty()) {
     std::cout << "\nCSV export:\n";
@@ -186,6 +217,9 @@ int run(const session::ScanConfig& config) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Graceful shutdown: SIGINT/SIGTERM set a flag the study loop checks at
+  // round boundaries (checkpoint, clean exit) instead of killing the run.
+  util::install_shutdown_handlers();
   try {
     return run(session::ScanConfig::from_args(argc, argv));
   } catch (const session::ScanConfigError& e) {

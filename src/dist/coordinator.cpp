@@ -1,0 +1,628 @@
+#include "dist/coordinator.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace spfail::dist {
+
+namespace {
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+long env_long(const char* name, long fallback, long min_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < min_value) return fallback;
+  return value;
+}
+
+}  // namespace
+
+std::uint32_t DistReport::total_restarts() const {
+  std::uint32_t total = 0;
+  for (const auto& w : workers) total += w.restarts;
+  return total;
+}
+
+std::size_t DistReport::abandoned_count() const {
+  std::size_t total = 0;
+  for (const auto& w : workers) total += w.abandoned ? 1 : 0;
+  return total;
+}
+
+std::uint64_t DistReport::items_lost() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers) total += w.items_lost;
+  return total;
+}
+
+std::string DistReport::summary() const {
+  std::ostringstream out;
+  out << "Distributed scan degradation\n";
+  out << "  " << std::left << std::setw(8) << "worker" << std::setw(10)
+      << "restarts" << std::setw(11) << "abandoned" << "items lost\n";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const auto& w = workers[i];
+    out << "  " << std::setw(8) << i << std::setw(10) << w.restarts
+        << std::setw(11) << (w.abandoned ? "yes" : "no") << w.items_lost
+        << "\n";
+  }
+  out << "  total: " << total_restarts() << " restart(s), " << abandoned_count()
+      << " worker(s) abandoned, " << items_lost()
+      << " item(s) marked inconclusive\n";
+  return out.str();
+}
+
+Coordinator::Config Coordinator::resolve(Config config) {
+  config.chunk = static_cast<std::size_t>(
+      env_long("SPFAIL_DIST_CHUNK", static_cast<long>(config.chunk), 1));
+  config.timeout_ms = env_long("SPFAIL_DIST_TIMEOUT_MS", config.timeout_ms, 1);
+  return config;
+}
+
+Coordinator::Coordinator(population::Fleet& fleet, Config config)
+    : fleet_(fleet), config_(resolve(std::move(config))) {
+  if (config_.workers == 0) config_.workers = 1;
+  // A worker death must surface as EPIPE/EOF on the pipe, never as a fatal
+  // signal to the coordinator.
+  ::signal(SIGPIPE, SIG_IGN);
+  nonce_ = (static_cast<std::uint64_t>(::getpid()) << 32) |
+           (static_cast<std::uint64_t>(
+                std::chrono::steady_clock::now().time_since_epoch().count()) &
+            0xffffffffull);
+}
+
+Coordinator::~Coordinator() { shutdown(); }
+
+Channel Coordinator::worker_channel(std::size_t index) const {
+  const WorkerSlot& slot = slots_.at(index);
+  return Channel(slot.child_read, slot.child_write);
+}
+
+Channel Coordinator::parent_channel(std::size_t index) const {
+  const WorkerSlot& slot = slots_.at(index);
+  return Channel(slot.from_child, slot.to_child);
+}
+
+std::string Coordinator::worker_checkpoint_path(std::size_t index) const {
+  if (config_.checkpoint_stem.empty()) return {};
+  return config_.checkpoint_stem + ".w" + std::to_string(index);
+}
+
+bool Coordinator::spawn_once(std::size_t index) {
+  WorkerSlot& slot = slots_[index];
+  int req[2] = {-1, -1};
+  int rep[2] = {-1, -1};
+  if (::pipe(req) != 0) throw ProtocolError("pipe() failed");
+  if (::pipe(rep) != 0) {
+    ::close(req[0]);
+    ::close(req[1]);
+    throw ProtocolError("pipe() failed");
+  }
+  slot.child_read = req[0];
+  slot.to_child = req[1];
+  slot.from_child = rep[0];
+  slot.child_write = rep[1];
+
+  // Nothing buffered may cross the fork, or the child re-emits it.
+  std::cout.flush();
+  std::cerr.flush();
+  std::fflush(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    close_fd(slot.child_read);
+    close_fd(slot.to_child);
+    close_fd(slot.from_child);
+    close_fd(slot.child_write);
+    throw ProtocolError("fork() failed");
+  }
+  if (pid == 0) {
+    // Child: keep only this slot's child ends. Holding any other descriptor
+    // would mask sibling EOFs and leak pipes across respawn generations.
+    for (std::size_t j = 0; j < slots_.size(); ++j) {
+      WorkerSlot& other = slots_[j];
+      close_fd(other.to_child);
+      close_fd(other.from_child);
+      if (j != index) {
+        close_fd(other.child_read);
+        close_fd(other.child_write);
+      }
+    }
+    worker_main(*this, index, slot.generation);
+  }
+  slot.pid = pid;
+  close_fd(slot.child_read);
+  close_fd(slot.child_write);
+
+  // Handshake: the worker announces itself before the first request, so a
+  // spawn that dies instantly is caught here rather than mid-batch.
+  struct pollfd pfd = {slot.from_child, POLLIN, 0};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.timeout_ms);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    const int rc = ::poll(&pfd, 1, std::max(wait_ms, 1));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) break;
+    try {
+      std::string frame;
+      if (!parent_channel(index).receive(frame)) break;
+      MessageView view(frame);
+      if (view.type() != MsgType::Hello) break;
+      const HelloMsg hello = decode_hello(view);
+      if (hello.worker == index && hello.generation == slot.generation) {
+        return true;
+      }
+    } catch (const ProtocolError&) {
+    }
+    break;
+  }
+  // Failed handshake: reap and release the pipes.
+  ::kill(slot.pid, SIGKILL);
+  ::waitpid(slot.pid, nullptr, 0);
+  slot.pid = -1;
+  close_fd(slot.to_child);
+  close_fd(slot.from_child);
+  return false;
+}
+
+void Coordinator::ensure_spawned() {
+  if (spawned_) return;
+  spawned_ = true;
+
+  // Ownership boundaries: one partition of the whole population, computed
+  // once, so a host's worker never changes across rounds or respawns.
+  std::vector<util::IpAddress> addresses;
+  addresses.reserve(fleet_.address_count());
+  fleet_.target_source().for_each(
+      [&](std::string_view, std::span<const util::IpAddress> list) {
+        addresses.insert(addresses.end(), list.begin(), list.end());
+      });
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()),
+                  addresses.end());
+  cuts_ = partition_cuts(addresses, config_.workers);
+
+  slots_.resize(config_.workers);
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    revive(w, "failed to start", 0);
+  }
+}
+
+bool Coordinator::revive(std::size_t index, const std::string& why,
+                         std::uint64_t seq) {
+  WorkerSlot& slot = slots_[index];
+  // The very first fork of a worker is free; every fork after it — whether
+  // after a crash or a failed handshake — draws on the restart budget.
+  bool initial = slot.pid < 0 && slot.generation == 0 && slot.restarts == 0;
+  if (slot.pid >= 0) {
+    std::cerr << "spfail dist: worker " << index << " (pid " << slot.pid
+              << ") " << why;
+    if (seq != 0) std::cerr << " at seq " << seq;
+    std::cerr << "\n";
+    ::kill(slot.pid, SIGKILL);
+    ::waitpid(slot.pid, nullptr, 0);
+    slot.pid = -1;
+  }
+  close_fd(slot.to_child);
+  close_fd(slot.from_child);
+
+  while (true) {
+    if (!initial) {
+      if (slot.restarts >= config_.restart_budget) {
+        slot.abandoned = true;
+        std::cerr << "spfail dist: worker " << index
+                  << " exhausted its restart budget ("
+                  << config_.restart_budget
+                  << "); remaining items for its shard will be marked "
+                     "inconclusive\n";
+        return false;
+      }
+      ++slot.restarts;
+      ++slot.generation;
+    }
+    if (spawn_once(index)) {
+      if (!initial) {
+        std::cerr << "spfail dist: worker " << index << " respawned (pid "
+                  << slot.pid << ", restart " << slot.restarts << "/"
+                  << config_.restart_budget << ", generation "
+                  << slot.generation << ")\n";
+      }
+      return true;
+    }
+    initial = false;
+  }
+}
+
+std::vector<Coordinator::Chunk> Coordinator::plan_chunks(
+    std::size_t n, const std::function<std::size_t(std::size_t)>& owner) {
+  std::vector<Chunk> chunks;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t w = owner(i);
+    std::size_t end = i + 1;
+    while (end < n && end - i < config_.chunk && owner(end) == w) ++end;
+    Chunk c;
+    c.worker = w;
+    c.first = i;
+    c.count = end - i;
+    c.seq = seq_++;
+    chunks.push_back(std::move(c));
+    i = end;
+  }
+  return chunks;
+}
+
+void Coordinator::run_chunks(
+    std::vector<Chunk>& chunks, MsgType reply_type,
+    const std::function<void(std::size_t, Chunk&, MessageView&)>& on_reply,
+    const std::function<void(std::size_t, Chunk&)>& synthesize) {
+  using clock = std::chrono::steady_clock;
+  const auto timeout = std::chrono::milliseconds(config_.timeout_ms);
+
+  std::vector<std::deque<std::size_t>> queues(slots_.size());
+  std::size_t remaining = 0;
+
+  const auto lose_chunk = [&](std::size_t ci) {
+    synthesize(ci, chunks[ci]);
+    slots_[chunks[ci].worker].items_lost += chunks[ci].count;
+    chunks[ci].done = true;
+  };
+
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (slots_[chunks[i].worker].abandoned) {
+      lose_chunk(i);
+    } else {
+      queues[chunks[i].worker].push_back(i);
+      ++remaining;
+    }
+  }
+
+  struct Outstanding {
+    bool active = false;
+    std::size_t chunk = 0;
+    clock::time_point deadline;
+  };
+  std::vector<Outstanding> out(slots_.size());
+
+  const auto fail_worker = [&](std::size_t w, const std::string& why) {
+    const bool had = out[w].active;
+    const std::size_t ci = had ? out[w].chunk : 0;
+    std::string reason = why;
+    while (true) {
+      if (!revive(w, reason, had ? chunks[ci].seq : 0)) {
+        if (had) {
+          lose_chunk(ci);
+          --remaining;
+          out[w].active = false;
+        }
+        while (!queues[w].empty()) {
+          lose_chunk(queues[w].front());
+          queues[w].pop_front();
+          --remaining;
+        }
+        return;
+      }
+      if (!had) return;
+      try {
+        // Resend the in-flight request verbatim — same seq — so the
+        // respawned worker can replay its checkpointed reply.
+        parent_channel(w).send(chunks[ci].request);
+        out[w].deadline = clock::now() + timeout;
+        return;
+      } catch (const ProtocolError&) {
+        reason = "died before accepting the resent request";
+      }
+    }
+  };
+
+  while (remaining > 0) {
+    // Keep every live worker busy: one outstanding request each, in chunk
+    // order, so sequence numbers arrive monotonically per worker.
+    for (std::size_t w = 0; w < slots_.size(); ++w) {
+      if (out[w].active || slots_[w].abandoned || queues[w].empty()) continue;
+      const std::size_t ci = queues[w].front();
+      queues[w].pop_front();
+      out[w].active = true;
+      out[w].chunk = ci;
+      out[w].deadline = clock::now() + timeout;
+      try {
+        parent_channel(w).send(chunks[ci].request);
+      } catch (const ProtocolError& e) {
+        fail_worker(w, e.what());
+      }
+    }
+    if (remaining == 0) break;
+
+    std::vector<struct pollfd> fds;
+    std::vector<std::size_t> fd_worker;
+    auto first_deadline = clock::time_point::max();
+    for (std::size_t w = 0; w < slots_.size(); ++w) {
+      if (!out[w].active) continue;
+      fds.push_back({slots_[w].from_child, POLLIN, 0});
+      fd_worker.push_back(w);
+      first_deadline = std::min(first_deadline, out[w].deadline);
+    }
+    if (fds.empty()) continue;
+
+    auto now = clock::now();
+    const long wait_ms =
+        first_deadline <= now
+            ? 0
+            : std::chrono::duration_cast<std::chrono::milliseconds>(
+                  first_deadline - now)
+                  .count();
+    const int rc = ::poll(fds.data(), fds.size(),
+                          static_cast<int>(std::min(wait_ms, 60000L)));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError("poll() failed");
+    }
+    now = clock::now();
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      const std::size_t w = fd_worker[k];
+      if (!out[w].active) continue;  // resolved earlier in this sweep
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        try {
+          std::string frame;
+          if (!parent_channel(w).receive(frame)) {
+            throw ProtocolError("closed its pipe");
+          }
+          MessageView view(frame);
+          if (view.type() != reply_type) {
+            throw ProtocolError("sent " + to_string(view.type()) +
+                                " when " + to_string(reply_type) +
+                                " was expected");
+          }
+          const std::size_t ci = out[w].chunk;
+          on_reply(ci, chunks[ci], view);
+          chunks[ci].done = true;
+          --remaining;
+          out[w].active = false;
+        } catch (const ProtocolError& e) {
+          fail_worker(w, e.what());
+        } catch (const snapshot::SnapshotError& e) {
+          fail_worker(w, std::string("sent an undecodable reply: ") +
+                             e.what());
+        }
+      } else if (now >= out[w].deadline) {
+        fail_worker(w, "missed the reply deadline");
+      }
+    }
+  }
+}
+
+std::vector<scan::WaveSliceResult> Coordinator::run_wave(
+    scan::Campaign& campaign, std::span<const scan::WaveItem> items,
+    const scan::WaveContext& ctx) {
+  campaign_ = &campaign;
+  ensure_spawned();
+  auto chunks = plan_chunks(items.size(), [&](std::size_t i) {
+    return owner_of(cuts_, items[i].address);
+  });
+  const util::SimTime now = fleet_.clock().now();
+  for (auto& c : chunks) {
+    WaveReq req;
+    req.seq = c.seq;
+    req.clock_now = now;
+    req.ctx = ctx;
+    req.base = c.first;
+    req.items.assign(items.begin() + c.first,
+                     items.begin() + c.first + c.count);
+    c.request = encode_wave_req(req);
+  }
+  std::vector<scan::WaveSliceResult> slices(chunks.size());
+  run_chunks(
+      chunks, MsgType::WaveRep,
+      [&](std::size_t ci, Chunk& c, MessageView& view) {
+        WaveRep rep = decode_wave_rep(view);
+        if (rep.seq != c.seq) {
+          throw ProtocolError("replied to seq " + std::to_string(rep.seq) +
+                              " instead of " + std::to_string(c.seq));
+        }
+        slices[ci] = std::move(rep.slice);
+      },
+      [&](std::size_t ci, Chunk& c) {
+        // Lost slice: every address keeps the default Refused outcome, the
+        // same verdict an unreachable host earns.
+        auto& slice = slices[ci];
+        slice.outcomes.reserve(c.count);
+        for (std::size_t k = 0; k < c.count; ++k) {
+          scan::AddressOutcome outcome;
+          outcome.address = items[c.first + k].address;
+          slice.outcomes.push_back(std::move(outcome));
+        }
+      });
+  campaign_ = nullptr;
+  return slices;
+}
+
+std::vector<scan::RequeueSliceResult> Coordinator::run_requeue(
+    scan::Campaign& campaign, std::span<const scan::RequeueItem> items,
+    const scan::WaveContext& ctx) {
+  campaign_ = &campaign;
+  ensure_spawned();
+  auto chunks = plan_chunks(items.size(), [&](std::size_t i) {
+    return owner_of(cuts_, items[i].item.address);
+  });
+  const util::SimTime now = fleet_.clock().now();
+  for (auto& c : chunks) {
+    RequeueReq req;
+    req.seq = c.seq;
+    req.clock_now = now;
+    req.ctx = ctx;
+    req.items.assign(items.begin() + c.first,
+                     items.begin() + c.first + c.count);
+    c.request = encode_requeue_req(req);
+  }
+  std::vector<scan::RequeueSliceResult> slices(chunks.size());
+  run_chunks(
+      chunks, MsgType::RequeueRep,
+      [&](std::size_t ci, Chunk& c, MessageView& view) {
+        RequeueRep rep = decode_requeue_rep(view);
+        if (rep.seq != c.seq) {
+          throw ProtocolError("replied to seq " + std::to_string(rep.seq) +
+                              " instead of " + std::to_string(c.seq));
+        }
+        slices[ci] = std::move(rep.slice);
+      },
+      [&](std::size_t ci, Chunk& c) {
+        // Lost slice: outcomes pass through unchanged (still transient).
+        auto& slice = slices[ci];
+        slice.outcomes.reserve(c.count);
+        for (std::size_t k = 0; k < c.count; ++k) {
+          slice.outcomes.push_back(items[c.first + k].outcome);
+        }
+      });
+  campaign_ = nullptr;
+  return slices;
+}
+
+std::vector<longitudinal::Study::ObserveSliceResult> Coordinator::run_observe(
+    longitudinal::Study& study,
+    std::span<const longitudinal::Study::ObserveJob> jobs,
+    const longitudinal::Study::ObserveContext& ctx) {
+  if (study_ == nullptr) study_ = &study;
+  ensure_spawned();
+  auto chunks = plan_chunks(jobs.size(), [&](std::size_t i) {
+    return owner_of(cuts_, jobs[i].address);
+  });
+  const util::SimTime now = fleet_.clock().now();
+  for (auto& c : chunks) {
+    ObserveReq req;
+    req.seq = c.seq;
+    req.clock_now = now;
+    req.ctx = ctx;
+    req.jobs.reserve(c.count);
+    for (std::size_t k = 0; k < c.count; ++k) {
+      ObserveWireJob wire;
+      wire.job = jobs[c.first + k];
+      // Ship the coordinator's current patch/blacklist flags: a respawned
+      // worker forked before this round's serial pre-pass applies them
+      // idempotently and converges on the same host state.
+      const mta::MailHost* host = fleet_.find_host(wire.job.address);
+      if (host != nullptr) {
+        wire.patched = host->is_patched();
+        wire.blacklisted = host->blacklisted();
+      }
+      req.jobs.push_back(wire);
+    }
+    c.request = encode_observe_req(req);
+  }
+  std::vector<longitudinal::Study::ObserveSliceResult> slices(chunks.size());
+  run_chunks(
+      chunks, MsgType::ObserveRep,
+      [&](std::size_t ci, Chunk& c, MessageView& view) {
+        ObserveRep rep = decode_observe_rep(view);
+        if (rep.seq != c.seq) {
+          throw ProtocolError("replied to seq " + std::to_string(rep.seq) +
+                              " instead of " + std::to_string(c.seq));
+        }
+        slices[ci] = std::move(rep.slice);
+      },
+      [&](std::size_t ci, Chunk& c) {
+        slices[ci].results.assign(c.count,
+                                  longitudinal::Observation::Inconclusive);
+      });
+  return slices;
+}
+
+std::vector<std::optional<snapshot::StudySnapshot::HostState>>
+Coordinator::capture_hosts(const std::vector<util::IpAddress>& addresses) {
+  ensure_spawned();
+  auto chunks = plan_chunks(addresses.size(), [&](std::size_t i) {
+    return owner_of(cuts_, addresses[i]);
+  });
+  for (auto& c : chunks) {
+    CaptureReq req;
+    req.seq = c.seq;
+    req.addresses.assign(addresses.begin() + c.first,
+                         addresses.begin() + c.first + c.count);
+    c.request = encode_capture_req(req);
+  }
+  std::vector<std::optional<snapshot::StudySnapshot::HostState>> hosts(
+      addresses.size());
+  run_chunks(
+      chunks, MsgType::CaptureRep,
+      [&](std::size_t, Chunk& c, MessageView& view) {
+        CaptureRep rep = decode_capture_rep(view);
+        if (rep.seq != c.seq) {
+          throw ProtocolError("replied to seq " + std::to_string(rep.seq) +
+                              " instead of " + std::to_string(c.seq));
+        }
+        if (rep.hosts.size() != c.count) {
+          throw ProtocolError("returned " + std::to_string(rep.hosts.size()) +
+                              " host states for " + std::to_string(c.count) +
+                              " addresses");
+        }
+        for (std::size_t k = 0; k < c.count; ++k) {
+          hosts[c.first + k] = std::move(rep.hosts[k]);
+        }
+      },
+      [&](std::size_t, Chunk&) {
+        // Lost capture chunk: the positions stay nullopt — the checkpoint
+        // simply records no residue for those hosts.
+      });
+  return hosts;
+}
+
+void Coordinator::shutdown() {
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    WorkerSlot& slot = slots_[w];
+    if (slot.pid >= 0) {
+      try {
+        parent_channel(w).send(encode_shutdown());
+      } catch (const ProtocolError&) {
+        // Already dead; the reap below handles it.
+      }
+      close_fd(slot.to_child);
+      close_fd(slot.from_child);
+      ::waitpid(slot.pid, nullptr, 0);
+      slot.pid = -1;
+    }
+    close_fd(slot.to_child);
+    close_fd(slot.from_child);
+    const std::string path = worker_checkpoint_path(w);
+    if (!path.empty()) {
+      std::remove(path.c_str());
+      std::remove((path + ".tmp").c_str());
+    }
+  }
+}
+
+DistReport Coordinator::report() const {
+  DistReport report;
+  report.workers.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    report.workers.push_back(
+        {slot.restarts, slot.abandoned, slot.items_lost});
+  }
+  return report;
+}
+
+}  // namespace spfail::dist

@@ -1,0 +1,177 @@
+// Crash-tolerant coordinator for distributed scanning (DESIGN.md §15).
+//
+// The coordinator forks N worker processes lazily at the first batch. Each
+// worker inherits the coordinator's full state — fleet, campaign, study — by
+// copy-on-write, so no configuration ever travels over the wire; requests
+// carry only the work items (plus the round context and clock position) and
+// replies carry slice results. Ownership is by address range: the population
+// is partitioned once into W contiguous shards of the sorted address list,
+// so every host's probe-visible residue (greylist map, flaky-RNG cursor)
+// accumulates in exactly one worker across the whole run.
+//
+// Failure model: a worker that closes its pipe, sends a corrupt frame, or
+// misses the reply deadline is SIGKILLed and respawned by forking the
+// *current* coordinator state; the respawn restores its probe residues from
+// its own per-chunk checkpoint and replays the stored reply when the resent
+// request matches the checkpointed sequence number (exactly-once execution).
+// Each worker has a restart budget; when it is exhausted the worker is
+// abandoned and its remaining chunks are synthesized as inconclusive —
+// recorded in the DistReport — instead of aborting the scan.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.hpp"
+#include "longitudinal/study.hpp"
+#include "population/fleet.hpp"
+#include "scan/campaign.hpp"
+
+namespace spfail::dist {
+
+// Degradation accounting for the distributed layer — deliberately separate
+// from faults::DegradationReport, whose wire format is frozen in snapshots.
+struct DistReport {
+  struct Worker {
+    std::uint32_t restarts = 0;
+    bool abandoned = false;
+    std::uint64_t items_lost = 0;  // synthesized as inconclusive
+  };
+  std::vector<Worker> workers;
+
+  std::uint32_t total_restarts() const;
+  std::size_t abandoned_count() const;
+  std::uint64_t items_lost() const;
+  // Per-worker degradation table; callers print it only when
+  // abandoned_count() > 0, so fully recovered runs stay byte-identical to
+  // uninterrupted ones.
+  std::string summary() const;
+};
+
+class Coordinator final : public longitudinal::DistHooks {
+ public:
+  struct Config {
+    std::size_t workers = 2;
+    // Respawns allowed per worker before it is abandoned.
+    std::uint32_t restart_budget = 3;
+    // Stem for per-worker checkpoints (stem + ".w<k>"). Empty disables
+    // worker checkpointing — respawned workers then re-execute from the
+    // forked state instead of replaying.
+    std::string checkpoint_stem;
+    // Max items per request (SPFAIL_DIST_CHUNK overrides).
+    std::size_t chunk = 1024;
+    // Reply deadline per outstanding request (SPFAIL_DIST_TIMEOUT_MS).
+    long timeout_ms = 120000;
+  };
+  // Resolves the env overrides on top of the given flag values.
+  static Config resolve(Config config);
+
+  Coordinator(population::Fleet& fleet, Config config);
+  ~Coordinator() override;
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  // The study is bound late (the session builds the coordinator before the
+  // study); must happen before the first observation batch.
+  void bind_study(longitudinal::Study* study) noexcept { study_ = study; }
+
+  // scan::ShardRunner
+  std::vector<scan::WaveSliceResult> run_wave(
+      scan::Campaign& campaign, std::span<const scan::WaveItem> items,
+      const scan::WaveContext& ctx) override;
+  std::vector<scan::RequeueSliceResult> run_requeue(
+      scan::Campaign& campaign, std::span<const scan::RequeueItem> items,
+      const scan::WaveContext& ctx) override;
+
+  // longitudinal::DistHooks
+  std::vector<longitudinal::Study::ObserveSliceResult> run_observe(
+      longitudinal::Study& study,
+      std::span<const longitudinal::Study::ObserveJob> jobs,
+      const longitudinal::Study::ObserveContext& ctx) override;
+  std::vector<std::optional<snapshot::StudySnapshot::HostState>> capture_hosts(
+      const std::vector<util::IpAddress>& addresses) override;
+
+  // Graceful teardown: Shutdown frames, reap, remove worker checkpoints.
+  // Idempotent; also run by the destructor.
+  void shutdown();
+
+  DistReport report() const;
+
+  // --- worker-side access (used by worker_main inside the forked child) ---
+  population::Fleet& fleet() noexcept { return fleet_; }
+  scan::Campaign* campaign() noexcept { return campaign_; }
+  longitudinal::Study* study() noexcept { return study_; }
+  const Config& config() const noexcept { return config_; }
+  // Distinguishes this run's worker checkpoints from stale files.
+  std::uint64_t nonce() const noexcept { return nonce_; }
+  // The child-side pipe ends of slot `index`; valid only inside the child.
+  Channel worker_channel(std::size_t index) const;
+
+ private:
+  struct WorkerSlot {
+    pid_t pid = -1;
+    int to_child = -1;    // parent write end (requests)
+    int from_child = -1;  // parent read end (replies)
+    int child_read = -1;  // child ends; -1 in the parent after fork
+    int child_write = -1;
+    std::uint32_t generation = 0;  // bumps on every respawn
+    std::uint32_t restarts = 0;
+    bool abandoned = false;
+    std::uint64_t items_lost = 0;
+  };
+
+  // One request's worth of work: a contiguous run of items owned by a single
+  // worker. The encoded request frame is kept for resending after a respawn.
+  struct Chunk {
+    std::size_t worker = 0;
+    std::uint64_t seq = 0;
+    std::size_t first = 0;
+    std::size_t count = 0;
+    std::string request;
+    bool done = false;
+  };
+
+  void ensure_spawned();
+  bool spawn_once(std::size_t index);
+  // Kill + reap + respawn (retrying within the budget); false = abandoned.
+  bool revive(std::size_t index, const std::string& why, std::uint64_t seq);
+  Channel parent_channel(std::size_t index) const;
+  std::string worker_checkpoint_path(std::size_t index) const;
+
+  // Cuts the item list [0, n) into owner-contiguous chunks of at most
+  // config_.chunk items and assigns sequence numbers in global chunk order
+  // (the order is deterministic, so replay matching survives respawns).
+  std::vector<Chunk> plan_chunks(
+      std::size_t n, const std::function<std::size_t(std::size_t)>& owner);
+
+  // Drives one batch: at most one outstanding request per worker, FIFO per
+  // worker, crash/timeout detection, respawn-and-resend, abandonment with
+  // synthesized results. `on_reply` must throw ProtocolError on a sequence
+  // mismatch before storing anything.
+  void run_chunks(
+      std::vector<Chunk>& chunks, MsgType reply_type,
+      const std::function<void(std::size_t, Chunk&, MessageView&)>& on_reply,
+      const std::function<void(std::size_t, Chunk&)>& synthesize);
+
+  population::Fleet& fleet_;
+  Config config_;
+  std::uint64_t nonce_ = 0;
+  scan::Campaign* campaign_ = nullptr;  // set for the duration of a wave
+  longitudinal::Study* study_ = nullptr;
+  bool spawned_ = false;
+  std::vector<util::IpAddress> cuts_;  // W-1 ownership boundaries
+  std::vector<WorkerSlot> slots_;
+  std::uint64_t seq_ = 1;
+};
+
+// Entry point of a forked worker process; never returns (always _exit).
+[[noreturn]] void worker_main(Coordinator& coordinator, std::size_t index,
+                              std::uint32_t generation);
+
+}  // namespace spfail::dist

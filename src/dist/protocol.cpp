@@ -1,0 +1,525 @@
+#include "dist/protocol.hpp"
+
+#include <cerrno>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "snapshot/enums.hpp"
+#include "snapshot/fields.hpp"
+
+namespace spfail::dist {
+
+namespace {
+
+// A frame is at most this large; anything bigger is treated as a corrupt
+// length prefix, not an allocation request.
+constexpr std::uint32_t kMaxFrame = 1u << 30;
+
+MsgType decode_type(std::uint8_t v) {
+  switch (v) {
+    case 1:
+      return MsgType::Hello;
+    case 2:
+      return MsgType::WaveReq;
+    case 3:
+      return MsgType::WaveRep;
+    case 4:
+      return MsgType::RequeueReq;
+    case 5:
+      return MsgType::RequeueRep;
+    case 6:
+      return MsgType::ObserveReq;
+    case 7:
+      return MsgType::ObserveRep;
+    case 8:
+      return MsgType::CaptureReq;
+    case 9:
+      return MsgType::CaptureRep;
+    case 10:
+      return MsgType::Shutdown;
+  }
+  throw ProtocolError("unmapped message type byte " + std::to_string(v));
+}
+
+void put_wave_ctx(snapshot::Writer& w, const scan::WaveContext& ctx) {
+  w.str(ctx.suite);
+  w.u64(ctx.round);
+  w.i64(ctx.per_test_advance);
+  w.boolean(ctx.tracing);
+  w.boolean(ctx.metrics);
+}
+
+scan::WaveContext get_wave_ctx(snapshot::Reader& r) {
+  scan::WaveContext ctx;
+  ctx.suite = r.str();
+  ctx.round = r.u64();
+  ctx.per_test_advance = r.i64();
+  ctx.tracing = r.boolean();
+  ctx.metrics = r.boolean();
+  return ctx;
+}
+
+void put_observe_ctx(snapshot::Writer& w,
+                     const longitudinal::Study::ObserveContext& ctx) {
+  w.str(ctx.suite);
+  w.u64(ctx.fault_round);
+  w.boolean(ctx.tracing);
+  w.boolean(ctx.metrics);
+}
+
+longitudinal::Study::ObserveContext get_observe_ctx(snapshot::Reader& r) {
+  longitudinal::Study::ObserveContext ctx;
+  ctx.suite = r.str();
+  ctx.fault_round = r.u64();
+  ctx.tracing = r.boolean();
+  ctx.metrics = r.boolean();
+  return ctx;
+}
+
+void put_trace(snapshot::Writer& w, const net::WireTrace& trace) {
+  w.u64(trace.size());
+  for (const auto& frame : trace.frames()) snapshot::put_frame(w, frame);
+}
+
+net::WireTrace get_trace(snapshot::Reader& r) {
+  net::WireTrace trace;
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    trace.record(snapshot::get_frame(r));
+  }
+  return trace;
+}
+
+void put_metrics(snapshot::Writer& w, const obs::Registry& metrics,
+                 bool present) {
+  w.boolean(present);
+  if (present) metrics.encode(w);
+}
+
+obs::Registry get_metrics(snapshot::Reader& r) {
+  if (!r.boolean()) return obs::Registry();
+  return obs::Registry::decode(r);
+}
+
+}  // namespace
+
+std::string to_string(MsgType type) {
+  switch (type) {
+    case MsgType::Hello:
+      return "Hello";
+    case MsgType::WaveReq:
+      return "WaveReq";
+    case MsgType::WaveRep:
+      return "WaveRep";
+    case MsgType::RequeueReq:
+      return "RequeueReq";
+    case MsgType::RequeueRep:
+      return "RequeueRep";
+    case MsgType::ObserveReq:
+      return "ObserveReq";
+    case MsgType::ObserveRep:
+      return "ObserveRep";
+    case MsgType::CaptureReq:
+      return "CaptureReq";
+    case MsgType::CaptureRep:
+      return "CaptureRep";
+    case MsgType::Shutdown:
+      return "Shutdown";
+  }
+  return "?";
+}
+
+std::string MessageBuilder::finish() {
+  const std::uint64_t checksum = snapshot::payload_checksum(body_.bytes());
+  body_.u64(checksum);
+  return body_.take();
+}
+
+MessageView::MessageView(std::string_view frame)
+    : type_(MsgType::Shutdown), body_(std::string_view{}) {
+  if (frame.size() < 1 + 8) {
+    throw ProtocolError("frame of " + std::to_string(frame.size()) +
+                        " bytes is shorter than type + checksum");
+  }
+  const std::string_view checked = frame.substr(0, frame.size() - 8);
+  snapshot::Reader tail(frame.substr(frame.size() - 8));
+  if (tail.u64() != snapshot::payload_checksum(checked)) {
+    throw ProtocolError("frame checksum mismatch");
+  }
+  type_ = decode_type(static_cast<std::uint8_t>(frame[0]));
+  body_ = snapshot::Reader(checked.substr(1));
+}
+
+bool Channel::receive(std::string& frame) {
+  unsigned char prefix[4];
+  std::size_t got = 0;
+  while (got < sizeof(prefix)) {
+    const ssize_t n = ::read(read_fd_, prefix + got, sizeof(prefix) - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError("pipe read failed (errno " + std::to_string(errno) +
+                          ")");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF at a frame boundary
+      throw ProtocolError("EOF inside a frame length prefix");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(prefix[0]) |
+                               (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                               (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                               (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (length == 0 || length > kMaxFrame) {
+    throw ProtocolError("frame length " + std::to_string(length) +
+                        " is outside (0, 2^30]");
+  }
+  frame.resize(length);
+  std::size_t read_so_far = 0;
+  while (read_so_far < length) {
+    const ssize_t n =
+        ::read(read_fd_, frame.data() + read_so_far, length - read_so_far);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError("pipe read failed (errno " + std::to_string(errno) +
+                          ")");
+    }
+    if (n == 0) throw ProtocolError("EOF inside a frame body");
+    read_so_far += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Channel::send(std::string_view frame) {
+  if (frame.empty() || frame.size() > kMaxFrame) {
+    throw ProtocolError("refusing to send a frame of " +
+                        std::to_string(frame.size()) + " bytes");
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(frame.size());
+  const unsigned char prefix[4] = {
+      static_cast<unsigned char>(length & 0xFF),
+      static_cast<unsigned char>((length >> 8) & 0xFF),
+      static_cast<unsigned char>((length >> 16) & 0xFF),
+      static_cast<unsigned char>((length >> 24) & 0xFF)};
+  const auto write_all = [&](const char* data, std::size_t size) {
+    std::size_t written = 0;
+    while (written < size) {
+      const ssize_t n = ::write(write_fd_, data + written, size - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw ProtocolError("pipe write failed (errno " +
+                            std::to_string(errno) + ")");
+      }
+      written += static_cast<std::size_t>(n);
+    }
+  };
+  write_all(reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  write_all(frame.data(), frame.size());
+}
+
+std::string encode_hello(const HelloMsg& msg) {
+  MessageBuilder b(MsgType::Hello);
+  b.body().u32(msg.worker);
+  b.body().u32(msg.generation);
+  b.body().i64(msg.pid);
+  return b.finish();
+}
+
+HelloMsg decode_hello(MessageView& view) {
+  HelloMsg msg;
+  msg.worker = view.body().u32();
+  msg.generation = view.body().u32();
+  msg.pid = view.body().i64();
+  view.body().expect_done();
+  return msg;
+}
+
+std::string encode_wave_req(const WaveReq& req) {
+  MessageBuilder b(MsgType::WaveReq);
+  snapshot::Writer& w = b.body();
+  w.u64(req.seq);
+  w.i64(req.clock_now);
+  put_wave_ctx(w, req.ctx);
+  w.u64(req.base);
+  w.u64(req.items.size());
+  for (const auto& item : req.items) {
+    snapshot::put_address(w, item.address);
+    w.str(item.recipient);
+  }
+  return b.finish();
+}
+
+WaveReq decode_wave_req(MessageView& view) {
+  snapshot::Reader& r = view.body();
+  WaveReq req;
+  req.seq = r.u64();
+  req.clock_now = r.i64();
+  req.ctx = get_wave_ctx(r);
+  req.base = r.u64();
+  const std::uint64_t n = r.u64();
+  req.recipients.reserve(n);
+  req.items.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const util::IpAddress address = snapshot::get_address(r);
+    req.recipients.push_back(r.str());
+    req.items.push_back(scan::WaveItem{address, req.recipients.back()});
+  }
+  r.expect_done();
+  return req;
+}
+
+std::string encode_wave_rep(const WaveRep& rep) {
+  MessageBuilder b(MsgType::WaveRep);
+  snapshot::Writer& w = b.body();
+  w.u64(rep.seq);
+  w.u64(rep.slice.outcomes.size());
+  for (const auto& outcome : rep.slice.outcomes) {
+    snapshot::put_outcome(w, outcome);
+  }
+  w.i64(rep.slice.advance);
+  snapshot::put_degradation(w, rep.slice.deg);
+  put_trace(w, rep.slice.wave1);
+  put_trace(w, rep.slice.wave2);
+  put_metrics(w, rep.slice.metrics, !rep.slice.metrics.empty());
+  return b.finish();
+}
+
+WaveRep decode_wave_rep(MessageView& view) {
+  snapshot::Reader& r = view.body();
+  WaveRep rep;
+  rep.seq = r.u64();
+  const std::uint64_t n = r.u64();
+  rep.slice.outcomes.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    rep.slice.outcomes.push_back(snapshot::get_outcome(r));
+  }
+  rep.slice.advance = r.i64();
+  rep.slice.deg = snapshot::get_degradation(r);
+  rep.slice.wave1 = get_trace(r);
+  rep.slice.wave2 = get_trace(r);
+  rep.slice.metrics = get_metrics(r);
+  r.expect_done();
+  return rep;
+}
+
+std::string encode_requeue_req(const RequeueReq& req) {
+  MessageBuilder b(MsgType::RequeueReq);
+  snapshot::Writer& w = b.body();
+  w.u64(req.seq);
+  w.i64(req.clock_now);
+  put_wave_ctx(w, req.ctx);
+  w.u64(req.items.size());
+  for (const auto& item : req.items) {
+    w.u64(item.index);
+    snapshot::put_address(w, item.item.address);
+    w.str(item.item.recipient);
+    snapshot::put_outcome(w, item.outcome);
+  }
+  return b.finish();
+}
+
+RequeueReq decode_requeue_req(MessageView& view) {
+  snapshot::Reader& r = view.body();
+  RequeueReq req;
+  req.seq = r.u64();
+  req.clock_now = r.i64();
+  req.ctx = get_wave_ctx(r);
+  const std::uint64_t n = r.u64();
+  req.recipients.reserve(n);
+  req.items.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    scan::RequeueItem item;
+    item.index = r.u64();
+    item.item.address = snapshot::get_address(r);
+    req.recipients.push_back(r.str());
+    item.item.recipient = req.recipients.back();
+    item.outcome = snapshot::get_outcome(r);
+    req.items.push_back(std::move(item));
+  }
+  r.expect_done();
+  return req;
+}
+
+std::string encode_requeue_rep(const RequeueRep& rep) {
+  MessageBuilder b(MsgType::RequeueRep);
+  snapshot::Writer& w = b.body();
+  w.u64(rep.seq);
+  w.u64(rep.slice.outcomes.size());
+  for (const auto& outcome : rep.slice.outcomes) {
+    snapshot::put_outcome(w, outcome);
+  }
+  w.i64(rep.slice.advance);
+  snapshot::put_degradation(w, rep.slice.deg);
+  w.u64(rep.slice.recovered);
+  put_trace(w, rep.slice.trace);
+  put_metrics(w, rep.slice.metrics, !rep.slice.metrics.empty());
+  return b.finish();
+}
+
+RequeueRep decode_requeue_rep(MessageView& view) {
+  snapshot::Reader& r = view.body();
+  RequeueRep rep;
+  rep.seq = r.u64();
+  const std::uint64_t n = r.u64();
+  rep.slice.outcomes.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    rep.slice.outcomes.push_back(snapshot::get_outcome(r));
+  }
+  rep.slice.advance = r.i64();
+  rep.slice.deg = snapshot::get_degradation(r);
+  rep.slice.recovered = r.u64();
+  rep.slice.trace = get_trace(r);
+  rep.slice.metrics = get_metrics(r);
+  r.expect_done();
+  return rep;
+}
+
+std::string encode_observe_req(const ObserveReq& req) {
+  MessageBuilder b(MsgType::ObserveReq);
+  snapshot::Writer& w = b.body();
+  w.u64(req.seq);
+  w.i64(req.clock_now);
+  put_observe_ctx(w, req.ctx);
+  w.u64(req.jobs.size());
+  for (const auto& wire : req.jobs) {
+    snapshot::put_address(w, wire.job.address);
+    w.u8(snapshot::encode_enum(wire.job.kind));
+    w.u64(wire.job.slot);
+    w.boolean(wire.patched);
+    w.boolean(wire.blacklisted);
+  }
+  return b.finish();
+}
+
+ObserveReq decode_observe_req(MessageView& view) {
+  snapshot::Reader& r = view.body();
+  ObserveReq req;
+  req.seq = r.u64();
+  req.clock_now = r.i64();
+  req.ctx = get_observe_ctx(r);
+  const std::uint64_t n = r.u64();
+  req.jobs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ObserveWireJob wire;
+    wire.job.address = snapshot::get_address(r);
+    wire.job.kind = snapshot::decode_test_kind(r.u8());
+    wire.job.slot = r.u64();
+    wire.patched = r.boolean();
+    wire.blacklisted = r.boolean();
+    req.jobs.push_back(wire);
+  }
+  r.expect_done();
+  return req;
+}
+
+std::string encode_observe_rep(const ObserveRep& rep) {
+  MessageBuilder b(MsgType::ObserveRep);
+  snapshot::Writer& w = b.body();
+  w.u64(rep.seq);
+  w.u64(rep.slice.results.size());
+  for (const auto result : rep.slice.results) {
+    w.u8(snapshot::encode_enum(result));
+  }
+  w.i64(rep.slice.advance);
+  snapshot::put_degradation(w, rep.slice.deg);
+  put_trace(w, rep.slice.trace);
+  put_metrics(w, rep.slice.metrics, !rep.slice.metrics.empty());
+  return b.finish();
+}
+
+ObserveRep decode_observe_rep(MessageView& view) {
+  snapshot::Reader& r = view.body();
+  ObserveRep rep;
+  rep.seq = r.u64();
+  const std::uint64_t n = r.u64();
+  rep.slice.results.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    rep.slice.results.push_back(snapshot::decode_observation(r.u8()));
+  }
+  rep.slice.advance = r.i64();
+  rep.slice.deg = snapshot::get_degradation(r);
+  rep.slice.trace = get_trace(r);
+  rep.slice.metrics = get_metrics(r);
+  r.expect_done();
+  return rep;
+}
+
+std::string encode_capture_req(const CaptureReq& req) {
+  MessageBuilder b(MsgType::CaptureReq);
+  snapshot::Writer& w = b.body();
+  w.u64(req.seq);
+  w.u64(req.addresses.size());
+  for (const auto& address : req.addresses) snapshot::put_address(w, address);
+  return b.finish();
+}
+
+CaptureReq decode_capture_req(MessageView& view) {
+  snapshot::Reader& r = view.body();
+  CaptureReq req;
+  req.seq = r.u64();
+  const std::uint64_t n = r.u64();
+  req.addresses.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    req.addresses.push_back(snapshot::get_address(r));
+  }
+  r.expect_done();
+  return req;
+}
+
+std::string encode_capture_rep(const CaptureRep& rep) {
+  MessageBuilder b(MsgType::CaptureRep);
+  snapshot::Writer& w = b.body();
+  w.u64(rep.seq);
+  w.u64(rep.hosts.size());
+  for (const auto& host : rep.hosts) {
+    w.boolean(host.has_value());
+    if (host.has_value()) snapshot::put_host_state(w, *host);
+  }
+  return b.finish();
+}
+
+CaptureRep decode_capture_rep(MessageView& view) {
+  snapshot::Reader& r = view.body();
+  CaptureRep rep;
+  rep.seq = r.u64();
+  const std::uint64_t n = r.u64();
+  rep.hosts.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (r.boolean()) {
+      rep.hosts.push_back(snapshot::get_host_state(r));
+    } else {
+      rep.hosts.push_back(std::nullopt);
+    }
+  }
+  r.expect_done();
+  return rep;
+}
+
+std::string encode_shutdown() { return MessageBuilder(MsgType::Shutdown).finish(); }
+
+std::vector<util::IpAddress> partition_cuts(
+    const std::vector<util::IpAddress>& sorted_addresses, std::size_t workers) {
+  std::vector<util::IpAddress> cuts;
+  const std::size_t n = sorted_addresses.size();
+  const std::size_t shards = std::min(workers, n);
+  if (shards <= 1) return cuts;
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;  // first `extra` shards get one more
+  cuts.reserve(shards - 1);
+  std::size_t begin = 0;
+  for (std::size_t shard = 0; shard + 1 < shards; ++shard) {
+    begin += base + (shard < extra ? 1 : 0);
+    cuts.push_back(sorted_addresses[begin]);
+  }
+  return cuts;
+}
+
+std::size_t owner_of(const std::vector<util::IpAddress>& cuts,
+                     const util::IpAddress& address) {
+  return static_cast<std::size_t>(
+      std::upper_bound(cuts.begin(), cuts.end(), address) - cuts.begin());
+}
+
+}  // namespace spfail::dist

@@ -1,0 +1,213 @@
+// Wire protocol between the scan coordinator and its worker processes
+// (DESIGN.md §15).
+//
+// Framing: each message travels over a pipe as a u32 little-endian length
+// prefix followed by that many payload bytes. The payload is one type byte,
+// the body (snapshot::Writer field layout — the same codecs checkpoints
+// use, via snapshot/fields.hpp), and a trailing fnv1a-64 checksum over
+// everything before it. A truncated, oversized, or corrupt frame raises
+// ProtocolError — the coordinator treats that like a worker crash, never as
+// data.
+//
+// Every request that does work carries a sequence number and the
+// coordinator's clock position at batch start; replies echo the seq so the
+// exactly-once replay logic in the worker can match its checkpoint against
+// the incoming request.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "longitudinal/study.hpp"
+#include "scan/campaign.hpp"
+#include "snapshot/codec.hpp"
+#include "snapshot/snapshot.hpp"
+#include "util/clock.hpp"
+#include "util/ip.hpp"
+
+namespace spfail::dist {
+
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error("dist protocol: " + what) {}
+};
+
+enum class MsgType : std::uint8_t {
+  Hello = 1,    // worker -> coordinator, once per spawn
+  WaveReq = 2,  // campaign wave slice
+  WaveRep = 3,
+  RequeueReq = 4,  // campaign re-queue slice
+  RequeueRep = 5,
+  ObserveReq = 6,  // longitudinal observation slice
+  ObserveRep = 7,
+  CaptureReq = 8,  // host-residue gather for checkpoints
+  CaptureRep = 9,
+  Shutdown = 10,  // coordinator -> worker, clean exit
+};
+
+std::string to_string(MsgType type);
+
+// Builds one frame payload: type byte + body fields + trailing checksum.
+class MessageBuilder {
+ public:
+  explicit MessageBuilder(MsgType type) {
+    body_.u8(static_cast<std::uint8_t>(type));
+  }
+  snapshot::Writer& body() { return body_; }
+  // Appends the checksum and hands over the finished payload.
+  std::string finish();
+
+ private:
+  snapshot::Writer body_;
+};
+
+// Parses and verifies one frame payload. The view borrows `frame`; keep the
+// frame alive while reading.
+class MessageView {
+ public:
+  explicit MessageView(std::string_view frame);
+  MsgType type() const noexcept { return type_; }
+  snapshot::Reader& body() { return body_; }
+
+ private:
+  MsgType type_;
+  snapshot::Reader body_;
+};
+
+// Length-prefixed pipe transport. EINTR is retried unconditionally — the
+// cooperative-shutdown handler is installed without SA_RESTART, and only the
+// coordinator's round loop acts on the flag, at round boundaries.
+class Channel {
+ public:
+  Channel(int read_fd, int write_fd) : read_fd_(read_fd), write_fd_(write_fd) {}
+
+  // Receives one frame; returns false on clean EOF at a frame boundary.
+  // Throws ProtocolError on truncation, oversized length, or read error.
+  bool receive(std::string& frame);
+  // Sends one frame; throws ProtocolError on any write failure (EPIPE means
+  // the peer died).
+  void send(std::string_view frame);
+
+  int read_fd() const noexcept { return read_fd_; }
+  int write_fd() const noexcept { return write_fd_; }
+
+ private:
+  int read_fd_;
+  int write_fd_;
+};
+
+// ---- message bodies ------------------------------------------------------
+// Each request struct owns its storage (string recipients), with view-based
+// items rebuilt on decode — the dist boundary is where the interner-backed
+// string_views of the in-process path become owned bytes.
+
+struct HelloMsg {
+  std::uint32_t worker = 0;
+  std::uint32_t generation = 0;
+  std::int64_t pid = 0;
+};
+
+struct WaveReq {
+  std::uint64_t seq = 0;
+  util::SimTime clock_now = 0;
+  scan::WaveContext ctx;
+  std::uint64_t base = 0;  // master-order index of items[0]
+  std::vector<std::string> recipients;  // backing store for items
+  std::vector<scan::WaveItem> items;    // views into `recipients`
+};
+
+struct WaveRep {
+  std::uint64_t seq = 0;
+  scan::WaveSliceResult slice;  // slice.log stays empty over the wire
+};
+
+struct RequeueReq {
+  std::uint64_t seq = 0;
+  util::SimTime clock_now = 0;
+  scan::WaveContext ctx;
+  std::vector<std::string> recipients;
+  std::vector<scan::RequeueItem> items;
+};
+
+struct RequeueRep {
+  std::uint64_t seq = 0;
+  scan::RequeueSliceResult slice;
+};
+
+// An observation job plus the host flags the coordinator's (flag-current)
+// fleet carries for its address. The worker applies them idempotently before
+// probing, which keeps a respawned worker — forked before this round's
+// patch/blacklist events — consistent with the coordinator's serial pre-pass.
+struct ObserveWireJob {
+  longitudinal::Study::ObserveJob job;
+  bool patched = false;
+  bool blacklisted = false;
+};
+
+struct ObserveReq {
+  std::uint64_t seq = 0;
+  util::SimTime clock_now = 0;
+  longitudinal::Study::ObserveContext ctx;
+  std::vector<ObserveWireJob> jobs;
+};
+
+struct ObserveRep {
+  std::uint64_t seq = 0;
+  longitudinal::Study::ObserveSliceResult slice;
+};
+
+struct CaptureReq {
+  std::uint64_t seq = 0;
+  std::vector<util::IpAddress> addresses;
+};
+
+struct CaptureRep {
+  std::uint64_t seq = 0;
+  // One entry per requested address, in request order; nullopt = no host.
+  std::vector<std::optional<snapshot::StudySnapshot::HostState>> hosts;
+};
+
+std::string encode_hello(const HelloMsg& msg);
+HelloMsg decode_hello(MessageView& view);
+
+std::string encode_wave_req(const WaveReq& req);
+WaveReq decode_wave_req(MessageView& view);
+std::string encode_wave_rep(const WaveRep& rep);
+WaveRep decode_wave_rep(MessageView& view);
+
+std::string encode_requeue_req(const RequeueReq& req);
+RequeueReq decode_requeue_req(MessageView& view);
+std::string encode_requeue_rep(const RequeueRep& rep);
+RequeueRep decode_requeue_rep(MessageView& view);
+
+std::string encode_observe_req(const ObserveReq& req);
+ObserveReq decode_observe_req(MessageView& view);
+std::string encode_observe_rep(const ObserveRep& rep);
+ObserveRep decode_observe_rep(MessageView& view);
+
+std::string encode_capture_req(const CaptureReq& req);
+CaptureReq decode_capture_req(MessageView& view);
+std::string encode_capture_rep(const CaptureRep& rep);
+CaptureRep decode_capture_rep(MessageView& view);
+
+std::string encode_shutdown();
+
+// Deterministic address-range partition of a sorted unique address list into
+// `workers` near-equal contiguous shards — the ThreadPool split (n/w base,
+// first n%w shards one larger) applied to the whole population once, so a
+// host's owning worker never changes during a run. Returns the W-1 boundary
+// addresses: worker k owns addresses in [cuts[k-1], cuts[k]) with the open
+// ends at the extremes. Fewer addresses than workers yields fewer cuts.
+std::vector<util::IpAddress> partition_cuts(
+    const std::vector<util::IpAddress>& sorted_addresses, std::size_t workers);
+
+// Which worker owns `address` under `cuts` (count of cuts <= address).
+std::size_t owner_of(const std::vector<util::IpAddress>& cuts,
+                     const util::IpAddress& address);
+
+}  // namespace spfail::dist

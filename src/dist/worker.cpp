@@ -1,0 +1,337 @@
+// Worker side of the distributed scan (DESIGN.md §15).
+//
+// A worker is a forked copy of the coordinator: it inherits the fleet, the
+// campaign and the study by copy-on-write, and serves slice requests over
+// its pipe pair until EOF or a Shutdown frame. Probe residues (greylist
+// first-contact maps, flaky-RNG cursors) accumulate only here — the
+// coordinator's copies stay pristine — so after each executed chunk the
+// worker checkpoints the cumulative residue of every host it ever touched,
+// together with the encoded reply, before sending it. A respawned worker
+// restores that checkpoint and, when the resent request carries the
+// checkpointed sequence number, replays the stored reply instead of
+// executing twice: exactly-once chunk execution across crashes.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "mta/host.hpp"
+#include "snapshot/fields.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace spfail::dist {
+
+namespace {
+
+// SPFAIL_DIST_TEST_KILL="<worker>:<seq>:<mode>" arms a one-shot fault for
+// crash-recovery tests: the named worker misbehaves at the first request
+// whose sequence number reaches <seq>. Modes:
+//   kill      execute + checkpoint, exit before sending the reply
+//   sent      execute + checkpoint + send, then exit
+//   stall     never reply (exercises the reply deadline)
+//   tmpcrash  execute, leave a garbage checkpoint .tmp behind, exit without
+//             completing the checkpoint
+//   crashloop exit on sight, every generation (exhausts the restart budget)
+// All modes except crashloop fire only in generation 0, so the respawned
+// worker recovers cleanly.
+struct KillKnob {
+  enum class Mode { None, Kill, Sent, Stall, Tmpcrash, Crashloop };
+  Mode mode = Mode::None;
+  std::size_t worker = 0;
+  std::uint64_t seq = 0;
+};
+
+KillKnob parse_kill_knob() {
+  KillKnob knob;
+  const char* raw = std::getenv("SPFAIL_DIST_TEST_KILL");
+  if (raw == nullptr || *raw == '\0') return knob;
+  const std::string text(raw);
+  const std::size_t a = text.find(':');
+  const std::size_t b = a == std::string::npos ? a : text.find(':', a + 1);
+  if (a == std::string::npos || b == std::string::npos) return knob;
+  try {
+    knob.worker = static_cast<std::size_t>(std::stoul(text.substr(0, a)));
+    knob.seq = std::stoull(text.substr(a + 1, b - a - 1));
+  } catch (const std::exception&) {
+    return knob;
+  }
+  const std::string mode = text.substr(b + 1);
+  if (mode == "kill") {
+    knob.mode = KillKnob::Mode::Kill;
+  } else if (mode == "sent") {
+    knob.mode = KillKnob::Mode::Sent;
+  } else if (mode == "stall") {
+    knob.mode = KillKnob::Mode::Stall;
+  } else if (mode == "tmpcrash") {
+    knob.mode = KillKnob::Mode::Tmpcrash;
+  } else if (mode == "crashloop") {
+    knob.mode = KillKnob::Mode::Crashloop;
+  }
+  return knob;
+}
+
+constexpr std::uint32_t kWorkerCheckpointMagic = 0x53504657;  // "SPFW"
+
+struct WorkerState {
+  std::uint64_t last_seq = 0;  // 0 = nothing executed yet (seqs start at 1)
+  std::string last_reply;
+  // Every address this worker ever probed; the checkpoint snapshots their
+  // cumulative residue so a respawn restores the full history, not just the
+  // last chunk's.
+  std::set<util::IpAddress> touched;
+};
+
+void write_checkpoint(const std::string& path, std::uint64_t nonce,
+                      std::size_t index, const WorkerState& state,
+                      population::Fleet& fleet) {
+  if (path.empty()) return;
+  snapshot::Writer w;
+  w.u32(kWorkerCheckpointMagic);
+  w.u64(nonce);
+  w.u32(static_cast<std::uint32_t>(index));
+  w.u64(state.last_seq);
+  w.str(state.last_reply);
+  std::vector<snapshot::StudySnapshot::HostState> hosts;
+  hosts.reserve(state.touched.size());
+  for (const auto& address : state.touched) {
+    const mta::MailHost* host = fleet.find_host(address);
+    if (host != nullptr) {
+      hosts.push_back(snapshot::capture_host_state(address, *host));
+    }
+  }
+  w.u64(hosts.size());
+  for (const auto& hs : hosts) snapshot::put_host_state(w, hs);
+  w.u64(snapshot::payload_checksum(w.bytes()));
+  const std::string bytes = w.take();
+  snapshot::save_atomically(path, bytes);
+}
+
+bool load_checkpoint(const std::string& path, std::uint64_t nonce,
+                     std::size_t index, WorkerState& state,
+                     population::Fleet& fleet) {
+  std::string bytes;
+  try {
+    bytes = snapshot::load_file(path);
+  } catch (const snapshot::SnapshotError&) {
+    return false;  // no checkpoint yet — first crash before any chunk
+  }
+  try {
+    if (bytes.size() < 8) return false;
+    const std::string_view view(bytes);
+    snapshot::Reader tail(view.substr(bytes.size() - 8));
+    if (tail.u64() !=
+        snapshot::payload_checksum(view.substr(0, bytes.size() - 8))) {
+      return false;
+    }
+    snapshot::Reader body(view.substr(0, bytes.size() - 8));
+    if (body.u32() != kWorkerCheckpointMagic) return false;
+    if (body.u64() != nonce) return false;  // stale file from another run
+    if (body.u32() != static_cast<std::uint32_t>(index)) return false;
+    state.last_seq = body.u64();
+    state.last_reply = std::string(body.str());
+    const std::uint64_t n = body.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto hs = snapshot::get_host_state(body);
+      mta::MailHost* host = fleet.find_host(hs.address);
+      if (host == nullptr) continue;
+      std::map<util::IpAddress, util::SimTime> greylist;
+      for (const auto& [client_text, first_seen] : hs.greylist_seen) {
+        const auto client = util::IpAddress::parse(client_text);
+        if (client.has_value()) greylist.emplace(*client, first_seen);
+      }
+      host->set_greylist_seen(std::move(greylist));
+      host->set_flaky_rng_state(hs.flaky_rng);
+      state.touched.insert(hs.address);
+    }
+    body.expect_done();
+  } catch (const snapshot::SnapshotError&) {
+    state = WorkerState{};
+    return false;
+  }
+  return true;
+}
+
+[[noreturn]] void die(std::size_t index, const char* what) {
+  std::fprintf(stderr, "spfail dist worker %zu: %s\n", index, what);
+  std::fflush(nullptr);
+  _exit(70);
+}
+
+}  // namespace
+
+void worker_main(Coordinator& coordinator, std::size_t index,
+                 std::uint32_t generation) {
+  Channel channel = coordinator.worker_channel(index);
+  population::Fleet& fleet = coordinator.fleet();
+  const std::string ckpt_path = coordinator.config().checkpoint_stem.empty()
+                                    ? std::string()
+                                    : coordinator.config().checkpoint_stem +
+                                          ".w" + std::to_string(index);
+  const KillKnob knob = parse_kill_knob();
+
+  WorkerState state;
+  if (!ckpt_path.empty()) {
+    // A predecessor killed mid-checkpoint leaves a garbage .tmp behind; the
+    // complete file — when present — is the last finished chunk.
+    snapshot::discard_partial(ckpt_path);
+    if (generation > 0) {
+      load_checkpoint(ckpt_path, coordinator.nonce(), index, state, fleet);
+    }
+  }
+
+  try {
+    channel.send(encode_hello(HelloMsg{static_cast<std::uint32_t>(index),
+                                       generation,
+                                       static_cast<std::int64_t>(::getpid())}));
+    std::string frame;
+    while (channel.receive(frame)) {
+      MessageView header(frame);
+      if (header.type() == MsgType::Shutdown) break;
+
+      // Every work request leads with its sequence number; peek it for the
+      // replay check before the type-specific decode consumes the body.
+      std::uint64_t seq = 0;
+      switch (header.type()) {
+        case MsgType::WaveReq:
+        case MsgType::RequeueReq:
+        case MsgType::ObserveReq:
+        case MsgType::CaptureReq:
+          seq = header.body().u64();
+          break;
+        default:
+          die(index, ("unexpected " + to_string(header.type())).c_str());
+      }
+
+      const bool knob_fires =
+          knob.mode != KillKnob::Mode::None && knob.worker == index &&
+          seq >= knob.seq &&
+          (knob.mode == KillKnob::Mode::Crashloop || generation == 0);
+      if (knob_fires && knob.mode == KillKnob::Mode::Crashloop) _exit(31);
+      if (knob_fires && knob.mode == KillKnob::Mode::Stall) {
+        for (;;) ::pause();
+      }
+
+      if (seq == state.last_seq) {
+        // The coordinator resent the chunk we completed right before dying:
+        // replay the stored reply, never execute twice.
+        channel.send(state.last_reply);
+        continue;
+      }
+      if (seq < state.last_seq) {
+        die(index, "request sequence ran backwards");
+      }
+
+      MessageView view(frame);
+      std::string reply;
+      bool checkpoint = true;
+      switch (view.type()) {
+        case MsgType::WaveReq: {
+          WaveReq req = decode_wave_req(view);
+          fleet.clock().advance_to(req.clock_now);
+          scan::Campaign* campaign = coordinator.campaign();
+          if (campaign == nullptr) die(index, "wave request with no campaign");
+          WaveRep rep;
+          rep.seq = req.seq;
+          rep.slice = campaign->run_wave_slice(
+              std::span<const scan::WaveItem>(req.items), req.base, req.ctx);
+          for (const auto& item : req.items) state.touched.insert(item.address);
+          reply = encode_wave_rep(rep);
+          break;
+        }
+        case MsgType::RequeueReq: {
+          RequeueReq req = decode_requeue_req(view);
+          fleet.clock().advance_to(req.clock_now);
+          scan::Campaign* campaign = coordinator.campaign();
+          if (campaign == nullptr) {
+            die(index, "re-queue request with no campaign");
+          }
+          RequeueRep rep;
+          rep.seq = req.seq;
+          rep.slice = campaign->run_requeue_slice(
+              std::span<const scan::RequeueItem>(req.items), req.ctx);
+          for (const auto& item : req.items) {
+            state.touched.insert(item.item.address);
+          }
+          reply = encode_requeue_rep(rep);
+          break;
+        }
+        case MsgType::ObserveReq: {
+          ObserveReq req = decode_observe_req(view);
+          fleet.clock().advance_to(req.clock_now);
+          longitudinal::Study* study = coordinator.study();
+          if (study == nullptr) die(index, "observe request with no study");
+          // Converge on the coordinator's serial pre-pass: a respawned
+          // worker was forked before this round's patch/blacklist events.
+          std::vector<longitudinal::Study::ObserveJob> jobs;
+          jobs.reserve(req.jobs.size());
+          for (const auto& wire : req.jobs) {
+            mta::MailHost* host = fleet.find_host(wire.job.address);
+            if (host != nullptr) {
+              if (wire.patched && !host->is_patched()) host->apply_patch();
+              host->set_blacklisted(wire.blacklisted);
+            }
+            jobs.push_back(wire.job);
+          }
+          ObserveRep rep;
+          rep.seq = req.seq;
+          rep.slice = study->run_observe_slice(
+              std::span<const longitudinal::Study::ObserveJob>(jobs), req.ctx);
+          for (const auto& job : jobs) state.touched.insert(job.address);
+          reply = encode_observe_rep(rep);
+          break;
+        }
+        case MsgType::CaptureReq: {
+          CaptureReq req = decode_capture_req(view);
+          CaptureRep rep;
+          rep.seq = req.seq;
+          rep.hosts.reserve(req.addresses.size());
+          for (const auto& address : req.addresses) {
+            const mta::MailHost* host = fleet.find_host(address);
+            if (host != nullptr) {
+              rep.hosts.emplace_back(
+                  snapshot::capture_host_state(address, *host));
+            } else {
+              rep.hosts.emplace_back(std::nullopt);
+            }
+          }
+          reply = encode_capture_rep(rep);
+          // Read-only; re-executing a capture after a crash is harmless, so
+          // skip the checkpoint write.
+          checkpoint = false;
+          break;
+        }
+        default:
+          die(index, "unreachable");
+      }
+
+      state.last_seq = seq;
+      state.last_reply = reply;
+      if (knob_fires && knob.mode == KillKnob::Mode::Tmpcrash) {
+        std::ofstream garbage(ckpt_path + ".tmp", std::ios::binary);
+        garbage << "garbage left by a worker killed mid-checkpoint";
+        garbage.close();
+        _exit(32);
+      }
+      if (checkpoint) {
+        write_checkpoint(ckpt_path, coordinator.nonce(), index, state, fleet);
+      }
+      if (knob_fires && knob.mode == KillKnob::Mode::Kill) _exit(33);
+      channel.send(reply);
+      if (knob_fires && knob.mode == KillKnob::Mode::Sent) _exit(34);
+    }
+  } catch (const std::exception& e) {
+    die(index, e.what());
+  }
+  std::fflush(nullptr);
+  _exit(0);
+}
+
+}  // namespace spfail::dist

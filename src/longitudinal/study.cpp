@@ -8,6 +8,7 @@
 #include "obs/lane.hpp"
 #include "population/paper_constants.hpp"
 #include "scan/prober.hpp"
+#include "snapshot/fields.hpp"
 
 namespace spfail::longitudinal {
 
@@ -114,65 +115,88 @@ Observation Study::observe_address(scan::Prober& prober,
                                      : Observation::Compliant;
 }
 
+Study::ObserveSliceResult Study::run_observe_slice(
+    std::span<const ObserveJob> jobs, const ObserveContext& ctx) {
+  ObserveSliceResult out;
+  out.results.reserve(jobs.size());
+  util::SimClock::Lane clock_lane(fleet_.clock());
+  dns::AuthoritativeServer::LogLane log_lane(fleet_.dns(), out.log);
+  std::optional<obs::MetricsLane> metrics_lane;
+  if (ctx.metrics) metrics_lane.emplace(out.metrics);
+  // Label slots are a pure function of construction seed + slot + suite, so
+  // the slice builds its own allocator — a dist worker has no access to the
+  // coordinator's replayed State::labels instance, and the local pool path
+  // produces identical labels through the same constructor arguments.
+  const scan::LabelAllocator labels(util::Rng(config_.seed ^ 0x1ABE15),
+                                    fleet_.responder().base);
+  scan::ProberConfig prober_config;
+  prober_config.responder = fleet_.responder();
+  net::Transport transport(fleet_.clock());
+  scan::Prober prober(prober_config, fleet_.dns(), transport);
+  for (const ObserveJob& job : jobs) {
+    std::optional<net::WireTrace::Lane> lane;
+    if (ctx.tracing) lane.emplace(out.trace, job.slot, fleet_.clock());
+    out.results.push_back(observe_address(prober, job.address, job.kind,
+                                          labels, ctx.suite, job.slot,
+                                          ctx.fault_round, out.deg));
+  }
+  out.advance = clock_lane.offset();
+  return out;
+}
+
 void Study::run_batch(State& state, const std::vector<ObserveJob>& jobs,
                       std::vector<Observation>& results,
                       const std::string& suite, std::uint64_t fault_round) {
-  // Each worker runs a private clock lane and a private query-log lane, plus
-  // one prober reused across its slice; the merge folds clock offsets (their
-  // sum is exactly the serial advance) and splices lane logs back in shard —
+  // Each slice runs a private clock lane and a private query-log lane, plus
+  // one prober reused across its jobs; the merge folds clock offsets (their
+  // sum is exactly the serial advance) and splices lane logs back in slice —
   // i.e. address — order.
   results.assign(jobs.size(), Observation::Inconclusive);
   if (jobs.empty()) return;
-  util::ThreadPool& pool = *state.pool;
-  const scan::LabelAllocator& labels = *state.labels;
-  const std::size_t shard_count = pool.shard_count(jobs.size());
-  std::vector<dns::QueryLog> logs(shard_count);
-  std::vector<util::SimTime> advances(shard_count, 0);
-  std::vector<faults::DegradationReport> degs(shard_count);
-  std::vector<net::WireTrace> traces(shard_count);
-  std::vector<obs::Registry> metric_lanes(shard_count);
-  pool.parallel_for_shards(
-      jobs.size(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
-        util::SimClock::Lane clock_lane(fleet_.clock());
-        dns::AuthoritativeServer::LogLane log_lane(fleet_.dns(), logs[shard]);
-        std::optional<obs::MetricsLane> metrics_lane;
-        if (config_.metrics != nullptr) {
-          metrics_lane.emplace(metric_lanes[shard]);
-        }
-        scan::ProberConfig prober_config;
-        prober_config.responder = fleet_.responder();
-        net::Transport transport(fleet_.clock());
-        scan::Prober prober(prober_config, fleet_.dns(), transport);
-        for (std::size_t i = begin; i < end; ++i) {
-          std::optional<net::WireTrace::Lane> lane;
-          if (config_.trace != nullptr) {
-            lane.emplace(traces[shard], jobs[i].slot, fleet_.clock());
-          }
-          results[i] =
-              observe_address(prober, jobs[i].address, jobs[i].kind, labels,
-                              suite, jobs[i].slot, fault_round, degs[shard]);
-        }
-        advances[shard] = clock_lane.offset();
-      });
+
+  ObserveContext ctx;
+  ctx.suite = suite;
+  ctx.fault_round = fault_round;
+  ctx.tracing = config_.trace != nullptr;
+  ctx.metrics = config_.metrics != nullptr;
+
+  std::vector<ObserveSliceResult> slices;
+  if (config_.dist != nullptr) {
+    slices = config_.dist->run_observe(*this, jobs, ctx);
+  } else {
+    util::ThreadPool& pool = *state.pool;
+    slices.resize(pool.shard_count(jobs.size()));
+    pool.parallel_for_shards(
+        jobs.size(),
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          slices[shard] = run_observe_slice(
+              std::span<const ObserveJob>(jobs).subspan(begin, end - begin),
+              ctx);
+        });
+  }
+
   util::SimTime total_advance = 0;
-  for (const util::SimTime advance : advances) total_advance += advance;
+  std::size_t offset = 0;
+  for (auto& slice : slices) {
+    total_advance += slice.advance;
+    fleet_.dns().query_log().splice(std::move(slice.log));
+    state.report.degradation.merge(slice.deg);
+    if (config_.trace != nullptr) config_.trace->splice(std::move(slice.trace));
+    if (config_.metrics != nullptr) config_.metrics->merge(slice.metrics);
+    std::copy(slice.results.begin(), slice.results.end(),
+              results.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += slice.results.size();
+  }
   fleet_.clock().advance_by(total_advance);
-  for (auto& log : logs) {
-    fleet_.dns().query_log().splice(std::move(log));
-  }
-  for (const auto& deg : degs) state.report.degradation.merge(deg);
-  if (config_.trace != nullptr) {
-    // Shard order is job — i.e. master — order, the serial sequence.
-    for (auto& trace : traces) config_.trace->splice(std::move(trace));
-  }
-  if (config_.metrics != nullptr) {
-    for (const auto& lane : metric_lanes) config_.metrics->merge(lane);
-  }
 }
 
 void Study::derive_from_initial(State& state) {
   StudyReport& report = state.report;
-  state.pool = std::make_unique<util::ThreadPool>(config_.threads);
+  // In distributed mode every batch runs in worker processes; a live thread
+  // pool would only add fork-unsafe threads to the coordinator.
+  if (config_.dist == nullptr) {
+    state.pool = std::make_unique<util::ThreadPool>(config_.threads);
+  }
 
   // Everything downstream walks outcomes in ascending address order: label
   // slots, RNG draw order, and report assembly all key off these positions.
@@ -291,6 +315,7 @@ Study::State Study::begin() {
   campaign_config.retry = config_.retry;
   campaign_config.trace = config_.trace;
   campaign_config.metrics = config_.metrics;
+  campaign_config.runner = config_.dist;
   scan::Campaign campaign(campaign_config, fleet_.dns(), fleet_.clock(),
                           fleet_);
   // Streaming target source: the round never materialises a TargetDomain
@@ -560,29 +585,28 @@ snapshot::StudySnapshot Study::capture(const State& state) const {
   }
   // Hosts the continued run can still probe carry scanner-visible state of
   // their own (greylist first-contact map, flaky-path RNG cursor); capture
-  // it so restore() can put the rebuilt hosts mid-conversation.
-  const auto capture_host = [&](const util::IpAddress& address) {
-    const mta::MailHost* host = fleet_.find_host(address);
-    if (host == nullptr) return;
-    snapshot::StudySnapshot::HostState hs;
-    hs.address = address;
-    // The in-memory map keys addresses by value (DESIGN.md §14) but the wire
-    // format keeps textual keys; re-sort after conversion, because numeric
-    // address order is not lexical order ("11.0.0.2" > "11.0.0.10" as text)
-    // and the snapshot bytes must match pre-§14 writers exactly.
-    hs.greylist_seen.reserve(host->greylist_seen().size());
-    for (const auto& [client, first_seen] : host->greylist_seen()) {
-      hs.greylist_seen.emplace_back(client.to_string(), first_seen);
-    }
-    std::sort(hs.greylist_seen.begin(), hs.greylist_seen.end());
-    hs.flaky_rng = host->flaky_rng_state();
-    snap.hosts.push_back(std::move(hs));
-  };
+  // it so restore() can put the rebuilt hosts mid-conversation. In
+  // distributed mode a host's probe residue lives in the worker process that
+  // owns its address range, so the coordinator gathers it over the wire.
+  std::vector<util::IpAddress> residue_addresses;
+  residue_addresses.reserve(state.vulnerable_addresses.size() +
+                            state.remeasurable.size());
   for (const auto& address : state.vulnerable_addresses) {
-    capture_host(address);
+    residue_addresses.push_back(address);
   }
   for (const auto& [address, slot] : state.remeasurable) {
-    capture_host(address);
+    residue_addresses.push_back(address);
+  }
+  if (config_.dist != nullptr) {
+    for (auto& hs : config_.dist->capture_hosts(residue_addresses)) {
+      if (hs.has_value()) snap.hosts.push_back(std::move(*hs));
+    }
+  } else {
+    for (const auto& address : residue_addresses) {
+      const mta::MailHost* host = fleet_.find_host(address);
+      if (host == nullptr) continue;
+      snap.hosts.push_back(snapshot::capture_host_state(address, *host));
+    }
   }
   if (config_.trace != nullptr) snap.trace = config_.trace->frames();
   if (config_.metrics != nullptr) {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/lane.hpp"
+#include "scan/shard_runner.hpp"
 #include "util/intern.hpp"
 #include "util/rng.hpp"
 
@@ -133,6 +134,7 @@ Campaign::Campaign(CampaignConfig config, dns::AuthoritativeServer& server,
 ProbeResult Campaign::probe_settled(Prober& prober, mta::MailHost& host,
                                     std::string_view recipient_domain,
                                     const dns::Name& mail_from, TestKind kind,
+                                    std::uint64_t round,
                                     AddressOutcome& outcome,
                                     faults::DegradationReport& deg) {
   ProbeRequest request;
@@ -143,7 +145,7 @@ ProbeResult Campaign::probe_settled(Prober& prober, mta::MailHost& host,
   request.mail_from = mail_from;
   request.retry_mail_from = mail_from;
   request.kind = kind;
-  request.fault_round = current_round_;
+  request.fault_round = round;
   request.first_attempt = static_cast<std::uint64_t>(outcome.probe_attempts);
   request.retry_budget =
       retry_.config().per_address_budget - outcome.retries_used;
@@ -158,10 +160,195 @@ CampaignReport Campaign::run(const std::vector<TargetDomain>& targets) {
   return run(VectorTargetSource(targets));
 }
 
+WaveSliceResult Campaign::run_wave_slice(std::span<const WaveItem> items,
+                                         std::size_t base,
+                                         const WaveContext& ctx) {
+  WaveSliceResult out;
+  out.outcomes.reserve(items.size());
+  util::SimClock::Lane clock_lane(clock_);
+  dns::AuthoritativeServer::LogLane log_lane(server_, out.log);
+  std::optional<obs::MetricsLane> metrics_lane;
+  if (ctx.metrics) metrics_lane.emplace(out.metrics);
+  net::Transport transport(clock_);
+  Prober prober(config_.prober, server_, transport);  // one per slice, reused
+
+  // Wave 1: NoMsg over the slice. Label slots and trace lanes derive from the
+  // master-order position base + k, never from the slice layout.
+  std::vector<std::size_t> want_blankmsg;
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    const std::size_t i = base + k;
+    const auto& [address, recipient] = items[k];
+    clock_.advance_by(ctx.per_test_advance);
+    AddressOutcome outcome;
+    outcome.address = address;
+
+    mta::MailHost* host = registry_.find_host(address);
+    if (host == nullptr) {
+      outcome.verdict = AddressVerdict::Refused;
+      out.outcomes.push_back(std::move(outcome));
+      continue;
+    }
+
+    std::optional<net::WireTrace::Lane> lane;
+    if (ctx.tracing) lane.emplace(out.wave1, 2 * i, clock_);
+    const dns::Name mail_from = labels_.indexed_mail_from(2 * i, ctx.suite);
+    const ProbeResult nomsg =
+        probe_settled(prober, *host, recipient, mail_from, TestKind::NoMsg,
+                      ctx.round, outcome, out.deg);
+    lane.reset();
+    registry_.release_host(address);
+    outcome.nomsg = nomsg;
+
+    switch (nomsg.status) {
+      case ProbeStatus::ConnectionRefused:
+        outcome.verdict = AddressVerdict::Refused;
+        break;
+      case ProbeStatus::SpfMeasured:
+        outcome.verdict = AddressVerdict::Measured;
+        outcome.behaviors = nomsg.behaviors;
+        // The paper retried almost all NoMsg successes with BlankMsg too —
+        // but only those that had NOT yet yielded a conclusive measurement
+        // feed wave 2 here.
+        break;
+      case ProbeStatus::SpfNotMeasured:
+        outcome.verdict = AddressVerdict::NotMeasured;
+        want_blankmsg.push_back(k);
+        break;
+      case ProbeStatus::Greylisted:  // retries exhausted
+      case ProbeStatus::TempFailed:
+      case ProbeStatus::Dropped:
+      case ProbeStatus::SmtpFailure:
+        outcome.verdict = AddressVerdict::SmtpFailure;
+        // A mid-dialog failure can still be followed by a BlankMsg attempt
+        // when the failure left room for SPF-after-DATA (e.g. the RCPT
+        // ladder ran dry): the paper's wave 2 covered those too.
+        if (nomsg.failing_code == 550) want_blankmsg.push_back(k);
+        break;
+    }
+    out.outcomes.push_back(std::move(outcome));
+  }
+
+  // Wave 2: BlankMsg for addresses that accepted SMTP but showed no SPF.
+  for (const std::size_t k : want_blankmsg) {
+    const std::size_t i = base + k;
+    clock_.advance_by(ctx.per_test_advance);
+    AddressOutcome& outcome = out.outcomes[k];
+    mta::MailHost* host = registry_.find_host(outcome.address);
+    if (host == nullptr) continue;
+
+    std::optional<net::WireTrace::Lane> lane;
+    if (ctx.tracing) lane.emplace(out.wave2, 2 * i + 1, clock_);
+    const dns::Name mail_from = labels_.indexed_mail_from(2 * i + 1, ctx.suite);
+    const ProbeResult blankmsg =
+        probe_settled(prober, *host, items[k].recipient, mail_from,
+                      TestKind::BlankMsg, ctx.round, outcome, out.deg);
+    lane.reset();
+    registry_.release_host(outcome.address);
+    outcome.blankmsg = blankmsg;
+
+    if (blankmsg.status == ProbeStatus::SpfMeasured) {
+      outcome.verdict = AddressVerdict::Measured;
+      outcome.behaviors.insert(blankmsg.behaviors.begin(),
+                               blankmsg.behaviors.end());
+    } else if (outcome.verdict == AddressVerdict::NotMeasured &&
+               blankmsg.status == ProbeStatus::SmtpFailure) {
+      outcome.verdict = AddressVerdict::SmtpFailure;
+    }
+  }
+  out.advance = clock_lane.offset();
+  return out;
+}
+
+RequeueSliceResult Campaign::run_requeue_slice(
+    std::span<const RequeueItem> items, const WaveContext& ctx) {
+  RequeueSliceResult out;
+  out.outcomes.reserve(items.size());
+  util::SimClock::Lane clock_lane(clock_);
+  dns::AuthoritativeServer::LogLane log_lane(server_, out.log);
+  std::optional<obs::MetricsLane> metrics_lane;
+  if (ctx.metrics) metrics_lane.emplace(out.metrics);
+  net::Transport transport(clock_);
+  Prober prober(config_.prober, server_, transport);
+  for (const RequeueItem& rq : items) {
+    const std::size_t i = rq.index;
+    const std::string_view recipient_domain = rq.item.recipient;
+    AddressOutcome outcome = rq.outcome;
+    mta::MailHost* host = registry_.find_host(rq.item.address);
+    if (host == nullptr) {
+      out.outcomes.push_back(std::move(outcome));
+      continue;
+    }
+
+    const TestKind pending = *outcome.pending_transient();
+    if (pending == TestKind::NoMsg) {
+      clock_.advance_by(ctx.per_test_advance);
+      std::optional<net::WireTrace::Lane> lane;
+      if (ctx.tracing) lane.emplace(out.trace, 2 * i, clock_);
+      const dns::Name mail_from = labels_.indexed_mail_from(2 * i, ctx.suite);
+      const ProbeResult nomsg =
+          probe_settled(prober, *host, recipient_domain, mail_from,
+                        TestKind::NoMsg, ctx.round, outcome, out.deg);
+      lane.reset();
+      outcome.nomsg = nomsg;
+      switch (nomsg.status) {
+        case ProbeStatus::ConnectionRefused:
+          outcome.verdict = AddressVerdict::Refused;
+          break;
+        case ProbeStatus::SpfMeasured:
+          outcome.verdict = AddressVerdict::Measured;
+          outcome.behaviors = nomsg.behaviors;
+          break;
+        case ProbeStatus::SpfNotMeasured:
+          outcome.verdict = AddressVerdict::NotMeasured;
+          break;
+        case ProbeStatus::Greylisted:
+        case ProbeStatus::TempFailed:
+        case ProbeStatus::Dropped:
+        case ProbeStatus::SmtpFailure:
+          outcome.verdict = AddressVerdict::SmtpFailure;
+          break;
+      }
+    }
+    // A settled NoMsg that wants the message-bearing test (either it just
+    // recovered to "no SPF seen", or BlankMsg itself was the stuck test)
+    // gets the wave-2 treatment inline.
+    const bool want_blank =
+        pending == TestKind::BlankMsg ||
+        (outcome.nomsg && !is_transient(outcome.nomsg->status) &&
+         (outcome.nomsg->status == ProbeStatus::SpfNotMeasured ||
+          outcome.nomsg->failing_code == 550));
+    if (want_blank) {
+      clock_.advance_by(ctx.per_test_advance);
+      std::optional<net::WireTrace::Lane> lane;
+      if (ctx.tracing) lane.emplace(out.trace, 2 * i + 1, clock_);
+      const dns::Name mail_from =
+          labels_.indexed_mail_from(2 * i + 1, ctx.suite);
+      const ProbeResult blankmsg =
+          probe_settled(prober, *host, recipient_domain, mail_from,
+                        TestKind::BlankMsg, ctx.round, outcome, out.deg);
+      lane.reset();
+      outcome.blankmsg = blankmsg;
+      if (blankmsg.status == ProbeStatus::SpfMeasured) {
+        outcome.verdict = AddressVerdict::Measured;
+        outcome.behaviors.insert(blankmsg.behaviors.begin(),
+                                 blankmsg.behaviors.end());
+      } else if (outcome.verdict == AddressVerdict::NotMeasured &&
+                 blankmsg.status == ProbeStatus::SmtpFailure) {
+        outcome.verdict = AddressVerdict::SmtpFailure;
+      }
+    }
+    registry_.release_host(rq.item.address);
+    if (!outcome.pending_transient()) ++out.recovered;
+    out.outcomes.push_back(std::move(outcome));
+  }
+  out.advance = clock_lane.offset();
+  return out;
+}
+
 CampaignReport Campaign::run(const TargetSource& targets) {
   CampaignReport report;
   report.suite_label = labels_.new_suite();
-  current_round_ = next_round_++;
+  const std::uint64_t round = next_round_++;
   report.degradation.configured_rate = plan_.config().rate;
 
   // 1. Deduplicate addresses, remembering a recipient domain for each (the
@@ -201,139 +388,53 @@ CampaignReport Campaign::run(const TargetSource& targets) {
       std::max<util::SimTime>(1, config_.inter_connection_gap /
                                      config_.max_concurrent_connections);
 
+  WaveContext ctx;
+  ctx.suite = report.suite_label;
+  ctx.round = round;
+  ctx.per_test_advance = per_test_advance;
+  ctx.tracing = config_.trace != nullptr;
+  ctx.metrics = config_.metrics != nullptr;
+
+  // The master work list as slice-ready items: views into the interner above,
+  // which outlives every slice call in this function.
+  std::vector<WaveItem> items;
+  items.reserve(order.size());
+  for (const auto* entry : order) {
+    items.push_back(WaveItem{entry->first, recipients.view(entry->second)});
+  }
+
   std::optional<util::ThreadPool> owned_pool;
   util::ThreadPool* pool = config_.pool;
-  if (pool == nullptr) {
+  if (config_.runner == nullptr && pool == nullptr) {
     owned_pool.emplace(config_.threads);
     pool = &*owned_pool;
   }
 
-  const bool tracing = config_.trace != nullptr;
-
-  struct ShardResult {
-    std::vector<AddressOutcome> outcomes;  // in address order for the slice
-    dns::QueryLog log;
-    util::SimTime advance = 0;
-    faults::DegradationReport deg;
-    // Per-wave wire captures: frames for this slice's tests, each recorded
-    // under the test's master-order lane id (2i NoMsg / 2i+1 BlankMsg) with
-    // probe-relative timestamps, so the merged trace never depends on the
-    // shard layout.
-    net::WireTrace wave1;
-    net::WireTrace wave2;
-    // Shard-local metric lane, merged into config_.metrics in shard order.
-    obs::Registry metrics;
-  };
-  std::vector<ShardResult> shards(pool->shard_count(order.size()));
-
-  pool->parallel_for_shards(order.size(), [&](std::size_t shard,
-                                              std::size_t begin,
-                                              std::size_t end) {
-    ShardResult& out = shards[shard];
-    out.outcomes.reserve(end - begin);
-    util::SimClock::Lane clock_lane(clock_);
-    dns::AuthoritativeServer::LogLane log_lane(server_, out.log);
-    std::optional<obs::MetricsLane> metrics_lane;
-    if (config_.metrics != nullptr) metrics_lane.emplace(out.metrics);
-    net::Transport transport(clock_);
-    Prober prober(config_.prober, server_, transport);  // one per shard, reused
-
-    // Wave 1: NoMsg over the slice.
-    std::vector<std::size_t> want_blankmsg;
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto& [address, recipient] = *order[i];
-      clock_.advance_by(per_test_advance);
-      AddressOutcome outcome;
-      outcome.address = address;
-
-      mta::MailHost* host = registry_.find_host(address);
-      if (host == nullptr) {
-        outcome.verdict = AddressVerdict::Refused;
-        out.outcomes.push_back(std::move(outcome));
-        continue;
-      }
-
-      std::optional<net::WireTrace::Lane> lane;
-      if (tracing) lane.emplace(out.wave1, 2 * i, clock_);
-      const dns::Name mail_from =
-          labels_.indexed_mail_from(2 * i, report.suite_label);
-      const ProbeResult nomsg =
-          probe_settled(prober, *host, recipients.view(recipient), mail_from,
-                           TestKind::NoMsg, outcome, out.deg);
-      lane.reset();
-      registry_.release_host(address);
-      outcome.nomsg = nomsg;
-
-      switch (nomsg.status) {
-        case ProbeStatus::ConnectionRefused:
-          outcome.verdict = AddressVerdict::Refused;
-          break;
-        case ProbeStatus::SpfMeasured:
-          outcome.verdict = AddressVerdict::Measured;
-          outcome.behaviors = nomsg.behaviors;
-          // The paper retried almost all NoMsg successes with BlankMsg too —
-          // but only those that had NOT yet yielded a conclusive measurement
-          // feed wave 2 here.
-          break;
-        case ProbeStatus::SpfNotMeasured:
-          outcome.verdict = AddressVerdict::NotMeasured;
-          want_blankmsg.push_back(i);
-          break;
-        case ProbeStatus::Greylisted:  // retries exhausted
-        case ProbeStatus::TempFailed:
-        case ProbeStatus::Dropped:
-        case ProbeStatus::SmtpFailure:
-          outcome.verdict = AddressVerdict::SmtpFailure;
-          // A mid-dialog failure can still be followed by a BlankMsg attempt
-          // when the failure left room for SPF-after-DATA (e.g. the RCPT
-          // ladder ran dry): the paper's wave 2 covered those too.
-          if (nomsg.failing_code == 550) want_blankmsg.push_back(i);
-          break;
-      }
-      out.outcomes.push_back(std::move(outcome));
-    }
-
-    // Wave 2: BlankMsg for addresses that accepted SMTP but showed no SPF.
-    for (const std::size_t i : want_blankmsg) {
-      clock_.advance_by(per_test_advance);
-      AddressOutcome& outcome = out.outcomes[i - begin];
-      mta::MailHost* host = registry_.find_host(outcome.address);
-      if (host == nullptr) continue;
-
-      std::optional<net::WireTrace::Lane> lane;
-      if (tracing) lane.emplace(out.wave2, 2 * i + 1, clock_);
-      const dns::Name mail_from =
-          labels_.indexed_mail_from(2 * i + 1, report.suite_label);
-      const ProbeResult blankmsg =
-          probe_settled(prober, *host, recipients.view(order[i]->second),
-                           mail_from, TestKind::BlankMsg, outcome, out.deg);
-      lane.reset();
-      registry_.release_host(outcome.address);
-      outcome.blankmsg = blankmsg;
-
-      if (blankmsg.status == ProbeStatus::SpfMeasured) {
-        outcome.verdict = AddressVerdict::Measured;
-        outcome.behaviors.insert(blankmsg.behaviors.begin(),
-                                 blankmsg.behaviors.end());
-      } else if (outcome.verdict == AddressVerdict::NotMeasured &&
-                 blankmsg.status == ProbeStatus::SmtpFailure) {
-        outcome.verdict = AddressVerdict::SmtpFailure;
-      }
-    }
-    out.advance = clock_lane.offset();
-  });
+  std::vector<WaveSliceResult> slices;
+  if (config_.runner != nullptr) {
+    slices = config_.runner->run_wave(*this, items, ctx);
+  } else {
+    slices.resize(pool->shard_count(items.size()));
+    pool->parallel_for_shards(
+        items.size(),
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          slices[shard] = run_wave_slice(
+              std::span<const WaveItem>(items).subspan(begin, end - begin),
+              begin, ctx);
+        });
+  }
 
   // Merge: fold lane clocks back into the shared one (the sum reproduces the
-  // serial advance), drain lane query logs in shard — i.e. address — order,
+  // serial advance), drain lane query logs in slice — i.e. address — order,
   // and reassemble the report.
   util::SimTime total_advance = 0;
   report.addresses.reserve(order.size());
-  for (auto& shard : shards) {
-    total_advance += shard.advance;
-    server_.query_log().splice(std::move(shard.log));
-    report.degradation.merge(shard.deg);
-    if (config_.metrics != nullptr) config_.metrics->merge(shard.metrics);
-    for (auto& outcome : shard.outcomes) {
+  for (auto& slice : slices) {
+    total_advance += slice.advance;
+    server_.query_log().splice(std::move(slice.log));
+    report.degradation.merge(slice.deg);
+    if (config_.metrics != nullptr) config_.metrics->merge(slice.metrics);
+    for (auto& outcome : slice.outcomes) {
       const util::IpAddress address = outcome.address;
       report.addresses.emplace(address, std::move(outcome));
     }
@@ -342,9 +443,9 @@ CampaignReport Campaign::run(const TargetSource& targets) {
 
   // Canonical trace order is wave-major, then master (address) order within
   // the wave — exactly the sequence a single-threaded run records.
-  if (tracing) {
-    for (auto& shard : shards) config_.trace->splice(std::move(shard.wave1));
-    for (auto& shard : shards) config_.trace->splice(std::move(shard.wave2));
+  if (ctx.tracing) {
+    for (auto& slice : slices) config_.trace->splice(std::move(slice.wave1));
+    for (auto& slice : slices) config_.trace->splice(std::move(slice.wave2));
   }
 
   // 3b. Circuit breaker + inconclusive re-queue wave (fault layer only).
@@ -391,108 +492,42 @@ CampaignReport Campaign::run(const TargetSource& targets) {
 
     if (!requeue.empty()) {
       clock_.advance_by(config_.requeue_backoff);
-      struct RequeueShard {
-        dns::QueryLog log;
-        util::SimTime advance = 0;
-        faults::DegradationReport deg;
-        std::size_t recovered = 0;
-        net::WireTrace trace;
-        obs::Registry metrics;
-      };
-      std::vector<RequeueShard> rq_shards(pool->shard_count(requeue.size()));
-      pool->parallel_for_shards(requeue.size(), [&](std::size_t shard,
-                                                    std::size_t begin,
-                                                    std::size_t end) {
-        RequeueShard& out = rq_shards[shard];
-        util::SimClock::Lane clock_lane(clock_);
-        dns::AuthoritativeServer::LogLane log_lane(server_, out.log);
-        std::optional<obs::MetricsLane> metrics_lane;
-        if (config_.metrics != nullptr) metrics_lane.emplace(out.metrics);
-        net::Transport transport(clock_);
-        Prober prober(config_.prober, server_, transport);
-        for (std::size_t j = begin; j < end; ++j) {
-          const std::size_t i = requeue[j];
-          const auto& [address, recipient] = *order[i];
-          const std::string_view recipient_domain = recipients.view(recipient);
-          // Shards own disjoint addresses, so mutating the mapped outcome
-          // through the (structurally untouched) map is race-free.
-          AddressOutcome& outcome = report.addresses.find(address)->second;
-          mta::MailHost* host = registry_.find_host(address);
-          if (host == nullptr) continue;
+      std::vector<RequeueItem> rq_items;
+      rq_items.reserve(requeue.size());
+      for (const std::size_t i : requeue) {
+        RequeueItem item;
+        item.index = i;
+        item.item = items[i];
+        item.outcome = report.addresses.find(items[i].address)->second;
+        rq_items.push_back(std::move(item));
+      }
 
-          const TestKind pending = *outcome.pending_transient();
-          if (pending == TestKind::NoMsg) {
-            clock_.advance_by(per_test_advance);
-            std::optional<net::WireTrace::Lane> lane;
-            if (tracing) lane.emplace(out.trace, 2 * i, clock_);
-            const dns::Name mail_from =
-                labels_.indexed_mail_from(2 * i, report.suite_label);
-            const ProbeResult nomsg =
-                probe_settled(prober, *host, recipient_domain, mail_from,
-                                 TestKind::NoMsg, outcome, out.deg);
-            lane.reset();
-            outcome.nomsg = nomsg;
-            switch (nomsg.status) {
-              case ProbeStatus::ConnectionRefused:
-                outcome.verdict = AddressVerdict::Refused;
-                break;
-              case ProbeStatus::SpfMeasured:
-                outcome.verdict = AddressVerdict::Measured;
-                outcome.behaviors = nomsg.behaviors;
-                break;
-              case ProbeStatus::SpfNotMeasured:
-                outcome.verdict = AddressVerdict::NotMeasured;
-                break;
-              case ProbeStatus::Greylisted:
-              case ProbeStatus::TempFailed:
-              case ProbeStatus::Dropped:
-              case ProbeStatus::SmtpFailure:
-                outcome.verdict = AddressVerdict::SmtpFailure;
-                break;
-            }
-          }
-          // A settled NoMsg that wants the message-bearing test (either it
-          // just recovered to "no SPF seen", or BlankMsg itself was the
-          // stuck test) gets the wave-2 treatment inline.
-          const bool want_blank =
-              pending == TestKind::BlankMsg ||
-              (outcome.nomsg && !is_transient(outcome.nomsg->status) &&
-               (outcome.nomsg->status == ProbeStatus::SpfNotMeasured ||
-                outcome.nomsg->failing_code == 550));
-          if (want_blank) {
-            clock_.advance_by(per_test_advance);
-            std::optional<net::WireTrace::Lane> lane;
-            if (tracing) lane.emplace(out.trace, 2 * i + 1, clock_);
-            const dns::Name mail_from =
-                labels_.indexed_mail_from(2 * i + 1, report.suite_label);
-            const ProbeResult blankmsg =
-                probe_settled(prober, *host, recipient_domain, mail_from,
-                                 TestKind::BlankMsg, outcome, out.deg);
-            lane.reset();
-            outcome.blankmsg = blankmsg;
-            if (blankmsg.status == ProbeStatus::SpfMeasured) {
-              outcome.verdict = AddressVerdict::Measured;
-              outcome.behaviors.insert(blankmsg.behaviors.begin(),
-                                       blankmsg.behaviors.end());
-            } else if (outcome.verdict == AddressVerdict::NotMeasured &&
-                       blankmsg.status == ProbeStatus::SmtpFailure) {
-              outcome.verdict = AddressVerdict::SmtpFailure;
-            }
-          }
-          registry_.release_host(address);
-          if (!outcome.pending_transient()) ++out.recovered;
-        }
-        out.advance = clock_lane.offset();
-      });
+      std::vector<RequeueSliceResult> rq_slices;
+      if (config_.runner != nullptr) {
+        rq_slices = config_.runner->run_requeue(*this, rq_items, ctx);
+      } else {
+        rq_slices.resize(pool->shard_count(rq_items.size()));
+        pool->parallel_for_shards(
+            rq_items.size(),
+            [&](std::size_t shard, std::size_t begin, std::size_t end) {
+              rq_slices[shard] = run_requeue_slice(
+                  std::span<const RequeueItem>(rq_items).subspan(begin,
+                                                                 end - begin),
+                  ctx);
+            });
+      }
 
       util::SimTime rq_advance = 0;
-      for (auto& shard : rq_shards) {
-        rq_advance += shard.advance;
-        server_.query_log().splice(std::move(shard.log));
-        report.degradation.merge(shard.deg);
-        report.degradation.requeue_recovered += shard.recovered;
-        if (tracing) config_.trace->splice(std::move(shard.trace));
-        if (config_.metrics != nullptr) config_.metrics->merge(shard.metrics);
+      for (auto& slice : rq_slices) {
+        rq_advance += slice.advance;
+        server_.query_log().splice(std::move(slice.log));
+        report.degradation.merge(slice.deg);
+        report.degradation.requeue_recovered += slice.recovered;
+        if (ctx.tracing) config_.trace->splice(std::move(slice.trace));
+        if (config_.metrics != nullptr) config_.metrics->merge(slice.metrics);
+        for (auto& outcome : slice.outcomes) {
+          report.addresses.find(outcome.address)->second = std::move(outcome);
+        }
       }
       clock_.advance_by(rq_advance);
       report.degradation.requeued += requeue.size();

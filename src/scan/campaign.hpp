@@ -33,6 +33,8 @@
 
 namespace spfail::scan {
 
+class ShardRunner;
+
 // Where to find the simulated host behind an address. Implemented by
 // population::Fleet; kept abstract so the scanner has no population
 // dependency.
@@ -112,6 +114,62 @@ struct AddressOutcome {
   }
 };
 
+// One unit of wave work: an address plus the recipient domain for RCPT TO.
+// The view aliases storage owned by the caller (the campaign's interner, or
+// a dist worker's decoded request) and must outlive the slice call.
+struct WaveItem {
+  util::IpAddress address;
+  std::string_view recipient;
+};
+
+// Round-scoped parameters a slice executor needs. Everything here is decided
+// serially before the wave fans out, so a slice is a pure function of
+// (items, base, ctx) plus the host registry's state.
+struct WaveContext {
+  std::string suite;                  // this round's probe-label suite
+  std::uint64_t round = 0;            // fault-plan round salt
+  util::SimTime per_test_advance = 0; // concurrency-cap clock model
+  bool tracing = false;
+  bool metrics = false;
+};
+
+// Everything one wave slice produces. Merging slices in master (address)
+// order reproduces the serial run byte-for-byte: advances sum, query logs
+// splice in order, degradation counters merge, traces splice wave-major.
+struct WaveSliceResult {
+  std::vector<AddressOutcome> outcomes;  // in item order for the slice
+  dns::QueryLog log;
+  util::SimTime advance = 0;
+  faults::DegradationReport deg;
+  // Per-wave wire captures: frames for this slice's tests, each recorded
+  // under the test's master-order lane id (2i NoMsg / 2i+1 BlankMsg) with
+  // probe-relative timestamps, so the merged trace never depends on the
+  // slice layout.
+  net::WireTrace wave1;
+  net::WireTrace wave2;
+  // Slice-local metric lane, merged into CampaignConfig::metrics in order.
+  obs::Registry metrics;
+};
+
+// One re-queue candidate: its master-order position (label/lane slot base),
+// its wave item, and a copy of its current outcome. The slice mutates the
+// copy and hands it back; the campaign writes it over the report entry.
+struct RequeueItem {
+  std::size_t index = 0;
+  WaveItem item;
+  AddressOutcome outcome;
+};
+
+struct RequeueSliceResult {
+  std::vector<AddressOutcome> outcomes;  // mutated copies, in item order
+  dns::QueryLog log;
+  util::SimTime advance = 0;
+  faults::DegradationReport deg;
+  std::size_t recovered = 0;
+  net::WireTrace trace;
+  obs::Registry metrics;
+};
+
 struct DomainOutcome {
   std::string domain;
   std::vector<util::IpAddress> addresses;
@@ -137,6 +195,11 @@ struct CampaignConfig {
   // Optional externally owned pool (the longitudinal study shares one across
   // all its rounds); when null the campaign creates its own per run.
   util::ThreadPool* pool = nullptr;
+
+  // Optional slice executor (DESIGN.md §15): when set, the campaign hands
+  // each wave's slices to it instead of the thread pool — the distributed
+  // coordinator plugs in here. Not owned; null = run on threads.
+  ShardRunner* runner = nullptr;
 
   // --- fault injection & resilience (inert at the default rate 0) ---
   faults::FaultConfig faults;
@@ -205,6 +268,17 @@ class Campaign {
   // section 6.1 are restricted to previously vulnerable/inconclusive hosts).
   CampaignReport run_addresses(const std::vector<util::IpAddress>& addresses);
 
+  // Execute one contiguous wave slice: items[k] is master-order position
+  // base + k. This is the exact work a pool shard does; a ShardRunner calls
+  // it (possibly in another process) to satisfy run_wave. Reentrant across
+  // disjoint slices — all mutable state lives in the result or behind lanes.
+  WaveSliceResult run_wave_slice(std::span<const WaveItem> items,
+                                 std::size_t base, const WaveContext& ctx);
+
+  // Execute one re-queue slice over copies of the candidates' outcomes.
+  RequeueSliceResult run_requeue_slice(std::span<const RequeueItem> items,
+                                       const WaveContext& ctx);
+
  private:
   // Adapter over the shared ProbeEngine: builds the ProbeRequest for one
   // test of `outcome`'s address and folds the engine's retry bookkeeping
@@ -214,7 +288,7 @@ class Campaign {
   ProbeResult probe_settled(Prober& prober, mta::MailHost& host,
                             std::string_view recipient_domain,
                             const dns::Name& mail_from, TestKind kind,
-                            AddressOutcome& outcome,
+                            std::uint64_t round, AddressOutcome& outcome,
                             faults::DegradationReport& deg);
 
   CampaignConfig config_;
@@ -226,9 +300,10 @@ class Campaign {
   faults::RetryPolicy retry_;
   ProbeEngine engine_;
   // Measurement-round counter: run() bumps it, and it salts the fault-plan
-  // key so repeated rounds over the same fleet see fresh fault draws.
+  // key so repeated rounds over the same fleet see fresh fault draws. The
+  // running round's value travels in WaveContext, never in a member — slice
+  // execution must not depend on which process's Campaign instance runs it.
   std::uint64_t next_round_ = 0;
-  std::uint64_t current_round_ = 0;
 };
 
 }  // namespace spfail::scan

@@ -85,6 +85,19 @@ void ScanConfig::validate() const {
         "--halt-after-rounds requires --checkpoint (halting without writing "
         "a checkpoint would lose the run)");
   }
+  if (workers < 1) {
+    throw ScanConfigError("--workers must be >= 1, got " +
+                          std::to_string(workers));
+  }
+  if (worker_restart_budget < 0) {
+    throw ScanConfigError("--worker-restart-budget must be >= 0, got " +
+                          std::to_string(worker_restart_budget));
+  }
+  if (workers > 1 && checkpoint_path.empty()) {
+    throw ScanConfigError(
+        "--workers > 1 requires --checkpoint (crashed workers respawn from "
+        "per-worker checkpoints stored next to it)");
+  }
   if (metrics_wall && metrics_path.empty()) {
     throw ScanConfigError(
         "--metrics-wall requires --metrics (there is nowhere to write the "
@@ -99,7 +112,12 @@ ScanConfig ScanConfig::from_args(int argc, const char* const* argv) {
 }
 
 ScanConfig ScanConfig::from_env(const ScanConfig& defaults) {
-  ScanConfig config = defaults;
+  ScanConfig config = apply_env(defaults);
+  config.validate();
+  return config;
+}
+
+ScanConfig ScanConfig::apply_env(ScanConfig config) {
   if (const char* env = std::getenv("SPFAIL_SCALE")) {
     config.scale = parse_double("SPFAIL_SCALE", env);
   }
@@ -127,13 +145,19 @@ ScanConfig ScanConfig::from_env(const ScanConfig& defaults) {
   if (const char* env = std::getenv("SPFAIL_CHECKPOINT_STRINGS")) {
     config.checkpoint_strings = parse_bool("SPFAIL_CHECKPOINT_STRINGS", env);
   }
-  config.validate();
+  if (const char* env = std::getenv("SPFAIL_WORKERS")) {
+    config.workers = parse_int("SPFAIL_WORKERS", env);
+  }
+  if (const char* env = std::getenv("SPFAIL_WORKER_RESTART_BUDGET")) {
+    config.worker_restart_budget =
+        parse_int("SPFAIL_WORKER_RESTART_BUDGET", env);
+  }
   return config;
 }
 
 ScanConfig ScanConfig::from_args(int argc, const char* const* argv,
                                  const ScanConfig& defaults) {
-  ScanConfig config = from_env(defaults);
+  ScanConfig config = apply_env(defaults);
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -174,6 +198,10 @@ ScanConfig ScanConfig::from_args(int argc, const char* const* argv,
       config.resume_path = next();
     } else if (arg == "--halt-after-rounds") {
       config.halt_after_rounds = parse_int(arg, next());
+    } else if (arg == "--workers") {
+      config.workers = parse_int(arg, next());
+    } else if (arg == "--worker-restart-budget") {
+      config.worker_restart_budget = parse_int(arg, next());
     } else {
       throw ScanConfigError("unknown option " + std::string(arg));
     }

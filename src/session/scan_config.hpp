@@ -38,6 +38,14 @@ struct ScanConfig {
   int threads = 0;  // 0 = SPFAIL_THREADS / hardware; --threads
   bool initial_only = false;
 
+  // Distributed scanning (DESIGN.md §15). workers > 1 forks that many
+  // crash-isolated worker processes; a worker that dies is respawned from
+  // its checkpoint up to worker_restart_budget times, then abandoned (its
+  // remaining items are marked inconclusive). SPFAIL_WORKERS / --workers,
+  // SPFAIL_WORKER_RESTART_BUDGET / --worker-restart-budget.
+  int workers = 1;
+  int worker_restart_budget = 3;
+
   // Fault injection (SPFAIL_FAULT_SEED / SPFAIL_FAULT_RATE,
   // --fault-seed / --fault-rate).
   faults::FaultConfig faults;
@@ -90,6 +98,13 @@ struct ScanConfig {
   // Range checks shared by both builders (callers constructing a ScanConfig
   // by hand can run them too). Throws ScanConfigError.
   void validate() const;
+
+ private:
+  // Environment layer without the final validate() — from_args() defers
+  // validation until the command line has been applied, so a flag can
+  // legally complete a combination the environment alone would fail (e.g.
+  // SPFAIL_WORKERS=8 in the environment plus --checkpoint on the CLI).
+  static ScanConfig apply_env(ScanConfig config);
 };
 
 }  // namespace spfail::session

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dist/coordinator.hpp"
 #include "longitudinal/study.hpp"
 #include "net/wire_trace.hpp"
 #include "obs/metrics.hpp"
@@ -81,6 +82,16 @@ class ScanSession {
   // checkpoint instead of finishing.
   bool halted() const noexcept { return halted_; }
 
+  // True when the run stopped because a termination signal (SIGINT/SIGTERM)
+  // was caught: the session checkpointed at the next round boundary and
+  // exited cleanly instead of finishing. Implies halted().
+  bool interrupted() const noexcept { return interrupted_; }
+
+  // The distributed-scan coordinator (DESIGN.md §15); built lazily, nullptr
+  // when config().workers <= 1. After a run, its report() carries the
+  // restart/abandonment accounting.
+  dist::Coordinator* coordinator();
+
   // A short banner describing the session (scale, seed, population sizes).
   std::string banner();
 
@@ -89,6 +100,12 @@ class ScanSession {
   // Refuses a resume whose embedded intern table (when present) differs from
   // the rebuilt fleet's — a whole-population fingerprint check (§14).
   void check_snapshot_strings(const snapshot::StudySnapshot& snap);
+  // Refuses a resume whose worker-shard layout differs from --workers: host
+  // residues live in per-worker checkpoints keyed by the ownership
+  // partition, so changing the worker count mid-run would silently reshard.
+  void check_snapshot_workers(const snapshot::StudySnapshot& snap);
+  // Removes an orphaned checkpoint .tmp a killed writer left behind.
+  void discard_orphan_checkpoint();
   void write_checkpoint(const longitudinal::Study& study,
                         const longitudinal::Study::State& state);
   void record_metric_line(std::string_view phase, int round = -1);
@@ -98,10 +115,12 @@ class ScanSession {
   obs::Registry metrics_;
   std::vector<std::string> metric_lines_;
   std::unique_ptr<population::Fleet> fleet_;
+  std::unique_ptr<dist::Coordinator> coordinator_;
   std::optional<scan::CampaignReport> initial_;
   std::optional<longitudinal::StudyReport> study_report_;
   bool study_ran_ = false;
   bool halted_ = false;
+  bool interrupted_ = false;
 };
 
 }  // namespace spfail::session

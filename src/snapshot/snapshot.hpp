@@ -130,6 +130,14 @@ struct StudySnapshot {
   bool has_strings = false;
   util::Interner strings;
 
+  // Worker-process count of the writing run (DESIGN.md §15). 0 means "single
+  // process" (also every pre-dist snapshot); a --workers N run stamps N so
+  // resume can refuse a worker-shard layout mismatch — per-worker recovery
+  // checkpoints are keyed to the shard layout that wrote them. Encoded as a
+  // third optional marker section after metrics and strings, so snapshots
+  // from single-process runs keep their exact historical bytes.
+  std::uint32_t workers = 0;
+
   std::string encode() const;
   static StudySnapshot decode(std::string_view bytes);
 };
@@ -138,6 +146,12 @@ struct StudySnapshot {
 // so a crash mid-checkpoint leaves the previous snapshot intact. Throws
 // SnapshotError on I/O failure.
 void save_atomically(const std::string& path, std::string_view bytes);
+
+// Remove the `path` + ".tmp" a writer killed mid-checkpoint left behind (the
+// rename never happened, so the orphan is garbage and `path` itself — when
+// present — is the last complete snapshot). Returns true when an orphan was
+// actually removed.
+bool discard_partial(const std::string& path);
 
 // Whole-file read; throws SnapshotError when unreadable.
 std::string load_file(const std::string& path);

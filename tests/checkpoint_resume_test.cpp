@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "report/tables.hpp"
 #include "session/scan_session.hpp"
+#include "util/shutdown.hpp"
 
 namespace spfail {
 namespace {
@@ -203,6 +205,40 @@ TEST(CheckpointResume, ScanSessionHaltWritesResumableCheckpoint) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointResume, TerminationSignalCheckpointsAndResumesIdentically) {
+  // A caught SIGINT/SIGTERM behaves like a halt request: the session writes
+  // a final checkpoint at the next round boundary, reports interrupted(),
+  // and a resumed run finishes byte-identically to an uninterrupted one.
+  const std::string path = testing::TempDir() + "spfail_ckpt_signal.bin";
+
+  session::ScanConfig base;
+  base.scale = 0.004;
+  base.faults.rate = 0.02;
+
+  session::ScanConfig signalled = base;
+  signalled.checkpoint_path = path;
+  util::request_shutdown();
+  session::ScanSession first(signalled);
+  EXPECT_EQ(first.study(), nullptr);
+  EXPECT_TRUE(first.halted());
+  EXPECT_TRUE(first.interrupted());
+  util::clear_shutdown();
+
+  session::ScanConfig resuming = base;
+  resuming.resume_path = path;
+  session::ScanSession second(resuming);
+  const longitudinal::StudyReport* resumed = second.study();
+  ASSERT_NE(resumed, nullptr);
+  EXPECT_FALSE(second.interrupted());
+
+  session::ScanSession uninterrupted(base);
+  const longitudinal::StudyReport* full = uninterrupted.study();
+  ASSERT_NE(full, nullptr);
+  EXPECT_EQ(digest(second.fleet(), *resumed),
+            digest(uninterrupted.fleet(), *full));
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointResume, LazyFleetHaltResumeMatchesUninterruptedEagerRun) {
   // §14 end-to-end: a lazy-hosts study halted mid-run and resumed (with the
   // intern-table integrity section enabled) must deliver the same bytes as
@@ -234,6 +270,29 @@ TEST(CheckpointResume, LazyFleetHaltResumeMatchesUninterruptedEagerRun) {
   ASSERT_NE(full, nullptr);
   EXPECT_EQ(digest(second.fleet(), *resumed),
             digest(uninterrupted.fleet(), *full));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, FreshRunDiscardsOrphanedTempCheckpoint) {
+  // A writer killed mid-checkpoint leaves <path>.tmp behind; atomic rename
+  // means <path> itself is never corrupt. A fresh run must clean up the
+  // orphan so it cannot shadow or outlive the real snapshot.
+  const std::string path = testing::TempDir() + "spfail_ckpt_orphan.bin";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << "garbage left by a killed writer";
+  }
+
+  session::ScanConfig config;
+  config.scale = 0.004;
+  config.initial_only = true;
+  config.checkpoint_path = path;
+  session::ScanSession session(config);
+  session.initial();
+
+  EXPECT_FALSE(std::ifstream(tmp).good());
+  EXPECT_TRUE(std::ifstream(path).good());
   std::remove(path.c_str());
 }
 
@@ -304,6 +363,39 @@ TEST(ScanConfigArgs, ParsesTheFullFlagSet) {
   EXPECT_EQ(config.checkpoint_every, 4);
   EXPECT_EQ(config.halt_after_rounds, 8);
   EXPECT_EQ(config.resume_path, "/tmp/r.bin");
+}
+
+TEST(ScanConfigArgs, ParsesAndValidatesTheWorkerFlags) {
+  const session::ScanConfig config =
+      parse({"--workers", "4", "--worker-restart-budget", "2", "--checkpoint",
+             "/tmp/c.bin"});
+  EXPECT_EQ(config.workers, 4);
+  EXPECT_EQ(config.worker_restart_budget, 2);
+
+  // Cross-flag validation: distributed runs need a checkpoint stem for the
+  // per-worker checkpoints, and the numerics must be sane.
+  EXPECT_THROW(parse({"--workers", "4"}), session::ScanConfigError);
+  EXPECT_THROW(parse({"--workers", "0", "--checkpoint", "/tmp/c.bin"}),
+               session::ScanConfigError);
+  EXPECT_THROW(parse({"--workers", "x", "--checkpoint", "/tmp/c.bin"}),
+               session::ScanConfigError);
+  EXPECT_THROW(parse({"--worker-restart-budget", "-1"}),
+               session::ScanConfigError);
+
+  // CLI beats the environment for both knobs.
+  ::setenv("SPFAIL_WORKERS", "8", 1);
+  ::setenv("SPFAIL_WORKER_RESTART_BUDGET", "9", 1);
+  const session::ScanConfig from_env =
+      parse({"--checkpoint", "/tmp/c.bin"});
+  EXPECT_EQ(from_env.workers, 8);
+  EXPECT_EQ(from_env.worker_restart_budget, 9);
+  const session::ScanConfig overridden =
+      parse({"--workers", "2", "--worker-restart-budget", "1", "--checkpoint",
+             "/tmp/c.bin"});
+  EXPECT_EQ(overridden.workers, 2);
+  EXPECT_EQ(overridden.worker_restart_budget, 1);
+  ::unsetenv("SPFAIL_WORKERS");
+  ::unsetenv("SPFAIL_WORKER_RESTART_BUDGET");
 }
 
 TEST(ScanConfigArgs, CommandLineOverridesEnvironment) {

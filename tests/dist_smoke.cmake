@@ -1,0 +1,145 @@
+# End-to-end crash-tolerance smoke test for the distributed scan (DESIGN.md
+# §15), run as a ctest entry:
+#   A. baseline run, --workers 1                       -> a.out + outputs
+#   B. --workers 3 with one worker KILLED mid-study
+#      (SPFAIL_DIST_TEST_KILL executes a chunk, checkpoints, and dies before
+#      replying); the coordinator respawns it from the per-worker checkpoint
+#      and replays the stored reply                    -> b.out + outputs
+#   C. --workers 3 halted at a round boundary, then resumed --workers 3
+#                                                      -> c.out + outputs
+# All three runs' stdout, JSONL trace, metric snapshots, and Prometheus
+# exposition must be byte-identical: recovery is invisible in the outputs.
+#
+# Expects: -DSPFAIL_SCAN=<path to spfail_scan> -DWORK_DIR=<scratch dir>
+if(NOT SPFAIL_SCAN OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DSPFAIL_SCAN=... -DWORK_DIR=... -P dist_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(FLAGS --scale 0.01 --fault-rate 0.02 --trace trace.jsonl --metrics metrics.jsonl)
+
+# A: single-process baseline — --workers 1 runs the in-process pool engine,
+# the reference the distributed layer must reproduce byte-for-byte.
+execute_process(
+  COMMAND "${SPFAIL_SCAN}" ${FLAGS} --checkpoint snap_a.bin
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_FILE a.out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "baseline --workers 1 run failed (exit ${rc})")
+endif()
+file(RENAME "${WORK_DIR}/trace.jsonl" "${WORK_DIR}/trace_a.jsonl")
+file(RENAME "${WORK_DIR}/metrics.jsonl" "${WORK_DIR}/metrics_a.jsonl")
+file(RENAME "${WORK_DIR}/metrics.jsonl.prom" "${WORK_DIR}/metrics_a.prom")
+
+# B: three workers, worker 1 killed after executing + checkpointing its
+# chunk at seq >= 5 but before replying. The coordinator must respawn it and
+# obtain the checkpointed reply via replay (exactly-once execution).
+# A small chunk size both guarantees the knob fires (many sequence numbers
+# reach every worker) and checks that the chunk layout itself — different
+# from run C's default — never shows in the outputs.
+set(ENV{SPFAIL_DIST_CHUNK} "64")
+set(ENV{SPFAIL_DIST_TEST_KILL} "1:5:kill")
+execute_process(
+  COMMAND "${SPFAIL_SCAN}" ${FLAGS} --workers 3 --checkpoint snap_b.bin
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_FILE b.out
+  ERROR_FILE b.err
+  RESULT_VARIABLE rc)
+unset(ENV{SPFAIL_DIST_TEST_KILL})
+unset(ENV{SPFAIL_DIST_CHUNK})
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--workers 3 run with a killed worker failed (exit ${rc})")
+endif()
+file(READ "${WORK_DIR}/b.err" B_ERR)
+if(NOT B_ERR MATCHES "respawned")
+  message(FATAL_ERROR "the kill knob never fired: no respawn notice on stderr")
+endif()
+file(GLOB WORKER_CKPTS "${WORK_DIR}/snap_b.bin.w*")
+if(WORKER_CKPTS)
+  message(FATAL_ERROR "worker checkpoints were not cleaned up: ${WORKER_CKPTS}")
+endif()
+file(RENAME "${WORK_DIR}/trace.jsonl" "${WORK_DIR}/trace_b.jsonl")
+file(RENAME "${WORK_DIR}/metrics.jsonl" "${WORK_DIR}/metrics_b.jsonl")
+file(RENAME "${WORK_DIR}/metrics.jsonl.prom" "${WORK_DIR}/metrics_b.prom")
+
+# D: worker 0 killed MID-CHECKPOINT-WRITE (garbage .w0.tmp, no reply): the
+# respawn must discard the partial file and resume from the last complete
+# worker snapshot — re-executing the un-checkpointed chunk, not replaying.
+set(ENV{SPFAIL_DIST_CHUNK} "64")
+set(ENV{SPFAIL_DIST_TEST_KILL} "0:7:tmpcrash")
+execute_process(
+  COMMAND "${SPFAIL_SCAN}" ${FLAGS} --workers 3 --checkpoint snap_d.bin
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_FILE d.out
+  ERROR_FILE d.err
+  RESULT_VARIABLE rc)
+unset(ENV{SPFAIL_DIST_TEST_KILL})
+unset(ENV{SPFAIL_DIST_CHUNK})
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--workers 3 run with a mid-checkpoint crash failed (exit ${rc})")
+endif()
+file(READ "${WORK_DIR}/d.err" D_ERR)
+if(NOT D_ERR MATCHES "respawned")
+  message(FATAL_ERROR "the tmpcrash knob never fired: no respawn notice on stderr")
+endif()
+file(RENAME "${WORK_DIR}/trace.jsonl" "${WORK_DIR}/trace_d.jsonl")
+file(RENAME "${WORK_DIR}/metrics.jsonl" "${WORK_DIR}/metrics_d.jsonl")
+file(RENAME "${WORK_DIR}/metrics.jsonl.prom" "${WORK_DIR}/metrics_d.prom")
+
+# C: three workers halted mid-study, then resumed with three workers.
+execute_process(
+  COMMAND "${SPFAIL_SCAN}" ${FLAGS} --workers 3 --checkpoint snap_c.bin --halt-after-rounds 11
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_FILE c_halted.out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "halting --workers 3 run failed (exit ${rc})")
+endif()
+if(NOT EXISTS "${WORK_DIR}/snap_c.bin")
+  message(FATAL_ERROR "halting --workers 3 run wrote no checkpoint")
+endif()
+
+# Resuming with a different worker count must be rejected loudly.
+execute_process(
+  COMMAND "${SPFAIL_SCAN}" ${FLAGS} --workers 2 --checkpoint snap_c.bin --resume snap_c.bin
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "resume with a mismatched --workers count was not rejected")
+endif()
+
+execute_process(
+  COMMAND "${SPFAIL_SCAN}" ${FLAGS} --workers 3 --checkpoint snap_c.bin --resume snap_c.bin
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_FILE c.out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed --workers 3 run failed (exit ${rc})")
+endif()
+file(RENAME "${WORK_DIR}/trace.jsonl" "${WORK_DIR}/trace_c.jsonl")
+file(RENAME "${WORK_DIR}/metrics.jsonl" "${WORK_DIR}/metrics_c.jsonl")
+file(RENAME "${WORK_DIR}/metrics.jsonl.prom" "${WORK_DIR}/metrics_c.prom")
+
+foreach(pair
+    "a.out;b.out" "trace_a.jsonl;trace_b.jsonl"
+    "metrics_a.jsonl;metrics_b.jsonl" "metrics_a.prom;metrics_b.prom"
+    "a.out;c.out" "trace_a.jsonl;trace_c.jsonl"
+    "metrics_a.jsonl;metrics_c.jsonl" "metrics_a.prom;metrics_c.prom"
+    "a.out;d.out" "trace_a.jsonl;trace_d.jsonl"
+    "metrics_a.jsonl;metrics_d.jsonl" "metrics_a.prom;metrics_d.prom")
+  list(GET pair 0 lhs)
+  list(GET pair 1 rhs)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files "${WORK_DIR}/${lhs}" "${WORK_DIR}/${rhs}"
+    RESULT_VARIABLE differs)
+  if(differs)
+    message(FATAL_ERROR "${lhs} and ${rhs} differ: the distributed run is not byte-identical")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+message(STATUS "dist smoke test passed (kill-any-worker recovery is byte-identical)")

@@ -1,0 +1,420 @@
+// Distributed-scan building blocks (DESIGN.md §15): the coordinator/worker
+// wire protocol must round-trip every message type and loudly reject
+// truncated, corrupt, or alien frames (a bad frame is a worker crash, never
+// data); the address-range partition must be deterministic and match the
+// ThreadPool split; the degradation report must aggregate faithfully.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "dist/protocol.hpp"
+
+namespace spfail::dist {
+namespace {
+
+util::IpAddress ip(std::uint8_t last) { return util::IpAddress::v4(10, 0, 0, last); }
+
+// --- protocol round-trips --------------------------------------------------
+
+TEST(DistProtocol, HelloRoundTrip) {
+  HelloMsg msg;
+  msg.worker = 3;
+  msg.generation = 7;
+  msg.pid = 12345;
+  const std::string frame = encode_hello(msg);
+  MessageView view(frame);
+  ASSERT_EQ(view.type(), MsgType::Hello);
+  const HelloMsg back = decode_hello(view);
+  EXPECT_EQ(back.worker, 3u);
+  EXPECT_EQ(back.generation, 7u);
+  EXPECT_EQ(back.pid, 12345);
+}
+
+TEST(DistProtocol, WaveRequestRoundTrip) {
+  WaveReq req;
+  req.seq = 42;
+  req.clock_now = 99'000;
+  req.ctx.suite = "r3";
+  req.ctx.round = 3;
+  req.ctx.per_test_advance = 17;
+  req.ctx.tracing = true;
+  req.ctx.metrics = false;
+  req.base = 1000;
+  req.recipients = {"alpha.example", "beta.example"};
+  req.items.push_back({ip(1), req.recipients[0]});
+  req.items.push_back({ip(2), req.recipients[1]});
+
+  const std::string frame = encode_wave_req(req);
+  MessageView view(frame);
+  ASSERT_EQ(view.type(), MsgType::WaveReq);
+  const WaveReq back = decode_wave_req(view);
+  EXPECT_EQ(back.seq, 42u);
+  EXPECT_EQ(back.clock_now, 99'000);
+  EXPECT_EQ(back.ctx.suite, "r3");
+  EXPECT_EQ(back.ctx.round, 3u);
+  EXPECT_EQ(back.ctx.per_test_advance, 17);
+  EXPECT_TRUE(back.ctx.tracing);
+  EXPECT_FALSE(back.ctx.metrics);
+  EXPECT_EQ(back.base, 1000u);
+  ASSERT_EQ(back.items.size(), 2u);
+  EXPECT_EQ(back.items[0].address, ip(1));
+  EXPECT_EQ(back.items[0].recipient, "alpha.example");
+  EXPECT_EQ(back.items[1].address, ip(2));
+  EXPECT_EQ(back.items[1].recipient, "beta.example");
+  // The decoded views must alias the decoded struct's own storage, not the
+  // (now reusable) frame.
+  EXPECT_EQ(back.items[0].recipient.data(), back.recipients[0].data());
+}
+
+TEST(DistProtocol, WaveReplyRoundTrip) {
+  WaveRep rep;
+  rep.seq = 42;
+  rep.slice.advance = 1234;
+  scan::AddressOutcome outcome;
+  outcome.address = ip(9);
+  outcome.verdict = scan::AddressVerdict::Measured;
+  outcome.probe_attempts = 4;
+  outcome.retries_used = 1;
+  outcome.saw_transient = true;
+  rep.slice.outcomes.push_back(outcome);
+  net::Frame f;
+  f.time = 55;
+  f.lane = 18;
+  f.src = "prober";
+  f.dst = "10.0.0.9:25";
+  f.verb = "EHLO";
+  f.text = "EHLO probe.example";
+  rep.slice.wave1.record(f);
+
+  const std::string frame = encode_wave_rep(rep);
+  MessageView view(frame);
+  ASSERT_EQ(view.type(), MsgType::WaveRep);
+  const WaveRep back = decode_wave_rep(view);
+  EXPECT_EQ(back.seq, 42u);
+  EXPECT_EQ(back.slice.advance, 1234);
+  ASSERT_EQ(back.slice.outcomes.size(), 1u);
+  EXPECT_EQ(back.slice.outcomes[0].address, ip(9));
+  EXPECT_EQ(back.slice.outcomes[0].verdict, scan::AddressVerdict::Measured);
+  EXPECT_EQ(back.slice.outcomes[0].probe_attempts, 4);
+  EXPECT_EQ(back.slice.outcomes[0].retries_used, 1);
+  EXPECT_TRUE(back.slice.outcomes[0].saw_transient);
+  ASSERT_EQ(back.slice.wave1.size(), 1u);
+  EXPECT_EQ(back.slice.wave1.frames()[0].time, 55);
+  EXPECT_EQ(back.slice.wave1.frames()[0].lane, 18u);
+  EXPECT_EQ(back.slice.wave1.frames()[0].text, "EHLO probe.example");
+  EXPECT_EQ(back.slice.wave2.size(), 0u);
+}
+
+TEST(DistProtocol, RequeueRoundTrip) {
+  RequeueReq req;
+  req.seq = 7;
+  req.clock_now = 500;
+  req.ctx.suite = "rq";
+  req.recipients = {"gamma.example"};
+  scan::RequeueItem item;
+  item.index = 31;
+  item.item = {ip(4), req.recipients[0]};
+  item.outcome.address = ip(4);
+  item.outcome.probe_attempts = 2;
+  req.items.push_back(item);
+
+  const std::string frame = encode_requeue_req(req);
+  MessageView view(frame);
+  ASSERT_EQ(view.type(), MsgType::RequeueReq);
+  const RequeueReq back = decode_requeue_req(view);
+  EXPECT_EQ(back.seq, 7u);
+  ASSERT_EQ(back.items.size(), 1u);
+  EXPECT_EQ(back.items[0].index, 31u);
+  EXPECT_EQ(back.items[0].item.address, ip(4));
+  EXPECT_EQ(back.items[0].item.recipient, "gamma.example");
+  EXPECT_EQ(back.items[0].outcome.probe_attempts, 2);
+
+  RequeueRep rep;
+  rep.seq = 7;
+  rep.slice.recovered = 5;
+  rep.slice.advance = 60;
+  const std::string rframe = encode_requeue_rep(rep);
+  MessageView rview(rframe);
+  ASSERT_EQ(rview.type(), MsgType::RequeueRep);
+  const RequeueRep rback = decode_requeue_rep(rview);
+  EXPECT_EQ(rback.seq, 7u);
+  EXPECT_EQ(rback.slice.recovered, 5u);
+  EXPECT_EQ(rback.slice.advance, 60);
+}
+
+TEST(DistProtocol, ObserveRoundTripCarriesHostFlags) {
+  ObserveReq req;
+  req.seq = 11;
+  req.clock_now = 2000;
+  req.ctx.suite = "obs-12";
+  req.ctx.fault_round = 12;
+  req.ctx.metrics = true;
+  ObserveWireJob job;
+  job.job.address = ip(6);
+  job.job.kind = scan::TestKind::BlankMsg;
+  job.job.slot = 77;
+  job.patched = true;
+  job.blacklisted = false;
+  req.jobs.push_back(job);
+
+  const std::string frame = encode_observe_req(req);
+  MessageView view(frame);
+  ASSERT_EQ(view.type(), MsgType::ObserveReq);
+  const ObserveReq back = decode_observe_req(view);
+  EXPECT_EQ(back.seq, 11u);
+  EXPECT_EQ(back.ctx.fault_round, 12u);
+  EXPECT_TRUE(back.ctx.metrics);
+  ASSERT_EQ(back.jobs.size(), 1u);
+  EXPECT_EQ(back.jobs[0].job.address, ip(6));
+  EXPECT_EQ(back.jobs[0].job.kind, scan::TestKind::BlankMsg);
+  EXPECT_EQ(back.jobs[0].job.slot, 77u);
+  EXPECT_TRUE(back.jobs[0].patched);
+  EXPECT_FALSE(back.jobs[0].blacklisted);
+
+  ObserveRep rep;
+  rep.seq = 11;
+  rep.slice.results = {longitudinal::Observation::Vulnerable,
+                       longitudinal::Observation::Inconclusive};
+  rep.slice.advance = 90;
+  const std::string rframe = encode_observe_rep(rep);
+  MessageView rview(rframe);
+  const ObserveRep rback = decode_observe_rep(rview);
+  EXPECT_EQ(rback.seq, 11u);
+  ASSERT_EQ(rback.slice.results.size(), 2u);
+  EXPECT_EQ(rback.slice.results[0], longitudinal::Observation::Vulnerable);
+  EXPECT_EQ(rback.slice.results[1], longitudinal::Observation::Inconclusive);
+  EXPECT_EQ(rback.slice.advance, 90);
+}
+
+TEST(DistProtocol, CaptureRoundTripWithAbsentHosts) {
+  CaptureReq req;
+  req.seq = 21;
+  req.addresses = {ip(1), ip(2), ip(3)};
+  const std::string frame = encode_capture_req(req);
+  MessageView view(frame);
+  const CaptureReq back = decode_capture_req(view);
+  EXPECT_EQ(back.seq, 21u);
+  ASSERT_EQ(back.addresses.size(), 3u);
+  EXPECT_EQ(back.addresses[2], ip(3));
+
+  CaptureRep rep;
+  rep.seq = 21;
+  snapshot::StudySnapshot::HostState host;
+  host.address = ip(1);
+  host.greylist_seen.emplace_back("probe.example", 42);
+  host.flaky_rng = {1, 2, 3, 4};
+  rep.hosts.push_back(host);
+  rep.hosts.push_back(std::nullopt);  // lazy fleet: host never materialised
+  const std::string rframe = encode_capture_rep(rep);
+  MessageView rview(rframe);
+  const CaptureRep rback = decode_capture_rep(rview);
+  EXPECT_EQ(rback.seq, 21u);
+  ASSERT_EQ(rback.hosts.size(), 2u);
+  ASSERT_TRUE(rback.hosts[0].has_value());
+  EXPECT_EQ(rback.hosts[0]->address, ip(1));
+  ASSERT_EQ(rback.hosts[0]->greylist_seen.size(), 1u);
+  EXPECT_EQ(rback.hosts[0]->greylist_seen[0].first, "probe.example");
+  EXPECT_EQ(rback.hosts[0]->greylist_seen[0].second, 42);
+  EXPECT_EQ(rback.hosts[0]->flaky_rng, (std::array<std::uint64_t, 4>{1, 2, 3, 4}));
+  EXPECT_FALSE(rback.hosts[1].has_value());
+}
+
+TEST(DistProtocol, ShutdownFrameDecodes) {
+  const std::string frame = encode_shutdown();
+  MessageView view(frame);
+  EXPECT_EQ(view.type(), MsgType::Shutdown);
+}
+
+// --- frame verification ----------------------------------------------------
+
+TEST(DistProtocol, RejectsTruncatedFrames) {
+  const std::string frame = encode_hello({1, 0, 99});
+  // Any prefix of a valid frame — including one shorter than the minimum
+  // type byte + checksum — must be rejected, never misparsed.
+  for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+    const std::string cut = frame.substr(0, keep);
+    EXPECT_THROW(MessageView{cut}, ProtocolError) << "kept " << keep;
+  }
+}
+
+TEST(DistProtocol, RejectsCorruptedBytes) {
+  const std::string frame = encode_hello({1, 0, 99});
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::string bad = frame;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    EXPECT_THROW(MessageView{bad}, ProtocolError) << "flipped byte " << i;
+  }
+}
+
+TEST(DistProtocol, RejectsUnknownTypeByte) {
+  // A frame with a valid checksum but an alien type byte.
+  MessageBuilder builder(static_cast<MsgType>(99));
+  const std::string frame = builder.finish();
+  EXPECT_THROW(MessageView{frame}, ProtocolError);
+}
+
+// --- pipe transport --------------------------------------------------------
+
+struct PipePair {
+  int fds[2];
+  PipePair() { EXPECT_EQ(::pipe(fds), 0); }
+  ~PipePair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  void close_write() {
+    ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+TEST(DistProtocol, ChannelRoundTripAndCleanEof) {
+  PipePair pipe;
+  Channel channel(pipe.fds[0], pipe.fds[1]);
+  channel.send(encode_hello({5, 2, 77}));
+  channel.send(encode_shutdown());
+
+  std::string frame;
+  ASSERT_TRUE(channel.receive(frame));
+  MessageView hello(frame);
+  EXPECT_EQ(hello.type(), MsgType::Hello);
+  EXPECT_EQ(decode_hello(hello).worker, 5u);
+  ASSERT_TRUE(channel.receive(frame));
+  EXPECT_EQ(MessageView(frame).type(), MsgType::Shutdown);
+
+  // EOF at a frame boundary is a clean end-of-stream, not an error.
+  pipe.close_write();
+  EXPECT_FALSE(channel.receive(frame));
+}
+
+TEST(DistProtocol, ChannelRejectsMidFrameEof) {
+  {
+    // Writer dies after half the length prefix.
+    PipePair pipe;
+    Channel channel(pipe.fds[0], pipe.fds[1]);
+    const char half[2] = {4, 0};
+    ASSERT_EQ(::write(pipe.fds[1], half, 2), 2);
+    pipe.close_write();
+    std::string frame;
+    EXPECT_THROW(channel.receive(frame), ProtocolError);
+  }
+  {
+    // Prefix promises more bytes than ever arrive.
+    PipePair pipe;
+    Channel channel(pipe.fds[0], pipe.fds[1]);
+    const unsigned char prefix[4] = {100, 0, 0, 0};
+    ASSERT_EQ(::write(pipe.fds[1], prefix, 4), 4);
+    ASSERT_EQ(::write(pipe.fds[1], "abc", 3), 3);
+    pipe.close_write();
+    std::string frame;
+    EXPECT_THROW(channel.receive(frame), ProtocolError);
+  }
+}
+
+TEST(DistProtocol, ChannelRejectsInsaneLengthPrefix) {
+  PipePair pipe;
+  Channel channel(pipe.fds[0], pipe.fds[1]);
+  const unsigned char huge[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::write(pipe.fds[1], huge, 4), 4);
+  std::string frame;
+  EXPECT_THROW(channel.receive(frame), ProtocolError);
+
+  PipePair zero;
+  Channel zchannel(zero.fds[0], zero.fds[1]);
+  const unsigned char none[4] = {0, 0, 0, 0};
+  ASSERT_EQ(::write(zero.fds[1], none, 4), 4);
+  EXPECT_THROW(zchannel.receive(frame), ProtocolError);
+}
+
+// --- ownership partition ---------------------------------------------------
+
+std::vector<util::IpAddress> addresses(std::size_t n) {
+  std::vector<util::IpAddress> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(util::IpAddress::v4(10, 0, static_cast<std::uint8_t>(i / 256),
+                                      static_cast<std::uint8_t>(i % 256)));
+  }
+  return out;
+}
+
+TEST(DistPartition, CutsMatchTheThreadPoolSplit) {
+  // 10 addresses over 3 workers: base 3, one extra → shard sizes 4, 3, 3,
+  // so the boundary addresses are [4] and [7].
+  const auto addrs = addresses(10);
+  const auto cuts = partition_cuts(addrs, 3);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_EQ(cuts[0], addrs[4]);
+  EXPECT_EQ(cuts[1], addrs[7]);
+
+  const std::size_t expected_owner[10] = {0, 0, 0, 0, 1, 1, 1, 2, 2, 2};
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    EXPECT_EQ(owner_of(cuts, addrs[i]), expected_owner[i]) << "address " << i;
+  }
+}
+
+TEST(DistPartition, IsDeterministicAndContiguous) {
+  const auto addrs = addresses(1000);
+  const auto cuts = partition_cuts(addrs, 7);
+  EXPECT_EQ(cuts, partition_cuts(addrs, 7));
+  ASSERT_EQ(cuts.size(), 6u);
+
+  // Owners are non-decreasing over the sorted list and every worker gets a
+  // near-equal contiguous range (1000 = 7*142 + 6 → six shards of 143).
+  std::vector<std::size_t> sizes(7, 0);
+  std::size_t prev = 0;
+  for (const auto& addr : addrs) {
+    const std::size_t owner = owner_of(cuts, addr);
+    ASSERT_GE(owner, prev);
+    ASSERT_LT(owner, 7u);
+    prev = owner;
+    ++sizes[owner];
+  }
+  for (std::size_t w = 0; w < 7; ++w) {
+    EXPECT_EQ(sizes[w], w < 6 ? 143u : 142u) << "worker " << w;
+  }
+}
+
+TEST(DistPartition, FewerAddressesThanWorkersShrinksTheShardCount) {
+  const auto addrs = addresses(2);
+  const auto cuts = partition_cuts(addrs, 5);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(owner_of(cuts, addrs[0]), 0u);
+  EXPECT_EQ(owner_of(cuts, addrs[1]), 1u);
+
+  EXPECT_TRUE(partition_cuts({}, 4).empty());
+  EXPECT_TRUE(partition_cuts(addresses(9), 1).empty());
+}
+
+// --- degradation accounting ------------------------------------------------
+
+TEST(DistBudget, ReportAggregatesAndRenders) {
+  DistReport report;
+  report.workers.resize(3);
+  report.workers[0].restarts = 2;
+  report.workers[1].restarts = 4;
+  report.workers[1].abandoned = true;
+  report.workers[1].items_lost = 950;
+  report.workers[2].restarts = 0;
+
+  EXPECT_EQ(report.total_restarts(), 6u);
+  EXPECT_EQ(report.abandoned_count(), 1u);
+  EXPECT_EQ(report.items_lost(), 950u);
+
+  const std::string table = report.summary();
+  EXPECT_NE(table.find("950"), std::string::npos);
+  EXPECT_NE(table.find("abandoned"), std::string::npos);
+  EXPECT_NE(table.find("inconclusive"), std::string::npos);
+
+  DistReport clean;
+  clean.workers.resize(2);
+  EXPECT_EQ(clean.total_restarts(), 0u);
+  EXPECT_EQ(clean.abandoned_count(), 0u);
+  EXPECT_EQ(clean.items_lost(), 0u);
+}
+
+}  // namespace
+}  // namespace spfail::dist
