@@ -3,6 +3,8 @@
 // simulated Internet.
 //
 //   usage: spfail_scan [--scale S] [--seed N] [--threads N] [--initial-only]
+//                      [--sched auto|static|steal]
+//                      [--steal-mode auto|none|random|adversarial]
 //                      [--fault-rate R] [--fault-seed N] [--csv DIR]
 //                      [--trace FILE] [--metrics FILE] [--metrics-wall]
 //                      [--checkpoint FILE] [--checkpoint-every N]
@@ -15,6 +17,16 @@
 //                    cores); results are bit-identical at any count
 //   --initial-only   run only the 2021-10-11 measurement, skip the
 //                    longitudinal study
+//   --sched P        slice scheduler (DESIGN.md §16): `steal` (default)
+//                    splits each phase into fine batches on per-worker
+//                    work-stealing deques; `static` forces the legacy
+//                    one-shard-per-thread split (default: SPFAIL_SCHED);
+//                    outputs are byte-identical either way
+//   --steal-mode M   stealing discipline under --sched steal: `random`
+//                    (default), `none` (batches stay home), `adversarial`
+//                    (every worker raids all victims before its own work —
+//                    a determinism stress mode for tests; default:
+//                    SPFAIL_STEAL)
 //   --fault-rate R   inject transient faults (SMTP tempfails, connection
 //                    drops, latency spikes) into R of all probe attempts,
 //                    0 <= R <= 1 (default: SPFAIL_FAULT_RATE, else 0); a

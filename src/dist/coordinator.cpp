@@ -445,6 +445,7 @@ std::vector<scan::WaveSliceResult> Coordinator::run_wave(
           throw ProtocolError("replied to seq " + std::to_string(rep.seq) +
                               " instead of " + std::to_string(c.seq));
         }
+        forwarded_queries_ += rep.query_count;
         slices[ci] = std::move(rep.slice);
       },
       [&](std::size_t ci, Chunk& c) {
@@ -489,6 +490,7 @@ std::vector<scan::RequeueSliceResult> Coordinator::run_requeue(
           throw ProtocolError("replied to seq " + std::to_string(rep.seq) +
                               " instead of " + std::to_string(c.seq));
         }
+        forwarded_queries_ += rep.query_count;
         slices[ci] = std::move(rep.slice);
       },
       [&](std::size_t ci, Chunk& c) {
@@ -543,6 +545,7 @@ std::vector<longitudinal::Study::ObserveSliceResult> Coordinator::run_observe(
           throw ProtocolError("replied to seq " + std::to_string(rep.seq) +
                               " instead of " + std::to_string(c.seq));
         }
+        forwarded_queries_ += rep.query_count;
         slices[ci] = std::move(rep.slice);
       },
       [&](std::size_t ci, Chunk& c) {
@@ -592,6 +595,16 @@ Coordinator::capture_hosts(const std::vector<util::IpAddress>& addresses) {
 }
 
 void Coordinator::shutdown() {
+  if (forwarded_queries_ > 0 && !queries_reported_) {
+    // Informational only (stderr): per-entry DNS logs stay worker-local, so
+    // the aggregate count is the visible trace of what was not forwarded.
+    // Printed once; shutdown() is idempotent and also runs in the dtor.
+    std::fprintf(stderr,
+                 "spfail dist: %llu DNS query-log entries stayed "
+                 "worker-local (aggregate count only; DESIGN.md section 15)\n",
+                 static_cast<unsigned long long>(forwarded_queries_));
+    queries_reported_ = true;
+  }
   for (std::size_t w = 0; w < slots_.size(); ++w) {
     WorkerSlot& slot = slots_[w];
     if (slot.pid >= 0) {

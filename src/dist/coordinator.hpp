@@ -103,6 +103,13 @@ class Coordinator final : public longitudinal::DistHooks {
 
   DistReport report() const;
 
+  // Total DNS query-log entries produced inside workers and not forwarded
+  // (per-entry logs stay worker-local; see protocol.hpp WaveRep::query_count
+  // and DESIGN.md §15). Reported once to stderr at shutdown.
+  std::uint64_t forwarded_query_count() const noexcept {
+    return forwarded_queries_;
+  }
+
   // --- worker-side access (used by worker_main inside the forked child) ---
   population::Fleet& fleet() noexcept { return fleet_; }
   scan::Campaign* campaign() noexcept { return campaign_; }
@@ -168,6 +175,8 @@ class Coordinator final : public longitudinal::DistHooks {
   std::vector<util::IpAddress> cuts_;  // W-1 ownership boundaries
   std::vector<WorkerSlot> slots_;
   std::uint64_t seq_ = 1;
+  std::uint64_t forwarded_queries_ = 0;  // aggregate of reply query_count
+  bool queries_reported_ = false;        // shutdown note printed already
 };
 
 // Entry point of a forked worker process; never returns (always _exit).

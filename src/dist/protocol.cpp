@@ -280,6 +280,7 @@ std::string encode_wave_rep(const WaveRep& rep) {
   }
   w.i64(rep.slice.advance);
   snapshot::put_degradation(w, rep.slice.deg);
+  w.u64(rep.query_count);
   put_trace(w, rep.slice.wave1);
   put_trace(w, rep.slice.wave2);
   put_metrics(w, rep.slice.metrics, !rep.slice.metrics.empty());
@@ -297,6 +298,7 @@ WaveRep decode_wave_rep(MessageView& view) {
   }
   rep.slice.advance = r.i64();
   rep.slice.deg = snapshot::get_degradation(r);
+  rep.query_count = r.u64();
   rep.slice.wave1 = get_trace(r);
   rep.slice.wave2 = get_trace(r);
   rep.slice.metrics = get_metrics(r);
@@ -352,6 +354,7 @@ std::string encode_requeue_rep(const RequeueRep& rep) {
   }
   w.i64(rep.slice.advance);
   snapshot::put_degradation(w, rep.slice.deg);
+  w.u64(rep.query_count);
   w.u64(rep.slice.recovered);
   put_trace(w, rep.slice.trace);
   put_metrics(w, rep.slice.metrics, !rep.slice.metrics.empty());
@@ -369,6 +372,7 @@ RequeueRep decode_requeue_rep(MessageView& view) {
   }
   rep.slice.advance = r.i64();
   rep.slice.deg = snapshot::get_degradation(r);
+  rep.query_count = r.u64();
   rep.slice.recovered = r.u64();
   rep.slice.trace = get_trace(r);
   rep.slice.metrics = get_metrics(r);
@@ -424,6 +428,7 @@ std::string encode_observe_rep(const ObserveRep& rep) {
   }
   w.i64(rep.slice.advance);
   snapshot::put_degradation(w, rep.slice.deg);
+  w.u64(rep.query_count);
   put_trace(w, rep.slice.trace);
   put_metrics(w, rep.slice.metrics, !rep.slice.metrics.empty());
   return b.finish();
@@ -440,6 +445,7 @@ ObserveRep decode_observe_rep(MessageView& view) {
   }
   rep.slice.advance = r.i64();
   rep.slice.deg = snapshot::get_degradation(r);
+  rep.query_count = r.u64();
   rep.slice.trace = get_trace(r);
   rep.slice.metrics = get_metrics(r);
   r.expect_done();

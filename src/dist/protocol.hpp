@@ -124,6 +124,11 @@ struct WaveReq {
 struct WaveRep {
   std::uint64_t seq = 0;
   scan::WaveSliceResult slice;  // slice.log stays empty over the wire
+  // How many DNS query-log entries the worker's slice produced and did NOT
+  // forward (DESIGN.md §15: per-entry logs stay worker-local; no output
+  // depends on coordinator-side log contents in dist mode). The coordinator
+  // aggregates these so dropped observability is visible, not silent.
+  std::uint64_t query_count = 0;
 };
 
 struct RequeueReq {
@@ -137,6 +142,7 @@ struct RequeueReq {
 struct RequeueRep {
   std::uint64_t seq = 0;
   scan::RequeueSliceResult slice;
+  std::uint64_t query_count = 0;  // see WaveRep::query_count
 };
 
 // An observation job plus the host flags the coordinator's (flag-current)
@@ -159,6 +165,7 @@ struct ObserveReq {
 struct ObserveRep {
   std::uint64_t seq = 0;
   longitudinal::Study::ObserveSliceResult slice;
+  std::uint64_t query_count = 0;  // see WaveRep::query_count
 };
 
 struct CaptureReq {

@@ -26,6 +26,7 @@
 #include "mta/host.hpp"
 #include "snapshot/fields.hpp"
 #include "snapshot/snapshot.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spfail::dist {
 
@@ -177,6 +178,12 @@ void worker_main(Coordinator& coordinator, std::size_t index,
                                           ".w" + std::to_string(index);
   const KillKnob knob = parse_kill_knob();
 
+  // Worker-local scheduler pool, created strictly after the fork (the
+  // coordinator process keeps no pool alive across fork, DESIGN.md §16).
+  // Slices execute through the same batch scheduler as the in-process path,
+  // so dist and local runs share one execution story.
+  util::ThreadPool pool(1);
+
   WorkerState state;
   if (!ckpt_path.empty()) {
     // A predecessor killed mid-checkpoint leaves a garbage .tmp behind; the
@@ -240,8 +247,10 @@ void worker_main(Coordinator& coordinator, std::size_t index,
           if (campaign == nullptr) die(index, "wave request with no campaign");
           WaveRep rep;
           rep.seq = req.seq;
-          rep.slice = campaign->run_wave_slice(
-              std::span<const scan::WaveItem>(req.items), req.base, req.ctx);
+          rep.slice = campaign->run_wave_slice_scheduled(
+              std::span<const scan::WaveItem>(req.items), req.base, req.ctx,
+              pool);
+          rep.query_count = rep.slice.log.size();
           for (const auto& item : req.items) state.touched.insert(item.address);
           reply = encode_wave_rep(rep);
           break;
@@ -255,8 +264,9 @@ void worker_main(Coordinator& coordinator, std::size_t index,
           }
           RequeueRep rep;
           rep.seq = req.seq;
-          rep.slice = campaign->run_requeue_slice(
-              std::span<const scan::RequeueItem>(req.items), req.ctx);
+          rep.slice = campaign->run_requeue_slice_scheduled(
+              std::span<const scan::RequeueItem>(req.items), req.ctx, pool);
+          rep.query_count = rep.slice.log.size();
           for (const auto& item : req.items) {
             state.touched.insert(item.item.address);
           }
@@ -282,8 +292,10 @@ void worker_main(Coordinator& coordinator, std::size_t index,
           }
           ObserveRep rep;
           rep.seq = req.seq;
-          rep.slice = study->run_observe_slice(
-              std::span<const longitudinal::Study::ObserveJob>(jobs), req.ctx);
+          rep.slice = study->run_observe_slice_scheduled(
+              std::span<const longitudinal::Study::ObserveJob>(jobs), req.ctx,
+              pool);
+          rep.query_count = rep.slice.log.size();
           for (const auto& job : jobs) state.touched.insert(job.address);
           reply = encode_observe_rep(rep);
           break;

@@ -144,6 +144,35 @@ Study::ObserveSliceResult Study::run_observe_slice(
   return out;
 }
 
+Study::ObserveSliceResult Study::run_observe_slice_scheduled(
+    std::span<const ObserveJob> jobs, const ObserveContext& ctx,
+    util::ThreadPool& pool) {
+  const std::size_t slices = pool.slice_count(jobs.size(), config_.sched);
+  if (slices <= 1) return run_observe_slice(jobs, ctx);
+  std::vector<ObserveSliceResult> parts(slices);
+  pool.parallel_for_slices(
+      jobs.size(), config_.sched,
+      [&](std::size_t slice, std::size_t begin, std::size_t end) {
+        parts[slice] = run_observe_slice(jobs.subspan(begin, end - begin),
+                                         ctx);
+      });
+  // Fold in batch (job) order into one result indistinguishable from a
+  // serial run_observe_slice over the whole span; the shared clock stays
+  // untouched — the caller merges the summed advance.
+  ObserveSliceResult out;
+  out.results.reserve(jobs.size());
+  for (auto& part : parts) {
+    out.results.insert(out.results.end(), part.results.begin(),
+                       part.results.end());
+    out.log.splice(std::move(part.log));
+    out.advance += part.advance;
+    out.deg.merge(part.deg);
+    out.trace.splice(std::move(part.trace));
+    out.metrics.merge(part.metrics);
+  }
+  return out;
+}
+
 void Study::run_batch(State& state, const std::vector<ObserveJob>& jobs,
                       std::vector<Observation>& results,
                       const std::string& suite, std::uint64_t fault_round) {
@@ -165,11 +194,11 @@ void Study::run_batch(State& state, const std::vector<ObserveJob>& jobs,
     slices = config_.dist->run_observe(*this, jobs, ctx);
   } else {
     util::ThreadPool& pool = *state.pool;
-    slices.resize(pool.shard_count(jobs.size()));
-    pool.parallel_for_shards(
-        jobs.size(),
-        [&](std::size_t shard, std::size_t begin, std::size_t end) {
-          slices[shard] = run_observe_slice(
+    slices.resize(pool.slice_count(jobs.size(), config_.sched));
+    pool.parallel_for_slices(
+        jobs.size(), config_.sched,
+        [&](std::size_t slice, std::size_t begin, std::size_t end) {
+          slices[slice] = run_observe_slice(
               std::span<const ObserveJob>(jobs).subspan(begin, end - begin),
               ctx);
         });
@@ -311,6 +340,7 @@ Study::State Study::begin() {
   campaign_config.prober.responder = fleet_.responder();
   campaign_config.label_seed = config_.seed ^ 0xC0FFEE;
   campaign_config.threads = config_.threads;
+  campaign_config.sched = config_.sched;
   campaign_config.faults = config_.faults;
   campaign_config.retry = config_.retry;
   campaign_config.trace = config_.trace;

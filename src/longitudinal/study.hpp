@@ -46,6 +46,9 @@ struct StudyConfig {
   // longitudinal rounds, final snapshot). 0 resolves SPFAIL_THREADS /
   // hardware concurrency. The StudyReport is bit-identical at any count.
   int threads = 0;
+  // Wave fan-out policy for every batch (DESIGN.md §16); threaded into the
+  // campaign too. Byte-identical at any policy/steal mode.
+  util::SchedulerOptions sched;
 
   // Loss process (per round, per still-measurable vulnerable address).
   double transient_failure_rate = 0.05;
@@ -182,6 +185,15 @@ class Study {
   // so a dist worker can run it without the coordinator's State.
   ObserveSliceResult run_observe_slice(std::span<const ObserveJob> jobs,
                                        const ObserveContext& ctx);
+
+  // Scheduler-driven variant (DESIGN.md §16): split the slice into batches
+  // on `pool` under config_.sched and merge the per-batch results — in batch
+  // (job) order — into ONE slice result identical to a serial
+  // run_observe_slice call. A dist worker routes its assigned slice through
+  // this, so in-worker execution also exercises the work-stealing scheduler.
+  ObserveSliceResult run_observe_slice_scheduled(
+      std::span<const ObserveJob> jobs, const ObserveContext& ctx,
+      util::ThreadPool& pool);
 
   // Everything the study loop carries between round boundaries. Built by
   // begin() or restore(); advanced by run_round(); consumed by finish().

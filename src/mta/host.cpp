@@ -7,17 +7,19 @@
 namespace spfail::mta {
 
 MailHost::MailHost(HostProfile profile, dns::DnsService& dns_service,
-                   const util::SimClock& clock)
+                   const util::SimClock& clock,
+                   spf::SharedRecordCache* record_cache)
     : profile_(std::move(profile)),
       clock_(clock),
+      record_cache_(record_cache),
       resolver_(dns_service, clock, profile_.address),
       behaviors_(profile_.behaviors),
       flaky_rng_(profile_.address.is_v4() ? profile_.address.v4_value()
                                           : 0x6D7461ULL) {
   for (const auto behavior : behaviors_) {
     engines_.push_back(spfvuln::make_expander(behavior));
-    evaluators_.push_back(
-        std::make_unique<spf::Evaluator>(resolver_, *engines_.back()));
+    evaluators_.push_back(std::make_unique<spf::Evaluator>(
+        resolver_, *engines_.back(), spf::EvaluatorLimits{}, record_cache_));
   }
 }
 
@@ -27,8 +29,8 @@ void MailHost::apply_patch() {
     if (behaviors_[i] == spfvuln::SpfBehavior::VulnerableLibspf2) {
       behaviors_[i] = spfvuln::SpfBehavior::PatchedLibspf2;
       engines_[i] = spfvuln::make_expander(behaviors_[i]);
-      evaluators_[i] =
-          std::make_unique<spf::Evaluator>(resolver_, *engines_[i]);
+      evaluators_[i] = std::make_unique<spf::Evaluator>(
+          resolver_, *engines_[i], spf::EvaluatorLimits{}, record_cache_);
     }
   }
 }

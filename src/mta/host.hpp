@@ -81,9 +81,13 @@ struct HostProfile {
 
 class MailHost : public smtp::SessionHandler {
  public:
-  // `dns_service` and `clock` must outlive the host.
+  // `dns_service` and `clock` must outlive the host; so must `record_cache`
+  // when set (optional, not owned): the fleet-wide shared SPF parse memo
+  // every engine's evaluator reads through (DESIGN.md §16). Null keeps all
+  // parse memoisation host-local.
   MailHost(HostProfile profile, dns::DnsService& dns_service,
-           const util::SimClock& clock);
+           const util::SimClock& clock,
+           spf::SharedRecordCache* record_cache = nullptr);
 
   const HostProfile& profile() const noexcept { return profile_; }
   const util::IpAddress& address() const noexcept { return profile_.address; }
@@ -154,6 +158,7 @@ class MailHost : public smtp::SessionHandler {
 
   HostProfile profile_;
   const util::SimClock& clock_;
+  spf::SharedRecordCache* record_cache_ = nullptr;
   dns::StubResolver resolver_;
   std::vector<spfvuln::SpfBehavior> behaviors_;
   std::vector<std::unique_ptr<spf::MacroExpander>> engines_;

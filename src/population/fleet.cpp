@@ -170,7 +170,7 @@ mta::MailHost* Fleet::materialise(std::size_t index) const {
     // logically const (the host cache is a view of the immutable specs).
     auto* self = const_cast<Fleet*>(this);
     slot = std::make_unique<mta::MailHost>(spec.to_profile(), self->dns_,
-                                           clock_);
+                                           clock_, record_cache_.get());
     const auto residual = residuals_.find(spec.address);
     if (residual != residuals_.end()) {
       slot->set_greylist_seen(residual->second.greylist_seen);
@@ -519,8 +519,8 @@ void Fleet::finalise(std::vector<StagingDomain>&& staging,
   hosts_.resize(specs_.size());
   if (!config_.lazy_hosts) {
     for (std::size_t i = 0; i < specs_.size(); ++i) {
-      hosts_[i] = std::make_unique<mta::MailHost>(specs_[i].to_profile(),
-                                                  dns_, clock_);
+      hosts_[i] = std::make_unique<mta::MailHost>(
+          specs_[i].to_profile(), dns_, clock_, record_cache_.get());
     }
   }
 

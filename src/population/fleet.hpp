@@ -40,6 +40,7 @@
 #include "dns/server.hpp"
 #include "mta/host.hpp"
 #include "population/geo.hpp"
+#include "spf/record_cache.hpp"
 #include "population/tld.hpp"
 #include "scan/campaign.hpp"
 #include "scan/test_responder.hpp"
@@ -105,6 +106,12 @@ class Fleet : public scan::HostRegistry {
   // The intern table behind every DomainRecord view — exposed for the
   // snapshot layer's integrity section and the memory bench's stats.
   const util::Interner& strings() const noexcept { return strings_; }
+
+  // The fleet-wide shared SPF record-parse memo every host's evaluators read
+  // through (DESIGN.md §16); exposed for the contention bench's stats.
+  const spf::SharedRecordCache& record_cache() const noexcept {
+    return *record_cache_;
+  }
 
   mta::MailHost* find_host(const util::IpAddress& address) override;
   const mta::MailHost* find_host(const util::IpAddress& address) const;
@@ -214,6 +221,11 @@ class Fleet : public scan::HostRegistry {
 
   FleetConfig config_;
   util::SimClock clock_{util::at_midnight(2021, 10, 11)};
+  // Shared parse memo, created before any host so both materialisation paths
+  // can hand it to MailHost. unique_ptr keeps the Fleet movable-by-nobody
+  // while letting hosts hold a stable pointer.
+  std::unique_ptr<spf::SharedRecordCache> record_cache_ =
+      std::make_unique<spf::SharedRecordCache>();
   dns::AuthoritativeServer dns_;
   scan::TestResponderConfig responder_;
   GeoDb geo_;

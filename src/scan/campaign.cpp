@@ -1,12 +1,15 @@
 #include "scan/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "obs/lane.hpp"
 #include "scan/shard_runner.hpp"
+#include "util/concurrent_table.hpp"
 #include "util/intern.hpp"
 #include "util/rng.hpp"
 
@@ -47,6 +50,123 @@ class VectorTargetSource final : public TargetSource {
 std::uint64_t provider_group(const util::IpAddress& address) {
   if (address.is_v4()) return address.v4_value() >> 8;
   return util::fnv1a(address.to_string()) | (1ULL << 63);
+}
+
+// Serial reference dedupe: first-listing domain wins, items come out in
+// ascending address order with recipients interned into `recipients` (which
+// must outlive the returned items — they view its arena).
+std::vector<WaveItem> dedupe_serial(const TargetSource& targets,
+                                    util::Interner& recipients) {
+  std::unordered_map<util::IpAddress, util::Symbol, util::IpAddressHash>
+      recipient_for;
+  recipient_for.reserve(targets.address_upper_bound());
+  targets.for_each([&](std::string_view domain,
+                       std::span<const util::IpAddress> addresses) {
+    if (addresses.empty()) return;
+    const util::Symbol name = recipients.intern(domain);
+    for (const auto& address : addresses) {
+      recipient_for.emplace(address, name);
+    }
+  });
+  std::vector<const std::pair<const util::IpAddress, util::Symbol>*> order;
+  order.reserve(recipient_for.size());
+  for (const auto& entry : recipient_for) order.push_back(&entry);
+  std::sort(order.begin(), order.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  std::vector<WaveItem> items;
+  items.reserve(order.size());
+  for (const auto* entry : order) {
+    items.push_back(WaveItem{entry->first, recipients.view(entry->second)});
+  }
+  return items;
+}
+
+// Concurrent dedupe over a lock-free table (DESIGN.md §16), same output as
+// dedupe_serial byte for byte. A serial walk flattens the (domain, address)
+// edges, then workers race CAS-min claims of the flat position into a
+// ConcurrentTable keyed by address hash: the minimum position is the first
+// listing, i.e. exactly the entry emplace() would have kept. The claim is
+// order-free (min is commutative), so the steal schedule is invisible.
+// Addresses are wider than the u64 key, so a hit verifies the full address
+// and re-probes under a salted key on a genuine 64-bit collision.
+std::vector<WaveItem> dedupe_concurrent(const TargetSource& targets,
+                                        util::Interner& recipients,
+                                        util::ThreadPool& pool,
+                                        const util::SchedulerOptions& sched) {
+  // Phase A (serial): flatten the walk. flat position i carries the address
+  // and the Symbol of the domain that listed it.
+  std::vector<util::IpAddress> flat_addrs;
+  std::vector<util::Symbol> flat_name;
+  flat_addrs.reserve(targets.address_upper_bound());
+  flat_name.reserve(targets.address_upper_bound());
+  targets.for_each([&](std::string_view domain,
+                       std::span<const util::IpAddress> addresses) {
+    if (addresses.empty()) return;
+    const util::Symbol name = recipients.intern(domain);
+    for (const auto& address : addresses) {
+      flat_addrs.push_back(address);
+      flat_name.push_back(name);
+    }
+  });
+
+  struct DedupeSlot {
+    util::IpAddress address;                 // published pre-Ready, immutable
+    std::atomic<std::uint64_t> claim{0};     // CAS-min of the flat position
+  };
+  constexpr std::uint64_t kSaltStep = 0x9E3779B97F4A7C15ULL;
+  constexpr int kMaxSalt = 4;
+  util::ConcurrentTable<DedupeSlot> table(flat_addrs.size());
+
+  // Phase B (parallel): claim every flat position. Throws TableFullError on
+  // a blown sizing bound (impossible while the table is sized to the flat
+  // list) — the caller falls back to the serial path.
+  pool.parallel_for_slices(
+      flat_addrs.size(), sched,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const util::IpAddress& address = flat_addrs[i];
+          const std::uint64_t hash = util::IpAddressHash{}(address);
+          for (int salt = 0;; ++salt) {
+            if (salt > kMaxSalt) {
+              throw util::TableFullError("dedupe salt chain exhausted");
+            }
+            const std::uint64_t key =
+                hash + static_cast<std::uint64_t>(salt) * kSaltStep;
+            const auto found = table.find_or_insert(key, [&](DedupeSlot& s) {
+              s.address = address;
+              s.claim.store(i, std::memory_order_relaxed);
+            });
+            if (found.inserted) break;
+            if (found.payload->address == address) {
+              std::atomic<std::uint64_t>& claim = found.payload->claim;
+              std::uint64_t cur = claim.load(std::memory_order_relaxed);
+              while (static_cast<std::uint64_t>(i) < cur &&
+                     !claim.compare_exchange_weak(
+                         cur, i, std::memory_order_acq_rel,
+                         std::memory_order_relaxed)) {
+              }
+              break;
+            }
+            // 64-bit collision with a different address: re-probe salted.
+          }
+        }
+      });
+
+  // Phase C (quiescent): collect winners and restore address order.
+  std::vector<std::pair<util::IpAddress, std::uint64_t>> winners;
+  winners.reserve(table.size());
+  table.for_each([&](std::uint64_t, const DedupeSlot& slot) {
+    winners.emplace_back(slot.address,
+                         slot.claim.load(std::memory_order_relaxed));
+  });
+  std::sort(winners.begin(), winners.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<WaveItem> items;
+  items.reserve(winners.size());
+  for (const auto& [address, claim] : winners) {
+    items.push_back(WaveItem{address, recipients.view(flat_name[claim])});
+  }
+  return items;
 }
 
 // Derive the effective retry policy. The zero sentinel maps the legacy
@@ -351,36 +471,43 @@ CampaignReport Campaign::run(const TargetSource& targets) {
   const std::uint64_t round = next_round_++;
   report.degradation.configured_rate = plan_.config().rate;
 
+  // The worker pool comes first: the concurrent dedupe below runs on it.
+  // Fork safety (DESIGN.md §15): when a ShardRunner is attached the
+  // coordinator forks workers, so no pool — and no threads at all — may
+  // exist in this process; every parallel phase then takes its serial path.
+  std::optional<util::ThreadPool> owned_pool;
+  util::ThreadPool* pool = config_.pool;
+  if (config_.runner == nullptr && pool == nullptr) {
+    owned_pool.emplace(config_.threads);
+    pool = &*owned_pool;
+  }
+
   // 1. Deduplicate addresses, remembering a recipient domain for each (the
   //    first domain that listed the address — used for RCPT TO). Domain names
-  //    are interned once (DESIGN.md §14): the dedupe map carries a 4-byte
-  //    Symbol per address instead of a heap string copy.
-  util::Interner recipients;
-  std::unordered_map<util::IpAddress, util::Symbol, util::IpAddressHash>
-      recipient_for;
-  recipient_for.reserve(targets.address_upper_bound());
-  targets.for_each([&](std::string_view domain,
-                       std::span<const util::IpAddress> addresses) {
-    if (addresses.empty()) return;
-    const util::Symbol name = recipients.intern(domain);
-    for (const auto& address : addresses) {
-      recipient_for.emplace(address, name);
+  //    are interned once (DESIGN.md §14): the dedupe carries a 4-byte Symbol
+  //    per address instead of a heap string copy. With a pool, the dedupe
+  //    races CAS-min claims through a lock-free table (DESIGN.md §16) —
+  //    byte-identical to the serial walk.
+  //
+  //    The result is the master work list, in ascending address order.
+  //    Slices are contiguous runs of this list, so every address (and with
+  //    it every host: hosts are keyed by address) belongs to exactly one
+  //    worker at a time, and the merge below reassembles results in address
+  //    order — bit-identical at any thread count. Probe labels derive from
+  //    the position in this list, never from allocation order.
+  util::Interner recipients;  // outlives every item view below
+  std::vector<WaveItem> items;
+  if (pool != nullptr) {
+    try {
+      items = dedupe_concurrent(targets, recipients, *pool, config_.sched);
+    } catch (const util::TableFullError&) {
+      items = dedupe_serial(targets, recipients);
     }
-  });
+  } else {
+    items = dedupe_serial(targets, recipients);
+  }
 
-  // The sharded work list, in ascending address order. Shards are contiguous
-  // slices of this list, so every address (and with it every host: hosts are
-  // keyed by address) belongs to exactly one worker, and the merge below
-  // reassembles results in address order — bit-identical at any thread
-  // count. Probe labels derive from the position in this list, never from
-  // allocation order.
-  std::vector<const std::pair<const util::IpAddress, util::Symbol>*> order;
-  order.reserve(recipient_for.size());
-  for (const auto& entry : recipient_for) order.push_back(&entry);
-  std::sort(order.begin(), order.end(),
-            [](const auto* a, const auto* b) { return a->first < b->first; });
-
-  // 2+3. The two probe waves, sharded. The concurrency cap means wall-clock
+  // 2+3. The two probe waves, sliced. The concurrency cap means wall-clock
   //    advances by (gap / cap) per test on average; each worker accumulates
   //    that 250-lane model on a private clock lane, and the lane offsets sum
   //    to exactly the serial advance.
@@ -395,30 +522,15 @@ CampaignReport Campaign::run(const TargetSource& targets) {
   ctx.tracing = config_.trace != nullptr;
   ctx.metrics = config_.metrics != nullptr;
 
-  // The master work list as slice-ready items: views into the interner above,
-  // which outlives every slice call in this function.
-  std::vector<WaveItem> items;
-  items.reserve(order.size());
-  for (const auto* entry : order) {
-    items.push_back(WaveItem{entry->first, recipients.view(entry->second)});
-  }
-
-  std::optional<util::ThreadPool> owned_pool;
-  util::ThreadPool* pool = config_.pool;
-  if (config_.runner == nullptr && pool == nullptr) {
-    owned_pool.emplace(config_.threads);
-    pool = &*owned_pool;
-  }
-
   std::vector<WaveSliceResult> slices;
   if (config_.runner != nullptr) {
     slices = config_.runner->run_wave(*this, items, ctx);
   } else {
-    slices.resize(pool->shard_count(items.size()));
-    pool->parallel_for_shards(
-        items.size(),
-        [&](std::size_t shard, std::size_t begin, std::size_t end) {
-          slices[shard] = run_wave_slice(
+    slices.resize(pool->slice_count(items.size(), config_.sched));
+    pool->parallel_for_slices(
+        items.size(), config_.sched,
+        [&](std::size_t slice, std::size_t begin, std::size_t end) {
+          slices[slice] = run_wave_slice(
               std::span<const WaveItem>(items).subspan(begin, end - begin),
               begin, ctx);
         });
@@ -428,7 +540,7 @@ CampaignReport Campaign::run(const TargetSource& targets) {
   // serial advance), drain lane query logs in slice — i.e. address — order,
   // and reassemble the report.
   util::SimTime total_advance = 0;
-  report.addresses.reserve(order.size());
+  report.addresses.reserve(items.size());
   for (auto& slice : slices) {
     total_advance += slice.advance;
     server_.query_log().splice(std::move(slice.log));
@@ -456,14 +568,56 @@ CampaignReport Campaign::run(const TargetSource& targets) {
   // come from the complete merged wave results, so the decision (and with it
   // the whole report) is independent of the thread count.
   if (plan_.enabled()) {
+    // Per-group tested/transient tallies. With a pool they accumulate
+    // through a lock-free table of atomic counters (DESIGN.md §16) — the
+    // group key IS the u64 table key, so no wide-key verify is needed, and
+    // sums are order-free, so the steal schedule is invisible. The serial
+    // fallback (runner attached: no threads may exist pre-fork) computes the
+    // same tallies.
     std::unordered_map<std::uint64_t, std::pair<std::size_t, std::size_t>>
         group_stats;  // group -> {tested, transient}
-    for (const auto* entry : order) {
-      const auto it = report.addresses.find(entry->first);
-      if (it == report.addresses.end()) continue;
-      auto& stats = group_stats[provider_group(entry->first)];
-      ++stats.first;
-      if (it->second.pending_transient()) ++stats.second;
+    const auto tally_serial = [&] {
+      for (const auto& item : items) {
+        const auto it = report.addresses.find(item.address);
+        if (it == report.addresses.end()) continue;
+        auto& stats = group_stats[provider_group(item.address)];
+        ++stats.first;
+        if (it->second.pending_transient()) ++stats.second;
+      }
+    };
+    if (pool != nullptr) {
+      struct GroupStats {
+        std::atomic<std::uint32_t> tested{0};
+        std::atomic<std::uint32_t> transient{0};
+      };
+      util::ConcurrentTable<GroupStats> groups(items.size());
+      try {
+        pool->parallel_for_slices(
+            items.size(), config_.sched,
+            [&](std::size_t, std::size_t begin, std::size_t end) {
+              for (std::size_t i = begin; i < end; ++i) {
+                const auto it = report.addresses.find(items[i].address);
+                if (it == report.addresses.end()) continue;
+                GroupStats* stats =
+                    groups.find_or_insert(provider_group(items[i].address))
+                        .payload;
+                stats->tested.fetch_add(1, std::memory_order_relaxed);
+                if (it->second.pending_transient()) {
+                  stats->transient.fetch_add(1, std::memory_order_relaxed);
+                }
+              }
+            });
+        groups.for_each([&](std::uint64_t group, const GroupStats& stats) {
+          group_stats[group] = {
+              stats.tested.load(std::memory_order_relaxed),
+              stats.transient.load(std::memory_order_relaxed)};
+        });
+      } catch (const util::TableFullError&) {
+        group_stats.clear();
+        tally_serial();
+      }
+    } else {
+      tally_serial();
     }
     std::unordered_set<std::uint64_t> open_groups;
     for (const auto& [group, stats] : group_stats) {
@@ -479,11 +633,11 @@ CampaignReport Campaign::run(const TargetSource& targets) {
     // Re-queue candidates, in master (address) order so labels and fault
     // keys line up across thread counts.
     std::vector<std::size_t> requeue;
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      const auto it = report.addresses.find(order[i]->first);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const auto it = report.addresses.find(items[i].address);
       if (it == report.addresses.end()) continue;
       if (!it->second.pending_transient()) continue;
-      if (open_groups.count(provider_group(order[i]->first)) > 0) {
+      if (open_groups.count(provider_group(items[i].address)) > 0) {
         ++report.degradation.breaker_skipped;
         continue;
       }
@@ -506,11 +660,11 @@ CampaignReport Campaign::run(const TargetSource& targets) {
       if (config_.runner != nullptr) {
         rq_slices = config_.runner->run_requeue(*this, rq_items, ctx);
       } else {
-        rq_slices.resize(pool->shard_count(rq_items.size()));
-        pool->parallel_for_shards(
-            rq_items.size(),
-            [&](std::size_t shard, std::size_t begin, std::size_t end) {
-              rq_slices[shard] = run_requeue_slice(
+        rq_slices.resize(pool->slice_count(rq_items.size(), config_.sched));
+        pool->parallel_for_slices(
+            rq_items.size(), config_.sched,
+            [&](std::size_t slice, std::size_t begin, std::size_t end) {
+              rq_slices[slice] = run_requeue_slice(
                   std::span<const RequeueItem>(rq_items).subspan(begin,
                                                                  end - begin),
                   ctx);
@@ -594,6 +748,71 @@ CampaignReport Campaign::run(const TargetSource& targets) {
     report.domains.push_back(std::move(domain_outcome));
   });
   return report;
+}
+
+WaveSliceResult Campaign::run_wave_slice_scheduled(
+    std::span<const WaveItem> items, std::size_t base, const WaveContext& ctx,
+    util::ThreadPool& pool) {
+  const std::size_t slices = pool.slice_count(items.size(), config_.sched);
+  if (slices <= 1) return run_wave_slice(items, base, ctx);
+  std::vector<WaveSliceResult> parts(slices);
+  pool.parallel_for_slices(
+      items.size(), config_.sched,
+      [&](std::size_t slice, std::size_t begin, std::size_t end) {
+        parts[slice] =
+            run_wave_slice(items.subspan(begin, end - begin), base + begin,
+                           ctx);
+      });
+  // Fold in batch (master) order into one result indistinguishable from a
+  // serial run_wave_slice over the whole span: outcomes concatenate, lane
+  // advances sum (the shared clock stays untouched — the caller merges it),
+  // logs/traces splice, counters merge.
+  WaveSliceResult out;
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.outcomes.size();
+  out.outcomes.reserve(total);
+  for (auto& part : parts) {
+    for (auto& outcome : part.outcomes) {
+      out.outcomes.push_back(std::move(outcome));
+    }
+    out.log.splice(std::move(part.log));
+    out.advance += part.advance;
+    out.deg.merge(part.deg);
+    out.wave1.splice(std::move(part.wave1));
+    out.wave2.splice(std::move(part.wave2));
+    out.metrics.merge(part.metrics);
+  }
+  return out;
+}
+
+RequeueSliceResult Campaign::run_requeue_slice_scheduled(
+    std::span<const RequeueItem> items, const WaveContext& ctx,
+    util::ThreadPool& pool) {
+  const std::size_t slices = pool.slice_count(items.size(), config_.sched);
+  if (slices <= 1) return run_requeue_slice(items, ctx);
+  std::vector<RequeueSliceResult> parts(slices);
+  pool.parallel_for_slices(
+      items.size(), config_.sched,
+      [&](std::size_t slice, std::size_t begin, std::size_t end) {
+        parts[slice] = run_requeue_slice(items.subspan(begin, end - begin),
+                                         ctx);
+      });
+  RequeueSliceResult out;
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.outcomes.size();
+  out.outcomes.reserve(total);
+  for (auto& part : parts) {
+    for (auto& outcome : part.outcomes) {
+      out.outcomes.push_back(std::move(outcome));
+    }
+    out.log.splice(std::move(part.log));
+    out.advance += part.advance;
+    out.deg.merge(part.deg);
+    out.recovered += part.recovered;
+    out.trace.splice(std::move(part.trace));
+    out.metrics.merge(part.metrics);
+  }
+  return out;
 }
 
 CampaignReport Campaign::run_addresses(

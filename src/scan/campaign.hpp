@@ -192,6 +192,11 @@ struct CampaignConfig {
   // Real worker threads for the sharded scan. 0 resolves SPFAIL_THREADS /
   // hardware concurrency; the report is bit-identical at any count.
   int threads = 0;
+  // How waves fan out over those threads (DESIGN.md §16): Static keeps one
+  // contiguous slice per worker, Steal (the resolved default) cuts finer
+  // batches and lets idle workers steal them. Byte-identical either way, at
+  // any thread count, under any steal schedule.
+  util::SchedulerOptions sched;
   // Optional externally owned pool (the longitudinal study shares one across
   // all its rounds); when null the campaign creates its own per run.
   util::ThreadPool* pool = nullptr;
@@ -278,6 +283,20 @@ class Campaign {
   // Execute one re-queue slice over copies of the candidates' outcomes.
   RequeueSliceResult run_requeue_slice(std::span<const RequeueItem> items,
                                        const WaveContext& ctx);
+
+  // Scheduler-driven slice execution (DESIGN.md §16): split the slice into
+  // batches on `pool` under config_.sched and merge the per-batch results —
+  // in batch (master) order — back into ONE slice result, indistinguishable
+  // from a serial run_wave_slice call. This is how a distributed worker
+  // routes its whole assigned slice through the work-stealing scheduler
+  // while the coordinator keeps seeing one reply frame per slice.
+  WaveSliceResult run_wave_slice_scheduled(std::span<const WaveItem> items,
+                                           std::size_t base,
+                                           const WaveContext& ctx,
+                                           util::ThreadPool& pool);
+  RequeueSliceResult run_requeue_slice_scheduled(
+      std::span<const RequeueItem> items, const WaveContext& ctx,
+      util::ThreadPool& pool);
 
  private:
   // Adapter over the shared ProbeEngine: builds the ProbeRequest for one

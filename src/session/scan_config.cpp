@@ -57,6 +57,22 @@ bool parse_bool(std::string_view what, const char* text) {
   reject(what, v, "0/1/true/false");
 }
 
+util::SchedPolicy parse_sched(std::string_view what, const char* text) {
+  try {
+    return util::parse_sched_policy(text);
+  } catch (const std::invalid_argument&) {
+    reject(what, text, "auto/static/steal");
+  }
+}
+
+util::StealMode parse_steal(std::string_view what, const char* text) {
+  try {
+    return util::parse_steal_mode(text);
+  } catch (const std::invalid_argument&) {
+    reject(what, text, "auto/none/random/adversarial");
+  }
+}
+
 }  // namespace
 
 void ScanConfig::validate() const {
@@ -145,6 +161,12 @@ ScanConfig ScanConfig::apply_env(ScanConfig config) {
   if (const char* env = std::getenv("SPFAIL_CHECKPOINT_STRINGS")) {
     config.checkpoint_strings = parse_bool("SPFAIL_CHECKPOINT_STRINGS", env);
   }
+  if (const char* env = std::getenv("SPFAIL_SCHED")) {
+    config.sched = parse_sched("SPFAIL_SCHED", env);
+  }
+  if (const char* env = std::getenv("SPFAIL_STEAL")) {
+    config.steal_mode = parse_steal("SPFAIL_STEAL", env);
+  }
   if (const char* env = std::getenv("SPFAIL_WORKERS")) {
     config.workers = parse_int("SPFAIL_WORKERS", env);
   }
@@ -174,6 +196,10 @@ ScanConfig ScanConfig::from_args(int argc, const char* const* argv,
       config.threads = parse_int(arg, next());
     } else if (arg == "--initial-only") {
       config.initial_only = true;
+    } else if (arg == "--sched") {
+      config.sched = parse_sched(arg, next());
+    } else if (arg == "--steal-mode") {
+      config.steal_mode = parse_steal(arg, next());
     } else if (arg == "--fault-rate") {
       config.faults.rate = parse_double(arg, next());
     } else if (arg == "--fault-seed") {

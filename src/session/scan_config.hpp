@@ -13,6 +13,7 @@
 #include <string>
 
 #include "faults/fault.hpp"
+#include "util/work_steal.hpp"
 
 namespace spfail::session {
 
@@ -37,6 +38,12 @@ struct ScanConfig {
   // Scan engine.
   int threads = 0;  // 0 = SPFAIL_THREADS / hardware; --threads
   bool initial_only = false;
+  // Slice scheduler (DESIGN.md §16). Auto resolves to the work-stealing
+  // batch scheduler; `static` forces the legacy one-shard-per-worker split.
+  // Outputs are byte-identical either way. SPFAIL_SCHED / --sched,
+  // SPFAIL_STEAL / --steal-mode (none|random|adversarial).
+  util::SchedPolicy sched = util::SchedPolicy::Auto;
+  util::StealMode steal_mode = util::StealMode::Auto;
 
   // Distributed scanning (DESIGN.md §15). workers > 1 forks that many
   // crash-isolated worker processes; a worker that dies is respawned from
@@ -81,7 +88,8 @@ struct ScanConfig {
 
   // Environment over `defaults`: SPFAIL_SCALE, SPFAIL_FAULT_SEED,
   // SPFAIL_FAULT_RATE, SPFAIL_TRACE, SPFAIL_CSV_DIR, SPFAIL_METRICS,
-  // SPFAIL_METRICS_WALL, SPFAIL_LAZY_HOSTS, SPFAIL_CHECKPOINT_STRINGS.
+  // SPFAIL_METRICS_WALL, SPFAIL_LAZY_HOSTS, SPFAIL_CHECKPOINT_STRINGS,
+  // SPFAIL_SCHED, SPFAIL_STEAL.
   // (SPFAIL_THREADS is
   // resolved by the thread pool itself when threads == 0.) Throws
   // ScanConfigError on malformed or out-of-range values.

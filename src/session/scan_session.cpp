@@ -40,6 +40,8 @@ longitudinal::StudyConfig ScanSession::study_config() {
   longitudinal::StudyConfig study_config;
   study_config.seed = config_.study_seed;
   study_config.threads = config_.threads;
+  study_config.sched.policy = config_.sched;
+  study_config.sched.steal = config_.steal_mode;
   study_config.faults = config_.faults;
   study_config.trace = trace();
   study_config.metrics = metrics();
@@ -176,6 +178,8 @@ const scan::CampaignReport& ScanSession::initial() {
   scan::CampaignConfig campaign_config;
   campaign_config.prober.responder = fleet().responder();
   campaign_config.threads = config_.threads;
+  campaign_config.sched.policy = config_.sched;
+  campaign_config.sched.steal = config_.steal_mode;
   campaign_config.faults = config_.faults;
   campaign_config.trace = trace();
   campaign_config.metrics = metrics();

@@ -126,6 +126,12 @@ Result Evaluator::check_domain(State& state, const dns::Name& domain,
 }
 
 const Record* Evaluator::cached_record(const std::string& text) {
+  if (shared_cache_ != nullptr) {
+    if (const auto* entry = shared_cache_->lookup(text)) {
+      return entry->ok ? &entry->record : nullptr;
+    }
+    // Cache full: fall through to the private memo.
+  }
   const util::Symbol id = record_texts_.intern(text);
   if (id < records_.size()) {
     const CachedRecord& hit = records_[id];

@@ -13,6 +13,7 @@
 #include "dns/resolver.hpp"
 #include "spf/macro.hpp"
 #include "spf/record.hpp"
+#include "spf/record_cache.hpp"
 #include "spf/result.hpp"
 #include "util/intern.hpp"
 
@@ -44,10 +45,17 @@ struct EvaluatorLimits {
 
 class Evaluator {
  public:
-  // All references must outlive the evaluator.
+  // All references must outlive the evaluator. `shared_cache` (optional, not
+  // owned) is the fleet-wide record-parse memo (DESIGN.md §16): when set,
+  // parses are answered from it and the private memo below only catches its
+  // overflow; when null every parse stays evaluator-local.
   Evaluator(dns::StubResolver& resolver, const MacroExpander& expander,
-            EvaluatorLimits limits = {})
-      : resolver_(resolver), expander_(expander), limits_(limits) {}
+            EvaluatorLimits limits = {},
+            SharedRecordCache* shared_cache = nullptr)
+      : resolver_(resolver),
+        expander_(expander),
+        limits_(limits),
+        shared_cache_(shared_cache) {}
 
   // Entry point per RFC 7208 section 4.1.
   CheckOutcome check_host(const CheckRequest& request);
@@ -99,9 +107,12 @@ class Evaluator {
   dns::StubResolver& resolver_;
   const MacroExpander& expander_;
   EvaluatorLimits limits_;
+  SharedRecordCache* shared_cache_ = nullptr;
 
   // Record-text intern table plus the parse memo it indexes. A deque keeps
   // Record references stable while include recursion appends new entries.
+  // With a shared cache attached this only sees its overflow (full table /
+  // exhausted salt chain) — parsing is pure, so both paths agree.
   util::Interner record_texts_;
   struct CachedRecord {
     bool ok = false;

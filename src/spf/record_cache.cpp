@@ -1,0 +1,46 @@
+#include "spf/record_cache.hpp"
+
+#include "util/rng.hpp"
+
+namespace spfail::spf {
+
+SharedRecordCache::~SharedRecordCache() {
+  table_.for_each(
+      [](std::uint64_t, const Slot& slot) { delete slot.entry; });
+}
+
+const SharedRecordCache::Entry* SharedRecordCache::lookup(
+    const std::string& text) {
+  const std::uint64_t hash = util::fnv1a(text);
+  try {
+    for (int salt = 0; salt <= kMaxSalt; ++salt) {
+      const std::uint64_t key =
+          hash + static_cast<std::uint64_t>(salt) * kSaltStep;
+      const auto found = table_.find_or_insert(key, [&](Slot& slot) {
+        auto* entry = new Entry;
+        entry->text = text;
+        try {
+          entry->record = parse_record(text);
+          entry->ok = true;
+        } catch (const RecordSyntaxError&) {
+          entry->ok = false;
+        }
+        slot.entry = entry;
+      });
+      if (found.inserted) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return found.payload->entry;
+      }
+      if (found.payload->entry->text == text) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return found.payload->entry;
+      }
+      // A different text owns this key (64-bit collision): re-probe salted.
+    }
+  } catch (const util::TableFullError&) {
+    // Sizing bound exceeded: degrade to the caller's private memo.
+  }
+  return nullptr;
+}
+
+}  // namespace spfail::spf

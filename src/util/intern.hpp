@@ -21,13 +21,14 @@
 // table itself rehashes, never the bytes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "snapshot/codec.hpp"
+#include "util/concurrent_table.hpp"
 
 namespace spfail::util {
 
@@ -100,34 +101,66 @@ class Interner {
   std::uint64_t distinct_bytes_ = 0;
 };
 
-// A mutex-guarded interner for tables populated from worker threads (the
-// campaign's re-queue wave mutates report rows concurrently). Symbol ids
-// still depend on arrival order — anything that must be deterministic
+// A lock-free interner for tables populated from worker threads, rebuilt on
+// ConcurrentTable (DESIGN.md §16; it used to take a mutex per call). Symbol
+// ids still depend on arrival order — anything that must be deterministic
 // resolves through the text, never through a SyncInterner id ordering.
+//
+// This is also the reference implementation of the wide-key pattern the
+// ConcurrentTable header points at: logical keys (strings) are wider than the
+// table's u64 keys, so a hit verifies the full text and a mismatch — a true
+// 64-bit fnv1a collision — re-probes under a salted key. The chain is bounded
+// (kMaxSalt); exhausting it raises TableFullError like any sizing bug.
+//
+// Fixed capacity, like the table underneath: `expected` bounds the distinct
+// strings. Callers size from a known upper bound; the scan core's fallback on
+// TableFullError is its serial path.
 class SyncInterner {
  public:
-  SyncInterner() = default;
-  SyncInterner(const SyncInterner& other) : interner_(other.interner_) {}
-  SyncInterner& operator=(const SyncInterner& other) {
-    if (this != &other) interner_ = other.interner_;
-    return *this;
+  static constexpr std::size_t kDefaultExpected = 1 << 12;
+
+  explicit SyncInterner(std::size_t expected = kDefaultExpected)
+      : table_(expected), strings_(table_.capacity()) {}
+
+  SyncInterner(const SyncInterner&) = delete;
+  SyncInterner& operator=(const SyncInterner&) = delete;
+
+  ~SyncInterner() {
+    for (auto& slot : strings_) delete slot.load(std::memory_order_acquire);
   }
 
-  Symbol intern(std::string_view text) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return interner_.intern(text);
-  }
+  // Returns the Symbol for `text`, inserting on first sight. Thread-safe and
+  // lock-free; concurrent callers with the same text converge on one Symbol.
+  Symbol intern(std::string_view text);
 
+  // The text of a Symbol previously returned by intern() on any thread.
+  // Views stay valid for the interner's lifetime (strings never move).
   std::string_view view(Symbol id) const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return interner_.view(id);
+    return *strings_[id].load(std::memory_order_acquire);
   }
 
-  const Interner& table() const noexcept { return interner_; }
+  // Distinct strings interned so far (racing inserts may or may not count).
+  std::size_t size() const noexcept {
+    return next_symbol_.load(std::memory_order_acquire);
+  }
 
  private:
-  mutable std::mutex mutex_;
-  Interner interner_;
+  // Salt step for collision re-probes: odd, so successive salted keys stay
+  // distinct under the table's mixer.
+  static constexpr std::uint64_t kSaltStep = 0x9E3779B97F4A7C15ULL;
+  static constexpr int kMaxSalt = 4;
+
+  struct Slot {
+    // The symbol owning this (key, text) pair; written inside the table's
+    // pre-publication init window, readable once the slot is Ready.
+    std::uint32_t symbol = kInvalidSymbol;
+  };
+
+  ConcurrentTable<Slot> table_;
+  // Symbol -> heap string, released-published by the inserting thread. Sized
+  // to the table capacity: each table slot allocates at most one symbol.
+  std::vector<std::atomic<std::string*>> strings_;
+  std::atomic<std::uint32_t> next_symbol_{0};
 };
 
 }  // namespace spfail::util

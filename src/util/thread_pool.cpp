@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <string>
@@ -48,18 +49,56 @@ void ThreadPool::worker_loop() {
   }
 }
 
+// Private completion latch: a mutex/cv pair per dispatch so concurrent
+// callers (nested pools) cannot interfere.
+struct ThreadPool::Completion {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t done = 0;
+};
+
+void ThreadPool::await_and_rethrow(Completion& completion, std::size_t count,
+                                   std::vector<std::exception_ptr>& errors) {
+  std::unique_lock<std::mutex> lock(completion.mutex);
+  completion.cv.wait(lock, [&] { return completion.done == count; });
+  lock.unlock();
+
+  // Rethrow the first error (in slot order) — but log the rest to stderr
+  // first, so a multi-shard failure never silently narrows to one message.
+  std::size_t first = errors.size();
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (errors[i]) {
+      first = i;
+      break;
+    }
+  }
+  if (first == errors.size()) return;
+  for (std::size_t i = first + 1; i < errors.size(); ++i) {
+    if (!errors[i]) continue;
+    try {
+      std::rethrow_exception(errors[i]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "thread pool: suppressed error from slice %zu: %s\n", i,
+                   e.what());
+    } catch (...) {
+      std::fprintf(
+          stderr,
+          "thread pool: suppressed non-standard exception from slice %zu\n",
+          i);
+    }
+  }
+  std::rethrow_exception(errors[first]);
+}
+
 void ThreadPool::parallel_for_shards(
     std::size_t n, const std::function<void(std::size_t, std::size_t,
                                             std::size_t)>& fn) {
   const std::size_t shards = shard_count(n);
   if (shards == 0) return;
 
-  // Per-shard completion + exception slots; a private latch so concurrent
-  // callers (nested pools) cannot interfere.
   std::vector<std::exception_ptr> errors(shards);
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::size_t done = 0;
+  Completion completion;
 
   const std::size_t base = n / shards;
   const std::size_t extra = n % shards;  // first `extra` shards get one more
@@ -75,24 +114,97 @@ void ThreadPool::parallel_for_shards(
           errors[shard] = std::current_exception();
         }
         {
-          // Notify under the lock: once the caller observes done == shards it
+          // Notify under the lock: once the caller observes done == count it
           // destroys the latch, so the worker must not touch it after
           // releasing the mutex.
-          const std::lock_guard<std::mutex> done_lock(done_mutex);
-          ++done;
-          done_cv.notify_one();
+          const std::lock_guard<std::mutex> done_lock(completion.mutex);
+          ++completion.done;
+          completion.cv.notify_one();
         }
       });
       begin = end;
     }
   }
   work_available_.notify_all();
+  await_and_rethrow(completion, shards, errors);
+}
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done == shards; });
-  for (auto& error : errors) {
-    if (error) std::rethrow_exception(error);
+std::size_t ThreadPool::batch_count(std::size_t n,
+                                    const SchedulerOptions& opts) const {
+  if (n == 0) return 0;
+  const SchedulerOptions resolved = opts.resolved();
+  const std::size_t target =
+      workers_.size() * static_cast<std::size_t>(resolved.batches_per_worker);
+  return n < target ? n : target;
+}
+
+std::size_t ThreadPool::slice_count(std::size_t n,
+                                    const SchedulerOptions& opts) const {
+  return opts.resolved().policy == SchedPolicy::Static ? shard_count(n)
+                                                       : batch_count(n, opts);
+}
+
+void ThreadPool::parallel_for_slices(
+    std::size_t n, const SchedulerOptions& opts,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (opts.resolved().policy == SchedPolicy::Static) {
+    parallel_for_shards(n, fn);
+  } else {
+    parallel_for_batches(n, opts, fn);
   }
+}
+
+void ThreadPool::parallel_for_batches(
+    std::size_t n, const SchedulerOptions& opts,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const std::size_t batches = batch_count(n, opts);
+  if (batches == 0) return;
+  const SchedulerOptions resolved = opts.resolved();
+
+  const std::size_t participants =
+      batches < workers_.size() ? batches : workers_.size();
+  BatchScheduler scheduler(batches, participants, resolved);
+
+  std::vector<std::exception_ptr> errors(batches);
+  Completion completion;
+
+  // The same near-equal contiguous split parallel_for_shards uses, cut at
+  // batch grain: batch b covers [b*base + min(b, extra), ...). Identical
+  // item coverage at any batch count is what lets the merged output match
+  // the static baseline byte for byte.
+  const std::size_t base = n / batches;
+  const std::size_t extra = n % batches;
+  const auto bounds = [base, extra](std::size_t b) {
+    const std::size_t begin = b * base + (b < extra ? b : extra);
+    return std::pair<std::size_t, std::size_t>(
+        begin, begin + base + (b < extra ? 1 : 0));
+  };
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < participants; ++i) {
+      queue_.push_back([&] {
+        const std::size_t me = scheduler.claim_worker();
+        for (;;) {
+          const std::size_t b = scheduler.next(me);
+          if (b == BatchScheduler::kNone) break;
+          const auto [begin, end] = bounds(b);
+          try {
+            fn(b, begin, end);
+          } catch (...) {
+            errors[b] = std::current_exception();
+          }
+        }
+        {
+          const std::lock_guard<std::mutex> done_lock(completion.mutex);
+          ++completion.done;
+          completion.cv.notify_one();
+        }
+      });
+    }
+  }
+  work_available_.notify_all();
+  await_and_rethrow(completion, participants, errors);
 }
 
 }  // namespace spfail::util

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/work_steal.hpp"
+
 namespace spfail::util {
 
 // `requested` <= 0 means "resolve from the environment": SPFAIL_THREADS if
@@ -45,14 +47,48 @@ class ThreadPool {
   // Partition [0, n) into shard_count(n) contiguous, near-equal slices and
   // run fn(shard_index, begin, end) for each on the pool. Blocks until every
   // shard finished; if any shard threw, rethrows the first exception (in
-  // shard order). An empty range returns immediately.
+  // shard order) after logging every suppressed one to stderr. An empty
+  // range returns immediately.
   void parallel_for_shards(
       std::size_t n,
       const std::function<void(std::size_t shard, std::size_t begin,
                                std::size_t end)>& fn);
 
+  // Number of batches parallel_for_batches would cut [0, n) into under the
+  // work-stealing scheduler: batches_per_worker per thread, never more than
+  // `n`. Callers size per-batch result storage with this. `opts` may be
+  // unresolved; Auto fields resolve identically here and in the dispatch.
+  std::size_t batch_count(std::size_t n, const SchedulerOptions& opts) const;
+
+  // Partition [0, n) into batch_count(n, opts) contiguous, near-equal
+  // batches (the shard split applied at finer grain) and run
+  // fn(batch, begin, end) for each under the work-stealing scheduler
+  // (DESIGN.md §16): each worker drains its preloaded deque and then steals
+  // per opts.steal. Results must be recorded into slot `batch` — merging
+  // slots in batch order is what keeps the output independent of which
+  // worker ran what. Error contract matches parallel_for_shards.
+  void parallel_for_batches(
+      std::size_t n, const SchedulerOptions& opts,
+      const std::function<void(std::size_t batch, std::size_t begin,
+                               std::size_t end)>& fn);
+
+  // Unified dispatch on the resolved policy: Static = shard_count slices via
+  // parallel_for_shards, Steal = batch_count slices via parallel_for_batches.
+  // slice_count() sizes the result vector either way.
+  std::size_t slice_count(std::size_t n, const SchedulerOptions& opts) const;
+  void parallel_for_slices(
+      std::size_t n, const SchedulerOptions& opts,
+      const std::function<void(std::size_t slice, std::size_t begin,
+                               std::size_t end)>& fn);
+
  private:
   void worker_loop();
+  // Blocks until `count` scheduled tasks signalled done, then logs every
+  // suppressed error to stderr and rethrows the first (satellite of §16:
+  // secondary shard failures used to vanish).
+  struct Completion;
+  static void await_and_rethrow(Completion& completion, std::size_t count,
+                                std::vector<std::exception_ptr>& errors);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -89,12 +89,14 @@ TEST(DistProtocol, WaveReplyRoundTrip) {
   f.verb = "EHLO";
   f.text = "EHLO probe.example";
   rep.slice.wave1.record(f);
+  rep.query_count = 321;
 
   const std::string frame = encode_wave_rep(rep);
   MessageView view(frame);
   ASSERT_EQ(view.type(), MsgType::WaveRep);
   const WaveRep back = decode_wave_rep(view);
   EXPECT_EQ(back.seq, 42u);
+  EXPECT_EQ(back.query_count, 321u);
   EXPECT_EQ(back.slice.advance, 1234);
   ASSERT_EQ(back.slice.outcomes.size(), 1u);
   EXPECT_EQ(back.slice.outcomes[0].address, ip(9));
@@ -137,6 +139,7 @@ TEST(DistProtocol, RequeueRoundTrip) {
   rep.seq = 7;
   rep.slice.recovered = 5;
   rep.slice.advance = 60;
+  rep.query_count = 17;
   const std::string rframe = encode_requeue_rep(rep);
   MessageView rview(rframe);
   ASSERT_EQ(rview.type(), MsgType::RequeueRep);
@@ -144,6 +147,7 @@ TEST(DistProtocol, RequeueRoundTrip) {
   EXPECT_EQ(rback.seq, 7u);
   EXPECT_EQ(rback.slice.recovered, 5u);
   EXPECT_EQ(rback.slice.advance, 60);
+  EXPECT_EQ(rback.query_count, 17u);
 }
 
 TEST(DistProtocol, ObserveRoundTripCarriesHostFlags) {
@@ -180,6 +184,7 @@ TEST(DistProtocol, ObserveRoundTripCarriesHostFlags) {
   rep.slice.results = {longitudinal::Observation::Vulnerable,
                        longitudinal::Observation::Inconclusive};
   rep.slice.advance = 90;
+  rep.query_count = 8;
   const std::string rframe = encode_observe_rep(rep);
   MessageView rview(rframe);
   const ObserveRep rback = decode_observe_rep(rview);
@@ -188,6 +193,7 @@ TEST(DistProtocol, ObserveRoundTripCarriesHostFlags) {
   EXPECT_EQ(rback.slice.results[0], longitudinal::Observation::Vulnerable);
   EXPECT_EQ(rback.slice.results[1], longitudinal::Observation::Inconclusive);
   EXPECT_EQ(rback.slice.advance, 90);
+  EXPECT_EQ(rback.query_count, 8u);
 }
 
 TEST(DistProtocol, CaptureRoundTripWithAbsentHosts) {

@@ -164,7 +164,7 @@ TEST(InternSync, ConcurrentInternsConverge) {
     });
   }
   for (auto& thread : threads) thread.join();
-  EXPECT_EQ(interner.table().size(), 50u);
+  EXPECT_EQ(interner.size(), 50u);
   for (int i = 0; i < 50; ++i) {
     const std::string text = "shared-" + std::to_string(i);
     EXPECT_EQ(interner.view(interner.intern(text)), text);
