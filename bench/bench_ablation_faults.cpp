@@ -24,6 +24,7 @@ scan::CampaignReport run_at_rate(double rate,
                                  net::WireTrace* trace = nullptr) {
   population::FleetConfig fleet_config;
   fleet_config.scale = 0.02;
+  fleet_config.mix = population::PolicyMix::paper_baseline();
   population::Fleet fleet(fleet_config);
 
   scan::CampaignConfig config;

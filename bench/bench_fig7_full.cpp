@@ -13,6 +13,7 @@ void BM_FullStudyTinyScale(benchmark::State& state) {
   for (auto _ : state) {
     spfail::population::FleetConfig config;
     config.scale = 0.005;
+    config.mix = spfail::population::PolicyMix::paper_baseline();
     spfail::population::Fleet fleet(config);
     spfail::longitudinal::Study study(fleet);
     benchmark::DoNotOptimize(study.run());
@@ -29,6 +30,7 @@ void BM_FullStudyThreads(benchmark::State& state) {
     state.PauseTiming();
     spfail::population::FleetConfig config;
     config.scale = 0.02;
+    config.mix = spfail::population::PolicyMix::paper_baseline();
     auto fleet = std::make_unique<spfail::population::Fleet>(config);
     spfail::longitudinal::StudyConfig study_config;
     study_config.threads = static_cast<int>(state.range(0));

@@ -164,6 +164,7 @@ LaneResult run_lane(double scale, bool lazy) {
   population::FleetConfig config;
   config.scale = scale;
   config.lazy_hosts = lazy;
+  config.mix = population::PolicyMix::paper_baseline();
   population::Fleet fleet(config);
   std::size_t target_domains = 0;
   if (lazy) {

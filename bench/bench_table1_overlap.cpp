@@ -9,6 +9,7 @@ void BM_FleetConstruction(benchmark::State& state) {
   for (auto _ : state) {
     spfail::population::FleetConfig config;
     config.scale = 0.002;
+    config.mix = spfail::population::PolicyMix::paper_baseline();
     spfail::population::Fleet fleet(config);
     benchmark::DoNotOptimize(fleet.address_count());
   }
@@ -18,6 +19,7 @@ BENCHMARK(BM_FleetConstruction)->Unit(benchmark::kMillisecond);
 void BM_TargetsEnumeration(benchmark::State& state) {
   spfail::population::FleetConfig config;
   config.scale = 0.01;
+  config.mix = spfail::population::PolicyMix::paper_baseline();
   spfail::population::Fleet fleet(config);
   for (auto _ : state) {
     benchmark::DoNotOptimize(fleet.targets());

@@ -2,7 +2,8 @@
 // the operator tool the paper's authors effectively ran, against the
 // simulated Internet.
 //
-//   usage: spfail_scan [--scale S] [--seed N] [--threads N] [--initial-only]
+//   usage: spfail_scan [--scale S] [--seed N] [--scenario NAMES]
+//                      [--threads N] [--initial-only]
 //                      [--sched auto|static|steal]
 //                      [--steal-mode auto|none|random|adversarial]
 //                      [--fault-rate R] [--fault-seed N] [--csv DIR]
@@ -10,9 +11,20 @@
 //                      [--checkpoint FILE] [--checkpoint-every N]
 //                      [--resume FILE] [--halt-after-rounds N]
 //                      [--workers N] [--worker-restart-budget N]
+//                      [--flag-table]
 //
 //   --scale S        population scale, 0 < S <= 1 (default 0.05)
 //   --seed N         fleet seed (default 2021)
+//   --scenario NAMES comma-separated attack-matrix scenarios (DESIGN.md §17):
+//                    baseline, forwarding, alignment, misconfig. The fleet is
+//                    staged with the specs' merged policy mix, the scan runs
+//                    over it as usual, and one measured outcome table per
+//                    spec is printed after the results (default:
+//                    SPFAIL_SCENARIO). Scenario outcomes are bit-identical
+//                    at any thread/worker count and across halt/resume;
+//                    `--scenario baseline` is byte-identical to no flag
+//   --flag-table     print the generated markdown flag table (the README's
+//                    "Flags" section) and exit
 //   --threads N      scan worker threads (default: SPFAIL_THREADS, else all
 //                    cores); results are bit-identical at any count
 //   --initial-only   run only the 2021-10-11 measurement, skip the
@@ -82,10 +94,12 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <string_view>
 
 #include "net/trace_stats.hpp"
 #include "obs/lane.hpp"
 #include "report/tables.hpp"
+#include "session/flag_registry.hpp"
 #include "session/scan_session.hpp"
 #include "util/shutdown.hpp"
 #include "util/stats.hpp"
@@ -127,6 +141,22 @@ void emit_dist_report(session::ScanSession& session) {
   const dist::DistReport report = coordinator->report();
   if (report.abandoned_count() == 0) return;
   std::cout << "\n" << report.summary();
+}
+
+// Print the per-scenario outcome tables (--scenario). Reports that measured
+// nothing (baseline, or a mix that stages no senders) are suppressed so a
+// `--scenario baseline` run keeps stdout byte-identical to a scenario-less
+// one.
+void emit_scenarios(session::ScanSession& session) {
+  std::vector<scenario::ScenarioReport> measured;
+  for (const scenario::ScenarioReport& report : session.scenario_reports()) {
+    const std::uint64_t flows =
+        report.legit.flows + report.forwarded.flows + report.spoof.flows;
+    if (report.domains_staged == 0 && flows == 0) continue;
+    measured.push_back(report);
+  }
+  if (measured.empty()) return;
+  std::cout << "\n" << report::scenario_outcomes(measured);
 }
 
 // Write the JSONL round snapshots + Prometheus exposition and print the
@@ -171,6 +201,7 @@ int run(const session::ScanConfig& config) {
     if (session.trace()) emit_trace(config.trace_path, *session.trace());
     if (session.metrics() != nullptr) emit_metrics(session);
     emit_dist_report(session);
+    emit_scenarios(session);
     return 0;
   }
 
@@ -212,6 +243,7 @@ int run(const session::ScanConfig& config) {
   if (session.trace()) emit_trace(config.trace_path, *session.trace());
   if (session.metrics() != nullptr) emit_metrics(session);
   emit_dist_report(session);
+  emit_scenarios(session);
 
   if (!config.csv_dir.empty()) {
     std::cout << "\nCSV export:\n";
@@ -232,6 +264,14 @@ int main(int argc, char** argv) {
   // Graceful shutdown: SIGINT/SIGTERM set a flag the study loop checks at
   // round boundaries (checkpoint, clean exit) instead of killing the run.
   util::install_shutdown_handlers();
+  // --flag-table is a meta flag (documentation generator), not a scan knob:
+  // handle it before config parsing so it needs no valid configuration.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--flag-table") {
+      std::cout << session::flag_table_markdown();
+      return 0;
+    }
+  }
   try {
     return run(session::ScanConfig::from_args(argc, argv));
   } catch (const session::ScanConfigError& e) {

@@ -29,23 +29,19 @@ bool looks_like_dmarc(std::string_view txt) {
   return rest.empty() || rest.front() == ';' || rest.front() == ' ';
 }
 
-namespace {
-
-Policy parse_policy_value(std::string_view value) {
-  if (util::iequals(value, "none")) return Policy::None;
-  if (util::iequals(value, "quarantine")) return Policy::Quarantine;
-  if (util::iequals(value, "reject")) return Policy::Reject;
-  throw RecordSyntaxError("invalid policy value '" + std::string(value) + "'");
+Policy parse_policy(std::string_view text) {
+  if (util::iequals(text, "none")) return Policy::None;
+  if (util::iequals(text, "quarantine")) return Policy::Quarantine;
+  if (util::iequals(text, "reject")) return Policy::Reject;
+  throw RecordSyntaxError("invalid policy value '" + std::string(text) + "'");
 }
 
-Alignment parse_alignment_value(std::string_view value) {
-  if (util::iequals(value, "r")) return Alignment::Relaxed;
-  if (util::iequals(value, "s")) return Alignment::Strict;
-  throw RecordSyntaxError("invalid alignment value '" + std::string(value) +
+Alignment parse_alignment(std::string_view text) {
+  if (util::iequals(text, "r")) return Alignment::Relaxed;
+  if (util::iequals(text, "s")) return Alignment::Strict;
+  throw RecordSyntaxError("invalid alignment value '" + std::string(text) +
                           "'");
 }
-
-}  // namespace
 
 Record parse_record(std::string_view txt) {
   if (!looks_like_dmarc(txt)) {
@@ -67,14 +63,14 @@ Record parse_record(std::string_view txt) {
     const std::string_view value = util::trim(tag.substr(eq + 1));
 
     if (name == "p") {
-      record.policy = parse_policy_value(value);
+      record.policy = parse_policy(value);
       saw_p = true;
     } else if (name == "sp") {
-      record.subdomain_policy = parse_policy_value(value);
+      record.subdomain_policy = parse_policy(value);
     } else if (name == "aspf") {
-      record.spf_alignment = parse_alignment_value(value);
+      record.spf_alignment = parse_alignment(value);
     } else if (name == "adkim") {
-      record.dkim_alignment = parse_alignment_value(value);
+      record.dkim_alignment = parse_alignment(value);
     } else if (name == "pct") {
       int pct = 0;
       for (char c : value) {

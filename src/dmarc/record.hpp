@@ -19,6 +19,12 @@ enum class Alignment { Relaxed, Strict };
 std::string to_string(Policy policy);
 std::string to_string(Alignment alignment);
 
+// Strict inverses of to_string ("none"/"quarantine"/"reject", "r"/"s",
+// case-insensitive per RFC 7489 tag values). Throw RecordSyntaxError on
+// unknown text.
+Policy parse_policy(std::string_view text);
+Alignment parse_alignment(std::string_view text);
+
 struct Record {
   Policy policy = Policy::None;            // p=
   std::optional<Policy> subdomain_policy;  // sp=

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "dkim/dkim.hpp"
 #include "dmarc/discovery.hpp"
+#include "mail/message.hpp"
 
 namespace spfail::mta {
 
@@ -15,7 +17,8 @@ MailHost::MailHost(HostProfile profile, dns::DnsService& dns_service,
       resolver_(dns_service, clock, profile_.address),
       behaviors_(profile_.behaviors),
       flaky_rng_(profile_.address.is_v4() ? profile_.address.v4_value()
-                                          : 0x6D7461ULL) {
+                                          : 0x6D7461ULL),
+      dmarc_seed_(util::fnv1a(profile_.address.to_string())) {
   for (const auto behavior : behaviors_) {
     engines_.push_back(spfvuln::make_expander(behavior));
     evaluators_.push_back(std::make_unique<spf::Evaluator>(
@@ -88,6 +91,7 @@ spf::Result MailHost::run_spf(const std::string& sender_local,
 smtp::Reply MailHost::on_mail_from(const std::string& sender_local,
                                    const std::string& sender_domain,
                                    const util::IpAddress& client) {
+  mail_from_spf_result_ = spf::Result::None;
   if (blacklisted_) return smtp::replies::blacklisted();
 
   if (profile_.greylists) {
@@ -109,6 +113,7 @@ smtp::Reply MailHost::on_mail_from(const std::string& sender_local,
   if (profile_.validates_spf && profile_.spf_timing == SpfTiming::AtMailFrom &&
       !sender_domain.empty()) {
     const spf::Result result = run_spf(sender_local, sender_domain, client);
+    mail_from_spf_result_ = result;
     if (result == spf::Result::Fail && profile_.rejects_spf_fail) {
       return smtp::replies::rejected_by_policy();
     }
@@ -133,10 +138,13 @@ smtp::Reply MailHost::on_rcpt_to(const std::string& recipient,
 
 smtp::Reply MailHost::on_message(const smtp::Envelope& envelope,
                                  const util::IpAddress& client) {
+  last_dmarc_.reset();
   if (profile_.rejects_messages) {
     return smtp::Reply{554, "Transaction failed: message content rejected"};
   }
-  spf::Result spf_result = spf::Result::None;
+  spf::Result spf_result =
+      profile_.spf_timing == SpfTiming::AtMailFrom ? mail_from_spf_result_
+                                                   : spf::Result::None;
   if (profile_.validates_spf && profile_.spf_timing == SpfTiming::AfterData &&
       !envelope.sender_domain.empty()) {
     spf_result = run_spf(envelope.sender_local, envelope.sender_domain, client);
@@ -145,15 +153,33 @@ smtp::Reply MailHost::on_message(const smtp::Envelope& envelope,
     }
   }
   if (profile_.checks_dmarc && !envelope.sender_domain.empty()) {
-    // With no DKIM in the simulation and headerless probe messages, the
-    // envelope sender domain stands in for RFC5322.From — the common
-    // configuration for DMARC-at-the-edge filters.
-    const dns::Name from_domain = dns::Name::lenient(envelope.sender_domain);
-    const dmarc::DiscoveryResult discovery =
-        dmarc::discover(resolver_, from_domain);
-    const dmarc::Disposition disposition = dmarc::disposition_for(
-        discovery, spf_result, from_domain, from_domain);
-    if (disposition == dmarc::Disposition::Reject) {
+    dmarc::EvaluationInput input;
+    input.spf_result = spf_result;
+    input.spf_domain = dns::Name::lenient(envelope.sender_domain);
+    // The envelope sender domain stands in for RFC5322.From on dataless
+    // transactions (the scanner's probes); real messages carry a From
+    // header — and possibly a DKIM signature — that override it.
+    input.from_domain = input.spf_domain;
+    if (!envelope.data.empty()) {
+      try {
+        const mail::Message message = mail::Message::parse(envelope.data);
+        if (const auto from = message.from_domain(); from.has_value()) {
+          input.from_domain = *from;
+        }
+        if (message.count_header("dkim-signature") > 0) {
+          const dkim::Verification verification =
+              dkim::verify(message, resolver_);
+          input.dkim_result = verification.result;
+          input.dkim_domain = verification.domain;
+        }
+      } catch (const std::exception&) {
+        // Unparseable data: fall back to envelope identifiers, as edge
+        // filters do.
+      }
+    }
+    const dmarc::Evaluator evaluator(resolver_, dmarc_seed_);
+    last_dmarc_ = evaluator.evaluate(input);
+    if (last_dmarc_->disposition == dmarc::Disposition::Reject) {
       return smtp::Reply{550, "Rejected by DMARC policy"};
     }
   }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "dmarc/evaluator.hpp"
 #include "dns/resolver.hpp"
 #include "smtp/server.hpp"
 #include "spf/eval.hpp"
@@ -149,6 +150,12 @@ class MailHost : public smtp::SessionHandler {
     return last_spf_results_;
   }
 
+  // The DMARC evaluation of the most recent on_message, when this host
+  // checks DMARC and one ran (scenario runner and test observability).
+  const std::optional<dmarc::Evaluation>& last_dmarc() const noexcept {
+    return last_dmarc_;
+  }
+
  private:
   // Run every SPF engine against the sender; returns the policy decision of
   // the primary (first) engine.
@@ -171,6 +178,13 @@ class MailHost : public smtp::SessionHandler {
   // instead of a to_string() allocation plus string compare.
   std::map<util::IpAddress, util::SimTime> greylist_seen_;
   util::Rng flaky_rng_;  // seeded from the address; deterministic per host
+  // SPF result of the current transaction's MAIL FROM validation (AtMailFrom
+  // hosts), fed to DMARC at on_message so an aligned pass can rescue a
+  // message. Stateless pct= sampling keys off dmarc_seed_, so evaluation
+  // order — and lazy-vs-eager host materialisation — cannot shift outcomes.
+  spf::Result mail_from_spf_result_ = spf::Result::None;
+  std::uint64_t dmarc_seed_ = 0;
+  std::optional<dmarc::Evaluation> last_dmarc_;
   bool blacklisted_ = false;
   bool patched_ = false;
 };

@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "dkim/dkim.hpp"
 #include "population/paper_constants.hpp"
 
 namespace spfail::population {
@@ -134,8 +135,15 @@ void Fleet::stage_host(const mta::HostProfile& profile) {
 
 Fleet::Fleet(FleetConfig config)
     : config_(config), geo_(util::Rng(config.seed ^ 0x9E01ULL)) {
+  config_.mix.validate();
   responder_ = scan::install_test_responder(dns_);
   build();
+}
+
+const SenderPolicy& Fleet::sender_policy(std::size_t domain_index) const {
+  static const SenderPolicy kUnstaged{};
+  if (sender_policies_.empty()) return kUnstaged;
+  return sender_policies_.at(domain_index);
 }
 
 const AddressInfo& Fleet::info(const util::IpAddress& address) const {
@@ -363,25 +371,25 @@ util::IpAddress Fleet::new_host(const std::string& tld, bool provider_pool,
     // P(multi | erroneous-or-vulnerable) * P(erroneous-or-vulnerable) =
     // 0.26 * ~0.23 = ~0.06.
     if (primary != spfvuln::SpfBehavior::RfcCompliant &&
-        rng.bernoulli(0.26)) {
+        rng.bernoulli(config_.mix.multi_stack_rate)) {
       profile.behaviors.push_back(spfvuln::SpfBehavior::RfcCompliant);
     }
 
     // A sliver of hosts greylist; the scanner's 8-minute backoff absorbs it.
-    profile.greylists = rng.bernoulli(0.02);
+    profile.greylists = rng.bernoulli(config_.mix.greylist_rate);
     // A sizeable share of validators also enforce DMARC (Deccio et al. [3]
     // measured just over half of SPF validators running all three of
     // SPF/DKIM/DMARC) — these reject the blank probe per §6.2's p=reject.
-    profile.checks_dmarc = rng.bernoulli(0.4);
+    profile.checks_dmarc = rng.bernoulli(config_.mix.dmarc_check_rate);
     // ~2% of validators are flaky enough that the initial NoMsg+BlankMsg
     // pair usually stays inconclusive — the §6.1 re-measurable cohort.
-    if (rng.bernoulli(0.02)) profile.flaky_spf_rate = 0.9;
+    if (rng.bernoulli(config_.mix.flaky_rate)) profile.flaky_spf_rate = 0.9;
     // Some hosts only accept administrative mailboxes — the username ladder
     // walks to one of them.
-    if (rng.bernoulli(0.20)) {
+    if (rng.bernoulli(config_.mix.admin_recipient_rate)) {
       profile.known_recipients = {"postmaster", "abuse", "admin", "info"};
     }
-    profile.rejects_spf_fail = rng.bernoulli(0.6);
+    profile.rejects_spf_fail = rng.bernoulli(config_.mix.reject_spf_fail_rate);
   }
 
   AddressInfo address_info;
@@ -754,6 +762,161 @@ void Fleet::build() {
   }
 
   finalise(std::move(staging), std::move(info));
+
+  // Scenario staging runs last, from its own fork of the root stream. The
+  // three historical lanes above have already been forked, so a baseline
+  // build (which skips this entirely) and a scenario build draw identical
+  // tld/topology/profiles sequences — the population itself never shifts.
+  if (config_.mix.stages_senders()) {
+    stage_sender_policies(root.fork("scenario"));
+  }
+}
+
+void Fleet::stage_sender_policies(util::Rng rng) {
+  const PolicyMix& mix = config_.mix;
+  sender_policies_.assign(domains_.size(), SenderPolicy{});
+
+  // Staged records live in static zones keyed by TLD origin. Dynamic
+  // responders (the measurement apparatus) are matched before zones, so
+  // probe traffic cannot be shadowed by anything installed here.
+  std::map<std::string, dns::Zone> zones;
+  const auto zone_for = [&](std::string_view origin) -> dns::Zone& {
+    auto it = zones.find(std::string(origin));
+    if (it == zones.end()) {
+      it = zones
+               .emplace(std::string(origin),
+                        dns::Zone(dns::Name::lenient(origin)))
+               .first;
+    }
+    return it->second;
+  };
+
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    const DomainRecord& d = domains_[i];
+    SenderPolicy policy;
+    policy.publishes_spf = true;
+
+    // Fixed draw count per domain (routing, spf, dkim, dmarc-publish,
+    // dmarc-share) so one domain's outcome never shifts a later domain's.
+    const double routing_draw = rng.uniform01();
+    const double spf_draw = rng.uniform01();
+    const double dkim_draw = rng.uniform01();
+    const double publish_draw = rng.uniform01();
+    const double share_draw = rng.uniform01();
+
+    if (routing_draw < mix.forward_plain_rate) {
+      policy.routing = SenderRouting::ForwardPlain;
+    } else if (routing_draw < mix.forward_plain_rate + mix.forward_srs_rate) {
+      policy.routing = SenderRouting::ForwardSrs;
+    } else if (routing_draw < mix.forward_plain_rate + mix.forward_srs_rate +
+                                  mix.esp_envelope_rate) {
+      policy.routing = SenderRouting::EspEnvelope;
+    }
+    if (spf_draw < mix.spf_plus_all_rate) {
+      policy.spf = SenderSpf::PlusAll;
+    } else if (spf_draw < mix.spf_plus_all_rate + mix.spf_broad_cidr_rate) {
+      policy.spf = SenderSpf::BroadCidr;
+    } else if (spf_draw < mix.spf_plus_all_rate + mix.spf_broad_cidr_rate +
+                              mix.spf_long_chain_rate) {
+      policy.spf = SenderSpf::LongChain;
+    }
+    if (dkim_draw < mix.dkim_aligned_rate) {
+      policy.dkim = SenderDkim::Aligned;
+    } else if (dkim_draw < mix.dkim_aligned_rate + mix.dkim_misaligned_rate) {
+      policy.dkim = SenderDkim::Misaligned;
+    }
+    if (publish_draw < mix.dmarc_publish_rate) {
+      policy.publishes_dmarc = true;
+      policy.dmarc_pct = static_cast<std::uint8_t>(mix.dmarc_pct);
+      if (share_draw < mix.dmarc_reject_share) {
+        policy.dmarc_policy = dmarc::Policy::Reject;
+      } else if (share_draw <
+                 mix.dmarc_reject_share + mix.dmarc_quarantine_share) {
+        policy.dmarc_policy = dmarc::Policy::Quarantine;
+      }
+    }
+
+    // --- publish the staged records ---
+    dns::Zone& zone = zone_for(d.tld);
+    const dns::Name name = dns::Name::lenient(d.name);
+    const util::IpAddress origin_ip = d.addresses.front();
+    const std::string orig_mech =
+        (origin_ip.is_v4() ? "ip4:" : "ip6:") + origin_ip.to_string();
+
+    switch (policy.spf) {
+      case SenderSpf::Normal:
+        zone.add(dns::ResourceRecord::txt(name,
+                                          "v=spf1 " + orig_mech + " -all"));
+        break;
+      case SenderSpf::PlusAll:
+        zone.add(dns::ResourceRecord::txt(name,
+                                          "v=spf1 " + orig_mech + " +all"));
+        break;
+      case SenderSpf::BroadCidr:
+        // A /8 "temporary" allowance that happens to cover the adversary.
+        zone.add(dns::ResourceRecord::txt(
+            name, "v=spf1 " + orig_mech + " ip4:198.0.0.0/8 -all"));
+        break;
+      case SenderSpf::LongChain: {
+        // include:spfc0 -> spfc1 -> ... -> spfc10: eleven include lookups,
+        // one past RFC 7208's limit of ten — every evaluation permerrors.
+        zone.add(dns::ResourceRecord::txt(
+            name, "v=spf1 include:spfc0." + std::string(d.name) + " -all"));
+        for (int link = 0; link < 10; ++link) {
+          zone.add(dns::ResourceRecord::txt(
+              name.child("spfc" + std::to_string(link)),
+              "v=spf1 include:spfc" + std::to_string(link + 1) + "." +
+                  std::string(d.name) + " -all"));
+        }
+        zone.add(dns::ResourceRecord::txt(
+            name.child("spfc10"), "v=spf1 " + orig_mech + " -all"));
+        break;
+      }
+    }
+
+    if (policy.dkim == SenderDkim::Aligned) {
+      zone.add(dns::ResourceRecord::txt(
+          dkim::key_record_name(name, kDkimSelector),
+          dkim::key_record_text(dkim_secret_for(d.name))));
+    }
+
+    if (policy.publishes_dmarc) {
+      dmarc::Record record;
+      record.policy = policy.dmarc_policy;
+      record.percent = policy.dmarc_pct;
+      zone.add(dns::ResourceRecord::txt(name.child("_dmarc"),
+                                        dmarc::to_text(record)));
+    }
+
+    sender_policies_[i] = policy;
+  }
+
+  // Fixed scenario infrastructure: the forwarder pool's and the ESP bounce
+  // domain's SPF, and the ESP's (misaligned) DKIM key.
+  dns::Zone& infra = zone_for(kScenarioZone);
+  infra.add(dns::ResourceRecord::txt(
+      dns::Name::lenient(kForwarderDomain),
+      "v=spf1 ip4:" + forwarder_address().to_string() + " -all"));
+  infra.add(dns::ResourceRecord::txt(
+      dns::Name::lenient(kEspBounceDomain),
+      "v=spf1 ip4:" + esp_address().to_string() + " -all"));
+  dns::Zone& esp = zone_for(kEspSignerDomain);
+  esp.add(dns::ResourceRecord::txt(
+      dkim::key_record_name(dns::Name::lenient(kEspSignerDomain),
+                            kDkimSelector),
+      dkim::key_record_text(dkim_secret_for(kEspSignerDomain))));
+
+  for (auto& [origin, zone] : zones) dns_.add_zone(std::move(zone));
+
+  // Receivers a scenario flow can usefully dial. specs_ is address-sorted,
+  // so this list is too (the runner's pick is an index hash over it).
+  for (const HostSpec& spec : specs_) {
+    if (spec.accepts_connections && !spec.smtp_broken && spec.validates_spf &&
+        !spec.greylists && !spec.flaky && !spec.rejects_messages &&
+        spec.recipients != HostSpec::Recipients::NobodyReal) {
+      scenario_receivers_.push_back(spec.address);
+    }
+  }
 }
 
 }  // namespace spfail::population

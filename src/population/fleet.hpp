@@ -40,6 +40,7 @@
 #include "dns/server.hpp"
 #include "mta/host.hpp"
 #include "population/geo.hpp"
+#include "population/policy_mix.hpp"
 #include "spf/record_cache.hpp"
 #include "population/tld.hpp"
 #include "scan/campaign.hpp"
@@ -82,6 +83,12 @@ struct FleetConfig {
   // residue (greylist map, flaky-RNG cursor, patch/blacklist flags)
   // preserved across the round trip. Reports are byte-identical either way.
   bool lazy_hosts = false;
+  // Receiver behaviour rates plus the scenario layer's sender staging. The
+  // default mix reproduces the historical population byte for byte and
+  // stages nothing; a mix with positive sender rates additionally draws one
+  // SenderPolicy per domain (from its own RNG fork, after all other build
+  // lanes) and publishes the matching SPF/DKIM/DMARC DNS records.
+  PolicyMix mix;
 };
 
 class Fleet : public scan::HostRegistry {
@@ -121,6 +128,18 @@ class Fleet : public scan::HostRegistry {
   void release_host(const util::IpAddress& address) override;
   // How many MailHosts are currently materialised (bench/test observability).
   std::size_t live_hosts() const;
+
+  // --- scenario staging (populated only when config().mix stages senders;
+  // see src/scenario/) ---
+  // The staged sender policy of domains()[domain_index]. In a baseline
+  // fleet every entry is the default (unstaged) policy.
+  const SenderPolicy& sender_policy(std::size_t domain_index) const;
+  // Addresses of hosts a scenario flow can usefully dial: reachable,
+  // SMTP-whole SPF validators without greylisting/flakiness that accept at
+  // least administrative recipients. Sorted; empty in a baseline fleet.
+  const std::vector<util::IpAddress>& scenario_receivers() const noexcept {
+    return scenario_receivers_;
+  }
 
   // All domains as campaign targets (optionally one set only).
   enum class SetFilter { All, AlexaTopList, Alexa1000, TwoWeekMx };
@@ -212,6 +231,12 @@ class Fleet : public scan::HostRegistry {
   // unchanged, so RNG sequences — and with them the whole population — stay
   // identical to the pre-§14 generator).
   void stage_host(const mta::HostProfile& profile);
+  // Scenario staging: draw one SenderPolicy per domain from `rng` (a
+  // dedicated fork; the historical lanes never see it), install the staged
+  // SPF/DKIM/DMARC records as zones, and collect scenario_receivers_.
+  // Runs after finalise(); no-op content-wise for the default mix (callers
+  // skip it entirely then, so baseline builds touch no extra RNG state).
+  void stage_sender_policies(util::Rng rng);
 
   // Index into specs_/hosts_ for `address`; npos when absent.
   std::size_t spec_index(const util::IpAddress& address) const;
@@ -237,6 +262,10 @@ class Fleet : public scan::HostRegistry {
   std::vector<DomainRecord> domains_;
   // Address metadata, sorted by address (binary-searched).
   std::vector<std::pair<util::IpAddress, AddressInfo>> info_;
+
+  // Scenario staging results; empty/default unless the mix stages senders.
+  std::vector<SenderPolicy> sender_policies_;  // aligned with domains_
+  std::vector<util::IpAddress> scenario_receivers_;
 
   // Host storage: specs sorted by address, hosts_ index-aligned. In eager
   // mode every slot is filled at construction; in lazy mode slots fill on

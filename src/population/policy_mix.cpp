@@ -1,0 +1,172 @@
+#include "population/policy_mix.hpp"
+
+#include <stdexcept>
+
+namespace spfail::population {
+
+std::string to_string(SenderSpf spf) {
+  switch (spf) {
+    case SenderSpf::Normal:
+      return "normal";
+    case SenderSpf::PlusAll:
+      return "plus-all";
+    case SenderSpf::BroadCidr:
+      return "broad-cidr";
+    case SenderSpf::LongChain:
+      return "long-chain";
+  }
+  return "?";
+}
+
+std::string to_string(SenderDkim dkim) {
+  switch (dkim) {
+    case SenderDkim::None:
+      return "none";
+    case SenderDkim::Aligned:
+      return "aligned";
+    case SenderDkim::Misaligned:
+      return "misaligned";
+  }
+  return "?";
+}
+
+std::string to_string(SenderRouting routing) {
+  switch (routing) {
+    case SenderRouting::Direct:
+      return "direct";
+    case SenderRouting::ForwardPlain:
+      return "forward-plain";
+    case SenderRouting::ForwardSrs:
+      return "forward-srs";
+    case SenderRouting::EspEnvelope:
+      return "esp-envelope";
+  }
+  return "?";
+}
+
+SenderSpf parse_sender_spf(std::string_view text) {
+  if (text == "normal") return SenderSpf::Normal;
+  if (text == "plus-all") return SenderSpf::PlusAll;
+  if (text == "broad-cidr") return SenderSpf::BroadCidr;
+  if (text == "long-chain") return SenderSpf::LongChain;
+  throw std::invalid_argument("unknown SenderSpf '" + std::string(text) + "'");
+}
+
+SenderDkim parse_sender_dkim(std::string_view text) {
+  if (text == "none") return SenderDkim::None;
+  if (text == "aligned") return SenderDkim::Aligned;
+  if (text == "misaligned") return SenderDkim::Misaligned;
+  throw std::invalid_argument("unknown SenderDkim '" + std::string(text) + "'");
+}
+
+SenderRouting parse_sender_routing(std::string_view text) {
+  if (text == "direct") return SenderRouting::Direct;
+  if (text == "forward-plain") return SenderRouting::ForwardPlain;
+  if (text == "forward-srs") return SenderRouting::ForwardSrs;
+  if (text == "esp-envelope") return SenderRouting::EspEnvelope;
+  throw std::invalid_argument("unknown SenderRouting '" + std::string(text) +
+                              "'");
+}
+
+bool PolicyMix::stages_senders() const noexcept {
+  return forward_plain_rate > 0.0 || forward_srs_rate > 0.0 ||
+         esp_envelope_rate > 0.0 || dkim_aligned_rate > 0.0 ||
+         dkim_misaligned_rate > 0.0 || dmarc_publish_rate > 0.0 ||
+         spf_plus_all_rate > 0.0 || spf_broad_cidr_rate > 0.0 ||
+         spf_long_chain_rate > 0.0;
+}
+
+void PolicyMix::validate() const {
+  const auto check_rate = [](const char* name, double rate) {
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+      throw std::invalid_argument(std::string("PolicyMix::") + name +
+                                  " must be in [0, 1], got " +
+                                  std::to_string(rate));
+    }
+  };
+  check_rate("greylist_rate", greylist_rate);
+  check_rate("dmarc_check_rate", dmarc_check_rate);
+  check_rate("flaky_rate", flaky_rate);
+  check_rate("admin_recipient_rate", admin_recipient_rate);
+  check_rate("reject_spf_fail_rate", reject_spf_fail_rate);
+  check_rate("multi_stack_rate", multi_stack_rate);
+  check_rate("forward_plain_rate", forward_plain_rate);
+  check_rate("forward_srs_rate", forward_srs_rate);
+  check_rate("esp_envelope_rate", esp_envelope_rate);
+  check_rate("dkim_aligned_rate", dkim_aligned_rate);
+  check_rate("dkim_misaligned_rate", dkim_misaligned_rate);
+  check_rate("dmarc_publish_rate", dmarc_publish_rate);
+  check_rate("dmarc_reject_share", dmarc_reject_share);
+  check_rate("dmarc_quarantine_share", dmarc_quarantine_share);
+  check_rate("spf_plus_all_rate", spf_plus_all_rate);
+  check_rate("spf_broad_cidr_rate", spf_broad_cidr_rate);
+  check_rate("spf_long_chain_rate", spf_long_chain_rate);
+
+  const auto check_group = [](const char* what, double sum) {
+    if (sum > 1.0) {
+      throw std::invalid_argument(std::string("PolicyMix ") + what +
+                                  " rates sum past 1 (" +
+                                  std::to_string(sum) + ")");
+    }
+  };
+  check_group("routing", forward_plain_rate + forward_srs_rate +
+                             esp_envelope_rate);
+  check_group("dkim", dkim_aligned_rate + dkim_misaligned_rate);
+  check_group("dmarc policy share",
+              dmarc_reject_share + dmarc_quarantine_share);
+  check_group("spf misconfiguration",
+              spf_plus_all_rate + spf_broad_cidr_rate + spf_long_chain_rate);
+
+  if (dmarc_pct < 0 || dmarc_pct > 100) {
+    throw std::invalid_argument("PolicyMix::dmarc_pct must be in [0, 100]");
+  }
+}
+
+PolicyMix PolicyMix::paper_baseline() { return PolicyMix{}; }
+
+PolicyMix PolicyMix::forwarding() {
+  PolicyMix mix;
+  mix.forward_plain_rate = 0.12;  // forwarders that preserve MAIL FROM
+  mix.forward_srs_rate = 0.07;    // forwarders that rewrite (SRS)
+  mix.dkim_aligned_rate = 0.45;   // signatures survive the hop
+  mix.dmarc_publish_rate = 0.40;
+  mix.dmarc_reject_share = 0.45;
+  mix.dmarc_quarantine_share = 0.25;
+  return mix;
+}
+
+PolicyMix PolicyMix::alignment() {
+  PolicyMix mix;
+  mix.esp_envelope_rate = 0.50;     // SPF-misaligned envelopes by design
+  mix.dkim_aligned_rate = 0.40;
+  mix.dkim_misaligned_rate = 0.22;  // the ESP signs with its own domain
+  mix.dmarc_publish_rate = 0.85;
+  mix.dmarc_reject_share = 0.50;
+  mix.dmarc_quarantine_share = 0.25;
+  mix.dmarc_pct = 60;  // pct= sampling visibly in play
+  return mix;
+}
+
+PolicyMix PolicyMix::misconfig() {
+  PolicyMix mix;
+  mix.spf_plus_all_rate = 0.07;
+  mix.spf_broad_cidr_rate = 0.05;
+  mix.spf_long_chain_rate = 0.04;
+  return mix;
+}
+
+util::IpAddress forwarder_address() {
+  return util::IpAddress::v4(203, 0, 113, 200);
+}
+
+util::IpAddress esp_address() { return util::IpAddress::v4(203, 0, 113, 210); }
+
+util::IpAddress attacker_address() {
+  return util::IpAddress::v4(198, 51, 100, 66);
+}
+
+std::string dkim_secret_for(std::string_view domain) {
+  return "k:" + std::string(domain);
+}
+
+}  // namespace spfail::population

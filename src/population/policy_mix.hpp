@@ -1,0 +1,152 @@
+// PolicyMix: the one value type behind every fleet behaviour selection.
+//
+// Before the scenario layer, Fleet::new_host drew host behaviours from rate
+// literals buried in the generator, and there was no way at all to express a
+// *sender-side* population ("12% of domains forward without SRS, 7% publish
+// +all"). PolicyMix bundles both surfaces:
+//
+//   * receiver rates — the per-host behaviour draws the generator always
+//     made (greylisting, DMARC checking, flakiness, recipient policy,
+//     SPF-fail rejection, multi-stack). Defaults equal the historical
+//     literals, so a default mix reproduces the pre-scenario population
+//     byte for byte, RNG draw for RNG draw.
+//   * sender rates — the scenario staging: per-domain mail-routing
+//     (forwarders with/without SRS, ESP envelopes), DKIM signing
+//     (aligned/misaligned), DMARC publication (policy shares, pct=), and
+//     SPF misconfiguration (+all, over-broad CIDR, >10-lookup include
+//     chains). All zero by default: a baseline fleet stages nothing and
+//     installs no extra DNS.
+//
+// Scenarios (src/scenario/), benches, and tests construct mixes explicitly
+// via the named constructors instead of poking individual knobs in four
+// places.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dmarc/record.hpp"
+#include "util/ip.hpp"
+
+namespace spfail::population {
+
+// --- sender-policy staging enums (one triple drawn per domain) ---
+
+// The SPF record a staged domain publishes.
+enum class SenderSpf : std::uint8_t {
+  Normal,     // v=spf1 <origin> -all — authorizes only the real outbound IP
+  PlusAll,    // v=spf1 <origin> +all — anyone passes (Lazy Gatekeepers)
+  BroadCidr,  // an over-broad ip4:/8 that happens to cover the attacker
+  LongChain,  // >10 chained includes — every evaluation ends in permerror
+};
+
+// Whether (and how) a staged domain DKIM-signs its outbound mail.
+enum class SenderDkim : std::uint8_t {
+  None,        // unsigned
+  Aligned,     // d= equals the From domain — rescues DMARC when SPF breaks
+  Misaligned,  // d= is the ESP's domain — signs, but never aligns
+};
+
+// The path a staged domain's legitimate mail takes to the receiver.
+enum class SenderRouting : std::uint8_t {
+  Direct,        // origin IP straight to the receiver
+  ForwardPlain,  // forwarder hop preserving MAIL FROM — SPF breaks
+  ForwardSrs,    // forwarder hop rewriting MAIL FROM (SRS) — SPF passes,
+                 // but no longer aligns with the From domain
+  EspEnvelope,   // sent by an ESP under its own bounce domain (SPF
+                 // misaligned by construction)
+};
+
+std::string to_string(SenderSpf spf);
+std::string to_string(SenderDkim dkim);
+std::string to_string(SenderRouting routing);
+
+// Strict inverses of to_string; throw std::invalid_argument on unknown text.
+SenderSpf parse_sender_spf(std::string_view text);
+SenderDkim parse_sender_dkim(std::string_view text);
+SenderRouting parse_sender_routing(std::string_view text);
+
+// One domain's staged sender policy (all defaults = unstaged).
+struct SenderPolicy {
+  SenderSpf spf = SenderSpf::Normal;
+  SenderDkim dkim = SenderDkim::None;
+  SenderRouting routing = SenderRouting::Direct;
+  bool publishes_spf = false;    // set for every staged domain
+  bool publishes_dmarc = false;
+  dmarc::Policy dmarc_policy = dmarc::Policy::None;
+  std::uint8_t dmarc_pct = 100;
+
+  bool staged() const noexcept { return publishes_spf; }
+
+  friend bool operator==(const SenderPolicy&, const SenderPolicy&) = default;
+};
+
+struct PolicyMix {
+  // --- receiver-side behaviour rates (Fleet::new_host; defaults are the
+  // paper-calibrated literals the generator has always used) ---
+  double greylist_rate = 0.02;         // §5.2 backoff-absorbed greylisting
+  double dmarc_check_rate = 0.4;       // Deccio et al. [3]
+  double flaky_rate = 0.02;            // §6.1 re-measurable cohort
+  double admin_recipient_rate = 0.20;  // postmaster/abuse/admin/info only
+  double reject_spf_fail_rate = 0.6;
+  double multi_stack_rate = 0.26;      // §7.9, conditional on non-compliant
+
+  // --- sender-side scenario rates (all zero: nothing staged) ---
+  double forward_plain_rate = 0.0;   // routing: ForwardPlain
+  double forward_srs_rate = 0.0;     // routing: ForwardSrs
+  double esp_envelope_rate = 0.0;    // routing: EspEnvelope
+  double dkim_aligned_rate = 0.0;    // dkim: Aligned
+  double dkim_misaligned_rate = 0.0; // dkim: Misaligned
+  double dmarc_publish_rate = 0.0;
+  double dmarc_reject_share = 0.0;     // of published records: p=reject
+  double dmarc_quarantine_share = 0.0; // of published: p=quarantine
+  int dmarc_pct = 100;                 // pct= on every published record
+  double spf_plus_all_rate = 0.0;    // spf: PlusAll
+  double spf_broad_cidr_rate = 0.0;  // spf: BroadCidr
+  double spf_long_chain_rate = 0.0;  // spf: LongChain
+
+  // True when any sender-side rate is positive — the fleet then runs the
+  // sender staging pass and installs the scenario DNS zones.
+  bool stages_senders() const noexcept;
+
+  // Throws std::invalid_argument when a rate is outside [0, 1], a rate
+  // group sums past 1, or dmarc_pct is outside [0, 100].
+  void validate() const;
+
+  // Named mixes. paper_baseline() == PolicyMix{}: today's population.
+  static PolicyMix paper_baseline();
+  // Forward Pass (arXiv 2302.07287): forwarder hops break SPF; SRS restores
+  // it at the cost of alignment; aligned DKIM rescues DMARC.
+  static PolicyMix forwarding();
+  // Weak Links (arXiv 2011.08420): SPF-misaligned ESP mail and misaligned
+  // DKIM under published DMARC policies, with pct= sampling in play.
+  static PolicyMix alignment();
+  // Lazy Gatekeepers (arXiv 2502.08240): +all, over-broad CIDRs, and
+  // >10-lookup include chains producing permerror.
+  static PolicyMix misconfig();
+
+  friend bool operator==(const PolicyMix&, const PolicyMix&) = default;
+};
+
+// --- fixed scenario network endpoints (installed by the fleet's staging
+// pass, dialled by the scenario runner; RFC 5737/3849 documentation space
+// so they can never collide with generated MTA addresses) ---
+
+util::IpAddress forwarder_address();  // the forwarding hop's outbound IP
+util::IpAddress esp_address();        // the ESP's outbound IP
+util::IpAddress attacker_address();   // the spoofing adversary
+
+inline constexpr std::string_view kScenarioZone = "scenario-net.example";
+inline constexpr std::string_view kForwarderDomain =
+    "fwd-pool.scenario-net.example";
+inline constexpr std::string_view kEspBounceDomain =
+    "bounce.esp.scenario-net.example";
+inline constexpr std::string_view kEspSignerDomain = "esp-mail.example";
+inline constexpr std::string_view kDkimSelector = "scn";
+
+// The deterministic signing secret for a DKIM key record ("k:" + domain);
+// shared between the fleet's key publication and the runner's Signer.
+std::string dkim_secret_for(std::string_view domain);
+
+}  // namespace spfail::population

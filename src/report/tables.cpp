@@ -7,6 +7,7 @@
 #include <set>
 #include <span>
 #include <string_view>
+#include <utility>
 
 #include "longitudinal/pkgmgr.hpp"
 #include "population/paper_constants.hpp"
@@ -682,6 +683,72 @@ util::TextTable trace_summary(const net::TraceStats& stats) {
     for (const auto& [rcode, n] : stats.dns_rcodes) {
       table.add_row({"DNS " + rcode, count(n)});
     }
+  }
+  return table;
+}
+
+util::TextTable scenario_outcomes(
+    const std::vector<scenario::ScenarioReport>& reports) {
+  TextTable table({"Scenario", "Outcome", "Value"},
+                  {Align::Left, Align::Left, Align::Right});
+  const auto count = [](std::uint64_t n) {
+    return with_commas(static_cast<long long>(n));
+  };
+  bool first = true;
+  for (const scenario::ScenarioReport& report : reports) {
+    if (!first) table.add_rule();
+    first = false;
+    std::string label = report.name + " v" + std::to_string(report.version);
+    const auto flow_rows = [&](const char* kind,
+                               const scenario::FlowTally& tally) {
+      table.add_row({std::exchange(label, ""), std::string(kind) + " flows",
+                     count(tally.flows)});
+      table.add_row({"", std::string(kind) + " delivered",
+                     count(tally.delivered)});
+      table.add_row({"", std::string(kind) + " rejected",
+                     count(tally.rejected)});
+    };
+    table.add_row({std::exchange(label, ""), "domains staged",
+                   count(report.domains_staged) +
+                       (report.truncated ? " (truncated)" : "")});
+    flow_rows("legit", report.legit);
+    flow_rows("forwarded", report.forwarded);
+    flow_rows("spoof", report.spoof);
+    const std::uint64_t quarantined = report.legit.quarantined +
+                                      report.forwarded.quarantined +
+                                      report.spoof.quarantined;
+    const std::uint64_t sampled_out = report.legit.dmarc_sampled_out +
+                                      report.forwarded.dmarc_sampled_out +
+                                      report.spoof.dmarc_sampled_out;
+    table.add_row({"", "DMARC quarantined", count(quarantined)});
+    table.add_row({"", "DMARC pct= sampled out", count(sampled_out)});
+    const std::uint64_t legit_flows =
+        report.legit.flows + report.forwarded.flows;
+    const std::uint64_t all_flows = legit_flows + report.spoof.flows;
+    table.add_row({"", "spoof delivered rate",
+                   percent(static_cast<long long>(report.spoof.delivered),
+                           static_cast<long long>(
+                               std::max<std::uint64_t>(1, report.spoof.flows)),
+                           1)});
+    table.add_row({"", "spoof rejected rate",
+                   percent(static_cast<long long>(report.spoof.rejected),
+                           static_cast<long long>(
+                               std::max<std::uint64_t>(1, report.spoof.flows)),
+                           1)});
+    table.add_row(
+        {"", "legit rejected rate",
+         percent(
+             static_cast<long long>(report.legit.rejected +
+                                    report.forwarded.rejected),
+             static_cast<long long>(std::max<std::uint64_t>(1, legit_flows)),
+             1)});
+    table.add_row(
+        {"", "SPF permerror rate",
+         percent(static_cast<long long>(report.legit.spf_permerror +
+                                        report.forwarded.spf_permerror +
+                                        report.spoof.spf_permerror),
+                 static_cast<long long>(std::max<std::uint64_t>(1, all_flows)),
+                 1)});
   }
   return table;
 }

@@ -12,6 +12,7 @@
 #include "net/trace_stats.hpp"
 #include "obs/metrics.hpp"
 #include "population/fleet.hpp"
+#include "scenario/runner.hpp"
 #include "util/table.hpp"
 
 namespace spfail::report {
@@ -87,6 +88,12 @@ util::TextTable degradation_table(const faults::DegradationReport& report);
 // sim-latency quantiles, the SMTP verb and DNS rcode mixes, distinct
 // lanes/endpoints, and the injected-frame share.
 util::TextTable trace_summary(const net::TraceStats& stats);
+
+// `spfail_scan --scenario` summary: per configured ScenarioSpec, the flow
+// tallies (legit / forwarded / spoof) and the four oracle rates the spec's
+// windows constrain. One block per report, in configuration order.
+util::TextTable scenario_outcomes(
+    const std::vector<scenario::ScenarioReport>& reports);
 
 // `spfail_scan --metrics` summary: one row per metric cell — counters and
 // gauges with their value, histograms with count/p50/p95/max in simulated

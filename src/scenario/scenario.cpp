@@ -1,0 +1,230 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace spfail::scenario {
+
+std::string to_string(Focus focus) {
+  switch (focus) {
+    case Focus::Baseline:
+      return "baseline";
+    case Focus::Forwarding:
+      return "forwarding";
+    case Focus::Alignment:
+      return "alignment";
+    case Focus::Misconfig:
+      return "misconfig";
+  }
+  return "?";
+}
+
+Focus parse_focus(std::string_view text) {
+  if (text == "baseline") return Focus::Baseline;
+  if (text == "forwarding") return Focus::Forwarding;
+  if (text == "alignment") return Focus::Alignment;
+  if (text == "misconfig") return Focus::Misconfig;
+  throw std::invalid_argument("unknown scenario Focus '" + std::string(text) +
+                              "'");
+}
+
+const std::vector<ScenarioSpec>& builtin_scenarios() {
+  static const std::vector<ScenarioSpec> kScenarios = [] {
+    std::vector<ScenarioSpec> out;
+
+    {
+      ScenarioSpec spec;
+      spec.name = "baseline";
+      spec.version = 1;
+      spec.summary = "the paper's population, nothing staged (control)";
+      spec.focus = Focus::Baseline;
+      spec.mix = population::PolicyMix::paper_baseline();
+      // Zero flows: every window is the degenerate [0, 0].
+      out.push_back(std::move(spec));
+    }
+
+    {
+      ScenarioSpec spec;
+      spec.name = "forwarding";
+      spec.version = 1;
+      spec.summary =
+          "forwarder hops preserve or SRS-rewrite MAIL FROM (Forward Pass)";
+      spec.focus = Focus::Forwarding;
+      spec.mix = population::PolicyMix::forwarding();
+      // Plain-forwarded mail SPF-fails at 60% of receivers; SRS and aligned
+      // DKIM pull the legit-rejected rate back down. Spoof still lands at
+      // the ~40% of receivers that don't reject SPF fail outright and have
+      // no reject-policy DMARC check to fall back on.
+      spec.oracle.spoof_delivered = {0.20, 0.50};
+      spec.oracle.spoof_rejected = {0.50, 0.80};
+      spec.oracle.legit_rejected = {0.15, 0.55};
+      spec.oracle.permerror = {0.0, 0.02};
+      out.push_back(std::move(spec));
+    }
+
+    {
+      ScenarioSpec spec;
+      spec.name = "alignment";
+      spec.version = 1;
+      spec.summary =
+          "SPF-misaligned ESP envelopes vs (mis)aligned DKIM under DMARC "
+          "pct= (Weak Links)";
+      spec.focus = Focus::Alignment;
+      spec.mix = population::PolicyMix::alignment();
+      // Legit ESP mail passes SPF on the bounce domain, so rejection only
+      // comes from DMARC-checking receivers seeing no aligned pass — rare
+      // once aligned DKIM and pct=60 sampling thin it out. Spoof mail
+      // SPF-fails and additionally trips published reject policies.
+      spec.oracle.spoof_delivered = {0.15, 0.50};
+      spec.oracle.spoof_rejected = {0.50, 0.85};
+      spec.oracle.legit_rejected = {0.0, 0.15};
+      spec.oracle.permerror = {0.0, 0.02};
+      out.push_back(std::move(spec));
+    }
+
+    {
+      ScenarioSpec spec;
+      spec.name = "misconfig";
+      spec.version = 1;
+      spec.summary =
+          "+all, over-broad CIDRs, >10-lookup include chains (Lazy "
+          "Gatekeepers)";
+      spec.focus = Focus::Misconfig;
+      spec.mix = population::PolicyMix::misconfig();
+      // Every focus domain's record lets the attacker straight through:
+      // +all and the /8 both match the spoofed client, and the long chain
+      // permerrors — which no receiver treats as Fail. The permerror window
+      // is the long-chain share of focus domains (4 of 16), seen on both
+      // the legit and the spoof flow.
+      spec.oracle.spoof_delivered = {0.90, 1.0};
+      spec.oracle.spoof_rejected = {0.0, 0.10};
+      spec.oracle.legit_rejected = {0.0, 0.05};
+      spec.oracle.permerror = {0.12, 0.40};
+      out.push_back(std::move(spec));
+    }
+
+    return out;
+  }();
+  return kScenarios;
+}
+
+const ScenarioSpec* find_scenario(std::string_view name) {
+  for (const ScenarioSpec& spec : builtin_scenarios()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string valid_names() {
+  std::string out;
+  for (const ScenarioSpec& spec : builtin_scenarios()) {
+    if (!out.empty()) out += ", ";
+    out += spec.name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> parse_scenario_list(std::string_view csv) {
+  std::vector<ScenarioSpec> out;
+  std::set<std::string> seen;
+  for (const std::string_view token : util::split(csv, ',')) {
+    const std::string name(util::trim(token));
+    if (name.empty()) {
+      throw std::invalid_argument(
+          "empty scenario name (valid: " + valid_names() + ")");
+    }
+    if (!seen.insert(name).second) {
+      throw std::invalid_argument("duplicate scenario '" + name + "'");
+    }
+    const ScenarioSpec* spec = find_scenario(name);
+    if (spec == nullptr) {
+      throw std::invalid_argument("unknown scenario '" + name +
+                                  "' (valid: " + valid_names() + ")");
+    }
+    out.push_back(*spec);
+  }
+  if (out.empty()) {
+    throw std::invalid_argument(
+        "no scenario named (valid: " + valid_names() + ")");
+  }
+  return out;
+}
+
+population::PolicyMix resolve_mix(const std::vector<ScenarioSpec>& specs) {
+  if (specs.empty()) return population::PolicyMix::paper_baseline();
+
+  population::PolicyMix out = specs.front().mix;
+  // Receiver rates must agree — the merged fleet can only have one set.
+  for (const ScenarioSpec& spec : specs) {
+    const population::PolicyMix& mix = spec.mix;
+    if (mix.greylist_rate != out.greylist_rate ||
+        mix.dmarc_check_rate != out.dmarc_check_rate ||
+        mix.flaky_rate != out.flaky_rate ||
+        mix.admin_recipient_rate != out.admin_recipient_rate ||
+        mix.reject_spf_fail_rate != out.reject_spf_fail_rate ||
+        mix.multi_stack_rate != out.multi_stack_rate) {
+      throw std::invalid_argument("scenario '" + spec.name +
+                                  "' disagrees on receiver rates; specs with "
+                                  "different receiver populations cannot be "
+                                  "merged");
+    }
+  }
+
+  // Sender rates add; DMARC shares combine publish-weighted; pct= takes the
+  // strictest (minimum) of the publishing specs.
+  out.forward_plain_rate = 0.0;
+  out.forward_srs_rate = 0.0;
+  out.esp_envelope_rate = 0.0;
+  out.dkim_aligned_rate = 0.0;
+  out.dkim_misaligned_rate = 0.0;
+  out.dmarc_publish_rate = 0.0;
+  out.dmarc_reject_share = 0.0;
+  out.dmarc_quarantine_share = 0.0;
+  out.dmarc_pct = 100;
+  out.spf_plus_all_rate = 0.0;
+  out.spf_broad_cidr_rate = 0.0;
+  out.spf_long_chain_rate = 0.0;
+
+  double reject_weight = 0.0, quarantine_weight = 0.0;
+  for (const ScenarioSpec& spec : specs) {
+    const population::PolicyMix& mix = spec.mix;
+    out.forward_plain_rate += mix.forward_plain_rate;
+    out.forward_srs_rate += mix.forward_srs_rate;
+    out.esp_envelope_rate += mix.esp_envelope_rate;
+    out.dkim_aligned_rate = std::max(out.dkim_aligned_rate,
+                                     mix.dkim_aligned_rate);
+    out.dkim_misaligned_rate = std::max(out.dkim_misaligned_rate,
+                                        mix.dkim_misaligned_rate);
+    out.spf_plus_all_rate += mix.spf_plus_all_rate;
+    out.spf_broad_cidr_rate += mix.spf_broad_cidr_rate;
+    out.spf_long_chain_rate += mix.spf_long_chain_rate;
+    if (mix.dmarc_publish_rate > 0.0) {
+      out.dmarc_publish_rate =
+          std::max(out.dmarc_publish_rate, mix.dmarc_publish_rate);
+      reject_weight += mix.dmarc_publish_rate * mix.dmarc_reject_share;
+      quarantine_weight +=
+          mix.dmarc_publish_rate * mix.dmarc_quarantine_share;
+      out.dmarc_pct = std::min(out.dmarc_pct, mix.dmarc_pct);
+    }
+  }
+  double publish_total = 0.0;
+  for (const ScenarioSpec& spec : specs) {
+    publish_total += spec.mix.dmarc_publish_rate;
+  }
+  if (publish_total > 0.0) {
+    out.dmarc_reject_share = reject_weight / publish_total;
+    out.dmarc_quarantine_share = quarantine_weight / publish_total;
+  }
+
+  out.validate();
+  return out;
+}
+
+}  // namespace spfail::scenario

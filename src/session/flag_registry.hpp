@@ -1,0 +1,43 @@
+// The table-driven flag registry behind ScanConfig (DESIGN.md §11).
+//
+// Every knob used to be spelled four times: a --flag branch in from_args, an
+// SPFAIL_* branch in apply_env, a doc line in the README table, and the
+// field default — and the four drifted. A FlagDef row carries all of it
+// (CLI name, env var, value placeholder, default, doc line, apply
+// function), so from_args/apply_env loop the table and the README flag
+// table is *generated* from it (`spfail_scan --flag-table`). Adding a flag
+// is adding one row.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "session/scan_config.hpp"
+
+namespace spfail::session {
+
+struct FlagDef {
+  const char* flag;        // "--scale"
+  const char* env;         // "SPFAIL_SCALE"; nullptr = CLI-only
+  const char* value_name;  // "RATE"; nullptr = boolean switch (no value)
+  const char* default_doc; // rendered in the flag table's Default column
+  const char* doc;         // one-line description
+  // Apply one occurrence. `what` names the source for error messages (the
+  // flag or the env var). `text` is the value — nullptr for a switch given
+  // on the command line (switches from the environment carry 0/1 text).
+  // Throws ScanConfigError on malformed input.
+  void (*apply)(ScanConfig& config, std::string_view what, const char* text);
+};
+
+// Every ScanConfig flag, in the order the generated table lists them.
+std::span<const FlagDef> flag_registry();
+
+// Registry lookup by CLI name; nullptr when unknown.
+const FlagDef* find_flag(std::string_view flag);
+
+// The README flag table (GitHub-flavoured markdown), generated from the
+// registry so docs cannot drift from the parser.
+std::string flag_table_markdown();
+
+}  // namespace spfail::session

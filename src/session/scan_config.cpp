@@ -1,79 +1,13 @@
 #include "session/scan_config.hpp"
 
-#include <cerrno>
-#include <climits>
 #include <cstdlib>
+#include <stdexcept>
 #include <string_view>
 
+#include "scenario/scenario.hpp"
+#include "session/flag_registry.hpp"
+
 namespace spfail::session {
-
-namespace {
-
-// Strict full-string numeric parsers: empty input, trailing garbage, and
-// range errors all throw — no silent atof/atoi coercion to 0.
-
-[[noreturn]] void reject(std::string_view what, std::string_view text,
-                         const char* wanted) {
-  throw ScanConfigError(std::string(what) + " expects " + wanted + ", got '" +
-                        std::string(text) + "'");
-}
-
-double parse_double(std::string_view what, const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(text, &end);
-  if (end == text || *end != '\0' || errno == ERANGE) {
-    reject(what, text, "a number");
-  }
-  return v;
-}
-
-int parse_int(std::string_view what, const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE ||
-      v < static_cast<long>(INT_MIN) || v > static_cast<long>(INT_MAX)) {
-    reject(what, text, "an integer");
-  }
-  return static_cast<int>(v);
-}
-
-std::uint64_t parse_u64(std::string_view what, const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  if (*text == '-') reject(what, text, "a non-negative integer");
-  const unsigned long long v = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE) {
-    reject(what, text, "a non-negative integer");
-  }
-  return static_cast<std::uint64_t>(v);
-}
-
-bool parse_bool(std::string_view what, const char* text) {
-  const std::string_view v = text;
-  if (v == "1" || v == "true") return true;
-  if (v == "0" || v == "false" || v.empty()) return false;
-  reject(what, v, "0/1/true/false");
-}
-
-util::SchedPolicy parse_sched(std::string_view what, const char* text) {
-  try {
-    return util::parse_sched_policy(text);
-  } catch (const std::invalid_argument&) {
-    reject(what, text, "auto/static/steal");
-  }
-}
-
-util::StealMode parse_steal(std::string_view what, const char* text) {
-  try {
-    return util::parse_steal_mode(text);
-  } catch (const std::invalid_argument&) {
-    reject(what, text, "auto/none/random/adversarial");
-  }
-}
-
-}  // namespace
 
 void ScanConfig::validate() const {
   if (!(scale > 0.0 && scale <= 1.0)) {
@@ -119,6 +53,13 @@ void ScanConfig::validate() const {
         "--metrics-wall requires --metrics (there is nowhere to write the "
         "wall-clock lane)");
   }
+  if (!scenario.empty()) {
+    try {
+      scenario::parse_scenario_list(scenario);
+    } catch (const std::invalid_argument& error) {
+      throw ScanConfigError("--scenario: " + std::string(error.what()));
+    }
+  }
 }
 
 ScanConfig ScanConfig::from_env() { return from_env(ScanConfig{}); }
@@ -134,45 +75,11 @@ ScanConfig ScanConfig::from_env(const ScanConfig& defaults) {
 }
 
 ScanConfig ScanConfig::apply_env(ScanConfig config) {
-  if (const char* env = std::getenv("SPFAIL_SCALE")) {
-    config.scale = parse_double("SPFAIL_SCALE", env);
-  }
-  if (const char* env = std::getenv("SPFAIL_FAULT_SEED")) {
-    config.faults.seed = parse_u64("SPFAIL_FAULT_SEED", env);
-  }
-  if (const char* env = std::getenv("SPFAIL_FAULT_RATE")) {
-    config.faults.rate = parse_double("SPFAIL_FAULT_RATE", env);
-  }
-  if (const char* env = std::getenv("SPFAIL_TRACE")) {
-    config.trace_path = env;
-  }
-  if (const char* env = std::getenv("SPFAIL_CSV_DIR")) {
-    config.csv_dir = env;
-  }
-  if (const char* env = std::getenv("SPFAIL_METRICS")) {
-    config.metrics_path = env;
-  }
-  if (const char* env = std::getenv("SPFAIL_METRICS_WALL")) {
-    config.metrics_wall = parse_bool("SPFAIL_METRICS_WALL", env);
-  }
-  if (const char* env = std::getenv("SPFAIL_LAZY_HOSTS")) {
-    config.lazy_hosts = parse_bool("SPFAIL_LAZY_HOSTS", env);
-  }
-  if (const char* env = std::getenv("SPFAIL_CHECKPOINT_STRINGS")) {
-    config.checkpoint_strings = parse_bool("SPFAIL_CHECKPOINT_STRINGS", env);
-  }
-  if (const char* env = std::getenv("SPFAIL_SCHED")) {
-    config.sched = parse_sched("SPFAIL_SCHED", env);
-  }
-  if (const char* env = std::getenv("SPFAIL_STEAL")) {
-    config.steal_mode = parse_steal("SPFAIL_STEAL", env);
-  }
-  if (const char* env = std::getenv("SPFAIL_WORKERS")) {
-    config.workers = parse_int("SPFAIL_WORKERS", env);
-  }
-  if (const char* env = std::getenv("SPFAIL_WORKER_RESTART_BUDGET")) {
-    config.worker_restart_budget =
-        parse_int("SPFAIL_WORKER_RESTART_BUDGET", env);
+  for (const FlagDef& def : flag_registry()) {
+    if (def.env == nullptr) continue;
+    if (const char* env = std::getenv(def.env)) {
+      def.apply(config, def.env, env);
+    }
   }
   return config;
 }
@@ -182,55 +89,18 @@ ScanConfig ScanConfig::from_args(int argc, const char* const* argv,
   ScanConfig config = apply_env(defaults);
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    const auto next = [&]() -> const char* {
+    const FlagDef* def = find_flag(arg);
+    if (def == nullptr) {
+      throw ScanConfigError("unknown option " + std::string(arg));
+    }
+    const char* text = nullptr;
+    if (def->value_name != nullptr) {
       if (i + 1 >= argc) {
         throw ScanConfigError("missing value for " + std::string(arg));
       }
-      return argv[++i];
-    };
-    if (arg == "--scale") {
-      config.scale = parse_double(arg, next());
-    } else if (arg == "--seed") {
-      config.fleet_seed = parse_u64(arg, next());
-    } else if (arg == "--threads") {
-      config.threads = parse_int(arg, next());
-    } else if (arg == "--initial-only") {
-      config.initial_only = true;
-    } else if (arg == "--sched") {
-      config.sched = parse_sched(arg, next());
-    } else if (arg == "--steal-mode") {
-      config.steal_mode = parse_steal(arg, next());
-    } else if (arg == "--fault-rate") {
-      config.faults.rate = parse_double(arg, next());
-    } else if (arg == "--fault-seed") {
-      config.faults.seed = parse_u64(arg, next());
-    } else if (arg == "--csv") {
-      config.csv_dir = next();
-    } else if (arg == "--trace") {
-      config.trace_path = next();
-    } else if (arg == "--metrics") {
-      config.metrics_path = next();
-    } else if (arg == "--metrics-wall") {
-      config.metrics_wall = true;
-    } else if (arg == "--lazy-hosts") {
-      config.lazy_hosts = true;
-    } else if (arg == "--checkpoint-strings") {
-      config.checkpoint_strings = true;
-    } else if (arg == "--checkpoint") {
-      config.checkpoint_path = next();
-    } else if (arg == "--checkpoint-every") {
-      config.checkpoint_every = parse_int(arg, next());
-    } else if (arg == "--resume") {
-      config.resume_path = next();
-    } else if (arg == "--halt-after-rounds") {
-      config.halt_after_rounds = parse_int(arg, next());
-    } else if (arg == "--workers") {
-      config.workers = parse_int(arg, next());
-    } else if (arg == "--worker-restart-budget") {
-      config.worker_restart_budget = parse_int(arg, next());
-    } else {
-      throw ScanConfigError("unknown option " + std::string(arg));
+      text = argv[++i];
     }
+    def->apply(config, arg, text);
   }
   config.validate();
   return config;

@@ -29,6 +29,11 @@ struct ScanConfig {
   double scale = 0.05;             // (0, 1]; SPFAIL_SCALE / --scale
   std::uint64_t fleet_seed = 2021;  // --seed
   std::uint64_t study_seed = 20211011;
+  // Comma-separated ScenarioSpec names (src/scenario/): the fleet builds
+  // with the specs' merged PolicyMix and each spec's outcome table is
+  // measured after the scan. Empty = the plain paper population.
+  // SPFAIL_SCENARIO / --scenario.
+  std::string scenario;
   // Stream hosts instead of holding the whole fleet resident (DESIGN.md
   // §14): MailHosts materialise on probe and are evicted afterwards.
   // Reports are byte-identical either way; this trades a little CPU for a
@@ -86,13 +91,11 @@ struct ScanConfig {
   bool tracing() const noexcept { return !trace_path.empty(); }
   bool metrics() const noexcept { return !metrics_path.empty(); }
 
-  // Environment over `defaults`: SPFAIL_SCALE, SPFAIL_FAULT_SEED,
-  // SPFAIL_FAULT_RATE, SPFAIL_TRACE, SPFAIL_CSV_DIR, SPFAIL_METRICS,
-  // SPFAIL_METRICS_WALL, SPFAIL_LAZY_HOSTS, SPFAIL_CHECKPOINT_STRINGS,
-  // SPFAIL_SCHED, SPFAIL_STEAL.
-  // (SPFAIL_THREADS is
-  // resolved by the thread pool itself when threads == 0.) Throws
-  // ScanConfigError on malformed or out-of-range values.
+  // Environment over `defaults`: every SPFAIL_* variable named in the flag
+  // registry (session/flag_registry.hpp — the registry is the single source
+  // of truth for the flag/env surface). (SPFAIL_THREADS is resolved by the
+  // thread pool itself when threads == 0.) Throws ScanConfigError on
+  // malformed or out-of-range values.
   static ScanConfig from_env(const ScanConfig& defaults);
   static ScanConfig from_env();
 

@@ -31,9 +31,52 @@ population::Fleet& ScanSession::fleet() {
     fleet_config.scale = config_.scale;
     fleet_config.seed = config_.fleet_seed;
     fleet_config.lazy_hosts = config_.lazy_hosts;
+    fleet_config.mix = scenario::resolve_mix(scenarios());
     fleet_ = std::make_unique<population::Fleet>(fleet_config);
   }
   return *fleet_;
+}
+
+const std::vector<scenario::ScenarioSpec>& ScanSession::scenarios() {
+  if (!scenarios_.has_value()) {
+    scenarios_ = config_.scenario.empty()
+                     ? std::vector<scenario::ScenarioSpec>{}
+                     : scenario::parse_scenario_list(config_.scenario);
+  }
+  return *scenarios_;
+}
+
+const std::vector<scenario::ScenarioReport>& ScanSession::scenario_reports() {
+  if (scenario_reports_.has_value()) return *scenario_reports_;
+  scenario_reports_.emplace();
+
+  const population::PolicyMix mix = scenario::resolve_mix(scenarios());
+  // A mix that stages nothing (baseline, or no --scenario) measures nothing:
+  // report zero flows per spec without paying for a second fleet.
+  std::unique_ptr<population::Fleet> staged;
+  if (mix.stages_senders()) {
+    population::FleetConfig fleet_config;
+    fleet_config.scale = config_.scale;
+    fleet_config.seed = config_.fleet_seed;
+    fleet_config.lazy_hosts = config_.lazy_hosts;
+    fleet_config.mix = mix;
+    staged = std::make_unique<population::Fleet>(fleet_config);
+  }
+
+  scenario::RunnerOptions options;
+  options.seed = config_.fleet_seed;
+  for (const scenario::ScenarioSpec& spec : scenarios()) {
+    if (staged) {
+      scenario_reports_->push_back(
+          scenario::run_scenario(*staged, spec, options));
+    } else {
+      scenario::ScenarioReport report;
+      report.name = spec.name;
+      report.version = spec.version;
+      scenario_reports_->push_back(std::move(report));
+    }
+  }
+  return *scenario_reports_;
 }
 
 longitudinal::StudyConfig ScanSession::study_config() {

@@ -30,6 +30,8 @@
 #include "obs/metrics.hpp"
 #include "population/fleet.hpp"
 #include "scan/campaign.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 #include "session/scan_config.hpp"
 
 namespace spfail::session {
@@ -40,8 +42,22 @@ class ScanSession {
 
   const ScanConfig& config() const noexcept { return config_; }
 
-  // Lazily built fleet (scale/seed from the config).
+  // Lazily built fleet (scale/seed from the config). When --scenario names
+  // specs, the fleet builds with their merged PolicyMix (resolve_mix), so
+  // the scanned population reflects the staging.
   population::Fleet& fleet();
+
+  // The parsed --scenario specs (empty without --scenario).
+  const std::vector<scenario::ScenarioSpec>& scenarios();
+
+  // One measured outcome table per configured spec (cached). The runner
+  // drives its flows over a dedicated fleet built fresh from the same
+  // scale/seed/mix — a pure function of the config, so the reports are
+  // bit-identical across thread counts, schedulers, worker counts, and
+  // halt/resume, and independent of whatever host state the scan built up.
+  // Baseline specs (and a mix that stages nothing) yield all-zero reports
+  // without building the extra fleet.
+  const std::vector<scenario::ScenarioReport>& scenario_reports();
 
   // The session-owned wire trace; nullptr when tracing is off.
   net::WireTrace* trace() noexcept {
@@ -111,6 +127,8 @@ class ScanSession {
   void record_metric_line(std::string_view phase, int round = -1);
 
   ScanConfig config_;
+  std::optional<std::vector<scenario::ScenarioSpec>> scenarios_;
+  std::optional<std::vector<scenario::ScenarioReport>> scenario_reports_;
   net::WireTrace trace_;
   obs::Registry metrics_;
   std::vector<std::string> metric_lines_;

@@ -1,0 +1,170 @@
+// dmarc::Evaluator: aligned-pass logic, disposition mapping, and — the bug
+// this layer fixed — pct= sampling. Record::percent used to be parsed and
+// then never consulted: every p=reject record enforced at 100% regardless of
+// pct=. The evaluator now samples deterministically per message identity and
+// downgrades the policy for sampled-out mail (RFC 7489 §6.6.4: reject →
+// quarantine, quarantine → none).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dkim/dkim.hpp"
+#include "dmarc/evaluator.hpp"
+#include "dns/server.hpp"
+#include "dns/resolver.hpp"
+#include "util/clock.hpp"
+
+namespace spfail {
+namespace {
+
+class DmarcEvaluatorFixture : public ::testing::Test {
+ protected:
+  // Publish a _dmarc record for `domain` inside the example.org zone.
+  void publish(const std::string& domain, const std::string& txt) {
+    dns::Zone zone(dns::Name::from_string(domain));
+    zone.add(dns::ResourceRecord::txt(
+        dns::Name::from_string("_dmarc." + domain), txt));
+    server_.add_zone(std::move(zone));
+  }
+
+  dmarc::EvaluationInput failing_input(const std::string& from_domain) {
+    dmarc::EvaluationInput input;
+    input.spf_result = spf::Result::Fail;
+    input.spf_domain = dns::Name::from_string(from_domain);
+    input.from_domain = dns::Name::from_string(from_domain);
+    return input;
+  }
+
+  dmarc::Evaluation evaluate(const dmarc::EvaluationInput& input,
+                             std::uint64_t seed = 7) {
+    dns::StubResolver resolver(server_, clock_,
+                               util::IpAddress::v4(192, 0, 2, 9));
+    const dmarc::Evaluator evaluator(resolver, seed);
+    return evaluator.evaluate(input);
+  }
+
+  dns::AuthoritativeServer server_;
+  util::SimClock clock_;
+};
+
+TEST_F(DmarcEvaluatorFixture, NoRecordMeansDeliver) {
+  const dmarc::Evaluation eval = evaluate(failing_input("norecord.example"));
+  EXPECT_FALSE(eval.has_record);
+  EXPECT_FALSE(eval.pass);
+  EXPECT_EQ(eval.disposition, dmarc::Disposition::Deliver);
+}
+
+TEST_F(DmarcEvaluatorFixture, AlignedSpfPassDelivers) {
+  publish("pass.example", "v=DMARC1; p=reject");
+  dmarc::EvaluationInput input = failing_input("pass.example");
+  input.spf_result = spf::Result::Pass;
+  const dmarc::Evaluation eval = evaluate(input);
+  EXPECT_TRUE(eval.has_record);
+  EXPECT_TRUE(eval.spf_aligned_pass);
+  EXPECT_TRUE(eval.pass);
+  EXPECT_EQ(eval.disposition, dmarc::Disposition::Deliver);
+}
+
+TEST_F(DmarcEvaluatorFixture, AlignedDkimRescuesSpfFailure) {
+  publish("signed.example", "v=DMARC1; p=reject");
+  dmarc::EvaluationInput input = failing_input("signed.example");
+  input.dkim_result = dkim::VerifyResult::Pass;
+  input.dkim_domain = dns::Name::from_string("signed.example");
+  const dmarc::Evaluation eval = evaluate(input);
+  EXPECT_FALSE(eval.spf_aligned_pass);
+  EXPECT_TRUE(eval.dkim_aligned_pass);
+  EXPECT_TRUE(eval.pass);
+  EXPECT_EQ(eval.disposition, dmarc::Disposition::Deliver);
+}
+
+TEST_F(DmarcEvaluatorFixture, MisalignedDkimDoesNotRescue) {
+  publish("victim.example", "v=DMARC1; p=reject");
+  dmarc::EvaluationInput input = failing_input("victim.example");
+  input.dkim_result = dkim::VerifyResult::Pass;
+  input.dkim_domain = dns::Name::from_string("esp-mail.example");
+  const dmarc::Evaluation eval = evaluate(input);
+  EXPECT_FALSE(eval.dkim_aligned_pass);
+  EXPECT_FALSE(eval.pass);
+  EXPECT_EQ(eval.disposition, dmarc::Disposition::Reject);
+  EXPECT_EQ(eval.applied_policy, dmarc::Policy::Reject);
+}
+
+TEST_F(DmarcEvaluatorFixture, StrictSpfAlignmentRejectsSubdomainMatch) {
+  // aspf=s: an organizational-domain SPF pass no longer aligns.
+  publish("strict.example", "v=DMARC1; p=reject; aspf=s");
+  dmarc::EvaluationInput input = failing_input("strict.example");
+  input.spf_result = spf::Result::Pass;
+  input.spf_domain = dns::Name::from_string("mail.strict.example");
+  const dmarc::Evaluation eval = evaluate(input);
+  EXPECT_FALSE(eval.spf_aligned_pass);
+  EXPECT_EQ(eval.disposition, dmarc::Disposition::Reject);
+}
+
+TEST_F(DmarcEvaluatorFixture, PctHundredAlwaysApplies) {
+  publish("full.example", "v=DMARC1; p=reject; pct=100");
+  const dmarc::Evaluation eval = evaluate(failing_input("full.example"));
+  EXPECT_FALSE(eval.sampled_out);
+  EXPECT_EQ(eval.disposition, dmarc::Disposition::Reject);
+}
+
+TEST_F(DmarcEvaluatorFixture, PctZeroDowngradesRejectToQuarantine) {
+  // pct=0 samples every message out; §6.6.4 downgrades reject one notch.
+  publish("zero.example", "v=DMARC1; p=reject; pct=0");
+  const dmarc::Evaluation eval = evaluate(failing_input("zero.example"));
+  EXPECT_TRUE(eval.has_record);
+  EXPECT_TRUE(eval.sampled_out);
+  EXPECT_EQ(eval.applied_policy, dmarc::Policy::Quarantine);
+  EXPECT_EQ(eval.disposition, dmarc::Disposition::Quarantine);
+}
+
+TEST_F(DmarcEvaluatorFixture, PctZeroDowngradesQuarantineToNone) {
+  publish("zeroq.example", "v=DMARC1; p=quarantine; pct=0");
+  const dmarc::Evaluation eval = evaluate(failing_input("zeroq.example"));
+  EXPECT_TRUE(eval.sampled_out);
+  EXPECT_EQ(eval.applied_policy, dmarc::Policy::None);
+  EXPECT_EQ(eval.disposition, dmarc::Disposition::Deliver);
+}
+
+TEST_F(DmarcEvaluatorFixture, PctSamplingIsDeterministicPerMessage) {
+  publish("half.example", "v=DMARC1; p=reject; pct=50");
+  const dmarc::EvaluationInput input = failing_input("half.example");
+  const dmarc::Evaluation first = evaluate(input);
+  for (int i = 0; i < 8; ++i) {
+    const dmarc::Evaluation again = evaluate(input);
+    EXPECT_EQ(again.sampled_out, first.sampled_out);
+    EXPECT_EQ(again.disposition, first.disposition);
+  }
+}
+
+TEST_F(DmarcEvaluatorFixture, PctFiftySplitsAcrossMessageIdentities) {
+  // Regression for the parsed-but-ignored pct=: across many distinct sender
+  // identities, a pct=50 policy must enforce on some and sample out others.
+  publish("sampled.example", "v=DMARC1; p=reject; pct=50");
+  int enforced = 0, sampled_out = 0;
+  for (int i = 0; i < 64; ++i) {
+    dmarc::EvaluationInput input = failing_input("sampled.example");
+    input.spf_domain =
+        dns::Name::from_string("s" + std::to_string(i) + ".example");
+    const dmarc::Evaluation eval = evaluate(input);
+    if (eval.sampled_out) {
+      ++sampled_out;
+      EXPECT_EQ(eval.disposition, dmarc::Disposition::Quarantine);
+    } else {
+      ++enforced;
+      EXPECT_EQ(eval.disposition, dmarc::Disposition::Reject);
+    }
+  }
+  EXPECT_GT(enforced, 8);
+  EXPECT_GT(sampled_out, 8);
+}
+
+TEST_F(DmarcEvaluatorFixture, OrganizationalFallbackUsesSubdomainPolicy) {
+  publish("org.example", "v=DMARC1; p=reject; sp=quarantine");
+  dmarc::EvaluationInput input = failing_input("mail.org.example");
+  const dmarc::Evaluation eval = evaluate(input);
+  EXPECT_TRUE(eval.has_record);
+  EXPECT_EQ(eval.disposition, dmarc::Disposition::Quarantine);
+}
+
+}  // namespace
+}  // namespace spfail

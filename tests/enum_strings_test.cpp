@@ -8,11 +8,15 @@
 #include <string>
 #include <vector>
 
+#include "dmarc/record.hpp"
 #include "faults/fault.hpp"
 #include "faults/retry.hpp"
 #include "obs/metrics.hpp"
+#include "population/policy_mix.hpp"
 #include "scan/campaign.hpp"
 #include "scan/prober.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 #include "snapshot/enums.hpp"
 #include "snapshot/snapshot.hpp"
 
@@ -247,6 +251,94 @@ TEST(EnumStrings, SnapshotWireMetricKind) {
   EXPECT_THROW(snapshot::decode_metric_kind(0), snapshot::SnapshotError);
   EXPECT_THROW(snapshot::decode_metric_kind(4), snapshot::SnapshotError);
   EXPECT_THROW(snapshot::decode_metric_kind(0xFF), snapshot::SnapshotError);
+}
+
+// ---- scenario layer (DESIGN.md §17): exhaustive to_string/parse pairs ----
+
+// Every enumerator round-trips through its strict parser, and unknown text
+// throws — the labels ride in scenario tables and the --scenario grammar.
+
+TEST(EnumStrings, DmarcPolicyRoundTrips) {
+  using dmarc::Policy;
+  for (const Policy v : {Policy::None, Policy::Quarantine, Policy::Reject}) {
+    EXPECT_EQ(dmarc::parse_policy(to_string(v)), v);
+  }
+  expect_distinct({to_string(Policy::None), to_string(Policy::Quarantine),
+                   to_string(Policy::Reject)});
+  EXPECT_EQ(to_string(Policy::Reject), "reject");
+  EXPECT_THROW(dmarc::parse_policy("block"), dmarc::RecordSyntaxError);
+}
+
+TEST(EnumStrings, DmarcAlignmentRoundTrips) {
+  using dmarc::Alignment;
+  for (const Alignment v : {Alignment::Relaxed, Alignment::Strict}) {
+    EXPECT_EQ(dmarc::parse_alignment(to_string(v)), v);
+  }
+  expect_distinct(
+      {to_string(Alignment::Relaxed), to_string(Alignment::Strict)});
+  EXPECT_THROW(dmarc::parse_alignment("x"), dmarc::RecordSyntaxError);
+}
+
+TEST(EnumStrings, SenderSpfRoundTrips) {
+  using population::SenderSpf;
+  std::vector<std::string> labels;
+  for (const SenderSpf v : {SenderSpf::Normal, SenderSpf::PlusAll,
+                            SenderSpf::BroadCidr, SenderSpf::LongChain}) {
+    EXPECT_EQ(population::parse_sender_spf(to_string(v)), v);
+    labels.push_back(to_string(v));
+  }
+  expect_distinct(labels);
+  EXPECT_THROW(population::parse_sender_spf("bogus"), std::invalid_argument);
+}
+
+TEST(EnumStrings, SenderDkimRoundTrips) {
+  using population::SenderDkim;
+  std::vector<std::string> labels;
+  for (const SenderDkim v :
+       {SenderDkim::None, SenderDkim::Aligned, SenderDkim::Misaligned}) {
+    EXPECT_EQ(population::parse_sender_dkim(to_string(v)), v);
+    labels.push_back(to_string(v));
+  }
+  expect_distinct(labels);
+  EXPECT_THROW(population::parse_sender_dkim("bogus"), std::invalid_argument);
+}
+
+TEST(EnumStrings, SenderRoutingRoundTrips) {
+  using population::SenderRouting;
+  std::vector<std::string> labels;
+  for (const SenderRouting v :
+       {SenderRouting::Direct, SenderRouting::ForwardPlain,
+        SenderRouting::ForwardSrs, SenderRouting::EspEnvelope}) {
+    EXPECT_EQ(population::parse_sender_routing(to_string(v)), v);
+    labels.push_back(to_string(v));
+  }
+  expect_distinct(labels);
+  EXPECT_THROW(population::parse_sender_routing("bogus"),
+               std::invalid_argument);
+}
+
+TEST(EnumStrings, ScenarioFocusRoundTrips) {
+  using scenario::Focus;
+  std::vector<std::string> labels;
+  for (const Focus v : {Focus::Baseline, Focus::Forwarding, Focus::Alignment,
+                        Focus::Misconfig}) {
+    EXPECT_EQ(scenario::parse_focus(to_string(v)), v);
+    labels.push_back(to_string(v));
+  }
+  expect_distinct(labels);
+  EXPECT_THROW(scenario::parse_focus("bogus"), std::invalid_argument);
+}
+
+TEST(EnumStrings, ScenarioFlowClassRoundTrips) {
+  using scenario::FlowClass;
+  std::vector<std::string> labels;
+  for (const FlowClass v :
+       {FlowClass::Legit, FlowClass::Forwarded, FlowClass::Spoof}) {
+    EXPECT_EQ(scenario::parse_flow_class(to_string(v)), v);
+    labels.push_back(to_string(v));
+  }
+  expect_distinct(labels);
+  EXPECT_THROW(scenario::parse_flow_class("bogus"), std::invalid_argument);
 }
 
 }  // namespace
