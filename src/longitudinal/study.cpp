@@ -31,6 +31,10 @@ std::vector<util::SimTime> measurement_round_times() {
 
 }  // namespace
 
+std::size_t Study::standard_round_count() {
+  return measurement_round_times().size();
+}
+
 std::string to_string(Cohort cohort) {
   switch (cohort) {
     case Cohort::All:

@@ -229,6 +229,11 @@ class Study {
   void run_round(State& state);
 
   std::size_t total_rounds() const { return round_times_.size(); }
+
+  // The paper's longitudinal round count (the two every-2-days measurement
+  // windows), without needing a Study instance — the scenario per-round
+  // series and the scan service pace themselves against it.
+  static std::size_t standard_round_count();
   bool rounds_remaining(const State& state) const {
     return state.next_round < round_times_.size();
   }

@@ -1,68 +1,17 @@
 #include "session/flag_registry.hpp"
 
-#include <cerrno>
-#include <climits>
-#include <cstdlib>
-
 #include "scenario/scenario.hpp"
+#include "session/flag_parse.hpp"
 
 namespace spfail::session {
 
 namespace {
 
-// Strict full-string numeric parsers: empty input, trailing garbage, and
-// range errors all throw — no silent atof/atoi coercion to 0.
-
-[[noreturn]] void reject(std::string_view what, std::string_view text,
-                         const char* wanted) {
-  throw ScanConfigError(std::string(what) + " expects " + wanted + ", got '" +
-                        std::string(text) + "'");
-}
-
-double parse_double(std::string_view what, const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(text, &end);
-  if (end == text || *end != '\0' || errno == ERANGE) {
-    reject(what, text, "a number");
-  }
-  return v;
-}
-
-int parse_int(std::string_view what, const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE ||
-      v < static_cast<long>(INT_MIN) || v > static_cast<long>(INT_MAX)) {
-    reject(what, text, "an integer");
-  }
-  return static_cast<int>(v);
-}
-
-std::uint64_t parse_u64(std::string_view what, const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  if (*text == '-') reject(what, text, "a non-negative integer");
-  const unsigned long long v = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE) {
-    reject(what, text, "a non-negative integer");
-  }
-  return static_cast<std::uint64_t>(v);
-}
-
-bool parse_bool(std::string_view what, const char* text) {
-  const std::string_view v = text;
-  if (v == "1" || v == "true") return true;
-  if (v == "0" || v == "false" || v.empty()) return false;
-  reject(what, v, "0/1/true/false");
-}
-
 util::SchedPolicy parse_sched(std::string_view what, const char* text) {
   try {
     return util::parse_sched_policy(text);
   } catch (const std::invalid_argument&) {
-    reject(what, text, "auto/static/steal");
+    reject_value(what, text, "auto/static/steal");
   }
 }
 
@@ -70,14 +19,8 @@ util::StealMode parse_steal(std::string_view what, const char* text) {
   try {
     return util::parse_steal_mode(text);
   } catch (const std::invalid_argument&) {
-    reject(what, text, "auto/none/random/adversarial");
+    reject_value(what, text, "auto/none/random/adversarial");
   }
-}
-
-// A switch given on the CLI carries no text (present = on); the same switch
-// from the environment carries 0/1/true/false.
-bool switch_on(std::string_view what, const char* text) {
-  return text == nullptr ? true : parse_bool(what, text);
 }
 
 constexpr FlagDef kFlags[] = {
@@ -96,6 +39,12 @@ constexpr FlagDef kFlags[] = {
      "(baseline, forwarding, alignment, misconfig); specs compose",
      [](ScanConfig& c, std::string_view, const char* text) {
        c.scenario = text;
+     }},
+    {"--scenario-rounds", "SPFAIL_SCENARIO_ROUNDS", "N", "-1 (study rounds)",
+     "longitudinal re-measurement rounds per scenario outcome table; "
+     "-1 mirrors the study's round count, 0 keeps the initial table only",
+     [](ScanConfig& c, std::string_view what, const char* text) {
+       c.scenario_rounds = parse_int(what, text);
      }},
     {"--threads", nullptr, "N", "0 (auto)",
      "scan worker threads; 0 defers to SPFAIL_THREADS / hardware",
@@ -194,38 +143,11 @@ constexpr FlagDef kFlags[] = {
 std::span<const FlagDef> flag_registry() { return kFlags; }
 
 const FlagDef* find_flag(std::string_view flag) {
-  for (const FlagDef& def : kFlags) {
-    if (flag == def.flag) return &def;
-  }
-  return nullptr;
+  return find_flag_in(flag_registry(), flag);
 }
 
 std::string flag_table_markdown() {
-  std::string out =
-      "| Flag | Environment | Default | Description |\n"
-      "| --- | --- | --- | --- |\n";
-  for (const FlagDef& def : kFlags) {
-    out += "| `";
-    out += def.flag;
-    if (def.value_name != nullptr) {
-      out += ' ';
-      out += def.value_name;
-    }
-    out += "` | ";
-    if (def.env != nullptr) {
-      out += '`';
-      out += def.env;
-      out += '`';
-    } else {
-      out += "—";
-    }
-    out += " | ";
-    out += def.default_doc;
-    out += " | ";
-    out += def.doc;
-    out += " |\n";
-  }
-  return out;
+  return flag_table_markdown_for(flag_registry());
 }
 
 }  // namespace spfail::session

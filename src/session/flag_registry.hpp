@@ -1,23 +1,28 @@
-// The table-driven flag registry behind ScanConfig (DESIGN.md §11).
+// The table-driven flag registry behind ScanConfig (DESIGN.md §11) and
+// every other table-driven flag surface (the svc service config, §18).
 //
 // Every knob used to be spelled four times: a --flag branch in from_args, an
 // SPFAIL_* branch in apply_env, a doc line in the README table, and the
-// field default — and the four drifted. A FlagDef row carries all of it
-// (CLI name, env var, value placeholder, default, doc line, apply
-// function), so from_args/apply_env loop the table and the README flag
-// table is *generated* from it (`spfail_scan --flag-table`). Adding a flag
-// is adding one row.
+// field default — and the four drifted. A FlagRow carries all of it (CLI
+// name, env var, value placeholder, default, doc line, apply function), so
+// from_args/apply_env loop the table and the README flag table is
+// *generated* from it (`spfail_scan --flag-table`). Adding a flag is adding
+// one row. The row type and the three walkers are templated on the config
+// struct so a second binary (spfail_svc) gets the same parse/env/doc
+// discipline from its own table instead of a hand-rolled copy.
 #pragma once
 
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "session/scan_config.hpp"
 
 namespace spfail::session {
 
-struct FlagDef {
+template <typename Config>
+struct FlagRow {
   const char* flag;        // "--scale"
   const char* env;         // "SPFAIL_SCALE"; nullptr = CLI-only
   const char* value_name;  // "RATE"; nullptr = boolean switch (no value)
@@ -27,8 +32,94 @@ struct FlagDef {
   // flag or the env var). `text` is the value — nullptr for a switch given
   // on the command line (switches from the environment carry 0/1 text).
   // Throws ScanConfigError on malformed input.
-  void (*apply)(ScanConfig& config, std::string_view what, const char* text);
+  void (*apply)(Config& config, std::string_view what, const char* text);
 };
+
+using FlagDef = FlagRow<ScanConfig>;
+
+// Registry lookup by CLI name; nullptr when unknown.
+template <typename Config>
+const FlagRow<Config>* find_flag_in(std::span<const FlagRow<Config>> rows,
+                                    std::string_view flag) {
+  for (const FlagRow<Config>& row : rows) {
+    if (flag == row.flag) return &row;
+  }
+  return nullptr;
+}
+
+// Environment layer: apply every row whose env var is set.
+template <typename Config>
+void apply_env_rows(std::span<const FlagRow<Config>> rows, Config& config) {
+  for (const FlagRow<Config>& row : rows) {
+    if (row.env == nullptr) continue;
+    if (const char* env = std::getenv(row.env)) {
+      row.apply(config, row.env, env);
+    }
+  }
+}
+
+// Command-line layer over `config`, starting at argv[1]. Throws
+// ScanConfigError for unknown flags, missing values, and duplicate
+// occurrences of the same flag (last-one-wins would silently mask an
+// operator's typo in a long command line, so a repeat is an error).
+template <typename Config>
+void apply_arg_rows(std::span<const FlagRow<Config>> rows, int argc,
+                    const char* const* argv, Config& config) {
+  std::vector<const FlagRow<Config>*> seen;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const FlagRow<Config>* row = find_flag_in(rows, arg);
+    if (row == nullptr) {
+      throw ScanConfigError("unknown option " + std::string(arg));
+    }
+    for (const FlagRow<Config>* earlier : seen) {
+      if (earlier == row) {
+        throw ScanConfigError("duplicate flag " + std::string(arg) +
+                              " (each flag may be given at most once)");
+      }
+    }
+    seen.push_back(row);
+    const char* text = nullptr;
+    if (row->value_name != nullptr) {
+      if (i + 1 >= argc) {
+        throw ScanConfigError("missing value for " + std::string(arg));
+      }
+      text = argv[++i];
+    }
+    row->apply(config, arg, text);
+  }
+}
+
+// The README flag table (GitHub-flavoured markdown), generated from a
+// registry so docs cannot drift from the parser.
+template <typename Config>
+std::string flag_table_markdown_for(std::span<const FlagRow<Config>> rows) {
+  std::string out =
+      "| Flag | Environment | Default | Description |\n"
+      "| --- | --- | --- | --- |\n";
+  for (const FlagRow<Config>& row : rows) {
+    out += "| `";
+    out += row.flag;
+    if (row.value_name != nullptr) {
+      out += ' ';
+      out += row.value_name;
+    }
+    out += "` | ";
+    if (row.env != nullptr) {
+      out += '`';
+      out += row.env;
+      out += '`';
+    } else {
+      out += "—";
+    }
+    out += " | ";
+    out += row.default_doc;
+    out += " | ";
+    out += row.doc;
+    out += " |\n";
+  }
+  return out;
+}
 
 // Every ScanConfig flag, in the order the generated table lists them.
 std::span<const FlagDef> flag_registry();
@@ -36,8 +127,7 @@ std::span<const FlagDef> flag_registry();
 // Registry lookup by CLI name; nullptr when unknown.
 const FlagDef* find_flag(std::string_view flag);
 
-// The README flag table (GitHub-flavoured markdown), generated from the
-// registry so docs cannot drift from the parser.
+// The README flag table for the ScanConfig registry.
 std::string flag_table_markdown();
 
 }  // namespace spfail::session

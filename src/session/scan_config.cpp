@@ -53,6 +53,10 @@ void ScanConfig::validate() const {
         "--metrics-wall requires --metrics (there is nowhere to write the "
         "wall-clock lane)");
   }
+  if (scenario_rounds < -1) {
+    throw ScanConfigError("--scenario-rounds must be >= -1, got " +
+                          std::to_string(scenario_rounds));
+  }
   if (!scenario.empty()) {
     try {
       scenario::parse_scenario_list(scenario);
@@ -75,33 +79,14 @@ ScanConfig ScanConfig::from_env(const ScanConfig& defaults) {
 }
 
 ScanConfig ScanConfig::apply_env(ScanConfig config) {
-  for (const FlagDef& def : flag_registry()) {
-    if (def.env == nullptr) continue;
-    if (const char* env = std::getenv(def.env)) {
-      def.apply(config, def.env, env);
-    }
-  }
+  apply_env_rows(flag_registry(), config);
   return config;
 }
 
 ScanConfig ScanConfig::from_args(int argc, const char* const* argv,
                                  const ScanConfig& defaults) {
   ScanConfig config = apply_env(defaults);
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    const FlagDef* def = find_flag(arg);
-    if (def == nullptr) {
-      throw ScanConfigError("unknown option " + std::string(arg));
-    }
-    const char* text = nullptr;
-    if (def->value_name != nullptr) {
-      if (i + 1 >= argc) {
-        throw ScanConfigError("missing value for " + std::string(arg));
-      }
-      text = argv[++i];
-    }
-    def->apply(config, arg, text);
-  }
+  apply_arg_rows(flag_registry(), argc, argv, config);
   config.validate();
   return config;
 }

@@ -34,6 +34,13 @@ struct ScanConfig {
   // measured after the scan. Empty = the plain paper population.
   // SPFAIL_SCENARIO / --scenario.
   std::string scenario;
+  // Longitudinal re-measurement rounds per scenario outcome table
+  // (DESIGN.md §17): each staged spec's flows replay once per round over the
+  // same persistent receiver fleet, so the report carries a per-round
+  // FlowTally series (greylist warm-up, DMARC pct= drift) instead of just
+  // the initial state. -1 mirrors the study's round count; 0 keeps the
+  // initial table only. SPFAIL_SCENARIO_ROUNDS / --scenario-rounds.
+  int scenario_rounds = -1;
   // Stream hosts instead of holding the whole fleet resident (DESIGN.md
   // §14): MailHosts materialise on probe and are evicted afterwards.
   // Reports are byte-identical either way; this trades a little CPU for a

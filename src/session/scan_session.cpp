@@ -65,6 +65,9 @@ const std::vector<scenario::ScenarioReport>& ScanSession::scenario_reports() {
 
   scenario::RunnerOptions options;
   options.seed = config_.fleet_seed;
+  options.rounds = config_.scenario_rounds < 0
+                       ? longitudinal::Study::standard_round_count()
+                       : static_cast<std::size_t>(config_.scenario_rounds);
   for (const scenario::ScenarioSpec& spec : scenarios()) {
     if (staged) {
       scenario_reports_->push_back(

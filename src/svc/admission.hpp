@@ -1,0 +1,116 @@
+// Admission control for the scan service (DESIGN.md §18).
+//
+// Generalises the two protective mechanisms the scan engine already has —
+// the per-round retry budget (faults::RetryPolicy) and the campaign's
+// per-/24 circuit breaker — from "inside one scan" to "across queued scans":
+//
+//   - every target /24 network carries a token bucket (capacity C, refill R
+//     tokens per service tick); admitting a job charges one token per
+//     network it touches, so concurrent scans against one provider block
+//     each other instead of hammering it;
+//   - a network that keeps turning jobs away (breaker_threshold consecutive
+//     deferrals) opens its breaker for breaker_cooldown ticks — jobs
+//     touching it defer without even consulting tokens, the queue-level
+//     analogue of the campaign skipping a systemically sick group;
+//   - each job carries a defer budget (RetryPolicy's per_address_budget
+//     analogue): a job deferred that many times force-runs on its next
+//     attempt rather than starving, exactly as an exhausted retry schedule
+//     concludes rather than spinning.
+//
+// Everything is integer state mutated in a fixed serial order by the
+// ServiceLoop tick, so admission decisions — and the event log built from
+// them — are byte-identical across thread counts and restarts. The whole
+// controller snapshot-encodes into the service state file.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "snapshot/codec.hpp"
+
+namespace spfail::svc {
+
+struct AdmissionConfig {
+  int bucket_capacity = 4;   // tokens per /24 network
+  int bucket_refill = 1;     // tokens added per service tick
+  int breaker_threshold = 3; // consecutive deferrals that open a breaker
+  int breaker_cooldown = 2;  // ticks a breaker stays open
+  int defer_budget = 16;     // deferrals one job may absorb before force-run
+
+  // Throws session::ScanConfigError on out-of-range values.
+  void validate() const;
+
+  friend bool operator==(const AdmissionConfig&,
+                         const AdmissionConfig&) = default;
+};
+
+// Per-/24 limiter state. Buckets start full: a freshly seen network admits
+// immediately, as an idle provider should.
+struct NetworkState {
+  int tokens = 0;
+  int consecutive_deferrals = 0;
+  int cooldown_left = 0;  // > 0 means the breaker is open
+
+  friend bool operator==(const NetworkState&, const NetworkState&) = default;
+};
+
+// What one admission attempt decided.
+enum class Decision : std::uint8_t {
+  Admit = 1,     // tokens charged, job may start
+  Defer = 2,     // tokens short or breaker open; try again next tick
+  ForceRun = 3,  // defer budget exhausted: admit without charging
+};
+
+std::string to_string(Decision decision);
+
+class AdmissionController {
+ public:
+  AdmissionController() = default;
+  explicit AdmissionController(AdmissionConfig config);
+
+  const AdmissionConfig& config() const noexcept { return config_; }
+
+  // Start-of-tick upkeep: refill every tracked bucket, age breaker
+  // cool-downs (a breaker that closes resets its deferral streak).
+  void refill();
+
+  // Decide one job's admission this tick. `networks` is the job's sorted
+  // target-network footprint; `defer_budget_left` is the job's remaining
+  // allowance, decremented on Defer (0 left converts the next short/open
+  // attempt into ForceRun). On Admit, one token is charged per network and
+  // their deferral streaks reset; on Defer, the networks that blocked
+  // (short bucket or open breaker) advance their streaks and may trip their
+  // breakers.
+  Decision decide(std::span<const std::uint64_t> networks,
+                  int& defer_budget_left);
+
+  // Observability: breakers tripped (closed -> open transitions) since
+  // construction/restore.
+  std::uint64_t breaker_trips() const noexcept { return breaker_trips_; }
+  // Networks whose breaker is currently open, ascending.
+  std::vector<std::uint64_t> open_breakers() const;
+
+  const std::map<std::uint64_t, NetworkState>& networks() const noexcept {
+    return networks_;
+  }
+
+  void encode(snapshot::Writer& w) const;
+  static AdmissionController decode(snapshot::Reader& r);
+
+  friend bool operator==(const AdmissionController&,
+                         const AdmissionController&) = default;
+
+ private:
+  NetworkState& state_for(std::uint64_t net);
+
+  AdmissionConfig config_;
+  // Ordered map: refill/encode walk in network-key order, part of the
+  // deterministic-state discipline.
+  std::map<std::uint64_t, NetworkState> networks_;
+  std::uint64_t breaker_trips_ = 0;
+};
+
+}  // namespace spfail::svc

@@ -428,6 +428,20 @@ TEST(ScanConfigArgs, RejectsUnknownAndIncompleteFlags) {
   EXPECT_THROW(parse({"--halt-after-rounds", "3"}), session::ScanConfigError);
 }
 
+TEST(ScanConfigArgs, RejectsDuplicateFlagOccurrences) {
+  // A repeated flag used to be last-one-wins, which silently masked the
+  // earlier value in a long command line; it is now a hard error.
+  EXPECT_THROW(parse({"--scale", "0.1", "--scale", "0.2"}),
+               session::ScanConfigError);
+  EXPECT_THROW(parse({"--seed", "1", "--threads", "2", "--seed", "1"}),
+               session::ScanConfigError);
+  // Switches are flags too.
+  EXPECT_THROW(parse({"--lazy-hosts", "--lazy-hosts"}),
+               session::ScanConfigError);
+  // Distinct flags still compose, and one occurrence each stays legal.
+  EXPECT_NO_THROW(parse({"--scale", "0.1", "--seed", "7"}));
+}
+
 TEST(ScanConfigArgs, RejectsMalformedEnvironment) {
   ::setenv("SPFAIL_FAULT_RATE", "lots", 1);
   EXPECT_THROW(session::ScanConfig::from_env(), session::ScanConfigError);
